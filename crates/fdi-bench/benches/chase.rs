@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks for the chase engines (E12): plain NS
+//! rules, extended naive, and extended fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fdi_core::chase::{chase_plain, extended_chase, Scheduler};
+use fdi_gen::{satisfiable_workload, WorkloadSpec};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase");
+    for &n in &[128usize, 512, 2048] {
+        let spec = WorkloadSpec {
+            rows: n,
+            attrs: 4,
+            domain: (n / 2).max(8),
+            null_density: 0.25,
+            nec_density: 0.1,
+            collision_rate: 0.6,
+        };
+        let w = satisfiable_workload(7, &spec, 4);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("extended_fast", n), &w, |b, w| {
+            b.iter(|| extended_chase(&w.instance, &w.fds, Scheduler::Fast))
+        });
+        if n <= 512 {
+            group.bench_with_input(BenchmarkId::new("extended_naive", n), &w, |b, w| {
+                b.iter(|| extended_chase(&w.instance, &w.fds, Scheduler::NaivePairs))
+            });
+            group.bench_with_input(BenchmarkId::new("plain_ns", n), &w, |b, w| {
+                b.iter(|| chase_plain(&w.instance, &w.fds))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

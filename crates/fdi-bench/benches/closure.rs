@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks for the Armstrong machinery (E5): attribute
+//! closure, implication, key search, and minimal cover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdi_core::armstrong;
+use fdi_core::fd::Fd;
+use fdi_core::AttrSet;
+use fdi_gen::random_fds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("armstrong");
+    for &fd_count in &[4usize, 16, 64] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let fds = random_fds(&mut rng, 16, fd_count);
+        let start = AttrSet(0b1);
+        group.bench_with_input(BenchmarkId::new("closure", fd_count), &fds, |b, fds| {
+            b.iter(|| armstrong::closure(start, fds))
+        });
+        let goal = Fd::new(AttrSet(0b1), AttrSet(0b1000_0000));
+        group.bench_with_input(BenchmarkId::new("implies", fd_count), &fds, |b, fds| {
+            b.iter(|| armstrong::implies(fds, goal))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("minimal_cover", fd_count),
+            &fds,
+            |b, fds| b.iter(|| armstrong::minimal_cover(fds)),
+        );
+        if fd_count <= 16 {
+            group.bench_with_input(
+                BenchmarkId::new("candidate_keys", fd_count),
+                &fds,
+                |b, fds| b.iter(|| armstrong::candidate_keys(AttrSet::first_n(16), fds)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbenchmarks for completion enumeration (§2/§4
+//! substrate): counting vs materializing `AP(r, R)`, and the
+//! least-extension FD evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdi_core::fd::Fd;
+use fdi_core::interp::eval_least_extension;
+use fdi_relation::completion::CompletionSpace;
+use fdi_relation::instance::Instance;
+use fdi_relation::schema::Schema;
+
+fn instance_with(nulls: usize, domain: usize) -> Instance {
+    let schema = Schema::uniform("R", &["A", "B", "C"], domain).unwrap();
+    let mut text = String::new();
+    for i in 0..6 {
+        if i < nulls {
+            text.push_str("A_0 - C_0\n");
+        } else {
+            text.push_str(&format!("A_{} B_0 C_0\n", i % domain));
+        }
+    }
+    Instance::parse(schema, &text).unwrap()
+}
+
+fn bench_completions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completion");
+    for &nulls in &[1usize, 2, 4] {
+        let r = instance_with(nulls, 6);
+        let scope = r.schema().all_attrs();
+        group.bench_with_input(BenchmarkId::new("count", nulls), &(), |b, ()| {
+            b.iter(|| CompletionSpace::for_instance(&r, scope).map(|s| s.count()))
+        });
+        group.bench_with_input(BenchmarkId::new("enumerate", nulls), &(), |b, ()| {
+            b.iter(|| {
+                let space = CompletionSpace::for_instance(&r, scope).unwrap();
+                space.iter().count()
+            })
+        });
+        let fd = Fd::parse(r.schema(), "A -> B").unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("fd_least_extension", nulls),
+            &(),
+            |b, ()| b.iter(|| eval_least_extension(fd, 0, &r, 1 << 24)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_completions);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks for System-C (E5 substrate): compiled
+//! evaluation, C-tautology checking, and implicational inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdi_logic::eval::{is_c_tautology, Compiled};
+use fdi_logic::implication::{infers, Statement};
+use fdi_logic::parser::parse_standalone;
+use fdi_logic::var::{Assignment, VarSet};
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic");
+    let (formula, table) =
+        parse_standalone("((p => q) & (q => r) & (r => s)) => (p => s)").unwrap();
+    let compiled = Compiled::new(&formula);
+    let a = Assignment::unknown(table.len());
+    group.bench_function("compiled_eval", |b| b.iter(|| compiled.eval(&a)));
+    group.bench_function("compile", |b| b.iter(|| Compiled::new(&formula)));
+    group.bench_function("c_tautology_4vars", |b| b.iter(|| is_c_tautology(&formula)));
+
+    for &vars in &[4usize, 8, 12] {
+        // a chain A0⇒A1, A1⇒A2, … with goal A0⇒A(n-1)
+        let premises: Vec<Statement> = (0..vars - 1)
+            .map(|i| Statement::new(VarSet(1 << i), VarSet(1 << (i + 1))))
+            .collect();
+        let goal = Statement::new(VarSet(1), VarSet(1 << (vars - 1)));
+        group.bench_with_input(BenchmarkId::new("infers_chain", vars), &(), |b, ()| {
+            b.iter(|| infers(&premises, goal))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

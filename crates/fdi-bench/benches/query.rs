@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks for §2's query evaluators (E13): naive
+//! least-extension vs signature vs Kleene, across domain sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdi_core::query::{self, Query};
+use fdi_relation::instance::Instance;
+use fdi_relation::schema::Schema;
+
+fn instance_with_nulls(domain: usize) -> Instance {
+    let schema = Schema::uniform("R", &["A", "B", "C"], domain).unwrap();
+    Instance::parse(schema, "- - C_0").unwrap()
+}
+
+fn tautology_query(r: &Instance) -> Query {
+    let a = Query::eq_text(r, "A", "A_0").unwrap();
+    let b = Query::eq_text(r, "B", "B_1").unwrap();
+    a.clone().or(a.not()).and(b.clone().or(b.not()))
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    for &domain in &[4usize, 32, 256] {
+        let r = instance_with_nulls(domain);
+        let q = tautology_query(&r);
+        group.bench_with_input(BenchmarkId::new("naive", domain), &(), |b, ()| {
+            b.iter(|| query::eval_least_extension(&q, 0, &r, 1 << 24))
+        });
+        group.bench_with_input(BenchmarkId::new("signature", domain), &(), |b, ()| {
+            b.iter(|| query::eval_signature(&q, 0, &r))
+        });
+        group.bench_with_input(BenchmarkId::new("kleene", domain), &(), |b, ()| {
+            b.iter(|| query::eval_kleene(&q, r.tuple(0), &r))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluators);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Experiment binary: see `fdi_bench::experiments::query`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    fdi_bench::experiments::query::run(quick);
+}

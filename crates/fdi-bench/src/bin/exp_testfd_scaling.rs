@@ -1,0 +1,5 @@
+//! Experiment binary: see `fdi_bench::experiments::testfd_scaling`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    fdi_bench::experiments::testfd_scaling::run(quick);
+}

@@ -1,0 +1,5 @@
+//! Experiment binary: see `fdi_bench::experiments::universal`.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    fdi_bench::experiments::universal::run(quick);
+}

@@ -1,0 +1,6 @@
+//! Runs the whole experiment battery of DESIGN.md §4 in order.
+//! Pass `--quick` for a fast smoke run.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    fdi_bench::experiments::run_all(quick);
+}

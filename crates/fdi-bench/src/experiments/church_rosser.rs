@@ -1,0 +1,103 @@
+//! E8/E9: Figure 5's non-confluence of the plain NS-rules, and
+//! Theorem 4's Church–Rosser property of the extended rules, measured
+//! over many random application orders.
+
+use crate::{banner, Table};
+use fdi_core::chase::{chase_plain, extended_chase, Scheduler};
+use fdi_core::fixtures;
+use fdi_gen::{workload, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner(
+        "E8",
+        "Figure 5: plain NS-rules are order-dependent",
+        "applying A→B first and C→B first yields two different minimally \
+         incomplete states; the extended rules yield one state with the \
+         whole B column equal to nothing",
+    );
+    let r = fixtures::figure5_instance();
+    let fds = fixtures::figure5_fds();
+    println!("{}", r.render(false));
+    let forward = chase_plain(&r, &fds);
+    let backward = chase_plain(&r, &fds.permuted(&[1, 0]));
+    println!("A→B first:\n{}", forward.instance.render(false));
+    println!("C→B first:\n{}", backward.instance.render(false));
+    assert_ne!(
+        forward.instance.canonical_form(),
+        backward.instance.canonical_form()
+    );
+    let extended = extended_chase(&r, &fds, Scheduler::Fast);
+    println!("extended rules (either order):\n{}", extended.instance.render(false));
+
+    banner(
+        "E9",
+        "Theorem 4: confluence counts over random orders",
+        "(a) the extended NS-rules produce a unique minimally incomplete \
+         instance; (b) weak satisfiability ⟺ no nothing value",
+    );
+    let workloads = if quick { 10 } else { 40 };
+    let orders = if quick { 8 } else { 24 };
+    let spec = WorkloadSpec {
+        rows: 16,
+        attrs: 4,
+        domain: 6,
+        null_density: 0.3,
+        nec_density: 0.2,
+        collision_rate: 0.6,
+    };
+    let mut table = Table::new([
+        "workload",
+        "plain: distinct results",
+        "extended: distinct results",
+        "nothing?",
+    ]);
+    let mut plain_divergent = 0;
+    for seed in 0..workloads {
+        let w = workload(seed, &spec, 4);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let mut plain_results: HashSet<String> = HashSet::new();
+        let mut extended_results: HashSet<String> = HashSet::new();
+        let mut any_nothing = false;
+        for k in 0..orders {
+            let mut order: Vec<usize> = (0..w.fds.len()).collect();
+            order.shuffle(&mut rng);
+            let permuted = w.fds.permuted(&order);
+            let plain = chase_plain(&w.instance, &permuted);
+            plain_results.insert(format!("{:?}", plain.instance.canonical_form()));
+            let scheduler = if k % 2 == 0 {
+                Scheduler::Fast
+            } else {
+                Scheduler::NaivePairs
+            };
+            let ext = extended_chase(&w.instance, &permuted, scheduler);
+            extended_results.insert(format!("{:?}", ext.instance.canonical_form()));
+            any_nothing |= ext.has_nothing();
+        }
+        assert_eq!(
+            extended_results.len(),
+            1,
+            "Theorem 4(a) violated on seed {seed}"
+        );
+        if plain_results.len() > 1 {
+            plain_divergent += 1;
+        }
+        table.row([
+            format!("seed {seed}"),
+            plain_results.len().to_string(),
+            extended_results.len().to_string(),
+            if any_nothing { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "{plain_divergent}/{workloads} workloads showed plain-rule order \
+         dependence; the extended rules produced exactly one result on \
+         every workload and every order — the finite Church–Rosser \
+         property of Theorem 4.\n"
+    );
+}

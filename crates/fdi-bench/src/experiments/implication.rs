@@ -1,0 +1,119 @@
+//! E5/E6: Theorem 1 — the three implication engines agree, with timing;
+//! Lemma 3 checked exhaustively.
+
+use crate::{banner, fmt_duration, median_time, Table};
+use fdi_core::equiv;
+use fdi_core::fd::Fd;
+use fdi_core::{armstrong, AttrSet};
+use fdi_gen::random_fds;
+use fdi_logic::implication::{infers, Statement};
+use fdi_logic::var::Assignment;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner(
+        "E5",
+        "Theorem 1: Armstrong ≡ System-C ≡ two-tuple worlds",
+        "Armstrong's rules are sound and complete for FDs with nulls \
+         under strong satisfiability (via Lemmas 2–4)",
+    );
+    let questions = if quick { 60 } else { 400 };
+    let attrs = 5;
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut agree = 0;
+    let mut implied = 0;
+    let mut cases = Vec::new();
+    for _ in 0..questions {
+        let fds = random_fds(&mut rng, attrs, 3);
+        let lhs = AttrSet(rng.gen_range(1..(1u64 << attrs)));
+        let rhs = AttrSet(rng.gen_range(1..(1u64 << attrs)));
+        let goal = Fd::new(lhs, rhs);
+        let statements: Vec<Statement> =
+            fds.iter().map(|f| equiv::fd_to_statement(*f)).collect();
+        let a = armstrong::implies(&fds, goal);
+        let b = infers(&statements, equiv::fd_to_statement(goal));
+        let c = equiv::implies_via_two_tuple_worlds(&fds, goal).expect("small world");
+        assert_eq!(a, b, "closure vs C-logic");
+        assert_eq!(a, c, "closure vs worlds");
+        agree += 1;
+        if a {
+            implied += 1;
+        }
+        cases.push((fds, goal));
+    }
+    println!(
+        "{agree}/{questions} random implication questions over {attrs} \
+         attributes: all three engines agree ({implied} implied, {} not).",
+        questions - implied
+    );
+
+    // timing comparison on the same question set
+    let mut table = Table::new(["engine", "total time", "per question"]);
+    let t_closure = median_time(3, || {
+        for (fds, goal) in &cases {
+            std::hint::black_box(armstrong::implies(fds, *goal));
+        }
+    });
+    let t_logic = median_time(3, || {
+        for (fds, goal) in &cases {
+            let statements: Vec<Statement> =
+                fds.iter().map(|f| equiv::fd_to_statement(*f)).collect();
+            std::hint::black_box(infers(&statements, equiv::fd_to_statement(*goal)));
+        }
+    });
+    let t_worlds = median_time(1, || {
+        for (fds, goal) in &cases {
+            std::hint::black_box(
+                equiv::implies_via_two_tuple_worlds(fds, *goal).expect("small world"),
+            );
+        }
+    });
+    for (name, t) in [
+        ("attribute closure", t_closure),
+        ("System-C 3^n assignments", t_logic),
+        ("two-tuple worlds (completions)", t_worlds),
+    ] {
+        table.row([
+            name.to_string(),
+            fmt_duration(t),
+            fmt_duration(t / questions as u32),
+        ]);
+    }
+    table.print();
+    println!(
+        "the closure engine is the practical one; the two semantic \
+         engines exist to *verify* Theorem 1, not to compete.\n"
+    );
+
+    banner(
+        "E6",
+        "Lemma 3, exhaustively",
+        "X → Y strongly holds in the two-tuple relation of assignment a \
+         iff a(X ⇒ Y) = true",
+    );
+    let n = 3;
+    let mut checked = 0;
+    let dependencies = [
+        Fd::new(AttrSet(0b001), AttrSet(0b010)),
+        Fd::new(AttrSet(0b011), AttrSet(0b100)),
+        Fd::new(AttrSet(0b001), AttrSet(0b110)),
+        Fd::new(AttrSet(0b101), AttrSet(0b010)),
+        Fd::new(AttrSet(0b001), AttrSet(0b011)), // unnormalized on purpose
+    ];
+    for fd in dependencies {
+        for a in Assignment::enumerate_all(n) {
+            assert!(
+                equiv::lemma3_holds_at(fd, &a).expect("small world"),
+                "Lemma 3 failed for {fd} at {:?}",
+                a.values()
+            );
+            checked += 1;
+        }
+    }
+    println!(
+        "{checked} (dependency, assignment) pairs over {n} attributes: \
+         the correspondence holds everywhere.\n"
+    );
+}

@@ -1,0 +1,36 @@
+//! The experiments of DESIGN.md §4, one module per experiment id.
+//!
+//! Every module exposes `run(quick: bool)`; `quick` shrinks the sweeps
+//! for smoke-testing. The binaries in `src/bin/` are thin wrappers, and
+//! `run_all` executes the whole battery in experiment order.
+
+pub mod church_rosser;
+pub mod chase_scaling;
+pub mod figures;
+pub mod implication;
+pub mod interaction;
+pub mod overconstraint;
+pub mod query;
+pub mod satisfiability_rates;
+pub mod substitution;
+pub mod testfd_scaling;
+pub mod two_tuple;
+pub mod universal;
+pub mod updates;
+
+/// Runs every experiment in id order.
+pub fn run_all(quick: bool) {
+    figures::run(quick);
+    two_tuple::run(quick);
+    implication::run(quick);
+    interaction::run(quick);
+    church_rosser::run(quick);
+    testfd_scaling::run(quick);
+    chase_scaling::run(quick);
+    query::run(quick);
+    satisfiability_rates::run(quick);
+    overconstraint::run(quick);
+    substitution::run(quick);
+    universal::run(quick);
+    updates::run(quick);
+}

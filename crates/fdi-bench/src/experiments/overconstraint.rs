@@ -1,0 +1,94 @@
+//! E15: "databases are usually overconstrained" (§7) — with dirty data,
+//! nulls + weak satisfiability let many more constraints remain valid
+//! than the classical all-values reading.
+
+use crate::{banner, Table};
+use fdi_core::fd::FdSet;
+use fdi_core::{chase, testfd};
+use fdi_gen::{attr_names, random_fds, satisfiable_instance, WorkloadSpec};
+use fdi_relation::attrs::AttrId;
+use fdi_relation::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner(
+        "E15",
+        "overconstrained databases (§7)",
+        "constraint validation on real data mostly verifies that the \
+         data is dirty; replacing a dirty cell with a null (and reading \
+         constraints weakly) lets the constraint set stay valid",
+    );
+    let seeds = if quick { 20 } else { 100 };
+    let fd_counts = [2usize, 4, 6, 8];
+    let dirty_rate = 0.05;
+    let mut table = Table::new([
+        "|F|",
+        "classical valid",
+        "dirty-as-null, strong",
+        "dirty-as-null, weak",
+    ]);
+    for &fd_count in &fd_counts {
+        let mut classical_ok = 0;
+        let mut strong_ok = 0;
+        let mut weak_ok = 0;
+        for seed in 0..seeds {
+            let spec = WorkloadSpec {
+                rows: 24,
+                attrs: 5,
+                domain: 12,
+                null_density: 0.0,
+                nec_density: 0.0,
+                collision_rate: 0.5,
+            };
+            let mut rng = StdRng::seed_from_u64(seed * 31 + fd_count as u64);
+            let fds: FdSet = random_fds(&mut rng, spec.attrs, fd_count);
+            // clean data satisfying F …
+            let clean = satisfiable_instance(&mut rng, &spec, &fds);
+            // … then real-world dirt: a few cells get wrong values.
+            let mut dirty = clean.clone();
+            let names = attr_names(spec.attrs);
+            for row in 0..dirty.len() {
+                for (col, name) in names.iter().enumerate() {
+                    if rng.gen_bool(dirty_rate) {
+                        let k = rng.gen_range(0..spec.domain);
+                        let sym = dirty
+                            .intern_constant(AttrId(col as u16), &format!("{name}_{k}"))
+                            .expect("domain");
+                        dirty.set_value(row, AttrId(col as u16), Value::Const(sym));
+                    }
+                }
+            }
+            // classical reading: is the dirty instance still valid?
+            classical_ok += testfd::check_strong(&dirty, &fds).is_ok() as usize;
+            // null reading: replace each dirty cell with a null
+            let mut nulled = dirty.clone();
+            let all = nulled.schema().all_attrs();
+            for row in 0..nulled.len() {
+                for attr in all.iter() {
+                    if nulled.value(row, attr) != clean.value(row, attr) {
+                        let id = nulled.fresh_null();
+                        nulled.set_value(row, attr, Value::Null(id));
+                    }
+                }
+            }
+            strong_ok += testfd::check_strong(&nulled, &fds).is_ok() as usize;
+            weak_ok += chase::weakly_satisfiable_via_chase(&fds, &nulled) as usize;
+        }
+        let pct = |x: usize| format!("{:.0}%", 100.0 * x as f64 / seeds as f64);
+        table.row([
+            fd_count.to_string(),
+            pct(classical_ok),
+            pct(strong_ok),
+            pct(weak_ok),
+        ]);
+    }
+    table.print();
+    println!(
+        "the more constraints a schema carries, the faster the classical \
+         reading degrades into \"most of the data is dirty\"; marking \
+         suspect cells as null and accepting weak satisfiability keeps \
+         the constraint set valid — §7's practical argument for nulls.\n"
+    );
+}

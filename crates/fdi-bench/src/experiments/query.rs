@@ -1,0 +1,125 @@
+//! E13: §2's evaluation rule — the naive all-substitutions evaluator is
+//! exponential in nulls and linear in domain size; the syntactic
+//! (signature) transformation is domain-size independent; Kleene is fast
+//! but incomplete.
+
+use crate::{banner, fmt_duration, median_time, Table};
+use fdi_core::query::{self, Query};
+use fdi_core::Truth;
+use fdi_relation::instance::Instance;
+use fdi_relation::schema::Schema;
+
+fn one_row_with_nulls(domain: usize, nulls: usize, attrs: usize) -> Instance {
+    let names: Vec<String> = (0..attrs).map(|i| format!("X{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let schema = Schema::uniform("R", &refs, domain).expect("schema");
+    let mut r = Instance::new(schema);
+    let tokens: Vec<String> = (0..attrs)
+        .map(|i| {
+            if i < nulls {
+                "-".to_string()
+            } else {
+                format!("X{i}_0")
+            }
+        })
+        .collect();
+    let token_refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+    r.add_row(&token_refs).expect("row");
+    r
+}
+
+/// A query whose truth needs domain-coverage reasoning: a disjunction of
+/// per-attribute tautology fragments plus a genuine test.
+fn coverage_query(r: &Instance, nulls: usize) -> Query {
+    let mut q = Query::eq_text(r, "X0", "X0_0").expect("atom");
+    q = q.clone().or(q.not()); // tautology on X0
+    for i in 1..nulls {
+        let attr = format!("X{i}");
+        let atom = Query::eq_text(r, &attr, &format!("{attr}_1")).expect("atom");
+        q = q.and(atom.clone().or(atom.not()));
+    }
+    q
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner(
+        "E13",
+        "least-extension query evaluation (§2)",
+        "the substitution rule has unacceptable complexity (exponential \
+         in nulls, linear in domain size per null); syntactic \
+         transformations avoid the substitutions ([Vassiliou 79]); \
+         Kleene evaluation is cheap but answers unknown on tautologies",
+    );
+
+    // --- domain-size sweep, fixed 2 nulls ---
+    let domains: Vec<usize> = if quick {
+        vec![4, 16, 64]
+    } else {
+        vec![4, 16, 64, 256, 1024]
+    };
+    let mut table = Table::new(["|dom|", "naive", "signature", "kleene", "naive verdict", "sig verdict", "kleene verdict"]);
+    for &dom in &domains {
+        let r = one_row_with_nulls(dom, 2, 4);
+        let q = coverage_query(&r, 2);
+        let naive_verdict = query::eval_least_extension(&q, 0, &r, 1 << 24).expect("budget");
+        let sig_verdict = query::eval_signature(&q, 0, &r).expect("finite");
+        let kleene_verdict = query::eval_kleene(&q, r.tuple(0), &r);
+        assert_eq!(naive_verdict, sig_verdict);
+        assert_eq!(naive_verdict, Truth::True, "tautological coverage");
+        assert_eq!(kleene_verdict, Truth::Unknown, "Kleene incompleteness");
+        let t_naive = median_time(3, || {
+            std::hint::black_box(query::eval_least_extension(&q, 0, &r, 1 << 24)).ok();
+        });
+        let t_sig = median_time(5, || {
+            std::hint::black_box(query::eval_signature(&q, 0, &r)).ok();
+        });
+        let t_kleene = median_time(5, || {
+            std::hint::black_box(query::eval_kleene(&q, r.tuple(0), &r));
+        });
+        table.row([
+            dom.to_string(),
+            fmt_duration(t_naive),
+            fmt_duration(t_sig),
+            fmt_duration(t_kleene),
+            naive_verdict.to_string(),
+            sig_verdict.to_string(),
+            kleene_verdict.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "naive time grows ~quadratically here (|dom|² completions for 2 \
+         nulls); the signature evaluator is flat — it never looks past \
+         the mentioned constants.\n"
+    );
+
+    // --- null-count sweep, fixed domain ---
+    let null_counts: Vec<usize> = if quick { vec![1, 2, 3] } else { vec![1, 2, 3, 4, 5, 6] };
+    let dom = 8;
+    let mut table = Table::new(["nulls", "completions", "naive", "signature"]);
+    for &k in &null_counts {
+        let r = one_row_with_nulls(dom, k, k.max(4));
+        let q = coverage_query(&r, k);
+        let completions = (dom as u128).pow(k as u32);
+        let t_naive = median_time(3, || {
+            std::hint::black_box(query::eval_least_extension(&q, 0, &r, 1 << 30)).ok();
+        });
+        let t_sig = median_time(3, || {
+            std::hint::black_box(query::eval_signature(&q, 0, &r)).ok();
+        });
+        table.row([
+            k.to_string(),
+            completions.to_string(),
+            fmt_duration(t_naive),
+            fmt_duration(t_sig),
+        ]);
+    }
+    table.print();
+    println!(
+        "the naive evaluator tracks the |dom|^k completion count; the \
+         signature evaluator's base is the handful of mentioned \
+         constants + fresh representatives. This is the gap that made \
+         the paper call the raw rule impractical.\n"
+    );
+}

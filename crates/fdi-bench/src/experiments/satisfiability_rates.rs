@@ -1,0 +1,58 @@
+//! E14: "very few relation instances are strongly-consistent" (§6) —
+//! strong vs weak satisfiability rates as null density grows.
+
+use crate::{banner, Table};
+use fdi_core::{chase, testfd};
+use fdi_gen::{satisfiable_workload, WorkloadSpec};
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner(
+        "E14",
+        "satisfiability rates vs null density",
+        "the strong-satisfiability test is cheaper but \"very few \
+         relation instances are strongly-consistent\"; nulls + weak \
+         satisfiability keep constraints valid in many more instances",
+    );
+    let seeds = if quick { 30 } else { 200 };
+    let densities = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5];
+    let mut table = Table::new([
+        "null density",
+        "strongly satisfied",
+        "weakly satisfiable",
+        "instances",
+    ]);
+    for &density in &densities {
+        let mut strong = 0;
+        let mut weak = 0;
+        for seed in 0..seeds {
+            // Workloads are generated *satisfiable before nulls*: the
+            // data is clean, only incomplete — the regime the paper's
+            // practical argument concerns.
+            let spec = WorkloadSpec {
+                rows: 32,
+                attrs: 4,
+                domain: 16,
+                null_density: density,
+                nec_density: 0.0,
+                collision_rate: 0.5,
+            };
+            let w = satisfiable_workload(seed, &spec, 3);
+            strong += testfd::check_strong(&w.instance, &w.fds).is_ok() as usize;
+            weak += chase::weakly_satisfiable_via_chase(&w.fds, &w.instance) as usize;
+        }
+        table.row([
+            format!("{density:.2}"),
+            format!("{:.0}%", 100.0 * strong as f64 / seeds as f64),
+            format!("{:.0}%", 100.0 * weak as f64 / seeds as f64),
+            seeds.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "weak satisfiability stays at 100% on clean-but-incomplete data \
+         (the pre-null instance is always a witness), while strong \
+         satisfaction collapses as soon as nulls can collide with \
+         existing determinant groups — \"this comes as no surprise\" (§6).\n"
+    );
+}

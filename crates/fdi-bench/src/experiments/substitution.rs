@@ -1,0 +1,110 @@
+//! E16/E17: §4's domain-dependent machinery — how rarely the X-side
+//! substitution conditions fire, and how the `[F2]` exhaustion cases
+//! vanish once domains outgrow relations.
+
+use crate::{banner, Table};
+use fdi_core::subst;
+use fdi_gen::{workload, WorkloadSpec};
+
+/// Runs the experiment.
+pub fn run(quick: bool) {
+    banner(
+        "E16",
+        "X-side substitutions (conditions (1) and (2))",
+        "both conditions \"are not easy to test … and seem unlikely to \
+         occur\"; in practice it may be better to leave the database \
+         incomplete",
+    );
+    let seeds = if quick { 40 } else { 200 };
+    let domains = [2usize, 3, 4, 8, 16];
+    let mut table = Table::new([
+        "|dom|",
+        "cond (1) firings",
+        "cond (2) firings",
+        "rows with X-nulls",
+    ]);
+    for &dom in &domains {
+        let mut cond1 = 0usize;
+        let mut cond2 = 0usize;
+        let mut candidates = 0usize;
+        for seed in 0..seeds {
+            let spec = WorkloadSpec {
+                rows: 12,
+                attrs: 3,
+                domain: dom,
+                null_density: 0.25,
+                nec_density: 0.0,
+                collision_rate: 0.5,
+            };
+            let w = workload(seed, &spec, 2);
+            for fd in &w.fds {
+                let fd = fd.normalized();
+                for row in 0..w.instance.len() {
+                    let t = w.instance.tuple(row);
+                    if t.has_null_on(fd.lhs) && !t.has_null_on(fd.rhs) {
+                        candidates += 1;
+                    }
+                }
+                for s in subst::find_x_substitutions(fd, &w.instance).expect("in budget") {
+                    match s.condition {
+                        1 => cond1 += 1,
+                        2 => cond2 += 1,
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+        table.row([
+            dom.to_string(),
+            cond1.to_string(),
+            cond2.to_string(),
+            candidates.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "firings require the whole domain (or all but one value) to \
+         appear among the matching tuples — already rare at |dom| = 4 \
+         and practically extinct beyond, exactly the paper's prediction.\n"
+    );
+
+    banner(
+        "E17",
+        "[F2] exhaustion vs domain size",
+        "the 'bad case' requires more determined objects than \
+         determining ones; with employee-number-sized domains it cannot \
+         happen — a carefully designed database never exhibits [F2]",
+    );
+    let mut table = Table::new(["|dom|", "instances with [F2] sites", "total [F2] sites"]);
+    for &dom in &domains {
+        let mut instances_hit = 0usize;
+        let mut sites_total = 0usize;
+        for seed in 0..seeds {
+            let spec = WorkloadSpec {
+                rows: 12,
+                attrs: 3,
+                domain: dom,
+                null_density: 0.25,
+                nec_density: 0.0,
+                collision_rate: 0.5,
+            };
+            let w = workload(seed, &spec, 2);
+            let sites = subst::detect_domain_exhaustion(&w.fds, &w.instance).expect("in budget");
+            if !sites.is_empty() {
+                instances_hit += 1;
+            }
+            sites_total += sites.len();
+        }
+        table.row([
+            dom.to_string(),
+            format!("{instances_hit}/{seeds}"),
+            sites_total.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "exhaustion is common with |dom| = 2 (12 rows easily cover two \
+         values) and disappears as the domain outgrows the relation — \
+         validating the Theorem 3/4 pipelines' large-domain proviso.\n"
+    );
+}

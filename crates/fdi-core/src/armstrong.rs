@@ -1,0 +1,357 @@
+//! Armstrong's inference system: closure, implication, keys, covers.
+//!
+//! Theorem 1 of the paper: *Armstrong's inference rules are sound and
+//! complete for functional dependencies defined on relations with nulls
+//! and the requirement of strong satisfiability.* This module provides
+//! the classical machinery the theorem transfers — the linear-time
+//! attribute-closure algorithm, implication testing, candidate-key
+//! search, minimal covers, and projections — plus explicit derivations
+//! via the I1–I4 proof system of `fdi-logic` (the two systems generate
+//! the same closure; augmentation is admissible, see
+//! [`fdi_logic::derive::derive_augmentation`]).
+
+use crate::fd::{Fd, FdSet};
+use fdi_logic::derive::{prove, Derivation};
+use fdi_logic::implication::Statement;
+use fdi_logic::var::VarSet;
+use fdi_relation::attrs::{AttrId, AttrSet};
+
+/// Converts an attribute set to a propositional variable set (identical
+/// bit layout; the full schema-aware bridge lives in [`crate::equiv`]).
+pub fn attrs_to_vars(set: AttrSet) -> VarSet {
+    VarSet(set.0)
+}
+
+/// Converts a variable set back to an attribute set.
+pub fn vars_to_attrs(set: VarSet) -> AttrSet {
+    AttrSet(set.0)
+}
+
+/// The attribute closure `X⁺` under `F`, by the linear-time
+/// counter/queue algorithm of Beeri–Bernstein.
+pub fn closure(start: AttrSet, fds: &FdSet) -> AttrSet {
+    let fd_list = fds.fds();
+    // Remaining-LHS counters and attr → dependent-FD index lists.
+    let mut counters: Vec<usize> = fd_list.iter().map(|fd| fd.lhs.len()).collect();
+    let mut watchers: Vec<Vec<usize>> = vec![Vec::new(); 64];
+    for (i, fd) in fd_list.iter().enumerate() {
+        for a in fd.lhs.iter() {
+            watchers[a.index()].push(i);
+        }
+    }
+    let mut closed = start;
+    let mut queue: Vec<AttrId> = start.iter().collect();
+    // FDs with empty LHS fire immediately (not produced by our parser,
+    // but tolerated for programmatic construction).
+    for (i, fd) in fd_list.iter().enumerate() {
+        if counters[i] == 0 {
+            for b in fd.rhs.iter() {
+                if !closed.contains(b) {
+                    closed = closed.with(b);
+                    queue.push(b);
+                }
+            }
+        }
+    }
+    while let Some(a) = queue.pop() {
+        for &i in &watchers[a.index()] {
+            counters[i] -= 1;
+            if counters[i] == 0 {
+                for b in fd_list[i].rhs.iter() {
+                    if !closed.contains(b) {
+                        closed = closed.with(b);
+                        queue.push(b);
+                    }
+                }
+            }
+        }
+    }
+    closed
+}
+
+/// Does `F` imply `fd`? (`Y ⊆ X⁺` — sound and complete by Armstrong,
+/// and by Theorem 1 equally valid under nulls with strong
+/// satisfiability.)
+pub fn implies(fds: &FdSet, fd: Fd) -> bool {
+    fd.rhs.is_subset(closure(fd.lhs, fds))
+}
+
+/// Are two FD sets equivalent (each implies the other)?
+pub fn equivalent(f: &FdSet, g: &FdSet) -> bool {
+    f.iter().all(|fd| implies(g, *fd)) && g.iter().all(|fd| implies(f, *fd))
+}
+
+/// Is `candidate` a superkey of the scheme `attrs` under `F`?
+pub fn is_superkey(candidate: AttrSet, attrs: AttrSet, fds: &FdSet) -> bool {
+    attrs.is_subset(closure(candidate, fds))
+}
+
+/// Shrinks a superkey to a (minimal) candidate key by greedy removal.
+pub fn minimize_key(superkey: AttrSet, attrs: AttrSet, fds: &FdSet) -> AttrSet {
+    let mut key = superkey;
+    for a in superkey.iter() {
+        let without = key.without(a);
+        if !without.is_empty() && is_superkey(without, attrs, fds) {
+            key = without;
+        }
+    }
+    key
+}
+
+/// All candidate keys of the scheme `attrs` under `F`
+/// (Lucchesi–Osborn saturation).
+pub fn candidate_keys(attrs: AttrSet, fds: &FdSet) -> Vec<AttrSet> {
+    let mut keys = vec![minimize_key(attrs, attrs, fds)];
+    let mut i = 0;
+    while i < keys.len() {
+        let key = keys[i];
+        for fd in fds {
+            let candidate = key.difference(fd.rhs).union(fd.lhs);
+            if !is_superkey(candidate, attrs, fds) {
+                continue;
+            }
+            if keys.iter().any(|k| k.is_subset(candidate)) {
+                continue;
+            }
+            let minimized = minimize_key(candidate, attrs, fds);
+            if !keys.contains(&minimized) {
+                keys.push(minimized);
+            }
+        }
+        i += 1;
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    // Saturation can add a key that later turns out to contain a smaller
+    // one; filter to minimal elements.
+    let minimal: Vec<AttrSet> = keys
+        .iter()
+        .copied()
+        .filter(|k| !keys.iter().any(|other| other != k && other.is_subset(*k)))
+        .collect();
+    minimal
+}
+
+/// The prime attributes (members of some candidate key).
+pub fn prime_attributes(attrs: AttrSet, fds: &FdSet) -> AttrSet {
+    candidate_keys(attrs, fds)
+        .into_iter()
+        .fold(AttrSet::EMPTY, AttrSet::union)
+}
+
+/// A minimal (canonical) cover of `F`: singleton right-hand sides, no
+/// extraneous left-hand attributes, no redundant dependencies.
+pub fn minimal_cover(fds: &FdSet) -> FdSet {
+    // 1. Singleton RHS, normalized, trivial dropped.
+    let mut work: Vec<Fd> = Vec::new();
+    for fd in &fds.normalized() {
+        for b in fd.rhs.iter() {
+            let single = Fd::new(fd.lhs, AttrSet::singleton(b));
+            if !work.contains(&single) {
+                work.push(single);
+            }
+        }
+    }
+    // 2. Remove extraneous LHS attributes.
+    let as_set = |v: &[Fd]| FdSet::from_vec(v.to_vec());
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..work.len() {
+            let fd = work[i];
+            for a in fd.lhs.iter() {
+                if fd.lhs.len() <= 1 {
+                    break;
+                }
+                let reduced = Fd::new(fd.lhs.without(a), fd.rhs);
+                if implies(&as_set(&work), reduced) {
+                    work[i] = reduced;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    // 3. Remove redundant dependencies.
+    let mut i = 0;
+    while i < work.len() {
+        let fd = work.remove(i);
+        if implies(&as_set(&work), fd) {
+            // stays removed
+        } else {
+            work.insert(i, fd);
+            i += 1;
+        }
+    }
+    FdSet::from_vec(work)
+}
+
+/// The projection of `F` onto `attrs`: all implied dependencies among
+/// `attrs`, returned as a minimal cover. Exponential in `attrs.len()`
+/// (subset enumeration) — standard, and capped.
+///
+/// # Panics
+/// Panics if `attrs` has more than 20 members.
+pub fn project(fds: &FdSet, attrs: AttrSet) -> FdSet {
+    assert!(
+        attrs.len() <= 20,
+        "FD projection enumerates subsets; capped at 20 attributes"
+    );
+    let mut projected = FdSet::new();
+    for subset in attrs.subsets() {
+        let closed = closure(subset, fds).intersect(attrs).difference(subset);
+        if !closed.is_empty() {
+            projected.push(Fd::new(subset, closed));
+        }
+    }
+    minimal_cover(&projected)
+}
+
+/// An explicit Armstrong/I-system derivation of `fd` from `fds`, when
+/// one exists. The proof is produced by the complete I1–I4 search of
+/// `fdi-logic` and re-verified before being returned.
+pub fn derive(fds: &FdSet, fd: Fd) -> Option<Derivation> {
+    let hypotheses: Vec<Statement> = fds
+        .iter()
+        .map(|f| Statement::new(attrs_to_vars(f.lhs), attrs_to_vars(f.rhs)))
+        .collect();
+    let goal = Statement::new(attrs_to_vars(fd.lhs), attrs_to_vars(fd.rhs));
+    let derivation = prove(&hypotheses, goal)?;
+    debug_assert!(derivation.verify(&hypotheses).is_ok());
+    Some(derivation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u16]) -> AttrSet {
+        ids.iter().map(|i| AttrId(*i)).collect()
+    }
+
+    fn fd(lhs: &[u16], rhs: &[u16]) -> Fd {
+        Fd::new(set(lhs), set(rhs))
+    }
+
+    #[test]
+    fn closure_transitive_chain() {
+        let fds = FdSet::from_vec(vec![fd(&[0], &[1]), fd(&[1], &[2]), fd(&[3], &[4])]);
+        assert_eq!(closure(set(&[0]), &fds), set(&[0, 1, 2]));
+        assert_eq!(closure(set(&[3]), &fds), set(&[3, 4]));
+        assert_eq!(closure(set(&[2]), &fds), set(&[2]));
+        assert_eq!(closure(set(&[0, 3]), &fds), set(&[0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn closure_needs_full_lhs() {
+        let fds = FdSet::from_vec(vec![fd(&[0, 1], &[2])]);
+        assert_eq!(closure(set(&[0]), &fds), set(&[0]));
+        assert_eq!(closure(set(&[0, 1]), &fds), set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn implication_samples() {
+        let fds = FdSet::from_vec(vec![fd(&[0], &[1]), fd(&[1], &[2])]);
+        assert!(implies(&fds, fd(&[0], &[2])));
+        assert!(implies(&fds, fd(&[0], &[1, 2])));
+        assert!(implies(&fds, fd(&[0, 3], &[2, 3])), "augmentation");
+        assert!(!implies(&fds, fd(&[2], &[0])));
+        assert!(implies(&fds, fd(&[0, 1], &[0])), "reflexivity");
+    }
+
+    #[test]
+    fn equivalence_of_covers() {
+        let f = FdSet::from_vec(vec![fd(&[0], &[1, 2])]);
+        let g = FdSet::from_vec(vec![fd(&[0], &[1]), fd(&[0], &[2])]);
+        assert!(equivalent(&f, &g));
+        let h = FdSet::from_vec(vec![fd(&[0], &[1])]);
+        assert!(!equivalent(&f, &h));
+    }
+
+    #[test]
+    fn candidate_keys_simple() {
+        // R(A,B,C), A→B, B→C: the only key is A.
+        let fds = FdSet::from_vec(vec![fd(&[0], &[1]), fd(&[1], &[2])]);
+        assert_eq!(candidate_keys(set(&[0, 1, 2]), &fds), vec![set(&[0])]);
+    }
+
+    #[test]
+    fn candidate_keys_multiple() {
+        // R(A,B), A→B, B→A: both A and B are keys.
+        let fds = FdSet::from_vec(vec![fd(&[0], &[1]), fd(&[1], &[0])]);
+        let keys = candidate_keys(set(&[0, 1]), &fds);
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&set(&[0])));
+        assert!(keys.contains(&set(&[1])));
+    }
+
+    #[test]
+    fn candidate_keys_cyclic_classic() {
+        // R(A,B,C) with A→B, B→C, C→A: every single attribute is a key.
+        let fds = FdSet::from_vec(vec![fd(&[0], &[1]), fd(&[1], &[2]), fd(&[2], &[0])]);
+        let keys = candidate_keys(set(&[0, 1, 2]), &fds);
+        assert_eq!(keys.len(), 3);
+        assert_eq!(prime_attributes(set(&[0, 1, 2]), &fds), set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn no_fds_means_all_attributes_key() {
+        let keys = candidate_keys(set(&[0, 1, 2]), &FdSet::new());
+        assert_eq!(keys, vec![set(&[0, 1, 2])]);
+    }
+
+    #[test]
+    fn minimal_cover_removes_redundancy() {
+        // A→B, B→C, A→C: the third is implied.
+        let fds = FdSet::from_vec(vec![fd(&[0], &[1]), fd(&[1], &[2]), fd(&[0], &[2])]);
+        let cover = minimal_cover(&fds);
+        assert_eq!(cover.len(), 2);
+        assert!(equivalent(&cover, &fds));
+    }
+
+    #[test]
+    fn minimal_cover_trims_extraneous_lhs() {
+        // AB→C with A→B: B is extraneous in AB→C.
+        let fds = FdSet::from_vec(vec![fd(&[0, 1], &[2]), fd(&[0], &[1])]);
+        let cover = minimal_cover(&fds);
+        assert!(equivalent(&cover, &fds));
+        assert!(
+            cover.iter().any(|f| f.lhs == set(&[0]) && f.rhs == set(&[2])),
+            "AB→C should shrink to A→C; got {cover:?}"
+        );
+    }
+
+    #[test]
+    fn minimal_cover_splits_rhs() {
+        let fds = FdSet::from_vec(vec![fd(&[0], &[1, 2])]);
+        let cover = minimal_cover(&fds);
+        assert_eq!(cover.len(), 2);
+        assert!(cover.iter().all(|f| f.rhs.len() == 1));
+    }
+
+    #[test]
+    fn projection_keeps_implied_dependencies() {
+        // A→B, B→C projected onto {A, C} gives A→C.
+        let fds = FdSet::from_vec(vec![fd(&[0], &[1]), fd(&[1], &[2])]);
+        let projected = project(&fds, set(&[0, 2]));
+        assert!(implies(&projected, fd(&[0], &[2])));
+        assert!(!implies(&projected, fd(&[2], &[0])));
+    }
+
+    #[test]
+    fn derivations_exist_iff_implied() {
+        let fds = FdSet::from_vec(vec![fd(&[0], &[1]), fd(&[1], &[2])]);
+        let goal = fd(&[0, 3], &[2, 3]);
+        assert!(implies(&fds, goal));
+        let d = derive(&fds, goal).expect("derivable");
+        assert_eq!(vars_to_attrs(d.statement.lhs), goal.lhs);
+        assert_eq!(vars_to_attrs(d.statement.rhs), goal.rhs);
+        assert!(derive(&fds, fd(&[2], &[0])).is_none());
+    }
+
+    #[test]
+    fn empty_lhs_fds_fire_immediately() {
+        let fds = FdSet::from_vec(vec![Fd::new(AttrSet::EMPTY, set(&[1]))]);
+        assert_eq!(closure(set(&[0]), &fds), set(&[0, 1]));
+    }
+}

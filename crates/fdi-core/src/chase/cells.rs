@@ -1,0 +1,477 @@
+//! The extended NS-rule system as congruence closure over cells.
+//!
+//! Model (following the [Downey–Sethi–Tarjan] construction the paper's
+//! Theorem 4 proof uses): every cell occurrence `(row, attr)` is a node,
+//! and every constant *symbol* is a node labelled with itself. A cell
+//! holding constant `c` starts unified with `c`'s node; NEC-equivalent
+//! nulls start unified with each other. An FD `X → Y` demands that rows
+//! whose `X`-cells are classwise equal have their `Y`-cells unified.
+//! A class containing two distinct constant nodes is **inconsistent**:
+//! all of its members materialize as `nothing` — which is exactly the
+//! paper's "replacement with nothing of all constants that are equal to
+//! them".
+//!
+//! Because the final partition is a closure (least congruence containing
+//! the initial equalities), it does not depend on the order in which
+//! rules fire — Theorem 4(a)'s Church–Rosser property. The
+//! [`Scheduler`] only changes *how fast* the fixpoint is reached:
+//!
+//! * [`Scheduler::NaivePairs`] compares all row pairs per FD per round —
+//!   the paper's multi-pass `O(|F|·n³·p)`-flavoured engine;
+//! * [`Scheduler::Fast`] hash-groups rows by `X`-signature per round —
+//!   the congruence-closure-flavoured quasi-linear engine.
+
+use crate::fd::FdSet;
+use fdi_relation::attrs::AttrId;
+use fdi_relation::instance::Instance;
+use fdi_relation::nec::NecStore;
+use fdi_relation::symbol::Symbol;
+use fdi_relation::value::{NullId, Value};
+use std::collections::HashMap;
+
+/// Fixpoint scheduling strategy for the extended chase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Pairwise row comparison per FD per round (naive baseline).
+    NaivePairs,
+    /// Hash-grouping of rows by `X`-class signature per round.
+    Fast,
+}
+
+/// Union–find over cell occurrences and constant-symbol nodes.
+#[derive(Debug, Clone)]
+pub struct CellEngine {
+    rows: usize,
+    arity: usize,
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Constant label of each class root, if any.
+    label: Vec<Option<Symbol>>,
+    /// Inconsistency flag of each class root (two distinct labels met).
+    inconsistent: Vec<bool>,
+    unions: usize,
+}
+
+impl CellEngine {
+    /// Builds the initial partition from an instance: constants unify
+    /// with their symbol node, NEC-equivalent nulls unify together.
+    pub fn new(instance: &Instance) -> CellEngine {
+        let rows = instance.len();
+        let arity = instance.arity();
+        let symbols = instance.symbols().len();
+        let nodes = rows * arity + symbols;
+        let mut engine = CellEngine {
+            rows,
+            arity,
+            parent: (0..nodes as u32).collect(),
+            rank: vec![0; nodes],
+            label: vec![None; nodes],
+            inconsistent: vec![false; nodes],
+            unions: 0,
+        };
+        for s in 0..symbols {
+            let node = engine.symbol_node(Symbol(s as u32));
+            engine.label[node] = Some(Symbol(s as u32));
+        }
+        // Group null occurrences by NEC class.
+        let mut class_first: HashMap<NullId, usize> = HashMap::new();
+        for row in 0..rows {
+            for col in 0..arity {
+                let cell = engine.cell_node(row, AttrId(col as u16));
+                match instance.value(row, AttrId(col as u16)) {
+                    Value::Const(s) => {
+                        let sym = engine.symbol_node(s);
+                        engine.union(cell, sym);
+                    }
+                    Value::Null(n) => {
+                        let root = instance.necs().find_readonly(n);
+                        match class_first.get(&root) {
+                            Some(&first) => {
+                                engine.union(cell, first);
+                            }
+                            None => {
+                                class_first.insert(root, cell);
+                            }
+                        }
+                    }
+                    Value::Nothing => {
+                        engine.inconsistent[cell] = true;
+                    }
+                }
+            }
+        }
+        // Initial unions are structural, not chase work.
+        engine.unions = 0;
+        engine
+    }
+
+    #[inline]
+    fn cell_node(&self, row: usize, attr: AttrId) -> usize {
+        row * self.arity + attr.index()
+    }
+
+    #[inline]
+    fn symbol_node(&self, s: Symbol) -> usize {
+        self.rows * self.arity + s.index()
+    }
+
+    /// Class representative with path compression.
+    fn find(&mut self, mut node: usize) -> usize {
+        let mut root = node;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        while self.parent[node] as usize != root {
+            let next = self.parent[node] as usize;
+            self.parent[node] = root as u32;
+            node = next;
+        }
+        root
+    }
+
+    /// Read-only representative (no compression).
+    fn find_readonly(&self, mut node: usize) -> usize {
+        while self.parent[node] as usize != node {
+            node = self.parent[node] as usize;
+        }
+        node
+    }
+
+    /// Unifies two classes, merging labels and inconsistency. Returns
+    /// `true` if the classes were distinct.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        // Merge class metadata.
+        let merged_inconsistent = self.inconsistent[hi]
+            || self.inconsistent[lo]
+            || matches!(
+                (self.label[hi], self.label[lo]),
+                (Some(x), Some(y)) if x != y
+            );
+        self.label[hi] = self.label[hi].or(self.label[lo]);
+        self.inconsistent[hi] = merged_inconsistent;
+        self.unions += 1;
+        true
+    }
+
+    /// One fixpoint round; returns `true` when any union happened.
+    fn round(&mut self, fds: &FdSet, scheduler: Scheduler) -> bool {
+        let mut changed = false;
+        for fd in fds {
+            let fd = fd.normalized();
+            match scheduler {
+                Scheduler::Fast => {
+                    let mut buckets: HashMap<Vec<u32>, usize> = HashMap::with_capacity(self.rows);
+                    for row in 0..self.rows {
+                        let signature: Vec<u32> = fd
+                            .lhs
+                            .iter()
+                            .map(|a| {
+                                let node = self.cell_node(row, a);
+                                self.find(node) as u32
+                            })
+                            .collect();
+                        match buckets.get(&signature) {
+                            Some(&first) => {
+                                for b in fd.rhs.iter() {
+                                    let x = self.cell_node(first, b);
+                                    let y = self.cell_node(row, b);
+                                    changed |= self.union(x, y);
+                                }
+                            }
+                            None => {
+                                buckets.insert(signature, row);
+                            }
+                        }
+                    }
+                }
+                Scheduler::NaivePairs => {
+                    for i in 0..self.rows {
+                        for j in (i + 1)..self.rows {
+                            let agree = fd.lhs.iter().all(|a| {
+                                let x = self.cell_node(i, a);
+                                let y = self.cell_node(j, a);
+                                self.find(x) == self.find(y)
+                            });
+                            if agree {
+                                for b in fd.rhs.iter() {
+                                    let x = self.cell_node(i, b);
+                                    let y = self.cell_node(j, b);
+                                    changed |= self.union(x, y);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Runs rounds to the fixpoint; returns the number of rounds.
+    pub fn run(&mut self, fds: &FdSet, scheduler: Scheduler) -> usize {
+        let mut rounds = 1;
+        while self.round(fds, scheduler) {
+            rounds += 1;
+        }
+        rounds
+    }
+
+    /// Materializes the partition back into an instance shaped like
+    /// `template` (which must be the instance the engine was built from).
+    ///
+    /// Null classes materialize as a shared [`NullId`] per class (so the
+    /// NEC structure is carried by id equality, with a fresh empty NEC
+    /// store).
+    pub fn materialize(&mut self, template: &Instance) -> Instance {
+        let mut out = template.clone();
+        for row in 0..self.rows {
+            for col in 0..self.arity {
+                let attr = AttrId(col as u16);
+                let root = self.find(self.cell_node(row, attr));
+                let value = if self.inconsistent[root] {
+                    Value::Nothing
+                } else if let Some(s) = self.label[root] {
+                    Value::Const(s)
+                } else {
+                    Value::Null(NullId(root as u32))
+                };
+                if let Value::Null(id) = value {
+                    out.reserve_null_ids(id);
+                }
+                out.set_value(row, attr, value);
+            }
+        }
+        out.replace_necs(NecStore::new());
+        out
+    }
+
+    /// Materializes with inconsistent classes *resolved* to their stored
+    /// representative constant instead of `nothing`.
+    ///
+    /// After the chase has reached its fixpoint, every pair of rows
+    /// agreeing on some FD's left side has its right-side cells in one
+    /// class — so writing one constant per class yields an instance that
+    /// **classically satisfies** the dependencies. Used by the workload
+    /// generator to repair planted conflicts; not part of the paper's
+    /// semantics (the paper keeps the contradiction visible as
+    /// `nothing`).
+    ///
+    /// # Panics
+    /// Panics if some class has no constant label at all (a null-only
+    /// class cannot be resolved; run on complete instances).
+    pub fn materialize_resolved(&mut self, template: &Instance) -> Instance {
+        let mut out = template.clone();
+        for row in 0..self.rows {
+            for col in 0..self.arity {
+                let attr = AttrId(col as u16);
+                let root = self.find(self.cell_node(row, attr));
+                let symbol = self.label[root]
+                    .expect("materialize_resolved requires every class to hold a constant");
+                out.set_value(row, attr, Value::Const(symbol));
+            }
+        }
+        out.replace_necs(NecStore::new());
+        out
+    }
+
+    /// Number of distinct inconsistent classes with at least one cell.
+    pub fn nothing_classes(&self) -> usize {
+        let mut roots: Vec<usize> = (0..self.rows * self.arity)
+            .map(|n| self.find_readonly(n))
+            .filter(|r| self.inconsistent[*r])
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        roots.len()
+    }
+
+    /// Total unions performed by the chase (excluding initial structure).
+    pub fn union_count(&self) -> usize {
+        self.unions
+    }
+}
+
+/// Result of an extended chase.
+#[derive(Debug, Clone)]
+pub struct ChaseOutcome {
+    /// The unique chased instance (nulls carried by shared ids).
+    pub instance: Instance,
+    /// Fixpoint rounds (the last round performs no union).
+    pub rounds: usize,
+    /// Unions performed.
+    pub unions: usize,
+    /// Number of inconsistent (`nothing`) classes; `0` iff weakly
+    /// satisfiable by Theorem 4(b).
+    pub nothing_classes: usize,
+}
+
+impl ChaseOutcome {
+    /// Did the chase derive a contradiction?
+    pub fn has_nothing(&self) -> bool {
+        self.nothing_classes > 0
+    }
+}
+
+/// Runs the extended chase of `instance` under `fds`.
+pub fn extended_chase(instance: &Instance, fds: &FdSet, scheduler: Scheduler) -> ChaseOutcome {
+    let mut engine = CellEngine::new(instance);
+    let rounds = engine.run(fds, scheduler);
+    let nothing_classes = engine.nothing_classes();
+    let out = engine.materialize(instance);
+    ChaseOutcome {
+        instance: out,
+        rounds,
+        unions: engine.union_count(),
+        nothing_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn figure5_extended_chase_is_order_independent_and_all_nothing() {
+        let r = fixtures::figure5_instance();
+        let fds = fixtures::figure5_fds();
+        let forward = extended_chase(&r, &fds, Scheduler::Fast);
+        let backward = extended_chase(&r, &fds.permuted(&[1, 0]), Scheduler::Fast);
+        assert_eq!(
+            forward.instance.canonical_form(),
+            backward.instance.canonical_form(),
+            "Theorem 4(a): unique result"
+        );
+        // "all values in the B column equal to nothing"
+        let b = AttrId(1);
+        for row in 0..3 {
+            assert!(forward.instance.value(row, b).is_nothing());
+        }
+        assert!(forward.has_nothing());
+        assert_eq!(forward.nothing_classes, 1);
+    }
+
+    #[test]
+    fn schedulers_agree() {
+        let cases = [
+            (fixtures::figure5_instance(), fixtures::figure5_fds()),
+            (fixtures::section6_instance(), fixtures::section6_fds()),
+            (fixtures::figure1_null_instance(), fixtures::figure1_fds()),
+            (fixtures::figure2_r4(), {
+                let s = fixtures::figure2_schema();
+                crate::fd::FdSet::parse(&s, "A B -> C").unwrap()
+            }),
+        ];
+        for (r, fds) in cases {
+            let naive = extended_chase(&r, &fds, Scheduler::NaivePairs);
+            let fast = extended_chase(&r, &fds, Scheduler::Fast);
+            assert_eq!(
+                naive.instance.canonical_form(),
+                fast.instance.canonical_form()
+            );
+            assert_eq!(naive.nothing_classes, fast.nothing_classes);
+        }
+    }
+
+    #[test]
+    fn section6_contradiction_is_detected() {
+        // A→B equates the two B-nulls; B→C then demands c1 = c2 →
+        // nothing. Theorem 4(b): not weakly satisfiable.
+        let r = fixtures::section6_instance();
+        let fds = fixtures::section6_fds();
+        let outcome = extended_chase(&r, &fds, Scheduler::Fast);
+        assert!(outcome.has_nothing());
+        assert!(!crate::chase::weakly_satisfiable_via_chase(&fds, &r));
+    }
+
+    #[test]
+    fn satisfiable_instances_stay_nothing_free() {
+        let r = fixtures::figure1_null_instance();
+        let fds = fixtures::figure1_fds();
+        let outcome = extended_chase(&r, &fds, Scheduler::Fast);
+        assert!(!outcome.has_nothing());
+        assert!(crate::chase::weakly_satisfiable_via_chase(&fds, &r));
+    }
+
+    #[test]
+    fn chase_substitutes_like_the_plain_rules_when_consistent() {
+        let schema = fdi_relation::Schema::uniform("R", &["A", "B", "C"], 4).unwrap();
+        let r = fdi_relation::Instance::parse(
+            schema.clone(),
+            "A_0 -   C_0
+             A_0 B_1 -",
+        )
+        .unwrap();
+        let fds = crate::fd::FdSet::parse(&schema, "A -> B\nB -> C").unwrap();
+        let outcome = extended_chase(&r, &fds, Scheduler::Fast);
+        assert!(outcome.instance.is_complete());
+        let plain = crate::chase::chase_plain(&r, &fds);
+        assert_eq!(
+            outcome.instance.canonical_form(),
+            plain.instance.canonical_form()
+        );
+    }
+
+    #[test]
+    fn extended_chase_equates_nulls_via_shared_ids() {
+        let r = fixtures::section6_instance();
+        let schema = r.schema().clone();
+        let fds = crate::fd::FdSet::parse(&schema, "A -> B").unwrap();
+        let outcome = extended_chase(&r, &fds, Scheduler::Fast);
+        let b = AttrId(1);
+        let n0 = outcome.instance.value(0, b).as_null().unwrap();
+        let n1 = outcome.instance.value(1, b).as_null().unwrap();
+        assert_eq!(n0, n1, "merged class carried by a shared null id");
+    }
+
+    #[test]
+    fn preexisting_nothing_survives() {
+        let r = fdi_relation::Instance::parse(fixtures::section6_schema(), "a1 #! c1").unwrap();
+        let fds = fixtures::section6_fds();
+        let outcome = extended_chase(&r, &fds, Scheduler::Fast);
+        assert!(outcome.has_nothing());
+        assert!(outcome.instance.value(0, AttrId(1)).is_nothing());
+    }
+
+    #[test]
+    fn global_constant_nodes_propagate_nothing_to_equal_constants() {
+        // Literal reading of §6: when b1 and b2 are merged into nothing,
+        // *every* occurrence of b1/b2 becomes nothing — even in a row not
+        // involved in the conflict.
+        let schema = fdi_relation::Schema::builder("R")
+            .attribute("A", ["a1", "a2", "a3"])
+            .attribute("B", ["b1", "b2"])
+            .build()
+            .unwrap();
+        let r = fdi_relation::Instance::parse(
+            schema.clone(),
+            "a1 b1
+             a1 b2
+             a3 b1",
+        )
+        .unwrap();
+        let fds = crate::fd::FdSet::parse(&schema, "A -> B").unwrap();
+        let outcome = extended_chase(&r, &fds, Scheduler::Fast);
+        let b = AttrId(1);
+        assert!(outcome.instance.value(0, b).is_nothing());
+        assert!(outcome.instance.value(1, b).is_nothing());
+        assert!(
+            outcome.instance.value(2, b).is_nothing(),
+            "row 2's b1 equals a destroyed constant"
+        );
+    }
+}

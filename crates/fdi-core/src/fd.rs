@@ -1,0 +1,299 @@
+//! Functional dependencies `f : X → Y` and sets thereof.
+
+use fdi_relation::attrs::AttrSet;
+use fdi_relation::error::RelationError;
+use fdi_relation::schema::Schema;
+use std::fmt;
+
+/// A functional dependency `X → Y` over a relation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd {
+    /// Determinant `X`.
+    pub lhs: AttrSet,
+    /// Dependent `Y`.
+    pub rhs: AttrSet,
+}
+
+impl Fd {
+    /// Creates `X → Y`.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Fd {
+        Fd { lhs, rhs }
+    }
+
+    /// Parses `"A B -> C"` / `"E# SL -> D#, CT"` against a schema.
+    /// Attribute names may be separated by whitespace or commas.
+    pub fn parse(schema: &Schema, text: &str) -> Result<Fd, RelationError> {
+        let (lhs_text, rhs_text) = text.split_once("->").ok_or_else(|| RelationError::Parse {
+            line: 0,
+            message: format!("expected 'X -> Y' in {text:?}"),
+        })?;
+        let parse_side = |side: &str| -> Result<AttrSet, RelationError> {
+            let mut set = AttrSet::EMPTY;
+            for name in side.split(|c: char| c.is_whitespace() || c == ',') {
+                if name.is_empty() {
+                    continue;
+                }
+                set = set.with(schema.attr_id(name)?);
+            }
+            if set.is_empty() {
+                return Err(RelationError::Parse {
+                    line: 0,
+                    message: format!("empty side in FD {text:?}"),
+                });
+            }
+            Ok(set)
+        };
+        Ok(Fd::new(parse_side(lhs_text)?, parse_side(rhs_text)?))
+    }
+
+    /// All attributes mentioned.
+    pub fn attrs(self) -> AttrSet {
+        self.lhs.union(self.rhs)
+    }
+
+    /// Is the dependency trivial (`Y ⊆ X`)?
+    pub fn is_trivial(self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+
+    /// The normal form with `X ∩ Y = ∅` (Proposition 1's standing
+    /// assumption): antecedent attributes are dropped from the dependent
+    /// side. A trivial dependency normalizes to itself.
+    ///
+    /// `X → Y` and its normal form hold in exactly the same instances,
+    /// under every semantics in this crate.
+    #[must_use]
+    pub fn normalized(self) -> Fd {
+        if self.is_trivial() {
+            self
+        } else {
+            Fd::new(self.lhs, self.rhs.difference(self.lhs))
+        }
+    }
+
+    /// Renders with schema names, e.g. `E# -> SL,D#`.
+    pub fn render(self, schema: &Schema) -> String {
+        format!(
+            "{} -> {}",
+            schema.render_attrs(self.lhs),
+            schema.render_attrs(self.rhs)
+        )
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.lhs, self.rhs)
+    }
+}
+
+/// An ordered set of functional dependencies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FdSet {
+    fds: Vec<Fd>,
+}
+
+impl FdSet {
+    /// An empty set.
+    pub fn new() -> FdSet {
+        FdSet::default()
+    }
+
+    /// From a vector (order preserved; duplicates removed).
+    pub fn from_vec(fds: Vec<Fd>) -> FdSet {
+        let mut set = FdSet::new();
+        for fd in fds {
+            set.push(fd);
+        }
+        set
+    }
+
+    /// Parses one FD per line (empty lines and `#` comments skipped);
+    /// lines may also be separated by `;`.
+    pub fn parse(schema: &Schema, text: &str) -> Result<FdSet, RelationError> {
+        let mut set = FdSet::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            for part in raw.split(';') {
+                let part = part.trim();
+                if part.is_empty() || part.starts_with('#') {
+                    continue;
+                }
+                let fd = Fd::parse(schema, part).map_err(|e| RelationError::Parse {
+                    line: lineno + 1,
+                    message: e.to_string(),
+                })?;
+                set.push(fd);
+            }
+        }
+        Ok(set)
+    }
+
+    /// Appends a dependency unless it is already present.
+    pub fn push(&mut self, fd: Fd) {
+        if !self.fds.contains(&fd) {
+            self.fds.push(fd);
+        }
+    }
+
+    /// The dependencies in order.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// Number of dependencies.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Returns `true` iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Iterates over the dependencies.
+    pub fn iter(&self) -> impl Iterator<Item = &Fd> {
+        self.fds.iter()
+    }
+
+    /// All attributes mentioned by any dependency.
+    pub fn attrs(&self) -> AttrSet {
+        self.fds
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, fd| acc.union(fd.attrs()))
+    }
+
+    /// The set with every member normalized (trivial members dropped).
+    #[must_use]
+    pub fn normalized(&self) -> FdSet {
+        FdSet::from_vec(
+            self.fds
+                .iter()
+                .filter(|fd| !fd.is_trivial())
+                .map(|fd| fd.normalized())
+                .collect(),
+        )
+    }
+
+    /// Renders one dependency per line.
+    pub fn render(&self, schema: &Schema) -> String {
+        self.fds
+            .iter()
+            .map(|fd| fd.render(schema))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Reorders the set according to `order` (a permutation of indices) —
+    /// used by the Church–Rosser experiments to control NS-rule
+    /// application order.
+    pub fn permuted(&self, order: &[usize]) -> FdSet {
+        assert_eq!(order.len(), self.fds.len(), "order must be a permutation");
+        FdSet {
+            fds: order.iter().map(|&i| self.fds[i]).collect(),
+        }
+    }
+}
+
+impl FromIterator<Fd> for FdSet {
+    fn from_iter<I: IntoIterator<Item = Fd>>(iter: I) -> Self {
+        FdSet::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a FdSet {
+    type Item = &'a Fd;
+    type IntoIter = std::slice::Iter<'a, Fd>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.fds.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_relation::attrs::AttrId;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("R")
+            .attribute("E#", ["e1", "e2"])
+            .attribute("SL", ["s1", "s2"])
+            .attribute("D#", ["d1", "d2"])
+            .attribute("CT", ["c1", "c2"])
+            .build()
+            .unwrap()
+    }
+
+    fn set(ids: &[u16]) -> AttrSet {
+        ids.iter().map(|i| AttrId(*i)).collect()
+    }
+
+    #[test]
+    fn parse_the_papers_dependencies() {
+        let s = schema();
+        let f1 = Fd::parse(&s, "E# -> SL, D#").unwrap();
+        assert_eq!(f1, Fd::new(set(&[0]), set(&[1, 2])));
+        let f2 = Fd::parse(&s, "D# -> CT").unwrap();
+        assert_eq!(f2, Fd::new(set(&[2]), set(&[3])));
+        assert_eq!(f1.render(&s), "E# -> SL,D#");
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        let s = schema();
+        assert!(Fd::parse(&s, "E# SL").is_err());
+        assert!(Fd::parse(&s, "E# -> ").is_err());
+        assert!(Fd::parse(&s, " -> SL").is_err());
+        assert!(Fd::parse(&s, "E# -> XX").is_err());
+    }
+
+    #[test]
+    fn normalization() {
+        let fd = Fd::new(set(&[0, 1]), set(&[1, 2]));
+        assert!(!fd.is_trivial());
+        assert_eq!(fd.normalized(), Fd::new(set(&[0, 1]), set(&[2])));
+        let trivial = Fd::new(set(&[0, 1]), set(&[1]));
+        assert!(trivial.is_trivial());
+        assert_eq!(trivial.normalized(), trivial);
+    }
+
+    #[test]
+    fn fdset_parsing_and_dedup() {
+        let s = schema();
+        let set = FdSet::parse(&s, "E# -> SL D#\n# comment\nD# -> CT; E# -> SL D#").unwrap();
+        assert_eq!(set.len(), 2, "duplicate removed");
+        assert_eq!(set.render(&s), "E# -> SL,D#\nD# -> CT");
+    }
+
+    #[test]
+    fn fdset_normalization_drops_trivial() {
+        let fds = FdSet::from_vec(vec![
+            Fd::new(set(&[0]), set(&[0])),
+            Fd::new(set(&[0, 1]), set(&[1, 2])),
+        ]);
+        let norm = fds.normalized();
+        assert_eq!(norm.len(), 1);
+        assert_eq!(norm.fds()[0], Fd::new(set(&[0, 1]), set(&[2])));
+    }
+
+    #[test]
+    fn permutation_reorders() {
+        let fds = FdSet::from_vec(vec![
+            Fd::new(set(&[0]), set(&[1])),
+            Fd::new(set(&[2]), set(&[1])),
+        ]);
+        let swapped = fds.permuted(&[1, 0]);
+        assert_eq!(swapped.fds()[0], Fd::new(set(&[2]), set(&[1])));
+        assert_eq!(swapped.fds()[1], Fd::new(set(&[0]), set(&[1])));
+    }
+
+    #[test]
+    fn attrs_union() {
+        let fds = FdSet::from_vec(vec![
+            Fd::new(set(&[0]), set(&[1])),
+            Fd::new(set(&[2]), set(&[3])),
+        ]);
+        assert_eq!(fds.attrs(), set(&[0, 1, 2, 3]));
+    }
+}

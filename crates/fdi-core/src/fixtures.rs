@@ -1,0 +1,248 @@
+//! The paper's worked figures, as ready-made instances.
+//!
+//! Figures 1.2, 2 and 5 are reconstructed from the working-paper scan.
+//! The body of Figure 5 (and the exact constants of Figures 1.2/1.3 and
+//! 2) are partially illegible in the source; each reconstruction below is
+//! the minimal instance consistent with every property the prose states,
+//! and the tests in `prop1`, `chase` and the E1–E9 experiments validate
+//! those properties rather than the invented constants.
+
+use crate::fd::{Fd, FdSet};
+use fdi_logic::truth::Truth;
+use fdi_relation::instance::Instance;
+use fdi_relation::schema::Schema;
+use std::sync::Arc;
+
+/// Figure 1.1 — the employee scheme `R(E#, SL, D#, CT)`.
+///
+/// Domains are finite per the paper's standing assumption; sizes are
+/// chosen comfortably larger than the instances (the "carefully designed
+/// database" regime of §4 in which `[F2]` cannot fire).
+pub fn figure1_schema() -> Arc<Schema> {
+    Schema::builder("R")
+        .attribute("E#", ["e1", "e2", "e3", "e4", "e5", "e6"])
+        .attribute("SL", ["10K", "15K", "20K", "25K"])
+        .attribute("D#", ["d1", "d2", "d3"])
+        .attribute("CT", ["full", "part"])
+        .build()
+        .expect("static schema")
+}
+
+/// Figure 1.1 — `f1: E# → SL,D#` and `f2: D# → CT`.
+pub fn figure1_fds() -> FdSet {
+    let schema = figure1_schema();
+    FdSet::parse(&schema, "E# -> SL D#\nD# -> CT").expect("static FDs")
+}
+
+/// Figure 1.2 — a null-free instance in which both dependencies hold.
+pub fn figure1_instance() -> Instance {
+    Instance::parse(
+        figure1_schema(),
+        "e1 10K d1 full
+         e2 15K d1 full
+         e3 10K d2 part",
+    )
+    .expect("static instance")
+}
+
+/// Figure 1.3 — the same relation with nulls.
+pub fn figure1_null_instance() -> Instance {
+    Instance::parse(
+        figure1_schema(),
+        "e1 10K d1 full
+         e2 -   d1 full
+         e3 10K -  part
+         e4 15K d2 -",
+    )
+    .expect("static instance")
+}
+
+/// Figure 2's scheme: `R(A, B, C)` with `dom(A) = {a1, a2}` (the domain
+/// size the `[F2]` example depends on).
+pub fn figure2_schema() -> Arc<Schema> {
+    Schema::builder("R")
+        .attribute("A", ["a1", "a2"])
+        .attribute("B", ["b1", "b2"])
+        .attribute("C", ["c1", "c2", "c3"])
+        .build()
+        .expect("static schema")
+}
+
+/// Figure 2's dependency `f : AB → C`.
+pub fn figure2_fd(instance: &Instance) -> Fd {
+    Fd::parse(instance.schema(), "A B -> C").expect("static FD")
+}
+
+/// Figure 2, instance `r1`: `f(t1, r1) = true` by `[T2]` — `t1[AB]` is
+/// unique and the null sits in `t1[C]`.
+pub fn figure2_r1() -> Instance {
+    Instance::parse(
+        figure2_schema(),
+        "a1 b1 -
+         a1 b2 c1",
+    )
+    .expect("static instance")
+}
+
+/// Figure 2, instance `r2`: `f(t1, r2) = true` by `[T3]` — the completion
+/// of `t1[AB]` that appears agrees on `C`.
+pub fn figure2_r2() -> Instance {
+    Instance::parse(
+        figure2_schema(),
+        "a1 -  c1
+         a1 b1 c1",
+    )
+    .expect("static instance")
+}
+
+/// Figure 2, instance `r3`: `f(t1, r3) = true` by `[T3]` — no completion
+/// of `t1[AB]` appears at all.
+pub fn figure2_r3() -> Instance {
+    Instance::parse(
+        figure2_schema(),
+        "-  b1 c1
+         a1 b2 c2",
+    )
+    .expect("static instance")
+}
+
+/// Figure 2, instance `r4`: `f(t1, r4) = false` by `[F2]` — with
+/// `dom(A) = {a1, a2}` both completions of `t1[AB]` appear, and `t1[C]`
+/// differs from both of their `C`-values.
+///
+/// `r4` is also §4's counterexample to the two-tuple observations under
+/// weak satisfiability: every two-tuple subrelation leaves `f` not-false,
+/// yet `f` is false in the whole relation.
+pub fn figure2_r4() -> Instance {
+    Instance::parse(
+        figure2_schema(),
+        "-  b1 c1
+         a1 b1 c2
+         a2 b1 c3",
+    )
+    .expect("static instance")
+}
+
+/// All four Figure-2 instances with the truth value the paper assigns to
+/// `f(t1, rᵢ)`.
+pub fn figure2_all() -> Vec<(Instance, Truth)> {
+    vec![
+        (figure2_r1(), Truth::True),
+        (figure2_r2(), Truth::True),
+        (figure2_r3(), Truth::True),
+        (figure2_r4(), Truth::False),
+    ]
+}
+
+/// Figure 5's scheme `R(A, B, C)` and dependencies `A → B`, `C → B`.
+pub fn figure5_schema() -> Arc<Schema> {
+    Schema::builder("R")
+        .attribute("A", ["a1", "a2"])
+        .attribute("B", ["b1", "b2"])
+        .attribute("C", ["c1", "c2"])
+        .build()
+        .expect("static schema")
+}
+
+/// Figure 5's dependencies, in the paper's order (`A → B` first).
+pub fn figure5_fds() -> FdSet {
+    let schema = figure5_schema();
+    FdSet::parse(&schema, "A -> B\nC -> B").expect("static FDs")
+}
+
+/// Figure 5's instance: one B-null reachable by either dependency, with
+/// conflicting donors.
+///
+/// * applying `A → B` first substitutes `b1` (donor row 2) and then
+///   `C → B` is stuck — minimally incomplete state `r'`;
+/// * applying `C → B` first substitutes `b2` (donor row 3) and then
+///   `A → B` is stuck — a *different* minimally incomplete state `r''`;
+/// * the extended rules merge all three `B`-cells into one class holding
+///   both `b1` and `b2`, so every `B`-value becomes `nothing` in either
+///   order (the paper: "an instance with all values in the B column equal
+///   to nothing").
+pub fn figure5_instance() -> Instance {
+    Instance::parse(
+        figure5_schema(),
+        "a1 -  c1
+         a1 b1 c2
+         a2 b2 c1",
+    )
+    .expect("static instance")
+}
+
+/// §6's opening example: `f1: A → B`, `f2: B → C`, and an instance where
+/// each dependency alone is weakly satisfied but the two together are
+/// not.
+pub fn section6_schema() -> Arc<Schema> {
+    Schema::builder("R")
+        .attribute("A", ["a1", "a2"])
+        .attribute("B", ["b1", "b2"])
+        .attribute("C", ["c1", "c2"])
+        .build()
+        .expect("static schema")
+}
+
+/// §6's dependencies `A → B` and `B → C`.
+pub fn section6_fds() -> FdSet {
+    let schema = section6_schema();
+    FdSet::parse(&schema, "A -> B\nB -> C").expect("static FDs")
+}
+
+/// §6's instance: equal `A`s, independent `B`-nulls, distinct `C`s.
+pub fn section6_instance() -> Instance {
+    Instance::parse(
+        section6_schema(),
+        "a1 - c1
+         a1 - c2",
+    )
+    .expect("static instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{all_hold_classical, DEFAULT_BUDGET};
+
+    #[test]
+    fn figure1_dependencies_hold_in_the_null_free_instance() {
+        let r = figure1_instance();
+        let fds = figure1_fds();
+        assert!(r.is_complete());
+        assert!(all_hold_classical(&fds, r.tuples()));
+    }
+
+    #[test]
+    fn figure1_null_instance_has_nulls() {
+        let r = figure1_null_instance();
+        assert!(r.has_nulls());
+        assert_eq!(r.null_count(), 3);
+    }
+
+    #[test]
+    fn figure2_truth_values_match_the_paper() {
+        for (i, (r, expected)) in figure2_all().into_iter().enumerate() {
+            let f = figure2_fd(&r);
+            let got = crate::interp::eval_least_extension(f, 0, &r, DEFAULT_BUDGET).unwrap();
+            assert_eq!(got, expected, "figure 2 instance r{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn figure5_has_one_null_and_conflicting_donors() {
+        let r = figure5_instance();
+        assert_eq!(r.null_count(), 1);
+        // donors: row 1 shares A with row 0; row 2 shares C with row 0.
+        assert_eq!(r.value(1, fdi_relation::AttrId(0)), r.value(0, fdi_relation::AttrId(0)));
+        assert_eq!(r.value(2, fdi_relation::AttrId(2)), r.value(0, fdi_relation::AttrId(2)));
+        assert_ne!(r.value(1, fdi_relation::AttrId(1)), r.value(2, fdi_relation::AttrId(1)));
+    }
+
+    #[test]
+    fn section6_instance_weak_but_not_jointly() {
+        let r = section6_instance();
+        let fds = section6_fds();
+        assert!(crate::interp::weakly_holds_each_bruteforce(&fds, &r, DEFAULT_BUDGET).unwrap());
+        assert!(!crate::interp::weakly_satisfiable_bruteforce(&fds, &r, DEFAULT_BUDGET).unwrap());
+    }
+}

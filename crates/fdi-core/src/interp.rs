@@ -1,0 +1,300 @@
+//! FD interpretations: the classical predicate (§3) and the
+//! least-extension ground truth (§4 definition).
+//!
+//! §3 defines an FD as a predicate on instances (equivalently a function
+//! of a tuple and an instance); §4 extends it to nulls by the
+//! least-extension rule:
+//!
+//! ```text
+//! f*(t, r) = f(t, r)                       if t[XY] and r[XY] are null-free
+//!          = lub { f(t', r') }             over completions otherwise
+//! ```
+//!
+//! This module implements that definition *literally* — enumerate the
+//! joint completions of the instance on `XY` (one consistent substitution
+//! per NEC class, as in the `AP` construction) and fold the classical
+//! verdicts with `lub`. It is exponential and budgeted; Proposition 1
+//! ([`crate::prop1`]) and TEST-FDs ([`crate::testfd`]) are the efficient
+//! paths, and both are property-tested against this module.
+
+use crate::fd::{Fd, FdSet};
+use fdi_logic::truth::Truth;
+use fdi_relation::completion::CompletionSpace;
+use fdi_relation::error::RelationError;
+use fdi_relation::instance::Instance;
+use fdi_relation::tuple::Tuple;
+
+/// Default work budget for completion enumeration (number of completed
+/// instances examined per evaluation).
+pub const DEFAULT_BUDGET: u128 = 1 << 20;
+
+/// Classical (null-free) evaluation of `f(t, r)`: true iff for every
+/// `t'` in `r`, either `t[X] ≠ t'[X]` or `t[Y] = t'[Y]`.
+///
+/// Values are compared as raw [`fdi_relation::value::Value`]s; for the
+/// null-free instances this predicate is meant for, that is symbol
+/// equality. (Null-aware comparison conventions belong to
+/// [`crate::testfd`].)
+pub fn eval_classical_tuple(fd: Fd, tuple: &Tuple, tuples: &[Tuple]) -> bool {
+    tuples.iter().all(|other| {
+        let x_equal = fd
+            .lhs
+            .iter()
+            .all(|a| tuple.get(a) == other.get(a));
+        if !x_equal {
+            return true;
+        }
+        fd.rhs.iter().all(|a| tuple.get(a) == other.get(a))
+    })
+}
+
+/// Classical satisfaction of a single FD in a (null-free) tuple list.
+pub fn holds_classical(fd: Fd, tuples: &[Tuple]) -> bool {
+    tuples
+        .iter()
+        .all(|t| eval_classical_tuple(fd, t, tuples))
+}
+
+/// Classical satisfaction of a whole FD set.
+pub fn all_hold_classical(fds: &FdSet, tuples: &[Tuple]) -> bool {
+    fds.iter().all(|fd| holds_classical(*fd, tuples))
+}
+
+/// Least-extension evaluation of `f(t, r)` by joint completion
+/// enumeration — the §4 definition, verbatim.
+///
+/// The scope of completion is `XY`; attributes outside the dependency do
+/// not influence the predicate. Fails with
+/// [`RelationError::TooManyCompletions`] when the completion space
+/// exceeds `budget`, and with [`RelationError::UnboundedDomain`] when a
+/// null sits under an unbounded domain.
+///
+/// An inconsistent completion space (an NEC class with an empty domain
+/// intersection — zero completions) yields `Truth::Unknown` with a
+/// documented caveat: the lub over an empty set is undefined, and no
+/// paper construction produces such instances.
+pub fn eval_least_extension(
+    fd: Fd,
+    row: usize,
+    instance: &Instance,
+    budget: u128,
+) -> Result<Truth, RelationError> {
+    let fd = fd.normalized();
+    let scope = fd.attrs();
+    let space = CompletionSpace::for_instance(instance, scope)?;
+    space.check_budget(budget)?;
+    let outcomes = space
+        .iter()
+        .map(|tuples| Truth::from(eval_classical_tuple(fd, &tuples[row], &tuples)));
+    Ok(Truth::lub(outcomes).unwrap_or(Truth::Unknown))
+}
+
+/// Least-extension truth value of `f` over the whole instance: the
+/// conjunctive verdict `∀t. f(t, r)` — `true` iff strongly held,
+/// `false` iff some tuple is definitely violated, `unknown` otherwise.
+pub fn eval_fd_instance(
+    fd: Fd,
+    instance: &Instance,
+    budget: u128,
+) -> Result<Truth, RelationError> {
+    let mut acc = Truth::True;
+    for row in 0..instance.len() {
+        acc = acc.and(eval_least_extension(fd, row, instance, budget)?);
+        if acc == Truth::False {
+            return Ok(Truth::False);
+        }
+    }
+    Ok(acc)
+}
+
+/// Strong satisfiability of a set, by brute force: every completion of
+/// `r` (scoped to the attributes `F` mentions) satisfies every FD.
+pub fn strongly_satisfied_bruteforce(
+    fds: &FdSet,
+    instance: &Instance,
+    budget: u128,
+) -> Result<bool, RelationError> {
+    let scope = fds.attrs();
+    let space = CompletionSpace::for_instance(instance, scope)?;
+    space.check_budget(budget)?;
+    for tuples in space.iter() {
+        if !all_hold_classical(fds, &tuples) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Joint weak satisfiability of a set, by brute force: *some* completion
+/// of `r` satisfies every FD simultaneously (§6's operative notion,
+/// characterized by Theorems 3 and 4).
+///
+/// Note this is strictly stronger than each FD being individually weakly
+/// held ([`weakly_holds_each_bruteforce`]) — the §6 opening example
+/// separates the two.
+pub fn weakly_satisfiable_bruteforce(
+    fds: &FdSet,
+    instance: &Instance,
+    budget: u128,
+) -> Result<bool, RelationError> {
+    let scope = fds.attrs();
+    let space = CompletionSpace::for_instance(instance, scope)?;
+    space.check_budget(budget)?;
+    for tuples in space.iter() {
+        if all_hold_classical(fds, &tuples) {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Per-FD weak satisfiability (§4): every FD in isolation evaluates to a
+/// value ≠ false on every tuple.
+pub fn weakly_holds_each_bruteforce(
+    fds: &FdSet,
+    instance: &Instance,
+    budget: u128,
+) -> Result<bool, RelationError> {
+    for fd in fds {
+        if eval_fd_instance(*fd, instance, budget)? == Truth::False {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_relation::schema::Schema;
+    use std::sync::Arc;
+
+    fn schema_abc(dom: usize) -> Arc<Schema> {
+        Schema::uniform("R", &["A", "B", "C"], dom).unwrap()
+    }
+
+    fn parse(dom: usize, text: &str) -> Instance {
+        Instance::parse(schema_abc(dom), text).unwrap()
+    }
+
+    fn fd(schema: &Schema, s: &str) -> Fd {
+        Fd::parse(schema, s).unwrap()
+    }
+
+    #[test]
+    fn classical_predicate_on_null_free_instances() {
+        let r = parse(2, "A_0 B_0 C_0\nA_0 B_0 C_1\nA_1 B_1 C_0");
+        let f_ab = fd(r.schema(), "A -> B");
+        let f_ac = fd(r.schema(), "A -> C");
+        assert!(holds_classical(f_ab, r.tuples()));
+        assert!(!holds_classical(f_ac, r.tuples()), "t1,t2 agree on A, differ on C");
+    }
+
+    #[test]
+    fn least_extension_equals_classical_when_complete() {
+        let r = parse(2, "A_0 B_0 C_0\nA_1 B_1 C_0");
+        let f = fd(r.schema(), "A -> B");
+        for row in 0..r.len() {
+            assert_eq!(
+                eval_least_extension(f, row, &r, DEFAULT_BUDGET).unwrap(),
+                Truth::True
+            );
+        }
+    }
+
+    #[test]
+    fn unique_x_with_null_y_is_true() {
+        // Proposition 1 case [T2] via brute force.
+        let r = parse(2, "A_0 - C_0\nA_1 B_1 C_0");
+        let f = fd(r.schema(), "A -> B");
+        assert_eq!(
+            eval_least_extension(f, 0, &r, DEFAULT_BUDGET).unwrap(),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn shared_x_with_null_y_is_unknown() {
+        let r = parse(2, "A_0 - C_0\nA_0 B_1 C_0");
+        let f = fd(r.schema(), "A -> B");
+        assert_eq!(
+            eval_least_extension(f, 0, &r, DEFAULT_BUDGET).unwrap(),
+            Truth::Unknown
+        );
+    }
+
+    #[test]
+    fn domain_exhaustion_is_false() {
+        // The paper's [F2]: dom(A) = {A_0, A_1}, both appear with Y-values
+        // different from t's — every substitution violates.
+        let r = parse(2, "- B_0 C_0\nA_0 B_1 C_0\nA_1 B_1 C_0");
+        let f = fd(r.schema(), "A -> B");
+        assert_eq!(
+            eval_least_extension(f, 0, &r, DEFAULT_BUDGET).unwrap(),
+            Truth::False
+        );
+        // With a bigger domain there is an escape value: unknown instead.
+        let r3 = parse(3, "- B_0 C_0\nA_0 B_1 C_0\nA_1 B_1 C_0");
+        let f3 = fd(r3.schema(), "A -> B");
+        assert_eq!(
+            eval_least_extension(f3, 0, &r3, DEFAULT_BUDGET).unwrap(),
+            Truth::Unknown
+        );
+    }
+
+    #[test]
+    fn instance_level_verdict_conjoins() {
+        let r = parse(2, "A_0 B_0 C_0\nA_0 B_1 C_0");
+        let f = fd(r.schema(), "A -> B");
+        assert_eq!(eval_fd_instance(f, &r, DEFAULT_BUDGET).unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn section_six_example_separates_weak_notions() {
+        // f1: A → B, f2: B → C; two tuples agreeing on A with distinct
+        // C constants and independent B nulls. Each FD alone is weakly
+        // held; no completion satisfies both.
+        let r = parse(2, "A_0 - C_0\nA_0 - C_1");
+        let fds = FdSet::from_vec(vec![fd(r.schema(), "A -> B"), fd(r.schema(), "B -> C")]);
+        assert!(weakly_holds_each_bruteforce(&fds, &r, DEFAULT_BUDGET).unwrap());
+        assert!(!weakly_satisfiable_bruteforce(&fds, &r, DEFAULT_BUDGET).unwrap());
+        assert!(!strongly_satisfied_bruteforce(&fds, &r, DEFAULT_BUDGET).unwrap());
+    }
+
+    #[test]
+    fn strong_satisfaction_requires_all_completions() {
+        let r = parse(2, "A_0 ?x C_0\nA_0 ?x C_0");
+        let f = FdSet::from_vec(vec![fd(r.schema(), "A -> B")]);
+        // the shared mark forces equal B values: every completion fine
+        assert!(strongly_satisfied_bruteforce(&f, &r, DEFAULT_BUDGET).unwrap());
+        let r2 = parse(2, "A_0 - C_0\nA_0 - C_0");
+        assert!(
+            !strongly_satisfied_bruteforce(&f, &r2, DEFAULT_BUDGET).unwrap(),
+            "independent nulls can disagree"
+        );
+        assert!(weakly_satisfiable_bruteforce(&f, &r2, DEFAULT_BUDGET).unwrap());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let r = parse(3, "- - -\n- - -\n- - -");
+        let f = fd(r.schema(), "A -> B");
+        let err = eval_least_extension(f, 0, &r, 4).unwrap_err();
+        assert!(matches!(err, RelationError::TooManyCompletions { .. }));
+    }
+
+    #[test]
+    fn marks_respected_in_evaluation() {
+        // t1 and t2 share the A-null: completions keep them equal, so
+        // A→B is violated in every completion (B constants differ).
+        let r = parse(2, "?a B_0 C_0\n?a B_1 C_0");
+        let f = fd(r.schema(), "A -> B");
+        assert_eq!(eval_fd_instance(f, &r, DEFAULT_BUDGET).unwrap(), Truth::False);
+        // with independent nulls the verdict is unknown
+        let r2 = parse(2, "- B_0 C_0\n- B_1 C_0");
+        assert_eq!(
+            eval_fd_instance(f, &r2, DEFAULT_BUDGET).unwrap(),
+            Truth::Unknown
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # fdi-core — functional dependencies over incomplete information
+//!
+//! The primary contribution of *Vassiliou, "Functional Dependencies and
+//! Incomplete Information", VLDB 1980*, implemented in full:
+//!
+//! * [`fd`] — functional dependencies and FD sets;
+//! * [`interp`] — the classical FD predicate (§3) and the
+//!   least-extension ground-truth evaluator (§4 definition);
+//! * [`prop1`] — Proposition 1's efficient case analysis
+//!   (`[T1] [T2] [T3] / [F1] [F2]` / unknown);
+//! * [`satisfy`] — strong and weak satisfiability, per-FD and per-set;
+//! * [`armstrong`] — attribute closure, implication, candidate keys,
+//!   minimal covers, and Armstrong derivations (Theorem 1);
+//! * [`equiv`] — the System-C bridge of Lemmas 3 and 4;
+//! * [`chase`] — the NS-rules of §6: the plain order-dependent engine,
+//!   the extended (`nothing`) Church–Rosser engine, and the
+//!   congruence-closure fast path of Theorem 4;
+//! * [`testfd`] — the TEST-FDs algorithm of Figure 3 with the strong and
+//!   weak null-comparison conventions of Theorems 2 and 3;
+//! * [`subst`] — the domain-dependent substitution rules for nulls in
+//!   `t[X]` (§4 conditions (1)–(2)) and the `[F2]` exhaustion detector;
+//! * [`normalize`] — BCNF/3NF decomposition and the tableau lossless-join
+//!   test, which Theorem 1 licenses in the presence of nulls;
+//! * [`query`] — §2's least-extension query evaluation with the
+//!   exponential, signature-class, and Kleene evaluators;
+//! * [`update`] — §7's programme of modification operations: policy-
+//!   checked insert/delete/modify, external null resolution, internal
+//!   acquisition via incremental NS-rules, and an LHS index;
+//! * [`universal`] — the weaker universal relation assumption of §7:
+//!   decompose/reconstruct round trips over instances with nulls;
+//! * [`fixtures`] — every worked figure of the paper as a ready-made
+//!   instance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod armstrong;
+pub mod chase;
+pub mod equiv;
+pub mod fd;
+pub mod fixtures;
+pub mod interp;
+pub mod normalize;
+pub mod prop1;
+pub mod query;
+pub mod satisfy;
+pub mod subst;
+pub mod testfd;
+pub mod universal;
+pub mod update;
+
+pub use fd::{Fd, FdSet};
+pub use fdi_logic::truth::Truth;
+pub use fdi_relation::{AttrId, AttrSet, Instance, Schema};

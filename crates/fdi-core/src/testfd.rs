@@ -1,0 +1,580 @@
+//! TEST-FDs (Figure 3) with the null-comparison conventions of
+//! Theorems 2 and 3.
+//!
+//! The algorithm: for every FD `X → Y`, sort the relation on `X`, scan
+//! groups of `X`-equal tuples, and report a violation when a group
+//! contains `Y`-unequal tuples. Null comparisons are governed by a
+//! **convention**:
+//!
+//! * **strong** (Theorem 2, decides strong satisfiability on *any*
+//!   instance): equality involving a null is positive; inequality
+//!   involving a null is positive unless both are nulls of the same NEC
+//!   class — i.e. every null is a *potential* matcher and a *potential*
+//!   violator;
+//! * **weak** (Theorem 3, decides weak satisfiability on a **minimally
+//!   incomplete** instance): inequality involving a null is negative;
+//!   equality involving a null is negative unless both are nulls of the
+//!   same NEC class.
+//!
+//! Under the strong convention "equality" is not transitive (a null
+//! matches two different constants that do not match each other), so the
+//! sorted variant is unsound when an FD's left side contains nulls; the
+//! paper's own footnote proposes the pairwise `O(|F|·n²)` variant for
+//! that case, and [`check_sorted`] falls back to it automatically. Under
+//! the weak convention nulls sort as distinct atoms (classes kept
+//! adjacent), so sorting is always sound.
+//!
+//! Variants implemented, matching Figure 3's complexity discussion:
+//! sorted (`O(|F|·n·log n)`), pairwise (`O(|F|·n²)`), hash-grouped (the
+//! bucket-sort analogue, `O(|F|·n·p)` expected), and the linear scan for
+//! a single FD over a pre-sorted relation.
+
+use crate::fd::{Fd, FdSet};
+use fdi_relation::instance::Instance;
+use fdi_relation::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Null-comparison convention (Theorems 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Convention {
+    /// Pessimistic: nulls potentially match and potentially violate.
+    Strong,
+    /// Optimistic: only definite constants (or NEC-equal nulls) match,
+    /// and only definite constants violate.
+    Weak,
+}
+
+/// A violation found by TEST-FDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violated FD in the set.
+    pub fd_index: usize,
+    /// The two offending rows.
+    pub rows: (usize, usize),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fd#{} violated by rows {} and {}",
+            self.fd_index, self.rows.0, self.rows.1
+        )
+    }
+}
+
+/// `t[A] = t'[A]` under a convention.
+fn values_equal(a: Value, b: Value, conv: Convention, instance: &Instance) -> bool {
+    match (a, b) {
+        (Value::Const(x), Value::Const(y)) => x == y,
+        (Value::Null(m), Value::Null(n)) => match conv {
+            Convention::Strong => true,
+            Convention::Weak => instance.necs().same_class(m, n),
+        },
+        (Value::Null(_), _) | (_, Value::Null(_)) => matches!(conv, Convention::Strong),
+        // `nothing` is the inconsistent element; it matches nothing.
+        (Value::Nothing, _) | (_, Value::Nothing) => false,
+    }
+}
+
+/// `t[A] ≠ t'[A]` under a convention (NOT the negation of equality —
+/// that asymmetry is the whole point of the conventions).
+fn values_unequal(a: Value, b: Value, conv: Convention, instance: &Instance) -> bool {
+    match (a, b) {
+        (Value::Const(x), Value::Const(y)) => x != y,
+        (Value::Null(m), Value::Null(n)) => match conv {
+            Convention::Strong => !instance.necs().same_class(m, n),
+            Convention::Weak => false,
+        },
+        (Value::Null(_), _) | (_, Value::Null(_)) => matches!(conv, Convention::Strong),
+        (Value::Nothing, _) | (_, Value::Nothing) => true,
+    }
+}
+
+/// Projection equality on a set of attributes.
+fn rows_equal_on(
+    instance: &Instance,
+    i: usize,
+    j: usize,
+    attrs: fdi_relation::attrs::AttrSet,
+    conv: Convention,
+) -> bool {
+    attrs
+        .iter()
+        .all(|a| values_equal(instance.value(i, a), instance.value(j, a), conv, instance))
+}
+
+/// Projection inequality (`∃` attribute positively unequal).
+fn rows_unequal_on(
+    instance: &Instance,
+    i: usize,
+    j: usize,
+    attrs: fdi_relation::attrs::AttrSet,
+    conv: Convention,
+) -> bool {
+    attrs
+        .iter()
+        .any(|a| values_unequal(instance.value(i, a), instance.value(j, a), conv, instance))
+}
+
+/// Pairwise TEST-FDs: every pair of tuples checked for every FD —
+/// `O(|F|·n²)`, the footnoted variant that needs no sorting and is sound
+/// under both conventions.
+pub fn check_pairwise(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
+    let n = instance.len();
+    for (fd_index, fd) in fds.iter().enumerate() {
+        let fd = fd.normalized();
+        if fd.is_trivial() {
+            // Y ⊆ X holds in every instance; the conventions would
+            // otherwise compare the same value for equality (in X) and
+            // inequality (in Y), which Theorem 2's proof explicitly
+            // excludes by assuming X ∩ Y = ∅.
+            continue;
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rows_equal_on(instance, i, j, fd.lhs, conv)
+                    && rows_unequal_on(instance, i, j, fd.rhs, conv)
+                {
+                    return Err(Violation {
+                        fd_index,
+                        rows: (i, j),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sort key for one value under the weak convention: constants order by
+/// symbol, null classes by representative; nulls sort after constants
+/// ("null values have the lowest precedence" — the paper sorts them
+/// first; either end works, the group structure is what matters).
+fn weak_sort_key(v: Value, instance: &Instance) -> (u8, u32) {
+    match v {
+        Value::Const(s) => (0, s.0),
+        Value::Null(n) => (1, instance.necs().find_readonly(n).0),
+        Value::Nothing => (2, 0),
+    }
+}
+
+/// Linear within-group violation scan: a group of `X`-equal rows is
+/// violation-free iff, for every `Y`-attribute, its values are all one
+/// constant (either convention) or all nulls of a single NEC class
+/// (strong convention; under the weak convention nulls never violate).
+/// `nothing` violates against any second row. Returns the first
+/// offending pair.
+///
+/// This is what keeps the sorted/hashed variants at `O(n·p)` per group
+/// sweep instead of `O(group²)` — Figure 3's inner loop compares each
+/// tuple against the group's representative, which this generalizes to
+/// the null conventions.
+fn group_violation(
+    instance: &Instance,
+    rows: &[usize],
+    rhs: fdi_relation::attrs::AttrSet,
+    conv: Convention,
+) -> Option<(usize, usize)> {
+    if rows.len() < 2 {
+        return None;
+    }
+    let pair = |a: usize, b: usize| Some((a.min(b), a.max(b)));
+    for b in rhs.iter() {
+        let mut first_const: Option<(usize, fdi_relation::symbol::Symbol)> = None;
+        let mut first_null: Option<(usize, fdi_relation::value::NullId)> = None;
+        for &r in rows {
+            match instance.value(r, b) {
+                Value::Nothing => {
+                    let other = rows.iter().copied().find(|x| *x != r).expect("len >= 2");
+                    return pair(r, other);
+                }
+                Value::Const(c) => {
+                    if let Some((r0, c0)) = first_const {
+                        if c0 != c {
+                            return pair(r0, r);
+                        }
+                    } else {
+                        first_const = Some((r, c));
+                    }
+                    if conv == Convention::Strong {
+                        if let Some((rn, _)) = first_null {
+                            return pair(rn, r);
+                        }
+                    }
+                }
+                Value::Null(n) => {
+                    if conv == Convention::Strong {
+                        if let Some((r0, _)) = first_const {
+                            return pair(r0, r);
+                        }
+                        match first_null {
+                            Some((rn, m)) => {
+                                if !instance.necs().same_class(m, n) {
+                                    return pair(rn, r);
+                                }
+                            }
+                            None => first_null = Some((r, n)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Compares two rows on `X` by their weak-convention sort keys.
+fn weak_cmp(instance: &Instance, i: usize, j: usize, attrs: fdi_relation::attrs::AttrSet) -> Ordering {
+    for a in attrs.iter() {
+        let ka = weak_sort_key(instance.value(i, a), instance);
+        let kb = weak_sort_key(instance.value(j, a), instance);
+        match ka.cmp(&kb) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Sorted TEST-FDs — the literal Figure 3 algorithm, `O(|F|·n·log n)`.
+///
+/// Sound for the weak convention always; for the strong convention it
+/// automatically falls back to [`check_pairwise`] for any FD whose left
+/// side contains a null somewhere in the instance (the paper's footnote).
+pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
+    let n = instance.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for (fd_index, fd) in fds.iter().enumerate() {
+        let fd = fd.normalized();
+        if fd.is_trivial() {
+            continue; // true in every instance
+        }
+        if conv == Convention::Strong {
+            let lhs_has_null = (0..n).any(|i| instance.tuple(i).has_null_on(fd.lhs));
+            if lhs_has_null {
+                // Null "equality" is not transitive: grouping by sort is
+                // unsound. Use the pairwise variant for this FD.
+                check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| {
+                    Violation {
+                        fd_index,
+                        rows: v.rows,
+                    }
+                })?;
+                continue;
+            }
+        }
+        order.clear();
+        order.extend(0..n);
+        order.sort_by(|&i, &j| weak_cmp(instance, i, j, fd.lhs));
+        // Scan each group of X-equal rows with the linear per-attribute
+        // representative check.
+        let mut start = 0;
+        while start < n {
+            let mut end = start + 1;
+            while end < n
+                && weak_cmp(instance, order[start], order[end], fd.lhs) == Ordering::Equal
+            {
+                end += 1;
+            }
+            if let Some(rows) = group_violation(instance, &order[start..end], fd.rhs, conv) {
+                return Err(Violation { fd_index, rows });
+            }
+            start = end;
+        }
+    }
+    Ok(())
+}
+
+/// Hash-grouped TEST-FDs — the "bucket sort" variant of Figure 3's
+/// *Additional Assumptions* paragraph: expected `O(|F|·n·p)`.
+///
+/// Grouping hashes the weak-convention keys, so (like the sorted
+/// variant) it falls back to pairwise for strong-convention FDs whose
+/// left side meets a null.
+pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
+    let n = instance.len();
+    for (fd_index, fd) in fds.iter().enumerate() {
+        let fd = fd.normalized();
+        if fd.is_trivial() {
+            continue; // true in every instance
+        }
+        if conv == Convention::Strong {
+            let lhs_has_null = (0..n).any(|i| instance.tuple(i).has_null_on(fd.lhs));
+            if lhs_has_null {
+                check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| {
+                    Violation {
+                        fd_index,
+                        rows: v.rows,
+                    }
+                })?;
+                continue;
+            }
+        }
+        let mut groups: HashMap<Vec<(u8, u32)>, Vec<usize>> = HashMap::with_capacity(n);
+        for i in 0..n {
+            let key: Vec<(u8, u32)> = fd
+                .lhs
+                .iter()
+                .map(|a| weak_sort_key(instance.value(i, a), instance))
+                .collect();
+            groups.entry(key).or_default().push(i);
+        }
+        for rows in groups.values() {
+            if let Some(rows) = group_violation(instance, rows, fd.rhs, conv) {
+                return Err(Violation { fd_index, rows });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Linear scan for a single FD over a relation already sorted on `X`
+/// (Figure 3: "if there is only one dependency (e.g. BCNF with one key)
+/// and the relation is already sorted, the test requires linear time").
+///
+/// `order` must sort the rows by `X` under the weak keys; adjacent rows
+/// only are compared, which is exact when every `X`-group's `Y`-values
+/// are constants (the BCNF-with-one-key regime) and conservative
+/// otherwise.
+pub fn check_single_presorted(
+    instance: &Instance,
+    fd: Fd,
+    conv: Convention,
+    order: &[usize],
+) -> Result<(), Violation> {
+    let fd = fd.normalized();
+    if fd.is_trivial() {
+        return Ok(());
+    }
+    for w in order.windows(2) {
+        let (i, j) = (w[0], w[1]);
+        if rows_equal_on(instance, i, j, fd.lhs, conv)
+            && rows_unequal_on(instance, i, j, fd.rhs, conv)
+        {
+            return Err(Violation {
+                fd_index: 0,
+                rows: (i.min(j), i.max(j)),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Produces an order sorting rows by `X` under the weak keys (for
+/// [`check_single_presorted`] and the benchmarks).
+pub fn sort_order(instance: &Instance, fd: Fd) -> Vec<usize> {
+    let fd = fd.normalized();
+    let mut order: Vec<usize> = (0..instance.len()).collect();
+    order.sort_by(|&i, &j| weak_cmp(instance, i, j, fd.lhs));
+    order
+}
+
+/// Theorem 2: strong satisfiability on any instance.
+pub fn check_strong(instance: &Instance, fds: &FdSet) -> Result<(), Violation> {
+    check_sorted(instance, fds, Convention::Strong)
+}
+
+/// Theorem 3: weak satisfiability — chases to a minimally incomplete
+/// instance first (plain NS-rules), then applies the weak convention.
+///
+/// Exact under the large-domain proviso (no `[F2]` exhaustion); see
+/// [`crate::subst::detect_domain_exhaustion`].
+pub fn check_weak(instance: &Instance, fds: &FdSet) -> Result<(), Violation> {
+    let chased = crate::chase::chase_plain(instance, fds);
+    check_sorted(&chased.instance, fds, Convention::Weak)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::interp::{
+        strongly_satisfied_bruteforce, weakly_satisfiable_bruteforce, DEFAULT_BUDGET,
+    };
+    use fdi_relation::schema::Schema;
+
+    fn abc(dom: usize, text: &str) -> Instance {
+        Instance::parse(Schema::uniform("R", &["A", "B", "C"], dom).unwrap(), text).unwrap()
+    }
+
+    fn fds(r: &Instance, text: &str) -> FdSet {
+        FdSet::parse(r.schema(), text).unwrap()
+    }
+
+    #[test]
+    fn classical_violations_found_by_all_variants() {
+        let r = abc(2, "A_0 B_0 C_0\nA_0 B_1 C_0");
+        let f = fds(&r, "A -> B");
+        for conv in [Convention::Strong, Convention::Weak] {
+            assert!(check_pairwise(&r, &f, conv).is_err());
+            assert!(check_sorted(&r, &f, conv).is_err());
+            assert!(check_hashed(&r, &f, conv).is_err());
+        }
+    }
+
+    #[test]
+    fn strong_convention_flags_potential_violations() {
+        // null B vs constant B under equal A: strongly unsatisfiable,
+        // weakly fine.
+        let r = abc(2, "A_0 -   C_0\nA_0 B_1 C_0");
+        let f = fds(&r, "A -> B");
+        assert!(check_strong(&r, &f).is_err());
+        assert!(check_weak(&r, &f).is_ok());
+        assert!(!strongly_satisfied_bruteforce(&f, &r, DEFAULT_BUDGET).unwrap());
+        assert!(weakly_satisfiable_bruteforce(&f, &r, DEFAULT_BUDGET).unwrap());
+    }
+
+    #[test]
+    fn strong_convention_matches_bruteforce_on_samples() {
+        let cases = [
+            (3, "A_0 B_0 C_0\nA_1 B_1 C_1", "A -> B", true),
+            (3, "A_0 ?x C_0\nA_0 ?x C_0", "A -> B", true),
+            (3, "A_0 -  C_0\nA_0 -  C_0", "A -> B", false),
+            (3, "A_0 B_0 C_0\n-   B_1 C_0", "A -> B", false),
+            (3, "A_0 B_0 C_0\nA_1 B_0 C_1", "B -> A", false),
+        ];
+        for (dom, text, fd_text, expected) in cases {
+            let r = abc(dom, text);
+            let f = fds(&r, fd_text);
+            assert_eq!(
+                check_strong(&r, &f).is_ok(),
+                expected,
+                "sorted/fallback on {text:?}"
+            );
+            assert_eq!(
+                check_pairwise(&r, &f, Convention::Strong).is_ok(),
+                expected,
+                "pairwise on {text:?}"
+            );
+            assert_eq!(
+                strongly_satisfied_bruteforce(&f, &r, DEFAULT_BUDGET).unwrap(),
+                expected,
+                "bruteforce on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weak_pipeline_detects_interaction_failures() {
+        // §6's example: individually weak, jointly unsatisfiable — the
+        // chase makes the interaction visible to the weak convention.
+        let r = fixtures::section6_instance();
+        let f = fixtures::section6_fds();
+        assert!(check_weak(&r, &f).is_err());
+        assert!(!weakly_satisfiable_bruteforce(&f, &r, DEFAULT_BUDGET).unwrap());
+        // without the chase the weak convention would wrongly accept:
+        assert!(check_sorted(&r, &f, Convention::Weak).is_ok());
+    }
+
+    #[test]
+    fn weak_pipeline_accepts_satisfiable_instances() {
+        let r = fixtures::figure1_null_instance();
+        let f = fixtures::figure1_fds();
+        assert!(check_weak(&r, &f).is_ok());
+        assert!(check_strong(&r, &f).is_err(), "e2's salary could differ from e1's? \
+            No — e2 is unique on E#; but D#-null of e3 can collide: check");
+    }
+
+    #[test]
+    fn nec_classes_equalize_nulls_in_both_conventions() {
+        let r = abc(2, "A_0 ?x C_0\nA_0 ?x C_0");
+        let f = fds(&r, "A -> B");
+        assert!(check_strong(&r, &f).is_ok(), "same class never unequal");
+        assert!(check_weak(&r, &f).is_ok());
+        let r2 = abc(2, "A_0 - C_0\nA_0 - C_0");
+        assert!(
+            check_strong(&r2, &f).is_err(),
+            "distinct classes are potential violators"
+        );
+    }
+
+    #[test]
+    fn sorted_and_pairwise_and_hashed_agree_weak() {
+        let samples = [
+            "A_0 B_0 C_0\nA_0 B_0 C_1\nA_1 - C_0",
+            "A_0 - C_0\nA_0 - C_1\n- B_1 C_0",
+            "A_0 B_1 C_0\nA_1 B_1 C_1\nA_0 B_1 C_0",
+            "?u B_0 C_0\n?u B_1 C_0\nA_0 B_0 C_1",
+        ];
+        for text in samples {
+            let r = abc(2, text);
+            for fd_text in ["A -> B", "A B -> C", "C -> A"] {
+                let f = fds(&r, fd_text);
+                let a = check_pairwise(&r, &f, Convention::Weak).is_ok();
+                let b = check_sorted(&r, &f, Convention::Weak).is_ok();
+                let c = check_hashed(&r, &f, Convention::Weak).is_ok();
+                assert_eq!(a, b, "{text:?} {fd_text:?}");
+                assert_eq!(a, c, "{text:?} {fd_text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_and_pairwise_agree_strong_via_fallback() {
+        let samples = [
+            "A_0 B_0 C_0\n- B_1 C_0\nA_1 B_0 C_1",
+            "- B_0 C_0\n- B_1 C_1",
+            "A_0 - C_0\nA_1 B_0 C_0",
+        ];
+        for text in samples {
+            let r = abc(2, text);
+            for fd_text in ["A -> B", "A -> C", "B C -> A"] {
+                let f = fds(&r, fd_text);
+                let a = check_pairwise(&r, &f, Convention::Strong).is_ok();
+                let b = check_sorted(&r, &f, Convention::Strong).is_ok();
+                let c = check_hashed(&r, &f, Convention::Strong).is_ok();
+                assert_eq!(a, b, "{text:?} {fd_text:?}");
+                assert_eq!(a, c, "{text:?} {fd_text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_presorted_linear_scan() {
+        let r = abc(2, "A_0 B_0 C_0\nA_1 B_0 C_0\nA_0 B_0 C_1");
+        let f = Fd::parse(r.schema(), "A -> C").unwrap();
+        let order = sort_order(&r, f);
+        assert!(check_single_presorted(&r, f, Convention::Weak, &order).is_err());
+        let ok = abc(2, "A_0 B_0 C_0\nA_1 B_0 C_1");
+        let order_ok = sort_order(&ok, f);
+        assert!(check_single_presorted(&ok, f, Convention::Weak, &order_ok).is_ok());
+    }
+
+    #[test]
+    fn figure2_r4_two_tuple_counterexample() {
+        // §4: every two-tuple subrelation of r4 leaves f not-false under
+        // the weak reading, but the three-tuple relation is false.
+        let r4 = fixtures::figure2_r4();
+        let f = FdSet::from_vec(vec![fixtures::figure2_fd(&r4)]);
+        // whole relation: not weakly satisfiable (bruteforce agrees)
+        assert!(!weakly_satisfiable_bruteforce(&f, &r4, DEFAULT_BUDGET).unwrap());
+        // every 2-subset: weakly satisfiable
+        for skip in 0..3 {
+            let mut sub = Instance::new(r4.schema().clone());
+            for (i, t) in r4.tuples().iter().enumerate() {
+                if i != skip {
+                    sub.add_tuple(t.clone()).unwrap();
+                }
+            }
+            assert!(
+                weakly_satisfiable_bruteforce(&f, &sub, DEFAULT_BUDGET).unwrap(),
+                "two-tuple subrelation skipping {skip}"
+            );
+        }
+        // Note: check_weak (chase + weak convention) does NOT flag r4 —
+        // this is exactly the [F2] domain-exhaustion blind spot the paper
+        // accepts and we detect separately (subst::detect_domain_exhaustion).
+        assert!(check_weak(&r4, &f).is_ok());
+    }
+
+    #[test]
+    fn nothing_values_always_violate() {
+        let r = abc(2, "A_0 #! C_0\nA_0 B_0 C_0");
+        let f = fds(&r, "A -> B");
+        assert!(check_pairwise(&r, &f, Convention::Weak).is_err());
+        assert!(check_pairwise(&r, &f, Convention::Strong).is_err());
+    }
+}

@@ -1,0 +1,732 @@
+//! Modification operations over constrained, incomplete relations —
+//! §7's on-going-work programme, built out.
+//!
+//! The paper closes: "more research is needed on the semantics of the
+//! ways a database *acquires* information. This acquisition may be
+//! internal (non-ambiguous substitution of nulls), or external
+//! (modification operations by the users)." This module implements that
+//! programme on top of the paper's machinery:
+//!
+//! * a [`Database`] couples an instance with its FD set and a
+//!   maintenance [`Policy`] — reject updates that break **strong**
+//!   satisfiability, reject updates that break **weak** satisfiability,
+//!   or accept everything;
+//! * **external acquisition**: [`Database::insert`],
+//!   [`Database::delete`], [`Database::modify`], and
+//!   [`Database::resolve_null`] (a user replaces a null with a value,
+//!   checked against the constraints);
+//! * **internal acquisition**: after an accepted update, the NS-rules
+//!   fire incrementally ([`Policy::propagate`]) so the instance stays
+//!   minimally incomplete — the non-ambiguous substitutions of §6;
+//! * an [`LhsIndex`] (hash index on each FD's determinant) makes the
+//!   strong-convention insert check `O(|F| · group)` instead of
+//!   `O(|F| · n)`; tuples carrying nulls on a determinant live on a
+//!   *wild list*, since under the pessimistic convention they
+//!   potentially match everything. Experiment E19 measures the gap.
+
+use crate::chase;
+use crate::fd::FdSet;
+use crate::testfd::{self, Convention, Violation};
+use fdi_relation::attrs::AttrId;
+use fdi_relation::error::RelationError;
+use fdi_relation::instance::Instance;
+use fdi_relation::tuple::Tuple;
+use fdi_relation::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a maintained database enforces on every modification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enforcement {
+    /// Every update must leave the instance strongly satisfied
+    /// (Theorem 2's test): no completion may violate `F`.
+    Strong,
+    /// Every update must leave the instance weakly satisfiable
+    /// (Theorem 4's test): some completion must satisfy `F`.
+    Weak,
+    /// No checking (load mode).
+    None,
+}
+
+/// Maintenance policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Policy {
+    /// The satisfiability notion to enforce.
+    pub enforcement: Enforcement,
+    /// Run the NS-rules after accepted updates (internal acquisition).
+    pub propagate: bool,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            enforcement: Enforcement::Weak,
+            propagate: true,
+        }
+    }
+}
+
+/// Errors raised by modifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The update would break the enforced satisfiability notion.
+    Rejected {
+        /// The violated dependency and rows (where known).
+        violation: Option<Violation>,
+        /// The enforcement that rejected it.
+        enforcement: Enforcement,
+    },
+    /// `resolve_null` was pointed at a non-null cell.
+    NotANull {
+        /// Row of the cell.
+        row: usize,
+        /// Attribute of the cell.
+        attr: AttrId,
+    },
+    /// Row index out of range.
+    NoSuchRow(usize),
+    /// Forwarded relational error (domain membership, arity, …).
+    Relation(RelationError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Rejected {
+                violation,
+                enforcement,
+            } => match violation {
+                Some(v) => write!(f, "update rejected ({enforcement:?} enforcement): {v}"),
+                None => write!(f, "update rejected ({enforcement:?} enforcement)"),
+            },
+            UpdateError::NotANull { row, attr } => {
+                write!(f, "cell ({row}, {attr}) is not a null")
+            }
+            UpdateError::NoSuchRow(row) => write!(f, "no row {row}"),
+            UpdateError::Relation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<RelationError> for UpdateError {
+    fn from(e: RelationError) -> Self {
+        UpdateError::Relation(e)
+    }
+}
+
+/// Outcome of an accepted modification.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateOutcome {
+    /// The row affected (for inserts: the new row's index).
+    pub row: usize,
+    /// NS-rule events fired by internal acquisition.
+    pub propagated: Vec<chase::NsEvent>,
+}
+
+/// Hash index on each FD's determinant: constant-only left-hand
+/// projections map to row lists; rows with a null on the determinant go
+/// to the per-FD wild list.
+#[derive(Debug, Clone, Default)]
+pub struct LhsIndex {
+    groups: Vec<HashMap<Vec<Value>, Vec<usize>>>,
+    wild: Vec<Vec<usize>>,
+}
+
+impl LhsIndex {
+    /// Builds the index for `instance` under `fds`.
+    pub fn build(instance: &Instance, fds: &FdSet) -> LhsIndex {
+        let mut index = LhsIndex {
+            groups: vec![HashMap::new(); fds.len()],
+            wild: vec![Vec::new(); fds.len()],
+        };
+        for row in 0..instance.len() {
+            index.add_row(instance, fds, row);
+        }
+        index
+    }
+
+    fn add_row(&mut self, instance: &Instance, fds: &FdSet, row: usize) {
+        for (i, fd) in fds.iter().enumerate() {
+            let fd = fd.normalized();
+            let t = instance.tuple(row);
+            if t.is_total_on(fd.lhs) {
+                let key: Vec<Value> = t.project(fd.lhs).collect();
+                self.groups[i].entry(key).or_default().push(row);
+            } else {
+                self.wild[i].push(row);
+            }
+        }
+    }
+
+    /// The candidate rows a new tuple must be checked against for FD
+    /// `fd_index` under the strong convention: the exact group (when the
+    /// tuple's determinant is total) plus the wild list; a wild tuple
+    /// must check against everything.
+    pub fn candidates(
+        &self,
+        fd_index: usize,
+        fds: &FdSet,
+        tuple: &Tuple,
+        total_rows: usize,
+    ) -> Vec<usize> {
+        let fd = fds.fds()[fd_index].normalized();
+        if tuple.is_total_on(fd.lhs) {
+            let key: Vec<Value> = tuple.project(fd.lhs).collect();
+            let mut out = self
+                .groups[fd_index]
+                .get(&key)
+                .cloned()
+                .unwrap_or_default();
+            out.extend_from_slice(&self.wild[fd_index]);
+            out
+        } else {
+            (0..total_rows).collect()
+        }
+    }
+
+    /// Number of indexed groups for FD `fd_index`.
+    pub fn group_count(&self, fd_index: usize) -> usize {
+        self.groups[fd_index].len()
+    }
+}
+
+/// A relation instance maintained under a dependency set.
+#[derive(Debug, Clone)]
+pub struct Database {
+    instance: Instance,
+    fds: FdSet,
+    policy: Policy,
+    index: LhsIndex,
+}
+
+impl Database {
+    /// Wraps an existing instance. Fails (per policy) if the starting
+    /// instance already violates the enforced notion.
+    pub fn new(instance: Instance, fds: FdSet, policy: Policy) -> Result<Database, UpdateError> {
+        check_instance(&instance, &fds, policy.enforcement)?;
+        let index = LhsIndex::build(&instance, &fds);
+        let mut db = Database {
+            instance,
+            fds,
+            policy,
+            index,
+        };
+        if policy.propagate {
+            db.propagate_all();
+        }
+        Ok(db)
+    }
+
+    /// The current instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The dependency set.
+    pub fn fds(&self) -> &FdSet {
+        &self.fds
+    }
+
+    /// The policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The determinant index (for inspection/benchmarks).
+    pub fn index(&self) -> &LhsIndex {
+        &self.index
+    }
+
+    fn propagate_all(&mut self) -> Vec<chase::NsEvent> {
+        let result = chase::chase_plain(&self.instance, &self.fds);
+        let events = result.events.clone();
+        if !events.is_empty() {
+            self.instance = result.instance;
+            self.index = LhsIndex::build(&self.instance, &self.fds);
+        }
+        events
+    }
+
+    /// Incremental strong check of a prospective tuple against the
+    /// current instance via the index. Returns the first violation.
+    fn incremental_strong_check(&self, tuple: &Tuple) -> Option<Violation> {
+        for (i, fd) in self.fds.iter().enumerate() {
+            let fd = fd.normalized();
+            for row in self
+                .index
+                .candidates(i, &self.fds, tuple, self.instance.len())
+            {
+                let other = self.instance.tuple(row);
+                let x_match = fd.lhs.iter().all(|a| {
+                    strong_eq(tuple.get(a), other.get(a), &self.instance)
+                });
+                if !x_match {
+                    continue;
+                }
+                let y_conflict = fd.rhs.iter().any(|a| {
+                    strong_neq(tuple.get(a), other.get(a), &self.instance)
+                });
+                if y_conflict {
+                    return Some(Violation {
+                        fd_index: i,
+                        rows: (row, self.instance.len()),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts a row given as text tokens (`-`, `?mark`, constants).
+    pub fn insert(&mut self, tokens: &[&str]) -> Result<UpdateOutcome, UpdateError> {
+        // Build the tuple against a scratch copy so a rejection leaves
+        // the database untouched.
+        let mut scratch = self.instance.clone();
+        let row = scratch.add_row(tokens)?;
+        let tuple = scratch.tuple(row).clone();
+        match self.policy.enforcement {
+            Enforcement::Strong => {
+                if let Some(v) = self.incremental_strong_check(&tuple) {
+                    return Err(UpdateError::Rejected {
+                        violation: Some(v),
+                        enforcement: Enforcement::Strong,
+                    });
+                }
+            }
+            Enforcement::Weak => {
+                if !chase::weakly_satisfiable_via_chase(&self.fds, &scratch) {
+                    return Err(UpdateError::Rejected {
+                        violation: None,
+                        enforcement: Enforcement::Weak,
+                    });
+                }
+            }
+            Enforcement::None => {}
+        }
+        self.instance = scratch;
+        self.index.add_row(&self.instance, &self.fds, row);
+        let propagated = if self.policy.propagate {
+            self.propagate_all()
+        } else {
+            Vec::new()
+        };
+        Ok(UpdateOutcome { row, propagated })
+    }
+
+    /// Deletes a row. Deletion can never break satisfiability (both
+    /// notions are anti-monotone in the tuple set), so it always
+    /// succeeds.
+    pub fn delete(&mut self, row: usize) -> Result<UpdateOutcome, UpdateError> {
+        if row >= self.instance.len() {
+            return Err(UpdateError::NoSuchRow(row));
+        }
+        let mut rebuilt = Instance::new(self.instance.schema().clone());
+        for (i, t) in self.instance.tuples().iter().enumerate() {
+            if i != row {
+                rebuilt.add_tuple(t.clone())?;
+            }
+        }
+        rebuilt.replace_necs(self.instance.necs().clone());
+        self.instance = rebuilt;
+        self.index = LhsIndex::build(&self.instance, &self.fds);
+        Ok(UpdateOutcome {
+            row,
+            propagated: Vec::new(),
+        })
+    }
+
+    /// Replaces the value of one cell (checked like an insert).
+    pub fn modify(
+        &mut self,
+        row: usize,
+        attr: AttrId,
+        token: &str,
+    ) -> Result<UpdateOutcome, UpdateError> {
+        if row >= self.instance.len() {
+            return Err(UpdateError::NoSuchRow(row));
+        }
+        let mut scratch = self.instance.clone();
+        let value = parse_token(&mut scratch, attr, token)?;
+        scratch.set_value(row, attr, value);
+        check_instance(&scratch, &self.fds, self.policy.enforcement)?;
+        self.instance = scratch;
+        self.index = LhsIndex::build(&self.instance, &self.fds);
+        let propagated = if self.policy.propagate {
+            self.propagate_all()
+        } else {
+            Vec::new()
+        };
+        Ok(UpdateOutcome { row, propagated })
+    }
+
+    /// External acquisition: the user asserts the actual value of a
+    /// null. Every occurrence of the null's NEC class receives the
+    /// value, and the result is checked under the policy — "the only
+    /// value a user can insert without the creation of an inconsistency"
+    /// (§4) is exactly a value this method accepts.
+    pub fn resolve_null(
+        &mut self,
+        row: usize,
+        attr: AttrId,
+        token: &str,
+    ) -> Result<UpdateOutcome, UpdateError> {
+        if row >= self.instance.len() {
+            return Err(UpdateError::NoSuchRow(row));
+        }
+        let Value::Null(id) = self.instance.value(row, attr) else {
+            return Err(UpdateError::NotANull { row, attr });
+        };
+        let mut scratch = self.instance.clone();
+        let symbol = match parse_token(&mut scratch, attr, token)? {
+            Value::Const(s) => s,
+            _ => {
+                return Err(UpdateError::Relation(RelationError::Parse {
+                    line: 0,
+                    message: format!("resolve_null needs a constant, got {token:?}"),
+                }))
+            }
+        };
+        // substitute the whole class
+        let all = scratch.schema().all_attrs();
+        for r in 0..scratch.len() {
+            for a in all.iter() {
+                if let Value::Null(n) = scratch.value(r, a) {
+                    if scratch.necs().same_class(n, id) {
+                        scratch.set_value(r, a, Value::Const(symbol));
+                    }
+                }
+            }
+        }
+        check_instance(&scratch, &self.fds, self.policy.enforcement)?;
+        self.instance = scratch;
+        self.index = LhsIndex::build(&self.instance, &self.fds);
+        let propagated = if self.policy.propagate {
+            self.propagate_all()
+        } else {
+            Vec::new()
+        };
+        Ok(UpdateOutcome { row, propagated })
+    }
+}
+
+/// Strong-convention equality for the incremental check.
+fn strong_eq(a: Value, b: Value, instance: &Instance) -> bool {
+    match (a, b) {
+        (Value::Const(x), Value::Const(y)) => x == y,
+        (Value::Nothing, _) | (_, Value::Nothing) => false,
+        _ => {
+            let _ = instance;
+            true // a null potentially equals anything
+        }
+    }
+}
+
+/// Strong-convention inequality for the incremental check.
+fn strong_neq(a: Value, b: Value, instance: &Instance) -> bool {
+    match (a, b) {
+        (Value::Const(x), Value::Const(y)) => x != y,
+        (Value::Null(m), Value::Null(n)) => !instance.necs().same_class(m, n),
+        (Value::Nothing, _) | (_, Value::Nothing) => true,
+        _ => true, // null vs constant potentially differs
+    }
+}
+
+fn check_instance(
+    instance: &Instance,
+    fds: &FdSet,
+    enforcement: Enforcement,
+) -> Result<(), UpdateError> {
+    match enforcement {
+        Enforcement::Strong => testfd::check_strong(instance, fds).map_err(|v| {
+            UpdateError::Rejected {
+                violation: Some(v),
+                enforcement: Enforcement::Strong,
+            }
+        }),
+        Enforcement::Weak => {
+            if chase::weakly_satisfiable_via_chase(fds, instance) {
+                Ok(())
+            } else {
+                Err(UpdateError::Rejected {
+                    violation: None,
+                    enforcement: Enforcement::Weak,
+                })
+            }
+        }
+        Enforcement::None => Ok(()),
+    }
+}
+
+fn parse_token(
+    instance: &mut Instance,
+    attr: AttrId,
+    token: &str,
+) -> Result<Value, UpdateError> {
+    if token == "-" {
+        Ok(Value::Null(instance.fresh_null()))
+    } else if token == "#!" {
+        Ok(Value::Nothing)
+    } else if let Some(mark) = token.strip_prefix('?') {
+        match instance.mark(mark) {
+            Some(id) => Ok(Value::Null(id)),
+            None => Ok(Value::Null(instance.fresh_null())),
+        }
+    } else {
+        Ok(Value::Const(instance.intern_constant(attr, token)?))
+    }
+}
+
+/// Full revalidation insert (no index): the baseline experiment E19
+/// compares [`Database::insert`] against.
+pub fn insert_with_full_recheck(
+    instance: &mut Instance,
+    fds: &FdSet,
+    tokens: &[&str],
+    conv: Convention,
+) -> Result<usize, UpdateError> {
+    let mut scratch = instance.clone();
+    let row = scratch.add_row(tokens)?;
+    let result = match conv {
+        Convention::Strong => testfd::check_strong(&scratch, fds),
+        Convention::Weak => testfd::check_weak(&scratch, fds),
+    };
+    match result {
+        Ok(()) => {
+            *instance = scratch;
+            Ok(row)
+        }
+        Err(v) => Err(UpdateError::Rejected {
+            violation: Some(v),
+            enforcement: match conv {
+                Convention::Strong => Enforcement::Strong,
+                Convention::Weak => Enforcement::Weak,
+            },
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn strong_db() -> Database {
+        Database::new(
+            fixtures::figure1_instance(),
+            fixtures::figure1_fds(),
+            Policy {
+                enforcement: Enforcement::Strong,
+                propagate: true,
+            },
+        )
+        .expect("figure 1.2 is strongly satisfied")
+    }
+
+    #[test]
+    fn inserts_respecting_fds_are_accepted() {
+        let mut db = strong_db();
+        let n = db.instance().len();
+        let out = db.insert(&["e4", "20K", "d3", "part"]).expect("clean insert");
+        assert_eq!(out.row, n);
+        assert_eq!(db.instance().len(), n + 1);
+    }
+
+    #[test]
+    fn conflicting_inserts_are_rejected_under_strong() {
+        let mut db = strong_db();
+        // e1 already earns 10K in d1: a different salary must be rejected
+        let err = db.insert(&["e1", "20K", "d1", "full"]).unwrap_err();
+        assert!(matches!(
+            err,
+            UpdateError::Rejected {
+                enforcement: Enforcement::Strong,
+                ..
+            }
+        ));
+        // nulls are also rejected under strong when they *could* collide
+        let err = db.insert(&["e1", "-", "d1", "full"]).unwrap_err();
+        assert!(matches!(err, UpdateError::Rejected { .. }));
+        assert_eq!(db.instance().len(), 3, "rejected inserts leave no trace");
+    }
+
+    #[test]
+    fn weak_policy_accepts_possibly_consistent_inserts() {
+        let mut db = Database::new(
+            fixtures::figure1_instance(),
+            fixtures::figure1_fds(),
+            Policy {
+                enforcement: Enforcement::Weak,
+                propagate: false,
+            },
+        )
+        .unwrap();
+        // the null salary may later turn out to equal e1's: weakly fine
+        db.insert(&["e1", "-", "d1", "full"]).expect("weakly fine");
+        // a definite contradiction is still rejected
+        let err = db.insert(&["e1", "20K", "d1", "full"]).unwrap_err();
+        assert!(matches!(
+            err,
+            UpdateError::Rejected {
+                enforcement: Enforcement::Weak,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn internal_acquisition_fills_nulls_on_insert() {
+        let mut db = Database::new(
+            fixtures::figure1_instance(),
+            fixtures::figure1_fds(),
+            Policy {
+                enforcement: Enforcement::Weak,
+                propagate: true,
+            },
+        )
+        .unwrap();
+        // d1's contract type is known (full): inserting (e5, 20K, d1, -)
+        // lets the NS-rule resolve the null immediately.
+        let out = db.insert(&["e5", "20K", "d1", "-"]).expect("insert");
+        assert_eq!(out.propagated.len(), 1);
+        let ct = db.instance().value(out.row, AttrId(3));
+        assert_eq!(
+            ct.render(db.instance().symbols(), false),
+            "full",
+            "internal acquisition: the only consistent value was substituted"
+        );
+    }
+
+    #[test]
+    fn resolve_null_checks_consistency() {
+        let mut db = Database::new(
+            fixtures::figure1_null_instance(),
+            fixtures::figure1_fds(),
+            Policy {
+                enforcement: Enforcement::Weak,
+                propagate: false,
+            },
+        )
+        .unwrap();
+        // e3's D# is null; resolving it to d1 forces CT=full vs e3's
+        // part — contradiction, rejected.
+        let err = db.resolve_null(2, AttrId(2), "d1").unwrap_err();
+        assert!(matches!(err, UpdateError::Rejected { .. }));
+        // resolving to d3 is fine (no other d3 row)
+        db.resolve_null(2, AttrId(2), "d3").expect("consistent value");
+        assert_eq!(
+            db.instance().value(2, AttrId(2)).render(db.instance().symbols(), false),
+            "d3"
+        );
+        // pointing at a non-null errs
+        let err = db.resolve_null(0, AttrId(0), "e1").unwrap_err();
+        assert!(matches!(err, UpdateError::NotANull { .. }));
+    }
+
+    #[test]
+    fn resolve_null_substitutes_the_whole_class() {
+        let schema = fixtures::section6_schema();
+        let r = fdi_relation::Instance::parse(schema.clone(), "a1 ?x c1\na2 ?x c2").unwrap();
+        let fds = FdSet::parse(&schema, "A -> B").unwrap();
+        let mut db = Database::new(
+            r,
+            fds,
+            Policy {
+                enforcement: Enforcement::Weak,
+                propagate: false,
+            },
+        )
+        .unwrap();
+        db.resolve_null(0, AttrId(1), "b1").expect("consistent");
+        assert!(db.instance().value(1, AttrId(1)).is_const(), "class-wide substitution");
+    }
+
+    #[test]
+    fn deletes_always_succeed_and_reindex() {
+        let mut db = strong_db();
+        db.delete(1).expect("delete");
+        assert_eq!(db.instance().len(), 2);
+        assert!(db.delete(99).is_err());
+        // still insertable after reindex
+        db.insert(&["e2", "25K", "d3", "part"]).expect("reinsert");
+    }
+
+    #[test]
+    fn modify_is_policy_checked() {
+        let mut db = strong_db();
+        // moving e2 into d2 would pair its `full` contract with e3's
+        // `part` under D# → CT: rejected.
+        let err = db.modify(1, AttrId(2), "d2").unwrap_err();
+        assert!(matches!(err, UpdateError::Rejected { .. }), "d2 is part");
+        // d3 is unused: fine.
+        db.modify(1, AttrId(2), "d3").expect("no d3 rows yet");
+        // and with e2 out of d1, e1's contract can change freely.
+        db.modify(0, AttrId(3), "part").expect("d1 now has one member");
+    }
+
+    #[test]
+    fn incremental_and_full_checks_agree() {
+        // randomized agreement: incremental-indexed insert decision ≡
+        // full TEST-FDs revalidation decision, under strong enforcement.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let spec = fdi_gen_spec();
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let schema = fdi_relation::Schema::uniform("R", &["A", "B", "C"], 4).unwrap();
+            let fds = FdSet::parse(&schema, "A -> B\nB -> C").unwrap();
+            let mut db = Database::new(
+                fdi_relation::Instance::new(schema.clone()),
+                fds.clone(),
+                Policy {
+                    enforcement: Enforcement::Strong,
+                    propagate: false,
+                },
+            )
+            .unwrap();
+            let mut plain = fdi_relation::Instance::new(schema.clone());
+            for _ in 0..spec {
+                let tokens: Vec<String> = ["A", "B", "C"]
+                    .iter()
+                    .map(|attr| {
+                        if rng.gen_bool(0.15) {
+                            "-".to_string()
+                        } else {
+                            format!("{attr}_{}", rng.gen_range(0..4))
+                        }
+                    })
+                    .collect();
+                let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+                let incremental = db.insert(&refs).is_ok();
+                let full = insert_with_full_recheck(
+                    &mut plain,
+                    &fds,
+                    &refs,
+                    Convention::Strong,
+                )
+                .is_ok();
+                assert_eq!(incremental, full, "seed {seed}, tokens {tokens:?}");
+            }
+        }
+    }
+
+    fn fdi_gen_spec() -> usize {
+        24
+    }
+
+    #[test]
+    fn index_candidates_shrink_with_groups() {
+        let schema = fdi_relation::Schema::uniform("R", &["A", "B"], 16).unwrap();
+        let fds = FdSet::parse(&schema, "A -> B").unwrap();
+        let mut r = fdi_relation::Instance::new(schema);
+        for i in 0..16 {
+            r.add_row(&[&format!("A_{i}"), "B_0"]).unwrap();
+        }
+        let index = LhsIndex::build(&r, &fds);
+        assert_eq!(index.group_count(0), 16);
+        let probe = r.tuple(0).clone();
+        let candidates = index.candidates(0, &fds, &probe, r.len());
+        assert_eq!(candidates.len(), 1, "exact group only, no wild tuples");
+    }
+}

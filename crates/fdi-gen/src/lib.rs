@@ -1,0 +1,437 @@
+//! # fdi-gen — seeded workload generators
+//!
+//! The paper specifies no dataset (VLDB 1980 theory), so the experiment
+//! harness synthesizes instances whose parameters — tuple count,
+//! attribute count, domain sizes, null density, NEC density — span the
+//! regimes the paper reasons about: "carefully designed databases" with
+//! domains much larger than relations, overconstrained schemas, nearly
+//! complete vs. heavily incomplete instances, and planted FD structure
+//! so that satisfiability is neither trivially true nor trivially false.
+//!
+//! Everything is deterministic given a seed (`StdRng`), so every
+//! experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fdi_core::fd::{Fd, FdSet};
+use fdi_relation::attrs::{AttrId, AttrSet};
+use fdi_relation::instance::Instance;
+use fdi_relation::schema::Schema;
+use fdi_relation::tuple::Tuple;
+use fdi_relation::value::{NullId, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Parameters of a generated workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of tuples.
+    pub rows: usize,
+    /// Number of attributes (≤ 26 for single-letter names).
+    pub attrs: usize,
+    /// Domain size of every attribute.
+    pub domain: usize,
+    /// Fraction of cells that are nulls, in `[0, 1]`.
+    pub null_density: f64,
+    /// Fraction of nulls that join an existing null's NEC class (within
+    /// the same column — a class must have a non-empty domain).
+    pub nec_density: f64,
+    /// Fraction of rows duplicated from an earlier row on a random FD's
+    /// left side (planting groups so FDs actually interact).
+    pub collision_rate: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            rows: 64,
+            attrs: 4,
+            domain: 16,
+            null_density: 0.1,
+            nec_density: 0.1,
+            collision_rate: 0.3,
+        }
+    }
+}
+
+/// Attribute names `A`, `B`, …, `Z` (then `A1`, `B1`, … beyond 26).
+pub fn attr_names(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let c = char::from_u32('A' as u32 + (i % 26) as u32).expect("letter");
+            if i < 26 {
+                c.to_string()
+            } else {
+                format!("{c}{}", i / 26)
+            }
+        })
+        .collect()
+}
+
+/// Builds the uniform schema of a spec.
+pub fn schema_for(spec: &WorkloadSpec) -> Arc<Schema> {
+    let names = attr_names(spec.attrs);
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    Schema::uniform("R", &refs, spec.domain).expect("workload schema")
+}
+
+/// A generated workload: schema, FDs, and instance.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The schema.
+    pub schema: Arc<Schema>,
+    /// The dependency set.
+    pub fds: FdSet,
+    /// The instance.
+    pub instance: Instance,
+}
+
+/// Generates a random FD set over `attrs` attributes: `count`
+/// dependencies with left sides of 1–2 attributes and singleton right
+/// sides, non-trivial and deduplicated.
+pub fn random_fds(rng: &mut StdRng, attrs: usize, count: usize) -> FdSet {
+    let mut set = FdSet::new();
+    let mut guard = 0;
+    while set.len() < count && guard < count * 20 + 20 {
+        guard += 1;
+        let lhs_size = if rng.gen_bool(0.6) { 1 } else { 2 };
+        let mut lhs = AttrSet::EMPTY;
+        while lhs.len() < lhs_size {
+            lhs = lhs.with(AttrId(rng.gen_range(0..attrs) as u16));
+        }
+        let rhs_attr = AttrId(rng.gen_range(0..attrs) as u16);
+        if lhs.contains(rhs_attr) {
+            continue;
+        }
+        set.push(Fd::new(lhs, AttrSet::singleton(rhs_attr)));
+    }
+    set
+}
+
+/// Generates an instance per the spec. `fds` guides collision planting:
+/// duplicated left sides create the groups on which the dependencies
+/// (and the NS-rules) actually fire.
+pub fn random_instance(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> Instance {
+    let schema = schema_for(spec);
+    let mut instance = Instance::new(schema.clone());
+    // per-column pools of reusable null ids (NEC classes are
+    // column-local so class domains are never empty)
+    let mut null_pools: Vec<Vec<NullId>> = vec![Vec::new(); spec.attrs];
+    let names = attr_names(spec.attrs);
+    for row in 0..spec.rows {
+        let mut values: Vec<Value> = (0..spec.attrs)
+            .map(|col| {
+                let attr = AttrId(col as u16);
+                let k = rng.gen_range(0..spec.domain);
+                let name = format!("{}_{k}", names[col]);
+                Value::Const(
+                    instance
+                        .intern_constant(attr, &name)
+                        .expect("domain constant"),
+                )
+            })
+            .collect();
+        // Plant a collision: copy an earlier row's X-values for a random
+        // FD so the dependency constrains something.
+        if row > 0 && !fds.is_empty() && rng.gen_bool(spec.collision_rate) {
+            let donor = rng.gen_range(0..row);
+            let fd = fds.fds()[rng.gen_range(0..fds.len())];
+            for a in fd.lhs.iter() {
+                values[a.index()] = instance.tuple(donor).get(a);
+            }
+        }
+        // Poke nulls.
+        for (col, value) in values.iter_mut().enumerate() {
+            if rng.gen_bool(spec.null_density) {
+                let pool = &mut null_pools[col];
+                let id = if !pool.is_empty() && rng.gen_bool(spec.nec_density) {
+                    *pool.choose(rng).expect("non-empty")
+                } else {
+                    let id = instance.fresh_null();
+                    pool.push(id);
+                    id
+                };
+                *value = Value::Null(id);
+            }
+        }
+        instance.add_tuple(Tuple::new(values)).expect("arity");
+    }
+    instance
+}
+
+/// Generates a full workload from a seed.
+pub fn workload(seed: u64, spec: &WorkloadSpec, fd_count: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fds = random_fds(&mut rng, spec.attrs, fd_count);
+    let instance = random_instance(&mut rng, spec, &fds);
+    Workload {
+        schema: schema_for(spec),
+        fds,
+        instance,
+    }
+}
+
+/// Generates an instance that **classically satisfies** `fds` before
+/// nulls are poked: LHS-groups copy the group representative's right
+/// side until fixpoint. With fresh-id nulls added afterwards the
+/// instance stays weakly satisfiable (its pre-null state is a witness
+/// completion) — the "repairable" workload for the chase benchmarks.
+pub fn satisfiable_instance(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> Instance {
+    let schema = schema_for(spec);
+    let mut instance = Instance::new(schema.clone());
+    let names = attr_names(spec.attrs);
+    for row in 0..spec.rows {
+        let mut values: Vec<Value> = (0..spec.attrs)
+            .map(|col| {
+                let attr = AttrId(col as u16);
+                let k = rng.gen_range(0..spec.domain);
+                let name = format!("{}_{k}", names[col]);
+                Value::Const(
+                    instance
+                        .intern_constant(attr, &name)
+                        .expect("domain constant"),
+                )
+            })
+            .collect();
+        if row > 0 && !fds.is_empty() && rng.gen_bool(spec.collision_rate) {
+            let donor = rng.gen_range(0..row);
+            let fd = fds.fds()[rng.gen_range(0..fds.len())];
+            for a in fd.lhs.union(fd.rhs).iter() {
+                values[a.index()] = instance.tuple(donor).get(a);
+            }
+        }
+        instance.add_tuple(Tuple::new(values)).expect("arity");
+    }
+    // Repair to full classical satisfaction: chase the (complete)
+    // instance with the cell engine to its fixpoint and write one
+    // constant per equality class. Every pair of rows agreeing on some
+    // FD's left side then agrees on its right side by construction.
+    let mut engine = fdi_core::chase::CellEngine::new(&instance);
+    engine.run(fds, fdi_core::chase::Scheduler::Fast);
+    instance = engine.materialize_resolved(&instance);
+    // Now poke nulls (fresh ids only: shared classes could break the
+    // witness).
+    for row in 0..instance.len() {
+        for col in 0..spec.attrs {
+            if rng.gen_bool(spec.null_density) {
+                let id = instance.fresh_null();
+                instance.set_value(row, AttrId(col as u16), Value::Null(id));
+            }
+        }
+    }
+    instance
+}
+
+/// A workload guaranteed weakly satisfiable (see
+/// [`satisfiable_instance`]).
+pub fn satisfiable_workload(seed: u64, spec: &WorkloadSpec, fd_count: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fds = random_fds(&mut rng, spec.attrs, fd_count);
+    let instance = satisfiable_instance(&mut rng, spec, &fds);
+    Workload {
+        schema: schema_for(spec),
+        fds,
+        instance,
+    }
+}
+
+/// Plants a definite violation of the first FD: two rows equal on its
+/// left side with distinct constants on its right side.
+pub fn plant_violation(rng: &mut StdRng, instance: &mut Instance, fds: &FdSet) {
+    let Some(fd) = fds.fds().first().copied() else {
+        return;
+    };
+    if instance.len() < 2 {
+        return;
+    }
+    let a = rng.gen_range(0..instance.len());
+    let mut b = rng.gen_range(0..instance.len());
+    while b == a {
+        b = rng.gen_range(0..instance.len());
+    }
+    for attr in fd.lhs.iter() {
+        let v = instance.tuple(a).get(attr);
+        let v = if v.is_const() {
+            v
+        } else {
+            let name = format!("{}_0", instance.schema().attr_name(attr));
+            Value::Const(instance.intern_constant(attr, &name).expect("constant"))
+        };
+        instance.set_value(a, attr, v);
+        instance.set_value(b, attr, v);
+    }
+    if let Some(attr) = fd.rhs.iter().next() {
+        let name0 = format!("{}_0", instance.schema().attr_name(attr));
+        let name1 = format!("{}_1", instance.schema().attr_name(attr));
+        let s0 = instance.intern_constant(attr, &name0).expect("constant");
+        let s1 = instance.intern_constant(attr, &name1).expect("constant");
+        instance.set_value(a, attr, Value::Const(s0));
+        instance.set_value(b, attr, Value::Const(s1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_core::chase;
+    use fdi_core::interp;
+    use fdi_core::testfd;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let spec = WorkloadSpec::default();
+        let w1 = workload(42, &spec, 3);
+        let w2 = workload(42, &spec, 3);
+        assert_eq!(w1.fds, w2.fds);
+        assert_eq!(w1.instance.canonical_form(), w2.instance.canonical_form());
+        let w3 = workload(43, &spec, 3);
+        assert_ne!(w1.instance.canonical_form(), w3.instance.canonical_form());
+    }
+
+    #[test]
+    fn null_density_is_respected() {
+        let spec = WorkloadSpec {
+            rows: 200,
+            null_density: 0.25,
+            ..WorkloadSpec::default()
+        };
+        let w = workload(7, &spec, 2);
+        let cells = (spec.rows * spec.attrs) as f64;
+        let density = w.instance.null_count() as f64 / cells;
+        assert!(
+            (0.18..0.32).contains(&density),
+            "density {density} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn zero_density_means_complete() {
+        let spec = WorkloadSpec {
+            null_density: 0.0,
+            ..WorkloadSpec::default()
+        };
+        let w = workload(3, &spec, 2);
+        assert!(w.instance.is_complete());
+    }
+
+    #[test]
+    fn satisfiable_workloads_are_weakly_satisfiable() {
+        for seed in 0..8 {
+            let spec = WorkloadSpec {
+                rows: 24,
+                null_density: 0.15,
+                ..WorkloadSpec::default()
+            };
+            let w = satisfiable_workload(seed, &spec, 3);
+            assert!(
+                chase::weakly_satisfiable_via_chase(&w.fds, &w.instance),
+                "seed {seed} produced an unsatisfiable 'satisfiable' workload"
+            );
+        }
+    }
+
+    #[test]
+    fn satisfiable_without_nulls_is_classically_satisfied() {
+        for seed in 0..8 {
+            let spec = WorkloadSpec {
+                rows: 32,
+                null_density: 0.0,
+                ..WorkloadSpec::default()
+            };
+            let w = satisfiable_workload(seed, &spec, 3);
+            assert!(
+                interp::all_hold_classical(&w.fds, w.instance.tuples()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_violations_are_found() {
+        for seed in 0..8 {
+            let spec = WorkloadSpec {
+                rows: 16,
+                null_density: 0.0,
+                ..WorkloadSpec::default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fds = random_fds(&mut rng, spec.attrs, 2);
+            if fds.is_empty() {
+                continue;
+            }
+            let mut instance = satisfiable_instance(&mut rng, &spec, &fds);
+            plant_violation(&mut rng, &mut instance, &fds);
+            assert!(
+                testfd::check_strong(&instance, &fds).is_err(),
+                "seed {seed}: planted violation missed"
+            );
+        }
+    }
+
+    #[test]
+    fn random_fds_are_nontrivial_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fds = random_fds(&mut rng, 5, 6);
+        assert!(fds.len() <= 6);
+        assert!(!fds.is_empty());
+        for fd in &fds {
+            assert!(!fd.is_trivial());
+            assert!(fd.lhs.len() <= 2);
+            assert_eq!(fd.rhs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn nec_density_creates_shared_classes() {
+        let spec = WorkloadSpec {
+            rows: 100,
+            null_density: 0.4,
+            nec_density: 0.5,
+            ..WorkloadSpec::default()
+        };
+        let w = workload(11, &spec, 2);
+        let mut ids: Vec<NullId> = Vec::new();
+        for t in w.instance.tuples() {
+            for (_, n) in t.nulls_on(w.instance.schema().all_attrs()) {
+                ids.push(n);
+            }
+        }
+        let occurrences = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert!(
+            ids.len() < occurrences,
+            "expected shared null ids at nec_density 0.5"
+        );
+    }
+
+    #[test]
+    fn shared_nulls_stay_within_columns() {
+        let spec = WorkloadSpec {
+            rows: 60,
+            null_density: 0.4,
+            nec_density: 0.6,
+            ..WorkloadSpec::default()
+        };
+        let w = workload(13, &spec, 2);
+        // a null id must appear under exactly one attribute
+        let mut seen: std::collections::HashMap<NullId, AttrId> = std::collections::HashMap::new();
+        for t in w.instance.tuples() {
+            for (a, n) in t.nulls_on(w.instance.schema().all_attrs()) {
+                let prior = seen.insert(n, a);
+                if let Some(p) = prior {
+                    assert_eq!(p, a, "null {n} spans columns {p} and {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attr_names_are_letters() {
+        assert_eq!(attr_names(3), vec!["A", "B", "C"]);
+        assert_eq!(attr_names(27)[26], "A1");
+    }
+}

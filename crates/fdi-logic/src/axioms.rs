@@ -1,0 +1,418 @@
+//! A Hilbert-style proof system for System-C.
+//!
+//! §5 of the paper: "C has been axiomatized. … some of the axioms
+//! comprise a set of axioms for classical two-valued logic, thus
+//! ensuring that everything provable in two-valued logic is also
+//! provable in C. The rest of the axioms give to C the modal
+//! interpretation and, in particular, the last axiom restricts C to a
+//! system of 'logical necessity'."
+//!
+//! [Bertram 73]'s exact axiom list is not reproduced in the paper, so
+//! this module provides the standard system matching that description —
+//! Łukasiewicz's three classical schemas over `{⇒, ¬}`, the modal
+//! schemas **K** and **T**, and the logical-necessity (S5-style) schemas
+//! **4** and **5** — together with *modus ponens* and *necessitation*
+//! (applicable to theorems only). Every schema is machine-checked to be
+//! a C-tautology, so the system is **sound** for C-validity:
+//! [`Proof::check`] accepts only proofs whose every line is C-valid.
+//! Completeness is *not* claimed for this fragment; the complete
+//! decision procedure for theoremhood remains the semantic
+//! [`crate::eval::is_c_tautology`] (C-tautologies = C-theorems, per
+//! [Bertram 73]).
+
+use crate::formula::Formula;
+use std::fmt;
+
+#[cfg(test)]
+use crate::eval::is_c_tautology;
+
+/// The axiom schemas of the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schema {
+    /// `A ⇒ (B ⇒ A)` — Łukasiewicz 1.
+    K1,
+    /// `(A ⇒ (B ⇒ C)) ⇒ ((A ⇒ B) ⇒ (A ⇒ C))` — Łukasiewicz 2.
+    K2,
+    /// `(¬B ⇒ ¬A) ⇒ (A ⇒ B)` — Łukasiewicz 3 (contraposition).
+    K3,
+    /// `∇(A ⇒ B) ⇒ (∇A ⇒ ∇B)` — modal distribution (K).
+    ModalK,
+    /// `∇A ⇒ A` — reflection (T): what is necessarily true is true.
+    ModalT,
+    /// `∇A ⇒ ∇∇A` — positive introspection (4).
+    Modal4,
+    /// `¬∇A ⇒ ∇¬∇A` — negative introspection (5): the paper's "logical
+    /// necessity" restriction — necessity is itself a definite matter.
+    Modal5,
+}
+
+impl Schema {
+    /// All schemas.
+    pub const ALL: [Schema; 7] = [
+        Schema::K1,
+        Schema::K2,
+        Schema::K3,
+        Schema::ModalK,
+        Schema::ModalT,
+        Schema::Modal4,
+        Schema::Modal5,
+    ];
+
+    /// Instantiates the schema with concrete formulas (unused slots may
+    /// receive anything; by convention pass the first operand again).
+    pub fn instantiate(self, a: Formula, b: Formula, c: Formula) -> Formula {
+        match self {
+            Schema::K1 => a.clone().implies(b.implies(a)),
+            Schema::K2 => {
+                let left = a.clone().implies(b.clone().implies(c.clone()));
+                let right = a.clone().implies(b).implies(a.implies(c));
+                left.implies(right)
+            }
+            Schema::K3 => {
+                let left = b.clone().not().implies(a.clone().not());
+                left.implies(a.implies(b))
+            }
+            Schema::ModalK => {
+                let left = a.clone().implies(b.clone()).nec();
+                left.implies(a.nec().implies(b.nec()))
+            }
+            Schema::ModalT => a.clone().nec().implies(a),
+            Schema::Modal4 => a.clone().nec().implies(a.nec().nec()),
+            Schema::Modal5 => {
+                let not_nec = a.clone().nec().not();
+                not_nec.clone().implies(not_nec.nec())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Schema::K1 => "K1",
+            Schema::K2 => "K2",
+            Schema::K3 => "K3",
+            Schema::ModalK => "K",
+            Schema::ModalT => "T",
+            Schema::Modal4 => "4",
+            Schema::Modal5 => "5",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One line of a Hilbert proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// An instance of an axiom schema (with the three instantiation
+    /// slots recorded for checkability).
+    Axiom {
+        /// The schema.
+        schema: Schema,
+        /// Instantiations of the schema's metavariables.
+        slots: Box<(Formula, Formula, Formula)>,
+    },
+    /// Modus ponens from lines `implication` (`A ⇒ B`) and `antecedent`
+    /// (`A`).
+    ModusPonens {
+        /// Index of the line holding `A ⇒ B`.
+        implication: usize,
+        /// Index of the line holding `A`.
+        antecedent: usize,
+    },
+    /// Necessitation of an earlier line (theorems only, which is all a
+    /// hypothesis-free Hilbert proof contains).
+    Necessitation(usize),
+}
+
+/// A Hilbert proof: a list of steps, each accompanied by the formula it
+/// derives.
+#[derive(Debug, Clone, Default)]
+pub struct Proof {
+    lines: Vec<(Step, Formula)>,
+}
+
+/// Errors detected by the proof checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// A step referenced a line at or after itself.
+    ForwardReference {
+        /// The offending line.
+        line: usize,
+    },
+    /// Modus ponens premises do not fit (`A ⇒ B` / `A` mismatch).
+    BadModusPonens {
+        /// The offending line.
+        line: usize,
+    },
+    /// The recorded formula does not match the step's derivation.
+    FormulaMismatch {
+        /// The offending line.
+        line: usize,
+    },
+    /// The proof is empty.
+    Empty,
+}
+
+impl fmt::Display for ProofError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProofError::ForwardReference { line } => {
+                write!(f, "line {line}: reference to a later line")
+            }
+            ProofError::BadModusPonens { line } => {
+                write!(f, "line {line}: modus ponens premises do not match")
+            }
+            ProofError::FormulaMismatch { line } => {
+                write!(f, "line {line}: recorded formula differs from the derived one")
+            }
+            ProofError::Empty => write!(f, "empty proof"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+impl Proof {
+    /// Starts an empty proof.
+    pub fn new() -> Proof {
+        Proof::default()
+    }
+
+    /// Appends an axiom instance; returns its line index.
+    pub fn axiom(&mut self, schema: Schema, a: Formula, b: Formula, c: Formula) -> usize {
+        let formula = schema.instantiate(a.clone(), b.clone(), c.clone());
+        self.lines.push((
+            Step::Axiom {
+                schema,
+                slots: Box::new((a, b, c)),
+            },
+            formula,
+        ));
+        self.lines.len() - 1
+    }
+
+    /// Appends a modus-ponens step; returns the new line index.
+    ///
+    /// # Panics
+    /// Panics if the referenced lines do not form an `A ⇒ B` / `A` pair
+    /// (construct-time check; [`Proof::check`] re-validates).
+    pub fn modus_ponens(&mut self, implication: usize, antecedent: usize) -> usize {
+        let Formula::Implies(lhs, rhs) = &self.lines[implication].1 else {
+            panic!("line {implication} is not an implication");
+        };
+        assert_eq!(
+            **lhs, self.lines[antecedent].1,
+            "antecedent does not match the implication"
+        );
+        let conclusion = (**rhs).clone();
+        self.lines.push((
+            Step::ModusPonens {
+                implication,
+                antecedent,
+            },
+            conclusion,
+        ));
+        self.lines.len() - 1
+    }
+
+    /// Appends a necessitation step; returns the new line index.
+    pub fn necessitation(&mut self, line: usize) -> usize {
+        let formula = self.lines[line].1.clone().nec();
+        self.lines.push((Step::Necessitation(line), formula));
+        self.lines.len() - 1
+    }
+
+    /// The formula proved by the last line.
+    pub fn conclusion(&self) -> Option<&Formula> {
+        self.lines.last().map(|(_, f)| f)
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Returns `true` iff the proof has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Re-validates every step.
+    pub fn check(&self) -> Result<(), ProofError> {
+        if self.lines.is_empty() {
+            return Err(ProofError::Empty);
+        }
+        for (i, (step, formula)) in self.lines.iter().enumerate() {
+            match step {
+                Step::Axiom { schema, slots } => {
+                    let (a, b, c) = (*slots.clone()).clone();
+                    if schema.instantiate(a, b, c) != *formula {
+                        return Err(ProofError::FormulaMismatch { line: i });
+                    }
+                }
+                Step::ModusPonens {
+                    implication,
+                    antecedent,
+                } => {
+                    if *implication >= i || *antecedent >= i {
+                        return Err(ProofError::ForwardReference { line: i });
+                    }
+                    let Formula::Implies(lhs, rhs) = &self.lines[*implication].1 else {
+                        return Err(ProofError::BadModusPonens { line: i });
+                    };
+                    if **lhs != self.lines[*antecedent].1 || **rhs != *formula {
+                        return Err(ProofError::BadModusPonens { line: i });
+                    }
+                }
+                Step::Necessitation(line) => {
+                    if *line >= i {
+                        return Err(ProofError::ForwardReference { line: i });
+                    }
+                    if self.lines[*line].1.clone().nec() != *formula {
+                        return Err(ProofError::FormulaMismatch { line: i });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The classic 5-line Hilbert proof of `A ⇒ A`, for any `A`.
+pub fn prove_identity(a: Formula) -> Proof {
+    let mut proof = Proof::new();
+    // 1. A ⇒ ((A ⇒ A) ⇒ A)                      [K1 with B := A ⇒ A]
+    let l1 = proof.axiom(
+        Schema::K1,
+        a.clone(),
+        a.clone().implies(a.clone()),
+        a.clone(),
+    );
+    // 2. (A ⇒ ((A⇒A) ⇒ A)) ⇒ ((A ⇒ (A⇒A)) ⇒ (A ⇒ A))   [K2]
+    let l2 = proof.axiom(
+        Schema::K2,
+        a.clone(),
+        a.clone().implies(a.clone()),
+        a.clone(),
+    );
+    // 3. (A ⇒ (A⇒A)) ⇒ (A ⇒ A)                 [MP 2,1]
+    let l3 = proof.modus_ponens(l2, l1);
+    // 4. A ⇒ (A ⇒ A)                            [K1 with B := A]
+    let l4 = proof.axiom(Schema::K1, a.clone(), a.clone(), a);
+    // 5. A ⇒ A                                  [MP 3,4]
+    proof.modus_ponens(l3, l4);
+    proof
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarId;
+
+    fn var(i: u32) -> Formula {
+        Formula::var(VarId(i))
+    }
+
+    #[test]
+    fn every_schema_is_a_c_tautology() {
+        // soundness of the axioms, machine-checked over small instances
+        let instances = [
+            (var(0), var(1), var(2)),
+            (var(0), var(0), var(0)),
+            (var(0).not(), var(1).nec(), var(0)),
+            (var(0).implies(var(1)), var(2), var(1)),
+        ];
+        for schema in Schema::ALL {
+            for (a, b, c) in &instances {
+                let formula = schema.instantiate(a.clone(), b.clone(), c.clone());
+                assert!(
+                    is_c_tautology(&formula),
+                    "schema {schema} instance is not C-valid: {formula}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_proof_checks_and_is_valid() {
+        let proof = prove_identity(var(0));
+        assert_eq!(proof.len(), 5);
+        assert!(proof.check().is_ok());
+        let conclusion = proof.conclusion().unwrap();
+        assert_eq!(*conclusion, var(0).implies(var(0)));
+        assert!(is_c_tautology(conclusion));
+    }
+
+    #[test]
+    fn necessitation_of_a_theorem_is_valid() {
+        let mut proof = prove_identity(var(0));
+        let last = proof.len() - 1;
+        proof.necessitation(last);
+        assert!(proof.check().is_ok());
+        let conclusion = proof.conclusion().unwrap();
+        assert_eq!(*conclusion, var(0).implies(var(0)).nec());
+        assert!(is_c_tautology(conclusion), "∇(A ⇒ A) is C-valid");
+    }
+
+    #[test]
+    fn soundness_every_checked_line_is_c_valid() {
+        // build a slightly longer proof mixing modal axioms
+        let a = var(0);
+        let mut proof = prove_identity(a.clone());
+        let id = proof.len() - 1; // A ⇒ A
+        let nec_id = proof.necessitation(id); // ∇(A ⇒ A)
+        // T instance on (A ⇒ A): ∇(A⇒A) ⇒ (A⇒A)
+        let t = proof.axiom(
+            Schema::ModalT,
+            a.clone().implies(a.clone()),
+            a.clone(),
+            a.clone(),
+        );
+        // MP gives A ⇒ A again (round trip through the modality)
+        proof.modus_ponens(t, nec_id);
+        assert!(proof.check().is_ok());
+        for (_, formula) in &proof.lines {
+            assert!(is_c_tautology(formula), "unsound line: {formula}");
+        }
+    }
+
+    #[test]
+    fn checker_rejects_tampered_proofs() {
+        let mut proof = prove_identity(var(0));
+        // corrupt the final line's formula
+        let last = proof.lines.len() - 1;
+        proof.lines[last].1 = var(1);
+        assert!(matches!(
+            proof.check(),
+            Err(ProofError::BadModusPonens { .. }) | Err(ProofError::FormulaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checker_rejects_forward_references() {
+        let mut proof = Proof::new();
+        proof.axiom(Schema::K1, var(0), var(1), var(0));
+        proof
+            .lines
+            .push((Step::Necessitation(5), var(0).nec()));
+        assert!(matches!(
+            proof.check(),
+            Err(ProofError::ForwardReference { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn empty_proofs_are_rejected() {
+        assert_eq!(Proof::new().check(), Err(ProofError::Empty));
+    }
+
+    #[test]
+    fn modal_t_blocks_the_converse() {
+        // sanity that the system does NOT prove A ⇒ ∇A semantically:
+        // the schema set is sound, and A ⇒ ∇A is not C-valid, so no
+        // checked proof can conclude it.
+        let converse = var(0).implies(var(0).nec());
+        assert!(!is_c_tautology(&converse));
+    }
+}

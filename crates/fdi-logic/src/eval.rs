@@ -1,0 +1,586 @@
+//! The System-C evaluation scheme `V` and tautology checking.
+//!
+//! System-C (§5, [Bertram 73]) is *not* truth-functional: its evaluation
+//! scheme applies **rule 1** — "if `P` is a tautology of classical
+//! two-valued logic then `V(P) = true`" — *before* the structural rules,
+//! at every recursive step. The paper's example: `p ∨ ¬p` evaluates to
+//! `true` even when `a(p) = unknown`, although pure Kleene evaluation
+//! would give `unknown`.
+//!
+//! The remaining rules are structural:
+//!
+//! * rule 2: `V(p_i) = a_i`;
+//! * rule 3: Kleene negation;
+//! * rule 4: Kleene conjunction (and its disjunction dual);
+//! * rule 5: `V(∇Q) = true` iff `V(Q) = true`, else `false`.
+//!
+//! **Modal formulas and rule 1.** For formulas containing `∇` the phrase
+//! "tautology in the classical two-valued logic" is read in the standard
+//! modal-logic sense: `P` must be a *substitution instance of a classical
+//! tautology with maximal `∇`-subformulas treated as opaque atoms*
+//! (a "tautological consequence"). Reading `∇Q` as `Q` instead would make
+//! `p ⇒ ∇p` a rule-1 tautology and collapse the modal distinction that
+//! rule 5 exists to draw ([Bertram 73]'s last axiom restricts C to a
+//! logic of *logical necessity*, which requires `p ⇒ ∇p` to fail).
+//! Structurally identical `∇`-subformulas are identified (hash-consed)
+//! before the check, so `∇p ∨ ¬∇p` *is* a rule-1 tautology.
+//!
+//! [`Compiled`] flattens a formula into an arena and *precomputes* the
+//! rule-1 flag of every subformula, so that repeated evaluation (as done
+//! by [`is_c_tautology`] over `3^n` assignments) costs one pass over the
+//! arena per assignment.
+
+use crate::formula::Formula;
+use crate::truth::Truth;
+use crate::var::{Assignment, VarId, VarSet, VarTable};
+use std::collections::HashMap;
+
+/// Maximum number of distinct atoms in any subformula for which the
+/// rule-1 tautology flag is computed by exhaustive two-valued enumeration.
+///
+/// `2^22` evaluations of a small arena is well under a second; formulas
+/// beyond this size should use the closed-form implicational fast path
+/// (see [`crate::implication`]) instead of the generic evaluator.
+pub const TAUTOLOGY_ENUM_LIMIT: usize = 22;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    Var(VarId),
+    Not(u32),
+    And(u32, u32),
+    Or(u32, u32),
+    Nec(u32),
+}
+
+/// A formula compiled for repeated evaluation: an arena in bottom-up
+/// order, the rule-1 atoms of every node, and the precomputed rule-1
+/// (two-valued tautology) flag of every node.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    nodes: Vec<Node>,
+    /// Rule-1 atoms of each node: variables plus maximal ∇-subformulas
+    /// (as hash-consed atom ids ≥ the variable ids).
+    atoms: Vec<Vec<u32>>,
+    /// Atom id of each node when the node itself is a rule-1 atom
+    /// (variables and ∇-nodes).
+    own_atom: Vec<Option<u32>>,
+    taut2: Vec<bool>,
+    root: u32,
+    all_vars: VarSet,
+    /// Canonical structural keys, used to hash-cons ∇-atoms.
+    canon: Vec<String>,
+}
+
+impl Compiled {
+    /// Compiles `formula`, desugaring `⇒` into `¬∨` and computing the
+    /// rule-1 flag of every subformula.
+    ///
+    /// # Panics
+    /// Panics if some subformula has more than [`TAUTOLOGY_ENUM_LIMIT`]
+    /// distinct rule-1 atoms.
+    pub fn new(formula: &Formula) -> Compiled {
+        let mut c = Compiled {
+            nodes: Vec::with_capacity(formula.size()),
+            atoms: Vec::new(),
+            own_atom: Vec::new(),
+            taut2: Vec::new(),
+            root: 0,
+            all_vars: VarSet::EMPTY,
+            canon: Vec::new(),
+        };
+        let mut nec_atoms: HashMap<String, u32> = HashMap::new();
+        // Atom ids 0..64 are reserved for variables; ∇-atoms follow.
+        let mut next_atom = crate::var::VAR_LIMIT as u32;
+        c.root = c.push(formula, &mut nec_atoms, &mut next_atom);
+        c.all_vars = c.var_set(c.root);
+        c
+    }
+
+    fn push(
+        &mut self,
+        f: &Formula,
+        nec_atoms: &mut HashMap<String, u32>,
+        next_atom: &mut u32,
+    ) -> u32 {
+        let node = match f {
+            Formula::Var(v) => Node::Var(*v),
+            Formula::Not(p) => Node::Not(self.push(p, nec_atoms, next_atom)),
+            Formula::Nec(p) => Node::Nec(self.push(p, nec_atoms, next_atom)),
+            Formula::And(p, q) => {
+                let (a, b) = (
+                    self.push(p, nec_atoms, next_atom),
+                    self.push(q, nec_atoms, next_atom),
+                );
+                Node::And(a, b)
+            }
+            Formula::Or(p, q) => {
+                let (a, b) = (
+                    self.push(p, nec_atoms, next_atom),
+                    self.push(q, nec_atoms, next_atom),
+                );
+                Node::Or(a, b)
+            }
+            Formula::Implies(p, q) => {
+                let a = self.push(p, nec_atoms, next_atom);
+                let not_a = self.add_node(Node::Not(a), nec_atoms, next_atom);
+                let b = self.push(q, nec_atoms, next_atom);
+                Node::Or(not_a, b)
+            }
+        };
+        self.add_node(node, nec_atoms, next_atom)
+    }
+
+    fn add_node(
+        &mut self,
+        node: Node,
+        nec_atoms: &mut HashMap<String, u32>,
+        next_atom: &mut u32,
+    ) -> u32 {
+        let canon = match node {
+            Node::Var(v) => format!("v{}", v.0),
+            Node::Not(p) => format!("!({})", self.canon[p as usize]),
+            Node::Nec(p) => format!("N({})", self.canon[p as usize]),
+            Node::And(p, q) => format!("({})&({})", self.canon[p as usize], self.canon[q as usize]),
+            Node::Or(p, q) => format!("({})|({})", self.canon[p as usize], self.canon[q as usize]),
+        };
+        let own_atom = match node {
+            Node::Var(v) => Some(v.0),
+            Node::Nec(_) => Some(*nec_atoms.entry(canon.clone()).or_insert_with(|| {
+                let id = *next_atom;
+                *next_atom += 1;
+                id
+            })),
+            _ => None,
+        };
+        // Rule-1 atoms: the node's own atom if it is one, otherwise the
+        // union of the children's atoms (maximal ∇-subformulas stop the
+        // descent).
+        let atoms: Vec<u32> = if let Some(a) = own_atom {
+            vec![a]
+        } else {
+            let merge = |xs: &[u32], ys: &[u32]| -> Vec<u32> {
+                let mut out = xs.to_vec();
+                for y in ys {
+                    if !out.contains(y) {
+                        out.push(*y);
+                    }
+                }
+                out
+            };
+            match node {
+                Node::Not(p) => self.atoms[p as usize].clone(),
+                Node::And(p, q) | Node::Or(p, q) => {
+                    merge(&self.atoms[p as usize], &self.atoms[q as usize])
+                }
+                Node::Var(_) | Node::Nec(_) => unreachable!("handled via own_atom"),
+            }
+        };
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.canon.push(canon);
+        self.own_atom.push(own_atom);
+        self.atoms.push(atoms);
+        let taut = self.compute_taut2(id);
+        self.taut2.push(taut);
+        id
+    }
+
+    /// Variables (not ∇-atoms) occurring below node `id`.
+    fn var_set(&self, id: u32) -> VarSet {
+        match self.nodes[id as usize] {
+            Node::Var(v) => VarSet::singleton(v),
+            Node::Not(p) | Node::Nec(p) => self.var_set(p),
+            Node::And(p, q) | Node::Or(p, q) => self.var_set(p).union(self.var_set(q)),
+        }
+    }
+
+    /// Exhaustively checks whether node `id` is a substitution instance
+    /// of a two-valued tautology over its rule-1 atoms (rule 1 of the
+    /// evaluation scheme).
+    fn compute_taut2(&self, id: u32) -> bool {
+        let atom_list = &self.atoms[id as usize];
+        let k = atom_list.len();
+        assert!(
+            k <= TAUTOLOGY_ENUM_LIMIT,
+            "rule-1 tautology check over {k} atoms exceeds the {TAUTOLOGY_ENUM_LIMIT}-atom \
+             enumeration limit; use the implicational fast path for large formulas"
+        );
+        for code in 0u64..(1u64 << k) {
+            let lookup = |atom: u32| -> bool {
+                let pos = atom_list
+                    .iter()
+                    .position(|a| *a == atom)
+                    .expect("atom in list");
+                code & (1 << pos) != 0
+            };
+            if !self.eval_bool_node(id, &lookup) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Classical two-valued evaluation of node `id`, with variables and
+    /// maximal ∇-subformulas both read off the atom lookup.
+    fn eval_bool_node(&self, id: u32, lookup: &dyn Fn(u32) -> bool) -> bool {
+        if let Some(atom) = self.own_atom[id as usize] {
+            return lookup(atom);
+        }
+        match self.nodes[id as usize] {
+            Node::Not(p) => !self.eval_bool_node(p, lookup),
+            Node::And(p, q) => self.eval_bool_node(p, lookup) && self.eval_bool_node(q, lookup),
+            Node::Or(p, q) => self.eval_bool_node(p, lookup) || self.eval_bool_node(q, lookup),
+            Node::Var(_) | Node::Nec(_) => unreachable!("atoms handled above"),
+        }
+    }
+
+    /// The variables of the whole formula.
+    pub fn vars(&self) -> VarSet {
+        self.all_vars
+    }
+
+    /// Whether the whole formula is a rule-1 tautology (atoms =
+    /// variables and maximal ∇-subformulas).
+    pub fn is_two_valued_tautology(&self) -> bool {
+        self.taut2[self.root as usize]
+    }
+
+    /// Evaluates the formula under `assignment` with the System-C scheme
+    /// `V`: the rule-1 flag short-circuits every subformula to `true`
+    /// before the structural rules apply.
+    pub fn eval(&self, assignment: &Assignment) -> Truth {
+        let mut values = vec![Truth::Unknown; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = if self.taut2[i] {
+                Truth::True
+            } else {
+                match *node {
+                    Node::Var(v) => assignment.get(v),
+                    Node::Not(p) => values[p as usize].not(),
+                    Node::Nec(p) => values[p as usize].necessarily(),
+                    Node::And(p, q) => values[p as usize].and(values[q as usize]),
+                    Node::Or(p, q) => values[p as usize].or(values[q as usize]),
+                }
+            };
+        }
+        values[self.root as usize]
+    }
+
+    /// Pure Kleene evaluation (rule 1 disabled): what a truth-functional
+    /// three-valued logic would compute. Exposed to demonstrate where
+    /// System-C differs (e.g. `p ∨ ¬p`).
+    pub fn eval_kleene(&self, assignment: &Assignment) -> Truth {
+        let mut values = vec![Truth::Unknown; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match *node {
+                Node::Var(v) => assignment.get(v),
+                Node::Not(p) => values[p as usize].not(),
+                Node::Nec(p) => values[p as usize].necessarily(),
+                Node::And(p, q) => values[p as usize].and(values[q as usize]),
+                Node::Or(p, q) => values[p as usize].or(values[q as usize]),
+            };
+        }
+        values[self.root as usize]
+    }
+}
+
+/// Evaluates `formula` under `assignment` using the System-C scheme `V`.
+///
+/// Convenience wrapper; compile once with [`Compiled::new`] when
+/// evaluating the same formula under many assignments.
+pub fn eval_c(formula: &Formula, assignment: &Assignment) -> Truth {
+    Compiled::new(formula).eval(assignment)
+}
+
+/// Checks whether `formula` is a rule-1 **two-valued** tautology
+/// (maximal `∇`-subformulas treated as opaque atoms).
+pub fn is_tautology_2v(formula: &Formula) -> bool {
+    Compiled::new(formula).is_two_valued_tautology()
+}
+
+/// Checks whether `formula` is a **C-tautology**: `V(formula, a) = true`
+/// for *every* three-valued assignment `a` of its variables.
+///
+/// By [Bertram 73] the C-tautologies coincide with the C-theorems
+/// (soundness and completeness), so this is also a theoremhood test.
+pub fn is_c_tautology(formula: &Formula) -> bool {
+    let compiled = Compiled::new(formula);
+    let vars: Vec<VarId> = compiled.vars().iter().collect();
+    let n = vars.len();
+    assert!(n <= 16, "C-tautology enumeration capped at 16 variables");
+    // Enumerate assignments over the occurring variables only; variables
+    // not occurring are irrelevant to V.
+    let width = vars.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+    let total = 3u64.pow(n as u32);
+    let mut assignment = Assignment::unknown(width);
+    for mut code in 0..total {
+        for v in &vars {
+            assignment.set(*v, Truth::ALL[(code % 3) as usize]);
+            code /= 3;
+        }
+        if compiled.eval(&assignment) != Truth::True {
+            return false;
+        }
+    }
+    true
+}
+
+/// The result of probing a formula under every assignment: how many
+/// assignments give each truth value. Used by the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ValuationProfile {
+    /// Number of assignments with `V = true`.
+    pub true_count: u64,
+    /// Number of assignments with `V = false`.
+    pub false_count: u64,
+    /// Number of assignments with `V = unknown`.
+    pub unknown_count: u64,
+}
+
+/// Counts `V(formula, a)` over all `3^n` assignments of the occurring
+/// variables.
+pub fn valuation_profile(formula: &Formula) -> ValuationProfile {
+    let compiled = Compiled::new(formula);
+    let vars: Vec<VarId> = compiled.vars().iter().collect();
+    let n = vars.len();
+    assert!(n <= 16, "valuation profile enumeration capped at 16 variables");
+    let width = vars.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+    let mut profile = ValuationProfile::default();
+    let mut assignment = Assignment::unknown(width);
+    for mut code in 0..3u64.pow(n as u32) {
+        for v in &vars {
+            assignment.set(*v, Truth::ALL[(code % 3) as usize]);
+            code /= 3;
+        }
+        match compiled.eval(&assignment) {
+            Truth::True => profile.true_count += 1,
+            Truth::False => profile.false_count += 1,
+            Truth::Unknown => profile.unknown_count += 1,
+        }
+    }
+    profile
+}
+
+/// Renders a full `V` truth table of `formula` (one line per assignment);
+/// intended for small formulas in examples and the harness.
+pub fn truth_table(formula: &Formula, table: &VarTable) -> String {
+    let compiled = Compiled::new(formula);
+    let vars: Vec<VarId> = compiled.vars().iter().collect();
+    let n = vars.len();
+    assert!(n <= 6, "truth tables rendered for at most 6 variables");
+    let width = vars.iter().map(|v| v.index() + 1).max().unwrap_or(0);
+    let mut out = String::new();
+    for v in &vars {
+        out.push_str(table.name(*v));
+        out.push(' ');
+    }
+    out.push_str("| V\n");
+    let mut assignment = Assignment::unknown(width);
+    for mut code in 0..3u64.pow(n as u32) {
+        for v in &vars {
+            assignment.set(*v, Truth::ALL[(code % 3) as usize]);
+            code /= 3;
+        }
+        for v in &vars {
+            let pad = table.name(*v).len();
+            out.push(assignment.get(*v).letter());
+            for _ in 1..pad {
+                out.push(' ');
+            }
+            out.push(' ');
+        }
+        out.push_str("| ");
+        out.push(compiled.eval(&assignment).letter());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_standalone;
+
+    fn eval_str(formula: &str, values: &[(&str, Truth)]) -> Truth {
+        let (f, table) = parse_standalone(formula).unwrap();
+        let mut a = Assignment::unknown(table.len());
+        for (name, t) in values {
+            a.set(table.lookup(name).expect("var"), *t);
+        }
+        eval_c(&f, &a)
+    }
+
+    #[test]
+    fn rule_one_promotes_excluded_middle() {
+        // The paper's own example: p ∨ ¬p is true in C even under unknown,
+        // though pure Kleene evaluation yields unknown.
+        assert_eq!(eval_str("p | !p", &[("p", Truth::Unknown)]), Truth::True);
+        let (f, _) = parse_standalone("p | !p").unwrap();
+        let c = Compiled::new(&f);
+        assert_eq!(
+            c.eval_kleene(&Assignment::unknown(1)),
+            Truth::Unknown,
+            "Kleene must NOT promote the tautology — that is the point of rule 1"
+        );
+    }
+
+    #[test]
+    fn structural_rules_match_kleene_on_non_tautologies() {
+        use Truth::*;
+        assert_eq!(eval_str("p & q", &[("p", True), ("q", Unknown)]), Unknown);
+        assert_eq!(eval_str("p & q", &[("p", False), ("q", Unknown)]), False);
+        assert_eq!(eval_str("p | q", &[("p", Unknown), ("q", Unknown)]), Unknown);
+        assert_eq!(eval_str("!p", &[("p", Unknown)]), Unknown);
+    }
+
+    #[test]
+    fn necessity_rule_five() {
+        use Truth::*;
+        assert_eq!(eval_str("nec p", &[("p", True)]), True);
+        assert_eq!(eval_str("nec p", &[("p", Unknown)]), False);
+        assert_eq!(eval_str("nec p", &[("p", False)]), False);
+    }
+
+    #[test]
+    fn nec_subformulas_are_rule_one_atoms() {
+        // ∇p ∨ ¬∇p: a tautological instance with atom q = ∇p → rule 1.
+        let (f, _) = parse_standalone("nec p | !nec p").unwrap();
+        assert!(is_tautology_2v(&f));
+        // p ⇒ ∇p is NOT a tautological instance: atoms p and ∇p are
+        // independent. Reading ∇ as identity would wrongly promote it.
+        let (g, _) = parse_standalone("p => nec p").unwrap();
+        assert!(!is_tautology_2v(&g));
+        assert_eq!(eval_str("p => nec p", &[("p", Truth::Unknown)]), Truth::Unknown);
+    }
+
+    #[test]
+    fn contradictions_are_not_demoted() {
+        // Rule 1 promotes tautologies only; p ∧ ¬p under unknown stays
+        // unknown (System-C is asymmetric here — documented behaviour).
+        assert_eq!(eval_str("p & !p", &[("p", Truth::Unknown)]), Truth::Unknown);
+        // ... but its negation is a tautology and therefore true.
+        assert_eq!(eval_str("!(p & !p)", &[("p", Truth::Unknown)]), Truth::True);
+    }
+
+    #[test]
+    fn implication_desugars_and_reflexive_implication_is_true() {
+        // X ⇒ Y with Y ⊆ X is a two-valued tautology: rule 1 applies.
+        assert_eq!(
+            eval_str("p & q => p", &[("p", Truth::Unknown), ("q", Truth::Unknown)]),
+            Truth::True
+        );
+        // A genuine implication behaves Kleene-wise.
+        assert_eq!(
+            eval_str("p => q", &[("p", Truth::True), ("q", Truth::Unknown)]),
+            Truth::Unknown
+        );
+        assert_eq!(
+            eval_str("p => q", &[("p", Truth::False), ("q", Truth::Unknown)]),
+            Truth::True
+        );
+    }
+
+    #[test]
+    fn c_tautologies() {
+        let cases_true = ["p | !p", "p => p", "p & q => p", "p => p | q", "nec p => p"];
+        for s in cases_true {
+            let (f, _) = parse_standalone(s).unwrap();
+            assert!(is_c_tautology(&f), "{s} should be a C-tautology");
+        }
+        let cases_false = ["p", "p => q", "p | q", "p => nec p", "nec (p | q) => nec p"];
+        for s in cases_false {
+            let (f, _) = parse_standalone(s).unwrap();
+            assert!(!is_c_tautology(&f), "{s} should not be a C-tautology");
+        }
+    }
+
+    #[test]
+    fn modal_necessitation_distinction() {
+        // p ⇒ p is a C-tautology but p ⇒ ∇p is not: when a(p) = unknown,
+        // V(∇p) = false so the implication is unknown ∨ false = unknown.
+        let (f, table) = parse_standalone("p => nec p").unwrap();
+        let mut a = Assignment::unknown(table.len());
+        a.set(table.lookup("p").unwrap(), Truth::Unknown);
+        assert_eq!(eval_c(&f, &a), Truth::Unknown);
+    }
+
+    #[test]
+    fn two_valued_tautology_flag() {
+        let (f, _) = parse_standalone("p | !p").unwrap();
+        assert!(is_tautology_2v(&f));
+        let (g, _) = parse_standalone("p | !q").unwrap();
+        assert!(!is_tautology_2v(&g));
+        // De Morgan as a biconditional, spelled with two implications.
+        let (h, _) = parse_standalone("(!(p & q) => (!p | !q)) & ((!p | !q) => !(p & q))").unwrap();
+        assert!(is_tautology_2v(&h));
+    }
+
+    #[test]
+    fn valuation_profile_counts_all_assignments() {
+        let (f, _) = parse_standalone("p => q").unwrap();
+        let profile = valuation_profile(&f);
+        assert_eq!(
+            profile.true_count + profile.false_count + profile.unknown_count,
+            9
+        );
+        // V(p⇒q): false only at p=T,q=F.
+        assert_eq!(profile.false_count, 1);
+        // true at p=F (3 cases) and q=T (3 cases), overlapping at (F,T): 5.
+        assert_eq!(profile.true_count, 5);
+        assert_eq!(profile.unknown_count, 3);
+    }
+
+    #[test]
+    fn truth_table_renders() {
+        let (f, t) = parse_standalone("p => q").unwrap();
+        let rendered = truth_table(&f, &t);
+        assert_eq!(rendered.lines().count(), 10); // header + 9 assignments
+        assert!(rendered.starts_with("p q | V"));
+    }
+
+    #[test]
+    fn compiled_eval_agrees_with_uncompiled_on_nested_shapes() {
+        let shapes = [
+            "((p => q) & (q => r)) => (p => r)",
+            "nec (p & q) => nec p & nec q",
+            "!(p | q) => !p & !q",
+            "(p & !p) | (q | !q)",
+            "nec (p | !p)",
+        ];
+        for s in shapes {
+            let (f, table) = parse_standalone(s).unwrap();
+            let compiled = Compiled::new(&f);
+            for a in Assignment::enumerate_all(table.len()) {
+                assert_eq!(compiled.eval(&a), eval_c(&f, &a), "formula {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn necessitation_of_a_tautology_is_a_c_tautology() {
+        // ∇(p ∨ ¬p): the operand is a rule-1 tautology, so V(operand) =
+        // true and rule 5 gives true everywhere.
+        let (f, _) = parse_standalone("nec (p | !p)").unwrap();
+        assert!(is_c_tautology(&f));
+    }
+
+    #[test]
+    fn everything_provable_in_two_valued_logic_is_true_in_c() {
+        // The paper: "some of the axioms comprise a set of axioms for
+        // classical two-valued logic, thus ensuring that everything
+        // provable in two-valued logic is also provable in C".
+        // Semantically: every 2v tautology is a C-tautology.
+        let two_valued_tautologies = [
+            "p | !p",
+            "((p => q) & (q => r)) => (p => r)",
+            "p => (q => p)",
+            "(p => (q => r)) => ((p => q) => (p => r))",
+            "(!q => !p) => (p => q)",
+        ];
+        for s in two_valued_tautologies {
+            let (f, _) = parse_standalone(s).unwrap();
+            assert!(is_tautology_2v(&f), "{s}");
+            assert!(is_c_tautology(&f), "{s}");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Well-formed formulas of System-C.
+//!
+//! System-C (§5, after [Bertram 73]) extends classical propositional logic
+//! with the unary modal operator `∇` ("necessarily true"). Implication is
+//! defined, not primitive: `P ⇒ Q := ¬P ∨ Q`; we keep it as an AST node for
+//! faithful display but desugar it during evaluation.
+
+use crate::var::{VarId, VarSet, VarTable};
+use std::fmt;
+
+/// A well-formed formula (wff) of System-C.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// A propositional variable.
+    Var(VarId),
+    /// Negation `¬P`.
+    Not(Box<Formula>),
+    /// Conjunction `P ∧ Q`.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction `P ∨ Q`.
+    Or(Box<Formula>, Box<Formula>),
+    /// Defined implication `P ⇒ Q` (sugar for `¬P ∨ Q`).
+    Implies(Box<Formula>, Box<Formula>),
+    /// The modal necessity operator `∇P` ("necessarily true").
+    Nec(Box<Formula>),
+}
+
+impl Formula {
+    /// A variable leaf.
+    pub fn var(v: VarId) -> Formula {
+        Formula::Var(v)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(self, rhs: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Implication (kept as a node; semantically `¬self ∨ rhs`).
+    pub fn implies(self, rhs: Formula) -> Formula {
+        Formula::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// Necessity.
+    pub fn nec(self) -> Formula {
+        Formula::Nec(Box::new(self))
+    }
+
+    /// The conjunction `v₁ ∧ v₂ ∧ …` of a non-empty variable set, with
+    /// variables in increasing id order (left-nested).
+    ///
+    /// # Panics
+    /// Panics if `set` is empty — the paper's conjunctive terms are
+    /// non-empty by construction.
+    pub fn conj(set: VarSet) -> Formula {
+        let mut iter = set.iter();
+        let first = iter
+            .next()
+            .expect("conjunctive term must contain at least one variable");
+        let mut acc = Formula::Var(first);
+        for v in iter {
+            acc = acc.and(Formula::Var(v));
+        }
+        acc
+    }
+
+    /// The set of variables occurring in the formula.
+    pub fn vars(&self) -> VarSet {
+        match self {
+            Formula::Var(v) => VarSet::singleton(*v),
+            Formula::Not(p) | Formula::Nec(p) => p.vars(),
+            Formula::And(p, q) | Formula::Or(p, q) | Formula::Implies(p, q) => {
+                p.vars().union(q.vars())
+            }
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::Var(_) => 1,
+            Formula::Not(p) | Formula::Nec(p) => 1 + p.size(),
+            Formula::And(p, q) | Formula::Or(p, q) | Formula::Implies(p, q) => {
+                1 + p.size() + q.size()
+            }
+        }
+    }
+
+    /// Maximum nesting depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            Formula::Var(_) => 1,
+            Formula::Not(p) | Formula::Nec(p) => 1 + p.depth(),
+            Formula::And(p, q) | Formula::Or(p, q) | Formula::Implies(p, q) => {
+                1 + p.depth().max(q.depth())
+            }
+        }
+    }
+
+    /// Returns `true` iff the formula contains a `∇` operator.
+    pub fn is_modal(&self) -> bool {
+        match self {
+            Formula::Var(_) => false,
+            Formula::Nec(_) => true,
+            Formula::Not(p) => p.is_modal(),
+            Formula::And(p, q) | Formula::Or(p, q) | Formula::Implies(p, q) => {
+                p.is_modal() || q.is_modal()
+            }
+        }
+    }
+
+    /// Structurally desugars `Implies` nodes into `¬P ∨ Q`.
+    pub fn desugar(&self) -> Formula {
+        match self {
+            Formula::Var(v) => Formula::Var(*v),
+            Formula::Not(p) => p.desugar().not(),
+            Formula::Nec(p) => p.desugar().nec(),
+            Formula::And(p, q) => p.desugar().and(q.desugar()),
+            Formula::Or(p, q) => p.desugar().or(q.desugar()),
+            Formula::Implies(p, q) => p.desugar().not().or(q.desugar()),
+        }
+    }
+
+    /// Renders the formula with variable names from `table`.
+    pub fn render(&self, table: &VarTable) -> String {
+        let mut out = String::new();
+        self.render_prec(table, 0, &mut out);
+        out
+    }
+
+    /// Precedence climbing renderer. Levels: 0 = implies, 1 = or, 2 = and,
+    /// 3 = unary.
+    fn render_prec(&self, table: &VarTable, level: u8, out: &mut String) {
+        let my_level = match self {
+            Formula::Implies(..) => 0,
+            Formula::Or(..) => 1,
+            Formula::And(..) => 2,
+            Formula::Not(_) | Formula::Nec(_) | Formula::Var(_) => 3,
+        };
+        let need_parens = my_level < level;
+        if need_parens {
+            out.push('(');
+        }
+        match self {
+            Formula::Var(v) => out.push_str(table.name(*v)),
+            Formula::Not(p) => {
+                out.push('!');
+                p.render_prec(table, 3, out);
+            }
+            Formula::Nec(p) => {
+                out.push_str("nec ");
+                p.render_prec(table, 3, out);
+            }
+            Formula::And(p, q) => {
+                p.render_prec(table, 2, out);
+                out.push_str(" & ");
+                q.render_prec(table, 2, out);
+            }
+            Formula::Or(p, q) => {
+                p.render_prec(table, 1, out);
+                out.push_str(" | ");
+                q.render_prec(table, 1, out);
+            }
+            Formula::Implies(p, q) => {
+                // right-associative: parenthesize a left-nested implication
+                p.render_prec(table, 1, out);
+                out.push_str(" => ");
+                q.render_prec(table, 0, out);
+            }
+        }
+        if need_parens {
+            out.push(')');
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    /// Displays with positional variable names (`p0`, `p1`, …). Prefer
+    /// [`Formula::render`] when a [`VarTable`] is available.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self
+            .vars()
+            .iter()
+            .map(|v| v.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let table = VarTable::from_names((0..n).map(|i| format!("p{i}")));
+        f.write_str(&self.render(&table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> (VarTable, Formula, Formula, Formula) {
+        let mut t = VarTable::new();
+        let a = Formula::var(t.intern("A"));
+        let b = Formula::var(t.intern("B"));
+        let c = Formula::var(t.intern("C"));
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn vars_are_collected() {
+        let (_, a, b, c) = abc();
+        let f = a.clone().and(b).implies(c.or(a.not()));
+        let vs: Vec<u32> = f.vars().iter().map(|v| v.0).collect();
+        assert_eq!(vs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn conj_builds_left_nested_conjunction() {
+        let set: VarSet = [VarId(0), VarId(1), VarId(2)].into_iter().collect();
+        let f = Formula::conj(set);
+        assert_eq!(f.size(), 5); // 3 vars + 2 ands
+        assert_eq!(f.vars(), set);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn conj_of_empty_set_panics() {
+        let _ = Formula::conj(VarSet::EMPTY);
+    }
+
+    #[test]
+    fn desugar_eliminates_implies() {
+        let (_, a, b, _) = abc();
+        let f = a.clone().implies(b.clone());
+        assert_eq!(f.desugar(), a.not().or(b));
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let (_, a, b, _) = abc();
+        let f = a.and(b).not().nec();
+        assert_eq!(f.size(), 5);
+        assert_eq!(f.depth(), 4);
+    }
+
+    #[test]
+    fn modal_detection() {
+        let (_, a, b, _) = abc();
+        assert!(!a.clone().and(b.clone()).is_modal());
+        assert!(a.and(b.nec()).is_modal());
+    }
+
+    #[test]
+    fn rendering_uses_minimal_parentheses() {
+        let (t, a, b, c) = abc();
+        let f = a.clone().or(b.clone()).and(c.clone());
+        assert_eq!(f.render(&t), "(A | B) & C");
+        let g = a.clone().and(b.clone()).or(c.clone());
+        assert_eq!(g.render(&t), "A & B | C");
+        let h = a.clone().implies(b.clone().implies(c.clone()));
+        assert_eq!(h.render(&t), "A => B => C");
+        let i = a.clone().implies(b.clone()).implies(c.clone());
+        assert_eq!(i.render(&t), "(A => B) => C");
+        let j = a.clone().not().nec();
+        assert_eq!(j.render(&t), "nec !A");
+        let k = a.or(b).not();
+        assert_eq!(k.render(&t), "!(A | B)");
+        let _ = c;
+    }
+
+    #[test]
+    fn display_uses_positional_names() {
+        let f = Formula::var(VarId(0)).and(Formula::var(VarId(2)));
+        assert_eq!(f.to_string(), "p0 & p2");
+    }
+}

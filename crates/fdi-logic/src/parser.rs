@@ -1,0 +1,308 @@
+//! A small recursive-descent parser for System-C formulas.
+//!
+//! Grammar (standard precedence, implication right-associative):
+//!
+//! ```text
+//! implies := or ( "=>" implies )?
+//! or      := and ( "|" and )*
+//! and     := unary ( "&" unary )*
+//! unary   := "!" unary | "nec" unary | "(" implies ")" | IDENT
+//! ```
+//!
+//! Accepted spellings: `!`/`~`/`not` for negation, `&`/`and` for
+//! conjunction, `|`/`or` for disjunction, `=>`/`->` for implication, and
+//! `nec` for the modal necessity operator `∇`.
+
+use crate::formula::Formula;
+use crate::var::VarTable;
+use std::fmt;
+
+/// Error produced when a formula fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Not,
+    And,
+    Or,
+    Implies,
+    Nec,
+    LParen,
+    RParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '!' | '~' => {
+                tokens.push((i, Token::Not));
+                i += 1;
+            }
+            '&' => {
+                tokens.push((i, Token::And));
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'&' {
+                    i += 1;
+                }
+            }
+            '|' => {
+                tokens.push((i, Token::Or));
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'|' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push((i, Token::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((i, Token::RParen));
+                i += 1;
+            }
+            '=' | '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push((i, Token::Implies));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        position: i,
+                        message: format!("expected '{c}>' to form an implication arrow"),
+                    });
+                }
+            }
+            _ if c.is_alphanumeric() || c == '_' || c == '#' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_alphanumeric() || d == '_' || d == '#' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let token = match word.to_ascii_lowercase().as_str() {
+                    "not" => Token::Not,
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "nec" | "necessarily" => Token::Nec,
+                    _ => Token::Ident(word.to_string()),
+                };
+                tokens.push((start, token));
+            }
+            _ => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    table: &'a mut VarTable,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next_pos(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn parse_implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.parse_or()?;
+        if self.peek() == Some(&Token::Implies) {
+            self.bump();
+            let rhs = self.parse_implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Token::Or) {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        while self.peek() == Some(&Token::And) {
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        let position = self.next_pos();
+        match self.bump() {
+            Some(Token::Not) => Ok(self.parse_unary()?.not()),
+            Some(Token::Nec) => Ok(self.parse_unary()?.nec()),
+            Some(Token::LParen) => {
+                let inner = self.parse_implies()?;
+                let position = self.next_pos();
+                match self.bump() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(ParseError {
+                        position,
+                        message: "expected ')'".into(),
+                    }),
+                }
+            }
+            Some(Token::Ident(name)) => Ok(Formula::var(self.table.intern(&name))),
+            other => Err(ParseError {
+                position,
+                message: format!("expected a formula, found {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Parses `input` into a [`Formula`], interning variable names into
+/// `table` (names already present keep their ids, so several formulas can
+/// share one table).
+pub fn parse_formula(input: &str, table: &mut VarTable) -> Result<Formula, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        table,
+        input_len: input.len(),
+    };
+    let formula = parser.parse_implies()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseError {
+            position: parser.next_pos(),
+            message: "trailing input after formula".into(),
+        });
+    }
+    Ok(formula)
+}
+
+/// Parses a formula with a fresh variable table; returns both.
+pub fn parse_standalone(input: &str) -> Result<(Formula, VarTable), ParseError> {
+    let mut table = VarTable::new();
+    let formula = parse_formula(input, &mut table)?;
+    Ok((formula, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(s: &str) -> String {
+        let (f, t) = parse_standalone(s).expect("parse");
+        f.render(&t)
+    }
+
+    #[test]
+    fn parses_variables_and_connectives() {
+        assert_eq!(roundtrip("A & B | C"), "A & B | C");
+        assert_eq!(roundtrip("A & (B | C)"), "A & (B | C)");
+        assert_eq!(roundtrip("!A | B"), "!A | B");
+        assert_eq!(roundtrip("not A or B"), "!A | B");
+        assert_eq!(roundtrip("A and B"), "A & B");
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        assert_eq!(roundtrip("A => B => C"), "A => B => C");
+        assert_eq!(roundtrip("(A => B) => C"), "(A => B) => C");
+        assert_eq!(roundtrip("A -> B"), "A => B");
+    }
+
+    #[test]
+    fn nec_binds_tightly() {
+        assert_eq!(roundtrip("nec A & B"), "nec A & B");
+        let (f, _) = parse_standalone("nec A & B").unwrap();
+        // parses as (nec A) & B
+        assert!(matches!(f, Formula::And(..)));
+        assert_eq!(roundtrip("nec (A & B)"), "nec (A & B)");
+    }
+
+    #[test]
+    fn shared_table_reuses_ids() {
+        let mut t = VarTable::new();
+        let f1 = parse_formula("A & B", &mut t).unwrap();
+        let f2 = parse_formula("B => A", &mut t).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(f1.vars(), f2.vars());
+    }
+
+    #[test]
+    fn double_ampersand_and_pipe_are_accepted() {
+        assert_eq!(roundtrip("A && B || C"), "A & B | C");
+    }
+
+    #[test]
+    fn attribute_like_identifiers_parse() {
+        // the paper's attribute names: E#, SL, D#, CT
+        let (f, t) = parse_standalone("E# => SL & D#").unwrap();
+        assert_eq!(f.render(&t), "E# => SL & D#");
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_standalone("A &").unwrap_err();
+        assert_eq!(err.position, 3);
+        let err = parse_standalone("A ) B").unwrap_err();
+        assert!(err.message.contains("trailing"));
+        let err = parse_standalone("A = B").unwrap_err();
+        assert!(err.message.contains("implication arrow"));
+        let err = parse_standalone("(A & B").unwrap_err();
+        assert!(err.message.contains("')'"));
+        let err = parse_standalone("A @ B").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse_standalone("").is_err());
+        assert!(parse_standalone("   ").is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! The three-valued truth lattice used throughout the paper.
+//!
+//! Vassiliou's least-extension rule evaluates a predicate under every
+//! completion of the nulls it touches and returns the *least upper bound*
+//! of the outcomes: if all completions agree the common value is returned,
+//! otherwise the evaluation is [`Truth::Unknown`] (§2 of the paper:
+//! `lub{yes, no} = unknown`).
+//!
+//! Two orderings coexist on `{true, false, unknown}`:
+//!
+//! * the **information (approximation) ordering** `unknown ⊑ true`,
+//!   `unknown ⊑ false` — `unknown` carries the least information;
+//! * the **truth ordering** `false ≤ unknown ≤ true` used by the Kleene
+//!   connectives (rules 3–4 of System-C's evaluation scheme, §5).
+//!
+//! [`Truth::lub`] and [`Truth::combine`] implement the paper's lub, which
+//! collapses disagreeing outcomes to `unknown`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A three-valued truth value: `true`, `false`, or `unknown`.
+///
+/// `Unknown` is the value the least-extension rule assigns to a predicate
+/// whose outcome depends on what a null actually stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Truth {
+    /// The predicate holds under every completion.
+    True,
+    /// The predicate fails under every completion.
+    False,
+    /// Completions disagree: the incomplete knowledge is essential.
+    Unknown,
+}
+
+impl Truth {
+    /// All three truth values, in a fixed order (useful for exhaustive
+    /// assignment enumeration).
+    pub const ALL: [Truth; 3] = [Truth::True, Truth::False, Truth::Unknown];
+
+    /// Returns `true` iff this value is [`Truth::True`].
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// Returns `true` iff this value is [`Truth::False`].
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == Truth::False
+    }
+
+    /// Returns `true` iff this value is [`Truth::Unknown`].
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        self == Truth::Unknown
+    }
+
+    /// The *weak acceptance* predicate of §4: a dependency weakly holds when
+    /// its value is **not** `false` (true or unknown are both acceptable).
+    #[inline]
+    pub fn is_not_false(self) -> bool {
+        self != Truth::False
+    }
+
+    /// The paper's least upper bound of two evaluation outcomes: equal
+    /// values are preserved, disagreeing values collapse to `unknown`.
+    ///
+    /// This is the binary form of the least-extension combiner; it is
+    /// associative, commutative, and idempotent, with no identity element
+    /// (the lub of an empty set is undefined — see [`Truth::lub`]).
+    #[inline]
+    pub fn combine(self, other: Truth) -> Truth {
+        if self == other {
+            self
+        } else {
+            Truth::Unknown
+        }
+    }
+
+    /// Least upper bound of a non-empty collection of outcomes; `None` when
+    /// the iterator is empty.
+    ///
+    /// Short-circuits: once two distinct values have been seen the result
+    /// is `unknown` regardless of the rest.
+    pub fn lub<I: IntoIterator<Item = Truth>>(outcomes: I) -> Option<Truth> {
+        let mut iter = outcomes.into_iter();
+        let first = iter.next()?;
+        let mut acc = first;
+        for t in iter {
+            acc = acc.combine(t);
+            if acc == Truth::Unknown {
+                return Some(Truth::Unknown);
+            }
+        }
+        Some(acc)
+    }
+
+    /// Kleene negation (rule 3 of the System-C evaluation scheme).
+    ///
+    /// Named `not` to match the logical reading; `std::ops::Not` is also
+    /// implemented and delegates here.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Kleene conjunction (rule 4 of the System-C evaluation scheme):
+    /// `true` if both are `true`, `false` if either is `false`,
+    /// `unknown` otherwise.
+    #[inline]
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene disjunction (dual of rule 4): `true` if either is `true`,
+    /// `false` if both are `false`, `unknown` otherwise.
+    #[inline]
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    /// Kleene (material) implication: `¬self ∨ other`.
+    #[inline]
+    pub fn implies(self, other: Truth) -> Truth {
+        self.not().or(other)
+    }
+
+    /// The modal *necessity* operator `∇` (rule 5 of the System-C
+    /// evaluation scheme): `true` iff the operand is `true`, `false`
+    /// otherwise. `∇` reads "necessarily true".
+    #[inline]
+    pub fn necessarily(self) -> Truth {
+        if self == Truth::True {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Information (approximation) ordering: `self ⊑ other` iff `self`
+    /// carries no more information than `other`. `unknown` approximates
+    /// everything; `true` and `false` are incomparable.
+    #[inline]
+    pub fn approximates(self, other: Truth) -> bool {
+        self == Truth::Unknown || self == other
+    }
+
+    /// Conjunction over an iterator (`true` for the empty conjunction).
+    pub fn all<I: IntoIterator<Item = Truth>>(outcomes: I) -> Truth {
+        let mut acc = Truth::True;
+        for t in outcomes {
+            acc = acc.and(t);
+            if acc == Truth::False {
+                return Truth::False;
+            }
+        }
+        acc
+    }
+
+    /// Disjunction over an iterator (`false` for the empty disjunction).
+    pub fn any<I: IntoIterator<Item = Truth>>(outcomes: I) -> Truth {
+        let mut acc = Truth::False;
+        for t in outcomes {
+            acc = acc.or(t);
+            if acc == Truth::True {
+                return Truth::True;
+            }
+        }
+        acc
+    }
+
+    /// A compact single-character rendering (`T`, `F`, `U`).
+    pub fn letter(self) -> char {
+        match self {
+            Truth::True => 'T',
+            Truth::False => 'F',
+            Truth::Unknown => 'U',
+        }
+    }
+
+    /// Index in `0..3` matching [`Truth::ALL`]; handy for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Truth::True => 0,
+            Truth::False => 1,
+            Truth::Unknown => 2,
+        }
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Self {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+impl std::ops::Not for Truth {
+    type Output = Truth;
+
+    fn not(self) -> Truth {
+        Truth::not(self)
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Truth::True => "true",
+            Truth::False => "false",
+            Truth::Unknown => "unknown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned when parsing a [`Truth`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTruthError(pub String);
+
+impl fmt::Display for ParseTruthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid truth value: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseTruthError {}
+
+impl FromStr for Truth {
+    type Err = ParseTruthError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "true" | "t" | "yes" | "1" => Ok(Truth::True),
+            "false" | "f" | "no" | "0" => Ok(Truth::False),
+            "unknown" | "u" | "?" | "null" => Ok(Truth::Unknown),
+            other => Err(ParseTruthError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Truth::*;
+
+    #[test]
+    fn lub_of_agreeing_outcomes_is_the_common_value() {
+        assert_eq!(Truth::lub([True, True, True]), Some(True));
+        assert_eq!(Truth::lub([False, False]), Some(False));
+        assert_eq!(Truth::lub([Unknown, Unknown]), Some(Unknown));
+    }
+
+    #[test]
+    fn lub_of_disagreeing_outcomes_is_unknown() {
+        // The paper's marital-status example: lub{yes, no} = unknown.
+        assert_eq!(Truth::lub([True, False]), Some(Unknown));
+        assert_eq!(Truth::lub([False, True, True]), Some(Unknown));
+        assert_eq!(Truth::lub([True, Unknown]), Some(Unknown));
+    }
+
+    #[test]
+    fn lub_of_empty_set_is_undefined() {
+        assert_eq!(Truth::lub(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn combine_is_associative_and_commutative() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(a.combine(b), b.combine(a));
+                for c in Truth::ALL {
+                    assert_eq!(a.combine(b).combine(c), a.combine(b.combine(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kleene_negation_is_involutive_on_definite_values() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+        for t in Truth::ALL {
+            assert_eq!(t.not().not(), t);
+        }
+    }
+
+    #[test]
+    fn kleene_conjunction_truth_table() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn kleene_disjunction_truth_table() {
+        assert_eq!(True.or(False), True);
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn de_morgan_laws_hold() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn necessity_maps_unknown_to_false() {
+        assert_eq!(True.necessarily(), True);
+        assert_eq!(False.necessarily(), False);
+        assert_eq!(Unknown.necessarily(), False);
+    }
+
+    #[test]
+    fn approximation_ordering() {
+        assert!(Unknown.approximates(True));
+        assert!(Unknown.approximates(False));
+        assert!(Unknown.approximates(Unknown));
+        assert!(True.approximates(True));
+        assert!(!True.approximates(False));
+        assert!(!False.approximates(Unknown));
+    }
+
+    #[test]
+    fn kleene_implication_matches_definition() {
+        for a in Truth::ALL {
+            for b in Truth::ALL {
+                assert_eq!(a.implies(b), a.not().or(b));
+            }
+        }
+        // p => p is NOT true under pure Kleene evaluation when p is unknown;
+        // only System-C's tautology-first rule promotes it (see eval.rs).
+        assert_eq!(Unknown.implies(Unknown), Unknown);
+    }
+
+    #[test]
+    fn iterator_connectives_respect_identities() {
+        assert_eq!(Truth::all(std::iter::empty()), True);
+        assert_eq!(Truth::any(std::iter::empty()), False);
+        assert_eq!(Truth::all([True, Unknown]), Unknown);
+        assert_eq!(Truth::any([False, Unknown]), Unknown);
+        assert_eq!(Truth::all([True, False, Unknown]), False);
+        assert_eq!(Truth::any([False, True, Unknown]), True);
+    }
+
+    #[test]
+    fn parsing_round_trips() {
+        for t in Truth::ALL {
+            assert_eq!(t.to_string().parse::<Truth>().unwrap(), t);
+        }
+        assert_eq!("YES".parse::<Truth>().unwrap(), True);
+        assert_eq!("?".parse::<Truth>().unwrap(), Unknown);
+        assert!("maybe".parse::<Truth>().is_err());
+    }
+
+    #[test]
+    fn weak_acceptance_predicate() {
+        assert!(True.is_not_false());
+        assert!(Unknown.is_not_false());
+        assert!(!False.is_not_false());
+    }
+
+    #[test]
+    fn from_bool_and_letters() {
+        assert_eq!(Truth::from(true), True);
+        assert_eq!(Truth::from(false), False);
+        assert_eq!(True.letter(), 'T');
+        assert_eq!(Unknown.letter(), 'U');
+        assert_eq!(Truth::ALL[False.index()], False);
+    }
+}

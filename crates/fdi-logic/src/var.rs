@@ -1,0 +1,435 @@
+//! Propositional variables, variable sets, and assignments.
+//!
+//! System-C formulas (§5 of the paper) range over propositional variables
+//! `A, B, …` which, through the Lemma-3 correspondence, stand for
+//! database attributes. Variable sets are the conjunctive terms
+//! `X = A ∧ B` of implicational statements; we represent them as 64-bit
+//! bitsets, which is ample for the paper's setting (relation schemes with
+//! at most a few dozen attributes) and keeps set algebra branch-free.
+
+use crate::truth::Truth;
+use std::fmt;
+
+/// Identifier of a propositional variable: an index into a [`VarTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Maximum number of distinct variables supported by [`VarSet`].
+pub const VAR_LIMIT: usize = 64;
+
+/// A set of propositional variables, represented as a 64-bit bitset.
+///
+/// Used both for the conjunctive sides of implicational statements and for
+/// tracking which variables occur in a formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VarSet(pub u64);
+
+impl VarSet {
+    /// The empty set.
+    pub const EMPTY: VarSet = VarSet(0);
+
+    /// Creates a singleton set.
+    #[inline]
+    pub fn singleton(v: VarId) -> VarSet {
+        debug_assert!(v.index() < VAR_LIMIT, "variable id out of range");
+        VarSet(1u64 << v.0)
+    }
+
+    /// The set containing variables `0..n`.
+    #[inline]
+    pub fn first_n(n: usize) -> VarSet {
+        assert!(n <= VAR_LIMIT, "at most {VAR_LIMIT} variables supported");
+        if n == VAR_LIMIT {
+            VarSet(u64::MAX)
+        } else {
+            VarSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Returns `true` iff the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of variables in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, v: VarId) -> bool {
+        debug_assert!(v.index() < VAR_LIMIT);
+        self.0 & (1u64 << v.0) != 0
+    }
+
+    /// Inserts a variable, returning the enlarged set.
+    #[inline]
+    #[must_use]
+    pub fn with(self, v: VarId) -> VarSet {
+        debug_assert!(v.index() < VAR_LIMIT);
+        VarSet(self.0 | (1u64 << v.0))
+    }
+
+    /// Removes a variable, returning the shrunken set.
+    #[inline]
+    #[must_use]
+    pub fn without(self, v: VarId) -> VarSet {
+        debug_assert!(v.index() < VAR_LIMIT);
+        VarSet(self.0 & !(1u64 << v.0))
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: VarSet) -> VarSet {
+        VarSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersect(self, other: VarSet) -> VarSet {
+        VarSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: VarSet) -> VarSet {
+        VarSet(self.0 & !other.0)
+    }
+
+    /// Subset test (`self ⊆ other`).
+    #[inline]
+    pub fn is_subset(self, other: VarSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Disjointness test.
+    #[inline]
+    pub fn is_disjoint(self, other: VarSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates over the members in increasing index order.
+    pub fn iter(self) -> impl Iterator<Item = VarId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(VarId(i))
+            }
+        })
+    }
+
+    /// The smallest member, if any.
+    #[inline]
+    pub fn first(self) -> Option<VarId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(VarId(self.0.trailing_zeros()))
+        }
+    }
+}
+
+impl FromIterator<VarId> for VarSet {
+    fn from_iter<I: IntoIterator<Item = VarId>>(iter: I) -> Self {
+        let mut s = VarSet::EMPTY;
+        for v in iter {
+            s = s.with(v);
+        }
+        s
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Bidirectional mapping between variable names and [`VarId`]s.
+///
+/// Shared by the formula parser and every display routine; formulas store
+/// only `VarId`s so that set operations stay cheap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarTable {
+    names: Vec<String>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        VarTable { names: Vec::new() }
+    }
+
+    /// Creates a table with the given names, in order.
+    pub fn from_names<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        let mut t = VarTable::new();
+        for n in names {
+            t.intern(&n.into());
+        }
+        t
+    }
+
+    /// Returns the id for `name`, creating it if necessary.
+    ///
+    /// # Panics
+    /// Panics if more than [`VAR_LIMIT`] distinct names are interned.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(id) = self.lookup(name) {
+            return id;
+        }
+        assert!(
+            self.names.len() < VAR_LIMIT,
+            "at most {VAR_LIMIT} propositional variables supported"
+        );
+        let id = VarId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Returns the id for `name` if it is already interned.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Returns the name of `id`, or a fallback rendering if unknown.
+    pub fn name(&self, id: VarId) -> &str {
+        self.names
+            .get(id.index())
+            .map(String::as_str)
+            .unwrap_or("<?>")
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` iff no variable has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Renders a variable set with names, e.g. `AB` or `A,B` when names are
+    /// longer than one character.
+    pub fn render_set(&self, set: VarSet) -> String {
+        let names: Vec<&str> = set.iter().map(|v| self.name(v)).collect();
+        if names.iter().all(|n| n.chars().count() == 1) {
+            names.concat()
+        } else {
+            names.join(",")
+        }
+    }
+}
+
+/// A total assignment of truth values to the first `n` variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Assignment {
+    values: Vec<Truth>,
+}
+
+impl Assignment {
+    /// Creates an assignment from explicit values (index = variable id).
+    pub fn new(values: Vec<Truth>) -> Self {
+        Assignment { values }
+    }
+
+    /// An all-`unknown` assignment over `n` variables.
+    pub fn unknown(n: usize) -> Self {
+        Assignment {
+            values: vec![Truth::Unknown; n],
+        }
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` iff the assignment covers no variables.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value of variable `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn get(&self, v: VarId) -> Truth {
+        self.values[v.index()]
+    }
+
+    /// Sets the value of variable `v`.
+    pub fn set(&mut self, v: VarId, t: Truth) {
+        self.values[v.index()] = t;
+    }
+
+    /// Raw values, index = variable id.
+    pub fn values(&self) -> &[Truth] {
+        &self.values
+    }
+
+    /// Enumerates all `3^n` assignments over `n` variables.
+    ///
+    /// # Panics
+    /// Panics if `n > 20` (3^20 ≈ 3.5·10⁹ would never terminate usefully).
+    pub fn enumerate_all(n: usize) -> impl Iterator<Item = Assignment> {
+        assert!(n <= 20, "exhaustive 3^n enumeration capped at n = 20");
+        let total = 3u64.pow(n as u32);
+        (0..total).map(move |mut code| {
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(Truth::ALL[(code % 3) as usize]);
+                code /= 3;
+            }
+            Assignment { values }
+        })
+    }
+
+    /// Enumerates all `2^n` *two-valued* assignments over `n` variables.
+    ///
+    /// # Panics
+    /// Panics if `n > 30`.
+    pub fn enumerate_boolean(n: usize) -> impl Iterator<Item = Assignment> {
+        assert!(n <= 30, "exhaustive 2^n enumeration capped at n = 30");
+        (0..(1u64 << n)).map(move |code| {
+            let values = (0..n)
+                .map(|i| Truth::from(code & (1 << i) != 0))
+                .collect();
+            Assignment { values }
+        })
+    }
+
+    /// Renders the assignment compactly, e.g. `T F U`.
+    pub fn render(&self, table: &VarTable) -> String {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("{}={}", table.name(VarId(i as u32)), t.letter()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varset_basic_algebra() {
+        let a = VarId(0);
+        let b = VarId(1);
+        let c = VarId(5);
+        let s = VarSet::EMPTY.with(a).with(c);
+        assert!(s.contains(a));
+        assert!(!s.contains(b));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.without(a), VarSet::singleton(c));
+        assert!(VarSet::singleton(a).is_subset(s));
+        assert!(!s.is_subset(VarSet::singleton(a)));
+        assert!(s.is_disjoint(VarSet::singleton(b)));
+        assert_eq!(s.union(VarSet::singleton(b)).len(), 3);
+        assert_eq!(s.intersect(VarSet::singleton(c)), VarSet::singleton(c));
+        assert_eq!(s.difference(VarSet::singleton(c)), VarSet::singleton(a));
+    }
+
+    #[test]
+    fn varset_iteration_is_ordered() {
+        let s: VarSet = [VarId(7), VarId(2), VarId(40)].into_iter().collect();
+        let ids: Vec<u32> = s.iter().map(|v| v.0).collect();
+        assert_eq!(ids, vec![2, 7, 40]);
+        assert_eq!(s.first(), Some(VarId(2)));
+        assert_eq!(VarSet::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn first_n_builds_prefix_sets() {
+        assert_eq!(VarSet::first_n(0), VarSet::EMPTY);
+        assert_eq!(VarSet::first_n(3).len(), 3);
+        assert!(VarSet::first_n(3).contains(VarId(2)));
+        assert!(!VarSet::first_n(3).contains(VarId(3)));
+        assert_eq!(VarSet::first_n(64).len(), 64);
+    }
+
+    #[test]
+    fn var_table_interns_and_looks_up() {
+        let mut t = VarTable::new();
+        let a = t.intern("A");
+        let b = t.intern("B");
+        assert_eq!(t.intern("A"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.lookup("B"), Some(b));
+        assert_eq!(t.lookup("Z"), None);
+        assert_eq!(t.name(a), "A");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn render_set_concatenates_single_char_names() {
+        let t = VarTable::from_names(["A", "B", "C"]);
+        let s: VarSet = [VarId(0), VarId(2)].into_iter().collect();
+        assert_eq!(t.render_set(s), "AC");
+        let t2 = VarTable::from_names(["Emp", "Sal"]);
+        let s2: VarSet = [VarId(0), VarId(1)].into_iter().collect();
+        assert_eq!(t2.render_set(s2), "Emp,Sal");
+    }
+
+    #[test]
+    fn assignment_enumeration_counts() {
+        assert_eq!(Assignment::enumerate_all(3).count(), 27);
+        assert_eq!(Assignment::enumerate_boolean(4).count(), 16);
+        // all enumerated assignments are distinct
+        let all: std::collections::HashSet<_> = Assignment::enumerate_all(3).collect();
+        assert_eq!(all.len(), 27);
+    }
+
+    #[test]
+    fn assignment_get_set() {
+        let mut a = Assignment::unknown(3);
+        assert_eq!(a.get(VarId(1)), Truth::Unknown);
+        a.set(VarId(1), Truth::True);
+        assert_eq!(a.get(VarId(1)), Truth::True);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn boolean_enumeration_is_two_valued() {
+        for a in Assignment::enumerate_boolean(3) {
+            assert!(a.values().iter().all(|t| !t.is_unknown()));
+        }
+    }
+}

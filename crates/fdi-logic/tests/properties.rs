@@ -1,0 +1,218 @@
+//! Property-based tests for the System-C logic substrate.
+
+use fdi_logic::derive::{closure, derive_augmentation, prove, Derivation};
+use fdi_logic::eval::{is_tautology_2v, Compiled};
+use fdi_logic::formula::Formula;
+use fdi_logic::implication::{
+    closed_form_matches_generic, counterexample, infers, weakly_infers, InferenceMode, Statement,
+};
+use fdi_logic::truth::Truth;
+use fdi_logic::var::{Assignment, VarId, VarSet};
+use proptest::prelude::*;
+
+const VARS: usize = 4;
+
+fn arb_truth() -> impl Strategy<Value = Truth> {
+    prop_oneof![
+        Just(Truth::True),
+        Just(Truth::False),
+        Just(Truth::Unknown)
+    ]
+}
+
+fn arb_assignment() -> impl Strategy<Value = Assignment> {
+    proptest::collection::vec(arb_truth(), VARS).prop_map(Assignment::new)
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = (0..VARS as u32).prop_map(|i| Formula::var(VarId(i)));
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            inner.clone().prop_map(Formula::nec),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.implies(b)),
+        ]
+    })
+}
+
+fn arb_varset_nonempty() -> impl Strategy<Value = VarSet> {
+    (1u64..(1 << VARS)).prop_map(VarSet)
+}
+
+fn arb_statement() -> impl Strategy<Value = Statement> {
+    (arb_varset_nonempty(), arb_varset_nonempty()).prop_map(|(l, r)| Statement::new(l, r))
+}
+
+/// Classical two-valued evaluation of a non-modal formula.
+fn eval_bool(f: &Formula, a: &Assignment) -> bool {
+    match f {
+        Formula::Var(v) => a.get(*v).is_true(),
+        Formula::Not(p) => !eval_bool(p, a),
+        Formula::Nec(p) => eval_bool(p, a),
+        Formula::And(p, q) => eval_bool(p, a) && eval_bool(q, a),
+        Formula::Or(p, q) => eval_bool(p, a) || eval_bool(q, a),
+        Formula::Implies(p, q) => !eval_bool(p, a) || eval_bool(q, a),
+    }
+}
+
+/// All boolean completions of a three-valued assignment.
+fn completions(a: &Assignment) -> Vec<Assignment> {
+    let unknown_positions: Vec<usize> = (0..a.len())
+        .filter(|i| a.get(VarId(*i as u32)).is_unknown())
+        .collect();
+    let mut out = Vec::new();
+    for code in 0..(1u64 << unknown_positions.len()) {
+        let mut c = a.clone();
+        for (bit, pos) in unknown_positions.iter().enumerate() {
+            c.set(
+                VarId(*pos as u32),
+                Truth::from(code & (1 << bit) != 0),
+            );
+        }
+        out.push(c);
+    }
+    out
+}
+
+proptest! {
+    /// Desugaring implications must not change V.
+    #[test]
+    fn desugaring_preserves_v(f in arb_formula(), a in arb_assignment()) {
+        let direct = Compiled::new(&f).eval(&a);
+        let desugared = Compiled::new(&f.desugar()).eval(&a);
+        prop_assert_eq!(direct, desugared);
+    }
+
+    /// Kleene evaluation information-approximates V on non-modal
+    /// formulas: rule 1 only ever upgrades `unknown` to `true`, and the
+    /// Kleene connectives are monotone in the information ordering. (`∇`
+    /// is excluded: it maps `unknown` to `false` and is not monotone, so
+    /// a rule-1 promotion below a `∇` can flip the verdict.)
+    #[test]
+    fn kleene_approximates_v(f in arb_formula(), a in arb_assignment()) {
+        prop_assume!(!f.is_modal());
+        let c = Compiled::new(&f);
+        prop_assert!(c.eval_kleene(&a).approximates(c.eval(&a)));
+    }
+
+    /// On two-valued assignments V collapses to classical evaluation
+    /// (with ∇ the identity), for arbitrary formulas including modal ones.
+    #[test]
+    fn v_is_classical_on_definite_assignments(f in arb_formula(), code in 0u64..(1 << VARS)) {
+        let a = Assignment::new(
+            (0..VARS).map(|i| Truth::from(code & (1 << i) != 0)).collect(),
+        );
+        let v = Compiled::new(&f).eval(&a);
+        prop_assert_eq!(v, Truth::from(eval_bool(&f, &a)));
+    }
+
+    /// For non-modal formulas, a definite V verdict is sound for every
+    /// completion of the assignment (the least-extension reading of §2).
+    #[test]
+    fn definite_v_verdicts_are_completion_sound(f in arb_formula(), a in arb_assignment()) {
+        prop_assume!(!f.is_modal());
+        let v = Compiled::new(&f).eval(&a);
+        if !v.is_unknown() {
+            for c in completions(&a) {
+                prop_assert_eq!(Truth::from(eval_bool(&f, &c)), v);
+            }
+        }
+    }
+
+    /// A rule-1 tautology evaluates to true under every assignment.
+    #[test]
+    fn tautologies_are_true_everywhere(f in arb_formula(), a in arb_assignment()) {
+        if is_tautology_2v(&f) {
+            prop_assert_eq!(Compiled::new(&f).eval(&a), Truth::True);
+        }
+    }
+
+    /// The closed-form statement evaluator matches the generic compiled
+    /// evaluator on every assignment.
+    #[test]
+    fn statement_closed_form_is_exact(s in arb_statement()) {
+        prop_assert!(closed_form_matches_generic(s));
+    }
+
+    /// Proof search is sound and complete w.r.t. semantic inference.
+    #[test]
+    fn prove_iff_infers(
+        premises in proptest::collection::vec(arb_statement(), 0..4),
+        goal in arb_statement(),
+    ) {
+        let derivable = prove(&premises, goal);
+        let inferred = infers(&premises, goal);
+        prop_assert_eq!(derivable.is_some(), inferred);
+        if let Some(d) = derivable {
+            prop_assert_eq!(d.statement, goal);
+            prop_assert!(d.verify(&premises).is_ok());
+        }
+    }
+
+    /// Semantic inference coincides with the closure construction: the
+    /// goal is inferred iff its consequent lies in the antecedent's
+    /// closure.
+    #[test]
+    fn inference_matches_closure(
+        premises in proptest::collection::vec(arb_statement(), 0..4),
+        goal in arb_statement(),
+    ) {
+        let closed = closure(goal.lhs, &premises);
+        prop_assert_eq!(infers(&premises, goal), goal.rhs.is_subset(closed));
+    }
+
+    /// Weak inference is implied by strong inference whenever the goal
+    /// itself is weakly entailed — here we check the contrapositive
+    /// direction that every weak counterexample is also logged as a
+    /// failure of weak inference, and that strong counterexamples exist
+    /// whenever closure fails.
+    #[test]
+    fn counterexamples_are_genuine(
+        premises in proptest::collection::vec(arb_statement(), 0..4),
+        goal in arb_statement(),
+    ) {
+        if let Some(a) = counterexample(&premises, goal, InferenceMode::Strong) {
+            for p in &premises {
+                prop_assert!(p.normalized().eval(&a).is_true());
+            }
+            prop_assert!(!goal.normalized().eval(&a).is_true());
+        }
+        if let Some(a) = counterexample(&premises, goal, InferenceMode::Weak) {
+            for p in &premises {
+                prop_assert!(p.normalized().eval(&a).is_not_false());
+            }
+            prop_assert!(goal.normalized().eval(&a).is_false());
+        }
+    }
+
+    /// Weak inference never holds where strong inference fails on
+    /// two-valued witnesses: a fully definite strong counterexample is
+    /// also a weak counterexample, so weak ⊆ strong on these goals.
+    #[test]
+    fn weak_inference_implies_strong_inference(
+        premises in proptest::collection::vec(arb_statement(), 0..4),
+        goal in arb_statement(),
+    ) {
+        // If the strong counterexample search finds a *two-valued*
+        // assignment, weak inference must fail too (definite premises
+        // true ⇒ not false; definite goal not true ⇒ false).
+        if let Some(a) = counterexample(&premises, goal, InferenceMode::Strong) {
+            if a.values().iter().all(|t| !t.is_unknown()) {
+                prop_assert!(!weakly_infers(&premises, goal));
+            }
+        }
+    }
+
+    /// Augmentation derived from I1–I3 verifies and concludes XW ⇒ YW.
+    #[test]
+    fn derived_augmentation_is_valid(s in arb_statement(), w in arb_varset_nonempty()) {
+        let d = derive_augmentation(Derivation::hypothesis(s), w);
+        prop_assert_eq!(
+            d.statement,
+            Statement::new(s.lhs.union(w), s.rhs.union(w))
+        );
+        prop_assert!(d.verify(&[s]).is_ok());
+    }
+}

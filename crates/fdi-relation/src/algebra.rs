@@ -1,0 +1,315 @@
+//! Projection and natural join over instances with nulls.
+//!
+//! §1 of the paper: "at the instance level, any multi-relation database
+//! produced by a normalization process can be thought of as a collection
+//! of **projections** of a universal relation", and §7 proposes a
+//! *weaker* universal relation assumption in which the universal
+//! instance carries nulls and its dependencies are only weakly
+//! satisfied. This module supplies the algebra those discussions need:
+//!
+//! * [`project`] — projection onto an attribute set (optionally
+//!   deduplicating, with marked nulls preserved so NEC structure
+//!   survives the decomposition);
+//! * [`natural_join`] — the natural join of two projections back into a
+//!   wider scheme. Join matching is *definite*: two tuples join iff
+//!   their shared attributes hold equal constants or NEC-equivalent
+//!   nulls (a null does not join with a mere possibility — joining on a
+//!   guess would manufacture information the database does not have).
+//!
+//! The round-trip `r ⊆ ⋈ᵢ π_{Rᵢ}(r)` (every original tuple is recovered
+//! or approximated) is exercised by the universal-relation experiment
+//! E18 and the property suite.
+
+use crate::attrs::{AttrId, AttrSet};
+use crate::error::RelationError;
+use crate::instance::Instance;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Builds the schema of a projection: the selected attributes, in
+/// original order, with their domain specs.
+pub fn project_schema(schema: &Schema, attrs: AttrSet) -> Result<Arc<Schema>, RelationError> {
+    let mut builder = Schema::builder(format!("{}[{}]", schema.name(), schema.render_attrs(attrs)));
+    for a in attrs.iter() {
+        let def = schema.attr(a);
+        builder = match &def.domain {
+            crate::schema::DomainSpec::Finite(values) => {
+                builder.attribute(def.name.clone(), values.clone())
+            }
+            crate::schema::DomainSpec::Unbounded => builder.attribute_unbounded(def.name.clone()),
+        };
+    }
+    builder.build()
+}
+
+/// Projects `instance` onto `attrs`. Marked nulls keep their ids and the
+/// NEC store is carried over, so null classes stay connected across the
+/// components of a decomposition. When `dedup` is set, duplicate
+/// projected tuples are removed (set semantics); two tuples are
+/// duplicates only when they are *identical* (same constants, same null
+/// ids) — possibly-equal tuples are both kept.
+pub fn project(instance: &Instance, attrs: AttrSet, dedup: bool) -> Result<Instance, RelationError> {
+    let schema = project_schema(instance.schema(), attrs)?;
+    let mut out = Instance::new(schema);
+    // Re-intern constants by text (symbol ids differ across instances).
+    let mut seen: Vec<Tuple> = Vec::new();
+    for t in instance.tuples() {
+        let mut values = Vec::with_capacity(attrs.len());
+        for (k, a) in attrs.iter().enumerate() {
+            let v = match t.get(a) {
+                Value::Const(s) => {
+                    let text = instance.symbols().resolve(s).to_string();
+                    Value::Const(out.intern_constant(AttrId(k as u16), &text)?)
+                }
+                Value::Null(n) => Value::Null(n),
+                Value::Nothing => Value::Nothing,
+            };
+            values.push(v);
+        }
+        let tuple = Tuple::new(values);
+        if dedup {
+            if seen.contains(&tuple) {
+                continue;
+            }
+            seen.push(tuple.clone());
+        }
+        out.add_tuple(tuple)?;
+    }
+    out.replace_necs(instance.necs().clone());
+    Ok(out)
+}
+
+/// Do two values *definitely* agree for join purposes: equal constants,
+/// or NEC-equivalent nulls?
+fn join_agree(a: Value, b: Value, left: &Instance, right: &Instance, la: AttrId, ra: AttrId) -> bool {
+    match (a, b) {
+        (Value::Const(x), Value::Const(y)) => {
+            // symbols are per-instance: compare by text
+            left.symbols().resolve(x) == right.symbols().resolve(y)
+        }
+        (Value::Null(m), Value::Null(n)) => {
+            // the NEC stores were inherited from a common ancestor in the
+            // decomposition use-case; ids are globally meaningful there.
+            left.necs().same_class(m, n) || right.necs().same_class(m, n)
+        }
+        _ => {
+            let _ = (la, ra);
+            false
+        }
+    }
+}
+
+/// Natural join of two instances on their shared attribute *names*.
+///
+/// The result schema has the left instance's attributes followed by the
+/// right's non-shared attributes. Matching is definite (see the module
+/// docs); the joined tuple takes the left value on shared attributes
+/// (they agree by construction, up to null-class representatives).
+pub fn natural_join(left: &Instance, right: &Instance) -> Result<Instance, RelationError> {
+    let ls = left.schema();
+    let rs = right.schema();
+    // shared attribute name pairs, and right-only attributes
+    let mut shared: Vec<(AttrId, AttrId)> = Vec::new();
+    let mut right_only: Vec<AttrId> = Vec::new();
+    for (j, def) in rs.attrs().iter().enumerate() {
+        match ls.attr_id(&def.name) {
+            Ok(i) => shared.push((i, AttrId(j as u16))),
+            Err(_) => right_only.push(AttrId(j as u16)),
+        }
+    }
+    // result schema
+    let mut builder = Schema::builder(format!("{}⋈{}", ls.name(), rs.name()));
+    for def in ls.attrs() {
+        builder = match &def.domain {
+            crate::schema::DomainSpec::Finite(values) => {
+                builder.attribute(def.name.clone(), values.clone())
+            }
+            crate::schema::DomainSpec::Unbounded => builder.attribute_unbounded(def.name.clone()),
+        };
+    }
+    for a in &right_only {
+        let def = rs.attr(*a);
+        builder = match &def.domain {
+            crate::schema::DomainSpec::Finite(values) => {
+                builder.attribute(def.name.clone(), values.clone())
+            }
+            crate::schema::DomainSpec::Unbounded => builder.attribute_unbounded(def.name.clone()),
+        };
+    }
+    let schema = builder.build()?;
+    let mut out = Instance::new(schema);
+    let reintern = |out: &mut Instance, col: usize, v: Value, src: &Instance| -> Result<Value, RelationError> {
+        Ok(match v {
+            Value::Const(s) => {
+                let text = src.symbols().resolve(s).to_string();
+                Value::Const(out.intern_constant(AttrId(col as u16), &text)?)
+            }
+            other => other,
+        })
+    };
+    for lt in left.tuples() {
+        'rights: for rt in right.tuples() {
+            for (la, ra) in &shared {
+                if !join_agree(lt.get(*la), rt.get(*ra), left, right, *la, *ra) {
+                    continue 'rights;
+                }
+            }
+            let mut values = Vec::with_capacity(ls.arity() + right_only.len());
+            for (col, a) in ls.all_attrs().iter().enumerate() {
+                values.push(reintern(&mut out, col, lt.get(a), left)?);
+            }
+            for (k, a) in right_only.iter().enumerate() {
+                values.push(reintern(&mut out, ls.arity() + k, rt.get(*a), right)?);
+            }
+            out.add_tuple(Tuple::new(values))?;
+        }
+    }
+    // Union the NEC knowledge of both sides.
+    let mut necs = left.necs().clone();
+    // merge right's classes into the union (walk every id the right
+    // store has seen via its internal structure — re-deriving from the
+    // tuples is sufficient and cheaper)
+    for t in right.tuples() {
+        for (_, n) in t.nulls_on(right.schema().all_attrs()) {
+            let root = right.necs().find_readonly(n);
+            necs.union(n, root);
+        }
+    }
+    out.replace_necs(necs);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_abc() -> Arc<Schema> {
+        Schema::builder("R")
+            .attribute("A", ["a1", "a2"])
+            .attribute("B", ["b1", "b2"])
+            .attribute("C", ["c1", "c2"])
+            .build()
+            .unwrap()
+    }
+
+    fn set(schema: &Schema, names: &[&str]) -> AttrSet {
+        schema.attr_set(names).unwrap()
+    }
+
+    #[test]
+    fn projection_keeps_values_and_order() {
+        let r = Instance::parse(schema_abc(), "a1 b1 c1\na2 - c2").unwrap();
+        let p = project(&r, set(r.schema(), &["A", "C"]), false).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.schema().attr_name(AttrId(0)), "A");
+        assert_eq!(p.schema().attr_name(AttrId(1)), "C");
+        assert_eq!(
+            p.value(1, AttrId(1)).render(p.symbols(), false),
+            "c2"
+        );
+    }
+
+    #[test]
+    fn projection_dedup_is_exact_identity() {
+        let r = Instance::parse(schema_abc(), "a1 b1 c1\na1 b2 c1\na1 - c1\na1 - c1").unwrap();
+        // projections on AC: (a1,c1) twice as constants, two *distinct*
+        // null-free duplicates collapse; the null rows have distinct ids
+        // ... on AC there are no nulls, so all four collapse to one.
+        let p = project(&r, set(r.schema(), &["A", "C"]), true).unwrap();
+        assert_eq!(p.len(), 1);
+        // on AB the two marked-null rows are distinct ids → both kept
+        let p2 = project(&r, set(r.schema(), &["A", "B"]), true).unwrap();
+        assert_eq!(p2.len(), 4, "distinct null ids are not duplicates");
+        // but a shared mark *is* a duplicate
+        let r2 = Instance::parse(schema_abc(), "a1 ?x c1\na1 ?x c1").unwrap();
+        let p3 = project(&r2, set(r2.schema(), &["A", "B"]), true).unwrap();
+        assert_eq!(p3.len(), 1);
+    }
+
+    #[test]
+    fn join_recovers_a_lossless_decomposition() {
+        // B → C makes {AB, BC} lossless.
+        let r = Instance::parse(schema_abc(), "a1 b1 c1\na2 b1 c1\na2 b2 c2").unwrap();
+        let ab = project(&r, set(r.schema(), &["A", "B"]), true).unwrap();
+        let bc = project(&r, set(r.schema(), &["B", "C"]), true).unwrap();
+        let joined = natural_join(&ab, &bc).unwrap();
+        assert_eq!(joined.arity(), 3);
+        assert_eq!(joined.len(), 3, "lossless: exactly the original tuples");
+        let mut rows: Vec<String> = joined
+            .tuples()
+            .iter()
+            .map(|t| {
+                t.values()
+                    .iter()
+                    .map(|v| v.render(joined.symbols(), false))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        rows.sort();
+        assert_eq!(rows, vec!["a1 b1 c1", "a2 b1 c1", "a2 b2 c2"]);
+    }
+
+    #[test]
+    fn join_produces_spurious_tuples_for_lossy_decompositions() {
+        // no FDs: {AB, BC} is lossy — b1 bridges a1/a2 with c1/c2.
+        let r = Instance::parse(schema_abc(), "a1 b1 c1\na2 b1 c2").unwrap();
+        let ab = project(&r, set(r.schema(), &["A", "B"]), true).unwrap();
+        let bc = project(&r, set(r.schema(), &["B", "C"]), true).unwrap();
+        let joined = natural_join(&ab, &bc).unwrap();
+        assert_eq!(joined.len(), 4, "2×2 bridge through b1");
+    }
+
+    #[test]
+    fn nulls_join_only_within_their_class() {
+        // the shared mark joins with itself, not with the other null
+        let r = Instance::parse(schema_abc(), "a1 ?x c1\na2 ?x c2\na1 - c2").unwrap();
+        let ab = project(&r, set(r.schema(), &["A", "B"]), true).unwrap();
+        let bc = project(&r, set(r.schema(), &["B", "C"]), true).unwrap();
+        let joined = natural_join(&ab, &bc).unwrap();
+        // ?x rows join pairwise (2 left × 2 right), the anonymous null
+        // joins only its own projection: 4 + 1
+        assert_eq!(joined.len(), 5);
+        // and no constant ever joined a null
+        for t in joined.tuples() {
+            let b = t.get(AttrId(1));
+            assert!(b.is_null(), "B column is all-null here");
+        }
+    }
+
+    #[test]
+    fn join_on_disjoint_schemas_is_cartesian() {
+        let left = Instance::parse(
+            Schema::builder("L").attribute("A", ["a1", "a2"]).build().unwrap(),
+            "a1\na2",
+        )
+        .unwrap();
+        let right = Instance::parse(
+            Schema::builder("Rt").attribute("D", ["d1", "d2"]).build().unwrap(),
+            "d1\nd2",
+        )
+        .unwrap();
+        let joined = natural_join(&left, &right).unwrap();
+        assert_eq!(joined.len(), 4);
+        assert_eq!(joined.arity(), 2);
+    }
+
+    #[test]
+    fn project_whole_schema_is_identity_up_to_canonical_form() {
+        let r = Instance::parse(schema_abc(), "a1 ?x c1\na2 ?x -").unwrap();
+        let p = project(&r, r.schema().all_attrs(), false).unwrap();
+        assert_eq!(r.canonical_form(), p.canonical_form());
+    }
+
+    #[test]
+    fn nothing_does_not_join() {
+        let r = Instance::parse(schema_abc(), "a1 #! c1").unwrap();
+        let ab = project(&r, set(r.schema(), &["A", "B"]), false).unwrap();
+        let bc = project(&r, set(r.schema(), &["B", "C"]), false).unwrap();
+        let joined = natural_join(&ab, &bc).unwrap();
+        assert_eq!(joined.len(), 0, "the inconsistent element matches nothing");
+    }
+}

@@ -1,0 +1,246 @@
+//! Attribute identifiers and attribute sets.
+//!
+//! A relation scheme `R(A, B, C, …)` names its attributes; functional
+//! dependencies relate *sets* of attributes. Attribute sets are 64-bit
+//! bitsets — the same representation as `fdi_logic::VarSet`, kept
+//! structurally separate so that the FD ↔ implicational-statement bridge
+//! in `fdi-core` is an explicit, tested conversion rather than a type pun.
+
+use std::fmt;
+
+/// Index of an attribute within its [`crate::schema::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr{}", self.0)
+    }
+}
+
+/// Maximum number of attributes per relation scheme.
+pub const ATTR_LIMIT: usize = 64;
+
+/// A set of attributes, as a 64-bit bitset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(pub u64);
+
+impl AttrSet {
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Singleton set.
+    #[inline]
+    pub fn singleton(a: AttrId) -> AttrSet {
+        debug_assert!(a.index() < ATTR_LIMIT);
+        AttrSet(1u64 << a.0)
+    }
+
+    /// The set of the first `n` attributes.
+    #[inline]
+    pub fn first_n(n: usize) -> AttrSet {
+        assert!(n <= ATTR_LIMIT);
+        if n == ATTR_LIMIT {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Returns `true` iff empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Cardinality.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Membership.
+    #[inline]
+    pub fn contains(self, a: AttrId) -> bool {
+        debug_assert!(a.index() < ATTR_LIMIT);
+        self.0 & (1u64 << a.0) != 0
+    }
+
+    /// Insertion (persistent).
+    #[inline]
+    #[must_use]
+    pub fn with(self, a: AttrId) -> AttrSet {
+        debug_assert!(a.index() < ATTR_LIMIT);
+        AttrSet(self.0 | (1u64 << a.0))
+    }
+
+    /// Removal (persistent).
+    #[inline]
+    #[must_use]
+    pub fn without(self, a: AttrId) -> AttrSet {
+        debug_assert!(a.index() < ATTR_LIMIT);
+        AttrSet(self.0 & !(1u64 << a.0))
+    }
+
+    /// Union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Difference `self \ other`.
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Subset test.
+    #[inline]
+    pub fn is_subset(self, other: AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Disjointness test.
+    #[inline]
+    pub fn is_disjoint(self, other: AttrSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterates members in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = AttrId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(AttrId(i as u16))
+            }
+        })
+    }
+
+    /// Iterates over all non-empty subsets of this set (exponential; used
+    /// by key search and small-universe tests).
+    pub fn subsets(self) -> impl Iterator<Item = AttrSet> {
+        // Standard submask enumeration: iterate s = (s - 1) & mask.
+        let mask = self.0;
+        let mut current = mask;
+        let mut done = false;
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let result = AttrSet(current);
+            if current == 0 {
+                done = true;
+            } else {
+                current = (current - 1) & mask;
+            }
+            if result.is_empty() {
+                None
+            } else {
+                Some(result)
+            }
+        })
+    }
+}
+
+impl FromIterator<AttrId> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = AttrId>>(iter: I) -> Self {
+        let mut s = AttrSet::EMPTY;
+        for a in iter {
+            s = s.with(a);
+        }
+        s
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u16]) -> AttrSet {
+        ids.iter().map(|i| AttrId(*i)).collect()
+    }
+
+    #[test]
+    fn algebra() {
+        let s = set(&[0, 2, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(AttrId(2)));
+        assert!(!s.contains(AttrId(1)));
+        assert_eq!(s.without(AttrId(2)), set(&[0, 5]));
+        assert_eq!(s.union(set(&[1])), set(&[0, 1, 2, 5]));
+        assert_eq!(s.intersect(set(&[2, 5, 9])), set(&[2, 5]));
+        assert_eq!(s.difference(set(&[0])), set(&[2, 5]));
+        assert!(set(&[0]).is_subset(s));
+        assert!(s.is_disjoint(set(&[1, 3])));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let ids: Vec<u16> = set(&[9, 1, 4]).iter().map(|a| a.0).collect();
+        assert_eq!(ids, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn subsets_enumerates_all_nonempty_submasks() {
+        let s = set(&[0, 1, 3]);
+        let subs: Vec<AttrSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 7); // 2^3 - 1 non-empty subsets
+        assert!(subs.contains(&set(&[0])));
+        assert!(subs.contains(&set(&[1, 3])));
+        assert!(subs.contains(&s));
+        assert!(!subs.contains(&AttrSet::EMPTY));
+        // all distinct
+        let uniq: std::collections::HashSet<_> = subs.iter().collect();
+        assert_eq!(uniq.len(), 7);
+    }
+
+    #[test]
+    fn subsets_of_empty_is_empty() {
+        assert_eq!(AttrSet::EMPTY.subsets().count(), 0);
+    }
+
+    #[test]
+    fn first_n() {
+        assert_eq!(AttrSet::first_n(4), set(&[0, 1, 2, 3]));
+        assert_eq!(AttrSet::first_n(0), AttrSet::EMPTY);
+    }
+
+    #[test]
+    fn display_lists_indices() {
+        assert_eq!(set(&[0, 3]).to_string(), "{0,3}");
+    }
+}

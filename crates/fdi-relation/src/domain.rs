@@ -1,0 +1,136 @@
+//! Finite attribute domains.
+//!
+//! §4 of the paper: "the concept of an attribute domain and its size is
+//! important. Domains are finite and are assumed known." Finiteness is
+//! what makes the `[F2]` domain-exhaustion case of Proposition 1 possible
+//! at all, and domain size drives the completion counts of §2's
+//! evaluation rule.
+//!
+//! We also support *unbounded* domains for the classical (null-free)
+//! algorithms; any operation that must enumerate completions over an
+//! unbounded domain reports [`crate::error::RelationError::UnboundedDomain`].
+
+use crate::symbol::{Symbol, SymbolTable};
+
+/// The domain of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Domain {
+    /// A finite, known domain — the paper's standing assumption.
+    /// The symbols are kept sorted by id for deterministic enumeration.
+    Finite(Vec<Symbol>),
+    /// An unbounded domain: completions cannot be enumerated, and the
+    /// `[F2]` case can never fire (there is always a fresh value).
+    Unbounded,
+}
+
+impl Domain {
+    /// Builds a finite domain, deduplicating and sorting the symbols.
+    pub fn finite<I: IntoIterator<Item = Symbol>>(symbols: I) -> Domain {
+        let mut v: Vec<Symbol> = symbols.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Domain::Finite(v)
+    }
+
+    /// Number of values, or `None` when unbounded.
+    pub fn size(&self) -> Option<usize> {
+        match self {
+            Domain::Finite(v) => Some(v.len()),
+            Domain::Unbounded => None,
+        }
+    }
+
+    /// Returns `true` iff the domain is finite.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Domain::Finite(_))
+    }
+
+    /// Membership test; unbounded domains contain every symbol.
+    pub fn contains(&self, sym: Symbol) -> bool {
+        match self {
+            Domain::Finite(v) => v.binary_search(&sym).is_ok(),
+            Domain::Unbounded => true,
+        }
+    }
+
+    /// The members of a finite domain (sorted); empty for unbounded.
+    pub fn members(&self) -> &[Symbol] {
+        match self {
+            Domain::Finite(v) => v,
+            Domain::Unbounded => &[],
+        }
+    }
+
+    /// The members *not* present in `used`, i.e. the candidates for the
+    /// "value of the domain that does not appear in r" substitution
+    /// (condition (2) of §4). Sorted; empty for unbounded domains.
+    pub fn missing_from(&self, used: &[Symbol]) -> Vec<Symbol> {
+        match self {
+            Domain::Finite(v) => v.iter().copied().filter(|s| !used.contains(s)).collect(),
+            Domain::Unbounded => Vec::new(),
+        }
+    }
+
+    /// Renders as `{a1,a2,…}` or `unbounded`.
+    pub fn render(&self, symbols: &SymbolTable) -> String {
+        match self {
+            Domain::Finite(v) => {
+                let mut out = String::from("{");
+                for (i, s) in v.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(symbols.resolve(*s));
+                }
+                out.push('}');
+                out
+            }
+            Domain::Unbounded => "unbounded".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_domains_sort_and_dedup() {
+        let d = Domain::finite([Symbol(3), Symbol(1), Symbol(3)]);
+        assert_eq!(d.members(), &[Symbol(1), Symbol(3)]);
+        assert_eq!(d.size(), Some(2));
+        assert!(d.contains(Symbol(1)));
+        assert!(!d.contains(Symbol(2)));
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn unbounded_domains_contain_everything() {
+        let d = Domain::Unbounded;
+        assert_eq!(d.size(), None);
+        assert!(d.contains(Symbol(42)));
+        assert!(d.members().is_empty());
+        assert!(!d.is_finite());
+    }
+
+    #[test]
+    fn missing_from_lists_unused_values() {
+        let d = Domain::finite([Symbol(0), Symbol(1), Symbol(2)]);
+        assert_eq!(d.missing_from(&[Symbol(1)]), vec![Symbol(0), Symbol(2)]);
+        assert_eq!(
+            d.missing_from(&[Symbol(0), Symbol(1), Symbol(2)]),
+            Vec::<Symbol>::new()
+        );
+        assert!(Domain::Unbounded.missing_from(&[]).is_empty());
+    }
+
+    #[test]
+    fn rendering() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a1");
+        let b = t.intern("a2");
+        let d = Domain::finite([b, a]);
+        assert_eq!(d.render(&t), "{a1,a2}");
+        assert_eq!(Domain::Unbounded.render(&t), "unbounded");
+    }
+}

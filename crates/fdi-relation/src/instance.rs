@@ -1,0 +1,578 @@
+//! Relation instances: tuples over a schema, with marked nulls and NECs.
+//!
+//! An [`Instance`] owns everything operational: the interned symbol
+//! table, the symbol-level finite domains, the tuples, the null-equality
+//! constraints, and the null-id allocator. Two instances of the same
+//! [`Schema`] are completely independent.
+//!
+//! The text format used by [`Instance::parse`] mirrors the paper's
+//! figures: one tuple per line, values separated by whitespace, `-` for
+//! an anonymous null, `?name` for a *marked* null (two occurrences of the
+//! same mark denote the same unknown value), `#!` for the `nothing`
+//! element, and `#`-prefixed comment lines.
+
+use crate::attrs::AttrId;
+use crate::domain::Domain;
+use crate::error::RelationError;
+use crate::nec::NecStore;
+use crate::schema::{DomainSpec, Schema};
+use crate::symbol::{Symbol, SymbolTable};
+use crate::tuple::Tuple;
+use crate::value::{NullId, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A relation instance `r` of a scheme `R`.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    schema: Arc<Schema>,
+    symbols: SymbolTable,
+    domains: Vec<Domain>,
+    tuples: Vec<Tuple>,
+    necs: NecStore,
+    next_null: u32,
+    marks: HashMap<String, NullId>,
+}
+
+impl Instance {
+    /// Creates an empty instance, interning all finite domain values.
+    pub fn new(schema: Arc<Schema>) -> Instance {
+        let mut symbols = SymbolTable::new();
+        let domains = schema
+            .attrs()
+            .iter()
+            .map(|attr| match &attr.domain {
+                DomainSpec::Finite(values) => {
+                    Domain::finite(values.iter().map(|v| symbols.intern(v)))
+                }
+                DomainSpec::Unbounded => Domain::Unbounded,
+            })
+            .collect();
+        Instance {
+            schema,
+            symbols,
+            domains,
+            tuples: Vec::new(),
+            necs: NecStore::new(),
+            next_null: 0,
+            marks: HashMap::new(),
+        }
+    }
+
+    /// Parses an instance from text (see the module documentation for the
+    /// format).
+    pub fn parse(schema: Arc<Schema>, text: &str) -> Result<Instance, RelationError> {
+        let mut instance = Instance::new(schema);
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            instance.add_row(&tokens).map_err(|e| match e {
+                RelationError::Parse { message, .. } => RelationError::Parse {
+                    line: lineno + 1,
+                    message,
+                },
+                other => RelationError::Parse {
+                    line: lineno + 1,
+                    message: other.to_string(),
+                },
+            })?;
+        }
+        Ok(instance)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The interned symbols.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// The symbol-level domain of attribute `a`.
+    pub fn domain(&self, a: AttrId) -> &Domain {
+        &self.domains[a.index()]
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Returns `true` iff the instance has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// All tuples in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// One tuple.
+    ///
+    /// # Panics
+    /// Panics when `row` is out of range.
+    pub fn tuple(&self, row: usize) -> &Tuple {
+        &self.tuples[row]
+    }
+
+    /// The value at (`row`, `attr`).
+    pub fn value(&self, row: usize, attr: AttrId) -> Value {
+        self.tuples[row].get(attr)
+    }
+
+    /// Overwrites the value at (`row`, `attr`) — used by the chase
+    /// engines and the substitution rules.
+    pub fn set_value(&mut self, row: usize, attr: AttrId, v: Value) {
+        self.tuples[row].set(attr, v);
+    }
+
+    /// The NEC store.
+    pub fn necs(&self) -> &NecStore {
+        &self.necs
+    }
+
+    /// Mutable access to the NEC store.
+    pub fn necs_mut(&mut self) -> &mut NecStore {
+        &mut self.necs
+    }
+
+    /// Introduces the NEC `a := b`; returns `true` if knowledge increased.
+    pub fn add_nec(&mut self, a: NullId, b: NullId) -> bool {
+        self.necs.union(a, b)
+    }
+
+    /// Replaces the NEC store wholesale — used by chase engines when they
+    /// materialize a new null-class structure (same-id nulls remain
+    /// equivalent by definition regardless of the store).
+    pub fn replace_necs(&mut self, necs: NecStore) {
+        self.necs = necs;
+    }
+
+    /// Allocates a fresh null id.
+    pub fn fresh_null(&mut self) -> NullId {
+        let id = NullId(self.next_null);
+        self.next_null += 1;
+        id
+    }
+
+    /// Ensures future [`Instance::fresh_null`] calls return ids strictly
+    /// greater than `id` — used after writing externally numbered nulls
+    /// via [`Instance::set_value`].
+    pub fn reserve_null_ids(&mut self, id: NullId) {
+        if id.0 >= self.next_null {
+            self.next_null = id.0 + 1;
+        }
+    }
+
+    /// Interns a constant for attribute `a`, enforcing domain membership
+    /// for finite domains.
+    pub fn intern_constant(&mut self, a: AttrId, text: &str) -> Result<Symbol, RelationError> {
+        match &self.domains[a.index()] {
+            Domain::Finite(_) => match self.symbols.lookup(text) {
+                Some(sym) if self.domains[a.index()].contains(sym) => Ok(sym),
+                _ => Err(RelationError::ConstantNotInDomain {
+                    constant: text.to_string(),
+                    attribute: self.schema.attr_name(a).to_string(),
+                }),
+            },
+            Domain::Unbounded => Ok(self.symbols.intern(text)),
+        }
+    }
+
+    /// Adds a row from text tokens (`-`, `?mark`, `#!`, or a constant).
+    /// Returns the row index.
+    pub fn add_row(&mut self, tokens: &[&str]) -> Result<usize, RelationError> {
+        if tokens.len() != self.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.arity(),
+                found: tokens.len(),
+            });
+        }
+        let mut values = Vec::with_capacity(tokens.len());
+        for (i, token) in tokens.iter().enumerate() {
+            let attr = AttrId(i as u16);
+            let value = if *token == "-" {
+                Value::Null(self.fresh_null())
+            } else if *token == "#!" {
+                Value::Nothing
+            } else if let Some(mark) = token.strip_prefix('?') {
+                if mark.is_empty() {
+                    return Err(RelationError::Parse {
+                        line: 0,
+                        message: "a marked null needs a name after '?'".to_string(),
+                    });
+                }
+                match self.marks.get(mark) {
+                    Some(id) => Value::Null(*id),
+                    None => {
+                        let id = self.fresh_null();
+                        self.marks.insert(mark.to_string(), id);
+                        Value::Null(id)
+                    }
+                }
+            } else {
+                Value::Const(self.intern_constant(attr, token)?)
+            };
+            values.push(value);
+        }
+        self.tuples.push(Tuple::new(values));
+        Ok(self.tuples.len() - 1)
+    }
+
+    /// Adds a pre-built tuple (validated for arity; constants are trusted
+    /// to be domain members — use [`Instance::intern_constant`] to build
+    /// them).
+    pub fn add_tuple(&mut self, tuple: Tuple) -> Result<usize, RelationError> {
+        if tuple.arity() != self.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: self.arity(),
+                found: tuple.arity(),
+            });
+        }
+        // Keep the null allocator ahead of any ids used by the tuple.
+        for (_, n) in tuple.nulls_on(self.schema.all_attrs()) {
+            if n.0 >= self.next_null {
+                self.next_null = n.0 + 1;
+            }
+        }
+        self.tuples.push(tuple);
+        Ok(self.tuples.len() - 1)
+    }
+
+    /// The null id previously assigned to `mark`, if any.
+    pub fn mark(&self, mark: &str) -> Option<NullId> {
+        self.marks.get(mark).copied()
+    }
+
+    /// Does any tuple contain a null?
+    pub fn has_nulls(&self) -> bool {
+        let all = self.schema.all_attrs();
+        self.tuples.iter().any(|t| t.has_null_on(all))
+    }
+
+    /// Number of null occurrences.
+    pub fn null_count(&self) -> usize {
+        let all = self.schema.all_attrs();
+        self.tuples.iter().map(|t| t.nulls_on(all).count()).sum()
+    }
+
+    /// Number of `nothing` occurrences (non-zero after a failed extended
+    /// chase — Theorem 4(b)).
+    pub fn nothing_count(&self) -> usize {
+        let all = self.schema.all_attrs();
+        self.tuples
+            .iter()
+            .map(|t| all.iter().filter(|a| t.get(*a).is_nothing()).count())
+            .sum()
+    }
+
+    /// Returns `true` iff the instance contains neither nulls nor
+    /// `nothing` values.
+    pub fn is_complete(&self) -> bool {
+        let all = self.schema.all_attrs();
+        self.tuples
+            .iter()
+            .all(|t| all.iter().all(|a| t.get(a).is_const()))
+    }
+
+    /// The distinct constants appearing in column `a`, sorted.
+    pub fn column_constants(&self, a: AttrId) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = self
+            .tuples
+            .iter()
+            .filter_map(|t| t.get(a).as_const())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// A canonical, order-insensitive-for-null-ids form of the instance:
+    /// null ids are renamed to their NEC class, classes are numbered by
+    /// first occurrence (row-major), and the tuple list is kept in order.
+    ///
+    /// Two chase results that differ only in null-id bookkeeping compare
+    /// equal under this form — the comparison Theorem 4's Church–Rosser
+    /// experiments need.
+    pub fn canonical_form(&self) -> CanonicalInstance {
+        let mut class_index: HashMap<NullId, usize> = HashMap::new();
+        let mut rows = Vec::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            let mut row = Vec::with_capacity(self.arity());
+            for a in self.schema.all_attrs().iter() {
+                row.push(match t.get(a) {
+                    Value::Const(s) => CanonValue::Const(s),
+                    Value::Nothing => CanonValue::Nothing,
+                    Value::Null(n) => {
+                        let root = self.necs.find_readonly(n);
+                        let next = class_index.len();
+                        let idx = *class_index.entry(root).or_insert(next);
+                        CanonValue::Null(idx)
+                    }
+                });
+            }
+            rows.push(row);
+        }
+        CanonicalInstance { rows }
+    }
+
+    /// Renders the instance as an ASCII table in the style of the paper's
+    /// figures. `marked` controls whether nulls display as `-` or `?id`.
+    pub fn render(&self, marked: bool) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .attrs()
+            .iter()
+            .map(|a| a.name.clone())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            let row: Vec<String> = self
+                .schema
+                .all_attrs()
+                .iter()
+                .map(|a| t.get(a).render(&self.symbols, marked))
+                .collect();
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+            rows.push(row);
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            out.push('|');
+            for (cell, w) in cells.iter().zip(widths) {
+                out.push(' ');
+                out.push_str(cell);
+                for _ in cell.len()..*w {
+                    out.push(' ');
+                }
+                out.push_str(" |");
+            }
+            out.push('\n');
+        };
+        fmt_row(&headers, &widths, &mut out);
+        out.push('|');
+        for w in &widths {
+            for _ in 0..w + 2 {
+                out.push('-');
+            }
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(false))
+    }
+}
+
+/// Canonicalized value (see [`Instance::canonical_form`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CanonValue {
+    /// A constant symbol.
+    Const(Symbol),
+    /// A null, identified by canonical class index.
+    Null(usize),
+    /// The `nothing` element.
+    Nothing,
+}
+
+/// Canonical form of an instance; equality is the instance equality used
+/// by the confluence experiments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalInstance {
+    /// Rows in original order, values canonicalized.
+    pub rows: Vec<Vec<CanonValue>>,
+}
+
+impl CanonicalInstance {
+    /// Order-insensitive comparison: both row multisets equal after
+    /// sorting. (Canonical null numbering is row-order dependent, so this
+    /// is a conservative check used in addition to the ordered one.)
+    pub fn same_rows_sorted(&self, other: &CanonicalInstance) -> bool {
+        let mut a = self.rows.clone();
+        let mut b = other.rows.clone();
+        a.sort();
+        b.sort();
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_abc() -> Arc<Schema> {
+        Schema::builder("R")
+            .attribute("A", ["a1", "a2"])
+            .attribute("B", ["b1", "b2", "b3"])
+            .attribute("C", ["c1", "c2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parse_figure_style_text() {
+        let r = Instance::parse(
+            schema_abc(),
+            "# a comment
+             a1 b1 c1
+             a1 -  c2
+             a2 ?x c1
+             -  ?x #!",
+        )
+        .unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.null_count(), 4);
+        assert_eq!(r.nothing_count(), 1);
+        assert!(!r.is_complete());
+        // the two ?x occurrences share a null id
+        let n1 = r.value(2, AttrId(1)).as_null().unwrap();
+        let n2 = r.value(3, AttrId(1)).as_null().unwrap();
+        assert_eq!(n1, n2);
+        // anonymous nulls are distinct
+        let n3 = r.value(1, AttrId(1)).as_null().unwrap();
+        assert_ne!(n1, n3);
+    }
+
+    #[test]
+    fn domain_violations_are_reported_with_line_numbers() {
+        let err = Instance::parse(schema_abc(), "a1 b1 c1\na9 b1 c1").unwrap_err();
+        match err {
+            RelationError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("a9"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let err = Instance::parse(schema_abc(), "a1 b1").unwrap_err();
+        assert!(matches!(err, RelationError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn unbounded_attributes_intern_lazily() {
+        let schema = Schema::builder("People")
+            .attribute_unbounded("name")
+            .attribute("status", ["married", "single"])
+            .build()
+            .unwrap();
+        let mut r = Instance::new(schema);
+        r.add_row(&["John", "married"]).unwrap();
+        r.add_row(&["Mary", "-"]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.add_row(&["Bob", "divorced"]).is_err());
+    }
+
+    #[test]
+    fn column_constants_dedup_and_sort() {
+        let r = Instance::parse(schema_abc(), "a1 b2 c1\na2 b1 c1\na1 - c2").unwrap();
+        let consts = r.column_constants(AttrId(0));
+        assert_eq!(consts.len(), 2);
+        let consts_b = r.column_constants(AttrId(1));
+        assert_eq!(consts_b.len(), 2);
+    }
+
+    #[test]
+    fn canonical_form_identifies_renamed_nulls() {
+        let schema = schema_abc();
+        let r1 = Instance::parse(schema.clone(), "a1 - c1\na2 - c2").unwrap();
+        let mut r2 = Instance::new(schema.clone());
+        // build the same shape with different null ids
+        let x = r2.fresh_null();
+        let _skip = r2.fresh_null();
+        let y = r2.fresh_null();
+        let a1 = r2.intern_constant(AttrId(0), "a1").unwrap();
+        let a2 = r2.intern_constant(AttrId(0), "a2").unwrap();
+        let c1 = r2.intern_constant(AttrId(2), "c1").unwrap();
+        let c2 = r2.intern_constant(AttrId(2), "c2").unwrap();
+        r2.add_tuple(Tuple::new(vec![
+            Value::Const(a1),
+            Value::Null(y),
+            Value::Const(c1),
+        ]))
+        .unwrap();
+        r2.add_tuple(Tuple::new(vec![
+            Value::Const(a2),
+            Value::Null(x),
+            Value::Const(c2),
+        ]))
+        .unwrap();
+        assert_eq!(r1.canonical_form(), r2.canonical_form());
+    }
+
+    #[test]
+    fn canonical_form_respects_nec_classes() {
+        let schema = schema_abc();
+        // two distinct anonymous nulls …
+        let mut r1 = Instance::parse(schema.clone(), "a1 - c1\na2 - c2").unwrap();
+        let r_separate = r1.canonical_form();
+        // … merged by an NEC become the same canonical class
+        let n1 = r1.value(0, AttrId(1)).as_null().unwrap();
+        let n2 = r1.value(1, AttrId(1)).as_null().unwrap();
+        r1.add_nec(n1, n2);
+        let r_merged = r1.canonical_form();
+        assert_ne!(r_separate, r_merged);
+        // and equal a parse with a shared mark
+        let r2 = Instance::parse(schema, "a1 ?u c1\na2 ?u c2").unwrap();
+        assert_eq!(r_merged, r2.canonical_form());
+    }
+
+    #[test]
+    fn render_matches_paper_layout() {
+        let r = Instance::parse(schema_abc(), "a1 b1 c1\na1 - c2").unwrap();
+        let text = r.render(false);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[0].contains('A') && lines[0].contains('B'));
+        assert!(lines[3].contains('-'));
+        let marked = r.render(true);
+        assert!(marked.contains("?1") || marked.contains("?0"));
+    }
+
+    #[test]
+    fn add_tuple_advances_null_allocator() {
+        let mut r = Instance::new(schema_abc());
+        let a1 = r.intern_constant(AttrId(0), "a1").unwrap();
+        r.add_tuple(Tuple::new(vec![
+            Value::Const(a1),
+            Value::Null(NullId(7)),
+            Value::Null(NullId(3)),
+        ]))
+        .unwrap();
+        let fresh = r.fresh_null();
+        assert!(fresh.0 > 7, "fresh nulls must not collide with imported ids");
+    }
+
+    #[test]
+    fn same_rows_sorted_ignores_tuple_order() {
+        let schema = schema_abc();
+        let r1 = Instance::parse(schema.clone(), "a1 b1 c1\na2 b2 c2").unwrap();
+        let r2 = Instance::parse(schema, "a2 b2 c2\na1 b1 c1").unwrap();
+        assert_ne!(r1.canonical_form(), r2.canonical_form());
+        assert!(r1.canonical_form().same_rows_sorted(&r2.canonical_form()));
+    }
+}

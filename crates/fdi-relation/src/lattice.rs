@@ -1,0 +1,127 @@
+//! The approximation lattice on instances.
+//!
+//! §2 of the paper, following Scott's theory of computation: adding null
+//! to a domain makes it a lattice ordered by information content; nulls
+//! approximate every value, and the extended operations must be
+//! continuous. [`crate::value::Value::approximates`] and
+//! [`crate::tuple::Tuple::approximates`] give the value- and tuple-level
+//! orderings; this module lifts them to instances and connects them to
+//! completions.
+
+use crate::instance::Instance;
+
+/// Pointwise (row-aligned) approximation: `a ⊑ b` iff both instances
+/// have the same schema arity and row count, and every tuple of `a`
+/// approximates the corresponding tuple of `b`.
+///
+/// The chase only ever *refines* an instance in place, so row alignment
+/// is the natural comparison for chase progress; it deliberately does not
+/// search for a row permutation.
+pub fn instance_approximates(a: &Instance, b: &Instance) -> bool {
+    a.arity() == b.arity()
+        && a.len() == b.len()
+        && a.tuples()
+            .iter()
+            .zip(b.tuples())
+            .all(|(ta, tb)| ta.approximates(tb))
+}
+
+/// Is `b` a completion of `a`? `b` must be complete (constants only),
+/// row-aligned with `a`, agree with `a`'s constants, and substitute
+/// NEC-equivalent nulls of `a` consistently.
+pub fn is_completion_of(b: &Instance, a: &Instance) -> bool {
+    if !b.is_complete() || a.len() != b.len() || a.arity() != b.arity() {
+        return false;
+    }
+    // Consistency across rows: track each NEC class's substituted symbol.
+    let mut class_subst: Vec<(crate::value::NullId, crate::value::Value)> = Vec::new();
+    let all = a.schema().all_attrs();
+    for (row, (ta, tb)) in a.tuples().iter().zip(b.tuples()).enumerate() {
+        let _ = row;
+        for attr in all.iter() {
+            match (ta.get(attr), tb.get(attr)) {
+                (crate::value::Value::Const(x), crate::value::Value::Const(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (crate::value::Value::Null(n), substituted) => {
+                    let root = a.necs().find_readonly(n);
+                    match class_subst.iter().find(|(r, _)| *r == root) {
+                        Some((_, prior)) => {
+                            if *prior != substituted {
+                                return false;
+                            }
+                        }
+                        None => class_subst.push((root, substituted)),
+                    }
+                }
+                (crate::value::Value::Nothing, _) => return false,
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrId;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("R")
+            .attribute("A", ["a1", "a2"])
+            .attribute("B", ["b1", "b2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn chase_refinement_is_approximation() {
+        let partial = Instance::parse(schema(), "a1 -\na2 b2").unwrap();
+        let refined = Instance::parse(schema(), "a1 b1\na2 b2").unwrap();
+        assert!(instance_approximates(&partial, &refined));
+        assert!(!instance_approximates(&refined, &partial));
+        assert!(instance_approximates(&partial, &partial));
+    }
+
+    #[test]
+    fn misaligned_instances_do_not_compare() {
+        let one = Instance::parse(schema(), "a1 b1").unwrap();
+        let two = Instance::parse(schema(), "a1 b1\na2 b2").unwrap();
+        assert!(!instance_approximates(&one, &two));
+    }
+
+    #[test]
+    fn completions_are_detected() {
+        let partial = Instance::parse(schema(), "a1 ?x\na2 ?x").unwrap();
+        let consistent = Instance::parse(schema(), "a1 b1\na2 b1").unwrap();
+        let inconsistent = Instance::parse(schema(), "a1 b1\na2 b2").unwrap();
+        assert!(is_completion_of(&consistent, &partial));
+        assert!(
+            !is_completion_of(&inconsistent, &partial),
+            "the shared mark must receive one value"
+        );
+        assert!(!is_completion_of(&partial, &partial), "a completion is total");
+    }
+
+    #[test]
+    fn nothing_has_no_completion() {
+        let a = Instance::parse(schema(), "a1 #!").unwrap();
+        let b = Instance::parse(schema(), "a1 b1").unwrap();
+        assert!(!is_completion_of(&b, &a));
+        // but nothing is approximated by constants in the value order
+        assert!(a.tuples()[0].get(AttrId(1)).is_nothing());
+    }
+
+    #[test]
+    fn constants_must_match_for_completion() {
+        let a = Instance::parse(schema(), "a1 b1").unwrap();
+        let b = Instance::parse(schema(), "a2 b1").unwrap();
+        assert!(!is_completion_of(&b, &a));
+        assert!(is_completion_of(&a, &a), "a complete instance completes itself");
+    }
+}

@@ -1,0 +1,177 @@
+//! Null-equality constraints (NECs) as a union–find over null ids.
+//!
+//! Definition 1 of the paper: *a null-equality constraint is a statement
+//! to the effect that two null values are equal — they must take the same
+//! value in any substitution.* NECs partition the nulls of an instance
+//! into equivalence classes; the NS-rules of §6 introduce new NECs when
+//! two nulls are forced to agree, and every satisfiability convention in
+//! Theorems 2–3 consults these classes when comparing nulls.
+//!
+//! Implementation: a standard union–find with union by rank and path
+//! compression, growing on demand as null ids are allocated.
+
+use crate::value::NullId;
+use std::collections::HashMap;
+
+/// Union–find over null equivalence classes.
+#[derive(Debug, Clone, Default)]
+pub struct NecStore {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Number of union operations performed (distinct-class merges).
+    merges: usize,
+}
+
+impl NecStore {
+    /// An empty store.
+    pub fn new() -> NecStore {
+        NecStore::default()
+    }
+
+    fn ensure(&mut self, id: NullId) {
+        let need = id.index() + 1;
+        while self.parent.len() < need {
+            self.parent.push(self.parent.len() as u32);
+            self.rank.push(0);
+        }
+    }
+
+    /// Representative of `id`'s class, with path compression.
+    pub fn find(&mut self, id: NullId) -> NullId {
+        self.ensure(id);
+        let mut root = id.0;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = id.0;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        NullId(root)
+    }
+
+    /// Representative without mutation (no compression); ids never seen
+    /// are their own class.
+    pub fn find_readonly(&self, id: NullId) -> NullId {
+        let mut cur = id.0;
+        while (cur as usize) < self.parent.len() && self.parent[cur as usize] != cur {
+            cur = self.parent[cur as usize];
+        }
+        NullId(cur)
+    }
+
+    /// Introduces the NEC `a := b`. Returns `true` when the two classes
+    /// were distinct (knowledge increased).
+    pub fn union(&mut self, a: NullId, b: NullId) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra.index()] >= self.rank[rb.index()] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo.index()] = hi.0;
+        if self.rank[hi.index()] == self.rank[lo.index()] {
+            self.rank[hi.index()] += 1;
+        }
+        self.merges += 1;
+        true
+    }
+
+    /// Do `a` and `b` denote the same unknown value?
+    pub fn same_class(&self, a: NullId, b: NullId) -> bool {
+        a == b || self.find_readonly(a) == self.find_readonly(b)
+    }
+
+    /// Number of distinct-class merges performed so far.
+    pub fn merge_count(&self) -> usize {
+        self.merges
+    }
+
+    /// Groups the given null ids into their equivalence classes.
+    pub fn classes_of<I: IntoIterator<Item = NullId>>(&self, ids: I) -> Vec<Vec<NullId>> {
+        let mut groups: HashMap<NullId, Vec<NullId>> = HashMap::new();
+        let mut order: Vec<NullId> = Vec::new();
+        for id in ids {
+            let root = self.find_readonly(id);
+            let entry = groups.entry(root).or_default();
+            if entry.is_empty() {
+                order.push(root);
+            }
+            if !entry.contains(&id) {
+                entry.push(id);
+            }
+        }
+        order.into_iter().map(|r| groups.remove(&r).unwrap()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NullId {
+        NullId(i)
+    }
+
+    #[test]
+    fn fresh_ids_are_their_own_class() {
+        let store = NecStore::new();
+        assert!(store.same_class(n(3), n(3)));
+        assert!(!store.same_class(n(3), n(4)));
+        assert_eq!(store.find_readonly(n(9)), n(9));
+    }
+
+    #[test]
+    fn union_merges_classes() {
+        let mut store = NecStore::new();
+        assert!(store.union(n(0), n(1)));
+        assert!(store.same_class(n(0), n(1)));
+        assert!(!store.union(n(1), n(0)), "already merged");
+        assert!(store.union(n(1), n(2)));
+        assert!(store.same_class(n(0), n(2)), "transitivity");
+        assert_eq!(store.merge_count(), 2);
+    }
+
+    #[test]
+    fn unions_are_sparse_friendly() {
+        let mut store = NecStore::new();
+        store.union(n(100), n(5));
+        assert!(store.same_class(n(5), n(100)));
+        assert!(!store.same_class(n(5), n(99)));
+    }
+
+    #[test]
+    fn classes_of_groups_correctly() {
+        let mut store = NecStore::new();
+        store.union(n(0), n(2));
+        store.union(n(3), n(4));
+        let classes = store.classes_of([n(0), n(1), n(2), n(3), n(4)]);
+        assert_eq!(classes.len(), 3);
+        let sizes: Vec<usize> = classes.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&2));
+        assert!(sizes.contains(&1));
+        // duplicates do not inflate classes
+        let classes = store.classes_of([n(0), n(0), n(2)]);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 2);
+    }
+
+    #[test]
+    fn find_compresses_paths() {
+        let mut store = NecStore::new();
+        store.union(n(0), n(1));
+        store.union(n(1), n(2));
+        store.union(n(2), n(3));
+        let root = store.find(n(3));
+        for i in 0..4 {
+            assert_eq!(store.find(n(i)), root);
+        }
+    }
+}

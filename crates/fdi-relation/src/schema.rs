@@ -1,0 +1,278 @@
+//! Relation schemes: attribute names and domain specifications.
+//!
+//! A [`Schema`] is pure metadata — names and string-level domain specs.
+//! Operational structures (interned symbols, symbol-level domains, tuples)
+//! live in [`crate::instance::Instance`], so two instances of the same
+//! schema are fully independent.
+
+use crate::attrs::{AttrId, AttrSet, ATTR_LIMIT};
+use crate::error::RelationError;
+use std::fmt;
+use std::sync::Arc;
+
+/// String-level domain specification, resolved to symbol ids when an
+/// instance is created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainSpec {
+    /// A finite, known domain (the paper's standing assumption).
+    Finite(Vec<String>),
+    /// An unbounded domain (classical algorithms only).
+    Unbounded,
+}
+
+impl DomainSpec {
+    /// Finite domain from anything string-like.
+    pub fn finite<S: Into<String>, I: IntoIterator<Item = S>>(values: I) -> DomainSpec {
+        DomainSpec::Finite(values.into_iter().map(Into::into).collect())
+    }
+
+    /// Size of the domain, `None` when unbounded.
+    pub fn size(&self) -> Option<usize> {
+        match self {
+            DomainSpec::Finite(v) => Some(v.len()),
+            DomainSpec::Unbounded => None,
+        }
+    }
+}
+
+/// One attribute: a name and its domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name (e.g. `E#`, `SL`).
+    pub name: String,
+    /// Domain specification.
+    pub domain: DomainSpec,
+}
+
+/// A relation scheme `R(A₁, …, Aₚ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    attrs: Vec<AttrDef>,
+}
+
+impl Schema {
+    /// Starts building a schema named `name`.
+    pub fn builder<S: Into<String>>(name: S) -> SchemaBuilder {
+        SchemaBuilder {
+            name: name.into(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// A schema where every attribute has the same domain size, with
+    /// generated value names `<attr>_0 … <attr>_{k-1}`. Convenient for
+    /// workload generation and tests.
+    pub fn uniform<S: Into<String>>(
+        name: S,
+        attr_names: &[&str],
+        domain_size: usize,
+    ) -> Result<Arc<Schema>, RelationError> {
+        let mut b = Schema::builder(name);
+        for attr in attr_names {
+            let values: Vec<String> = (0..domain_size).map(|i| format!("{attr}_{i}")).collect();
+            b = b.attribute(*attr, values);
+        }
+        b.build()
+    }
+
+    /// The scheme's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All attribute definitions, in declaration order.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// The definition of one attribute.
+    pub fn attr(&self, id: AttrId) -> &AttrDef {
+        &self.attrs[id.index()]
+    }
+
+    /// The name of one attribute.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attrs[id.index()].name
+    }
+
+    /// Looks an attribute up by name.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId, RelationError> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .map(|i| AttrId(i as u16))
+            .ok_or_else(|| RelationError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The set of all attributes.
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::first_n(self.arity())
+    }
+
+    /// Builds an [`AttrSet`] from attribute names.
+    pub fn attr_set(&self, names: &[&str]) -> Result<AttrSet, RelationError> {
+        let mut s = AttrSet::EMPTY;
+        for n in names {
+            s = s.with(self.attr_id(n)?);
+        }
+        Ok(s)
+    }
+
+    /// Renders an attribute set with names, e.g. `E#,SL` (single-letter
+    /// names concatenate, as in the paper's `AB → C`).
+    pub fn render_attrs(&self, set: AttrSet) -> String {
+        let names: Vec<&str> = set.iter().map(|a| self.attr_name(a)).collect();
+        if names.iter().all(|n| n.chars().count() == 1) {
+            names.concat()
+        } else {
+            names.join(",")
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", a.name)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    name: String,
+    attrs: Vec<AttrDef>,
+}
+
+impl SchemaBuilder {
+    /// Adds an attribute with a finite domain.
+    #[must_use]
+    pub fn attribute<S, V, I>(mut self, name: S, values: I) -> SchemaBuilder
+    where
+        S: Into<String>,
+        V: Into<String>,
+        I: IntoIterator<Item = V>,
+    {
+        self.attrs.push(AttrDef {
+            name: name.into(),
+            domain: DomainSpec::finite(values),
+        });
+        self
+    }
+
+    /// Adds an attribute with an unbounded domain.
+    #[must_use]
+    pub fn attribute_unbounded<S: Into<String>>(mut self, name: S) -> SchemaBuilder {
+        self.attrs.push(AttrDef {
+            name: name.into(),
+            domain: DomainSpec::Unbounded,
+        });
+        self
+    }
+
+    /// Finalizes the schema.
+    ///
+    /// Fails when more than [`ATTR_LIMIT`] attributes are declared or an
+    /// attribute name repeats.
+    pub fn build(self) -> Result<Arc<Schema>, RelationError> {
+        if self.attrs.len() > ATTR_LIMIT {
+            return Err(RelationError::TooManyAttributes {
+                requested: self.attrs.len(),
+                limit: ATTR_LIMIT,
+            });
+        }
+        for (i, a) in self.attrs.iter().enumerate() {
+            if self.attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(RelationError::Parse {
+                    line: 0,
+                    message: format!("duplicate attribute name {:?}", a.name),
+                });
+            }
+        }
+        Ok(Arc::new(Schema {
+            name: self.name,
+            attrs: self.attrs,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_schema() -> Arc<Schema> {
+        Schema::builder("R")
+            .attribute("E#", ["e1", "e2", "e3"])
+            .attribute("SL", ["10K", "15K", "20K"])
+            .attribute("D#", ["d1", "d2"])
+            .attribute("CT", ["c1", "c2"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_and_rendering() {
+        let s = paper_schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attr_id("SL").unwrap(), AttrId(1));
+        assert!(s.attr_id("XX").is_err());
+        assert_eq!(s.attr_name(AttrId(3)), "CT");
+        assert_eq!(s.to_string(), "R(E#, SL, D#, CT)");
+        let set = s.attr_set(&["SL", "D#"]).unwrap();
+        assert_eq!(s.render_attrs(set), "SL,D#");
+    }
+
+    #[test]
+    fn single_letter_attrs_concatenate() {
+        let s = Schema::uniform("R", &["A", "B", "C"], 2).unwrap();
+        let set = s.attr_set(&["A", "C"]).unwrap();
+        assert_eq!(s.render_attrs(set), "AC");
+    }
+
+    #[test]
+    fn uniform_generates_domains() {
+        let s = Schema::uniform("R", &["A", "B"], 3).unwrap();
+        assert_eq!(s.attr(AttrId(0)).domain.size(), Some(3));
+        match &s.attr(AttrId(1)).domain {
+            DomainSpec::Finite(v) => assert_eq!(v[2], "B_2"),
+            DomainSpec::Unbounded => panic!("expected finite"),
+        }
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        let r = Schema::builder("R")
+            .attribute("A", ["x"])
+            .attribute("A", ["y"])
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn all_attrs_covers_arity() {
+        let s = paper_schema();
+        assert_eq!(s.all_attrs().len(), 4);
+    }
+
+    #[test]
+    fn unbounded_attributes_supported() {
+        let s = Schema::builder("R")
+            .attribute_unbounded("name")
+            .attribute("status", ["married", "single"])
+            .build()
+            .unwrap();
+        assert_eq!(s.attr(AttrId(0)).domain.size(), None);
+    }
+}

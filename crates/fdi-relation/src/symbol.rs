@@ -1,0 +1,113 @@
+//! Interned constant symbols.
+//!
+//! Domain values ("a1", "Smith", "married", …) are interned once into a
+//! [`SymbolTable`] and referenced by dense `u32` ids everywhere else, so
+//! tuple comparison in the chase and in TEST-FDs is integer comparison,
+//! never string comparison.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned constant symbol: an index into a [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// String interner mapping constant text to dense [`Symbol`] ids.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Returns the symbol for `text`, interning it if new.
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        if let Some(sym) = self.index.get(text) {
+            return *sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(text.to_string());
+        self.index.insert(text.to_string(), sym);
+        sym
+    }
+
+    /// Returns the symbol for `text` if already interned.
+    pub fn lookup(&self, text: &str) -> Option<Symbol> {
+        self.index.get(text).copied()
+    }
+
+    /// The text of `sym`; a placeholder if the symbol is foreign.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.names
+            .get(sym.index())
+            .map(String::as_str)
+            .unwrap_or("<unknown-symbol>")
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a1");
+        let b = t.intern("b1");
+        assert_eq!(t.intern("a1"), a);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("married");
+        assert_eq!(t.resolve(a), "married");
+        assert_eq!(t.lookup("married"), Some(a));
+        assert_eq!(t.lookup("single"), None);
+    }
+
+    #[test]
+    fn foreign_symbols_resolve_to_placeholder() {
+        let t = SymbolTable::new();
+        assert_eq!(t.resolve(Symbol(99)), "<unknown-symbol>");
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut t = SymbolTable::new();
+        assert!(t.is_empty());
+        t.intern("x");
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Database values: constants, marked nulls, and the `nothing` element.
+//!
+//! §2 of the paper admits one kind of null — the **missing** null, a value
+//! that exists but is presently unknown — and argues the *inconsistent*
+//! null has no place where semantic rules must hold. §6 then
+//! reintroduces inconsistency in a controlled way: the extended NS-rules
+//! replace contradicting constants with the **nothing** data value, whose
+//! presence witnesses that weak satisfiability fails (Theorem 4).
+//!
+//! Nulls are **marked**: each carries a [`NullId`]. Two occurrences of
+//! the same id always denote the same unknown value; additionally a
+//! [`crate::nec::NecStore`] can equate distinct ids (Definition 1's
+//! null-equality constraints). In the information lattice a null
+//! approximates every constant, and `nothing` sits above everything
+//! (over-defined).
+
+use crate::symbol::{Symbol, SymbolTable};
+use std::fmt;
+
+/// Identifier of a marked null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NullId(pub u32);
+
+impl NullId {
+    /// The id as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A database value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A known constant (interned symbol).
+    Const(Symbol),
+    /// A missing (existing-but-unknown) value — the paper's null.
+    Null(NullId),
+    /// The inconsistent element introduced by the extended NS-rules
+    /// (§6): merging two distinct constants yields `nothing`.
+    Nothing,
+}
+
+impl Value {
+    /// Returns `true` for [`Value::Const`].
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// Returns `true` for [`Value::Nothing`].
+    #[inline]
+    pub fn is_nothing(self) -> bool {
+        matches!(self, Value::Nothing)
+    }
+
+    /// The constant symbol, if this is a constant.
+    #[inline]
+    pub fn as_const(self) -> Option<Symbol> {
+        match self {
+            Value::Const(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The null id, if this is a null.
+    #[inline]
+    pub fn as_null(self) -> Option<NullId> {
+        match self {
+            Value::Null(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Information (approximation) ordering on values: a null
+    /// approximates every value, a constant approximates itself (and
+    /// `nothing`), and `nothing` — the over-defined top — approximates
+    /// only itself.
+    ///
+    /// Note: this is the *unmarked* ordering; whether two *nulls* denote
+    /// the same unknown is the business of [`crate::nec::NecStore`].
+    pub fn approximates(self, other: Value) -> bool {
+        match (self, other) {
+            (Value::Null(_), _) => true,
+            (Value::Const(a), Value::Const(b)) => a == b,
+            (_, Value::Nothing) => true,
+            _ => false,
+        }
+    }
+
+    /// Least upper bound in the information lattice, for definite values:
+    /// `null ⊔ x = x`, `c ⊔ c = c`, `c ⊔ c' = nothing` (`c ≠ c'`),
+    /// `nothing ⊔ x = nothing`. The lub of two *nulls* is represented by
+    /// the smaller id (callers tracking NECs must union the classes —
+    /// the chase engines do).
+    pub fn lub(self, other: Value) -> Value {
+        match (self, other) {
+            (Value::Nothing, _) | (_, Value::Nothing) => Value::Nothing,
+            (Value::Null(a), Value::Null(b)) => Value::Null(a.min(b)),
+            (Value::Null(_), v) | (v, Value::Null(_)) => v,
+            (Value::Const(a), Value::Const(b)) => {
+                if a == b {
+                    Value::Const(a)
+                } else {
+                    Value::Nothing
+                }
+            }
+        }
+    }
+
+    /// Renders the value: the constant's text, `-` for a null (with the
+    /// mark when `marked` is set), `#!` for nothing.
+    pub fn render(self, symbols: &SymbolTable, marked: bool) -> String {
+        match self {
+            Value::Const(s) => symbols.resolve(s).to_string(),
+            Value::Null(n) => {
+                if marked {
+                    format!("?{}", n.0)
+                } else {
+                    "-".to_string()
+                }
+            }
+            Value::Nothing => "#!".to_string(),
+        }
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Value {
+        Value::Const(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(s) => write!(f, "{s}"),
+            Value::Null(n) => write!(f, "{n}"),
+            Value::Nothing => write!(f, "#!"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Value::Const(sym(0)).is_const());
+        assert!(Value::Null(NullId(0)).is_null());
+        assert!(Value::Nothing.is_nothing());
+        assert_eq!(Value::Const(sym(3)).as_const(), Some(sym(3)));
+        assert_eq!(Value::Null(NullId(7)).as_null(), Some(NullId(7)));
+        assert_eq!(Value::Nothing.as_const(), None);
+    }
+
+    #[test]
+    fn approximation_ordering() {
+        let c0 = Value::Const(sym(0));
+        let c1 = Value::Const(sym(1));
+        let null = Value::Null(NullId(0));
+        assert!(null.approximates(c0));
+        assert!(null.approximates(Value::Nothing));
+        assert!(c0.approximates(c0));
+        assert!(!c0.approximates(c1));
+        assert!(c0.approximates(Value::Nothing));
+        assert!(!Value::Nothing.approximates(c0));
+        assert!(Value::Nothing.approximates(Value::Nothing));
+        assert!(!c0.approximates(null));
+    }
+
+    #[test]
+    fn lub_is_the_chase_merge() {
+        let c0 = Value::Const(sym(0));
+        let c1 = Value::Const(sym(1));
+        let null = Value::Null(NullId(4));
+        assert_eq!(null.lub(c0), c0);
+        assert_eq!(c0.lub(null), c0);
+        assert_eq!(c0.lub(c0), c0);
+        assert_eq!(c0.lub(c1), Value::Nothing, "distinct constants merge to nothing");
+        assert_eq!(Value::Nothing.lub(c0), Value::Nothing);
+        assert_eq!(
+            Value::Null(NullId(9)).lub(Value::Null(NullId(2))),
+            Value::Null(NullId(2))
+        );
+    }
+
+    #[test]
+    fn lub_is_commutative_and_idempotent() {
+        let values = [
+            Value::Const(sym(0)),
+            Value::Const(sym(1)),
+            Value::Null(NullId(0)),
+            Value::Nothing,
+        ];
+        for a in values {
+            assert_eq!(a.lub(a), a);
+            for b in values {
+                assert_eq!(a.lub(b), b.lub(a));
+            }
+        }
+    }
+
+    #[test]
+    fn rendering() {
+        let mut t = SymbolTable::new();
+        let s = t.intern("e1");
+        assert_eq!(Value::Const(s).render(&t, false), "e1");
+        assert_eq!(Value::Null(NullId(3)).render(&t, false), "-");
+        assert_eq!(Value::Null(NullId(3)).render(&t, true), "?3");
+        assert_eq!(Value::Nothing.render(&t, false), "#!");
+    }
+}

@@ -1,0 +1,286 @@
+//! Property-based tests for the relational substrate.
+
+use fdi_relation::attrs::{AttrId, AttrSet};
+use fdi_relation::completion::CompletionSpace;
+use fdi_relation::instance::Instance;
+use fdi_relation::lattice::{instance_approximates, is_completion_of};
+use fdi_relation::schema::Schema;
+use fdi_relation::tuple::Tuple;
+use fdi_relation::value::{NullId, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const ATTRS: usize = 3;
+const DOM: usize = 3;
+
+fn schema() -> Arc<Schema> {
+    Schema::uniform("R", &["A", "B", "C"], DOM).unwrap()
+}
+
+/// A cell blueprint: Some(k) = the k-th domain constant, None = null with
+/// the given shared-mark slot (0..4 marks available).
+#[derive(Debug, Clone, Copy)]
+enum CellPlan {
+    Const(usize),
+    Null(usize),
+}
+
+fn arb_cell() -> impl Strategy<Value = CellPlan> {
+    prop_oneof![
+        3 => (0..DOM).prop_map(CellPlan::Const),
+        1 => (0usize..4).prop_map(CellPlan::Null),
+    ]
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<CellPlan>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_cell(), ATTRS), 1..5)
+}
+
+fn build_instance(rows: &[Vec<CellPlan>]) -> Instance {
+    let schema = schema();
+    let mut r = Instance::new(schema.clone());
+    let mut marks: Vec<Option<NullId>> = vec![None; 4];
+    for row in rows {
+        let mut values = Vec::with_capacity(ATTRS);
+        for (i, cell) in row.iter().enumerate() {
+            let attr = AttrId(i as u16);
+            match cell {
+                CellPlan::Const(k) => {
+                    let name = format!("{}_{k}", schema.attr_name(attr));
+                    let sym = r.intern_constant(attr, &name).unwrap();
+                    values.push(Value::Const(sym));
+                }
+                CellPlan::Null(mark) => {
+                    let id = match marks[*mark] {
+                        Some(id) => id,
+                        None => {
+                            let id = r.fresh_null();
+                            marks[*mark] = Some(id);
+                            id
+                        }
+                    };
+                    values.push(Value::Null(id));
+                }
+            }
+        }
+        r.add_tuple(Tuple::new(values)).unwrap();
+    }
+    r
+}
+
+proptest! {
+    /// Every enumerated completion is (a) complete, (b) approximated by
+    /// the original instance, and (c) recognized by `is_completion_of`.
+    #[test]
+    fn enumerated_completions_are_genuine(rows in arb_rows()) {
+        let r = build_instance(&rows);
+        let scope = r.schema().all_attrs();
+        let space = CompletionSpace::for_instance(&r, scope).unwrap();
+        prop_assume!(space.count() <= 256);
+        for tuples in space.iter() {
+            let mut completed = Instance::new(r.schema().clone());
+            for t in tuples {
+                completed.add_tuple(t).unwrap();
+            }
+            prop_assert!(completed.is_complete());
+            prop_assert!(instance_approximates(&r, &completed));
+            prop_assert!(is_completion_of(&completed, &r));
+        }
+    }
+
+    /// The completion count equals the number of enumerated completions,
+    /// and completions are pairwise distinct.
+    #[test]
+    fn completion_count_matches_enumeration(rows in arb_rows()) {
+        let r = build_instance(&rows);
+        let scope = r.schema().all_attrs();
+        let space = CompletionSpace::for_instance(&r, scope).unwrap();
+        prop_assume!(space.count() <= 256);
+        let all: Vec<Vec<Tuple>> = space.iter().collect();
+        prop_assert_eq!(all.len() as u128, space.count());
+        let distinct: std::collections::HashSet<String> =
+            all.iter().map(|ts| format!("{ts:?}")).collect();
+        prop_assert_eq!(distinct.len(), all.len());
+    }
+
+    /// Canonical forms are invariant under renaming null ids (rebuilding
+    /// the same plan allocates different ids but identical structure).
+    #[test]
+    fn canonical_form_is_id_invariant(rows in arb_rows()) {
+        let r1 = build_instance(&rows);
+        // Rebuild with an id offset: burn a few ids first.
+        let mut r2 = Instance::new(r1.schema().clone());
+        for _ in 0..7 {
+            let _ = r2.fresh_null();
+        }
+        let mut marks: Vec<Option<NullId>> = vec![None; 4];
+        for row in &rows {
+            let mut values = Vec::with_capacity(ATTRS);
+            for (i, cell) in row.iter().enumerate() {
+                let attr = AttrId(i as u16);
+                match cell {
+                    CellPlan::Const(k) => {
+                        let name = format!("{}_{k}", r1.schema().attr_name(attr));
+                        let sym = r2.intern_constant(attr, &name).unwrap();
+                        values.push(Value::Const(sym));
+                    }
+                    CellPlan::Null(mark) => {
+                        let id = match marks[*mark] {
+                            Some(id) => id,
+                            None => {
+                                let id = r2.fresh_null();
+                                marks[*mark] = Some(id);
+                                id
+                            }
+                        };
+                        values.push(Value::Null(id));
+                    }
+                }
+            }
+            r2.add_tuple(Tuple::new(values)).unwrap();
+        }
+        prop_assert_eq!(r1.canonical_form(), r2.canonical_form());
+    }
+
+    /// Parsing the rendered marked form round-trips the canonical form
+    /// for instances without NEC-merged-but-differently-marked nulls.
+    #[test]
+    fn render_parse_round_trip(rows in arb_rows()) {
+        let r = build_instance(&rows);
+        let text = r.render(true);
+        // strip the header and rule lines, convert cells back to tokens
+        let body: String = text
+            .lines()
+            .skip(2)
+            .map(|line| {
+                line.trim_matches('|')
+                    .split('|')
+                    .map(str::trim)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = Instance::parse(r.schema().clone(), &body).unwrap();
+        prop_assert_eq!(r.canonical_form(), reparsed.canonical_form());
+    }
+
+    /// Approximation is reflexive and antisymmetric up to canonical form,
+    /// and completions sit above their sources.
+    #[test]
+    fn approximation_partial_order(rows in arb_rows()) {
+        let r = build_instance(&rows);
+        prop_assert!(instance_approximates(&r, &r));
+        let scope = r.schema().all_attrs();
+        let space = CompletionSpace::for_instance(&r, scope).unwrap();
+        prop_assume!(space.count() >= 1 && space.count() <= 64);
+        if let Some(tuples) = space.iter().next() {
+            let mut c = Instance::new(r.schema().clone());
+            for t in tuples {
+                c.add_tuple(t).unwrap();
+            }
+            prop_assert!(instance_approximates(&r, &c));
+            if r.has_nulls() {
+                prop_assert!(!instance_approximates(&c, &r));
+            }
+        }
+    }
+
+    /// Projection onto the full attribute set is the identity (up to
+    /// canonical form), and projections compose: π_B(π_A(r)) = π_B(r)
+    /// for B ⊆ A.
+    #[test]
+    fn projection_identity_and_composition(
+        rows in arb_rows(),
+        outer_bits in 1u64..(1 << ATTRS),
+        inner_bits in 1u64..(1 << ATTRS),
+    ) {
+        use fdi_relation::algebra::project;
+        let r = build_instance(&rows);
+        let full = project(&r, r.schema().all_attrs(), false).unwrap();
+        prop_assert_eq!(r.canonical_form(), full.canonical_form());
+        let outer = AttrSet(outer_bits);
+        let inner_in_outer = AttrSet(inner_bits).intersect(outer);
+        prop_assume!(!inner_in_outer.is_empty());
+        let once = project(&r, inner_in_outer, false).unwrap();
+        let staged_outer = project(&r, outer, false).unwrap();
+        // re-express inner under the outer projection's attribute order
+        let remapped: AttrSet = inner_in_outer
+            .iter()
+            .map(|a| {
+                let pos = outer.iter().position(|b| b == a).unwrap();
+                AttrId(pos as u16)
+            })
+            .collect();
+        let twice = project(&staged_outer, remapped, false).unwrap();
+        prop_assert_eq!(once.canonical_form(), twice.canonical_form());
+    }
+
+    /// Every original tuple is recovered by joining its own fragments:
+    /// r ⊆ π_A(r) ⋈ π_B(r) whenever A ∪ B covers the schema.
+    #[test]
+    fn join_of_projections_contains_original(
+        rows in arb_rows(),
+        split in 1u64..((1 << ATTRS) - 1),
+    ) {
+        use fdi_relation::algebra::{natural_join, project};
+        let r = build_instance(&rows);
+        let left_attrs = AttrSet(split);
+        let right_attrs = r.schema().all_attrs().difference(left_attrs);
+        prop_assume!(!right_attrs.is_empty());
+        // overlap by one attribute so the join is not a blind cartesian
+        let bridge = left_attrs.iter().next().unwrap();
+        let right_attrs = right_attrs.with(bridge);
+        let left = project(&r, left_attrs, true).unwrap();
+        let right = project(&r, right_attrs, true).unwrap();
+        let joined = natural_join(&left, &right).unwrap();
+        // every original tuple reappears (values compared by rendering
+        // in the original attribute order, null classes by root)
+        let joined_schema = joined.schema().clone();
+        let mapping: Vec<usize> = r
+            .schema()
+            .attrs()
+            .iter()
+            .map(|def| joined_schema.attr_id(&def.name).unwrap().index())
+            .collect();
+        for row in 0..r.len() {
+            let want: Vec<String> = r
+                .schema()
+                .all_attrs()
+                .iter()
+                .map(|a| match r.value(row, a) {
+                    Value::Null(n) => format!("?{}", r.necs().find_readonly(n).0),
+                    v => v.render(r.symbols(), false),
+                })
+                .collect();
+            let found = (0..joined.len()).any(|j| {
+                mapping.iter().enumerate().all(|(orig, &col)| {
+                    let v = joined.value(j, AttrId(col as u16));
+                    let rendered = match v {
+                        Value::Null(n) => format!("?{}", joined.necs().find_readonly(n).0),
+                        v => v.render(joined.symbols(), false),
+                    };
+                    rendered == want[orig]
+                })
+            });
+            prop_assert!(found, "row {row} ({want:?}) lost in the round trip");
+        }
+    }
+
+    /// Scoped spaces never touch out-of-scope attributes.
+    #[test]
+    fn scope_isolation(rows in arb_rows(), scope_bits in 1u64..(1 << ATTRS)) {
+        let r = build_instance(&rows);
+        let scope = AttrSet(scope_bits);
+        let space = CompletionSpace::for_instance(&r, scope).unwrap();
+        prop_assume!(space.count() <= 128);
+        let outside = r.schema().all_attrs().difference(scope);
+        for tuples in space.iter() {
+            for (i, t) in tuples.iter().enumerate() {
+                for a in outside.iter() {
+                    prop_assert_eq!(t.get(a), r.tuple(i).get(a));
+                }
+            }
+        }
+    }
+}

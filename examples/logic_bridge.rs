@@ -1,0 +1,121 @@
+//! The System-C bridge of §5: the evaluation scheme V, the marital
+//! status example of §2 as queries AND as logic, Lemma 3's two-tuple
+//! worlds, and the failure of transitivity under weak inference.
+//!
+//! Run with: `cargo run --example logic_bridge`
+
+use fd_incomplete::core::equiv;
+use fd_incomplete::core::query::{self, Query};
+use fd_incomplete::logic::eval::{eval_c, truth_table};
+use fd_incomplete::logic::implication::{counterexample, InferenceMode, Statement};
+use fd_incomplete::logic::parser::parse_standalone;
+use fd_incomplete::logic::var::{Assignment, VarSet};
+use fd_incomplete::prelude::*;
+
+fn main() {
+    // ----- §2: the marital-status example, least extension vs Kleene -----
+    let schema = Schema::builder("People")
+        .attribute_unbounded("name")
+        .attribute("status", ["married", "single"])
+        .build()
+        .expect("schema");
+    let mut people = Instance::new(schema);
+    people.add_row(&["John", "-"]).expect("row");
+    println!("{}", people.render(false));
+
+    let married = Query::eq_text(&people, "status", "married").expect("query");
+    let single = Query::eq_text(&people, "status", "single").expect("query");
+    let either = married.clone().or(single);
+    println!(
+        "Q : \"Is John married?\"            = {}",
+        query::eval_least_extension(&married, 0, &people, 1 << 10).expect("budget")
+    );
+    println!(
+        "Q': \"Is John married or single?\"  = {}  (lub{{yes, yes}})",
+        query::eval_least_extension(&either, 0, &people, 1 << 10).expect("budget")
+    );
+    println!(
+        "     … Kleene evaluation would say  {}  — rule 1 is what saves Q'\n",
+        query::eval_kleene(&either, people.tuple(0), &people)
+    );
+
+    // ----- the same phenomenon inside System-C -----
+    let (formula, table) = parse_standalone("married | !married").expect("parse");
+    let unknown = Assignment::unknown(table.len());
+    println!(
+        "V(married ∨ ¬married) under a(married) = unknown: {}",
+        eval_c(&formula, &unknown)
+    );
+    let (plain, table2) = parse_standalone("married | single").expect("parse");
+    println!("truth table of `married | single` under V:");
+    println!("{}", truth_table(&plain, &table2));
+
+    // ----- the modal operator ∇ -----
+    let (nec, table3) = parse_standalone("nec status => status").expect("parse");
+    println!(
+        "∇status ⇒ status is a C-tautology: {}",
+        fd_incomplete::logic::eval::is_c_tautology(&nec)
+    );
+    let (conv, _) = parse_standalone("status => nec status").expect("parse");
+    println!(
+        "status ⇒ ∇status is NOT: {} (necessity is not implied by truth-value unknown)",
+        fd_incomplete::logic::eval::is_c_tautology(&conv)
+    );
+    let _ = table3;
+    println!();
+
+    // ----- Lemma 3: assignments ↔ two-tuple relations -----
+    let fd = Fd::new(
+        AttrSet::first_n(2).without(AttrId(1)), // {A}
+        AttrSet::first_n(2).without(AttrId(0)), // {B}
+    );
+    println!("Lemma 3 worlds for A -> B:");
+    for a in Assignment::enumerate_all(2) {
+        let world = equiv::build_two_tuple(&a);
+        let holds = equiv::strongly_holds_in_world(fd, &world).expect("small world");
+        let v = equiv::fd_to_statement(fd).eval(&a);
+        println!(
+            "  a(A)={} a(B)={}  →  strongly holds: {:5}  V(A⇒B) = {}",
+            a.get(fd_incomplete::logic::var::VarId(0)).letter(),
+            a.get(fd_incomplete::logic::var::VarId(1)).letter(),
+            holds,
+            v
+        );
+        assert_eq!(holds, v.is_true(), "Lemma 3");
+    }
+    println!();
+
+    // ----- a Hilbert proof in the axiom system -----
+    let identity = fd_incomplete::logic::axioms::prove_identity(
+        fd_incomplete::logic::Formula::var(fd_incomplete::logic::var::VarId(0)),
+    );
+    identity.check().expect("machine-checkable");
+    println!(
+        "Hilbert system: ⊢ A ⇒ A in {} lines (checked); its necessitation \
+         ∇(A ⇒ A) is a C-tautology: {}\n",
+        identity.len(),
+        fd_incomplete::logic::eval::is_c_tautology(
+            &identity.conclusion().unwrap().clone().nec()
+        )
+    );
+
+    // ----- §6 at the logic level: weak inference is not transitive -----
+    let a_to_b = Statement::new(VarSet(0b001), VarSet(0b010));
+    let b_to_c = Statement::new(VarSet(0b010), VarSet(0b100));
+    let a_to_c = Statement::new(VarSet(0b001), VarSet(0b100));
+    let cex = counterexample(&[a_to_b, b_to_c], a_to_c, InferenceMode::Weak)
+        .expect("weak transitivity fails");
+    println!(
+        "weak inference does NOT give transitivity: with a(A)={}, a(B)={}, a(C)={},",
+        cex.get(fd_incomplete::logic::var::VarId(0)).letter(),
+        cex.get(fd_incomplete::logic::var::VarId(1)).letter(),
+        cex.get(fd_incomplete::logic::var::VarId(2)).letter(),
+    );
+    println!(
+        "  V(A⇒B) = {} (≠ false), V(B⇒C) = {} (≠ false), but V(A⇒C) = {}",
+        a_to_b.eval(&cex),
+        b_to_c.eval(&cex),
+        a_to_c.eval(&cex)
+    );
+    println!("— exactly the §6 phenomenon that forces the chase before weak testing.");
+}

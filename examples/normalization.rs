@@ -1,0 +1,100 @@
+//! Normalization with incomplete information — what Theorem 1 buys.
+//!
+//! "With this result we may safely talk about decompositions and the
+//! theory of normalization applying even when nulls are allowed in
+//! relation instances" (§5). This example decomposes the paper's
+//! employee scheme, verifies losslessness with the tableau chase (which
+//! is itself an NS-rule chase on a marked-null instance), and shows an
+//! Armstrong derivation with its proof tree.
+//!
+//! Run with: `cargo run --example normalization`
+
+use fd_incomplete::core::{armstrong, fixtures, normalize};
+use fd_incomplete::logic::var::VarTable;
+use fd_incomplete::prelude::*;
+
+fn main() {
+    let schema = fixtures::figure1_schema();
+    let fds = fixtures::figure1_fds();
+    let all = AttrSet::first_n(schema.arity());
+
+    println!("scheme: {}", schema);
+    println!("dependencies:\n{}\n", fds.render(&schema));
+
+    // ----- keys and primes -----
+    let keys = armstrong::candidate_keys(all, &fds);
+    print!("candidate keys:");
+    for k in &keys {
+        print!(" {}", schema.render_attrs(*k));
+    }
+    println!();
+
+    // ----- BCNF analysis and decomposition -----
+    println!("in BCNF? {}", normalize::is_bcnf(&fds, all));
+    if let Some(v) = normalize::bcnf_violation(&fds, all) {
+        println!(
+            "violation: {} (its left side is not a key)",
+            v.fd.render(&schema)
+        );
+    }
+    let decomposition = normalize::bcnf_decompose(&fds, all);
+    print!("BCNF decomposition:");
+    for c in &decomposition {
+        print!(" {}({})", schema.name(), schema.render_attrs(*c));
+    }
+    println!();
+    println!(
+        "lossless join (tableau chase): {}",
+        normalize::is_lossless(&fds, all, &decomposition)
+    );
+    println!(
+        "dependency preserving: {}\n",
+        normalize::preserves_dependencies(&fds, &decomposition)
+    );
+
+    // ----- the classic 3NF-but-not-BCNF scheme -----
+    let csz = Schema::builder("Addr")
+        .attribute("City", ["nyc", "tor"])
+        .attribute("Street", ["s1", "s2"])
+        .attribute("Zip", ["z1", "z2", "z3"])
+        .build()
+        .expect("schema");
+    let csz_fds = FdSet::parse(&csz, "City Street -> Zip\nZip -> City").expect("FDs");
+    let csz_all = AttrSet::first_n(3);
+    println!("scheme: {} with CS -> Z, Z -> C", csz);
+    let synthesized = normalize::synthesize_3nf(&csz_fds, csz_all);
+    print!("3NF synthesis:");
+    for c in &synthesized {
+        print!(" ({})", csz.render_attrs(*c));
+    }
+    println!();
+    println!(
+        "lossless: {}, dependency preserving: {}",
+        normalize::is_lossless(&csz_fds, csz_all, &synthesized),
+        normalize::preserves_dependencies(&csz_fds, &synthesized)
+    );
+    let bcnf = normalize::bcnf_decompose(&csz_fds, csz_all);
+    print!("BCNF decomposition:");
+    for c in &bcnf {
+        print!(" ({})", csz.render_attrs(*c));
+    }
+    println!(
+        "\n… which is lossless ({}) but loses CS -> Z (preserving: {})\n",
+        normalize::is_lossless(&csz_fds, csz_all, &bcnf),
+        normalize::preserves_dependencies(&csz_fds, &bcnf)
+    );
+
+    // ----- an Armstrong derivation with its I1–I4 proof tree -----
+    let goal = Fd::parse(&schema, "E# -> CT").expect("fd");
+    println!(
+        "is {} implied? {}",
+        goal.render(&schema),
+        armstrong::implies(&fds, goal)
+    );
+    let derivation = armstrong::derive(&fds, goal).expect("derivable");
+    let names: Vec<&str> = schema.attrs().iter().map(|a| a.name.as_str()).collect();
+    let table = VarTable::from_names(names);
+    println!("derivation (I1 reflexivity, I2 transitivity, I3 union, I4 decomposition):");
+    println!("{}", derivation.render(&table));
+    println!("proof steps: {}", derivation.steps());
+}

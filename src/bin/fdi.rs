@@ -1,0 +1,287 @@
+//! `fdi` — a command-line front end for fd-incomplete.
+//!
+//! Reads a database description file with three `%`-marked sections —
+//! schema, dependencies, instance — and answers the paper's questions
+//! about it:
+//!
+//! ```text
+//! %schema
+//! relation Staff
+//! attr emp  ada bob cyd
+//! attr dept sales eng
+//! attr mgr  mia noa
+//!
+//! %fds
+//! emp -> dept
+//! dept -> mgr
+//!
+//! %instance
+//! ada sales mia
+//! bob -     mia
+//! ```
+//!
+//! Usage: `fdi <command> <file>` where command is one of
+//! `report`, `strong`, `weak`, `chase`, `chase-extended`, `keys`,
+//! `normalize`, `exhaustion`.
+
+use fd_incomplete::core::interp::DEFAULT_BUDGET;
+use fd_incomplete::core::{armstrong, chase, normalize, satisfy, subst, testfd};
+use fd_incomplete::prelude::*;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// A parsed database description file.
+struct Description {
+    schema: Arc<Schema>,
+    fds: FdSet,
+    instance: Instance,
+}
+
+fn parse_description(text: &str) -> Result<Description, String> {
+    let mut section = String::new();
+    let mut relation_name = "R".to_string();
+    let mut attrs: Vec<(String, Vec<String>)> = Vec::new();
+    let mut fd_lines: Vec<String> = Vec::new();
+    let mut instance_lines: Vec<String> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('%') {
+            section = name.trim().to_lowercase();
+            continue;
+        }
+        match section.as_str() {
+            "schema" => {
+                let mut words = line.split_whitespace();
+                match words.next() {
+                    Some("relation") => {
+                        relation_name = words
+                            .next()
+                            .ok_or_else(|| format!("line {}: relation needs a name", lineno + 1))?
+                            .to_string();
+                    }
+                    Some("attr") => {
+                        let name = words
+                            .next()
+                            .ok_or_else(|| format!("line {}: attr needs a name", lineno + 1))?
+                            .to_string();
+                        let values: Vec<String> = words.map(str::to_string).collect();
+                        attrs.push((name, values));
+                    }
+                    other => {
+                        return Err(format!(
+                            "line {}: expected 'relation' or 'attr', found {other:?}",
+                            lineno + 1
+                        ))
+                    }
+                }
+            }
+            "fds" => fd_lines.push(line.to_string()),
+            "instance" => instance_lines.push(line.to_string()),
+            other => {
+                return Err(format!(
+                    "line {}: content before a %section (or unknown section {other:?})",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    if attrs.is_empty() {
+        return Err("no attributes declared in %schema".to_string());
+    }
+    let mut builder = Schema::builder(relation_name);
+    for (name, values) in attrs {
+        builder = if values.is_empty() {
+            builder.attribute_unbounded(name)
+        } else {
+            builder.attribute(name, values)
+        };
+    }
+    let schema = builder.build().map_err(|e| e.to_string())?;
+    let fds = FdSet::parse(&schema, &fd_lines.join("\n")).map_err(|e| e.to_string())?;
+    let instance =
+        Instance::parse(schema.clone(), &instance_lines.join("\n")).map_err(|e| e.to_string())?;
+    Ok(Description {
+        schema,
+        fds,
+        instance,
+    })
+}
+
+fn run(command: &str, desc: &Description) -> Result<(), String> {
+    let Description {
+        schema,
+        fds,
+        instance,
+    } = desc;
+    match command {
+        "report" => {
+            println!("{}", instance.render(true));
+            let report = satisfy::report(fds, instance, DEFAULT_BUDGET).map_err(|e| e.to_string())?;
+            println!("{}", satisfy::render_report(&report, fds, instance));
+        }
+        "strong" => match testfd::check_strong(instance, fds) {
+            Ok(()) => println!("strongly satisfied"),
+            Err(v) => println!("NOT strongly satisfied: {v}"),
+        },
+        "weak" => {
+            if chase::weakly_satisfiable_via_chase(fds, instance) {
+                println!("weakly satisfiable (some completion obeys every dependency)");
+            } else {
+                println!("NOT weakly satisfiable (every completion violates the dependencies)");
+            }
+        }
+        "chase" => {
+            let result = chase::chase_plain(instance, fds);
+            for event in &result.events {
+                println!("applied: {event}");
+            }
+            println!("{}", result.instance.render(true));
+            println!(
+                "minimally incomplete after {} passes, {} events",
+                result.passes,
+                result.events.len()
+            );
+        }
+        "chase-extended" => {
+            let outcome = chase::extended_chase(instance, fds, Scheduler::Fast);
+            println!("{}", outcome.instance.render(true));
+            if outcome.has_nothing() {
+                println!(
+                    "{} nothing class(es): the dependencies are contradicted (Theorem 4b)",
+                    outcome.nothing_classes
+                );
+            } else {
+                println!("no nothing values: weakly satisfiable (Theorem 4b)");
+            }
+        }
+        "keys" => {
+            let all = AttrSet::first_n(schema.arity());
+            for key in armstrong::candidate_keys(all, fds) {
+                println!("key: {}", schema.render_attrs(key));
+            }
+        }
+        "normalize" => {
+            let all = AttrSet::first_n(schema.arity());
+            println!("BCNF: {}", normalize::is_bcnf(fds, all));
+            let d = normalize::bcnf_decompose(fds, all);
+            for c in &d {
+                println!("component: {}", schema.render_attrs(*c));
+            }
+            println!("lossless: {}", normalize::is_lossless(fds, all, &d));
+            println!(
+                "dependency preserving: {}",
+                normalize::preserves_dependencies(fds, &d)
+            );
+        }
+        "exhaustion" => {
+            let sites = subst::detect_domain_exhaustion(fds, instance).map_err(|e| e.to_string())?;
+            if sites.is_empty() {
+                println!("no [F2] domain-exhaustion sites: the weak pipelines are exact here");
+            } else {
+                for s in sites {
+                    println!("[F2] at row {} under fd #{}", s.row + 1, s.fd_index + 1);
+                }
+            }
+        }
+        other => return Err(format!("unknown command {other:?} (try: report, strong, weak, chase, chase-extended, keys, normalize, exhaustion)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: fdi <report|strong|weak|chase|chase-extended|keys|normalize|exhaustion> <file>");
+        return ExitCode::FAILURE;
+    }
+    let text = match std::fs::read_to_string(&args[2]) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args[2]);
+            return ExitCode::FAILURE;
+        }
+    };
+    let desc = match parse_description(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args[1], &desc) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+%schema
+relation Staff
+attr emp ada bob cyd
+attr dept sales eng
+attr mgr mia noa
+
+%fds
+emp -> dept
+dept -> mgr
+
+%instance
+ada sales mia
+bob -     mia
+cyd eng   -
+";
+
+    #[test]
+    fn parses_the_sample() {
+        let d = parse_description(SAMPLE).expect("parse");
+        assert_eq!(d.schema.arity(), 3);
+        assert_eq!(d.fds.len(), 2);
+        assert_eq!(d.instance.len(), 3);
+        assert_eq!(d.instance.null_count(), 2);
+    }
+
+    #[test]
+    fn commands_run_on_the_sample() {
+        let d = parse_description(SAMPLE).expect("parse");
+        for cmd in [
+            "report",
+            "strong",
+            "weak",
+            "chase",
+            "chase-extended",
+            "keys",
+            "normalize",
+            "exhaustion",
+        ] {
+            run(cmd, &d).unwrap_or_else(|e| panic!("command {cmd}: {e}"));
+        }
+        assert!(run("bogus", &d).is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_description("attr A a1").is_err(), "content before section");
+        assert!(parse_description("%schema\nrelation").is_err());
+        assert!(parse_description("%schema\nfoo A").is_err());
+        assert!(parse_description("%schema\nrelation R").is_err(), "no attrs");
+        let bad_fd = "%schema\nattr A a1\n%fds\nA -> ZZ\n%instance\n";
+        assert!(parse_description(bad_fd).is_err());
+    }
+
+    #[test]
+    fn unbounded_attrs_via_empty_value_list() {
+        let text = "%schema\nattr name\nattr status m s\n%fds\n%instance\nJohn m\n";
+        let d = parse_description(text).expect("parse");
+        assert_eq!(d.instance.len(), 1);
+    }
+}

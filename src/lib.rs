@@ -1,0 +1,65 @@
+//! # fd-incomplete
+//!
+//! A complete, from-scratch Rust implementation of
+//! *Yannis Vassiliou, "Functional Dependencies and Incomplete
+//! Information", VLDB 1980*: functional dependency semantics over
+//! relations with null values.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`logic`] (`fdi-logic`) — three-valued truth values and Bertram's
+//!   System-C, the modal propositional logic for unknown outcomes that
+//!   §5 of the paper reduces FD reasoning to;
+//! * [`relation`] (`fdi-relation`) — the relational substrate: schemas,
+//!   finite domains, marked nulls, NEC union–find, instances, and
+//!   completion enumeration;
+//! * [`core`] (`fdi-core`) — the paper's contribution: the extended FD
+//!   interpretation (Proposition 1), strong/weak satisfiability, the
+//!   TEST-FDs algorithm (Figure 3, Theorems 2–3), the NS-rule chase and
+//!   its Church–Rosser extension (Theorem 4), Armstrong's system
+//!   (Theorem 1), normalization, and least-extension queries;
+//! * [`gen`] (`fdi-gen`) — seeded workload generators for the
+//!   experiment harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fd_incomplete::prelude::*;
+//!
+//! let schema = Schema::builder("R")
+//!     .attribute("emp", ["e1", "e2", "e3"])
+//!     .attribute("dept", ["d1", "d2"])
+//!     .attribute("mgr", ["m1", "m2"])
+//!     .build()
+//!     .unwrap();
+//! let fds = FdSet::parse(&schema, "emp -> dept\ndept -> mgr").unwrap();
+//! // `-` is a null: e2's department is unknown.
+//! let r = Instance::parse(schema, "e1 d1 m1\ne2 - m1\ne3 d2 m2").unwrap();
+//!
+//! // Not strongly satisfied (the null may collide with d2 under e3's
+//! // manager), but weakly satisfiable: some completion obeys both FDs.
+//! assert!(fd_incomplete::core::testfd::check_strong(&r, &fds).is_err());
+//! assert!(fd_incomplete::core::chase::weakly_satisfiable_via_chase(&fds, &r));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fdi_core as core;
+pub use fdi_gen as gen;
+pub use fdi_logic as logic;
+pub use fdi_relation as relation;
+
+/// The most common imports, for examples and downstream users.
+pub mod prelude {
+    pub use fdi_core::chase::{chase_plain, extended_chase, Scheduler};
+    pub use fdi_core::fd::{Fd, FdSet};
+    pub use fdi_core::prop1;
+    pub use fdi_core::satisfy;
+    pub use fdi_core::testfd::{self, Convention};
+    pub use fdi_core::update::{Database, Enforcement, Policy};
+    pub use fdi_logic::truth::Truth;
+    pub use fdi_relation::instance::Instance;
+    pub use fdi_relation::schema::Schema;
+    pub use fdi_relation::{AttrId, AttrSet, NullId, Value};
+}

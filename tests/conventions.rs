@@ -1,0 +1,125 @@
+//! The null-comparison conventions of Theorems 2 and 3, pinned down
+//! pair-by-pair: for every combination of value kinds on a shared
+//! determinant, the TEST-FDs verdicts must match the table derived from
+//! the paper's wording, and (where the ground truth is computable) the
+//! semantics.
+
+use fd_incomplete::core::interp::{
+    strongly_satisfied_bruteforce, weakly_satisfiable_bruteforce, DEFAULT_BUDGET,
+};
+use fd_incomplete::core::testfd;
+use fd_incomplete::prelude::*;
+use std::sync::Arc;
+
+fn schema() -> Arc<Schema> {
+    Schema::builder("R")
+        .attribute("A", ["a0", "a1", "a2", "a3"])
+        .attribute("B", ["b0", "b1", "b2", "b3"])
+        .build()
+        .unwrap()
+}
+
+/// Builds the two-row instance (`a0 <y1>` / `<x2> <y2>`) and returns the
+/// strong/weak verdicts of `A -> B` from TEST-FDs and from brute force.
+fn verdicts(x2: &str, y1: &str, y2: &str) -> (bool, bool, bool, bool) {
+    let text = format!("a0 {y1}\n{x2} {y2}");
+    let r = Instance::parse(schema(), &text).unwrap();
+    let fds = FdSet::parse(r.schema(), "A -> B").unwrap();
+    let strong_fast = testfd::check_strong(&r, &fds).is_ok();
+    let weak_fast = testfd::check_weak(&r, &fds).is_ok();
+    let strong_truth = strongly_satisfied_bruteforce(&fds, &r, DEFAULT_BUDGET).unwrap();
+    let weak_truth = weakly_satisfiable_bruteforce(&fds, &r, DEFAULT_BUDGET).unwrap();
+    (strong_fast, weak_fast, strong_truth, weak_truth)
+}
+
+#[test]
+fn convention_table_for_shared_determinant() {
+    // rows: (x2, y1, y2, strong expected, weak expected)
+    // X-side: "a0" = matching constant, "a1" = different constant,
+    // "-" = null (potential match under the strong convention only).
+    // NEC-equal nulls use a shared mark "?m".
+    let cases: &[(&str, &str, &str, bool, bool)] = &[
+        // definite X match, definite Y
+        ("a0", "b0", "b0", true, true),
+        ("a0", "b0", "b1", false, false),
+        // definite X mismatch: anything goes
+        ("a1", "b0", "b1", true, true),
+        ("a1", "-", "b1", true, true),
+        // X match, one Y null: could disagree → not strong; weakly fine
+        ("a0", "-", "b0", false, true),
+        ("a0", "b0", "-", false, true),
+        // X match, two independent Y nulls: same
+        ("a0", "-", "-", false, true),
+        // X match, NEC-equal Y nulls: always equal → strong
+        ("a0", "?m", "?m", true, true),
+        // null on X vs constant: potential match; Y constants differ
+        ("-", "b0", "b1", false, true),
+        // null on X, Y constants equal: even a match satisfies
+        ("-", "b0", "b0", true, true),
+        // null on X, one Y null
+        ("-", "b0", "-", false, true),
+    ];
+    for (x2, y1, y2, strong_expected, weak_expected) in cases {
+        let (strong_fast, weak_fast, strong_truth, weak_truth) = verdicts(x2, y1, y2);
+        assert_eq!(
+            strong_fast, *strong_expected,
+            "strong TEST-FDs on (a0 {y1} / {x2} {y2})"
+        );
+        assert_eq!(
+            weak_fast, *weak_expected,
+            "weak pipeline on (a0 {y1} / {x2} {y2})"
+        );
+        assert_eq!(
+            strong_truth, *strong_expected,
+            "strong ground truth on (a0 {y1} / {x2} {y2})"
+        );
+        assert_eq!(
+            weak_truth, *weak_expected,
+            "weak ground truth on (a0 {y1} / {x2} {y2})"
+        );
+    }
+}
+
+#[test]
+fn strong_equality_is_not_transitive_but_the_fallback_handles_it() {
+    // a null X between two distinct constants: the null potentially
+    // matches both, the constants never match each other. A sorted
+    // grouping would have to place the null with one of them; the
+    // pairwise fallback examines all pairs.
+    let r = Instance::parse(schema(), "a0 b0\n- b1\na1 b2").unwrap();
+    let fds = FdSet::parse(r.schema(), "A -> B").unwrap();
+    // the null row conflicts with both constant rows under strong
+    assert!(testfd::check_strong(&r, &fds).is_err());
+    assert!(!strongly_satisfied_bruteforce(&fds, &r, DEFAULT_BUDGET).unwrap());
+    // weakly fine: complete the null to a2
+    assert!(testfd::check_weak(&r, &fds).is_ok());
+    assert!(weakly_satisfiable_bruteforce(&fds, &r, DEFAULT_BUDGET).unwrap());
+}
+
+#[test]
+fn three_way_nec_chains_compare_equal_everywhere() {
+    // ?m in three rows: one class; all conventions treat them equal.
+    let r = Instance::parse(schema(), "a0 ?m\na0 ?m\na0 ?m").unwrap();
+    let fds = FdSet::parse(r.schema(), "A -> B").unwrap();
+    assert!(testfd::check_strong(&r, &fds).is_ok());
+    assert!(testfd::check_weak(&r, &fds).is_ok());
+    assert!(strongly_satisfied_bruteforce(&fds, &r, DEFAULT_BUDGET).unwrap());
+}
+
+#[test]
+fn mixed_marks_and_constants_in_one_group() {
+    // group of a0: {?m, ?m, b0}. Strong: the class could differ from b0
+    // → not strong; the chase substitutes b0 into the class → weak ok.
+    let r = Instance::parse(schema(), "a0 ?m\na0 ?m\na0 b0").unwrap();
+    let fds = FdSet::parse(r.schema(), "A -> B").unwrap();
+    assert!(testfd::check_strong(&r, &fds).is_err());
+    assert!(testfd::check_weak(&r, &fds).is_ok());
+    // and the chase indeed writes b0 into both marked cells
+    let chased = fd_incomplete::core::chase::chase_plain(&r, &fds);
+    for row in 0..2 {
+        assert_eq!(
+            chased.instance.value(row, AttrId(1)).render(chased.instance.symbols(), false),
+            "b0"
+        );
+    }
+}
