@@ -25,14 +25,7 @@ pub fn run(quick: bool) {
     let mut naive_times: Vec<Duration> = Vec::new();
     let mut fast_times: Vec<Duration> = Vec::new();
     let mut table = Table::new([
-        "n",
-        "naive",
-        "growth",
-        "fast",
-        "growth",
-        "speedup",
-        "unions",
-        "rounds",
+        "n", "naive", "growth", "fast", "growth", "speedup", "unions", "rounds",
     ]);
     for &n in &sizes {
         let spec = WorkloadSpec {
@@ -50,11 +43,7 @@ pub fn run(quick: bool) {
         });
         let t_naive = if n <= 2048 {
             median_time(repeats.min(3), || {
-                std::hint::black_box(extended_chase(
-                    &w.instance,
-                    &w.fds,
-                    Scheduler::NaivePairs,
-                ));
+                std::hint::black_box(extended_chase(&w.instance, &w.fds, Scheduler::NaivePairs));
             })
         } else {
             Duration::ZERO

@@ -32,7 +32,10 @@ pub fn run(quick: bool) {
         backward.instance.canonical_form()
     );
     let extended = extended_chase(&r, &fds, Scheduler::Fast);
-    println!("extended rules (either order):\n{}", extended.instance.render(false));
+    println!(
+        "extended rules (either order):\n{}",
+        extended.instance.render(false)
+    );
 
     banner(
         "E9",

@@ -31,7 +31,13 @@ pub fn run(_quick: bool) {
         "f(t1,r1)=true [T2]; f(t1,r2)=true [T3]; f(t1,r3)=true [T3]; \
          f(t1,r4)=false [F2] with dom(A)={a1,a2}",
     );
-    let mut table = Table::new(["instance", "prop-1 rule", "verdict", "ground truth", "paper"]);
+    let mut table = Table::new([
+        "instance",
+        "prop-1 rule",
+        "verdict",
+        "ground truth",
+        "paper",
+    ]);
     for (i, (r, expected)) in fixtures::figure2_all().into_iter().enumerate() {
         let fd = fixtures::figure2_fd(&r);
         let outcome = prop1::proposition1(fd, 0, &r).expect("classifiable");

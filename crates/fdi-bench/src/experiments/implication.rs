@@ -30,8 +30,7 @@ pub fn run(quick: bool) {
         let lhs = AttrSet(rng.gen_range(1..(1u64 << attrs)));
         let rhs = AttrSet(rng.gen_range(1..(1u64 << attrs)));
         let goal = Fd::new(lhs, rhs);
-        let statements: Vec<Statement> =
-            fds.iter().map(|f| equiv::fd_to_statement(*f)).collect();
+        let statements: Vec<Statement> = fds.iter().map(|f| equiv::fd_to_statement(*f)).collect();
         let a = armstrong::implies(&fds, goal);
         let b = infers(&statements, equiv::fd_to_statement(goal));
         let c = equiv::implies_via_two_tuple_worlds(&fds, goal).expect("small world");

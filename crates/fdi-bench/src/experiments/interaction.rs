@@ -65,7 +65,10 @@ pub fn run(quick: bool) {
             gap += 1;
         }
         // joint always implies per-FD
-        assert!(!joint || each, "seed {seed}: joint weak must imply per-FD weak");
+        assert!(
+            !joint || each,
+            "seed {seed}: joint weak must imply per-FD weak"
+        );
         // the fast pipeline agrees with the ground truth (modulo the
         // large-domain proviso, which dom=6 ≫ rows=6 · |dom(X)| keeps)
         if fdi_core::subst::detect_domain_exhaustion(&w.fds, &w.instance)
@@ -88,7 +91,10 @@ pub fn run(quick: bool) {
         "jointly weakly satisfiable".to_string(),
         format!("{joint_weak} / {examined}"),
     ]);
-    table.row(["gap (each but not joint)".to_string(), format!("{gap} / {examined}")]);
+    table.row([
+        "gap (each but not joint)".to_string(),
+        format!("{gap} / {examined}"),
+    ]);
     table.print();
     println!(
         "the gap instances are exactly why Armstrong's rules fail for \

@@ -4,8 +4,8 @@
 //! for smoke-testing. The binaries in `src/bin/` are thin wrappers, and
 //! `run_all` executes the whole battery in experiment order.
 
-pub mod church_rosser;
 pub mod chase_scaling;
+pub mod church_rosser;
 pub mod figures;
 pub mod implication;
 pub mod interaction;

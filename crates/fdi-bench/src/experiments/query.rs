@@ -58,7 +58,15 @@ pub fn run(quick: bool) {
     } else {
         vec![4, 16, 64, 256, 1024]
     };
-    let mut table = Table::new(["|dom|", "naive", "signature", "kleene", "naive verdict", "sig verdict", "kleene verdict"]);
+    let mut table = Table::new([
+        "|dom|",
+        "naive",
+        "signature",
+        "kleene",
+        "naive verdict",
+        "sig verdict",
+        "kleene verdict",
+    ]);
     for &dom in &domains {
         let r = one_row_with_nulls(dom, 2, 4);
         let q = coverage_query(&r, 2);
@@ -95,7 +103,11 @@ pub fn run(quick: bool) {
     );
 
     // --- null-count sweep, fixed domain ---
-    let null_counts: Vec<usize> = if quick { vec![1, 2, 3] } else { vec![1, 2, 3, 4, 5, 6] };
+    let null_counts: Vec<usize> = if quick {
+        vec![1, 2, 3]
+    } else {
+        vec![1, 2, 3, 4, 5, 6]
+    };
     let dom = 8;
     let mut table = Table::new(["nulls", "completions", "naive", "signature"]);
     for &k in &null_counts {

@@ -27,7 +27,9 @@ pub fn run(quick: bool) {
         let mut sorted_times = Vec::new();
         let mut pairwise_times = Vec::new();
         let mut hashed_times = Vec::new();
-        let mut table = Table::new(["n", "sorted", "growth", "pairwise", "growth", "hashed", "growth"]);
+        let mut table = Table::new([
+            "n", "sorted", "growth", "pairwise", "growth", "hashed", "growth",
+        ]);
         for &n in &sizes {
             let spec = WorkloadSpec {
                 rows: n,
@@ -40,12 +42,8 @@ pub fn run(quick: bool) {
             let w = satisfiable_workload(1234, &spec, fd_count);
             let repeats = if quick { 3 } else { 5 };
             let t_sorted = median_time(repeats, || {
-                std::hint::black_box(testfd::check_sorted(
-                    &w.instance,
-                    &w.fds,
-                    Convention::Weak,
-                ))
-                .ok();
+                std::hint::black_box(testfd::check_sorted(&w.instance, &w.fds, Convention::Weak))
+                    .ok();
             });
             // pairwise is quadratic: skip the largest sizes in quick mode
             let t_pairwise = if n <= 4096 {
@@ -61,12 +59,8 @@ pub fn run(quick: bool) {
                 Duration::ZERO
             };
             let t_hashed = median_time(repeats, || {
-                std::hint::black_box(testfd::check_hashed(
-                    &w.instance,
-                    &w.fds,
-                    Convention::Weak,
-                ))
-                .ok();
+                std::hint::black_box(testfd::check_hashed(&w.instance, &w.fds, Convention::Weak))
+                    .ok();
             });
             sorted_times.push(t_sorted);
             pairwise_times.push(t_pairwise);
@@ -105,7 +99,13 @@ pub fn run(quick: bool) {
         "bucket sort gives O(n·p); a single FD on a pre-sorted relation \
          needs only a linear scan",
     );
-    let mut table = Table::new(["n", "presorted linear scan", "growth", "sort itself", "growth"]);
+    let mut table = Table::new([
+        "n",
+        "presorted linear scan",
+        "growth",
+        "sort itself",
+        "growth",
+    ]);
     let mut scan_times = Vec::new();
     let mut sort_times = Vec::new();
     for &n in &sizes {

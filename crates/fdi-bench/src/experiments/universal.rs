@@ -51,8 +51,8 @@ pub fn run(quick: bool) {
             examined += 1;
             let rt = round_trip(&w.instance, &decomposition).expect("round trip");
             contained += rt.is_containing() as usize;
-            ura += weak_universal_holds(&w.instance, &w.fds, &decomposition).expect("check")
-                as usize;
+            ura +=
+                weak_universal_holds(&w.instance, &w.fds, &decomposition).expect("check") as usize;
             spurious_raw += rt.spurious;
             let chased = chase::chase_plain(&w.instance, &w.fds).instance;
             let rt2 = round_trip(&chased, &decomposition).expect("round trip");

@@ -169,7 +169,11 @@ mod tests {
         let text = t.render();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert!(lines[2].contains("   8"), "numeric right-aligned: {:?}", lines[2]);
+        assert!(
+            lines[2].contains("   8"),
+            "numeric right-aligned: {:?}",
+            lines[2]
+        );
         assert!(lines[3].starts_with("1024"));
     }
 

@@ -316,7 +316,9 @@ mod tests {
         let cover = minimal_cover(&fds);
         assert!(equivalent(&cover, &fds));
         assert!(
-            cover.iter().any(|f| f.lhs == set(&[0]) && f.rhs == set(&[2])),
+            cover
+                .iter()
+                .any(|f| f.lhs == set(&[0]) && f.rhs == set(&[2])),
             "AB→C should shrink to A→C; got {cover:?}"
         );
     }

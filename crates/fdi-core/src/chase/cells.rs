@@ -73,7 +73,10 @@ impl CellEngine {
             let node = engine.symbol_node(Symbol(s as u32));
             engine.label[node] = Some(Symbol(s as u32));
         }
-        // Group null occurrences by NEC class.
+        // Group null occurrences by NEC class, resolving class
+        // representatives through one fully-compressed snapshot instead
+        // of a parent-chain walk per cell.
+        let snapshot = instance.necs().canonical_snapshot();
         let mut class_first: HashMap<NullId, usize> = HashMap::new();
         for row in 0..rows {
             for col in 0..arity {
@@ -84,7 +87,7 @@ impl CellEngine {
                         engine.union(cell, sym);
                     }
                     Value::Null(n) => {
-                        let root = instance.necs().find_readonly(n);
+                        let root = snapshot.root(n);
                         match class_first.get(&root) {
                             Some(&first) => {
                                 engine.union(cell, first);
@@ -175,16 +178,16 @@ impl CellEngine {
             match scheduler {
                 Scheduler::Fast => {
                     let mut buckets: HashMap<Vec<u32>, usize> = HashMap::with_capacity(self.rows);
+                    let mut signature: Vec<u32> = Vec::with_capacity(fd.lhs.len());
                     for row in 0..self.rows {
-                        let signature: Vec<u32> = fd
-                            .lhs
-                            .iter()
-                            .map(|a| {
-                                let node = self.cell_node(row, a);
-                                self.find(node) as u32
-                            })
-                            .collect();
-                        match buckets.get(&signature) {
+                        signature.clear();
+                        for a in fd.lhs.iter() {
+                            let node = self.cell_node(row, a);
+                            signature.push(self.find(node) as u32);
+                        }
+                        // Borrowed lookup first: only novel signatures
+                        // pay for an owned key allocation.
+                        match buckets.get(signature.as_slice()) {
                             Some(&first) => {
                                 for b in fd.rhs.iter() {
                                     let x = self.cell_node(first, b);
@@ -193,7 +196,7 @@ impl CellEngine {
                                 }
                             }
                             None => {
-                                buckets.insert(signature, row);
+                                buckets.insert(signature.clone(), row);
                             }
                         }
                     }

@@ -1,0 +1,595 @@
+//! The indexed worklist engine for the plain NS-rules.
+//!
+//! The naive engine in [`super::ns`] re-scans every tuple pair for every
+//! FD on every pass — `O(|F|·n²)` agreement checks per pass and an
+//! `O(n·p)` full-instance scan per substitution, `O(|F|·n³)` in the
+//! worst case. This module replaces both scans with indexes:
+//!
+//! * a **group index** per FD: rows hash-partitioned by the
+//!   NEC-canonical key of their determinant projection
+//!   ([`crate::groupkey`]), so a tuple's NS-rule partners are exactly
+//!   its bucket co-members — no pair scans;
+//! * an **occurrence index** per NEC class: every `(row, attr)` cell
+//!   holding a null of the class, merged small-into-large union-find
+//!   style, so substituting a class touches only its occurrences — no
+//!   instance scans;
+//! * a **bucket worklist**: the first pass seeds every bucket; after
+//!   that, only buckets whose *membership* changed are re-swept. Plain
+//!   NS-rule applications transform whole NEC classes at once, so the
+//!   applicability status of a tuple pair (equal constants / distinct
+//!   constants / one null / two classes) is invariant under events
+//!   elsewhere — new work can only appear where buckets gain members.
+//!   Bucket keys change *en bloc* (every member of a bucket shares the
+//!   key), so re-keying migrates whole buckets and re-enqueues only
+//!   merged ones.
+//!
+//! Within a bucket, a single ascending **representative sweep** per
+//! dependent attribute applies every NS-rule the naive engine would
+//! apply across all `O(|bucket|²)` pairs: nulls merge into the running
+//! class, and the first constant promotes it (later nulls pair against
+//! the earliest constant-bearing row, exactly as the pair scan does).
+//!
+//! **Order fidelity.** The plain system is not confluent (Figure 5), so
+//! matching the naive engine's *result* — not just reaching some
+//! minimally incomplete instance — requires replaying its site order:
+//! passes, FDs in set order within a pass, buckets by least member row,
+//! rows ascending within a bucket. On instances whose NEC classes are
+//! **column-local** and which contain no `nothing` values, the replay
+//! is exact: same chased instance, same events at the same sites, same
+//! pass count (the property suite compares full event lists). Two
+//! regimes are exempt from exact replay — in both, each engine still
+//! returns a legitimate chase result (the fixpoint of *some* rule
+//! order, accepted by [`super::ns::is_minimally_incomplete`]), but the
+//! choice at contended sites may differ:
+//!
+//! * an NEC class spanning **columns** (a marked null like `?z` reused
+//!   across columns — `Instance::parse` allows this; every generator
+//!   keeps classes column-local): a substitution can then re-key the
+//!   very FD being swept mid-flight. The worklist still guarantees the
+//!   fixpoint — every re-keyed bucket re-enters it, so the engine never
+//!   terminates while a rule applies (see the cross-column regression
+//!   test);
+//! * a **`nothing`** value in a bucket (the plain rules treat it as
+//!   inert): the bucket's first applicable site may then involve later
+//!   rows than its least member, so the least-member agenda order can
+//!   interleave buckets differently than the global pair scan (see the
+//!   nothing-divergence regression test). `nothing` belongs to the
+//!   extended system; the plain chase merely tolerates it.
+
+use crate::fd::{Fd, FdSet};
+use crate::groupkey::{self, GroupKey};
+use fdi_relation::attrs::AttrId;
+use fdi_relation::instance::Instance;
+use fdi_relation::symbol::Symbol;
+use fdi_relation::value::{NullId, Value};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use super::ns::{NsChaseResult, NsEvent, NsEventKind};
+
+/// Runs the indexed worklist chase; same contract as
+/// [`super::ns::chase_plain`].
+pub fn chase_indexed(instance: &Instance, fds: &FdSet) -> NsChaseResult {
+    let mut engine = Engine::new(instance, fds);
+    let passes = engine.run(instance);
+    NsChaseResult {
+        instance: engine.work,
+        events: engine.events,
+        passes,
+    }
+}
+
+/// Is no plain NS-rule applicable? Group-indexed equivalent of the
+/// pairwise definition: a bucket violates minimal incompleteness iff
+/// some dependent column mixes a null with a constant or holds two
+/// distinct null classes.
+pub fn is_minimally_incomplete_indexed(instance: &Instance, fds: &FdSet) -> bool {
+    let snapshot = instance.necs().canonical_snapshot();
+    for fd in fds {
+        let fd = fd.normalized();
+        if fd.is_trivial() {
+            continue; // agreement on X forces agreement on Y ⊆ X
+        }
+        let buckets = groupkey::group_rows(instance, fd.lhs, &snapshot);
+        for rows in buckets.values() {
+            if rows.len() < 2 {
+                continue;
+            }
+            for b in fd.rhs.iter() {
+                let mut seen_const: Option<Symbol> = None;
+                let mut seen_class: Option<NullId> = None;
+                for &row in rows {
+                    match instance.value(row, b) {
+                        Value::Nothing => {}
+                        Value::Const(c) => {
+                            if seen_class.is_some() {
+                                return false; // rule (a): substitution applies
+                            }
+                            seen_const = seen_const.or(Some(c));
+                        }
+                        Value::Null(m) => {
+                            if seen_const.is_some() {
+                                return false; // rule (a)
+                            }
+                            let root = snapshot.root(m);
+                            match seen_class {
+                                Some(prior) if prior != root => return false, // rule (b)
+                                _ => seen_class = Some(root),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// One FD slot: its position in the original set plus the normalized
+/// dependency (trivial members are dropped up front — agreement on `X`
+/// makes every `Y ⊆ X` comparison inert).
+struct FdSlot {
+    original_index: usize,
+    fd: Fd,
+}
+
+struct Engine {
+    work: Instance,
+    fds: Vec<FdSlot>,
+    /// Per FD slot: canonical determinant key → member rows. Lists are
+    /// kept **unsorted** so bucket merges are `O(moved)` appends —
+    /// sorting happens once per sweep instead (collision-skewed
+    /// workloads produce heavy buckets, and per-migration merge-sorts
+    /// into a heavy bucket would cost `O(|bucket|)` per event).
+    buckets: Vec<HashMap<GroupKey, Vec<u32>>>,
+    /// Per FD slot, per row: the key its bucket is filed under.
+    row_keys: Vec<Vec<GroupKey>>,
+    /// NEC class root → null occurrences `(row, attr)` of the class.
+    occurrences: HashMap<u32, Vec<(u32, u16)>>,
+    /// attr index → FD slots with that attribute in their determinant.
+    lhs_slots: Vec<Vec<usize>>,
+    /// Per FD slot: bucket keys whose membership changed (the worklist).
+    dirty: Vec<HashSet<GroupKey>>,
+    events: Vec<NsEvent>,
+}
+
+impl Engine {
+    fn new(instance: &Instance, fds: &FdSet) -> Engine {
+        let mut work = instance.clone();
+        let slots: Vec<FdSlot> = fds
+            .iter()
+            .enumerate()
+            .map(|(original_index, fd)| FdSlot {
+                original_index,
+                fd: fd.normalized(),
+            })
+            .filter(|slot| !slot.fd.is_trivial())
+            .collect();
+        let n = work.len();
+        let arity = work.arity();
+
+        let mut occurrences: HashMap<u32, Vec<(u32, u16)>> = HashMap::new();
+        for row in 0..n {
+            for col in 0..arity {
+                if let Value::Null(id) = work.value(row, AttrId(col as u16)) {
+                    let root = work.necs_mut().find(id);
+                    occurrences
+                        .entry(root.0)
+                        .or_default()
+                        .push((row as u32, col as u16));
+                }
+            }
+        }
+
+        let mut lhs_slots = vec![Vec::new(); arity];
+        for (si, slot) in slots.iter().enumerate() {
+            for a in slot.fd.lhs.iter() {
+                lhs_slots[a.index()].push(si);
+            }
+        }
+
+        let snapshot = work.necs().canonical_snapshot();
+        let mut buckets = Vec::with_capacity(slots.len());
+        let mut row_keys = Vec::with_capacity(slots.len());
+        let mut key = GroupKey::new();
+        for slot in &slots {
+            let mut fd_buckets: HashMap<GroupKey, Vec<u32>> = HashMap::with_capacity(n);
+            let mut fd_keys: Vec<GroupKey> = Vec::with_capacity(n);
+            for row in 0..n {
+                groupkey::key_into(&mut key, work.tuple(row), row, slot.fd.lhs, &snapshot);
+                fd_buckets.entry(key.clone()).or_default().push(row as u32);
+                fd_keys.push(key.clone());
+            }
+            buckets.push(fd_buckets);
+            row_keys.push(fd_keys);
+        }
+
+        let dirty = vec![HashSet::new(); slots.len()];
+        Engine {
+            work,
+            fds: slots,
+            buckets,
+            row_keys,
+            occurrences,
+            lhs_slots,
+            dirty,
+            events: Vec::new(),
+        }
+    }
+
+    /// Runs passes to the fixpoint; returns the pass count (the final
+    /// pass applies nothing, mirroring the naive engine's counter).
+    fn run(&mut self, original: &Instance) -> usize {
+        let mut passes = 0;
+        loop {
+            passes += 1;
+            let before = self.events.len();
+            for si in 0..self.fds.len() {
+                // Keys collected up front and re-checked on use: sweeps
+                // migrate buckets of *other* FDs freely, and (with
+                // cross-column NEC classes) occasionally this one.
+                let min_row = |rows: &[u32]| rows.iter().copied().min().expect("non-empty");
+                let mut agenda: Vec<(u32, GroupKey)> = if passes == 1 {
+                    self.buckets[si]
+                        .iter()
+                        .filter(|(_, rows)| rows.len() > 1)
+                        .map(|(key, rows)| (min_row(rows), key.clone()))
+                        .collect()
+                } else {
+                    std::mem::take(&mut self.dirty[si])
+                        .into_iter()
+                        .filter_map(|key| {
+                            let rows = self.buckets[si].get(&key)?;
+                            (rows.len() > 1).then(|| (min_row(rows), key))
+                        })
+                        .collect()
+                };
+                if passes == 1 {
+                    self.dirty[si].clear();
+                }
+                agenda.sort_unstable();
+                for (_, key) in agenda {
+                    self.sweep_bucket(si, &key);
+                }
+            }
+            if self.events.len() == before {
+                break;
+            }
+            assert!(
+                passes <= original.null_count() + original.len() * original.arity() + 2,
+                "indexed chase failed to terminate"
+            );
+        }
+        passes
+    }
+
+    /// Applies every applicable NS-rule within one bucket: for each
+    /// dependent attribute, an ascending sweep merging nulls into the
+    /// running class and promoting on the first constant — the same
+    /// events the naive pair scan fires at this bucket's sites.
+    fn sweep_bucket(&mut self, si: usize, key: &GroupKey) {
+        let Some(mut rows) = self.buckets[si].get(key).cloned() else {
+            return; // migrated away since the agenda was drawn
+        };
+        rows.sort_unstable();
+        let (fd, original_index) = (self.fds[si].fd, self.fds[si].original_index);
+        for attr in fd.rhs.iter() {
+            let mut anchor_const: Option<u32> = None;
+            let mut pending_null: Option<(u32, NullId)> = None;
+            for &row in &rows {
+                match self.work.value(row as usize, attr) {
+                    Value::Nothing => {}
+                    Value::Const(value) => {
+                        if anchor_const.is_none() {
+                            anchor_const = Some(row);
+                            if let Some((null_row, class)) = pending_null.take() {
+                                self.substitute(class, value);
+                                self.push_event(
+                                    original_index,
+                                    null_row,
+                                    row,
+                                    attr,
+                                    NsEventKind::Substituted { class, value },
+                                );
+                                // The promoted pending row now holds the
+                                // constant and precedes this row, so it is
+                                // the site the naive pair scan pairs later
+                                // nulls against.
+                                anchor_const = Some(null_row);
+                            }
+                        }
+                        // A second, distinct constant is where the plain
+                        // system is stuck (the extended system's case).
+                    }
+                    Value::Null(id) => {
+                        if let Some(const_row) = anchor_const {
+                            let value = match self.work.value(const_row as usize, attr) {
+                                Value::Const(c) => c,
+                                _ => unreachable!("anchor row holds a constant"),
+                            };
+                            self.substitute(id, value);
+                            self.push_event(
+                                original_index,
+                                const_row,
+                                row,
+                                attr,
+                                NsEventKind::Substituted { class: id, value },
+                            );
+                        } else if let Some((null_row, prior)) = pending_null {
+                            if !self.work.necs().same_class(prior, id) {
+                                self.merge(prior, id);
+                                self.push_event(
+                                    original_index,
+                                    null_row,
+                                    row,
+                                    attr,
+                                    NsEventKind::NecIntroduced { a: prior, b: id },
+                                );
+                            }
+                        } else {
+                            pending_null = Some((row, id));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_event(
+        &mut self,
+        fd_index: usize,
+        row_a: u32,
+        row_b: u32,
+        attr: AttrId,
+        kind: NsEventKind,
+    ) {
+        self.events.push(NsEvent {
+            fd_index,
+            rows: (row_a.min(row_b) as usize, row_a.max(row_b) as usize),
+            attr,
+            kind,
+        });
+    }
+
+    /// Rule (a): substitutes every occurrence of `id`'s class with
+    /// `value`, then migrates the buckets whose keys mentioned the class.
+    fn substitute(&mut self, id: NullId, value: Symbol) {
+        let root = self.work.necs_mut().find(id);
+        let occs = self.occurrences.remove(&root.0).unwrap_or_default();
+        for &(row, col) in &occs {
+            debug_assert!(matches!(
+                self.work.value(row as usize, AttrId(col)),
+                Value::Null(_)
+            ));
+            self.work
+                .set_value(row as usize, AttrId(col), Value::Const(value));
+        }
+        self.migrate(&occs);
+    }
+
+    /// Rule (b): introduces the NEC `a := b`, concatenates the loser
+    /// class's occurrence list onto the winner's, and migrates buckets
+    /// keyed by the loser class.
+    fn merge(&mut self, a: NullId, b: NullId) {
+        let root_a = self.work.necs_mut().find(a);
+        let root_b = self.work.necs_mut().find(b);
+        debug_assert_ne!(root_a, root_b);
+        self.work.add_nec(a, b);
+        let winner = self.work.necs_mut().find(a);
+        let loser = if winner == root_a { root_b } else { root_a };
+        let moved = self.occurrences.remove(&loser.0).unwrap_or_default();
+        self.migrate(&moved);
+        self.occurrences
+            .entry(winner.0)
+            .or_default()
+            .extend_from_slice(&moved);
+    }
+
+    /// Re-files the buckets referencing a class whose canonical atom
+    /// just changed. Every member of such a bucket shares the key, so
+    /// whole buckets move: a pure re-name keeps its sweep status, while
+    /// a merge with an existing bucket re-enters the worklist (new
+    /// members mean possible new rule sites).
+    fn migrate(&mut self, occs: &[(u32, u16)]) {
+        let mut affected: HashSet<(usize, u32)> = HashSet::new();
+        for &(row, col) in occs {
+            for &si in &self.lhs_slots[col as usize] {
+                affected.insert((si, row));
+            }
+        }
+        let mut touched: Vec<(usize, GroupKey)> = Vec::new();
+        let mut seen: HashSet<(usize, GroupKey)> = HashSet::new();
+        for (si, row) in affected {
+            let key = self.row_keys[si][row as usize].clone();
+            if seen.insert((si, key.clone())) {
+                touched.push((si, key));
+            }
+        }
+        for (si, old_key) in touched {
+            let Some(rows) = self.buckets[si].remove(&old_key) else {
+                continue; // already migrated via another occurrence
+            };
+            let lhs = self.fds[si].fd.lhs;
+            let sample = rows[0] as usize;
+            let mut new_key = GroupKey::with_capacity(lhs.len());
+            for a in lhs.iter() {
+                let work = &self.work;
+                new_key.push(groupkey::atom_with(work.value(sample, a), sample, |n| {
+                    work.necs().find_readonly(n)
+                }));
+            }
+            for &row in &rows {
+                self.row_keys[si][row as usize] = new_key.clone();
+            }
+            self.dirty[si].remove(&old_key);
+            match self.buckets[si].entry(new_key.clone()) {
+                Entry::Occupied(mut entry) => {
+                    entry.get_mut().extend_from_slice(&rows);
+                }
+                Entry::Vacant(entry) => {
+                    entry.insert(rows);
+                }
+            }
+            // Every re-keyed bucket re-enters the worklist — not only
+            // merged ones. A pure rename can strand a *pending* sweep:
+            // the running pass's agenda holds the old key, so the sweep
+            // would silently vanish (a cross-column NEC class renaming
+            // a not-yet-swept bucket of the very FD being processed).
+            // Re-enqueueing renames costs at most one no-op sweep next
+            // pass in the common case; dropping one loses the fixpoint.
+            self.dirty[si].insert(new_key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::ns::{chase_naive, is_minimally_incomplete_naive};
+    use crate::fixtures;
+
+    fn assert_engines_agree(r: &Instance, fds: &FdSet) {
+        let naive = chase_naive(r, fds);
+        let indexed = chase_indexed(r, fds);
+        assert_eq!(
+            naive.instance.canonical_form(),
+            indexed.instance.canonical_form(),
+            "engines diverge on\n{}",
+            r.render(true)
+        );
+        assert_eq!(naive.passes, indexed.passes, "pass counts");
+        assert!(is_minimally_incomplete_indexed(&indexed.instance, fds));
+        assert!(is_minimally_incomplete_naive(&indexed.instance, fds));
+        // Event lists match site-for-site on single-attribute dependents;
+        // multi-attribute dependents interleave attrs differently (the
+        // sweep is attribute-major, the pair scan pair-major), so only
+        // counts are compared there.
+        if fds.iter().all(|fd| fd.normalized().rhs.len() == 1) {
+            assert_eq!(naive.events, indexed.events, "event sites");
+        } else {
+            assert_eq!(naive.events.len(), indexed.events.len(), "event counts");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_every_fixture() {
+        assert_engines_agree(&fixtures::figure5_instance(), &fixtures::figure5_fds());
+        assert_engines_agree(
+            &fixtures::figure5_instance(),
+            &fixtures::figure5_fds().permuted(&[1, 0]),
+        );
+        assert_engines_agree(&fixtures::section6_instance(), &fixtures::section6_fds());
+        assert_engines_agree(&fixtures::figure1_instance(), &fixtures::figure1_fds());
+        assert_engines_agree(&fixtures::figure1_null_instance(), &fixtures::figure1_fds());
+    }
+
+    #[test]
+    fn cascades_run_to_the_same_fixpoint() {
+        let schema = fdi_relation::Schema::uniform("R", &["A", "B", "C"], 4).unwrap();
+        let r = fdi_relation::Instance::parse(
+            schema.clone(),
+            "A_0 -   C_0
+             A_0 B_1 -",
+        )
+        .unwrap();
+        let fds = FdSet::parse(&schema, "A -> B\nB -> C").unwrap();
+        assert_engines_agree(&r, &fds);
+        let result = chase_indexed(&r, &fds);
+        assert!(result.instance.is_complete());
+    }
+
+    #[test]
+    fn class_wide_substitution_through_the_occurrence_index() {
+        let schema = fixtures::section6_schema();
+        let r = fdi_relation::Instance::parse(
+            schema.clone(),
+            "a1 ?x c1
+             a2 ?x c1
+             a1 b1 c2",
+        )
+        .unwrap();
+        let fds = FdSet::parse(&schema, "A -> B").unwrap();
+        assert_engines_agree(&r, &fds);
+        let result = chase_indexed(&r, &fds);
+        let b = AttrId(1);
+        assert!(result.instance.value(0, b).is_const());
+        assert_eq!(result.instance.value(0, b), result.instance.value(1, b));
+    }
+
+    #[test]
+    fn multi_attribute_dependents() {
+        let schema = fdi_relation::Schema::uniform("R", &["A", "B", "C", "D"], 5).unwrap();
+        let r = fdi_relation::Instance::parse(
+            schema.clone(),
+            "A_0 -   C_1 -
+             A_0 B_2 -   D_3
+             A_1 B_0 C_0 D_0",
+        )
+        .unwrap();
+        let fds = FdSet::parse(&schema, "A -> B, C, D").unwrap();
+        assert_engines_agree(&r, &fds);
+    }
+
+    #[test]
+    fn cross_column_classes_still_reach_a_fixpoint() {
+        // `?z` spans columns A and B: substituting class z re-keys the
+        // pending {?z, ?z} bucket of the same FD mid-pass. The engines
+        // may legitimately diverge here (order choice at contended
+        // sites), but the indexed engine must still reach a fixpoint —
+        // a dropped re-keyed bucket once made it terminate early.
+        let schema = fdi_relation::Schema::uniform("R", &["A", "B"], 4).unwrap();
+        let r = fdi_relation::Instance::parse(
+            schema.clone(),
+            "A_1 ?z
+             A_1 B_2
+             ?z  B_1
+             ?z  ?w",
+        )
+        .unwrap();
+        let fds = FdSet::parse(&schema, "A -> B").unwrap();
+        let indexed = chase_indexed(&r, &fds);
+        assert!(
+            is_minimally_incomplete_naive(&indexed.instance, &fds),
+            "indexed chase stopped before the fixpoint:\n{}",
+            indexed.instance.render(true)
+        );
+        assert!(is_minimally_incomplete_indexed(&indexed.instance, &fds));
+        let naive = chase_naive(&r, &fds);
+        assert!(is_minimally_incomplete_naive(&naive.instance, &fds));
+    }
+
+    #[test]
+    fn nothing_buckets_still_reach_a_fixpoint() {
+        // A `nothing` at a bucket's least row makes it inert there, so
+        // the engines may pick different donors for a shared class (the
+        // least-member agenda order vs the global pair order). Both
+        // outcomes must be fixpoints of the plain rules.
+        let schema = fdi_relation::Schema::uniform("R", &["A", "B"], 4).unwrap();
+        let r = fdi_relation::Instance::parse(
+            schema.clone(),
+            "A_0 #!
+             A_1 B_0
+             A_1 ?w
+             A_0 ?w
+             A_0 B_1",
+        )
+        .unwrap();
+        let fds = FdSet::parse(&schema, "A -> B").unwrap();
+        let naive = chase_naive(&r, &fds);
+        let indexed = chase_indexed(&r, &fds);
+        assert!(is_minimally_incomplete_naive(&naive.instance, &fds));
+        assert!(is_minimally_incomplete_naive(&indexed.instance, &fds));
+        assert!(is_minimally_incomplete_indexed(&indexed.instance, &fds));
+        // (The chased instances legitimately differ here: ?w gets B_0
+        // from one engine and B_1 from the other — Figure 5's order
+        // dependence, triggered by the inert `nothing` row.)
+    }
+
+    #[test]
+    fn trivial_fds_are_inert() {
+        let schema = fdi_relation::Schema::uniform("R", &["A", "B"], 3).unwrap();
+        let r = fdi_relation::Instance::parse(schema.clone(), "A_0 -\nA_0 B_1").unwrap();
+        let fds = FdSet::parse(&schema, "A B -> B\nA -> B").unwrap();
+        assert_engines_agree(&r, &fds);
+    }
+}

@@ -1,7 +1,7 @@
 //! The plain NS-rule engine (Definition 2): order-dependent null
 //! substitution.
 //!
-//! The engine works in passes, in the style of the paper's complexity
+//! Both engines work in passes, in the style of the paper's complexity
 //! analysis ("the NS-rules are applied in several passes; in each pass,
 //! all NS-rules are applied for as many tuples as possible"). Rule order
 //! is the order of the FD set — permute the set (see
@@ -11,6 +11,21 @@
 //! Substituting a null replaces **every** occurrence of its NEC class
 //! (the paper: "requires the equation of Y-values in possibly more than
 //! one tuple (same equivalence class)").
+//!
+//! [`chase_plain`] and [`is_minimally_incomplete`] are backed by the
+//! indexed worklist engine of [`super::index`]: rows are
+//! hash-partitioned per FD by the NEC-canonical key of their determinant
+//! ([`crate::groupkey`]), rule partners come from bucket co-membership
+//! instead of pair scans, substitutions walk per-class occurrence lists
+//! instead of the whole instance, and after the seeding pass only
+//! buckets whose membership changed are re-swept. The historical
+//! all-pairs engine is kept as [`chase_naive`] /
+//! [`is_minimally_incomplete_naive`] — the executable definition the
+//! indexed engine is property-tested against (identical instances,
+//! events, and pass counts on column-local-NEC, `nothing`-free
+//! instances; see the module docs of [`super::index`] for the two
+//! exempt regimes, where each engine still returns a valid chase
+//! result).
 
 use crate::fd::FdSet;
 use fdi_relation::attrs::AttrId;
@@ -138,9 +153,7 @@ fn pass(instance: &mut Instance, fds: &FdSet) -> Vec<NsEvent> {
                                 kind: NsEventKind::Substituted { class: n, value: c },
                             });
                         }
-                        (Value::Null(m), Value::Null(n))
-                            if !instance.necs().same_class(m, n) =>
-                        {
+                        (Value::Null(m), Value::Null(n)) if !instance.necs().same_class(m, n) => {
                             instance.add_nec(m, n);
                             events.push(NsEvent {
                                 fd_index,
@@ -163,7 +176,17 @@ fn pass(instance: &mut Instance, fds: &FdSet) -> Vec<NsEvent> {
 
 /// Chases `instance` with the plain NS-rules until no rule applies,
 /// processing FDs in set order within each pass.
+///
+/// Runs the indexed worklist engine ([`super::index`]); use
+/// [`chase_naive`] for the all-pairs reference implementation.
 pub fn chase_plain(instance: &Instance, fds: &FdSet) -> NsChaseResult {
+    super::index::chase_indexed(instance, fds)
+}
+
+/// The historical all-pairs chase — `O(|F|·n²)` agreement checks per
+/// pass and an `O(n·p)` scan per substitution. Kept as the executable
+/// definition that the indexed engine is verified against.
+pub fn chase_naive(instance: &Instance, fds: &FdSet) -> NsChaseResult {
     let mut work = instance.clone();
     let mut events = Vec::new();
     let mut passes = 0;
@@ -190,8 +213,14 @@ pub fn chase_plain(instance: &Instance, fds: &FdSet) -> NsChaseResult {
 }
 
 /// Is `instance` minimally incomplete w.r.t. `fds` — i.e. does no plain
-/// NS-rule apply?
+/// NS-rule apply? Group-indexed, `O(|F|·n·p)`; see
+/// [`is_minimally_incomplete_naive`] for the pairwise definition.
 pub fn is_minimally_incomplete(instance: &Instance, fds: &FdSet) -> bool {
+    super::index::is_minimally_incomplete_indexed(instance, fds)
+}
+
+/// The all-pairs definition of minimal incompleteness (the oracle).
+pub fn is_minimally_incomplete_naive(instance: &Instance, fds: &FdSet) -> bool {
     let n = instance.len();
     for fd in fds {
         let fd = fd.normalized();
@@ -207,9 +236,7 @@ pub fn is_minimally_incomplete(instance: &Instance, fds: &FdSet) -> bool {
                         (Value::Null(_), Value::Const(_)) | (Value::Const(_), Value::Null(_)) => {
                             return false
                         }
-                        (Value::Null(m), Value::Null(n2))
-                            if !instance.necs().same_class(m, n2) =>
-                        {
+                        (Value::Null(m), Value::Null(n2)) if !instance.necs().same_class(m, n2) => {
                             return false;
                         }
                         _ => {}
@@ -236,14 +263,24 @@ mod tests {
         // A→B first: the null becomes b1 (donor row 1).
         let first = chase_plain(&r, &fds);
         let b_col: Vec<String> = (0..3)
-            .map(|i| first.instance.value(i, b).render(first.instance.symbols(), false))
+            .map(|i| {
+                first
+                    .instance
+                    .value(i, b)
+                    .render(first.instance.symbols(), false)
+            })
             .collect();
         assert_eq!(b_col, vec!["b1", "b1", "b2"]);
 
         // C→B first: the null becomes b2 (donor row 2).
         let second = chase_plain(&r, &fds.permuted(&[1, 0]));
         let b_col2: Vec<String> = (0..3)
-            .map(|i| second.instance.value(i, b).render(second.instance.symbols(), false))
+            .map(|i| {
+                second
+                    .instance
+                    .value(i, b)
+                    .render(second.instance.symbols(), false)
+            })
             .collect();
         assert_eq!(b_col2, vec!["b2", "b1", "b2"]);
 
@@ -267,7 +304,10 @@ mod tests {
             NsEventKind::Substituted { .. }
         ));
         assert_eq!(result.events[0].fd_index, 0);
-        assert!(result.passes >= 2, "a final empty pass confirms the fixpoint");
+        assert!(
+            result.passes >= 2,
+            "a final empty pass confirms the fixpoint"
+        );
     }
 
     #[test]
@@ -341,7 +381,11 @@ mod tests {
         .unwrap();
         let fds = crate::fd::FdSet::parse(&schema, "A -> B\nB -> C").unwrap();
         let result = chase_plain(&r, &fds);
-        assert!(result.instance.is_complete(), "both nulls filled:\n{}", result.instance.render(true));
+        assert!(
+            result.instance.is_complete(),
+            "both nulls filled:\n{}",
+            result.instance.render(true)
+        );
         assert_eq!(result.events.len(), 2);
     }
 }

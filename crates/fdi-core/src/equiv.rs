@@ -24,7 +24,9 @@
 //! 1. [`crate::armstrong::implies`] (attribute closure),
 //! 2. [`fdi_logic::implication::infers`] (System-C, `3^n` assignments),
 //! 3. [`implies_via_two_tuple_worlds`] (relational: every assignment's
-//!    two-tuple world, FDs evaluated by completion enumeration)
+//!    two-tuple world, FDs evaluated by TEST-FDs under the strong
+//!    convention — with completion enumeration retained as the per-world
+//!    oracle, [`strongly_holds_in_world`])
 //!
 //! — must agree everywhere; experiment E5 and the property suite check
 //! precisely that.
@@ -131,6 +133,23 @@ pub fn strongly_holds_in_world(fd: Fd, world: &Instance) -> Result<bool, Relatio
     Ok(true)
 }
 
+/// Strong holding decided by TEST-FDs (Theorem 2 applied to the
+/// singleton set `{fd}`) — no completion enumeration. Equivalent to
+/// [`strongly_holds_in_world`] on every world (see the test suite);
+/// [`implies_via_two_tuple_worlds`] uses it to keep the `3^n` world
+/// sweep linear per world (with the singleton sets hoisted out of the
+/// loop — this convenience wrapper allocates one per call).
+pub fn strongly_holds_in_world_fast(fd: Fd, world: &Instance) -> bool {
+    singleton_holds_in_world(&FdSet::from_vec(vec![fd]), world)
+}
+
+/// The allocation-free core of [`strongly_holds_in_world_fast`]:
+/// `singleton` must hold exactly one dependency.
+fn singleton_holds_in_world(singleton: &FdSet, world: &Instance) -> bool {
+    debug_assert_eq!(singleton.len(), 1);
+    crate::testfd::check(world, singleton, crate::testfd::Convention::Strong).is_ok()
+}
+
 /// Lemma 3, checked pointwise: `V(X ⇒ Y, a) = true` iff `X → Y`
 /// strongly holds in `a`'s world.
 pub fn lemma3_holds_at(fd: Fd, assignment: &Assignment) -> Result<bool, RelationError> {
@@ -143,7 +162,8 @@ pub fn lemma3_holds_at(fd: Fd, assignment: &Assignment) -> Result<bool, Relation
 /// Lemma 4 / observation \[2\]: implication decided in the world of
 /// two-tuple relations — enumerate every assignment over the mentioned
 /// attributes, build its world, and check "premises strongly hold ⟹
-/// goal strongly holds" *relationally*.
+/// goal strongly holds" *relationally* (per world via
+/// [`strongly_holds_in_world_fast`]).
 ///
 /// # Panics
 /// Panics if more than 10 attributes are mentioned (3^n two-tuple worlds
@@ -152,7 +172,10 @@ pub fn implies_via_two_tuple_worlds(fds: &FdSet, goal: Fd) -> Result<bool, Relat
     let attrs: AttrSet = fds.attrs().union(goal.attrs());
     let attr_list: Vec<AttrId> = attrs.iter().collect();
     let n = attr_list.len();
-    assert!(n <= 10, "two-tuple world enumeration capped at 10 attributes");
+    assert!(
+        n <= 10,
+        "two-tuple world enumeration capped at 10 attributes"
+    );
     // Compact the attributes to 0..n for world construction.
     let compact = |set: AttrSet| -> AttrSet {
         set.iter()
@@ -166,21 +189,16 @@ pub fn implies_via_two_tuple_worlds(fds: &FdSet, goal: Fd) -> Result<bool, Relat
             })
             .collect()
     };
-    let premises: Vec<Fd> = fds
+    // Singleton sets built once: 3^n worlds each check every premise.
+    let premises: Vec<FdSet> = fds
         .iter()
-        .map(|f| Fd::new(compact(f.lhs), compact(f.rhs)))
+        .map(|f| FdSet::from_vec(vec![Fd::new(compact(f.lhs), compact(f.rhs))]))
         .collect();
-    let goal = Fd::new(compact(goal.lhs), compact(goal.rhs));
+    let goal = FdSet::from_vec(vec![Fd::new(compact(goal.lhs), compact(goal.rhs))]);
     for assignment in Assignment::enumerate_all(n) {
         let world = build_two_tuple(&assignment);
-        let mut premises_hold = true;
-        for p in &premises {
-            if !strongly_holds_in_world(*p, &world)? {
-                premises_hold = false;
-                break;
-            }
-        }
-        if premises_hold && !strongly_holds_in_world(goal, &world)? {
+        let premises_hold = premises.iter().all(|p| singleton_holds_in_world(p, &world));
+        if premises_hold && !singleton_holds_in_world(&goal, &world) {
             return Ok(false);
         }
     }
@@ -284,6 +302,30 @@ mod tests {
                 let via_worlds = implies_via_two_tuple_worlds(&premises, goal).unwrap();
                 assert_eq!(via_closure, via_logic, "closure vs C-logic for {goal}");
                 assert_eq!(via_closure, via_worlds, "closure vs worlds for {goal}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_world_check_matches_completion_enumeration() {
+        // The TEST-FDs fast path must agree with the least-extension
+        // ground truth on every world it will ever see.
+        let dependencies = [
+            fd(&[0], &[1]),
+            fd(&[0, 1], &[2]),
+            fd(&[0], &[1, 2]),
+            fd(&[2], &[0]),
+            fd(&[1], &[1]), // trivial
+        ];
+        for f in dependencies {
+            for a in Assignment::enumerate_all(3) {
+                let world = build_two_tuple(&a);
+                assert_eq!(
+                    strongly_holds_in_world_fast(f, &world),
+                    strongly_holds_in_world(f, &world).unwrap(),
+                    "fd {f} at {:?}",
+                    a.values()
+                );
             }
         }
     }

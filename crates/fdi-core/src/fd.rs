@@ -3,6 +3,7 @@
 use fdi_relation::attrs::AttrSet;
 use fdi_relation::error::RelationError;
 use fdi_relation::schema::Schema;
+use std::collections::HashSet;
 use std::fmt;
 
 /// A functional dependency `X → Y` over a relation scheme.
@@ -88,10 +89,25 @@ impl fmt::Display for Fd {
 }
 
 /// An ordered set of functional dependencies.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Insertion order is semantic (it is the NS-rule application order),
+/// so the order-preserving `Vec` stays the source of truth; a `HashSet`
+/// shadow makes [`FdSet::push`]'s duplicate check `O(1)` instead of a
+/// linear `contains` per insert.
+#[derive(Debug, Clone, Default)]
 pub struct FdSet {
     fds: Vec<Fd>,
+    seen: HashSet<Fd>,
 }
+
+impl PartialEq for FdSet {
+    fn eq(&self, other: &FdSet) -> bool {
+        // Equality is the ordered sequence; `seen` is derived state.
+        self.fds == other.fds
+    }
+}
+
+impl Eq for FdSet {}
 
 impl FdSet {
     /// An empty set.
@@ -130,7 +146,7 @@ impl FdSet {
 
     /// Appends a dependency unless it is already present.
     pub fn push(&mut self, fd: Fd) {
-        if !self.fds.contains(&fd) {
+        if self.seen.insert(fd) {
             self.fds.push(fd);
         }
     }
@@ -190,6 +206,7 @@ impl FdSet {
         assert_eq!(order.len(), self.fds.len(), "order must be a permutation");
         FdSet {
             fds: order.iter().map(|&i| self.fds[i]).collect(),
+            seen: self.seen.clone(),
         }
     }
 }
@@ -286,6 +303,24 @@ mod tests {
         let swapped = fds.permuted(&[1, 0]);
         assert_eq!(swapped.fds()[0], Fd::new(set(&[2]), set(&[1])));
         assert_eq!(swapped.fds()[1], Fd::new(set(&[0]), set(&[1])));
+    }
+
+    #[test]
+    fn push_dedups_across_many_inserts() {
+        let mut fds = FdSet::new();
+        for round in 0..100 {
+            for l in 0..8u16 {
+                for r in 0..8u16 {
+                    if l != r {
+                        fds.push(Fd::new(set(&[l]), set(&[r])));
+                    }
+                }
+            }
+            assert_eq!(fds.len(), 56, "round {round}");
+        }
+        // order of first insertion is preserved
+        assert_eq!(fds.fds()[0], Fd::new(set(&[0]), set(&[1])));
+        assert_eq!(fds.clone(), fds, "clone preserves equality");
     }
 
     #[test]

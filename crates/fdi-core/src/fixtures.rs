@@ -233,9 +233,18 @@ mod tests {
         let r = figure5_instance();
         assert_eq!(r.null_count(), 1);
         // donors: row 1 shares A with row 0; row 2 shares C with row 0.
-        assert_eq!(r.value(1, fdi_relation::AttrId(0)), r.value(0, fdi_relation::AttrId(0)));
-        assert_eq!(r.value(2, fdi_relation::AttrId(2)), r.value(0, fdi_relation::AttrId(2)));
-        assert_ne!(r.value(1, fdi_relation::AttrId(1)), r.value(2, fdi_relation::AttrId(1)));
+        assert_eq!(
+            r.value(1, fdi_relation::AttrId(0)),
+            r.value(0, fdi_relation::AttrId(0))
+        );
+        assert_eq!(
+            r.value(2, fdi_relation::AttrId(2)),
+            r.value(0, fdi_relation::AttrId(2))
+        );
+        assert_ne!(
+            r.value(1, fdi_relation::AttrId(1)),
+            r.value(2, fdi_relation::AttrId(1))
+        );
     }
 
     #[test]

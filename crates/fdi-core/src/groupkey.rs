@@ -1,0 +1,148 @@
+//! NEC-canonical group keys — the shared grouping currency of the
+//! indexed chase and the grouped TEST-FDs variants.
+//!
+//! Two tuples *agree* on an attribute set `X` (the trigger condition of
+//! the NS-rules and the equality side of the TEST-FDs conventions) when,
+//! componentwise, their values are equal constants or NEC-equivalent
+//! nulls. That predicate is exactly equality of the **canonical key**
+//! built here: constants are keyed by interned symbol id, nulls by NEC
+//! class representative, and `nothing` by a row-unique atom (the
+//! inconsistent element never agrees with anything — not even another
+//! `nothing`). Hash-partitioning rows by canonical key therefore
+//! partitions them into exact agreement classes, which is what turns the
+//! all-pairs `O(n²)` scans into `O(n)` grouping passes.
+//!
+//! Each key component is packed into one `u64`: a tag in the upper bits
+//! (constant / null class / nothing) and the 32-bit id below it, so keys
+//! hash and compare as short `u64` slices.
+
+use fdi_relation::attrs::AttrSet;
+use fdi_relation::nec::NecSnapshot;
+use fdi_relation::tuple::Tuple;
+use fdi_relation::value::{NullId, Value};
+
+/// A canonical projection key: one packed atom per attribute of the
+/// projection set, in attribute order.
+pub type GroupKey = Vec<u64>;
+
+const TAG_CONST: u64 = 0 << 32;
+const TAG_CLASS: u64 = 1 << 32;
+const TAG_NOTHING: u64 = 2 << 32;
+
+/// Packs one value into its canonical atom. `row` disambiguates
+/// `nothing` occurrences; `root_of` resolves a null id to its current
+/// NEC class representative.
+#[inline]
+pub fn atom_with(value: Value, row: usize, root_of: impl FnOnce(NullId) -> NullId) -> u64 {
+    match value {
+        Value::Const(s) => TAG_CONST | s.0 as u64,
+        Value::Null(n) => TAG_CLASS | root_of(n).0 as u64,
+        Value::Nothing => TAG_NOTHING | row as u64,
+    }
+}
+
+/// Packs one value using a fully-compressed NEC snapshot.
+#[inline]
+pub fn atom(value: Value, row: usize, snapshot: &NecSnapshot) -> u64 {
+    atom_with(value, row, |n| snapshot.root(n))
+}
+
+/// Writes the canonical key of `tuple[attrs]` into `key` (cleared
+/// first). Reusing one buffer across rows avoids per-row allocation in
+/// the grouping hot loops.
+#[inline]
+pub fn key_into(
+    key: &mut GroupKey,
+    tuple: &Tuple,
+    row: usize,
+    attrs: AttrSet,
+    snapshot: &NecSnapshot,
+) {
+    key.clear();
+    for a in attrs.iter() {
+        key.push(atom(tuple.get(a), row, snapshot));
+    }
+}
+
+/// The canonical key of `tuple[attrs]` as a fresh vector.
+pub fn key_of(tuple: &Tuple, row: usize, attrs: AttrSet, snapshot: &NecSnapshot) -> GroupKey {
+    let mut key = Vec::with_capacity(attrs.len());
+    key_into(&mut key, tuple, row, attrs, snapshot);
+    key
+}
+
+/// Partitions the rows of `instance` into agreement classes on `attrs`:
+/// two rows land in the same group iff they agree componentwise (equal
+/// constants or NEC-equivalent nulls) — the one grouping loop every
+/// indexed consumer shares, so key semantics can never drift between
+/// them.
+pub fn group_rows(
+    instance: &fdi_relation::instance::Instance,
+    attrs: AttrSet,
+    snapshot: &NecSnapshot,
+) -> std::collections::HashMap<GroupKey, Vec<usize>> {
+    let n = instance.len();
+    let mut groups: std::collections::HashMap<GroupKey, Vec<usize>> =
+        std::collections::HashMap::with_capacity(n);
+    let mut key = GroupKey::new();
+    for row in 0..n {
+        key_into(&mut key, instance.tuple(row), row, attrs, snapshot);
+        groups.entry(key.clone()).or_default().push(row);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_relation::attrs::AttrId;
+    use fdi_relation::nec::NecStore;
+    use fdi_relation::symbol::Symbol;
+
+    fn attrs(ids: &[u16]) -> AttrSet {
+        ids.iter().map(|i| AttrId(*i)).collect()
+    }
+
+    #[test]
+    fn keys_equal_iff_tuples_agree() {
+        let mut necs = NecStore::new();
+        necs.union(NullId(0), NullId(1));
+        let snap = necs.canonical_snapshot();
+        let scope = attrs(&[0, 1]);
+        let t1 = Tuple::new(vec![Value::Const(Symbol(3)), Value::Null(NullId(0))]);
+        let t2 = Tuple::new(vec![Value::Const(Symbol(3)), Value::Null(NullId(1))]);
+        let t3 = Tuple::new(vec![Value::Const(Symbol(3)), Value::Null(NullId(2))]);
+        let k1 = key_of(&t1, 0, scope, &snap);
+        let k2 = key_of(&t2, 1, scope, &snap);
+        let k3 = key_of(&t3, 2, scope, &snap);
+        assert_eq!(k1, k2, "NEC-equivalent nulls agree");
+        assert_ne!(k1, k3, "independent nulls do not");
+        assert!(t1.agrees_on(&t2, scope, &necs));
+        assert!(!t1.agrees_on(&t3, scope, &necs));
+    }
+
+    #[test]
+    fn nothing_atoms_are_row_unique() {
+        let necs = NecStore::new();
+        let snap = necs.canonical_snapshot();
+        let scope = attrs(&[0]);
+        let t = Tuple::new(vec![Value::Nothing]);
+        let k_row0 = key_of(&t, 0, scope, &snap);
+        let k_row1 = key_of(&t, 1, scope, &snap);
+        assert_ne!(
+            k_row0, k_row1,
+            "nothing agrees with nothing — not even itself across rows"
+        );
+        assert!(!t.agrees_on(&t.clone(), scope, &necs));
+    }
+
+    #[test]
+    fn constants_and_classes_never_collide() {
+        let necs = NecStore::new();
+        let snap = necs.canonical_snapshot();
+        let scope = attrs(&[0]);
+        let c = Tuple::new(vec![Value::Const(Symbol(7))]);
+        let n = Tuple::new(vec![Value::Null(NullId(7))]);
+        assert_ne!(key_of(&c, 0, scope, &snap), key_of(&n, 0, scope, &snap));
+    }
+}

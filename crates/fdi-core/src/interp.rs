@@ -37,10 +37,7 @@ pub const DEFAULT_BUDGET: u128 = 1 << 20;
 /// [`crate::testfd`].)
 pub fn eval_classical_tuple(fd: Fd, tuple: &Tuple, tuples: &[Tuple]) -> bool {
     tuples.iter().all(|other| {
-        let x_equal = fd
-            .lhs
-            .iter()
-            .all(|a| tuple.get(a) == other.get(a));
+        let x_equal = fd.lhs.iter().all(|a| tuple.get(a) == other.get(a));
         if !x_equal {
             return true;
         }
@@ -50,9 +47,7 @@ pub fn eval_classical_tuple(fd: Fd, tuple: &Tuple, tuples: &[Tuple]) -> bool {
 
 /// Classical satisfaction of a single FD in a (null-free) tuple list.
 pub fn holds_classical(fd: Fd, tuples: &[Tuple]) -> bool {
-    tuples
-        .iter()
-        .all(|t| eval_classical_tuple(fd, t, tuples))
+    tuples.iter().all(|t| eval_classical_tuple(fd, t, tuples))
 }
 
 /// Classical satisfaction of a whole FD set.
@@ -92,11 +87,7 @@ pub fn eval_least_extension(
 /// Least-extension truth value of `f` over the whole instance: the
 /// conjunctive verdict `∀t. f(t, r)` — `true` iff strongly held,
 /// `false` iff some tuple is definitely violated, `unknown` otherwise.
-pub fn eval_fd_instance(
-    fd: Fd,
-    instance: &Instance,
-    budget: u128,
-) -> Result<Truth, RelationError> {
+pub fn eval_fd_instance(fd: Fd, instance: &Instance, budget: u128) -> Result<Truth, RelationError> {
     let mut acc = Truth::True;
     for row in 0..instance.len() {
         acc = acc.and(eval_least_extension(fd, row, instance, budget)?);
@@ -187,7 +178,10 @@ mod tests {
         let f_ab = fd(r.schema(), "A -> B");
         let f_ac = fd(r.schema(), "A -> C");
         assert!(holds_classical(f_ab, r.tuples()));
-        assert!(!holds_classical(f_ac, r.tuples()), "t1,t2 agree on A, differ on C");
+        assert!(
+            !holds_classical(f_ac, r.tuples()),
+            "t1,t2 agree on A, differ on C"
+        );
     }
 
     #[test]
@@ -246,7 +240,10 @@ mod tests {
     fn instance_level_verdict_conjoins() {
         let r = parse(2, "A_0 B_0 C_0\nA_0 B_1 C_0");
         let f = fd(r.schema(), "A -> B");
-        assert_eq!(eval_fd_instance(f, &r, DEFAULT_BUDGET).unwrap(), Truth::False);
+        assert_eq!(
+            eval_fd_instance(f, &r, DEFAULT_BUDGET).unwrap(),
+            Truth::False
+        );
     }
 
     #[test]
@@ -289,7 +286,10 @@ mod tests {
         // A→B is violated in every completion (B constants differ).
         let r = parse(2, "?a B_0 C_0\n?a B_1 C_0");
         let f = fd(r.schema(), "A -> B");
-        assert_eq!(eval_fd_instance(f, &r, DEFAULT_BUDGET).unwrap(), Truth::False);
+        assert_eq!(
+            eval_fd_instance(f, &r, DEFAULT_BUDGET).unwrap(),
+            Truth::False
+        );
         // with independent nulls the verdict is unknown
         let r2 = parse(2, "- B_0 C_0\n- B_1 C_0");
         assert_eq!(

@@ -12,8 +12,11 @@
 //! * [`armstrong`] — attribute closure, implication, candidate keys,
 //!   minimal covers, and Armstrong derivations (Theorem 1);
 //! * [`equiv`] — the System-C bridge of Lemmas 3 and 4;
-//! * [`chase`] — the NS-rules of §6: the plain order-dependent engine,
-//!   the extended (`nothing`) Church–Rosser engine, and the
+//! * [`groupkey`] — NEC-canonical group keys, the shared grouping
+//!   currency of the indexed chase and the grouped TEST-FDs variants;
+//! * [`chase`] — the NS-rules of §6: the plain order-dependent engine
+//!   (indexed worklist by default, all-pairs oracle retained), the
+//!   extended (`nothing`) Church–Rosser engine, and the
 //!   congruence-closure fast path of Theorem 4;
 //! * [`testfd`] — the TEST-FDs algorithm of Figure 3 with the strong and
 //!   weak null-comparison conventions of Theorems 2 and 3;
@@ -39,6 +42,7 @@ pub mod chase;
 pub mod equiv;
 pub mod fd;
 pub mod fixtures;
+pub mod groupkey;
 pub mod interp;
 pub mod normalize;
 pub mod prop1;

@@ -107,11 +107,7 @@ pub fn synthesize_3nf(fds: &FdSet, attrs: AttrSet) -> Vec<AttrSet> {
     }
     let mut result: Vec<AttrSet> = grouped.into_iter().map(|(_, c)| c).collect();
     // Attributes mentioned in no dependency must still be covered.
-    let uncovered = attrs.difference(
-        result
-            .iter()
-            .fold(AttrSet::EMPTY, |acc, c| acc.union(*c)),
-    );
+    let uncovered = attrs.difference(result.iter().fold(AttrSet::EMPTY, |acc, c| acc.union(*c)));
     if !uncovered.is_empty() {
         result.push(uncovered);
     }
@@ -176,9 +172,7 @@ pub fn is_lossless(fds: &FdSet, attrs: AttrSet, decomposition: &[AttrSet]) -> bo
     let compact = |set: AttrSet| -> AttrSet {
         set.intersect(attrs)
             .iter()
-            .map(|a| {
-                AttrId(attr_list.iter().position(|b| *b == a).expect("attr") as u16)
-            })
+            .map(|a| AttrId(attr_list.iter().position(|b| *b == a).expect("attr") as u16))
             .collect()
     };
     let tableau_fds = FdSet::from_vec(
@@ -194,11 +188,7 @@ pub fn is_lossless(fds: &FdSet, attrs: AttrSet, decomposition: &[AttrSet]) -> bo
         "tableaux have one constant per column; conflicts are impossible"
     );
     let all = tableau.schema().all_attrs();
-    outcome
-        .instance
-        .tuples()
-        .iter()
-        .any(|t| t.is_total_on(all))
+    outcome.instance.tuples().iter().any(|t| t.is_total_on(all))
 }
 
 #[cfg(test)]
@@ -273,7 +263,11 @@ mod tests {
         assert!(is_lossless(&fds, all, &[set(&[0, 1]), set(&[1, 2])]));
         assert!(!is_lossless(&fds, all, &[set(&[0, 1]), set(&[0, 2])]));
         // no FDs: only the full scheme joins losslessly
-        assert!(!is_lossless(&FdSet::new(), all, &[set(&[0, 1]), set(&[1, 2])]));
+        assert!(!is_lossless(
+            &FdSet::new(),
+            all,
+            &[set(&[0, 1]), set(&[1, 2])]
+        ));
         assert!(is_lossless(&FdSet::new(), all, &[all]));
     }
 

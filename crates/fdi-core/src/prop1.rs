@@ -259,9 +259,7 @@ pub fn evaluate(
     let fd = fd.normalized();
     let scope = fd.attrs();
     let rest: Vec<usize> = (0..instance.len()).filter(|i| *i != row).collect();
-    let rest_has_nulls = rest
-        .iter()
-        .any(|i| instance.tuple(*i).has_null_on(scope));
+    let rest_has_nulls = rest.iter().any(|i| instance.tuple(*i).has_null_on(scope));
     if !rest_has_nulls {
         return proposition1(fd, row, instance).map(|o| o.verdict);
     }

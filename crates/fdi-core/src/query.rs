@@ -59,15 +59,18 @@ pub enum Query {
 impl Query {
     /// `t[attr] = constant` (constant given as text, resolved against
     /// the instance's symbols).
-    pub fn eq_text(instance: &Instance, attr: &str, constant: &str) -> Result<Query, RelationError> {
+    pub fn eq_text(
+        instance: &Instance,
+        attr: &str,
+        constant: &str,
+    ) -> Result<Query, RelationError> {
         let a = instance.schema().attr_id(attr)?;
-        let sym = instance
-            .symbols()
-            .lookup(constant)
-            .ok_or_else(|| RelationError::ConstantNotInDomain {
+        let sym = instance.symbols().lookup(constant).ok_or_else(|| {
+            RelationError::ConstantNotInDomain {
                 constant: constant.to_string(),
                 attribute: attr.to_string(),
-            })?;
+            }
+        })?;
         Ok(Query::Atom(Atom::Eq(a, sym)))
     }
 
@@ -255,9 +258,7 @@ pub fn eval_signature(
     let mut acc: Option<Truth> = None;
     loop {
         let mut completed = tuple.clone();
-        for ((_, attrs), (&pick, cands)) in classes
-            .iter()
-            .zip(choice.iter().zip(candidates.iter()))
+        for ((_, attrs), (&pick, cands)) in classes.iter().zip(choice.iter().zip(candidates.iter()))
         {
             for attr in attrs {
                 completed.set(*attr, Value::Const(cands[pick]));
@@ -410,7 +411,10 @@ mod tests {
         // shared mark: A and B are the same unknown.
         let r = Instance::parse(schema.clone(), "?x ?x").unwrap();
         let q = Query::eq_attrs(&r, "A", "B").unwrap();
-        assert_eq!(eval_least_extension(&q, 0, &r, 1 << 10).unwrap(), Truth::True);
+        assert_eq!(
+            eval_least_extension(&q, 0, &r, 1 << 10).unwrap(),
+            Truth::True
+        );
         assert_eq!(eval_signature(&q, 0, &r).unwrap(), Truth::True);
         assert_eq!(eval_kleene(&q, r.tuple(0), &r), Truth::True);
         // independent nulls: unknown.
@@ -434,7 +438,10 @@ mod tests {
             .unwrap();
         let r = Instance::parse(schema, "- -").unwrap();
         let q = Query::eq_attrs(&r, "A", "B").unwrap();
-        assert_eq!(eval_least_extension(&q, 0, &r, 1 << 10).unwrap(), Truth::True);
+        assert_eq!(
+            eval_least_extension(&q, 0, &r, 1 << 10).unwrap(),
+            Truth::True
+        );
         assert_eq!(eval_signature(&q, 0, &r).unwrap(), Truth::True);
     }
 
@@ -448,7 +455,10 @@ mod tests {
         ];
         let q = Query::Atom(Atom::In(status, both));
         // covers the whole domain → true even on the null.
-        assert_eq!(eval_least_extension(&q, 0, &r, 1 << 10).unwrap(), Truth::True);
+        assert_eq!(
+            eval_least_extension(&q, 0, &r, 1 << 10).unwrap(),
+            Truth::True
+        );
         assert_eq!(eval_signature(&q, 0, &r).unwrap(), Truth::True);
     }
 

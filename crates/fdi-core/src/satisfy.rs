@@ -7,6 +7,12 @@
 //! satisfiability (some completion satisfies all of `F`), decided by the
 //! chase pipelines. This module ties the pieces together and produces
 //! the per-tuple truth tables the examples and the harness print.
+//!
+//! Set-level verdicts ride the indexed fast paths: the strong check is
+//! [`testfd::check_strong`] (size-dispatched grouped TEST-FDs) and the
+//! weak check is the extended chase — so [`report`] stays usable at
+//! instance sizes where the per-tuple Proposition-1 table is the only
+//! remaining enumeration-bound piece.
 
 use crate::fd::{Fd, FdSet};
 use crate::prop1;
@@ -141,11 +147,7 @@ mod tests {
         assert!(rep.strong);
         assert!(rep.weak);
         assert!(rep.strong_per_fd.iter().all(|b| *b));
-        assert!(rep
-            .table
-            .iter()
-            .flatten()
-            .all(|t| t.is_true()));
+        assert!(rep.table.iter().flatten().all(|t| t.is_true()));
     }
 
     #[test]
@@ -167,7 +169,10 @@ mod tests {
         let r = fixtures::section6_instance();
         let fds = fixtures::section6_fds();
         let rep = report(&fds, &r, REPORT_BUDGET).unwrap();
-        assert!(rep.weak_per_fd[0] && rep.weak_per_fd[1], "each weakly holds");
+        assert!(
+            rep.weak_per_fd[0] && rep.weak_per_fd[1],
+            "each weakly holds"
+        );
         assert!(!rep.weak, "… but not simultaneously (§6)");
         assert!(!rep.strong);
     }
@@ -181,7 +186,10 @@ mod tests {
         let r4 = fixtures::figure2_r4();
         let f4 = fixtures::figure2_fd(&r4);
         assert!(!strongly_holds(f4, &r4, REPORT_BUDGET).unwrap());
-        assert!(!weakly_holds(f4, &r4, REPORT_BUDGET).unwrap(), "[F2] is false");
+        assert!(
+            !weakly_holds(f4, &r4, REPORT_BUDGET).unwrap(),
+            "[F2] is false"
+        );
     }
 
     #[test]

@@ -114,10 +114,7 @@ pub fn find_x_substitutions(
         if all_appear && census.agreeing.len() == 1 {
             // Condition (1): copy the unique agreeing completion's X.
             let donor = instance.tuple(census.agreeing[0]);
-            let writes = t
-                .nulls_on(fd.lhs)
-                .map(|(a, _)| (a, donor.get(a)))
-                .collect();
+            let writes = t.nulls_on(fd.lhs).map(|(a, _)| (a, donor.get(a))).collect();
             out.push(XSubstitution {
                 row,
                 condition: 1,
@@ -281,9 +278,7 @@ mod tests {
         // only ever picks "the only value a user can insert without
         // creating an inconsistency".
         assert!(crate::chase::weakly_satisfiable_via_chase(&fds, &r2));
-        assert!(
-            crate::interp::weakly_satisfiable_bruteforce(&fds, &r2, 1 << 16).unwrap()
-        );
+        assert!(crate::interp::weakly_satisfiable_bruteforce(&fds, &r2, 1 << 16).unwrap());
     }
 
     #[test]

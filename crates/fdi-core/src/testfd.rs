@@ -28,13 +28,36 @@
 //! sorted (`O(|F|·n·log n)`), pairwise (`O(|F|·n²)`), hash-grouped (the
 //! bucket-sort analogue, `O(|F|·n·p)` expected), and the linear scan for
 //! a single FD over a pre-sorted relation.
+//!
+//! ## Default dispatch
+//!
+//! [`check`] is the entry point the rest of the system goes through
+//! (and what [`check_strong`] / [`check_weak`] call): for small
+//! relations it runs the pairwise variant — which doubles as the oracle
+//! the grouped variants are property-tested against — and beyond
+//! [`SMALL_N`] rows it runs [`check_grouped`], the hash-grouped variant
+//! re-dispatched on the same NEC-canonical keys as the indexed chase
+//! ([`crate::groupkey`]): one fully-compressed NEC snapshot per call
+//! (no parent-chain walks per comparison), packed `u64` key atoms, and
+//! a per-group linear representative scan. Expected cost `O(|F|·n·p)`.
+//! The strong-convention-with-null-determinant fallback to pairwise is
+//! preserved — under the pessimistic convention null "equality" is not
+//! transitive, so grouping is unsound there and the paper's footnoted
+//! `O(|F|·n²)` variant is the only correct choice.
 
 use crate::fd::{Fd, FdSet};
+use crate::groupkey;
 use fdi_relation::instance::Instance;
+use fdi_relation::nec::NecSnapshot;
 use fdi_relation::value::Value;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Below this row count [`check`] prefers the pairwise variant: the
+/// `O(n²)` constant is tiny, and building per-FD hash groups only pays
+/// for itself once relations outgrow cache-resident pair scans.
+pub const SMALL_N: usize = 64;
 
 /// Null-comparison convention (Theorems 2 and 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,11 +176,13 @@ pub fn check_pairwise(instance: &Instance, fds: &FdSet, conv: Convention) -> Res
 /// symbol, null classes by representative; nulls sort after constants
 /// ("null values have the lowest precedence" — the paper sorts them
 /// first; either end works, the group structure is what matters).
-fn weak_sort_key(v: Value, instance: &Instance) -> (u8, u32) {
+/// `nothing` keys by row — the inconsistent element matches nothing, so
+/// no two rows may ever be grouped through it.
+fn weak_sort_key(v: Value, row: usize, instance: &Instance) -> (u8, u32) {
     match v {
         Value::Const(s) => (0, s.0),
         Value::Null(n) => (1, instance.necs().find_readonly(n).0),
-        Value::Nothing => (2, 0),
+        Value::Nothing => (2, row as u32),
     }
 }
 
@@ -174,6 +199,7 @@ fn weak_sort_key(v: Value, instance: &Instance) -> (u8, u32) {
 /// the null conventions.
 fn group_violation(
     instance: &Instance,
+    snapshot: &NecSnapshot,
     rows: &[usize],
     rhs: fdi_relation::attrs::AttrSet,
     conv: Convention,
@@ -212,7 +238,7 @@ fn group_violation(
                         }
                         match first_null {
                             Some((rn, m)) => {
-                                if !instance.necs().same_class(m, n) {
+                                if !snapshot.same_class(m, n) {
                                     return pair(rn, r);
                                 }
                             }
@@ -227,10 +253,15 @@ fn group_violation(
 }
 
 /// Compares two rows on `X` by their weak-convention sort keys.
-fn weak_cmp(instance: &Instance, i: usize, j: usize, attrs: fdi_relation::attrs::AttrSet) -> Ordering {
+fn weak_cmp(
+    instance: &Instance,
+    i: usize,
+    j: usize,
+    attrs: fdi_relation::attrs::AttrSet,
+) -> Ordering {
     for a in attrs.iter() {
-        let ka = weak_sort_key(instance.value(i, a), instance);
-        let kb = weak_sort_key(instance.value(j, a), instance);
+        let ka = weak_sort_key(instance.value(i, a), i, instance);
+        let kb = weak_sort_key(instance.value(j, a), j, instance);
         match ka.cmp(&kb) {
             Ordering::Equal => continue,
             other => return other,
@@ -246,6 +277,7 @@ fn weak_cmp(instance: &Instance, i: usize, j: usize, attrs: fdi_relation::attrs:
 /// side contains a null somewhere in the instance (the paper's footnote).
 pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
     let n = instance.len();
+    let snapshot = instance.necs().canonical_snapshot();
     let mut order: Vec<usize> = Vec::with_capacity(n);
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
@@ -274,12 +306,13 @@ pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
         let mut start = 0;
         while start < n {
             let mut end = start + 1;
-            while end < n
-                && weak_cmp(instance, order[start], order[end], fd.lhs) == Ordering::Equal
+            while end < n && weak_cmp(instance, order[start], order[end], fd.lhs) == Ordering::Equal
             {
                 end += 1;
             }
-            if let Some(rows) = group_violation(instance, &order[start..end], fd.rhs, conv) {
+            if let Some(rows) =
+                group_violation(instance, &snapshot, &order[start..end], fd.rhs, conv)
+            {
                 return Err(Violation { fd_index, rows });
             }
             start = end;
@@ -296,6 +329,7 @@ pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
 /// left side meets a null.
 pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
     let n = instance.len();
+    let snapshot = instance.necs().canonical_snapshot();
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
@@ -318,17 +352,69 @@ pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
             let key: Vec<(u8, u32)> = fd
                 .lhs
                 .iter()
-                .map(|a| weak_sort_key(instance.value(i, a), instance))
+                .map(|a| weak_sort_key(instance.value(i, a), i, instance))
                 .collect();
             groups.entry(key).or_default().push(i);
         }
         for rows in groups.values() {
-            if let Some(rows) = group_violation(instance, rows, fd.rhs, conv) {
+            if let Some(rows) = group_violation(instance, &snapshot, rows, fd.rhs, conv) {
                 return Err(Violation { fd_index, rows });
             }
         }
     }
     Ok(())
+}
+
+/// Group-indexed TEST-FDs on the shared NEC-canonical keys of
+/// [`crate::groupkey`] — the default large-`n` variant behind [`check`].
+///
+/// One fully-compressed NEC snapshot is taken per call; rows are
+/// partitioned per FD by packed `u64` determinant keys (equality of
+/// which is exactly the conventions' agreement predicate, `nothing`
+/// rows staying singleton); each group is scanned linearly against a
+/// representative. Expected `O(|F|·n·p)`. Like the sorted and hashed
+/// variants it falls back to pairwise for strong-convention FDs whose
+/// determinant meets a null.
+pub fn check_grouped(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
+    let n = instance.len();
+    let snapshot = instance.necs().canonical_snapshot();
+    for (fd_index, fd) in fds.iter().enumerate() {
+        let fd = fd.normalized();
+        if fd.is_trivial() {
+            continue; // true in every instance
+        }
+        if conv == Convention::Strong {
+            let lhs_has_null = (0..n).any(|i| instance.tuple(i).has_null_on(fd.lhs));
+            if lhs_has_null {
+                check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| {
+                    Violation {
+                        fd_index,
+                        rows: v.rows,
+                    }
+                })?;
+                continue;
+            }
+        }
+        let groups = groupkey::group_rows(instance, fd.lhs, &snapshot);
+        for rows in groups.values() {
+            if let Some(rows) = group_violation(instance, &snapshot, rows, fd.rhs, conv) {
+                return Err(Violation { fd_index, rows });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// TEST-FDs with size-based dispatch: pairwise below [`SMALL_N`] rows
+/// (also the oracle the grouped path is verified against), the
+/// group-indexed variant beyond. Sound and complete under both
+/// conventions for any instance.
+pub fn check(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
+    if instance.len() < SMALL_N {
+        check_pairwise(instance, fds, conv)
+    } else {
+        check_grouped(instance, fds, conv)
+    }
 }
 
 /// Linear scan for a single FD over a relation already sorted on `X`
@@ -372,19 +458,21 @@ pub fn sort_order(instance: &Instance, fd: Fd) -> Vec<usize> {
     order
 }
 
-/// Theorem 2: strong satisfiability on any instance.
+/// Theorem 2: strong satisfiability on any instance (size-dispatched
+/// via [`check`]).
 pub fn check_strong(instance: &Instance, fds: &FdSet) -> Result<(), Violation> {
-    check_sorted(instance, fds, Convention::Strong)
+    check(instance, fds, Convention::Strong)
 }
 
 /// Theorem 3: weak satisfiability — chases to a minimally incomplete
-/// instance first (plain NS-rules), then applies the weak convention.
+/// instance first (the indexed plain NS-rule engine), then applies the
+/// weak convention via [`check`].
 ///
 /// Exact under the large-domain proviso (no `[F2]` exhaustion); see
 /// [`crate::subst::detect_domain_exhaustion`].
 pub fn check_weak(instance: &Instance, fds: &FdSet) -> Result<(), Violation> {
     let chased = crate::chase::chase_plain(instance, fds);
-    check_sorted(&chased.instance, fds, Convention::Weak)
+    check(&chased.instance, fds, Convention::Weak)
 }
 
 #[cfg(test)]
@@ -474,8 +562,11 @@ mod tests {
         let r = fixtures::figure1_null_instance();
         let f = fixtures::figure1_fds();
         assert!(check_weak(&r, &f).is_ok());
-        assert!(check_strong(&r, &f).is_err(), "e2's salary could differ from e1's? \
-            No — e2 is unique on E#; but D#-null of e3 can collide: check");
+        assert!(
+            check_strong(&r, &f).is_err(),
+            "e2's salary could differ from e1's? \
+            No — e2 is unique on E#; but D#-null of e3 can collide: check"
+        );
     }
 
     #[test]
@@ -576,5 +667,68 @@ mod tests {
         let f = fds(&r, "A -> B");
         assert!(check_pairwise(&r, &f, Convention::Weak).is_err());
         assert!(check_pairwise(&r, &f, Convention::Strong).is_err());
+        assert!(check_grouped(&r, &f, Convention::Weak).is_err());
+        assert!(check_grouped(&r, &f, Convention::Strong).is_err());
+    }
+
+    #[test]
+    fn nothing_on_determinants_never_groups() {
+        // `nothing` matches nothing — two rows sharing `#!` on A do not
+        // agree on A, so B may differ freely. The grouped variants must
+        // key `nothing` per row, not as one shared atom.
+        let r = abc(2, "#! B_0 C_0\n#! B_1 C_0");
+        let f = fds(&r, "A -> B");
+        for conv in [Convention::Strong, Convention::Weak] {
+            assert!(check_pairwise(&r, &f, conv).is_ok(), "{conv:?} pairwise");
+            assert!(check_grouped(&r, &f, conv).is_ok(), "{conv:?} grouped");
+            assert!(check_hashed(&r, &f, conv).is_ok(), "{conv:?} hashed");
+            assert!(check_sorted(&r, &f, conv).is_ok(), "{conv:?} sorted");
+        }
+    }
+
+    #[test]
+    fn grouped_agrees_with_pairwise_on_samples() {
+        let samples = [
+            "A_0 B_0 C_0\nA_0 B_0 C_1\nA_1 - C_0",
+            "A_0 - C_0\nA_0 - C_1\n- B_1 C_0",
+            "A_0 B_1 C_0\nA_1 B_1 C_1\nA_0 B_1 C_0",
+            "?u B_0 C_0\n?u B_1 C_0\nA_0 B_0 C_1",
+            "A_0 ?x C_0\nA_0 ?x C_0",
+            "A_0 - C_0\nA_0 - C_0",
+        ];
+        for text in samples {
+            let r = abc(2, text);
+            for fd_text in ["A -> B", "A B -> C", "C -> A", "B -> C"] {
+                let f = fds(&r, fd_text);
+                for conv in [Convention::Strong, Convention::Weak] {
+                    assert_eq!(
+                        check_pairwise(&r, &f, conv).is_ok(),
+                        check_grouped(&r, &f, conv).is_ok(),
+                        "{text:?} {fd_text:?} {conv:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_crosses_small_n_consistently() {
+        // Build a relation straddling SMALL_N with one planted violation
+        // and confirm every variant and the dispatcher see it.
+        let schema = Schema::uniform("R", &["A", "B", "C"], 200).unwrap();
+        let mut body = String::new();
+        for i in 0..(SMALL_N + 10) {
+            body.push_str(&format!("A_{i} B_{} C_0\n", i % 7));
+        }
+        body.push_str("A_0 B_6 C_0\n"); // A_0 maps to B_0 above
+        let r = Instance::parse(schema, &body).unwrap();
+        let f = FdSet::parse(r.schema(), "A -> B").unwrap();
+        assert!(r.len() >= SMALL_N, "exercises the grouped path");
+        assert!(check(&r, &f, Convention::Weak).is_err());
+        assert!(check_grouped(&r, &f, Convention::Weak).is_err());
+        assert!(check_pairwise(&r, &f, Convention::Weak).is_err());
+        let g = FdSet::parse(r.schema(), "A -> C").unwrap();
+        assert!(check(&r, &g, Convention::Weak).is_ok());
+        assert!(check(&r, &g, Convention::Strong).is_ok());
     }
 }

@@ -242,7 +242,10 @@ mod tests {
             after.reconstructed <= raw.reconstructed,
             "chase-first never inflates the reconstruction: {raw:?} vs {after:?}"
         );
-        assert!(after.is_exact(), "here the chase resolves the only null: {after:?}");
+        assert!(
+            after.is_exact(),
+            "here the chase resolves the only null: {after:?}"
+        );
     }
 
     #[test]

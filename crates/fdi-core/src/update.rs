@@ -23,6 +23,12 @@
 //!   `O(|F| · n)`; tuples carrying nulls on a determinant live on a
 //!   *wild list*, since under the pessimistic convention they
 //!   potentially match everything. Experiment E19 measures the gap.
+//!
+//! Internal acquisition ([`Policy::propagate`]) runs the **indexed
+//! worklist chase** ([`chase::chase_plain`]), and full revalidations go
+//! through the size-dispatched TEST-FDs ([`crate::testfd::check`]), so
+//! update throughput tracks the indexed engines rather than the naive
+//! pair scans.
 
 use crate::chase;
 use crate::fd::FdSet;
@@ -174,11 +180,7 @@ impl LhsIndex {
         let fd = fds.fds()[fd_index].normalized();
         if tuple.is_total_on(fd.lhs) {
             let key: Vec<Value> = tuple.project(fd.lhs).collect();
-            let mut out = self
-                .groups[fd_index]
-                .get(&key)
-                .cloned()
-                .unwrap_or_default();
+            let mut out = self.groups[fd_index].get(&key).cloned().unwrap_or_default();
             out.extend_from_slice(&self.wild[fd_index]);
             out
         } else {
@@ -259,15 +261,17 @@ impl Database {
                 .candidates(i, &self.fds, tuple, self.instance.len())
             {
                 let other = self.instance.tuple(row);
-                let x_match = fd.lhs.iter().all(|a| {
-                    strong_eq(tuple.get(a), other.get(a), &self.instance)
-                });
+                let x_match = fd
+                    .lhs
+                    .iter()
+                    .all(|a| strong_eq(tuple.get(a), other.get(a), &self.instance));
                 if !x_match {
                     continue;
                 }
-                let y_conflict = fd.rhs.iter().any(|a| {
-                    strong_neq(tuple.get(a), other.get(a), &self.instance)
-                });
+                let y_conflict = fd
+                    .rhs
+                    .iter()
+                    .any(|a| strong_neq(tuple.get(a), other.get(a), &self.instance));
                 if y_conflict {
                     return Some(Violation {
                         fd_index: i,
@@ -439,12 +443,12 @@ fn check_instance(
     enforcement: Enforcement,
 ) -> Result<(), UpdateError> {
     match enforcement {
-        Enforcement::Strong => testfd::check_strong(instance, fds).map_err(|v| {
-            UpdateError::Rejected {
+        Enforcement::Strong => {
+            testfd::check_strong(instance, fds).map_err(|v| UpdateError::Rejected {
                 violation: Some(v),
                 enforcement: Enforcement::Strong,
-            }
-        }),
+            })
+        }
         Enforcement::Weak => {
             if chase::weakly_satisfiable_via_chase(fds, instance) {
                 Ok(())
@@ -459,11 +463,7 @@ fn check_instance(
     }
 }
 
-fn parse_token(
-    instance: &mut Instance,
-    attr: AttrId,
-    token: &str,
-) -> Result<Value, UpdateError> {
+fn parse_token(instance: &mut Instance, attr: AttrId, token: &str) -> Result<Value, UpdateError> {
     if token == "-" {
         Ok(Value::Null(instance.fresh_null()))
     } else if token == "#!" {
@@ -528,7 +528,9 @@ mod tests {
     fn inserts_respecting_fds_are_accepted() {
         let mut db = strong_db();
         let n = db.instance().len();
-        let out = db.insert(&["e4", "20K", "d3", "part"]).expect("clean insert");
+        let out = db
+            .insert(&["e4", "20K", "d3", "part"])
+            .expect("clean insert");
         assert_eq!(out.row, n);
         assert_eq!(db.instance().len(), n + 1);
     }
@@ -614,9 +616,12 @@ mod tests {
         let err = db.resolve_null(2, AttrId(2), "d1").unwrap_err();
         assert!(matches!(err, UpdateError::Rejected { .. }));
         // resolving to d3 is fine (no other d3 row)
-        db.resolve_null(2, AttrId(2), "d3").expect("consistent value");
+        db.resolve_null(2, AttrId(2), "d3")
+            .expect("consistent value");
         assert_eq!(
-            db.instance().value(2, AttrId(2)).render(db.instance().symbols(), false),
+            db.instance()
+                .value(2, AttrId(2))
+                .render(db.instance().symbols(), false),
             "d3"
         );
         // pointing at a non-null errs
@@ -639,7 +644,10 @@ mod tests {
         )
         .unwrap();
         db.resolve_null(0, AttrId(1), "b1").expect("consistent");
-        assert!(db.instance().value(1, AttrId(1)).is_const(), "class-wide substitution");
+        assert!(
+            db.instance().value(1, AttrId(1)).is_const(),
+            "class-wide substitution"
+        );
     }
 
     #[test]
@@ -662,7 +670,8 @@ mod tests {
         // d3 is unused: fine.
         db.modify(1, AttrId(2), "d3").expect("no d3 rows yet");
         // and with e2 out of d1, e1's contract can change freely.
-        db.modify(0, AttrId(3), "part").expect("d1 now has one member");
+        db.modify(0, AttrId(3), "part")
+            .expect("d1 now has one member");
     }
 
     #[test]
@@ -699,13 +708,8 @@ mod tests {
                     .collect();
                 let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
                 let incremental = db.insert(&refs).is_ok();
-                let full = insert_with_full_recheck(
-                    &mut plain,
-                    &fds,
-                    &refs,
-                    Convention::Strong,
-                )
-                .is_ok();
+                let full =
+                    insert_with_full_recheck(&mut plain, &fds, &refs, Convention::Strong).is_ok();
                 assert_eq!(incremental, full, "seed {seed}, tokens {tokens:?}");
             }
         }

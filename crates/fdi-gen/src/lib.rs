@@ -174,12 +174,12 @@ pub fn workload(seed: u64, spec: &WorkloadSpec, fd_count: usize) -> Workload {
     }
 }
 
-/// Generates an instance that **classically satisfies** `fds` before
-/// nulls are poked: LHS-groups copy the group representative's right
-/// side until fixpoint. With fresh-id nulls added afterwards the
-/// instance stays weakly satisfiable (its pre-null state is a witness
-/// completion) — the "repairable" workload for the chase benchmarks.
-pub fn satisfiable_instance(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> Instance {
+/// Builds the complete, classically-satisfying base instance of the
+/// "repairable" workloads: random rows with planted collisions, then a
+/// cell-engine repair writing one constant per equality class, so every
+/// pair of rows agreeing on some FD's left side agrees on its right
+/// side by construction.
+fn satisfiable_base(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> Instance {
     let schema = schema_for(spec);
     let mut instance = Instance::new(schema.clone());
     let names = attr_names(spec.attrs);
@@ -205,14 +205,19 @@ pub fn satisfiable_instance(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) 
         }
         instance.add_tuple(Tuple::new(values)).expect("arity");
     }
-    // Repair to full classical satisfaction: chase the (complete)
-    // instance with the cell engine to its fixpoint and write one
-    // constant per equality class. Every pair of rows agreeing on some
-    // FD's left side then agrees on its right side by construction.
     let mut engine = fdi_core::chase::CellEngine::new(&instance);
     engine.run(fds, fdi_core::chase::Scheduler::Fast);
-    instance = engine.materialize_resolved(&instance);
-    // Now poke nulls (fresh ids only: shared classes could break the
+    engine.materialize_resolved(&instance)
+}
+
+/// Generates an instance that **classically satisfies** `fds` before
+/// nulls are poked (see [`satisfiable_base`]). With fresh-id nulls
+/// added afterwards the instance stays weakly satisfiable (its pre-null
+/// state is a witness completion) — the "repairable" workload for the
+/// chase benchmarks.
+pub fn satisfiable_instance(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> Instance {
+    let mut instance = satisfiable_base(rng, spec, fds);
+    // Poke nulls (fresh ids only: shared classes could break the
     // witness).
     for row in 0..instance.len() {
         for col in 0..spec.attrs {
@@ -233,6 +238,76 @@ pub fn satisfiable_workload(seed: u64, spec: &WorkloadSpec, fd_count: usize) -> 
     let instance = satisfiable_instance(&mut rng, spec, &fds);
     Workload {
         schema: schema_for(spec),
+        fds,
+        instance,
+    }
+}
+
+/// The spec preset for large-instance scaling runs (n ∈ {1k, 10k,
+/// 100k}): 4 attributes, domain scaled with `rows` so determinant
+/// groups stay small but non-trivial, and a collision rate high enough
+/// that the planted FDs keep firing.
+pub fn scaling_spec(rows: usize, null_density: f64, nec_density: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        rows,
+        attrs: 4,
+        domain: (rows / 4).max(8),
+        null_density,
+        nec_density,
+        collision_rate: 0.5,
+    }
+}
+
+/// A deterministic large workload for the chase and TEST-FDs
+/// benchmarks: `fd_count` dependencies over [`scaling_spec`], with the
+/// instance guaranteed weakly satisfiable so chase runs measure
+/// propagation, not contradiction discovery.
+///
+/// Nulls are poked into the classically-satisfying base instance; with
+/// probability `nec_density` a null joins the NEC class of earlier
+/// nulls that replaced the **same constant in the same column**.
+/// Assigning that constant class-wide reproduces the base instance, so
+/// the witness completion survives NEC sharing — the class merges are
+/// real (union–find unions, not shared ids), which is exactly what
+/// exercises the NEC-collapse path of the indexed engines at scale.
+pub fn large_workload(
+    seed: u64,
+    rows: usize,
+    null_density: f64,
+    nec_density: f64,
+    fd_count: usize,
+) -> Workload {
+    let spec = scaling_spec(rows, null_density, nec_density);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fds = random_fds(&mut rng, spec.attrs, fd_count);
+    let mut instance = satisfiable_base(&mut rng, &spec, &fds);
+    let mut class_reps: std::collections::HashMap<(usize, fdi_relation::Symbol), NullId> =
+        std::collections::HashMap::new();
+    for row in 0..instance.len() {
+        for col in 0..spec.attrs {
+            let attr = AttrId(col as u16);
+            if !rng.gen_bool(null_density) {
+                continue;
+            }
+            let prior = instance.value(row, attr);
+            let id = instance.fresh_null();
+            if let Value::Const(symbol) = prior {
+                if rng.gen_bool(nec_density) {
+                    match class_reps.entry((col, symbol)) {
+                        std::collections::hash_map::Entry::Occupied(rep) => {
+                            instance.add_nec(id, *rep.get());
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            slot.insert(id);
+                        }
+                    }
+                }
+            }
+            instance.set_value(row, attr, Value::Null(id));
+        }
+    }
+    Workload {
+        schema: schema_for(&spec),
         fds,
         instance,
     }
@@ -433,5 +508,32 @@ mod tests {
     fn attr_names_are_letters() {
         assert_eq!(attr_names(3), vec!["A", "B", "C"]);
         assert_eq!(attr_names(27)[26], "A1");
+    }
+
+    #[test]
+    fn large_workloads_scale_and_stay_satisfiable() {
+        let w = large_workload(11, 1000, 0.2, 0.3, 4);
+        assert_eq!(w.instance.len(), 1000);
+        let density = w.instance.null_count() as f64 / (1000.0 * 4.0);
+        assert!((0.15..0.26).contains(&density), "density {density}");
+        // NEC post-pass produced shared classes
+        assert!(w.instance.necs().merge_count() > 0, "expected NEC merges");
+        assert!(
+            chase::weakly_satisfiable_via_chase(&w.fds, &w.instance),
+            "large workloads must stay weakly satisfiable"
+        );
+        // determinism
+        let w2 = large_workload(11, 1000, 0.2, 0.3, 4);
+        assert_eq!(w.instance.canonical_form(), w2.instance.canonical_form());
+        let w3 = large_workload(12, 1000, 0.2, 0.3, 4);
+        assert_ne!(w.instance.canonical_form(), w3.instance.canonical_form());
+    }
+
+    #[test]
+    fn scaling_spec_scales_domains() {
+        let s = scaling_spec(100_000, 0.1, 0.1);
+        assert_eq!(s.rows, 100_000);
+        assert_eq!(s.domain, 25_000);
+        assert_eq!(scaling_spec(16, 0.1, 0.1).domain, 8, "floor for tiny n");
     }
 }

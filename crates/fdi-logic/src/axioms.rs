@@ -164,7 +164,10 @@ impl fmt::Display for ProofError {
                 write!(f, "line {line}: modus ponens premises do not match")
             }
             ProofError::FormulaMismatch { line } => {
-                write!(f, "line {line}: recorded formula differs from the derived one")
+                write!(
+                    f,
+                    "line {line}: recorded formula differs from the derived one"
+                )
             }
             ProofError::Empty => write!(f, "empty proof"),
         }
@@ -362,7 +365,7 @@ mod tests {
         let mut proof = prove_identity(a.clone());
         let id = proof.len() - 1; // A ⇒ A
         let nec_id = proof.necessitation(id); // ∇(A ⇒ A)
-        // T instance on (A ⇒ A): ∇(A⇒A) ⇒ (A⇒A)
+                                              // T instance on (A ⇒ A): ∇(A⇒A) ⇒ (A⇒A)
         let t = proof.axiom(
             Schema::ModalT,
             a.clone().implies(a.clone()),
@@ -393,9 +396,7 @@ mod tests {
     fn checker_rejects_forward_references() {
         let mut proof = Proof::new();
         proof.axiom(Schema::K1, var(0), var(1), var(0));
-        proof
-            .lines
-            .push((Step::Necessitation(5), var(0).nec()));
+        proof.lines.push((Step::Necessitation(5), var(0).nec()));
         assert!(matches!(
             proof.check(),
             Err(ProofError::ForwardReference { line: 1 })

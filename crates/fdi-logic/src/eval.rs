@@ -343,7 +343,10 @@ pub fn valuation_profile(formula: &Formula) -> ValuationProfile {
     let compiled = Compiled::new(formula);
     let vars: Vec<VarId> = compiled.vars().iter().collect();
     let n = vars.len();
-    assert!(n <= 16, "valuation profile enumeration capped at 16 variables");
+    assert!(
+        n <= 16,
+        "valuation profile enumeration capped at 16 variables"
+    );
     let width = vars.iter().map(|v| v.index() + 1).max().unwrap_or(0);
     let mut profile = ValuationProfile::default();
     let mut assignment = Assignment::unknown(width);
@@ -429,7 +432,10 @@ mod tests {
         use Truth::*;
         assert_eq!(eval_str("p & q", &[("p", True), ("q", Unknown)]), Unknown);
         assert_eq!(eval_str("p & q", &[("p", False), ("q", Unknown)]), False);
-        assert_eq!(eval_str("p | q", &[("p", Unknown), ("q", Unknown)]), Unknown);
+        assert_eq!(
+            eval_str("p | q", &[("p", Unknown), ("q", Unknown)]),
+            Unknown
+        );
         assert_eq!(eval_str("!p", &[("p", Unknown)]), Unknown);
     }
 
@@ -450,7 +456,10 @@ mod tests {
         // independent. Reading ∇ as identity would wrongly promote it.
         let (g, _) = parse_standalone("p => nec p").unwrap();
         assert!(!is_tautology_2v(&g));
-        assert_eq!(eval_str("p => nec p", &[("p", Truth::Unknown)]), Truth::Unknown);
+        assert_eq!(
+            eval_str("p => nec p", &[("p", Truth::Unknown)]),
+            Truth::Unknown
+        );
     }
 
     #[test]
@@ -466,7 +475,10 @@ mod tests {
     fn implication_desugars_and_reflexive_implication_is_true() {
         // X ⇒ Y with Y ⊆ X is a two-valued tautology: rule 1 applies.
         assert_eq!(
-            eval_str("p & q => p", &[("p", Truth::Unknown), ("q", Truth::Unknown)]),
+            eval_str(
+                "p & q => p",
+                &[("p", Truth::Unknown), ("q", Truth::Unknown)]
+            ),
             Truth::True
         );
         // A genuine implication behaves Kleene-wise.

@@ -189,12 +189,7 @@ impl fmt::Display for Formula {
     /// Displays with positional variable names (`p0`, `p1`, …). Prefer
     /// [`Formula::render`] when a [`VarTable`] is available.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let n = self
-            .vars()
-            .iter()
-            .map(|v| v.index() + 1)
-            .max()
-            .unwrap_or(0);
+        let n = self.vars().iter().map(|v| v.index() + 1).max().unwrap_or(0);
         let table = VarTable::from_names((0..n).map(|i| format!("p{i}")));
         f.write_str(&self.render(&table))
     }

@@ -161,7 +161,10 @@ pub fn counterexample(
         .fold(goal.vars(), |acc, p| acc.union(p.vars()));
     let var_list: Vec<VarId> = vars.iter().collect();
     let n = var_list.len();
-    assert!(n <= 16, "logical-inference enumeration capped at 16 variables");
+    assert!(
+        n <= 16,
+        "logical-inference enumeration capped at 16 variables"
+    );
     let width = var_list.iter().map(|v| v.index() + 1).max().unwrap_or(0);
     let mut assignment = Assignment::unknown(width);
     for mut code in 0..3u64.pow(n as u32) {

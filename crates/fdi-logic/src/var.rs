@@ -327,9 +327,7 @@ impl Assignment {
     pub fn enumerate_boolean(n: usize) -> impl Iterator<Item = Assignment> {
         assert!(n <= 30, "exhaustive 2^n enumeration capped at n = 30");
         (0..(1u64 << n)).map(move |code| {
-            let values = (0..n)
-                .map(|i| Truth::from(code & (1 << i) != 0))
-                .collect();
+            let values = (0..n).map(|i| Truth::from(code & (1 << i) != 0)).collect();
             Assignment { values }
         })
     }

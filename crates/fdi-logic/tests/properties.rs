@@ -13,11 +13,7 @@ use proptest::prelude::*;
 const VARS: usize = 4;
 
 fn arb_truth() -> impl Strategy<Value = Truth> {
-    prop_oneof![
-        Just(Truth::True),
-        Just(Truth::False),
-        Just(Truth::Unknown)
-    ]
+    prop_oneof![Just(Truth::True), Just(Truth::False), Just(Truth::Unknown)]
 }
 
 fn arb_assignment() -> impl Strategy<Value = Assignment> {
@@ -66,10 +62,7 @@ fn completions(a: &Assignment) -> Vec<Assignment> {
     for code in 0..(1u64 << unknown_positions.len()) {
         let mut c = a.clone();
         for (bit, pos) in unknown_positions.iter().enumerate() {
-            c.set(
-                VarId(*pos as u32),
-                Truth::from(code & (1 << bit) != 0),
-            );
+            c.set(VarId(*pos as u32), Truth::from(code & (1 << bit) != 0));
         }
         out.push(c);
     }

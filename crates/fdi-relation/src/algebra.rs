@@ -50,7 +50,11 @@ pub fn project_schema(schema: &Schema, attrs: AttrSet) -> Result<Arc<Schema>, Re
 /// projected tuples are removed (set semantics); two tuples are
 /// duplicates only when they are *identical* (same constants, same null
 /// ids) — possibly-equal tuples are both kept.
-pub fn project(instance: &Instance, attrs: AttrSet, dedup: bool) -> Result<Instance, RelationError> {
+pub fn project(
+    instance: &Instance,
+    attrs: AttrSet,
+    dedup: bool,
+) -> Result<Instance, RelationError> {
     let schema = project_schema(instance.schema(), attrs)?;
     let mut out = Instance::new(schema);
     // Re-intern constants by text (symbol ids differ across instances).
@@ -83,7 +87,14 @@ pub fn project(instance: &Instance, attrs: AttrSet, dedup: bool) -> Result<Insta
 
 /// Do two values *definitely* agree for join purposes: equal constants,
 /// or NEC-equivalent nulls?
-fn join_agree(a: Value, b: Value, left: &Instance, right: &Instance, la: AttrId, ra: AttrId) -> bool {
+fn join_agree(
+    a: Value,
+    b: Value,
+    left: &Instance,
+    right: &Instance,
+    la: AttrId,
+    ra: AttrId,
+) -> bool {
     match (a, b) {
         (Value::Const(x), Value::Const(y)) => {
             // symbols are per-instance: compare by text
@@ -140,7 +151,11 @@ pub fn natural_join(left: &Instance, right: &Instance) -> Result<Instance, Relat
     }
     let schema = builder.build()?;
     let mut out = Instance::new(schema);
-    let reintern = |out: &mut Instance, col: usize, v: Value, src: &Instance| -> Result<Value, RelationError> {
+    let reintern = |out: &mut Instance,
+                    col: usize,
+                    v: Value,
+                    src: &Instance|
+     -> Result<Value, RelationError> {
         Ok(match v {
             Value::Const(s) => {
                 let text = src.symbols().resolve(s).to_string();
@@ -206,10 +221,7 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.schema().attr_name(AttrId(0)), "A");
         assert_eq!(p.schema().attr_name(AttrId(1)), "C");
-        assert_eq!(
-            p.value(1, AttrId(1)).render(p.symbols(), false),
-            "c2"
-        );
+        assert_eq!(p.value(1, AttrId(1)).render(p.symbols(), false), "c2");
     }
 
     #[test]
@@ -283,12 +295,18 @@ mod tests {
     #[test]
     fn join_on_disjoint_schemas_is_cartesian() {
         let left = Instance::parse(
-            Schema::builder("L").attribute("A", ["a1", "a2"]).build().unwrap(),
+            Schema::builder("L")
+                .attribute("A", ["a1", "a2"])
+                .build()
+                .unwrap(),
             "a1\na2",
         )
         .unwrap();
         let right = Instance::parse(
-            Schema::builder("Rt").attribute("D", ["d1", "d2"]).build().unwrap(),
+            Schema::builder("Rt")
+                .attribute("D", ["d1", "d2"])
+                .build()
+                .unwrap(),
             "d1\nd2",
         )
         .unwrap();

@@ -50,7 +50,11 @@ impl<'a> CompletionSpace<'a> {
     }
 
     /// The completion space `AP(t, scope)` of a single row.
-    pub fn for_tuple(instance: &'a Instance, row: usize, scope: AttrSet) -> Result<Self, RelationError> {
+    pub fn for_tuple(
+        instance: &'a Instance,
+        row: usize,
+        scope: AttrSet,
+    ) -> Result<Self, RelationError> {
         Self::for_rows(instance, vec![row], scope)
     }
 
@@ -140,7 +144,9 @@ impl<'a> CompletionSpace<'a> {
     /// Panics if the space was not built over exactly one row.
     pub fn tuples(&self) -> Vec<Tuple> {
         assert_eq!(self.rows.len(), 1, "tuples() requires a single-row space");
-        self.iter().map(|mut rows| rows.pop().expect("one row")).collect()
+        self.iter()
+            .map(|mut rows| rows.pop().expect("one row"))
+            .collect()
     }
 
     fn materialize(&self, choice: &[usize]) -> Vec<Tuple> {

@@ -57,9 +57,15 @@ impl fmt::Display for RelationError {
                 write!(f, "unknown attribute {name:?}")
             }
             RelationError::ArityMismatch { expected, found } => {
-                write!(f, "row has {found} values but the schema has {expected} attributes")
+                write!(
+                    f,
+                    "row has {found} values but the schema has {expected} attributes"
+                )
             }
-            RelationError::ConstantNotInDomain { constant, attribute } => {
+            RelationError::ConstantNotInDomain {
+                constant,
+                attribute,
+            } => {
                 write!(
                     f,
                     "constant {constant:?} is not in the domain of attribute {attribute}"
@@ -72,13 +78,19 @@ impl fmt::Display for RelationError {
                 )
             }
             RelationError::TooManyCompletions { count, limit } => {
-                write!(f, "completion enumeration of {count} tuples exceeds the limit {limit}")
+                write!(
+                    f,
+                    "completion enumeration of {count} tuples exceeds the limit {limit}"
+                )
             }
             RelationError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
             RelationError::TooManyAttributes { requested, limit } => {
-                write!(f, "{requested} attributes requested but at most {limit} are supported")
+                write!(
+                    f,
+                    "{requested} attributes requested but at most {limit} are supported"
+                )
             }
         }
     }

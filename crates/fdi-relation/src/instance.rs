@@ -331,12 +331,7 @@ impl Instance {
     /// Renders the instance as an ASCII table in the style of the paper's
     /// figures. `marked` controls whether nulls display as `-` or `?id`.
     pub fn render(&self, marked: bool) -> String {
-        let headers: Vec<String> = self
-            .schema
-            .attrs()
-            .iter()
-            .map(|a| a.name.clone())
-            .collect();
+        let headers: Vec<String> = self.schema.attrs().iter().map(|a| a.name.clone()).collect();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
         let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.tuples.len());
         for t in &self.tuples {
@@ -564,7 +559,10 @@ mod tests {
         ]))
         .unwrap();
         let fresh = r.fresh_null();
-        assert!(fresh.0 > 7, "fresh nulls must not collide with imported ids");
+        assert!(
+            fresh.0 > 7,
+            "fresh nulls must not collide with imported ids"
+        );
     }
 
     #[test]

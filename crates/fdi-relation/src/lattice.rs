@@ -105,7 +105,10 @@ mod tests {
             !is_completion_of(&inconsistent, &partial),
             "the shared mark must receive one value"
         );
-        assert!(!is_completion_of(&partial, &partial), "a completion is total");
+        assert!(
+            !is_completion_of(&partial, &partial),
+            "a completion is total"
+        );
     }
 
     #[test]
@@ -122,6 +125,9 @@ mod tests {
         let a = Instance::parse(schema(), "a1 b1").unwrap();
         let b = Instance::parse(schema(), "a2 b1").unwrap();
         assert!(!is_completion_of(&b, &a));
-        assert!(is_completion_of(&a, &a), "a complete instance completes itself");
+        assert!(
+            is_completion_of(&a, &a),
+            "a complete instance completes itself"
+        );
     }
 }

@@ -58,7 +58,7 @@ pub use completion::CompletionSpace;
 pub use domain::Domain;
 pub use error::RelationError;
 pub use instance::{CanonValue, CanonicalInstance, Instance};
-pub use nec::NecStore;
+pub use nec::{NecSnapshot, NecStore};
 pub use schema::{AttrDef, DomainSpec, Schema, SchemaBuilder};
 pub use symbol::{Symbol, SymbolTable};
 pub use tuple::Tuple;

@@ -94,6 +94,50 @@ impl NecStore {
         self.merges
     }
 
+    /// A fully-compressed, read-only view of the partition: every id maps
+    /// directly to its class representative, so lookups are a single
+    /// array read instead of a parent-chain walk.
+    ///
+    /// [`NecStore::find_readonly`] deliberately skips path compression
+    /// (it takes `&self`), which makes it `O(chain)` per call — too slow
+    /// for the grouping hot loops that compare every cell of an instance.
+    /// Those loops take one snapshot up front and query it; the snapshot
+    /// is invalidated by subsequent [`NecStore::union`] calls, so it is a
+    /// per-pass structure, not a cache.
+    pub fn canonical_snapshot(&self) -> NecSnapshot {
+        const UNRESOLVED: u32 = u32::MAX;
+        let n = self.parent.len();
+        let mut roots = vec![UNRESOLVED; n];
+        let mut chain = Vec::new();
+        for id in 0..n {
+            if roots[id] != UNRESOLVED {
+                continue;
+            }
+            chain.clear();
+            let mut cur = id;
+            while roots[cur] == UNRESOLVED && self.parent[cur] as usize != cur {
+                chain.push(cur);
+                cur = self.parent[cur] as usize;
+            }
+            let root = if roots[cur] != UNRESOLVED {
+                roots[cur]
+            } else {
+                cur as u32
+            };
+            roots[cur] = root;
+            for &link in &chain {
+                roots[link] = root;
+            }
+        }
+        NecSnapshot { roots }
+    }
+
+    /// Number of tracked ids (snapshot length); ids at or above this are
+    /// untouched singletons.
+    pub fn tracked_ids(&self) -> usize {
+        self.parent.len()
+    }
+
     /// Groups the given null ids into their equivalence classes.
     pub fn classes_of<I: IntoIterator<Item = NullId>>(&self, ids: I) -> Vec<Vec<NullId>> {
         let mut groups: HashMap<NullId, Vec<NullId>> = HashMap::new();
@@ -108,7 +152,37 @@ impl NecStore {
                 entry.push(id);
             }
         }
-        order.into_iter().map(|r| groups.remove(&r).unwrap()).collect()
+        order
+            .into_iter()
+            .map(|r| groups.remove(&r).unwrap())
+            .collect()
+    }
+}
+
+/// Read-only, fully-compressed view of a [`NecStore`] partition.
+///
+/// Built by [`NecStore::canonical_snapshot`]; stale after any later
+/// `union`.
+#[derive(Debug, Clone)]
+pub struct NecSnapshot {
+    roots: Vec<u32>,
+}
+
+impl NecSnapshot {
+    /// The class representative of `id`; ids never seen by the store are
+    /// their own class.
+    #[inline]
+    pub fn root(&self, id: NullId) -> NullId {
+        match self.roots.get(id.index()) {
+            Some(&r) => NullId(r),
+            None => id,
+        }
+    }
+
+    /// Do `a` and `b` denote the same unknown value?
+    #[inline]
+    pub fn same_class(&self, a: NullId, b: NullId) -> bool {
+        a == b || self.root(a) == self.root(b)
     }
 }
 
@@ -118,6 +192,25 @@ mod tests {
 
     fn n(i: u32) -> NullId {
         NullId(i)
+    }
+
+    #[test]
+    fn snapshot_matches_find_readonly() {
+        let mut store = NecStore::new();
+        store.union(n(0), n(1));
+        store.union(n(1), n(2));
+        store.union(n(5), n(9));
+        store.union(n(9), n(2));
+        let snap = store.canonical_snapshot();
+        for i in 0..12 {
+            assert_eq!(snap.root(n(i)), store.find_readonly(n(i)), "id {i}");
+        }
+        assert!(snap.same_class(n(0), n(5)));
+        assert!(!snap.same_class(n(0), n(3)));
+        // ids beyond the tracked range are their own class
+        assert_eq!(snap.root(n(1000)), n(1000));
+        assert!(snap.same_class(n(1000), n(1000)));
+        assert!(!snap.same_class(n(1000), n(1001)));
     }
 
     #[test]

@@ -194,7 +194,11 @@ mod tests {
         assert_eq!(null.lub(c0), c0);
         assert_eq!(c0.lub(null), c0);
         assert_eq!(c0.lub(c0), c0);
-        assert_eq!(c0.lub(c1), Value::Nothing, "distinct constants merge to nothing");
+        assert_eq!(
+            c0.lub(c1),
+            Value::Nothing,
+            "distinct constants merge to nothing"
+        );
         assert_eq!(Value::Nothing.lub(c0), Value::Nothing);
         assert_eq!(
             Value::Null(NullId(9)).lub(Value::Null(NullId(2))),

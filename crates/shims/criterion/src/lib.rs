@@ -1,0 +1,235 @@
+//! Offline shim for the slice of the `criterion` API this workspace's
+//! benches use: benchmark groups, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark closure is warmed up once, then
+//! timed over adaptively batched iterations until `CRITERION_SAMPLES`
+//! samples (default 15) are collected or `CRITERION_MAX_MS` (default
+//! 1500 ms) of wall time is spent, whichever comes first. The median,
+//! minimum, and sample count are printed per benchmark, and the median
+//! is retained on the [`Criterion`] object for programmatic export (see
+//! [`Criterion::results`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (accepted and ignored beyond display).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, `function/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates `name/param`.
+    pub fn new<P: fmt::Display>(name: impl Into<String>, param: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting batched samples (see the module docs).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let max_samples: usize = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(15);
+        let budget = Duration::from_millis(
+            std::env::var("CRITERION_MAX_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1500),
+        );
+        // Warmup + batch sizing: target ≥ ~1ms per sample so the clock
+        // resolution never dominates.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed();
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000)
+            as usize;
+        let started = Instant::now();
+        while self.samples.len() < max_samples && started.elapsed() < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+
+    fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s.get(s.len() / 2).copied().unwrap_or(Duration::ZERO)
+    }
+}
+
+/// The benchmark manager.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&mut self.results, &id.id, f);
+        self
+    }
+
+    /// `(full benchmark id, median)` pairs collected so far.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(results: &mut Vec<(String, Duration)>, id: &str, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let median = b.median();
+    let min = b.samples.iter().min().copied().unwrap_or(Duration::ZERO);
+    println!(
+        "bench {id:<40} median {:>12?}  min {:>12?}  ({} samples)",
+        median,
+        min,
+        b.samples.len()
+    );
+    results.push((id.to_string(), median));
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group throughput (display only in this shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&mut self.criterion.results, &full, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure without input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&mut self.criterion.results, &full, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_and_record() {
+        std::env::set_var("CRITERION_SAMPLES", "3");
+        std::env::set_var("CRITERION_MAX_MS", "50");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::new("f", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        c.bench_function("lone", |b| b.iter(|| 1 + 1));
+        let ids: Vec<&str> = c.results().iter().map(|(id, _)| id.as_str()).collect();
+        assert_eq!(ids, vec!["g/f/10", "lone"]);
+    }
+}

@@ -1,0 +1,490 @@
+//! Offline shim for the slice of the `proptest` API this workspace's
+//! property tests use.
+//!
+//! Semantics: a [`Strategy`] is a deterministic sampler. The
+//! [`proptest!`] macro expands each property into a `#[test]` that
+//! samples its strategies from a per-test seeded RNG and runs the body
+//! up to `ProptestConfig::cases` times; `prop_assume!` rejects a case
+//! (another is drawn, up to a bounded number of attempts), and the
+//! `prop_assert*` macros panic with context on failure. There is **no
+//! shrinking** — failures report the concrete sampled values instead.
+//! Case streams are deterministic per test name, so failures reproduce
+//! exactly; set `PROPTEST_CASES` to raise or lower the case count
+//! globally.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::rc::Rc;
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// How many filter retries before a strategy gives up.
+const FILTER_RETRIES: usize = 1000;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (overridden by `PROPTEST_CASES`).
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(64),
+        }
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// Rejection marker returned by `prop_assume!`.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Builds the deterministic RNG for one property.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A value generator.
+pub trait Strategy: 'static {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (bounded retries).
+    fn prop_filter<R, F>(self, _reason: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Recursive strategies: `recurse` receives the strategy for the
+    /// previous depth and builds one level on top; leaves are mixed in
+    /// probabilistically at every level so sampled structures span the
+    /// whole depth range.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+        R: Strategy<Value = Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth.max(1) {
+            let deeper = recurse(current).boxed();
+            let l = leaf.clone();
+            current = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                if rng.gen_range(0..4u32) == 0 {
+                    l.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            }));
+        }
+        current
+    }
+
+    /// Type-erased, clonable form.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| inner.sample(rng)))
+    }
+}
+
+/// Type-erased strategy (clonable, shareable).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + 'static,
+    U: 'static,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + 'static,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..FILTER_RETRIES {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected {FILTER_RETRIES} consecutive samples");
+    }
+}
+
+/// A strategy always yielding a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Weighted choice among boxed alternatives — the engine behind
+/// [`prop_oneof!`].
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T: 'static> WeightedUnion<T> {
+    /// Builds from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    /// Panics when `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> WeightedUnion<T> {
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof needs a positive total weight");
+        WeightedUnion { arms, total }
+    }
+}
+
+impl<T: 'static> Strategy for WeightedUnion<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights cover the sampled range")
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification: an exact `usize` or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.0.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Weighted or unweighted alternation over same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::WeightedUnion::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// `assert!` under a property (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// `assert_eq!` under a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// `assert_ne!` under a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+/// Declares property tests; see the crate docs for runner semantics.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::rng_for(stringify!($name));
+                let strategies = ($($crate::Strategy::boxed($strategy),)+);
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(100);
+                while accepted < config.cases && attempts < max_attempts {
+                    attempts += 1;
+                    let ($($arg,)+) = {
+                        let ($(ref $arg,)+) = strategies;
+                        ($($crate::Strategy::sample($arg, &mut rng),)+)
+                    };
+                    // The closure exists so `prop_assume!` can early-return
+                    // a rejection out of the case body.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::Rejected> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+                assert!(
+                    accepted > 0,
+                    "property {} rejected every generated case ({} attempts)",
+                    stringify!($name),
+                    attempts,
+                );
+            }
+        )*
+    };
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    pub use crate::{BoxedStrategy, Just, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_small() -> impl Strategy<Value = u32> {
+        prop_oneof![
+            3 => 0..10u32,
+            1 => (100..110u32).prop_map(|v| v),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3..17usize, y in arb_small()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 10 || (100..110).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0..100u32) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vectors_and_tuples(v in collection::vec((0..5u32, 0..5u32), 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            for (a, b) in v {
+                prop_assert!(a < 5 && b < 5);
+            }
+        }
+
+        #[test]
+        fn filters_apply(x in (0..100u32).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_vary() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0..10u32)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::rng_for("recursive_strategies_terminate_and_vary");
+        let depths: Vec<u32> = (0..200).map(|_| depth(&strat.sample(&mut rng))).collect();
+        assert!(depths.contains(&0), "leaves occur");
+        assert!(depths.iter().any(|d| *d >= 2), "deep trees occur");
+        assert!(depths.iter().all(|d| *d <= 4), "depth bounded");
+    }
+
+    #[test]
+    fn just_yields_the_value() {
+        let mut rng = crate::rng_for("just");
+        assert_eq!(Just(42u8).sample(&mut rng), 42);
+    }
+}

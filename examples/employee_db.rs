@@ -64,7 +64,9 @@ fn main() {
     for s in &subs {
         println!(
             "condition ({}) licenses resolving row {}'s X-null: {:?}",
-            s.condition, s.row + 1, s.writes
+            s.condition,
+            s.row + 1,
+            s.writes
         );
         let mut repaired = r.clone();
         subst::apply_substitution(&mut repaired, s);

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // External acquisition with an unknown grade: accepted weakly.
     db.insert(&["cyd", "-", "100k"])?;
-    println!("after inserting (cyd, -, 100k):\n{}", db.instance().render(false));
+    println!(
+        "after inserting (cyd, -, 100k):\n{}",
+        db.instance().render(false)
+    );
 
     // Internal acquisition: dan joins grade g1, whose salary is known —
     // the NS-rule fills it in immediately.
@@ -60,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let err = db.resolve_null(2, grade, "g1").unwrap_err();
     println!("resolving cyd's grade to g1 is rejected: {err}");
     db.resolve_null(2, grade, "g3")?;
-    println!("resolving it to g3 succeeds:\n{}", db.instance().render(false));
+    println!(
+        "resolving it to g3 succeeds:\n{}",
+        db.instance().render(false)
+    );
 
     // ----- the weak universal relation assumption -----
     // (on the snapshot that still carries cyd's unknown grade)

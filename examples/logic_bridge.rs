@@ -94,9 +94,7 @@ fn main() {
         "Hilbert system: ⊢ A ⇒ A in {} lines (checked); its necessitation \
          ∇(A ⇒ A) is a C-tautology: {}\n",
         identity.len(),
-        fd_incomplete::logic::eval::is_c_tautology(
-            &identity.conclusion().unwrap().clone().nec()
-        )
+        fd_incomplete::logic::eval::is_c_tautology(&identity.conclusion().unwrap().clone().nec())
     );
 
     // ----- §6 at the logic level: weak inference is not transitive -----

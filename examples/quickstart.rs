@@ -60,7 +60,10 @@ fn main() {
     // forced to nothing? No — bob is unique on emp; but dan's manager is
     // determined by dept=eng (cyd's row donates noa).
     let repaired = chase::chase_plain(&staff, &fds);
-    println!("\nafter the NS-rule chase ({} substitutions):", repaired.events.len());
+    println!(
+        "\nafter the NS-rule chase ({} substitutions):",
+        repaired.events.len()
+    );
     println!("{}", repaired.instance.render(false));
 
     // And the full report in one call:

@@ -194,7 +194,9 @@ fn run(command: &str, desc: &Description) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     if args.len() != 3 {
-        eprintln!("usage: fdi <report|strong|weak|chase|chase-extended|keys|normalize|exhaustion> <file>");
+        eprintln!(
+            "usage: fdi <report|strong|weak|chase|chase-extended|keys|normalize|exhaustion> <file>"
+        );
         return ExitCode::FAILURE;
     }
     let text = match std::fs::read_to_string(&args[2]) {
@@ -270,10 +272,16 @@ cyd eng   -
 
     #[test]
     fn parse_errors_are_reported() {
-        assert!(parse_description("attr A a1").is_err(), "content before section");
+        assert!(
+            parse_description("attr A a1").is_err(),
+            "content before section"
+        );
         assert!(parse_description("%schema\nrelation").is_err());
         assert!(parse_description("%schema\nfoo A").is_err());
-        assert!(parse_description("%schema\nrelation R").is_err(), "no attrs");
+        assert!(
+            parse_description("%schema\nrelation R").is_err(),
+            "no attrs"
+        );
         let bad_fd = "%schema\nattr A a1\n%fds\nA -> ZZ\n%instance\n";
         assert!(parse_description(bad_fd).is_err());
     }

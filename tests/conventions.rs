@@ -118,7 +118,10 @@ fn mixed_marks_and_constants_in_one_group() {
     let chased = fd_incomplete::core::chase::chase_plain(&r, &fds);
     for row in 0..2 {
         assert_eq!(
-            chased.instance.value(row, AttrId(1)).render(chased.instance.symbols(), false),
+            chased
+                .instance
+                .value(row, AttrId(1))
+                .render(chased.instance.symbols(), false),
             "b0"
         );
     }

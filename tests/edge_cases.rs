@@ -100,9 +100,18 @@ fn arity_one_schema() {
 
 #[test]
 fn closure_of_empty_set_under_empty_fds() {
-    assert_eq!(armstrong::closure(AttrSet::EMPTY, &FdSet::new()), AttrSet::EMPTY);
-    assert!(armstrong::implies(&FdSet::new(), Fd::new(AttrSet(0b11), AttrSet(0b01))));
-    assert!(!armstrong::implies(&FdSet::new(), Fd::new(AttrSet(0b01), AttrSet(0b10))));
+    assert_eq!(
+        armstrong::closure(AttrSet::EMPTY, &FdSet::new()),
+        AttrSet::EMPTY
+    );
+    assert!(armstrong::implies(
+        &FdSet::new(),
+        Fd::new(AttrSet(0b11), AttrSet(0b01))
+    ));
+    assert!(!armstrong::implies(
+        &FdSet::new(),
+        Fd::new(AttrSet(0b01), AttrSet(0b10))
+    ));
 }
 
 #[test]

@@ -55,8 +55,7 @@ fn incremental_inserts_agree_with_full_rechecks_across_seeds() {
             let toks = tokens(&mut rng, spec.attrs, spec.domain, 0.2);
             let refs: Vec<&str> = toks.iter().map(String::as_str).collect();
             let a = db.insert(&refs).is_ok();
-            let b =
-                insert_with_full_recheck(&mut plain, &fds, &refs, Convention::Strong).is_ok();
+            let b = insert_with_full_recheck(&mut plain, &fds, &refs, Convention::Strong).is_ok();
             assert_eq!(a, b, "seed {seed}, tokens {toks:?}");
             accepted += a as usize;
         }
@@ -104,7 +103,10 @@ fn weak_databases_accept_everything_strong_rejects_but_stay_satisfiable() {
             let strong_ok = strong_db.insert(&refs).is_ok();
             let weak_ok = weak_db.insert(&refs).is_ok();
             if strong_ok {
-                assert!(weak_ok, "weak must accept whatever strong accepts: {toks:?}");
+                assert!(
+                    weak_ok,
+                    "weak must accept whatever strong accepts: {toks:?}"
+                );
             }
             // the weak database is weakly satisfiable at every step
             assert!(chase::weakly_satisfiable_via_chase(
@@ -132,7 +134,9 @@ fn resolve_null_accepts_exactly_the_consistent_values() {
     )
     .unwrap();
     let mut ok_db = db.clone();
-    ok_db.resolve_null(1, AttrId(1), "B_1").expect("the only consistent value");
+    ok_db
+        .resolve_null(1, AttrId(1), "B_1")
+        .expect("the only consistent value");
     let mut bad_db = db.clone();
     let err = bad_db.resolve_null(1, AttrId(1), "B_0").unwrap_err();
     assert!(matches!(err, UpdateError::Rejected { .. }));
@@ -209,6 +213,7 @@ fn deletion_then_reinsertion_round_trips() {
         .collect();
     db.delete(4).expect("delete");
     let refs: Vec<&str> = rendered.iter().map(String::as_str).collect();
-    db.insert(&refs).expect("reinsertion of a deleted tuple is always consistent");
+    db.insert(&refs)
+        .expect("reinsertion of a deleted tuple is always consistent");
     assert_eq!(db.instance().len(), base.len());
 }

@@ -59,9 +59,8 @@ fn run_sequence(seed: u64, enforcement: Enforcement, propagate: bool) {
         let op = rng.gen_range(0..4);
         let outcome = match op {
             0 => {
-                let tokens: Vec<String> = (0..ATTRS)
-                    .map(|a| random_token(&mut rng, a, 0.2))
-                    .collect();
+                let tokens: Vec<String> =
+                    (0..ATTRS).map(|a| random_token(&mut rng, a, 0.2)).collect();
                 let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
                 db.insert(&refs).map(|_| ())
             }
