@@ -120,8 +120,8 @@ pub fn run(quick: bool) {
     table.print();
     println!(
         "decisions agree exactly; the incremental path's advantage grows \
-         with the relation (group lookups vs whole-relation rechecks). \
-         Note both sides still clone the instance per insert — the gap \
-         is purely validation cost.\n"
+         with the relation (group lookups vs whole-relation rechecks, \
+         with the index maintained by per-row deltas — see \
+         BENCH_update.json for the maintenance-only gap).\n"
     );
 }

@@ -18,23 +18,39 @@
 //!
 //! * [`Scheduler::NaivePairs`] compares all row pairs per FD per round —
 //!   the paper's multi-pass `O(|F|·n³·p)`-flavoured engine;
-//! * [`Scheduler::Fast`] hash-groups rows by `X`-signature per round —
-//!   the congruence-closure-flavoured quasi-linear engine.
+//! * [`Scheduler::Fast`] hash-groups rows by `X`-signature **once** and
+//!   then runs the dirty-bucket worklist discipline of
+//!   [`super::index`]: a bucket is re-swept only when a union changed
+//!   some member's signature (which, because bucket co-members share
+//!   class roots componentwise, re-keys the whole bucket *en bloc*) or
+//!   merged it with another bucket. Buckets that no union touches are
+//!   never re-grouped — the congruence-closure-flavoured quasi-linear
+//!   engine, without the per-round `O(|F|·n)` re-hash the round-based
+//!   variant paid.
+//!
+//! New rule sites can only appear where a bucket gains members or its
+//! key atoms change, and both happen exactly at unions — so the
+//! worklist engine reaches the same least congruence as the round-based
+//! sweeps (and as [`Scheduler::NaivePairs`]); the property suite checks
+//! the partitions, `nothing` counts, and union counts coincide.
 
-use crate::fd::FdSet;
+use crate::fd::{Fd, FdSet};
+use crate::groupkey::GroupKey;
 use fdi_relation::attrs::AttrId;
 use fdi_relation::instance::Instance;
 use fdi_relation::nec::NecStore;
 use fdi_relation::symbol::Symbol;
 use fdi_relation::value::{NullId, Value};
-use std::collections::HashMap;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 
 /// Fixpoint scheduling strategy for the extended chase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scheduler {
     /// Pairwise row comparison per FD per round (naive baseline).
     NaivePairs,
-    /// Hash-grouping of rows by `X`-class signature per round.
+    /// One hash-grouping of rows by `X`-class signature, then a
+    /// dirty-bucket worklist (see the module docs).
     Fast,
 }
 
@@ -170,52 +186,23 @@ impl CellEngine {
         true
     }
 
-    /// One fixpoint round; returns `true` when any union happened.
-    fn round(&mut self, fds: &FdSet, scheduler: Scheduler) -> bool {
+    /// One naive fixpoint round; returns `true` when any union happened.
+    fn round_naive(&mut self, fds: &FdSet) -> bool {
         let mut changed = false;
         for fd in fds {
             let fd = fd.normalized();
-            match scheduler {
-                Scheduler::Fast => {
-                    let mut buckets: HashMap<Vec<u32>, usize> = HashMap::with_capacity(self.rows);
-                    let mut signature: Vec<u32> = Vec::with_capacity(fd.lhs.len());
-                    for row in 0..self.rows {
-                        signature.clear();
-                        for a in fd.lhs.iter() {
-                            let node = self.cell_node(row, a);
-                            signature.push(self.find(node) as u32);
-                        }
-                        // Borrowed lookup first: only novel signatures
-                        // pay for an owned key allocation.
-                        match buckets.get(signature.as_slice()) {
-                            Some(&first) => {
-                                for b in fd.rhs.iter() {
-                                    let x = self.cell_node(first, b);
-                                    let y = self.cell_node(row, b);
-                                    changed |= self.union(x, y);
-                                }
-                            }
-                            None => {
-                                buckets.insert(signature.clone(), row);
-                            }
-                        }
-                    }
-                }
-                Scheduler::NaivePairs => {
-                    for i in 0..self.rows {
-                        for j in (i + 1)..self.rows {
-                            let agree = fd.lhs.iter().all(|a| {
-                                let x = self.cell_node(i, a);
-                                let y = self.cell_node(j, a);
-                                self.find(x) == self.find(y)
-                            });
-                            if agree {
-                                for b in fd.rhs.iter() {
-                                    let x = self.cell_node(i, b);
-                                    let y = self.cell_node(j, b);
-                                    changed |= self.union(x, y);
-                                }
-                            }
+            for i in 0..self.rows {
+                for j in (i + 1)..self.rows {
+                    let agree = fd.lhs.iter().all(|a| {
+                        let x = self.cell_node(i, a);
+                        let y = self.cell_node(j, a);
+                        self.find(x) == self.find(y)
+                    });
+                    if agree {
+                        for b in fd.rhs.iter() {
+                            let x = self.cell_node(i, b);
+                            let y = self.cell_node(j, b);
+                            changed |= self.union(x, y);
                         }
                     }
                 }
@@ -224,13 +211,37 @@ impl CellEngine {
         changed
     }
 
-    /// Runs rounds to the fixpoint; returns the number of rounds.
+    /// Runs to the fixpoint; returns the number of passes (for
+    /// [`Scheduler::NaivePairs`], full rounds, the last one applying
+    /// nothing; for [`Scheduler::Fast`], worklist drains — a complete
+    /// instance takes exactly one either way).
     pub fn run(&mut self, fds: &FdSet, scheduler: Scheduler) -> usize {
-        let mut rounds = 1;
-        while self.round(fds, scheduler) {
-            rounds += 1;
+        match scheduler {
+            Scheduler::NaivePairs => {
+                let mut rounds = 1;
+                while self.round_naive(fds) {
+                    rounds += 1;
+                }
+                rounds
+            }
+            Scheduler::Fast => Worklist::new(self, fds).run(self),
         }
-        rounds
+    }
+
+    /// Unifies two classes like [`CellEngine::union`] and additionally
+    /// reports which root lost its identity, so the worklist can migrate
+    /// the loser's member cells. Returns `None` when the classes were
+    /// already one.
+    fn union_reporting(&mut self, a: usize, b: usize) -> Option<(usize, usize)> {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return None;
+        }
+        self.union(a, b);
+        let winner = self.find(a);
+        let loser = if winner == ra { rb } else { ra };
+        Some((winner, loser))
     }
 
     /// Materializes the partition back into an instance shaped like
@@ -305,6 +316,200 @@ impl CellEngine {
     /// Total unions performed by the chase (excluding initial structure).
     pub fn union_count(&self) -> usize {
         self.unions
+    }
+}
+
+/// The dirty-bucket worklist state of [`Scheduler::Fast`] — the
+/// [`super::index`] discipline transplanted onto the union–find:
+///
+/// * per FD, rows hash-partitioned by their `X`-**signature** (the
+///   tuple of class roots of the row's determinant cells) — bucket
+///   co-membership *is* the extended rule's trigger condition;
+/// * per class root, the list of member **cells**, so a union knows
+///   exactly which `(row, column)` sites changed signature;
+/// * per FD, the set of bucket keys whose membership or key atoms
+///   changed since their last sweep (the worklist).
+///
+/// Because bucket co-members agree on class roots componentwise, a root
+/// change re-keys every co-member identically — buckets migrate *en
+/// bloc*, exactly as in the plain indexed chase, and every migrated
+/// bucket re-enters the worklist (a merge brings new members; even a
+/// pure rename must re-enter, since the running pass's agenda holds the
+/// old key).
+struct Worklist {
+    /// Normalized, non-trivial FDs.
+    slots: Vec<Fd>,
+    /// column → slots with that column on the determinant.
+    lhs_slots: Vec<Vec<usize>>,
+    /// Per class root: member cell nodes (symbol nodes carry no site).
+    members: HashMap<u32, Vec<u32>>,
+    /// Per slot: signature key → member rows.
+    buckets: Vec<HashMap<GroupKey, Vec<u32>>>,
+    /// Per slot, per row: the key its bucket is filed under.
+    row_keys: Vec<Vec<GroupKey>>,
+    /// Per slot: keys awaiting a (re-)sweep.
+    dirty: Vec<HashSet<GroupKey>>,
+}
+
+impl Worklist {
+    fn new(engine: &mut CellEngine, fds: &FdSet) -> Worklist {
+        let slots: Vec<Fd> = fds
+            .iter()
+            .map(|fd| fd.normalized())
+            .filter(|fd| !fd.is_trivial())
+            .collect();
+        let arity = engine.arity;
+        let mut members: HashMap<u32, Vec<u32>> = HashMap::new();
+        for node in 0..engine.rows * arity {
+            let root = engine.find(node) as u32;
+            members.entry(root).or_default().push(node as u32);
+        }
+        let mut lhs_slots: Vec<Vec<usize>> = vec![Vec::new(); arity];
+        for (si, fd) in slots.iter().enumerate() {
+            for a in fd.lhs.iter() {
+                lhs_slots[a.index()].push(si);
+            }
+        }
+        let mut buckets = Vec::with_capacity(slots.len());
+        let mut row_keys = Vec::with_capacity(slots.len());
+        for fd in &slots {
+            let mut fd_buckets: HashMap<GroupKey, Vec<u32>> = HashMap::with_capacity(engine.rows);
+            let mut fd_keys: Vec<GroupKey> = Vec::with_capacity(engine.rows);
+            let mut key = GroupKey::new();
+            for row in 0..engine.rows {
+                key.clear();
+                for a in fd.lhs.iter() {
+                    key.push(engine.find(engine.cell_node(row, a)) as u64);
+                }
+                fd_buckets.entry(key.clone()).or_default().push(row as u32);
+                fd_keys.push(key.clone());
+            }
+            buckets.push(fd_buckets);
+            row_keys.push(fd_keys);
+        }
+        let dirty = vec![HashSet::new(); slots.len()];
+        Worklist {
+            slots,
+            lhs_slots,
+            members,
+            buckets,
+            row_keys,
+            dirty,
+        }
+    }
+
+    /// Drains the worklist to the fixpoint; returns the pass count.
+    fn run(mut self, engine: &mut CellEngine) -> usize {
+        let mut passes = 0;
+        loop {
+            passes += 1;
+            for si in 0..self.slots.len() {
+                let min_row = |rows: &[u32]| rows.iter().copied().min().expect("non-empty");
+                let mut agenda: Vec<(u32, GroupKey)> = if passes == 1 {
+                    self.buckets[si]
+                        .iter()
+                        .filter(|(_, rows)| rows.len() > 1)
+                        .map(|(key, rows)| (min_row(rows), key.clone()))
+                        .collect()
+                } else {
+                    std::mem::take(&mut self.dirty[si])
+                        .into_iter()
+                        .filter_map(|key| {
+                            let rows = self.buckets[si].get(&key)?;
+                            (rows.len() > 1).then(|| (min_row(rows), key))
+                        })
+                        .collect()
+                };
+                if passes == 1 {
+                    self.dirty[si].clear();
+                }
+                agenda.sort_unstable();
+                for (_, key) in agenda {
+                    self.sweep(engine, si, &key);
+                }
+            }
+            // New rule sites appear only where a union migrated a
+            // bucket, so an empty worklist is the fixpoint.
+            if self.dirty.iter().all(HashSet::is_empty) {
+                break;
+            }
+            assert!(
+                passes <= engine.rows * engine.arity + engine.label.len() + 2,
+                "worklist chase failed to terminate"
+            );
+        }
+        passes
+    }
+
+    /// Sweeps one bucket: unifies every member row's dependent cells
+    /// with the least member's, migrating affected buckets after each
+    /// union.
+    fn sweep(&mut self, engine: &mut CellEngine, si: usize, key: &GroupKey) {
+        let Some(rows) = self.buckets[si].get(key) else {
+            return; // migrated away since the agenda was drawn
+        };
+        if rows.len() < 2 {
+            return;
+        }
+        let mut rows = rows.clone();
+        rows.sort_unstable();
+        let fd = self.slots[si];
+        for b in fd.rhs.iter() {
+            let first = engine.cell_node(rows[0] as usize, b);
+            for &row in &rows[1..] {
+                let other = engine.cell_node(row as usize, b);
+                if let Some((winner, loser)) = engine.union_reporting(first, other) {
+                    self.migrate(engine, winner, loser);
+                }
+            }
+        }
+    }
+
+    /// After a union, moves the loser class's member cells to the
+    /// winner and re-files every bucket whose signature mentioned the
+    /// loser root — whole buckets at a time (co-members share roots).
+    fn migrate(&mut self, engine: &mut CellEngine, winner: usize, loser: usize) {
+        let moved = self.members.remove(&(loser as u32)).unwrap_or_default();
+        let mut touched: Vec<(usize, GroupKey)> = Vec::new();
+        let mut seen: HashSet<(usize, GroupKey)> = HashSet::new();
+        for &cell in &moved {
+            let row = cell as usize / engine.arity;
+            let col = cell as usize % engine.arity;
+            for &si in &self.lhs_slots[col] {
+                let key = self.row_keys[si][row].clone();
+                if seen.insert((si, key.clone())) {
+                    touched.push((si, key));
+                }
+            }
+        }
+        for (si, old_key) in touched {
+            let Some(rows) = self.buckets[si].remove(&old_key) else {
+                continue; // already migrated via another member cell
+            };
+            let sample = rows[0] as usize;
+            let fd = self.slots[si];
+            let mut new_key = GroupKey::with_capacity(fd.lhs.len());
+            for a in fd.lhs.iter() {
+                new_key.push(engine.find(engine.cell_node(sample, a)) as u64);
+            }
+            for &row in &rows {
+                self.row_keys[si][row as usize] = new_key.clone();
+            }
+            self.dirty[si].remove(&old_key);
+            match self.buckets[si].entry(new_key.clone()) {
+                Entry::Occupied(mut entry) => {
+                    entry.get_mut().extend_from_slice(&rows);
+                }
+                Entry::Vacant(entry) => {
+                    entry.insert(rows);
+                }
+            }
+            self.dirty[si].insert(new_key);
+        }
+        self.members
+            .entry(winner as u32)
+            .or_default()
+            .extend_from_slice(&moved);
     }
 }
 
@@ -387,7 +592,39 @@ mod tests {
                 fast.instance.canonical_form()
             );
             assert_eq!(naive.nothing_classes, fast.nothing_classes);
+            assert_eq!(
+                naive.unions, fast.unions,
+                "union counts are order-invariant"
+            );
         }
+    }
+
+    #[test]
+    fn worklist_scheduler_handles_cross_column_classes_and_nothing() {
+        // The regimes exempt from *plain*-chase order fidelity are
+        // irrelevant here (Theorem 4(a) — the closure is unique), but
+        // they stress the worklist: `?z` spans columns A and B, so a
+        // union re-keys buckets of the very FD being swept, and the
+        // preexisting `nothing` seeds an inconsistent class.
+        let schema = fdi_relation::Schema::uniform("R", &["A", "B"], 4).unwrap();
+        let r = fdi_relation::Instance::parse(
+            schema.clone(),
+            "A_1 ?z
+             A_1 B_2
+             ?z  B_1
+             ?z  ?w
+             A_0 #!",
+        )
+        .unwrap();
+        let fds = crate::fd::FdSet::parse(&schema, "A -> B").unwrap();
+        let naive = extended_chase(&r, &fds, Scheduler::NaivePairs);
+        let fast = extended_chase(&r, &fds, Scheduler::Fast);
+        assert_eq!(
+            naive.instance.canonical_form(),
+            fast.instance.canonical_form()
+        );
+        assert_eq!(naive.nothing_classes, fast.nothing_classes);
+        assert_eq!(naive.unions, fast.unions);
     }
 
     #[test]

@@ -29,18 +29,24 @@
 //! class, and the first constant promotes it (later nulls pair against
 //! the earliest constant-bearing row, exactly as the pair scan does).
 //!
-//! **Order fidelity.** The plain system is not confluent (Figure 5), so
-//! matching the naive engine's *result* — not just reaching some
-//! minimally incomplete instance — requires replaying its site order:
-//! passes, FDs in set order within a pass, buckets by least member row,
-//! rows ascending within a bucket. On instances whose NEC classes are
-//! **column-local** and which contain no `nothing` values, the replay
-//! is exact: same chased instance, same events at the same sites, same
-//! pass count (the property suite compares full event lists). Two
-//! regimes are exempt from exact replay — in both, each engine still
-//! returns a legitimate chase result (the fixpoint of *some* rule
-//! order, accepted by [`super::ns::is_minimally_incomplete`]), but the
-//! choice at contended sites may differ:
+//! # Order fidelity (the column-local-NEC restriction)
+//!
+//! The plain system is not confluent (Figure 5), so matching the naive
+//! engine's *result* — not just reaching some minimally incomplete
+//! instance — requires replaying its site order: passes, FDs in set
+//! order within a pass, buckets by least member row, rows ascending
+//! within a bucket. On instances whose NEC classes are **column-local**
+//! and which contain no `nothing` values, the replay is exact: same
+//! chased instance, same events at the same sites, same pass count (the
+//! property suite compares full event lists). Use
+//! [`order_replay_caveats`] / [`order_replay_exact`] to test an
+//! instance for the restriction — every condition that voids exact
+//! replay is reported as a typed [`ChaseIndexCaveat`], and the `fdi-gen`
+//! generators debug-assert their workloads free of them. Two regimes
+//! are exempt from exact replay — in both, each engine still returns a
+//! legitimate chase result (the fixpoint of *some* rule order, accepted
+//! by [`super::ns::is_minimally_incomplete`]), but the choice at
+//! contended sites may differ:
 //!
 //! * an NEC class spanning **columns** (a marked null like `?z` reused
 //!   across columns — `Instance::parse` allows this; every generator
@@ -123,6 +129,106 @@ pub fn is_minimally_incomplete_indexed(instance: &Instance, fds: &FdSet) -> bool
         }
     }
     true
+}
+
+/// A condition voiding the indexed chase's *exact replay* of the naive
+/// engine — the order-fidelity restriction of the module docs, as a
+/// typed, testable value instead of a buried comment.
+///
+/// A caveat does **not** make [`chase_indexed`] wrong: both engines
+/// still reach a fixpoint of the plain rules (a minimally incomplete
+/// instance), but on a caveat-bearing instance they may make different
+/// choices at contended sites (Figure 5's order dependence), so their
+/// chased instances, event lists, and pass counts are no longer
+/// guaranteed identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaseIndexCaveat {
+    /// An NEC class spans more than one column (a marked null like `?z`
+    /// reused across columns — `Instance::parse` allows this; every
+    /// generator keeps classes column-local). A substitution can then
+    /// re-key the very FD being swept mid-flight, and the engines may
+    /// order the contended sites differently.
+    CrossColumnNecClass {
+        /// A null of the offending class.
+        null: NullId,
+        /// Two distinct columns the class occurs under.
+        columns: (AttrId, AttrId),
+    },
+    /// A `nothing` value occupies a cell. The plain rules treat
+    /// `nothing` as inert, so a bucket's first applicable site may
+    /// involve later rows than its least member and the least-member
+    /// agenda can interleave buckets differently than the global pair
+    /// scan. (`nothing` belongs to the extended system of
+    /// [`super::cells`]; the plain chase merely tolerates it.)
+    NothingValue {
+        /// Row of the cell.
+        row: usize,
+        /// Attribute of the cell.
+        attr: AttrId,
+    },
+}
+
+impl std::fmt::Display for ChaseIndexCaveat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaseIndexCaveat::CrossColumnNecClass { null, columns } => write!(
+                f,
+                "NEC class of {null} spans columns {} and {}: indexed chase order \
+                 may diverge from the naive engine",
+                columns.0, columns.1
+            ),
+            ChaseIndexCaveat::NothingValue { row, attr } => write!(
+                f,
+                "`nothing` at ({row}, {attr}): indexed chase order may diverge \
+                 from the naive engine"
+            ),
+        }
+    }
+}
+
+/// Scans `instance` for every condition voiding exact naive-order
+/// replay (see [`ChaseIndexCaveat`]): one caveat per cross-column NEC
+/// class and one per `nothing` cell, in row-major order of first
+/// detection.
+pub fn order_replay_caveats(instance: &Instance) -> Vec<ChaseIndexCaveat> {
+    let mut caveats = Vec::new();
+    let snapshot = instance.necs().canonical_snapshot();
+    let mut class_col: HashMap<NullId, AttrId> = HashMap::new();
+    let mut flagged: HashSet<NullId> = HashSet::new();
+    let all = instance.schema().all_attrs();
+    for row in 0..instance.len() {
+        for attr in all.iter() {
+            match instance.value(row, attr) {
+                Value::Nothing => caveats.push(ChaseIndexCaveat::NothingValue { row, attr }),
+                Value::Null(n) => {
+                    let root = snapshot.root(n);
+                    match class_col.get(&root) {
+                        Some(&col) if col != attr => {
+                            if flagged.insert(root) {
+                                caveats.push(ChaseIndexCaveat::CrossColumnNecClass {
+                                    null: n,
+                                    columns: (col, attr),
+                                });
+                            }
+                        }
+                        Some(_) => {}
+                        None => {
+                            class_col.insert(root, attr);
+                        }
+                    }
+                }
+                Value::Const(_) => {}
+            }
+        }
+    }
+    caveats
+}
+
+/// `true` iff [`chase_indexed`] is guaranteed to replay
+/// [`super::ns::chase_naive`] exactly on `instance` — same chased
+/// instance, events, and pass count (no [`ChaseIndexCaveat`] present).
+pub fn order_replay_exact(instance: &Instance) -> bool {
+    order_replay_caveats(instance).is_empty()
 }
 
 /// One FD slot: its position in the original set plus the normalized
@@ -449,6 +555,11 @@ mod tests {
     use crate::fixtures;
 
     fn assert_engines_agree(r: &Instance, fds: &FdSet) {
+        assert!(
+            order_replay_exact(r),
+            "exact replay is only promised on caveat-free instances: {:?}",
+            order_replay_caveats(r)
+        );
         let naive = chase_naive(r, fds);
         let indexed = chase_indexed(r, fds);
         assert_eq!(
@@ -547,6 +658,13 @@ mod tests {
         )
         .unwrap();
         let fds = FdSet::parse(&schema, "A -> B").unwrap();
+        assert!(
+            matches!(
+                order_replay_caveats(&r).as_slice(),
+                [ChaseIndexCaveat::CrossColumnNecClass { .. }]
+            ),
+            "the ?z class spans columns and must be reported"
+        );
         let indexed = chase_indexed(&r, &fds);
         assert!(
             is_minimally_incomplete_naive(&indexed.instance, &fds),
@@ -575,6 +693,12 @@ mod tests {
         )
         .unwrap();
         let fds = FdSet::parse(&schema, "A -> B").unwrap();
+        assert!(
+            order_replay_caveats(&r)
+                .iter()
+                .any(|c| matches!(c, ChaseIndexCaveat::NothingValue { row: 0, .. })),
+            "the `nothing` cell must be reported"
+        );
         let naive = chase_naive(&r, &fds);
         let indexed = chase_indexed(&r, &fds);
         assert!(is_minimally_incomplete_naive(&naive.instance, &fds));

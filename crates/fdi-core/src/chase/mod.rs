@@ -40,24 +40,50 @@
 //!
 //! A chase pass is then `O(|F|·(n + moved))` instead of `O(|F|·n²)`, and
 //! the engines produce identical results — same instance, events, and
-//! pass counts — on instances whose NEC classes are column-local and
-//! which contain no `nothing` values (see [`index`] for the two exempt
-//! regimes and the property suite for the proof by testing). At n = 10⁴
-//! this is the difference between minutes and milliseconds (see
-//! `BENCH_chase.json`).
+//! pass counts — on instances whose NEC classes are **column-local** and
+//! which contain no `nothing` values. That restriction is a first-class,
+//! testable notion: [`order_replay_caveats`] reports every violating
+//! condition as a typed [`ChaseIndexCaveat`], [`order_replay_exact`] is
+//! the all-clear predicate, and the `fdi-gen` generators debug-assert
+//! their workloads caveat-free (see [`index`] for the two exempt regimes
+//! and the property suite for the proof by testing). At n = 10⁴ the
+//! indexed engine is the difference between minutes and milliseconds
+//! (see `BENCH_chase.json`).
 //!
 //! For the extended system, two schedulers remain: a *naive* pairwise
 //! engine in the spirit of the paper's `O(|F|·n³·p)` pass analysis and a
-//! *fast* hash-grouping engine in the spirit of the
-//! `O(|F|·n·log(|F|·n))` congruence-closure bound; they produce
-//! identical results (experiment E12 measures the gap — here order
-//! never matters, by Theorem 4(a)).
+//! *fast* engine in the spirit of the `O(|F|·n·log(|F|·n))`
+//! congruence-closure bound — one initial hash-grouping, then the same
+//! dirty-bucket worklist as the plain indexed chase (see
+//! [`cells::Scheduler`]); they produce identical results (experiment
+//! E12 measures the gap — here order never matters, by Theorem 4(a)).
+//!
+//! # Example — Theorem 4(b) as a one-liner
+//!
+//! ```
+//! use fdi_core::chase;
+//! use fdi_core::fixtures;
+//!
+//! // §6's instance: each FD alone is weakly satisfied, but A → B
+//! // equates the two B-nulls and B → C then demands c1 = c2 — the
+//! // extended chase derives `nothing`, so the set is not weakly
+//! // satisfiable.
+//! let r = fixtures::section6_instance();
+//! let fds = fixtures::section6_fds();
+//! assert!(!chase::weakly_satisfiable_via_chase(&fds, &r));
+//!
+//! // The plain chase instead stops at a minimally incomplete instance
+//! // (Figure 5 shows the reached state is order-dependent).
+//! let result = chase::chase_plain(&r, &fds);
+//! assert!(chase::is_minimally_incomplete(&result.instance, &fds));
+//! ```
 
 pub mod cells;
 pub mod index;
 pub mod ns;
 
 pub use cells::{extended_chase, CellEngine, ChaseOutcome, Scheduler};
+pub use index::{order_replay_caveats, order_replay_exact, ChaseIndexCaveat};
 pub use ns::{
     chase_naive, chase_plain, is_minimally_incomplete, is_minimally_incomplete_naive,
     NsChaseResult, NsEvent, NsEventKind,

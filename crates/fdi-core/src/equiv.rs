@@ -168,6 +168,27 @@ pub fn lemma3_holds_at(fd: Fd, assignment: &Assignment) -> Result<bool, Relation
 /// # Panics
 /// Panics if more than 10 attributes are mentioned (3^n two-tuple worlds
 /// with completion enumeration inside).
+///
+/// # Example — Theorem 1, relationally
+///
+/// ```
+/// use fdi_core::equiv;
+/// use fdi_core::fd::{Fd, FdSet};
+/// use fdi_core::fixtures;
+/// use fdi_core::armstrong;
+///
+/// let schema = fixtures::section6_schema(); // R(A, B, C)
+/// let fds = FdSet::parse(&schema, "A -> B\nB -> C").unwrap();
+/// // Transitivity: derivable by Armstrong's rules (sound and complete
+/// // under strong satisfiability with nulls — Theorem 1) …
+/// let goal = Fd::parse(&schema, "A -> C").unwrap();
+/// assert!(armstrong::implies(&fds, goal));
+/// // … and confirmed in the world of two-tuple relations (Lemma 4).
+/// assert!(equiv::implies_via_two_tuple_worlds(&fds, goal).unwrap());
+/// // A non-consequence fails in some world.
+/// let non_goal = Fd::parse(&schema, "B -> A").unwrap();
+/// assert!(!equiv::implies_via_two_tuple_worlds(&fds, non_goal).unwrap());
+/// ```
 pub fn implies_via_two_tuple_worlds(fds: &FdSet, goal: Fd) -> Result<bool, RelationError> {
     let attrs: AttrSet = fds.attrs().union(goal.attrs());
     let attr_list: Vec<AttrId> = attrs.iter().collect();

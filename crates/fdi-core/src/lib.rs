@@ -33,6 +33,53 @@
 //!   decompose/reconstruct round trips over instances with nulls;
 //! * [`fixtures`] — every worked figure of the paper as a ready-made
 //!   instance.
+//!
+//! # The two satisfaction notions, in one place
+//!
+//! Everything downstream hinges on §4's split (refined by the later
+//! literature — Badia & Lemire's "Functional dependencies with null
+//! markers" and the desirable-semantics survey keep the same axis):
+//!
+//! * an FD **strongly holds** when *every* completion of the nulls
+//!   satisfies it — decided on any instance by TEST-FDs under the
+//!   pessimistic convention ([`testfd::check_strong`], Theorem 2);
+//! * a set of FDs is **weakly satisfiable** when *some* completion
+//!   satisfies all of it jointly — decided by the extended chase's
+//!   `nothing` test ([`chase::weakly_satisfiable_via_chase`],
+//!   Theorem 4(b)); on an already minimally incomplete instance,
+//!   TEST-FDs under the optimistic convention suffices
+//!   ([`testfd::check_weak`], Theorem 3).
+//!
+//! # An index-order caveat to know about
+//!
+//! The plain NS-rule system is order-dependent (Figure 5), and the
+//! default chase engine ([`chase::chase_plain`]) is the *indexed
+//! worklist* engine: it replays the naive pair-scan engine exactly —
+//! same instance, events, and pass counts — only on instances whose
+//! NEC classes are **column-local** and which contain no `nothing`
+//! values. On other instances both engines still return legitimate
+//! minimally incomplete results, but possibly *different* ones. The
+//! restriction is typed and testable: see
+//! [`chase::ChaseIndexCaveat`] and [`chase::order_replay_caveats`].
+//!
+//! # Example — deciding both notions on a paper figure
+//!
+//! ```
+//! use fdi_core::{chase, fixtures, testfd};
+//!
+//! // Figure 1.3: the employee relation with nulls, under
+//! // f1: E# → SL,D# and f2: D# → CT.
+//! let r = fixtures::figure1_null_instance();
+//! let fds = fixtures::figure1_fds();
+//!
+//! // Not strongly satisfied: completing e3's null D# with d1 pairs its
+//! // `part` contract against d1's `full` under f2 — some completion
+//! // violates F, so the pessimistic test reports a violation …
+//! assert!(testfd::check_strong(&r, &fds).is_err());
+//! // … but another completion (e.g. D# := d3) satisfies everything,
+//! // so F is weakly satisfiable (Theorem 4(b) via the extended chase).
+//! assert!(chase::weakly_satisfiable_via_chase(&fds, &r));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -54,6 +54,22 @@ pub struct Report {
 
 /// Builds the per-tuple truth table with the Proposition-1 evaluator and
 /// decides set-level satisfiability with the fast pipelines.
+///
+/// # Example — Figure 1.3's verdicts
+///
+/// ```
+/// use fdi_core::{fixtures, satisfy};
+///
+/// let r = fixtures::figure1_null_instance();
+/// let fds = fixtures::figure1_fds();
+/// let report = satisfy::report(&fds, &r, satisfy::REPORT_BUDGET).unwrap();
+/// // Some completion violates F (strong fails), some satisfies it
+/// // (weak holds) — §4's split in one report.
+/// assert!(!report.strong);
+/// assert!(report.weak);
+/// // Per-tuple, no f(t, r) is definitely false (Proposition 1).
+/// assert!(report.table.iter().flatten().all(|t| t.is_not_false()));
+/// ```
 pub fn report(fds: &FdSet, instance: &Instance, budget: u128) -> Result<Report, RelationError> {
     let mut table = Vec::with_capacity(fds.len());
     for fd in fds {

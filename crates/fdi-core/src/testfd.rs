@@ -409,6 +409,25 @@ pub fn check_grouped(instance: &Instance, fds: &FdSet, conv: Convention) -> Resu
 /// (also the oracle the grouped path is verified against), the
 /// group-indexed variant beyond. Sound and complete under both
 /// conventions for any instance.
+///
+/// # Example — the two conventions on Figure 1.3
+///
+/// ```
+/// use fdi_core::fixtures;
+/// use fdi_core::testfd::{check, Convention};
+///
+/// // e3's null D# *could* complete to d1, pairing its `part` contract
+/// // against d1's `full` under f2: D# → CT — a potential violation the
+/// // pessimistic convention reports (Theorem 2) …
+/// let r = fixtures::figure1_null_instance();
+/// let fds = fixtures::figure1_fds();
+/// let violation = check(&r, &fds, Convention::Strong).unwrap_err();
+/// assert_eq!(violation.fd_index, 1);
+/// // … while nothing *definitely* violates: the instance is minimally
+/// // incomplete, so the optimistic convention decides weak
+/// // satisfiability directly (Theorem 3).
+/// assert!(check(&r, &fds, Convention::Weak).is_ok());
+/// ```
 pub fn check(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
     if instance.len() < SMALL_N {
         check_pairwise(instance, fds, conv)

@@ -9,31 +9,79 @@
 //!
 //! * a [`Database`] couples an instance with its FD set and a
 //!   maintenance [`Policy`] — reject updates that break **strong**
-//!   satisfiability, reject updates that break **weak** satisfiability,
-//!   or accept everything;
+//!   satisfiability (Theorem 2: no completion may violate `F`), reject
+//!   updates that break **weak** satisfiability (Theorem 4: some
+//!   completion must satisfy `F`), or accept everything;
 //! * **external acquisition**: [`Database::insert`],
 //!   [`Database::delete`], [`Database::modify`], and
 //!   [`Database::resolve_null`] (a user replaces a null with a value,
-//!   checked against the constraints);
+//!   checked against the constraints — "the only value a user can
+//!   insert without the creation of an inconsistency", §4);
 //! * **internal acquisition**: after an accepted update, the NS-rules
-//!   fire incrementally ([`Policy::propagate`]) so the instance stays
-//!   minimally incomplete — the non-ambiguous substitutions of §6;
+//!   fire ([`Policy::propagate`]) so the instance stays minimally
+//!   incomplete — the non-ambiguous substitutions of §6;
 //! * an [`LhsIndex`] (hash index on each FD's determinant) makes the
 //!   strong-convention insert check `O(|F| · group)` instead of
 //!   `O(|F| · n)`; tuples carrying nulls on a determinant live on a
 //!   *wild list*, since under the pessimistic convention they
 //!   potentially match everything. Experiment E19 measures the gap.
 //!
-//! Internal acquisition ([`Policy::propagate`]) runs the **indexed
-//! worklist chase** ([`chase::chase_plain`]), and full revalidations go
-//! through the size-dispatched TEST-FDs ([`crate::testfd::check`]), so
-//! update throughput tracks the indexed engines rather than the naive
-//! pair scans.
+//! ## Incremental maintenance
+//!
+//! Updates are the paper's primary workload for FD maintenance under
+//! nulls, so every mutation path is **incremental end-to-end**: the
+//! [`LhsIndex`] is maintained by delta operations
+//! ([`LhsIndex::insert_row`], [`LhsIndex::remove_row`],
+//! [`LhsIndex::rekey_row`]) that re-bucket only the touched rows —
+//! never rebuilt from scratch — and no mutation clones the instance
+//! (rejected updates are rolled back cell-by-cell instead). Internal
+//! acquisition runs the **indexed worklist chase**
+//! ([`chase::chase_plain`]) and then delta-rekeys exactly the rows the
+//! chase substituted into; full revalidations go through the
+//! size-dispatched TEST-FDs ([`crate::testfd::check`]). `bench_update`
+//! records the maintenance gap against per-update `LhsIndex::build`
+//! rebuilds in `BENCH_update.json`, and the property suite
+//! (`tests/update_equiv.rs`) proves the delta-maintained index
+//! bucket-identical to a fresh build after arbitrary update sequences.
+//!
+//! A *rejected* update leaves no tuple behind and changes no cell, but
+//! may still intern symbols, register null marks, or advance the
+//! null-id allocator while parsing its tokens — all invisible to the
+//! relational semantics (ids are never reused, unreferenced symbols are
+//! inert).
+//!
+//! # Example — §7's programme end to end
+//!
+//! ```
+//! use fdi_core::fixtures;
+//! use fdi_core::update::{Database, Enforcement, Policy};
+//!
+//! // Figure 1.2 under f1: E# → SL,D# and f2: D# → CT, weakly enforced
+//! // with internal acquisition on.
+//! let mut db = Database::new(
+//!     fixtures::figure1_instance(),
+//!     fixtures::figure1_fds(),
+//!     Policy { enforcement: Enforcement::Weak, propagate: true },
+//! )
+//! .unwrap();
+//! // e1 already earns 10K in d1, so a definitely-conflicting salary is
+//! // rejected even under the optimistic notion …
+//! assert!(db.insert(&["e1", "20K", "d1", "full"]).is_err());
+//! // … while a new d1 employee with an unknown contract is accepted,
+//! // and internal acquisition (the NS-rules) immediately resolves the
+//! // null: d1's contract type is known to be `full`.
+//! let out = db.insert(&["e5", "20K", "d1", "-"]).unwrap();
+//! assert_eq!(out.propagated.len(), 1);
+//! assert!(db.instance().tuple(out.row).is_total_on(
+//!     db.instance().schema().all_attrs()
+//! ));
+//! ```
 
 use crate::chase;
 use crate::fd::FdSet;
+use crate::groupkey::{self, GroupKey};
 use crate::testfd::{self, Convention, Violation};
-use fdi_relation::attrs::AttrId;
+use fdi_relation::attrs::{AttrId, AttrSet};
 use fdi_relation::error::RelationError;
 use fdi_relation::instance::Instance;
 use fdi_relation::tuple::Tuple;
@@ -132,36 +180,169 @@ pub struct UpdateOutcome {
 }
 
 /// Hash index on each FD's determinant: constant-only left-hand
-/// projections map to row lists; rows with a null on the determinant go
-/// to the per-FD wild list.
+/// projections map to row lists; rows with a null (or `nothing`) on the
+/// determinant go to the per-FD wild list.
+///
+/// Keys are the packed constant atoms of [`crate::groupkey`]
+/// ([`groupkey::const_key_into`]) — the same currency as the indexed
+/// chase — and per-row filing records ([`LhsIndex`] keeps the key each
+/// row is bucketed under) make the index **incrementally maintainable**:
+/// [`insert_row`](LhsIndex::insert_row) appends one row,
+/// [`remove_row`](LhsIndex::remove_row) unfiles one row and shifts later
+/// row ids, and [`rekey_row`](LhsIndex::rekey_row) re-buckets one row
+/// after its cells changed. An update therefore costs `O(|F|)` index
+/// work (deletes add an `O(n·|F|)` id-shift of plain integer
+/// decrements) instead of the `O(n·|F|)` hash-and-allocate of a
+/// [`build`](LhsIndex::build) from scratch.
 #[derive(Debug, Clone, Default)]
 pub struct LhsIndex {
-    groups: Vec<HashMap<Vec<Value>, Vec<usize>>>,
-    wild: Vec<Vec<usize>>,
+    /// Normalized determinant of each FD, fixed at build time.
+    lhs: Vec<AttrSet>,
+    /// Per FD: packed constant-determinant key → member rows.
+    groups: Vec<HashMap<GroupKey, Vec<u32>>>,
+    /// Per FD: rows with a non-constant value on the determinant.
+    wild: Vec<Vec<u32>>,
+    /// Per FD, per row: the group key the row is filed under (`None` =
+    /// wild list) — the record that makes unfiling O(1) lookups instead
+    /// of key recomputation against possibly already-changed cells.
+    row_keys: Vec<Vec<Option<GroupKey>>>,
+    rows: usize,
 }
 
 impl LhsIndex {
     /// Builds the index for `instance` under `fds`.
     pub fn build(instance: &Instance, fds: &FdSet) -> LhsIndex {
         let mut index = LhsIndex {
+            lhs: fds.iter().map(|fd| fd.normalized().lhs).collect(),
             groups: vec![HashMap::new(); fds.len()],
             wild: vec![Vec::new(); fds.len()],
+            row_keys: vec![Vec::new(); fds.len()],
+            rows: 0,
         };
         for row in 0..instance.len() {
-            index.add_row(instance, fds, row);
+            index.insert_row(instance, row);
         }
         index
     }
 
-    fn add_row(&mut self, instance: &Instance, fds: &FdSet, row: usize) {
-        for (i, fd) in fds.iter().enumerate() {
-            let fd = fd.normalized();
-            let t = instance.tuple(row);
-            if t.is_total_on(fd.lhs) {
-                let key: Vec<Value> = t.project(fd.lhs).collect();
-                self.groups[i].entry(key).or_default().push(row);
+    /// Number of rows the index currently covers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Delta insert: files the (appended) row `row` of `instance`.
+    ///
+    /// # Panics
+    /// Panics unless `row` equals the current indexed row count — the
+    /// index mirrors the instance's append-only row numbering.
+    pub fn insert_row(&mut self, instance: &Instance, row: usize) {
+        assert_eq!(row, self.rows, "insert_row files the appended row");
+        let tuple = instance.tuple(row);
+        let mut key = GroupKey::new();
+        for i in 0..self.lhs.len() {
+            if groupkey::const_key_into(&mut key, tuple, self.lhs[i]) {
+                Self::file(&mut self.groups[i], &key, row);
+                self.row_keys[i].push(Some(key.clone()));
             } else {
-                self.wild[i].push(row);
+                self.wild[i].push(row as u32);
+                self.row_keys[i].push(None);
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Appends `row` to the bucket at `key`, with a borrowed probe
+    /// first so only novel keys pay for an owned allocation.
+    fn file(groups: &mut HashMap<GroupKey, Vec<u32>>, key: &[u64], row: usize) {
+        match groups.get_mut(key) {
+            Some(bucket) => bucket.push(row as u32),
+            None => {
+                groups.insert(key.to_vec(), vec![row as u32]);
+            }
+        }
+    }
+
+    /// Delta delete: unfiles `row` and shifts the ids of later rows
+    /// down by one, mirroring [`Instance::remove_row`]. The unfiling is
+    /// `O(|F| · bucket)`; the shift is a plain decrement pass over the
+    /// stored ids — no key is recomputed, rehashed, or reallocated.
+    ///
+    /// # Panics
+    /// Panics when `row` is out of range or the index is inconsistent
+    /// with its filing records.
+    pub fn remove_row(&mut self, row: usize) {
+        assert!(row < self.rows, "remove_row: no row {row}");
+        for i in 0..self.lhs.len() {
+            self.unfile(i, row);
+            self.row_keys[i].remove(row);
+            for bucket in self.groups[i].values_mut() {
+                for r in bucket.iter_mut() {
+                    if *r > row as u32 {
+                        *r -= 1;
+                    }
+                }
+            }
+            for r in self.wild[i].iter_mut() {
+                if *r > row as u32 {
+                    *r -= 1;
+                }
+            }
+        }
+        self.rows -= 1;
+    }
+
+    /// Delta re-key: re-buckets `row` after some of its cells changed
+    /// (a modify, a null resolution, or a chase substitution). Rows
+    /// whose determinant key is unchanged are left untouched.
+    ///
+    /// # Panics
+    /// Panics when `row` is out of range.
+    pub fn rekey_row(&mut self, instance: &Instance, row: usize) {
+        assert!(row < self.rows, "rekey_row: no row {row}");
+        let tuple = instance.tuple(row);
+        let mut key = GroupKey::new();
+        for i in 0..self.lhs.len() {
+            let new_key = groupkey::const_key_into(&mut key, tuple, self.lhs[i]);
+            let same = match (&self.row_keys[i][row], new_key) {
+                (Some(old), true) => old.as_slice() == key.as_slice(),
+                (None, false) => true,
+                _ => false,
+            };
+            if same {
+                continue;
+            }
+            self.unfile(i, row);
+            if new_key {
+                Self::file(&mut self.groups[i], &key, row);
+                self.row_keys[i][row] = Some(key.clone());
+            } else {
+                self.wild[i].push(row as u32);
+                self.row_keys[i][row] = None;
+            }
+        }
+    }
+
+    /// Removes `row` from the bucket (or wild list) it is filed under
+    /// for FD `i`, leaving its `row_keys` slot `None`.
+    fn unfile(&mut self, i: usize, row: usize) {
+        match self.row_keys[i][row].take() {
+            Some(old_key) => {
+                let bucket = self.groups[i].get_mut(&old_key).expect("filed bucket");
+                let pos = bucket
+                    .iter()
+                    .position(|&r| r == row as u32)
+                    .expect("filed row");
+                bucket.swap_remove(pos);
+                if bucket.is_empty() {
+                    self.groups[i].remove(&old_key);
+                }
+            }
+            None => {
+                let pos = self.wild[i]
+                    .iter()
+                    .position(|&r| r == row as u32)
+                    .expect("wild row");
+                self.wild[i].swap_remove(pos);
             }
         }
     }
@@ -169,19 +350,16 @@ impl LhsIndex {
     /// The candidate rows a new tuple must be checked against for FD
     /// `fd_index` under the strong convention: the exact group (when the
     /// tuple's determinant is total) plus the wild list; a wild tuple
-    /// must check against everything.
-    pub fn candidates(
-        &self,
-        fd_index: usize,
-        fds: &FdSet,
-        tuple: &Tuple,
-        total_rows: usize,
-    ) -> Vec<usize> {
-        let fd = fds.fds()[fd_index].normalized();
-        if tuple.is_total_on(fd.lhs) {
-            let key: Vec<Value> = tuple.project(fd.lhs).collect();
-            let mut out = self.groups[fd_index].get(&key).cloned().unwrap_or_default();
-            out.extend_from_slice(&self.wild[fd_index]);
+    /// must check against everything. The group lookup is borrowed — no
+    /// key allocation on the probe path.
+    pub fn candidates(&self, fd_index: usize, tuple: &Tuple, total_rows: usize) -> Vec<usize> {
+        let mut key = GroupKey::new();
+        if groupkey::const_key_into(&mut key, tuple, self.lhs[fd_index]) {
+            let mut out: Vec<usize> = self.groups[fd_index]
+                .get(key.as_slice())
+                .map(|rows| rows.iter().map(|&r| r as usize).collect())
+                .unwrap_or_default();
+            out.extend(self.wild[fd_index].iter().map(|&r| r as usize));
             out
         } else {
             (0..total_rows).collect()
@@ -191,6 +369,44 @@ impl LhsIndex {
     /// Number of indexed groups for FD `fd_index`.
     pub fn group_count(&self, fd_index: usize) -> usize {
         self.groups[fd_index].len()
+    }
+
+    /// Order-insensitive bucket equality: same determinants, same
+    /// key → row-set mapping, same wild sets. This is the equivalence
+    /// the property suite uses to prove a delta-maintained index
+    /// identical to a fresh [`build`](LhsIndex::build).
+    pub fn same_buckets(&self, other: &LhsIndex) -> bool {
+        /// Sorted bucket lists, one per FD.
+        type CanonGroups = Vec<Vec<(GroupKey, Vec<u32>)>>;
+        fn canon(ix: &LhsIndex) -> (CanonGroups, Vec<Vec<u32>>) {
+            let groups = ix
+                .groups
+                .iter()
+                .map(|m| {
+                    let mut v: Vec<(GroupKey, Vec<u32>)> = m
+                        .iter()
+                        .map(|(k, rows)| {
+                            let mut rows = rows.clone();
+                            rows.sort_unstable();
+                            (k.clone(), rows)
+                        })
+                        .collect();
+                    v.sort();
+                    v
+                })
+                .collect();
+            let wild = ix
+                .wild
+                .iter()
+                .map(|w| {
+                    let mut w = w.clone();
+                    w.sort_unstable();
+                    w
+                })
+                .collect();
+            (groups, wild)
+        }
+        self.lhs == other.lhs && self.rows == other.rows && canon(self) == canon(other)
     }
 }
 
@@ -241,26 +457,49 @@ impl Database {
         &self.index
     }
 
+    /// Internal acquisition: runs the indexed worklist chase, swaps the
+    /// chased instance in, and delta-rekeys exactly the rows the chase
+    /// changed. Only substitutions (null → constant) can re-bucket a
+    /// row: NEC merges leave cell values untouched, and the index files
+    /// every null-bearing determinant wild regardless of class — so a
+    /// cell-level diff is a complete change record.
     fn propagate_all(&mut self) -> Vec<chase::NsEvent> {
-        let result = chase::chase_plain(&self.instance, &self.fds);
-        let events = result.events.clone();
+        let chase::NsChaseResult {
+            instance: chased,
+            events,
+            ..
+        } = chase::chase_plain(&self.instance, &self.fds);
         if !events.is_empty() {
-            self.instance = result.instance;
-            self.index = LhsIndex::build(&self.instance, &self.fds);
+            let all = self.instance.schema().all_attrs();
+            let changed: Vec<usize> = (0..self.instance.len())
+                .filter(|&row| {
+                    let before = self.instance.tuple(row);
+                    let after = chased.tuple(row);
+                    all.iter().any(|a| before.get(a) != after.get(a))
+                })
+                .collect();
+            self.instance = chased;
+            for row in changed {
+                self.index.rekey_row(&self.instance, row);
+            }
         }
         events
     }
 
-    /// Incremental strong check of a prospective tuple against the
-    /// current instance via the index. Returns the first violation.
-    fn incremental_strong_check(&self, tuple: &Tuple) -> Option<Violation> {
+    /// Incremental strong check of the tuple at `row` (the candidate
+    /// insert, already parsed into the instance but not yet indexed)
+    /// against the `existing` preceding rows, via the index. Returns the
+    /// first violation.
+    fn incremental_strong_check(
+        &self,
+        tuple: &Tuple,
+        row: usize,
+        existing: usize,
+    ) -> Option<Violation> {
         for (i, fd) in self.fds.iter().enumerate() {
             let fd = fd.normalized();
-            for row in self
-                .index
-                .candidates(i, &self.fds, tuple, self.instance.len())
-            {
-                let other = self.instance.tuple(row);
+            for other_row in self.index.candidates(i, tuple, existing) {
+                let other = self.instance.tuple(other_row);
                 let x_match = fd
                     .lhs
                     .iter()
@@ -275,7 +514,7 @@ impl Database {
                 if y_conflict {
                     return Some(Violation {
                         fd_index: i,
-                        rows: (row, self.instance.len()),
+                        rows: (other_row, row),
                     });
                 }
             }
@@ -284,33 +523,32 @@ impl Database {
     }
 
     /// Inserts a row given as text tokens (`-`, `?mark`, constants).
+    /// The accepted row is filed into the index by a delta insert; a
+    /// rejected row is removed again (leaving no tuple trace — see the
+    /// module docs for what token parsing may intern).
     pub fn insert(&mut self, tokens: &[&str]) -> Result<UpdateOutcome, UpdateError> {
-        // Build the tuple against a scratch copy so a rejection leaves
-        // the database untouched.
-        let mut scratch = self.instance.clone();
-        let row = scratch.add_row(tokens)?;
-        let tuple = scratch.tuple(row).clone();
-        match self.policy.enforcement {
+        let row = self.instance.add_row(tokens)?;
+        let rejection = match self.policy.enforcement {
             Enforcement::Strong => {
-                if let Some(v) = self.incremental_strong_check(&tuple) {
-                    return Err(UpdateError::Rejected {
+                let tuple = self.instance.tuple(row).clone();
+                self.incremental_strong_check(&tuple, row, row)
+                    .map(|v| UpdateError::Rejected {
                         violation: Some(v),
                         enforcement: Enforcement::Strong,
-                    });
-                }
+                    })
             }
-            Enforcement::Weak => {
-                if !chase::weakly_satisfiable_via_chase(&self.fds, &scratch) {
-                    return Err(UpdateError::Rejected {
-                        violation: None,
-                        enforcement: Enforcement::Weak,
-                    });
-                }
-            }
-            Enforcement::None => {}
+            Enforcement::Weak => (!chase::weakly_satisfiable_via_chase(&self.fds, &self.instance))
+                .then_some(UpdateError::Rejected {
+                    violation: None,
+                    enforcement: Enforcement::Weak,
+                }),
+            Enforcement::None => None,
+        };
+        if let Some(err) = rejection {
+            self.instance.remove_row(row);
+            return Err(err);
         }
-        self.instance = scratch;
-        self.index.add_row(&self.instance, &self.fds, row);
+        self.index.insert_row(&self.instance, row);
         let propagated = if self.policy.propagate {
             self.propagate_all()
         } else {
@@ -321,27 +559,23 @@ impl Database {
 
     /// Deletes a row. Deletion can never break satisfiability (both
     /// notions are anti-monotone in the tuple set), so it always
-    /// succeeds.
+    /// succeeds; the index is maintained by a delta remove, not a
+    /// rebuild.
     pub fn delete(&mut self, row: usize) -> Result<UpdateOutcome, UpdateError> {
         if row >= self.instance.len() {
             return Err(UpdateError::NoSuchRow(row));
         }
-        let mut rebuilt = Instance::new(self.instance.schema().clone());
-        for (i, t) in self.instance.tuples().iter().enumerate() {
-            if i != row {
-                rebuilt.add_tuple(t.clone())?;
-            }
-        }
-        rebuilt.replace_necs(self.instance.necs().clone());
-        self.instance = rebuilt;
-        self.index = LhsIndex::build(&self.instance, &self.fds);
+        self.instance.remove_row(row);
+        self.index.remove_row(row);
         Ok(UpdateOutcome {
             row,
             propagated: Vec::new(),
         })
     }
 
-    /// Replaces the value of one cell (checked like an insert).
+    /// Replaces the value of one cell (checked like an insert). On
+    /// rejection the cell is restored; on acceptance the row is re-keyed
+    /// in place — one delta, no rebuild.
     pub fn modify(
         &mut self,
         row: usize,
@@ -351,12 +585,14 @@ impl Database {
         if row >= self.instance.len() {
             return Err(UpdateError::NoSuchRow(row));
         }
-        let mut scratch = self.instance.clone();
-        let value = parse_token(&mut scratch, attr, token)?;
-        scratch.set_value(row, attr, value);
-        check_instance(&scratch, &self.fds, self.policy.enforcement)?;
-        self.instance = scratch;
-        self.index = LhsIndex::build(&self.instance, &self.fds);
+        let value = parse_token(&mut self.instance, attr, token)?;
+        let old = self.instance.value(row, attr);
+        self.instance.set_value(row, attr, value);
+        if let Err(e) = check_instance(&self.instance, &self.fds, self.policy.enforcement) {
+            self.instance.set_value(row, attr, old);
+            return Err(e);
+        }
+        self.index.rekey_row(&self.instance, row);
         let propagated = if self.policy.propagate {
             self.propagate_all()
         } else {
@@ -369,7 +605,9 @@ impl Database {
     /// null. Every occurrence of the null's NEC class receives the
     /// value, and the result is checked under the policy — "the only
     /// value a user can insert without the creation of an inconsistency"
-    /// (§4) is exactly a value this method accepts.
+    /// (§4) is exactly a value this method accepts. On rejection every
+    /// substituted cell is restored; on acceptance only the rows that
+    /// held an occurrence are re-keyed.
     pub fn resolve_null(
         &mut self,
         row: usize,
@@ -382,8 +620,7 @@ impl Database {
         let Value::Null(id) = self.instance.value(row, attr) else {
             return Err(UpdateError::NotANull { row, attr });
         };
-        let mut scratch = self.instance.clone();
-        let symbol = match parse_token(&mut scratch, attr, token)? {
+        let symbol = match parse_token(&mut self.instance, attr, token)? {
             Value::Const(s) => s,
             _ => {
                 return Err(UpdateError::Relation(RelationError::Parse {
@@ -392,20 +629,31 @@ impl Database {
                 }))
             }
         };
-        // substitute the whole class
-        let all = scratch.schema().all_attrs();
-        for r in 0..scratch.len() {
+        // Substitute the whole class, remembering each change for the
+        // rollback and the per-row re-key.
+        let all = self.instance.schema().all_attrs();
+        let mut changed: Vec<(usize, AttrId, Value)> = Vec::new();
+        for r in 0..self.instance.len() {
             for a in all.iter() {
-                if let Value::Null(n) = scratch.value(r, a) {
-                    if scratch.necs().same_class(n, id) {
-                        scratch.set_value(r, a, Value::Const(symbol));
+                if let Value::Null(n) = self.instance.value(r, a) {
+                    if self.instance.necs().same_class(n, id) {
+                        changed.push((r, a, Value::Null(n)));
+                        self.instance.set_value(r, a, Value::Const(symbol));
                     }
                 }
             }
         }
-        check_instance(&scratch, &self.fds, self.policy.enforcement)?;
-        self.instance = scratch;
-        self.index = LhsIndex::build(&self.instance, &self.fds);
+        if let Err(e) = check_instance(&self.instance, &self.fds, self.policy.enforcement) {
+            for &(r, a, old) in &changed {
+                self.instance.set_value(r, a, old);
+            }
+            return Err(e);
+        }
+        let mut touched: Vec<usize> = changed.iter().map(|&(r, _, _)| r).collect();
+        touched.dedup(); // changes were recorded in ascending row order
+        for r in touched {
+            self.index.rekey_row(&self.instance, r);
+        }
         let propagated = if self.policy.propagate {
             self.propagate_all()
         } else {
@@ -524,6 +772,16 @@ mod tests {
         .expect("figure 1.2 is strongly satisfied")
     }
 
+    /// The invariant behind every delta operation: the maintained index
+    /// is bucket-identical to a fresh build.
+    fn assert_index_fresh(db: &Database) {
+        assert!(
+            db.index()
+                .same_buckets(&LhsIndex::build(db.instance(), db.fds())),
+            "delta-maintained index diverged from a fresh build"
+        );
+    }
+
     #[test]
     fn inserts_respecting_fds_are_accepted() {
         let mut db = strong_db();
@@ -533,6 +791,7 @@ mod tests {
             .expect("clean insert");
         assert_eq!(out.row, n);
         assert_eq!(db.instance().len(), n + 1);
+        assert_index_fresh(&db);
     }
 
     #[test]
@@ -551,6 +810,7 @@ mod tests {
         let err = db.insert(&["e1", "-", "d1", "full"]).unwrap_err();
         assert!(matches!(err, UpdateError::Rejected { .. }));
         assert_eq!(db.instance().len(), 3, "rejected inserts leave no trace");
+        assert_index_fresh(&db);
     }
 
     #[test]
@@ -575,6 +835,7 @@ mod tests {
                 ..
             }
         ));
+        assert_index_fresh(&db);
     }
 
     #[test]
@@ -598,6 +859,7 @@ mod tests {
             "full",
             "internal acquisition: the only consistent value was substituted"
         );
+        assert_index_fresh(&db);
     }
 
     #[test]
@@ -615,6 +877,7 @@ mod tests {
         // part — contradiction, rejected.
         let err = db.resolve_null(2, AttrId(2), "d1").unwrap_err();
         assert!(matches!(err, UpdateError::Rejected { .. }));
+        assert_index_fresh(&db);
         // resolving to d3 is fine (no other d3 row)
         db.resolve_null(2, AttrId(2), "d3")
             .expect("consistent value");
@@ -624,6 +887,7 @@ mod tests {
                 .render(db.instance().symbols(), false),
             "d3"
         );
+        assert_index_fresh(&db);
         // pointing at a non-null errs
         let err = db.resolve_null(0, AttrId(0), "e1").unwrap_err();
         assert!(matches!(err, UpdateError::NotANull { .. }));
@@ -648,6 +912,7 @@ mod tests {
             db.instance().value(1, AttrId(1)).is_const(),
             "class-wide substitution"
         );
+        assert_index_fresh(&db);
     }
 
     #[test]
@@ -656,8 +921,10 @@ mod tests {
         db.delete(1).expect("delete");
         assert_eq!(db.instance().len(), 2);
         assert!(db.delete(99).is_err());
-        // still insertable after reindex
+        assert_index_fresh(&db);
+        // still insertable after the delta remove
         db.insert(&["e2", "25K", "d3", "part"]).expect("reinsert");
+        assert_index_fresh(&db);
     }
 
     #[test]
@@ -667,11 +934,13 @@ mod tests {
         // `part` under D# → CT: rejected.
         let err = db.modify(1, AttrId(2), "d2").unwrap_err();
         assert!(matches!(err, UpdateError::Rejected { .. }), "d2 is part");
+        assert_index_fresh(&db);
         // d3 is unused: fine.
         db.modify(1, AttrId(2), "d3").expect("no d3 rows yet");
         // and with e2 out of d1, e1's contract can change freely.
         db.modify(0, AttrId(3), "part")
             .expect("d1 now has one member");
+        assert_index_fresh(&db);
     }
 
     #[test]
@@ -712,6 +981,7 @@ mod tests {
                     insert_with_full_recheck(&mut plain, &fds, &refs, Convention::Strong).is_ok();
                 assert_eq!(incremental, full, "seed {seed}, tokens {tokens:?}");
             }
+            assert_index_fresh(&db);
         }
     }
 
@@ -730,7 +1000,7 @@ mod tests {
         let index = LhsIndex::build(&r, &fds);
         assert_eq!(index.group_count(0), 16);
         let probe = r.tuple(0).clone();
-        let candidates = index.candidates(0, &fds, &probe, r.len());
+        let candidates = index.candidates(0, &probe, r.len());
         assert_eq!(candidates.len(), 1, "exact group only, no wild tuples");
     }
 }

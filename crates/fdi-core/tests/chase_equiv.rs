@@ -10,7 +10,8 @@
 //! including adversarial planted violations.
 
 use fdi_core::chase::{
-    chase_naive, chase_plain, is_minimally_incomplete, is_minimally_incomplete_naive,
+    chase_naive, chase_plain, extended_chase, is_minimally_incomplete,
+    is_minimally_incomplete_naive, order_replay_exact, Scheduler,
 };
 use fdi_core::testfd::{self, Convention};
 use fdi_gen::{large_workload, plant_violation, random_fds, workload, Workload, WorkloadSpec};
@@ -56,6 +57,9 @@ proptest! {
     /// both minimality oracles accept.
     #[test]
     fn worklist_chase_equals_naive_chase(w in arb_workload()) {
+        // The exactness claim below is only made on caveat-free
+        // instances — which the generators promise to produce.
+        prop_assert!(order_replay_exact(&w.instance));
         let naive = chase_naive(&w.instance, &w.fds);
         let indexed = chase_plain(&w.instance, &w.fds);
         prop_assert_eq!(
@@ -141,6 +145,26 @@ proptest! {
                 "grouped vs pairwise ({conv:?}) on chased instance"
             );
         }
+    }
+
+    /// The extended schedulers are the same function (Theorem 4(a)):
+    /// the worklist `Fast` engine reaches the identical least
+    /// congruence as the naive pairwise engine — same partition, same
+    /// `nothing` classes, and same union count (every rule order
+    /// performs exactly initial-classes − final-classes unions).
+    #[test]
+    fn fast_worklist_scheduler_equals_naive_pairs(w in arb_workload()) {
+        let naive = extended_chase(&w.instance, &w.fds, Scheduler::NaivePairs);
+        let fast = extended_chase(&w.instance, &w.fds, Scheduler::Fast);
+        prop_assert_eq!(
+            naive.instance.canonical_form(),
+            fast.instance.canonical_form(),
+            "schedulers diverge on\n{}\nfds:\n{}",
+            w.instance.render(true),
+            w.fds.render(&w.schema)
+        );
+        prop_assert_eq!(naive.nothing_classes, fast.nothing_classes);
+        prop_assert_eq!(naive.unions, fast.unions, "union counts are order-invariant");
     }
 
     /// Satisfiable large-ish workloads stay weakly satisfiable through

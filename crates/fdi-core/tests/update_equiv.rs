@@ -1,0 +1,193 @@
+//! Update-sequence properties for the incremental index maintenance:
+//! after *every* operation of an arbitrary interleaved
+//! insert/delete/modify stream — accepted or rejected, with or without
+//! NS-rule propagation — the delta-maintained `LhsIndex` must be
+//! bucket-identical to a fresh `LhsIndex::build` of the live instance.
+//!
+//! Streams come from `fdi_gen::update_stream`; bases from the workload
+//! generators (weakly/classically satisfiable where the policy demands
+//! a valid starting point).
+
+use fdi_core::update::{Database, Enforcement, LhsIndex, Policy};
+use fdi_gen::{
+    apply_op, satisfiable_workload, update_stream, workload, UpdateMix, UpdateOp, WorkloadSpec,
+};
+use fdi_relation::attrs::AttrId;
+use proptest::prelude::*;
+
+/// The default mix plus blind resolve ops: most miss (clean `NotANull`
+/// rejections), the hits exercise class-wide substitution + re-key.
+fn mix_with_resolves() -> UpdateMix {
+    UpdateMix {
+        resolve: 2,
+        ..UpdateMix::default()
+    }
+}
+
+fn spec(rows: usize, null_density: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        rows,
+        attrs: 4,
+        domain: 6, // small domains force collisions and rejections
+        null_density,
+        nec_density: 0.3,
+        collision_rate: 0.5,
+    }
+}
+
+/// The invariant under test, checked after every single operation.
+fn assert_index_fresh(db: &Database) {
+    assert!(
+        db.index()
+            .same_buckets(&LhsIndex::build(db.instance(), db.fds())),
+        "delta-maintained index diverged from a fresh build on\n{}",
+        db.instance().render(true)
+    );
+}
+
+proptest! {
+    /// Load mode (no checking, no propagation): pure delta maintenance
+    /// over arbitrary interleavings, including empty starting instances.
+    #[test]
+    fn delta_index_equals_rebuild_in_load_mode(
+        seed in 0u64..1 << 32,
+        rows in 0usize..40,
+        ops in 1usize..60,
+    ) {
+        let spec = spec(rows, 0.2);
+        let w = workload(seed, &spec, 3);
+        let mut db = Database::new(
+            w.instance.clone(),
+            w.fds.clone(),
+            Policy { enforcement: Enforcement::None, propagate: false },
+        )
+        .expect("load mode accepts anything");
+        let stream = update_stream(seed ^ 0x5eed, &spec, w.instance.len(), ops, mix_with_resolves());
+        for op in &stream {
+            let accepted = apply_op(&mut db, op);
+            // Blind resolves may miss a null; everything else lands.
+            if !matches!(op, UpdateOp::ResolveNull { .. }) {
+                prop_assert!(accepted, "load mode accepts every in-range op");
+            }
+            assert_index_fresh(&db);
+        }
+    }
+
+    /// Weak enforcement with internal acquisition: accepted updates may
+    /// trigger chase substitutions (delta re-keys), rejected ones must
+    /// roll back without leaving index residue.
+    #[test]
+    fn delta_index_equals_rebuild_under_weak_propagation(
+        seed in 0u64..1 << 32,
+        rows in 2usize..24,
+        ops in 1usize..40,
+    ) {
+        let spec = spec(rows, 0.15);
+        let w = satisfiable_workload(seed, &spec, 3);
+        let mut db = Database::new(
+            w.instance.clone(),
+            w.fds.clone(),
+            Policy { enforcement: Enforcement::Weak, propagate: true },
+        )
+        .expect("satisfiable base");
+        let stream = update_stream(seed ^ 0xbeef, &spec, w.instance.len(), ops, mix_with_resolves());
+        for op in &stream {
+            apply_op(&mut db, op); // rejections are part of the property
+            assert_index_fresh(&db);
+        }
+    }
+
+    /// Strong enforcement over a complete base: the reject path fires
+    /// often (nulls on determinants are potential violators), and every
+    /// rollback must leave the index exactly as a rebuild would.
+    #[test]
+    fn delta_index_equals_rebuild_under_strong_rollbacks(
+        seed in 0u64..1 << 32,
+        rows in 2usize..24,
+        ops in 1usize..40,
+    ) {
+        let base_spec = spec(rows, 0.0);
+        let w = satisfiable_workload(seed, &base_spec, 3);
+        let mut db = Database::new(
+            w.instance.clone(),
+            w.fds.clone(),
+            Policy { enforcement: Enforcement::Strong, propagate: false },
+        )
+        .expect("a complete classically-satisfying base is strongly satisfied");
+        // Stream with nulls: frequent strong-convention rejections.
+        let stream_spec = spec(rows, 0.25);
+        let stream =
+            update_stream(seed ^ 0xf00d, &stream_spec, w.instance.len(), ops, mix_with_resolves());
+        for op in &stream {
+            apply_op(&mut db, op);
+            assert_index_fresh(&db);
+        }
+    }
+}
+
+/// Regression: delete a row participating in a shared NEC class, then
+/// re-insert a row reusing the same mark. The class binding survives
+/// deletion (marks persist), the re-inserted row rejoins the class, and
+/// the index stays bucket-identical to a rebuild throughout — a
+/// delete-then-reinsert once exercised the id-shift and the wild-list
+/// unfiling together.
+#[test]
+fn delete_then_reinsert_row_in_shared_nec_class() {
+    let schema = fdi_core::fixtures::section6_schema();
+    let r = fdi_relation::Instance::parse(schema.clone(), "a1 ?x c1\na2 ?x c2").unwrap();
+    let fds = fdi_core::FdSet::parse(&schema, "A -> B").unwrap();
+    let mut db = Database::new(
+        r,
+        fds,
+        Policy {
+            enforcement: Enforcement::Weak,
+            propagate: false,
+        },
+    )
+    .unwrap();
+    let b = AttrId(1);
+
+    db.delete(0).expect("deletes always succeed");
+    assert_index_fresh(&db);
+    assert_eq!(db.instance().len(), 1);
+
+    // Re-insert with the same mark: `?x` must rejoin the surviving
+    // occurrence's class.
+    let out = db.insert(&["a1", "?x", "c1"]).expect("weakly fine");
+    assert_index_fresh(&db);
+    let n0 = db.instance().value(0, b).as_null().unwrap();
+    let n1 = db.instance().value(out.row, b).as_null().unwrap();
+    assert!(
+        db.instance().necs().same_class(n0, n1),
+        "the mark's NEC class must survive delete-then-reinsert"
+    );
+
+    // Resolving either occurrence now fills both, and the re-keys keep
+    // the index fresh.
+    db.resolve_null(0, b, "b1").expect("consistent");
+    assert_index_fresh(&db);
+    assert!(db.instance().value(0, b).is_const());
+    assert!(db.instance().value(1, b).is_const());
+}
+
+/// Deleting out-of-range rows (possible when a rejecting policy makes
+/// the generator's live-count optimistic) is a clean error that leaves
+/// the database and index untouched.
+#[test]
+fn out_of_range_ops_leave_no_trace() {
+    let w = satisfiable_workload(3, &spec(4, 0.0), 2);
+    let mut db = Database::new(
+        w.instance.clone(),
+        w.fds.clone(),
+        Policy {
+            enforcement: Enforcement::Strong,
+            propagate: false,
+        },
+    )
+    .unwrap();
+    assert!(db.delete(99).is_err());
+    assert!(db.modify(99, AttrId(0), "A_0").is_err());
+    assert!(db.resolve_null(99, AttrId(0), "A_0").is_err());
+    assert_index_fresh(&db);
+    assert_eq!(db.instance().len(), 4);
+}

@@ -167,6 +167,10 @@ pub fn workload(seed: u64, spec: &WorkloadSpec, fd_count: usize) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
     let fds = random_fds(&mut rng, spec.attrs, fd_count);
     let instance = random_instance(&mut rng, spec, &fds);
+    debug_assert!(
+        fdi_core::chase::order_replay_exact(&instance),
+        "generated workloads promise column-local NEC classes and no `nothing`"
+    );
     Workload {
         schema: schema_for(spec),
         fds,
@@ -211,7 +215,7 @@ fn satisfiable_base(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> Insta
 }
 
 /// Generates an instance that **classically satisfies** `fds` before
-/// nulls are poked (see [`satisfiable_base`]). With fresh-id nulls
+/// nulls are poked (see `satisfiable_base`). With fresh-id nulls
 /// added afterwards the instance stays weakly satisfiable (its pre-null
 /// state is a witness completion) — the "repairable" workload for the
 /// chase benchmarks.
@@ -306,10 +310,157 @@ pub fn large_workload(
             instance.set_value(row, attr, Value::Null(id));
         }
     }
+    debug_assert!(
+        fdi_core::chase::order_replay_exact(&instance),
+        "large workloads promise column-local NEC classes and no `nothing`"
+    );
     Workload {
         schema: schema_for(&spec),
         fds,
         instance,
+    }
+}
+
+/// One single-row operation of a generated update stream — the unit
+/// the incremental [`fdi_core::update::Database`] maintenance is
+/// benchmarked and property-tested on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert a fresh row, given as parse tokens (`-` for nulls).
+    Insert(Vec<String>),
+    /// Delete the row at the index (valid when ops are applied in
+    /// stream order).
+    Delete(usize),
+    /// Overwrite one cell with the token.
+    Modify {
+        /// Row to modify.
+        row: usize,
+        /// Attribute to overwrite.
+        attr: AttrId,
+        /// Replacement token (`-` for a fresh null, or a constant).
+        token: String,
+    },
+    /// Resolve the cell at (`row`, `attr`) to the constant token —
+    /// external acquisition. Targets are drawn *blind* (the generator
+    /// does not track where nulls are), so most applications hit a
+    /// constant cell and reject cleanly with `NotANull`; the hits
+    /// exercise class-wide substitution.
+    ResolveNull {
+        /// Row of the targeted cell.
+        row: usize,
+        /// Attribute of the targeted cell.
+        attr: AttrId,
+        /// The asserted constant.
+        token: String,
+    },
+}
+
+/// Relative operation weights of an update stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateMix {
+    /// Weight of [`UpdateOp::Insert`].
+    pub insert: u32,
+    /// Weight of [`UpdateOp::Delete`].
+    pub delete: u32,
+    /// Weight of [`UpdateOp::Modify`].
+    pub modify: u32,
+    /// Weight of [`UpdateOp::ResolveNull`]. Defaults to 0 — resolve
+    /// targets are blind, so streams meant to apply cleanly end to end
+    /// (benchmark baselines replaying ops without a `Database`) keep
+    /// them off; the property suites opt in.
+    pub resolve: u32,
+}
+
+impl Default for UpdateMix {
+    fn default() -> Self {
+        UpdateMix {
+            insert: 2,
+            delete: 1,
+            modify: 2,
+            resolve: 0,
+        }
+    }
+}
+
+/// Generates `count` single-row update operations valid against an
+/// instance that starts with `start_rows` rows over `spec`'s schema:
+/// the generator tracks the live row count as inserts and deletes are
+/// (assumed) applied in stream order, so every row index is in range at
+/// application time. Inserted and modified cells draw constants from
+/// the spec's domains, with `spec.null_density` fresh (column-local,
+/// class-free) nulls; resolve tokens are always constants.
+///
+/// When the live count reaches zero, an [`UpdateOp::Insert`] is emitted
+/// regardless of the mix (the only applicable operation) — a
+/// delete-heavy mix with few starting rows therefore contains more
+/// inserts than its weights suggest.
+///
+/// The in-range guarantee holds when every insert lands (e.g. under
+/// [`fdi_core::update::Enforcement::None`]); under a rejecting policy
+/// later indices may fall out of range, which
+/// [`fdi_core::update::Database`] reports as a clean `NoSuchRow` error.
+pub fn update_stream(
+    seed: u64,
+    spec: &WorkloadSpec,
+    start_rows: usize,
+    count: usize,
+    mix: UpdateMix,
+) -> Vec<UpdateOp> {
+    let total = mix.insert + mix.delete + mix.modify + mix.resolve;
+    assert!(total > 0, "update_stream needs a non-empty mix");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names = attr_names(spec.attrs);
+    let token = |rng: &mut StdRng, col: usize| {
+        if rng.gen_bool(spec.null_density) {
+            "-".to_string()
+        } else {
+            format!("{}_{}", names[col], rng.gen_range(0..spec.domain))
+        }
+    };
+    let mut live = start_rows;
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        let pick = rng.gen_range(0..total);
+        let op = if pick < mix.insert || live == 0 {
+            live += 1;
+            UpdateOp::Insert((0..spec.attrs).map(|col| token(&mut rng, col)).collect())
+        } else if pick < mix.insert + mix.delete {
+            let row = rng.gen_range(0..live);
+            live -= 1;
+            UpdateOp::Delete(row)
+        } else if pick < mix.insert + mix.delete + mix.modify {
+            let col = rng.gen_range(0..spec.attrs);
+            UpdateOp::Modify {
+                row: rng.gen_range(0..live),
+                attr: AttrId(col as u16),
+                token: token(&mut rng, col),
+            }
+        } else {
+            let col = rng.gen_range(0..spec.attrs);
+            UpdateOp::ResolveNull {
+                row: rng.gen_range(0..live),
+                attr: AttrId(col as u16),
+                token: format!("{}_{}", names[col], rng.gen_range(0..spec.domain)),
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Applies one stream operation to a maintained database; returns
+/// whether the database accepted it (rejections, `NotANull` misses, and
+/// out-of-range rows leave the database untouched, so a stream stays
+/// applicable).
+pub fn apply_op(db: &mut fdi_core::update::Database, op: &UpdateOp) -> bool {
+    match op {
+        UpdateOp::Insert(tokens) => {
+            let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+            db.insert(&refs).is_ok()
+        }
+        UpdateOp::Delete(row) => db.delete(*row).is_ok(),
+        UpdateOp::Modify { row, attr, token } => db.modify(*row, *attr, token).is_ok(),
+        UpdateOp::ResolveNull { row, attr, token } => db.resolve_null(*row, *attr, token).is_ok(),
     }
 }
 
@@ -501,6 +652,86 @@ mod tests {
                     assert_eq!(p, a, "null {n} spans columns {p} and {a}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn update_streams_are_deterministic_and_in_range() {
+        let spec = WorkloadSpec {
+            rows: 12,
+            null_density: 0.2,
+            ..WorkloadSpec::default()
+        };
+        let mix = UpdateMix {
+            resolve: 1,
+            ..UpdateMix::default()
+        };
+        let s1 = update_stream(5, &spec, 12, 80, mix);
+        let s2 = update_stream(5, &spec, 12, 80, mix);
+        assert_eq!(s1, s2, "streams are seed-deterministic");
+        assert_ne!(s1, update_stream(6, &spec, 12, 80, mix));
+        // Replay the live row count: every Delete/Modify/ResolveNull
+        // index must be in range at its application point.
+        let mut live = 12usize;
+        for op in &s1 {
+            match op {
+                UpdateOp::Insert(tokens) => {
+                    assert_eq!(tokens.len(), spec.attrs);
+                    live += 1;
+                }
+                UpdateOp::Delete(row) => {
+                    assert!(*row < live, "delete out of range");
+                    live -= 1;
+                }
+                UpdateOp::Modify { row, attr, .. } => {
+                    assert!(*row < live, "modify out of range");
+                    assert!(attr.index() < spec.attrs);
+                }
+                UpdateOp::ResolveNull { row, attr, token } => {
+                    assert!(*row < live, "resolve out of range");
+                    assert!(attr.index() < spec.attrs);
+                    assert_ne!(token, "-", "resolve tokens are constants");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_streams_respect_the_mix_and_apply_cleanly() {
+        use fdi_core::update::{Database, Enforcement, Policy};
+        let spec = WorkloadSpec {
+            rows: 16,
+            null_density: 0.15,
+            ..WorkloadSpec::default()
+        };
+        let w = workload(9, &spec, 3);
+        let inserts_only = update_stream(
+            9,
+            &spec,
+            16,
+            40,
+            UpdateMix {
+                insert: 1,
+                delete: 0,
+                modify: 0,
+                resolve: 0,
+            },
+        );
+        assert!(inserts_only
+            .iter()
+            .all(|op| matches!(op, UpdateOp::Insert(_))));
+        let mut db = Database::new(
+            w.instance.clone(),
+            w.fds.clone(),
+            Policy {
+                enforcement: Enforcement::None,
+                propagate: false,
+            },
+        )
+        .expect("load mode");
+        let stream = update_stream(10, &spec, 16, 60, UpdateMix::default());
+        for op in &stream {
+            assert!(apply_op(&mut db, op), "load mode accepts in-range ops");
         }
     }
 

@@ -251,6 +251,19 @@ impl Instance {
         Ok(self.tuples.len() - 1)
     }
 
+    /// Removes the tuple at `row`, shifting later rows down by one, and
+    /// returns it. NECs, marks, and the null-id allocator are untouched:
+    /// a class may keep members that no longer occur in any tuple
+    /// (harmless — ids are never reused), and a deleted row's marked
+    /// nulls keep their binding so a re-inserted `?mark` rejoins its
+    /// class.
+    ///
+    /// # Panics
+    /// Panics when `row` is out of range.
+    pub fn remove_row(&mut self, row: usize) -> Tuple {
+        self.tuples.remove(row)
+    }
+
     /// The null id previously assigned to `mark`, if any.
     pub fn mark(&self, mark: &str) -> Option<NullId> {
         self.marks.get(mark).copied()
