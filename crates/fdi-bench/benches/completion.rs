@@ -40,7 +40,7 @@ fn bench_completions(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("fd_least_extension", nulls),
             &(),
-            |b, ()| b.iter(|| eval_least_extension(fd, 0, &r, 1 << 24)),
+            |b, ()| b.iter(|| eval_least_extension(fd, r.nth_row(0), &r, 1 << 24)),
         );
     }
     group.finish();

@@ -23,13 +23,13 @@ fn bench_evaluators(c: &mut Criterion) {
         let r = instance_with_nulls(domain);
         let q = tautology_query(&r);
         group.bench_with_input(BenchmarkId::new("naive", domain), &(), |b, ()| {
-            b.iter(|| query::eval_least_extension(&q, 0, &r, 1 << 24))
+            b.iter(|| query::eval_least_extension(&q, r.nth_row(0), &r, 1 << 24))
         });
         group.bench_with_input(BenchmarkId::new("signature", domain), &(), |b, ()| {
-            b.iter(|| query::eval_signature(&q, 0, &r))
+            b.iter(|| query::eval_signature(&q, r.nth_row(0), &r))
         });
         group.bench_with_input(BenchmarkId::new("kleene", domain), &(), |b, ()| {
-            b.iter(|| query::eval_kleene(&q, r.tuple(0), &r))
+            b.iter(|| query::eval_kleene(&q, r.tuple(r.nth_row(0)), &r))
         });
     }
     group.finish();

@@ -1,138 +1,39 @@
 //! Update-maintenance benchmark: incremental [`LhsIndex`] deltas
 //! (`Database::insert/delete/modify` re-bucketing only the touched
-//! rows) vs a full `LhsIndex::build` after every update — the
-//! maintenance strategy the delta operations replaced. Runs `fdi-gen`
-//! single-row update streams, writes `BENCH_update.json` (medians in
-//! nanoseconds plus speedups) to the current directory, and prints a
-//! table.
+//! rows, with deletes tombstoning stable `RowId` slots — no survivor
+//! id-shift anywhere) vs a full `LhsIndex::build` after every update —
+//! the maintenance strategy the delta operations replaced. Runs
+//! `fdi-gen` single-row update streams, writes `BENCH_update.json`
+//! (medians in nanoseconds plus speedups) to the current directory, and
+//! prints a table.
 //!
 //! Both sides perform the identical instance mutations; they differ
 //! only in how the determinant index is maintained, so the gap is
 //! purely index-maintenance cost. A final equivalence check asserts the
 //! two pipelines end on the same instance and bucket-identical indexes.
+//! The pipeline core lives in [`fdi_bench::update_bench`], where the CI
+//! smoke lane runs it at n = 10².
+//!
+//! Mixes include `delete_heavy` (≥50% deletes) and `churn`
+//! (delete+reinsert cycles) — the workloads that used to sit on the
+//! O(n·|F|) positional id-shift floor.
 //!
 //! Usage: `cargo run --release -p fdi-bench --bin bench_update
 //! [--quick]` — `--quick` drops the n = 100 000 incremental-only point.
+//!
+//! [`LhsIndex`]: fdi_core::update::LhsIndex
 
+use fdi_bench::update_bench::{
+    assert_pipelines_agree, median_of, mixes, render_json, run_incremental, run_rebuild, spec_for,
+    Point, POLICY,
+};
 use fdi_bench::{fmt_duration, Table};
-use fdi_core::update::{Database, Enforcement, LhsIndex, Policy};
-use fdi_gen::{apply_op, large_workload, update_stream, UpdateMix, UpdateOp, WorkloadSpec};
-use fdi_relation::instance::Instance;
-use fdi_relation::value::Value;
+use fdi_core::update::Database;
+use fdi_gen::{large_workload, update_stream};
 use std::io::Write;
-use std::time::{Duration, Instant};
 
 const OPS: usize = 256;
 const STREAM_SEED: u64 = 11;
-
-/// Maintenance-only policy: no satisfiability checking, no NS-rule
-/// propagation — the measured work is the index upkeep itself.
-const POLICY: Policy = Policy {
-    enforcement: Enforcement::None,
-    propagate: false,
-};
-
-struct Point {
-    n: usize,
-    mix: &'static str,
-    ops: usize,
-    incremental_ns: u128,
-    rebuild_ns: Option<u128>,
-}
-
-/// Median over `repeats` runs of `f`, where `f` excludes its own setup.
-fn median_of(repeats: usize, mut f: impl FnMut() -> Duration) -> Duration {
-    let mut times: Vec<Duration> = (0..repeats).map(|_| f()).collect();
-    times.sort_unstable();
-    times[times.len() / 2]
-}
-
-fn spec_for(n: usize) -> WorkloadSpec {
-    fdi_gen::scaling_spec(n, 0.15, 0.1)
-}
-
-fn mixes() -> Vec<(&'static str, UpdateMix)> {
-    vec![
-        ("mixed", UpdateMix::default()),
-        (
-            "insert",
-            UpdateMix {
-                insert: 1,
-                delete: 0,
-                modify: 0,
-                resolve: 0,
-            },
-        ),
-        (
-            "delete",
-            UpdateMix {
-                insert: 0,
-                delete: 1,
-                modify: 0,
-                resolve: 0,
-            },
-        ),
-        (
-            "modify",
-            UpdateMix {
-                insert: 0,
-                delete: 0,
-                modify: 1,
-                resolve: 0,
-            },
-        ),
-    ]
-}
-
-/// Applies the stream through the delta-maintained [`Database`].
-fn run_incremental(db: &Database, ops: &[UpdateOp]) -> (Duration, Database) {
-    let mut db = db.clone();
-    let start = Instant::now();
-    for op in ops {
-        std::hint::black_box(apply_op(&mut db, op));
-    }
-    (start.elapsed(), db)
-}
-
-/// Applies the identical mutations to a plain instance, rebuilding the
-/// index from scratch after every update — the pre-delta strategy.
-fn run_rebuild(
-    base: &Instance,
-    fds: &fdi_core::fd::FdSet,
-    ops: &[UpdateOp],
-) -> (Duration, Instance, LhsIndex) {
-    let mut instance = base.clone();
-    let mut index = LhsIndex::build(&instance, fds);
-    let start = Instant::now();
-    for op in ops {
-        match op {
-            UpdateOp::Insert(tokens) => {
-                let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
-                instance.add_row(&refs).expect("stream tokens are valid");
-            }
-            UpdateOp::Delete(row) => {
-                instance.remove_row(*row);
-            }
-            UpdateOp::Modify { row, attr, token } => {
-                let value = if token == "-" {
-                    Value::Null(instance.fresh_null())
-                } else {
-                    Value::Const(
-                        instance
-                            .intern_constant(*attr, token)
-                            .expect("stream tokens are valid"),
-                    )
-                };
-                instance.set_value(*row, *attr, value);
-            }
-            UpdateOp::ResolveNull { .. } => {
-                unreachable!("bench mixes keep resolve ops off (blind targets)")
-            }
-        }
-        index = std::hint::black_box(LhsIndex::build(&instance, fds));
-    }
-    (start.elapsed(), instance, index)
-}
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -163,16 +64,12 @@ fn main() {
             // The measurement is only honest if both pipelines end in
             // the same state.
             if t_rebuild.is_some() {
-                let (_, final_db) = run_incremental(&db, &ops);
-                let (_, final_instance, final_index) = run_rebuild(&w.instance, &w.fds, &ops);
-                assert_eq!(
-                    final_db.instance().canonical_form(),
-                    final_instance.canonical_form(),
-                    "pipelines diverge at n = {n}, mix {mix_name}"
-                );
-                assert!(
-                    final_db.index().same_buckets(&final_index),
-                    "delta-maintained index diverges from rebuilds at n = {n}, mix {mix_name}"
+                assert_pipelines_agree(
+                    &db,
+                    &ops,
+                    &w.instance,
+                    &w.fds,
+                    &format!("n = {n}, mix {mix_name}"),
                 );
             }
             let speedup = t_rebuild
@@ -202,34 +99,4 @@ fn main() {
         .and_then(|mut f| f.write_all(json.as_bytes()))
         .expect("write BENCH_update.json");
     println!("wrote BENCH_update.json");
-}
-
-fn render_json(points: &[Point]) -> String {
-    let mut out = String::from(
-        "{\n  \"workload\": \"large_workload(seed=7, null=0.15, nec=0.1, fds=4) + \
-         update_stream(seed=11)\",\n  \"points\": [\n",
-    );
-    for (i, p) in points.iter().enumerate() {
-        let rebuild = p
-            .rebuild_ns
-            .map(|v| v.to_string())
-            .unwrap_or_else(|| "null".to_string());
-        let speedup = p
-            .rebuild_ns
-            .map(|v| format!("{:.1}", v as f64 / p.incremental_ns as f64))
-            .unwrap_or_else(|| "null".to_string());
-        out.push_str(&format!(
-            "    {{\"n\": {}, \"mix\": \"{}\", \"ops\": {}, \"incremental_ns\": {}, \
-             \"rebuild_ns\": {}, \"speedup\": {}}}{}\n",
-            p.n,
-            p.mix,
-            p.ops,
-            p.incremental_ns,
-            rebuild,
-            speedup,
-            if i + 1 == points.len() { "" } else { "," }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
 }

@@ -40,8 +40,8 @@ pub fn run(_quick: bool) {
     ]);
     for (i, (r, expected)) in fixtures::figure2_all().into_iter().enumerate() {
         let fd = fixtures::figure2_fd(&r);
-        let outcome = prop1::proposition1(fd, 0, &r).expect("classifiable");
-        let ground = eval_least_extension(fd, 0, &r, DEFAULT_BUDGET).expect("in budget");
+        let outcome = prop1::proposition1(fd, r.nth_row(0), &r).expect("classifiable");
+        let ground = eval_least_extension(fd, r.nth_row(0), &r, DEFAULT_BUDGET).expect("in budget");
         table.row([
             format!("r{}", i + 1),
             outcome.rule.to_string(),

@@ -49,7 +49,8 @@ pub fn run(quick: bool) {
             // … then real-world dirt: a few cells get wrong values.
             let mut dirty = clean.clone();
             let names = attr_names(spec.attrs);
-            for row in 0..dirty.len() {
+            let dirty_rows: Vec<_> = dirty.row_ids().collect();
+            for row in dirty_rows {
                 for (col, name) in names.iter().enumerate() {
                     if rng.gen_bool(dirty_rate) {
                         let k = rng.gen_range(0..spec.domain);
@@ -65,7 +66,8 @@ pub fn run(quick: bool) {
             // null reading: replace each dirty cell with a null
             let mut nulled = dirty.clone();
             let all = nulled.schema().all_attrs();
-            for row in 0..nulled.len() {
+            let nulled_rows: Vec<_> = nulled.row_ids().collect();
+            for row in nulled_rows {
                 for attr in all.iter() {
                     if nulled.value(row, attr) != clean.value(row, attr) {
                         let id = nulled.fresh_null();

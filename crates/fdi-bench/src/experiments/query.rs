@@ -70,20 +70,21 @@ pub fn run(quick: bool) {
     for &dom in &domains {
         let r = one_row_with_nulls(dom, 2, 4);
         let q = coverage_query(&r, 2);
-        let naive_verdict = query::eval_least_extension(&q, 0, &r, 1 << 24).expect("budget");
-        let sig_verdict = query::eval_signature(&q, 0, &r).expect("finite");
-        let kleene_verdict = query::eval_kleene(&q, r.tuple(0), &r);
+        let naive_verdict =
+            query::eval_least_extension(&q, r.nth_row(0), &r, 1 << 24).expect("budget");
+        let sig_verdict = query::eval_signature(&q, r.nth_row(0), &r).expect("finite");
+        let kleene_verdict = query::eval_kleene(&q, r.tuple(r.nth_row(0)), &r);
         assert_eq!(naive_verdict, sig_verdict);
         assert_eq!(naive_verdict, Truth::True, "tautological coverage");
         assert_eq!(kleene_verdict, Truth::Unknown, "Kleene incompleteness");
         let t_naive = median_time(3, || {
-            std::hint::black_box(query::eval_least_extension(&q, 0, &r, 1 << 24)).ok();
+            std::hint::black_box(query::eval_least_extension(&q, r.nth_row(0), &r, 1 << 24)).ok();
         });
         let t_sig = median_time(5, || {
-            std::hint::black_box(query::eval_signature(&q, 0, &r)).ok();
+            std::hint::black_box(query::eval_signature(&q, r.nth_row(0), &r)).ok();
         });
         let t_kleene = median_time(5, || {
-            std::hint::black_box(query::eval_kleene(&q, r.tuple(0), &r));
+            std::hint::black_box(query::eval_kleene(&q, r.tuple(r.nth_row(0)), &r));
         });
         table.row([
             dom.to_string(),
@@ -115,10 +116,10 @@ pub fn run(quick: bool) {
         let q = coverage_query(&r, k);
         let completions = (dom as u128).pow(k as u32);
         let t_naive = median_time(3, || {
-            std::hint::black_box(query::eval_least_extension(&q, 0, &r, 1 << 30)).ok();
+            std::hint::black_box(query::eval_least_extension(&q, r.nth_row(0), &r, 1 << 30)).ok();
         });
         let t_sig = median_time(3, || {
-            std::hint::black_box(query::eval_signature(&q, 0, &r)).ok();
+            std::hint::black_box(query::eval_signature(&q, r.nth_row(0), &r)).ok();
         });
         table.row([
             k.to_string(),

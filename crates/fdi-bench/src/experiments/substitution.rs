@@ -39,7 +39,7 @@ pub fn run(quick: bool) {
             let w = workload(seed, &spec, 2);
             for fd in &w.fds {
                 let fd = fd.normalized();
-                for row in 0..w.instance.len() {
+                for row in w.instance.row_ids() {
                     let t = w.instance.tuple(row);
                     if t.has_null_on(fd.lhs) && !t.has_null_on(fd.rhs) {
                         candidates += 1;

@@ -13,8 +13,9 @@ use fdi_relation::instance::Instance;
 fn weak_two_tuple_local(fds: &FdSet, r: &Instance) -> Option<(bool, bool)> {
     let whole = weakly_satisfiable_bruteforce(fds, r, DEFAULT_BUDGET).ok()?;
     let mut pairs_ok = true;
-    for i in 0..r.len() {
-        for j in (i + 1)..r.len() {
+    let rows: Vec<_> = r.row_ids().collect();
+    for (p, &i) in rows.iter().enumerate() {
+        for &j in &rows[(p + 1)..] {
             let mut sub = Instance::new(r.schema().clone());
             sub.add_tuple(r.tuple(i).clone()).ok()?;
             sub.add_tuple(r.tuple(j).clone()).ok()?;
@@ -69,8 +70,9 @@ pub fn run(quick: bool) {
         // strong locality
         let strong_whole = testfd::check_strong(&w.instance, &w.fds).is_ok();
         let mut strong_pairs = true;
-        for i in 0..w.instance.len() {
-            for j in (i + 1)..w.instance.len() {
+        let rows: Vec<_> = w.instance.row_ids().collect();
+        for (p, &i) in rows.iter().enumerate() {
+            for &j in &rows[(p + 1)..] {
                 let mut sub = Instance::new(w.instance.schema().clone());
                 sub.add_tuple(w.instance.tuple(i).clone()).unwrap();
                 sub.add_tuple(w.instance.tuple(j).clone()).unwrap();

@@ -215,3 +215,4 @@ mod tests {
     }
 }
 pub mod experiments;
+pub mod update_bench;

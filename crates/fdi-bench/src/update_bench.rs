@@ -1,0 +1,270 @@
+//! Core of the `bench_update` binary, factored into the library so the
+//! CI smoke lane (`cargo test -p fdi-bench`) exercises the exact
+//! pipelines the benchmark times — at n = 10², every mix — before the
+//! artifact-upload step can bit-rot.
+//!
+//! Two pipelines perform identical instance mutations and differ only
+//! in index maintenance:
+//!
+//! * **incremental** — a [`Database`] under a no-check/no-propagate
+//!   policy: every op is one `LhsIndex` delta on stable [`RowId`]s
+//!   (deletes tombstone + unfile, `O(|F| · bucket)`, no survivor
+//!   renumbering);
+//! * **rebuild-per-op** — the same mutations on a plain [`Instance`],
+//!   with `LhsIndex::build` re-run from scratch after every op (the
+//!   pre-delta strategy the deltas replaced).
+//!
+//! Both resolve an op's positional row reference through the same
+//! display-order live-row bookkeeping ([`LiveRows`] on the incremental
+//! side, a mirrored id vector on the rebuild side), so they always
+//! target the same logical row.
+
+use fdi_core::fd::FdSet;
+use fdi_core::update::{Database, Enforcement, LhsIndex, Policy};
+use fdi_gen::{apply_op, LiveRows, UpdateMix, UpdateOp, WorkloadSpec};
+use fdi_relation::instance::Instance;
+use fdi_relation::rowid::RowId;
+use fdi_relation::value::Value;
+use std::time::{Duration, Instant};
+
+/// Maintenance-only policy: no satisfiability checking, no NS-rule
+/// propagation — the measured work is the index upkeep itself.
+pub const POLICY: Policy = Policy {
+    enforcement: Enforcement::None,
+    propagate: false,
+};
+
+/// One measured configuration.
+pub struct Point {
+    /// Starting relation size.
+    pub n: usize,
+    /// Mix name (see [`mixes`]).
+    pub mix: &'static str,
+    /// Ops applied per run.
+    pub ops: usize,
+    /// Median wall time of the incremental pipeline, nanoseconds.
+    pub incremental_ns: u128,
+    /// Median wall time of rebuild-per-op (`None` when skipped).
+    pub rebuild_ns: Option<u128>,
+}
+
+/// The benchmarked op mixes. `delete_heavy` (50% deletes) and `churn`
+/// (delete + reinsert cycles) are the stable-slot stress mixes: under
+/// positional row ids they sat on the O(n·|F|) id-shift floor.
+pub fn mixes() -> Vec<(&'static str, UpdateMix)> {
+    let m = |insert, delete, modify| UpdateMix {
+        insert,
+        delete,
+        modify,
+        resolve: 0,
+    };
+    vec![
+        ("mixed", UpdateMix::default()),
+        ("insert", m(1, 0, 0)),
+        ("delete", m(0, 1, 0)),
+        ("modify", m(0, 0, 1)),
+        ("delete_heavy", m(1, 2, 1)),
+        ("churn", m(1, 1, 0)),
+    ]
+}
+
+/// The workload spec the streams draw tokens from.
+pub fn spec_for(n: usize) -> WorkloadSpec {
+    fdi_gen::scaling_spec(n, 0.15, 0.1)
+}
+
+/// Median over `repeats` runs of `f`, where `f` excludes its own setup.
+pub fn median_of(repeats: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    let mut times: Vec<Duration> = (0..repeats).map(|_| f()).collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Applies the stream through the delta-maintained [`Database`].
+pub fn run_incremental(db: &Database, ops: &[UpdateOp]) -> (Duration, Database) {
+    let mut db = db.clone();
+    let mut live = LiveRows::of(db.instance());
+    let start = Instant::now();
+    for op in ops {
+        std::hint::black_box(apply_op(&mut db, &mut live, op));
+    }
+    (start.elapsed(), db)
+}
+
+/// Applies the identical mutations to a plain instance, rebuilding the
+/// index from scratch after every update — the pre-delta strategy.
+pub fn run_rebuild(
+    base: &Instance,
+    fds: &FdSet,
+    ops: &[UpdateOp],
+) -> (Duration, Instance, LhsIndex) {
+    let mut instance = base.clone();
+    let mut index = LhsIndex::build(&instance, fds);
+    let mut live: Vec<RowId> = instance.row_ids().collect();
+    let start = Instant::now();
+    for op in ops {
+        match op {
+            UpdateOp::Insert(tokens) => {
+                let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+                let id = instance.add_row(&refs).expect("stream tokens are valid");
+                live.push(id);
+            }
+            UpdateOp::Delete(pos) => {
+                let id = live.remove(*pos);
+                instance.remove_row(id);
+            }
+            UpdateOp::Modify { row, attr, token } => {
+                let value = if token == "-" {
+                    Value::Null(instance.fresh_null())
+                } else {
+                    Value::Const(
+                        instance
+                            .intern_constant(*attr, token)
+                            .expect("stream tokens are valid"),
+                    )
+                };
+                instance.set_value(live[*row], *attr, value);
+            }
+            UpdateOp::ResolveNull { .. } => {
+                unreachable!("bench mixes keep resolve ops off (blind targets)")
+            }
+        }
+        index = std::hint::black_box(LhsIndex::build(&instance, fds));
+    }
+    (start.elapsed(), instance, index)
+}
+
+/// Asserts the two pipelines end on the same instance and
+/// bucket-identical indexes — the honesty check behind every point.
+pub fn assert_pipelines_agree(
+    db: &Database,
+    ops: &[UpdateOp],
+    base: &Instance,
+    fds: &FdSet,
+    label: &str,
+) {
+    let (_, final_db) = run_incremental(db, ops);
+    let (_, final_instance, final_index) = run_rebuild(base, fds, ops);
+    assert_eq!(
+        final_db.instance().canonical_form(),
+        final_instance.canonical_form(),
+        "pipelines diverge: {label}"
+    );
+    assert!(
+        final_db.index().same_buckets(&final_index),
+        "delta-maintained index diverges from rebuilds: {label}"
+    );
+}
+
+/// Renders the measured points as the `BENCH_update.json` document.
+pub fn render_json(points: &[Point]) -> String {
+    let mut out = String::from(
+        "{\n  \"workload\": \"large_workload(seed=7, null=0.15, nec=0.1, fds=4) + \
+         update_stream(seed=11)\",\n  \"points\": [\n",
+    );
+    for (i, p) in points.iter().enumerate() {
+        let rebuild = p
+            .rebuild_ns
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        let speedup = p
+            .rebuild_ns
+            .map(|v| format!("{:.1}", v as f64 / p.incremental_ns as f64))
+            .unwrap_or_else(|| "null".to_string());
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"mix\": \"{}\", \"ops\": {}, \"incremental_ns\": {}, \
+             \"rebuild_ns\": {}, \"speedup\": {}}}{}\n",
+            p.n,
+            p.mix,
+            p.ops,
+            p.incremental_ns,
+            rebuild,
+            speedup,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdi_gen::{large_workload, update_stream};
+
+    /// The CI smoke lane: every benchmarked mix runs end to end at
+    /// n = 10² with both pipelines agreeing — the full bench recipe,
+    /// minus the clock.
+    #[test]
+    fn bench_pipelines_agree_at_smoke_scale() {
+        let n = 100;
+        let w = large_workload(7, n, 0.15, 0.1, 4);
+        let db = Database::new(w.instance.clone(), w.fds.clone(), POLICY).expect("load mode");
+        for (mix_name, mix) in mixes() {
+            let ops = update_stream(11, &spec_for(n), n, 64, mix);
+            assert_pipelines_agree(&db, &ops, &w.instance, &w.fds, mix_name);
+        }
+    }
+
+    /// The delete-heavy mixes really are delete-heavy (≥ 50% deletes
+    /// while rows remain) and the churn mix cycles delete + reinsert.
+    #[test]
+    fn stress_mixes_have_the_advertised_shape() {
+        let n = 100;
+        let mixes: Vec<_> = mixes();
+        let heavy = mixes
+            .iter()
+            .find(|(name, _)| *name == "delete_heavy")
+            .unwrap()
+            .1;
+        assert_eq!(
+            heavy.delete * 2,
+            heavy.insert + heavy.delete + heavy.modify,
+            "delete weight is 50% of the mix"
+        );
+        let ops = update_stream(11, &spec_for(n), n, 64, heavy);
+        let deletes = ops
+            .iter()
+            .filter(|op| matches!(op, UpdateOp::Delete(_)))
+            .count();
+        assert!(
+            deletes * 5 >= ops.len() * 2,
+            "delete_heavy produced only {deletes}/{} deletes",
+            ops.len()
+        );
+        let churn = mixes.iter().find(|(name, _)| *name == "churn").unwrap().1;
+        let ops = update_stream(11, &spec_for(n), n, 64, churn);
+        let inserts = ops
+            .iter()
+            .filter(|op| matches!(op, UpdateOp::Insert(_)))
+            .count();
+        let deletes = ops.len() - inserts;
+        assert!(inserts > 10 && deletes > 10, "churn must mix both");
+    }
+
+    /// The JSON document stays parseable-by-eye and complete.
+    #[test]
+    fn json_rendering_includes_every_point() {
+        let points = vec![
+            Point {
+                n: 100,
+                mix: "mixed",
+                ops: 64,
+                incremental_ns: 1000,
+                rebuild_ns: Some(5000),
+            },
+            Point {
+                n: 1000,
+                mix: "churn",
+                ops: 64,
+                incremental_ns: 2000,
+                rebuild_ns: None,
+            },
+        ];
+        let json = render_json(&points);
+        assert!(json.contains("\"mix\": \"mixed\""));
+        assert!(json.contains("\"speedup\": 5.0"));
+        assert!(json.contains("\"rebuild_ns\": null"));
+        assert_eq!(json.matches("{\"n\":").count(), 2);
+    }
+}

@@ -39,6 +39,7 @@ use crate::groupkey::GroupKey;
 use fdi_relation::attrs::AttrId;
 use fdi_relation::instance::Instance;
 use fdi_relation::nec::NecStore;
+use fdi_relation::rowid::RowId;
 use fdi_relation::symbol::Symbol;
 use fdi_relation::value::{NullId, Value};
 use std::collections::hash_map::Entry;
@@ -57,7 +58,11 @@ pub enum Scheduler {
 /// Union–find over cell occurrences and constant-symbol nodes.
 #[derive(Debug, Clone)]
 pub struct CellEngine {
+    /// Slot bound of the source instance: cell nodes are addressed by
+    /// slot index, so tombstoned slots own (inert, never-unified) nodes.
     rows: usize,
+    /// Live rows, ascending.
+    live: Vec<RowId>,
     arity: usize,
     parent: Vec<u32>,
     rank: Vec<u8>,
@@ -72,12 +77,14 @@ impl CellEngine {
     /// Builds the initial partition from an instance: constants unify
     /// with their symbol node, NEC-equivalent nulls unify together.
     pub fn new(instance: &Instance) -> CellEngine {
-        let rows = instance.len();
+        let rows = instance.slot_bound();
+        let live: Vec<RowId> = instance.row_ids().collect();
         let arity = instance.arity();
         let symbols = instance.symbols().len();
         let nodes = rows * arity + symbols;
         let mut engine = CellEngine {
             rows,
+            live,
             arity,
             parent: (0..nodes as u32).collect(),
             rank: vec![0; nodes],
@@ -94,7 +101,7 @@ impl CellEngine {
         // of a parent-chain walk per cell.
         let snapshot = instance.necs().canonical_snapshot();
         let mut class_first: HashMap<NullId, usize> = HashMap::new();
-        for row in 0..rows {
+        for row in instance.row_ids() {
             for col in 0..arity {
                 let cell = engine.cell_node(row, AttrId(col as u16));
                 match instance.value(row, AttrId(col as u16)) {
@@ -125,8 +132,8 @@ impl CellEngine {
     }
 
     #[inline]
-    fn cell_node(&self, row: usize, attr: AttrId) -> usize {
-        row * self.arity + attr.index()
+    fn cell_node(&self, row: RowId, attr: AttrId) -> usize {
+        row.index() * self.arity + attr.index()
     }
 
     #[inline]
@@ -189,10 +196,11 @@ impl CellEngine {
     /// One naive fixpoint round; returns `true` when any union happened.
     fn round_naive(&mut self, fds: &FdSet) -> bool {
         let mut changed = false;
+        let live = self.live.clone();
         for fd in fds {
             let fd = fd.normalized();
-            for i in 0..self.rows {
-                for j in (i + 1)..self.rows {
+            for (p, &i) in live.iter().enumerate() {
+                for &j in &live[(p + 1)..] {
                     let agree = fd.lhs.iter().all(|a| {
                         let x = self.cell_node(i, a);
                         let y = self.cell_node(j, a);
@@ -252,7 +260,7 @@ impl CellEngine {
     /// store).
     pub fn materialize(&mut self, template: &Instance) -> Instance {
         let mut out = template.clone();
-        for row in 0..self.rows {
+        for row in self.live.clone() {
             for col in 0..self.arity {
                 let attr = AttrId(col as u16);
                 let root = self.find(self.cell_node(row, attr));
@@ -289,7 +297,7 @@ impl CellEngine {
     /// class cannot be resolved; run on complete instances).
     pub fn materialize_resolved(&mut self, template: &Instance) -> Instance {
         let mut out = template.clone();
-        for row in 0..self.rows {
+        for row in self.live.clone() {
             for col in 0..self.arity {
                 let attr = AttrId(col as u16);
                 let root = self.find(self.cell_node(row, attr));
@@ -302,9 +310,13 @@ impl CellEngine {
         out
     }
 
-    /// Number of distinct inconsistent classes with at least one cell.
+    /// Number of distinct inconsistent classes with at least one live
+    /// cell.
     pub fn nothing_classes(&self) -> usize {
-        let mut roots: Vec<usize> = (0..self.rows * self.arity)
+        let mut roots: Vec<usize> = self
+            .live
+            .iter()
+            .flat_map(|row| (0..self.arity).map(move |col| row.index() * self.arity + col))
             .map(|n| self.find_readonly(n))
             .filter(|r| self.inconsistent[*r])
             .collect();
@@ -344,8 +356,9 @@ struct Worklist {
     /// Per class root: member cell nodes (symbol nodes carry no site).
     members: HashMap<u32, Vec<u32>>,
     /// Per slot: signature key → member rows.
-    buckets: Vec<HashMap<GroupKey, Vec<u32>>>,
-    /// Per slot, per row: the key its bucket is filed under.
+    buckets: Vec<HashMap<GroupKey, Vec<RowId>>>,
+    /// Per slot, per row *slot*: the key its bucket is filed under
+    /// (indexed by `RowId::index`; dead slots hold an unused default).
     row_keys: Vec<Vec<GroupKey>>,
     /// Per slot: keys awaiting a (re-)sweep.
     dirty: Vec<HashSet<GroupKey>>,
@@ -360,9 +373,12 @@ impl Worklist {
             .collect();
         let arity = engine.arity;
         let mut members: HashMap<u32, Vec<u32>> = HashMap::new();
-        for node in 0..engine.rows * arity {
-            let root = engine.find(node) as u32;
-            members.entry(root).or_default().push(node as u32);
+        for row in engine.live.clone() {
+            for col in 0..arity {
+                let node = row.index() * arity + col;
+                let root = engine.find(node) as u32;
+                members.entry(root).or_default().push(node as u32);
+            }
         }
         let mut lhs_slots: Vec<Vec<usize>> = vec![Vec::new(); arity];
         for (si, fd) in slots.iter().enumerate() {
@@ -372,17 +388,18 @@ impl Worklist {
         }
         let mut buckets = Vec::with_capacity(slots.len());
         let mut row_keys = Vec::with_capacity(slots.len());
+        let live = engine.live.clone();
         for fd in &slots {
-            let mut fd_buckets: HashMap<GroupKey, Vec<u32>> = HashMap::with_capacity(engine.rows);
-            let mut fd_keys: Vec<GroupKey> = Vec::with_capacity(engine.rows);
+            let mut fd_buckets: HashMap<GroupKey, Vec<RowId>> = HashMap::with_capacity(live.len());
+            let mut fd_keys: Vec<GroupKey> = vec![GroupKey::new(); engine.rows];
             let mut key = GroupKey::new();
-            for row in 0..engine.rows {
+            for &row in &live {
                 key.clear();
                 for a in fd.lhs.iter() {
                     key.push(engine.find(engine.cell_node(row, a)) as u64);
                 }
-                fd_buckets.entry(key.clone()).or_default().push(row as u32);
-                fd_keys.push(key.clone());
+                fd_buckets.entry(key.clone()).or_default().push(row);
+                fd_keys[row.index()] = key.clone();
             }
             buckets.push(fd_buckets);
             row_keys.push(fd_keys);
@@ -404,8 +421,8 @@ impl Worklist {
         loop {
             passes += 1;
             for si in 0..self.slots.len() {
-                let min_row = |rows: &[u32]| rows.iter().copied().min().expect("non-empty");
-                let mut agenda: Vec<(u32, GroupKey)> = if passes == 1 {
+                let min_row = |rows: &[RowId]| rows.iter().copied().min().expect("non-empty");
+                let mut agenda: Vec<(RowId, GroupKey)> = if passes == 1 {
                     self.buckets[si]
                         .iter()
                         .filter(|(_, rows)| rows.len() > 1)
@@ -455,9 +472,9 @@ impl Worklist {
         rows.sort_unstable();
         let fd = self.slots[si];
         for b in fd.rhs.iter() {
-            let first = engine.cell_node(rows[0] as usize, b);
+            let first = engine.cell_node(rows[0], b);
             for &row in &rows[1..] {
-                let other = engine.cell_node(row as usize, b);
+                let other = engine.cell_node(row, b);
                 if let Some((winner, loser)) = engine.union_reporting(first, other) {
                     self.migrate(engine, winner, loser);
                 }
@@ -486,14 +503,14 @@ impl Worklist {
             let Some(rows) = self.buckets[si].remove(&old_key) else {
                 continue; // already migrated via another member cell
             };
-            let sample = rows[0] as usize;
+            let sample = rows[0];
             let fd = self.slots[si];
             let mut new_key = GroupKey::with_capacity(fd.lhs.len());
             for a in fd.lhs.iter() {
                 new_key.push(engine.find(engine.cell_node(sample, a)) as u64);
             }
             for &row in &rows {
-                self.row_keys[si][row as usize] = new_key.clone();
+                self.row_keys[si][row.index()] = new_key.clone();
             }
             self.dirty[si].remove(&old_key);
             match self.buckets[si].entry(new_key.clone()) {
@@ -566,7 +583,7 @@ mod tests {
         );
         // "all values in the B column equal to nothing"
         let b = AttrId(1);
-        for row in 0..3 {
+        for row in forward.instance.row_ids() {
             assert!(forward.instance.value(row, b).is_nothing());
         }
         assert!(forward.has_nothing());
@@ -673,8 +690,16 @@ mod tests {
         let fds = crate::fd::FdSet::parse(&schema, "A -> B").unwrap();
         let outcome = extended_chase(&r, &fds, Scheduler::Fast);
         let b = AttrId(1);
-        let n0 = outcome.instance.value(0, b).as_null().unwrap();
-        let n1 = outcome.instance.value(1, b).as_null().unwrap();
+        let n0 = outcome
+            .instance
+            .value(outcome.instance.nth_row(0), b)
+            .as_null()
+            .unwrap();
+        let n1 = outcome
+            .instance
+            .value(outcome.instance.nth_row(1), b)
+            .as_null()
+            .unwrap();
         assert_eq!(n0, n1, "merged class carried by a shared null id");
     }
 
@@ -684,7 +709,10 @@ mod tests {
         let fds = fixtures::section6_fds();
         let outcome = extended_chase(&r, &fds, Scheduler::Fast);
         assert!(outcome.has_nothing());
-        assert!(outcome.instance.value(0, AttrId(1)).is_nothing());
+        assert!(outcome
+            .instance
+            .value(outcome.instance.nth_row(0), AttrId(1))
+            .is_nothing());
     }
 
     #[test]
@@ -707,10 +735,19 @@ mod tests {
         let fds = crate::fd::FdSet::parse(&schema, "A -> B").unwrap();
         let outcome = extended_chase(&r, &fds, Scheduler::Fast);
         let b = AttrId(1);
-        assert!(outcome.instance.value(0, b).is_nothing());
-        assert!(outcome.instance.value(1, b).is_nothing());
+        assert!(outcome
+            .instance
+            .value(outcome.instance.nth_row(0), b)
+            .is_nothing());
+        assert!(outcome
+            .instance
+            .value(outcome.instance.nth_row(1), b)
+            .is_nothing());
         assert!(
-            outcome.instance.value(2, b).is_nothing(),
+            outcome
+                .instance
+                .value(outcome.instance.nth_row(2), b)
+                .is_nothing(),
             "row 2's b1 equals a destroyed constant"
         );
     }

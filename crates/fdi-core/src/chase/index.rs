@@ -66,6 +66,7 @@ use crate::fd::{Fd, FdSet};
 use crate::groupkey::{self, GroupKey};
 use fdi_relation::attrs::AttrId;
 use fdi_relation::instance::Instance;
+use fdi_relation::rowid::RowId;
 use fdi_relation::symbol::Symbol;
 use fdi_relation::value::{NullId, Value};
 use std::collections::hash_map::Entry;
@@ -162,7 +163,7 @@ pub enum ChaseIndexCaveat {
     /// [`super::cells`]; the plain chase merely tolerates it.)
     NothingValue {
         /// Row of the cell.
-        row: usize,
+        row: RowId,
         /// Attribute of the cell.
         attr: AttrId,
     },
@@ -196,7 +197,7 @@ pub fn order_replay_caveats(instance: &Instance) -> Vec<ChaseIndexCaveat> {
     let mut class_col: HashMap<NullId, AttrId> = HashMap::new();
     let mut flagged: HashSet<NullId> = HashSet::new();
     let all = instance.schema().all_attrs();
-    for row in 0..instance.len() {
+    for row in instance.row_ids() {
         for attr in all.iter() {
             match instance.value(row, attr) {
                 Value::Nothing => caveats.push(ChaseIndexCaveat::NothingValue { row, attr }),
@@ -247,11 +248,13 @@ struct Engine {
     /// sorting happens once per sweep instead (collision-skewed
     /// workloads produce heavy buckets, and per-migration merge-sorts
     /// into a heavy bucket would cost `O(|bucket|)` per event).
-    buckets: Vec<HashMap<GroupKey, Vec<u32>>>,
-    /// Per FD slot, per row: the key its bucket is filed under.
+    buckets: Vec<HashMap<GroupKey, Vec<RowId>>>,
+    /// Per FD slot, per row *slot*: the key its bucket is filed under
+    /// (dense side table indexed by `RowId::index`, sized
+    /// `slot_bound`; dead slots hold an unused default).
     row_keys: Vec<Vec<GroupKey>>,
     /// NEC class root → null occurrences `(row, attr)` of the class.
-    occurrences: HashMap<u32, Vec<(u32, u16)>>,
+    occurrences: HashMap<u32, Vec<(RowId, u16)>>,
     /// attr index → FD slots with that attribute in their determinant.
     lhs_slots: Vec<Vec<usize>>,
     /// Per FD slot: bucket keys whose membership changed (the worklist).
@@ -272,17 +275,19 @@ impl Engine {
             .filter(|slot| !slot.fd.is_trivial())
             .collect();
         let n = work.len();
+        let bound = work.slot_bound();
         let arity = work.arity();
 
-        let mut occurrences: HashMap<u32, Vec<(u32, u16)>> = HashMap::new();
-        for row in 0..n {
+        let rows: Vec<RowId> = work.row_ids().collect();
+        let mut occurrences: HashMap<u32, Vec<(RowId, u16)>> = HashMap::new();
+        for &row in &rows {
             for col in 0..arity {
                 if let Value::Null(id) = work.value(row, AttrId(col as u16)) {
                     let root = work.necs_mut().find(id);
                     occurrences
                         .entry(root.0)
                         .or_default()
-                        .push((row as u32, col as u16));
+                        .push((row, col as u16));
                 }
             }
         }
@@ -299,12 +304,12 @@ impl Engine {
         let mut row_keys = Vec::with_capacity(slots.len());
         let mut key = GroupKey::new();
         for slot in &slots {
-            let mut fd_buckets: HashMap<GroupKey, Vec<u32>> = HashMap::with_capacity(n);
-            let mut fd_keys: Vec<GroupKey> = Vec::with_capacity(n);
-            for row in 0..n {
+            let mut fd_buckets: HashMap<GroupKey, Vec<RowId>> = HashMap::with_capacity(n);
+            let mut fd_keys: Vec<GroupKey> = vec![GroupKey::new(); bound];
+            for &row in &rows {
                 groupkey::key_into(&mut key, work.tuple(row), row, slot.fd.lhs, &snapshot);
-                fd_buckets.entry(key.clone()).or_default().push(row as u32);
-                fd_keys.push(key.clone());
+                fd_buckets.entry(key.clone()).or_default().push(row);
+                fd_keys[row.index()] = key.clone();
             }
             buckets.push(fd_buckets);
             row_keys.push(fd_keys);
@@ -334,8 +339,8 @@ impl Engine {
                 // Keys collected up front and re-checked on use: sweeps
                 // migrate buckets of *other* FDs freely, and (with
                 // cross-column NEC classes) occasionally this one.
-                let min_row = |rows: &[u32]| rows.iter().copied().min().expect("non-empty");
-                let mut agenda: Vec<(u32, GroupKey)> = if passes == 1 {
+                let min_row = |rows: &[RowId]| rows.iter().copied().min().expect("non-empty");
+                let mut agenda: Vec<(RowId, GroupKey)> = if passes == 1 {
                     self.buckets[si]
                         .iter()
                         .filter(|(_, rows)| rows.len() > 1)
@@ -380,10 +385,10 @@ impl Engine {
         rows.sort_unstable();
         let (fd, original_index) = (self.fds[si].fd, self.fds[si].original_index);
         for attr in fd.rhs.iter() {
-            let mut anchor_const: Option<u32> = None;
-            let mut pending_null: Option<(u32, NullId)> = None;
+            let mut anchor_const: Option<RowId> = None;
+            let mut pending_null: Option<(RowId, NullId)> = None;
             for &row in &rows {
-                match self.work.value(row as usize, attr) {
+                match self.work.value(row, attr) {
                     Value::Nothing => {}
                     Value::Const(value) => {
                         if anchor_const.is_none() {
@@ -409,7 +414,7 @@ impl Engine {
                     }
                     Value::Null(id) => {
                         if let Some(const_row) = anchor_const {
-                            let value = match self.work.value(const_row as usize, attr) {
+                            let value = match self.work.value(const_row, attr) {
                                 Value::Const(c) => c,
                                 _ => unreachable!("anchor row holds a constant"),
                             };
@@ -444,14 +449,14 @@ impl Engine {
     fn push_event(
         &mut self,
         fd_index: usize,
-        row_a: u32,
-        row_b: u32,
+        row_a: RowId,
+        row_b: RowId,
         attr: AttrId,
         kind: NsEventKind,
     ) {
         self.events.push(NsEvent {
             fd_index,
-            rows: (row_a.min(row_b) as usize, row_a.max(row_b) as usize),
+            rows: (row_a.min(row_b), row_a.max(row_b)),
             attr,
             kind,
         });
@@ -463,12 +468,8 @@ impl Engine {
         let root = self.work.necs_mut().find(id);
         let occs = self.occurrences.remove(&root.0).unwrap_or_default();
         for &(row, col) in &occs {
-            debug_assert!(matches!(
-                self.work.value(row as usize, AttrId(col)),
-                Value::Null(_)
-            ));
-            self.work
-                .set_value(row as usize, AttrId(col), Value::Const(value));
+            debug_assert!(matches!(self.work.value(row, AttrId(col)), Value::Null(_)));
+            self.work.set_value(row, AttrId(col), Value::Const(value));
         }
         self.migrate(&occs);
     }
@@ -496,8 +497,8 @@ impl Engine {
     /// whole buckets move: a pure re-name keeps its sweep status, while
     /// a merge with an existing bucket re-enters the worklist (new
     /// members mean possible new rule sites).
-    fn migrate(&mut self, occs: &[(u32, u16)]) {
-        let mut affected: HashSet<(usize, u32)> = HashSet::new();
+    fn migrate(&mut self, occs: &[(RowId, u16)]) {
+        let mut affected: HashSet<(usize, RowId)> = HashSet::new();
         for &(row, col) in occs {
             for &si in &self.lhs_slots[col as usize] {
                 affected.insert((si, row));
@@ -506,7 +507,7 @@ impl Engine {
         let mut touched: Vec<(usize, GroupKey)> = Vec::new();
         let mut seen: HashSet<(usize, GroupKey)> = HashSet::new();
         for (si, row) in affected {
-            let key = self.row_keys[si][row as usize].clone();
+            let key = self.row_keys[si][row.index()].clone();
             if seen.insert((si, key.clone())) {
                 touched.push((si, key));
             }
@@ -516,7 +517,7 @@ impl Engine {
                 continue; // already migrated via another occurrence
             };
             let lhs = self.fds[si].fd.lhs;
-            let sample = rows[0] as usize;
+            let sample = rows[0];
             let mut new_key = GroupKey::with_capacity(lhs.len());
             for a in lhs.iter() {
                 let work = &self.work;
@@ -525,7 +526,7 @@ impl Engine {
                 }));
             }
             for &row in &rows {
-                self.row_keys[si][row as usize] = new_key.clone();
+                self.row_keys[si][row.index()] = new_key.clone();
             }
             self.dirty[si].remove(&old_key);
             match self.buckets[si].entry(new_key.clone()) {
@@ -623,8 +624,10 @@ mod tests {
         assert_engines_agree(&r, &fds);
         let result = chase_indexed(&r, &fds);
         let b = AttrId(1);
-        assert!(result.instance.value(0, b).is_const());
-        assert_eq!(result.instance.value(0, b), result.instance.value(1, b));
+        let r0 = result.instance.nth_row(0);
+        let r1 = result.instance.nth_row(1);
+        assert!(result.instance.value(r0, b).is_const());
+        assert_eq!(result.instance.value(r0, b), result.instance.value(r1, b));
     }
 
     #[test]
@@ -696,7 +699,7 @@ mod tests {
         assert!(
             order_replay_caveats(&r)
                 .iter()
-                .any(|c| matches!(c, ChaseIndexCaveat::NothingValue { row: 0, .. })),
+                .any(|c| matches!(c, ChaseIndexCaveat::NothingValue { row: RowId(0), .. })),
             "the `nothing` cell must be reported"
         );
         let naive = chase_naive(&r, &fds);

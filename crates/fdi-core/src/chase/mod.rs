@@ -38,6 +38,15 @@
 //!   (an NEC merge collapses buckets rather than triggering a rescan),
 //!   so passes after the first touch only what moved.
 //!
+//! Rows are addressed by stable [`RowId`](fdi_relation::rowid::RowId)
+//! slot handles throughout — bucket member lists, occurrence lists, and
+//! [`NsEvent`] sites all carry slot ids that survive `Database` deletes
+//! unchanged (the storage tombstones; nothing renumbers), so a chase
+//! over an instance with interior tombstones simply never visits the
+//! dead slots. Dense per-slot side tables are sized by
+//! [`Instance::slot_bound`](fdi_relation::instance::Instance::slot_bound),
+//! not [`len`](fdi_relation::instance::Instance::len).
+//!
 //! A chase pass is then `O(|F|·(n + moved))` instead of `O(|F|·n²)`, and
 //! the engines produce identical results — same instance, events, and
 //! pass counts — on instances whose NEC classes are **column-local** and

@@ -30,6 +30,7 @@
 use crate::fd::FdSet;
 use fdi_relation::attrs::AttrId;
 use fdi_relation::instance::Instance;
+use fdi_relation::rowid::RowId;
 use fdi_relation::symbol::Symbol;
 use fdi_relation::value::{NullId, Value};
 use std::fmt;
@@ -58,8 +59,8 @@ pub enum NsEventKind {
 pub struct NsEvent {
     /// Index of the triggering FD in the set.
     pub fd_index: usize,
-    /// The two rows that agreed on `X`.
-    pub rows: (usize, usize),
+    /// The two rows that agreed on `X` (stable ids, lower first).
+    pub rows: (RowId, RowId),
     /// The `Y`-attribute acted upon.
     pub attr: AttrId,
     /// The action taken.
@@ -99,8 +100,8 @@ pub struct NsChaseResult {
 /// included) with `value`.
 fn substitute_class(instance: &mut Instance, class: NullId, value: Symbol) {
     let arity = instance.arity();
-    let rows = instance.len();
-    for row in 0..rows {
+    let rows: Vec<RowId> = instance.row_ids().collect();
+    for row in rows {
         for col in 0..arity {
             let attr = AttrId(col as u16);
             if let Value::Null(n) = instance.value(row, attr) {
@@ -117,11 +118,13 @@ fn substitute_class(instance: &mut Instance, class: NullId, value: Symbol) {
 /// Returns the events of the pass.
 fn pass(instance: &mut Instance, fds: &FdSet) -> Vec<NsEvent> {
     let mut events = Vec::new();
-    let n = instance.len();
+    let rows: Vec<RowId> = instance.row_ids().collect();
+    let n = rows.len();
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
-        for i in 0..n {
-            for j in (i + 1)..n {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (i, j) = (rows[a], rows[b]);
                 // Agreement must be re-checked against the live state.
                 let agrees = {
                     let ti = instance.tuple(i);
@@ -221,13 +224,14 @@ pub fn is_minimally_incomplete(instance: &Instance, fds: &FdSet) -> bool {
 
 /// The all-pairs definition of minimal incompleteness (the oracle).
 pub fn is_minimally_incomplete_naive(instance: &Instance, fds: &FdSet) -> bool {
-    let n = instance.len();
+    let rows: Vec<RowId> = instance.row_ids().collect();
+    let n = rows.len();
     for fd in fds {
         let fd = fd.normalized();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let ti = instance.tuple(i);
-                let tj = instance.tuple(j);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let ti = instance.tuple(rows[a]);
+                let tj = instance.tuple(rows[b]);
                 if !ti.agrees_on(tj, fd.lhs, instance.necs()) {
                     continue;
                 }
@@ -262,7 +266,9 @@ mod tests {
 
         // A→B first: the null becomes b1 (donor row 1).
         let first = chase_plain(&r, &fds);
-        let b_col: Vec<String> = (0..3)
+        let b_col: Vec<String> = first
+            .instance
+            .row_ids()
             .map(|i| {
                 first
                     .instance
@@ -274,7 +280,9 @@ mod tests {
 
         // C→B first: the null becomes b2 (donor row 2).
         let second = chase_plain(&r, &fds.permuted(&[1, 0]));
-        let b_col2: Vec<String> = (0..3)
+        let b_col2: Vec<String> = second
+            .instance
+            .row_ids()
             .map(|i| {
                 second
                     .instance
@@ -320,8 +328,10 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, NsEventKind::NecIntroduced { .. })));
-        let n1 = result.instance.value(0, AttrId(1)).as_null().unwrap();
-        let n2 = result.instance.value(1, AttrId(1)).as_null().unwrap();
+        let r0 = result.instance.nth_row(0);
+        let r1 = result.instance.nth_row(1);
+        let n1 = result.instance.value(r0, AttrId(1)).as_null().unwrap();
+        let n2 = result.instance.value(r1, AttrId(1)).as_null().unwrap();
         assert!(result.instance.necs().same_class(n1, n2));
         assert!(is_minimally_incomplete(&result.instance, &fds));
     }
@@ -341,8 +351,10 @@ mod tests {
         let result = chase_plain(&r, &fds);
         // rows 0 and 2 agree on A → ?x := b1, which must also fill row 1.
         let b = AttrId(1);
-        assert!(result.instance.value(0, b).is_const());
-        assert_eq!(result.instance.value(0, b), result.instance.value(1, b));
+        let r0 = result.instance.nth_row(0);
+        let r1 = result.instance.nth_row(1);
+        assert!(result.instance.value(r0, b).is_const());
+        assert_eq!(result.instance.value(r0, b), result.instance.value(r1, b));
     }
 
     #[test]

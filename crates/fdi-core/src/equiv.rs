@@ -109,10 +109,12 @@ pub fn build_two_tuple(assignment: &Assignment) -> Instance {
 pub fn read_assignment(instance: &Instance) -> Assignment {
     assert_eq!(instance.len(), 2, "Lemma 3 worlds have two tuples");
     let n = instance.arity();
+    let t0 = instance.nth_row(0);
+    let t1 = instance.nth_row(1);
     let mut values = Vec::with_capacity(n);
     for i in 0..n {
         let a = AttrId(i as u16);
-        let (x, y) = (instance.value(0, a), instance.value(1, a));
+        let (x, y) = (instance.value(t0, a), instance.value(t1, a));
         values.push(match (x.as_const(), y.as_const()) {
             (Some(p), Some(q)) if p == q => Truth::True,
             (Some(_), Some(_)) => Truth::False,
@@ -125,7 +127,7 @@ pub fn read_assignment(instance: &Instance) -> Assignment {
 /// Does `fd` strongly hold in the two-tuple world? (Ground-truth
 /// evaluation by completion enumeration.)
 pub fn strongly_holds_in_world(fd: Fd, world: &Instance) -> Result<bool, RelationError> {
-    for row in 0..world.len() {
+    for row in world.row_ids() {
         if interp::eval_least_extension(fd, row, world, 1 << 16)? != Truth::True {
             return Ok(false);
         }

@@ -209,7 +209,7 @@ mod tests {
         let r = figure1_instance();
         let fds = figure1_fds();
         assert!(r.is_complete());
-        assert!(all_hold_classical(&fds, r.tuples()));
+        assert!(all_hold_classical(&fds, &r.tuples_vec()));
     }
 
     #[test]
@@ -223,7 +223,8 @@ mod tests {
     fn figure2_truth_values_match_the_paper() {
         for (i, (r, expected)) in figure2_all().into_iter().enumerate() {
             let f = figure2_fd(&r);
-            let got = crate::interp::eval_least_extension(f, 0, &r, DEFAULT_BUDGET).unwrap();
+            let got =
+                crate::interp::eval_least_extension(f, r.nth_row(0), &r, DEFAULT_BUDGET).unwrap();
             assert_eq!(got, expected, "figure 2 instance r{}", i + 1);
         }
     }
@@ -234,16 +235,16 @@ mod tests {
         assert_eq!(r.null_count(), 1);
         // donors: row 1 shares A with row 0; row 2 shares C with row 0.
         assert_eq!(
-            r.value(1, fdi_relation::AttrId(0)),
-            r.value(0, fdi_relation::AttrId(0))
+            r.value(r.nth_row(1), fdi_relation::AttrId(0)),
+            r.value(r.nth_row(0), fdi_relation::AttrId(0))
         );
         assert_eq!(
-            r.value(2, fdi_relation::AttrId(2)),
-            r.value(0, fdi_relation::AttrId(2))
+            r.value(r.nth_row(2), fdi_relation::AttrId(2)),
+            r.value(r.nth_row(0), fdi_relation::AttrId(2))
         );
         assert_ne!(
-            r.value(1, fdi_relation::AttrId(1)),
-            r.value(2, fdi_relation::AttrId(1))
+            r.value(r.nth_row(1), fdi_relation::AttrId(1)),
+            r.value(r.nth_row(2), fdi_relation::AttrId(1))
         );
     }
 

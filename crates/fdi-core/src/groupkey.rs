@@ -18,6 +18,7 @@
 
 use fdi_relation::attrs::AttrSet;
 use fdi_relation::nec::NecSnapshot;
+use fdi_relation::rowid::RowId;
 use fdi_relation::tuple::Tuple;
 use fdi_relation::value::{NullId, Value};
 
@@ -30,20 +31,20 @@ const TAG_CLASS: u64 = 1 << 32;
 const TAG_NOTHING: u64 = 2 << 32;
 
 /// Packs one value into its canonical atom. `row` disambiguates
-/// `nothing` occurrences; `root_of` resolves a null id to its current
-/// NEC class representative.
+/// `nothing` occurrences (the slot index is unique per live row);
+/// `root_of` resolves a null id to its current NEC class representative.
 #[inline]
-pub fn atom_with(value: Value, row: usize, root_of: impl FnOnce(NullId) -> NullId) -> u64 {
+pub fn atom_with(value: Value, row: RowId, root_of: impl FnOnce(NullId) -> NullId) -> u64 {
     match value {
         Value::Const(s) => TAG_CONST | s.0 as u64,
         Value::Null(n) => TAG_CLASS | root_of(n).0 as u64,
-        Value::Nothing => TAG_NOTHING | row as u64,
+        Value::Nothing => TAG_NOTHING | row.0 as u64,
     }
 }
 
 /// Packs one value using a fully-compressed NEC snapshot.
 #[inline]
-pub fn atom(value: Value, row: usize, snapshot: &NecSnapshot) -> u64 {
+pub fn atom(value: Value, row: RowId, snapshot: &NecSnapshot) -> u64 {
     atom_with(value, row, |n| snapshot.root(n))
 }
 
@@ -54,7 +55,7 @@ pub fn atom(value: Value, row: usize, snapshot: &NecSnapshot) -> u64 {
 pub fn key_into(
     key: &mut GroupKey,
     tuple: &Tuple,
-    row: usize,
+    row: RowId,
     attrs: AttrSet,
     snapshot: &NecSnapshot,
 ) {
@@ -91,28 +92,27 @@ pub fn const_key_into(key: &mut GroupKey, tuple: &Tuple, attrs: AttrSet) -> bool
 }
 
 /// The canonical key of `tuple[attrs]` as a fresh vector.
-pub fn key_of(tuple: &Tuple, row: usize, attrs: AttrSet, snapshot: &NecSnapshot) -> GroupKey {
+pub fn key_of(tuple: &Tuple, row: RowId, attrs: AttrSet, snapshot: &NecSnapshot) -> GroupKey {
     let mut key = Vec::with_capacity(attrs.len());
     key_into(&mut key, tuple, row, attrs, snapshot);
     key
 }
 
-/// Partitions the rows of `instance` into agreement classes on `attrs`:
-/// two rows land in the same group iff they agree componentwise (equal
-/// constants or NEC-equivalent nulls) — the one grouping loop every
-/// indexed consumer shares, so key semantics can never drift between
-/// them.
+/// Partitions the live rows of `instance` into agreement classes on
+/// `attrs`: two rows land in the same group iff they agree componentwise
+/// (equal constants or NEC-equivalent nulls) — the one grouping loop
+/// every indexed consumer shares, so key semantics can never drift
+/// between them. Groups hold stable [`RowId`]s, in ascending order.
 pub fn group_rows(
     instance: &fdi_relation::instance::Instance,
     attrs: AttrSet,
     snapshot: &NecSnapshot,
-) -> std::collections::HashMap<GroupKey, Vec<usize>> {
-    let n = instance.len();
-    let mut groups: std::collections::HashMap<GroupKey, Vec<usize>> =
-        std::collections::HashMap::with_capacity(n);
+) -> std::collections::HashMap<GroupKey, Vec<RowId>> {
+    let mut groups: std::collections::HashMap<GroupKey, Vec<RowId>> =
+        std::collections::HashMap::with_capacity(instance.len());
     let mut key = GroupKey::new();
-    for row in 0..n {
-        key_into(&mut key, instance.tuple(row), row, attrs, snapshot);
+    for (row, tuple) in instance.iter_live() {
+        key_into(&mut key, tuple, row, attrs, snapshot);
         groups.entry(key.clone()).or_default().push(row);
     }
     groups
@@ -138,9 +138,9 @@ mod tests {
         let t1 = Tuple::new(vec![Value::Const(Symbol(3)), Value::Null(NullId(0))]);
         let t2 = Tuple::new(vec![Value::Const(Symbol(3)), Value::Null(NullId(1))]);
         let t3 = Tuple::new(vec![Value::Const(Symbol(3)), Value::Null(NullId(2))]);
-        let k1 = key_of(&t1, 0, scope, &snap);
-        let k2 = key_of(&t2, 1, scope, &snap);
-        let k3 = key_of(&t3, 2, scope, &snap);
+        let k1 = key_of(&t1, RowId(0), scope, &snap);
+        let k2 = key_of(&t2, RowId(1), scope, &snap);
+        let k3 = key_of(&t3, RowId(2), scope, &snap);
         assert_eq!(k1, k2, "NEC-equivalent nulls agree");
         assert_ne!(k1, k3, "independent nulls do not");
         assert!(t1.agrees_on(&t2, scope, &necs));
@@ -153,8 +153,8 @@ mod tests {
         let snap = necs.canonical_snapshot();
         let scope = attrs(&[0]);
         let t = Tuple::new(vec![Value::Nothing]);
-        let k_row0 = key_of(&t, 0, scope, &snap);
-        let k_row1 = key_of(&t, 1, scope, &snap);
+        let k_row0 = key_of(&t, RowId(0), scope, &snap);
+        let k_row1 = key_of(&t, RowId(1), scope, &snap);
         assert_ne!(
             k_row0, k_row1,
             "nothing agrees with nothing — not even itself across rows"
@@ -169,6 +169,9 @@ mod tests {
         let scope = attrs(&[0]);
         let c = Tuple::new(vec![Value::Const(Symbol(7))]);
         let n = Tuple::new(vec![Value::Null(NullId(7))]);
-        assert_ne!(key_of(&c, 0, scope, &snap), key_of(&n, 0, scope, &snap));
+        assert_ne!(
+            key_of(&c, RowId(0), scope, &snap),
+            key_of(&n, RowId(0), scope, &snap)
+        );
     }
 }

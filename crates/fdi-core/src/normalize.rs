@@ -188,7 +188,8 @@ pub fn is_lossless(fds: &FdSet, attrs: AttrSet, decomposition: &[AttrSet]) -> bo
         "tableaux have one constant per column; conflicts are impossible"
     );
     let all = tableau.schema().all_attrs();
-    outcome.instance.tuples().iter().any(|t| t.is_total_on(all))
+    let has_total = outcome.instance.tuples().any(|t| t.is_total_on(all));
+    has_total
 }
 
 #[cfg(test)]

@@ -97,7 +97,7 @@ pub enum Prop1Error {
     /// `r − {t}` carries a null on `XY`; use [`evaluate`] instead.
     RestHasNulls {
         /// A row (≠ the classified one) holding a null on `XY`.
-        offending_row: usize,
+        offending_row: fdi_relation::rowid::RowId,
     },
     /// Forwarded relational error (unbounded domain, budget, …).
     Relation(RelationError),
@@ -127,25 +127,36 @@ impl From<RelationError> for Prop1Error {
 /// Classifies `f(t, r)` by Proposition 1 (see the module docs).
 ///
 /// The dependency is normalized first; `row` selects `t`.
-pub fn proposition1(fd: Fd, row: usize, instance: &Instance) -> Result<Prop1Outcome, Prop1Error> {
+pub fn proposition1(
+    fd: Fd,
+    row: fdi_relation::rowid::RowId,
+    instance: &Instance,
+) -> Result<Prop1Outcome, Prop1Error> {
     let fd = fd.normalized();
     let scope = fd.attrs();
     // Precondition: the rest of the relation is null-free on XY.
-    for (i, other) in instance.tuples().iter().enumerate() {
+    for (i, other) in instance.iter_live() {
         if i != row && other.has_null_on(scope) {
             return Err(Prop1Error::RestHasNulls { offending_row: i });
         }
     }
-    classify_against(fd, instance.tuple(row), row, instance.tuples(), instance)
+    let pos = instance.row_ids().position(|i| i == row).expect("live row");
+    let rows: Vec<&Tuple> = instance.tuples().collect();
+    classify_against(fd, instance.tuple(row), pos, row, &rows, instance)
 }
 
-/// The classification core: `t` against `others` (which must be total on
-/// `XY`); `instance` supplies domains and NECs for the completion tests.
+/// The classification core: `t` against `all_rows` (a dense
+/// materialization of the relation with `t` at position `row`);
+/// `anchor` is `t`'s row in `instance`, which supplies domains and NECs
+/// for the completion tests (in every call path `t` is `instance`'s own
+/// uncompleted tuple at `anchor`, so its nulls are what the completion
+/// space enumerates).
 fn classify_against(
     fd: Fd,
     t: &Tuple,
     row: usize,
-    all_rows: &[Tuple],
+    anchor: fdi_relation::rowid::RowId,
+    all_rows: &[&Tuple],
     instance: &Instance,
 ) -> Result<Prop1Outcome, Prop1Error> {
     let necs = instance.necs();
@@ -156,7 +167,7 @@ fn classify_against(
             .iter()
             .enumerate()
             .filter(move |(i, _)| *i != row)
-            .map(|(_, t)| t)
+            .map(|(_, t)| *t)
     };
 
     let outcome = if !x_null && !y_null {
@@ -204,7 +215,7 @@ fn classify_against(
             });
         }
         // [F2](a): all completions of t[X] appear in r.
-        let total = match CompletionSpace::for_rows(instance, vec![row], fd.lhs) {
+        let total = match CompletionSpace::for_tuple(instance, anchor, fd.lhs) {
             Ok(space) => space.count(),
             // Unbounded domain: a fresh value always exists, so the
             // exhaustion case cannot fire.
@@ -252,13 +263,13 @@ fn classify_against(
 /// reading assumes the two complete independently).
 pub fn evaluate(
     fd: Fd,
-    row: usize,
+    row: fdi_relation::rowid::RowId,
     instance: &Instance,
     budget: u128,
 ) -> Result<Truth, Prop1Error> {
     let fd = fd.normalized();
     let scope = fd.attrs();
-    let rest: Vec<usize> = (0..instance.len()).filter(|i| *i != row).collect();
+    let rest: Vec<fdi_relation::rowid::RowId> = instance.row_ids().filter(|i| *i != row).collect();
     let rest_has_nulls = rest.iter().any(|i| instance.tuple(*i).has_null_on(scope));
     if !rest_has_nulls {
         return proposition1(fd, row, instance).map(|o| o.verdict);
@@ -281,6 +292,7 @@ pub fn evaluate(
         return crate::interp::eval_least_extension(fd, row, instance, budget)
             .map_err(Prop1Error::from);
     }
+    let pos = instance.row_ids().position(|i| i == row).expect("live row");
     let space = CompletionSpace::for_rows(instance, rest.clone(), scope)?;
     space.check_budget(budget)?;
     let mut acc: Option<Truth> = None;
@@ -288,14 +300,15 @@ pub fn evaluate(
         // Materialize: original t + completed rest, in original order.
         let mut rows: Vec<Tuple> = Vec::with_capacity(instance.len());
         let mut rest_iter = completed_rest.into_iter();
-        for i in 0..instance.len() {
+        for i in instance.row_ids() {
             if i == row {
                 rows.push(instance.tuple(row).clone());
             } else {
                 rows.push(rest_iter.next().expect("one completion per rest row"));
             }
         }
-        let outcome = classify_against(fd, &rows[row], row, &rows, instance)?;
+        let refs: Vec<&Tuple> = rows.iter().collect();
+        let outcome = classify_against(fd, &rows[pos], pos, row, &refs, instance)?;
         acc = Some(match acc {
             None => outcome.verdict,
             Some(prev) => prev.combine(outcome.verdict),
@@ -332,7 +345,7 @@ mod tests {
         // r1: t1 = (a, b, -), unique AB among the rest.
         let r = fixtures::figure2_r1();
         let f = fixtures::figure2_fd(&r);
-        let o = proposition1(f, 0, &r).unwrap();
+        let o = proposition1(f, r.nth_row(0), &r).unwrap();
         assert_eq!(o.rule, RuleTag::T2);
         assert_eq!(o.verdict, Truth::True);
     }
@@ -341,7 +354,7 @@ mod tests {
     fn figure_2_r2_and_r3_are_t3() {
         for r in [fixtures::figure2_r2(), fixtures::figure2_r3()] {
             let f = fixtures::figure2_fd(&r);
-            let o = proposition1(f, 0, &r).unwrap();
+            let o = proposition1(f, r.nth_row(0), &r).unwrap();
             assert_eq!(o.rule, RuleTag::T3, "instance:\n{}", r.render(false));
             assert_eq!(o.verdict, Truth::True);
         }
@@ -351,7 +364,7 @@ mod tests {
     fn figure_2_r4_is_f2() {
         let r = fixtures::figure2_r4();
         let f = fixtures::figure2_fd(&r);
-        let o = proposition1(f, 0, &r).unwrap();
+        let o = proposition1(f, r.nth_row(0), &r).unwrap();
         assert_eq!(o.rule, RuleTag::F2);
         assert_eq!(o.verdict, Truth::False);
     }
@@ -360,25 +373,36 @@ mod tests {
     fn classical_cases_tag_t1_f1() {
         let r = parse(2, "A_0 B_0 C_0\nA_0 B_0 C_1\nA_1 B_1 C_0");
         let f_ab = fd(r.schema(), "A -> B");
-        assert_eq!(proposition1(f_ab, 0, &r).unwrap().rule, RuleTag::T1);
+        assert_eq!(
+            proposition1(f_ab, r.nth_row(0), &r).unwrap().rule,
+            RuleTag::T1
+        );
         let f_ac = fd(r.schema(), "A -> C");
-        assert_eq!(proposition1(f_ac, 0, &r).unwrap().rule, RuleTag::F1);
+        assert_eq!(
+            proposition1(f_ac, r.nth_row(0), &r).unwrap().rule,
+            RuleTag::F1
+        );
     }
 
     #[test]
     fn precondition_is_enforced() {
         let r = parse(2, "A_0 - C_0\nA_0 - C_1");
         let f = fd(r.schema(), "A -> B");
-        let err = proposition1(f, 0, &r).unwrap_err();
-        assert!(matches!(err, Prop1Error::RestHasNulls { offending_row: 1 }));
+        let err = proposition1(f, r.nth_row(0), &r).unwrap_err();
+        assert!(matches!(
+            err,
+            Prop1Error::RestHasNulls {
+                offending_row: fdi_relation::RowId(1)
+            }
+        ));
     }
 
     #[test]
     fn evaluate_handles_nulls_in_the_rest() {
         let r = parse(2, "A_0 - C_0\nA_0 - C_1");
         let f = fd(r.schema(), "A -> B");
-        let via_prop1 = evaluate(f, 0, &r, DEFAULT_BUDGET).unwrap();
-        let via_truth = eval_least_extension(f, 0, &r, DEFAULT_BUDGET).unwrap();
+        let via_prop1 = evaluate(f, r.nth_row(0), &r, DEFAULT_BUDGET).unwrap();
+        let via_truth = eval_least_extension(f, r.nth_row(0), &r, DEFAULT_BUDGET).unwrap();
         assert_eq!(via_prop1, via_truth);
         assert_eq!(via_prop1, Truth::Unknown);
     }
@@ -395,7 +419,7 @@ mod tests {
         for (dom, text, fd_text) in cases {
             let r = parse(dom, text);
             let f = fd(r.schema(), fd_text);
-            for row in 0..r.len() {
+            for row in r.row_ids() {
                 let fast = evaluate(f, row, &r, DEFAULT_BUDGET).unwrap();
                 let truth = eval_least_extension(f, row, &r, DEFAULT_BUDGET).unwrap();
                 assert!(
@@ -416,12 +440,15 @@ mod tests {
         let f = fd(r.schema(), "A -> B");
         // A_2 completes t[X] but disagrees on Y → not T3; domain not
         // exhausted (A_0, A_1 missing) → unknown.
-        let o = proposition1(f, 0, &r).unwrap();
+        let o = proposition1(f, r.nth_row(0), &r).unwrap();
         assert_eq!(o.rule, RuleTag::Unknown);
         // Y-agreement: T3.
         let r2 = parse(3, "- B_0 C_0\nA_2 B_0 C_1");
         let f2 = fd(r2.schema(), "A -> B");
-        assert_eq!(proposition1(f2, 0, &r2).unwrap().rule, RuleTag::T3);
+        assert_eq!(
+            proposition1(f2, r2.nth_row(0), &r2).unwrap().rule,
+            RuleTag::T3
+        );
     }
 
     #[test]
@@ -435,7 +462,7 @@ mod tests {
         r.add_row(&["-", "b1"]).unwrap();
         r.add_row(&["x", "b2"]).unwrap();
         let f = Fd::parse(r.schema(), "A -> B").unwrap();
-        let o = proposition1(f, 0, &r).unwrap();
+        let o = proposition1(f, r.nth_row(0), &r).unwrap();
         assert_eq!(o.rule, RuleTag::Unknown, "fresh values always remain");
     }
 
@@ -445,8 +472,8 @@ mod tests {
         let f = fd(r.schema(), "A -> B");
         // row 0's null shares a class with row 1's: evaluate() must agree
         // with the ground truth.
-        let got = evaluate(f, 0, &r, DEFAULT_BUDGET).unwrap();
-        let truth = eval_least_extension(f, 0, &r, DEFAULT_BUDGET).unwrap();
+        let got = evaluate(f, r.nth_row(0), &r, DEFAULT_BUDGET).unwrap();
+        let truth = eval_least_extension(f, r.nth_row(0), &r, DEFAULT_BUDGET).unwrap();
         assert_eq!(got, truth);
     }
 
@@ -454,7 +481,7 @@ mod tests {
     fn definite_verdicts_match_ground_truth_on_figures() {
         for (r, _) in fixtures::figure2_all() {
             let f = fixtures::figure2_fd(&r);
-            for row in 0..r.len() {
+            for row in r.row_ids() {
                 let fast = evaluate(f, row, &r, DEFAULT_BUDGET).unwrap();
                 let truth = eval_least_extension(f, row, &r, DEFAULT_BUDGET).unwrap();
                 if fast != Truth::Unknown {

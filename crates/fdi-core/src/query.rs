@@ -179,7 +179,7 @@ pub fn eval_kleene(query: &Query, tuple: &Tuple, instance: &Instance) -> Truth {
 /// The least-extension evaluation, by full completion enumeration.
 pub fn eval_least_extension(
     query: &Query,
-    row: usize,
+    row: fdi_relation::rowid::RowId,
     instance: &Instance,
     budget: u128,
 ) -> Result<Truth, RelationError> {
@@ -200,7 +200,7 @@ pub fn eval_least_extension(
 /// classes.
 pub fn eval_signature(
     query: &Query,
-    row: usize,
+    row: fdi_relation::rowid::RowId,
     instance: &Instance,
 ) -> Result<Truth, RelationError> {
     let scope = query.attrs();
@@ -296,18 +296,18 @@ pub fn eval_signature(
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Selection {
     /// Rows with `least-extension = true`.
-    pub sure: Vec<usize>,
+    pub sure: Vec<fdi_relation::rowid::RowId>,
     /// Rows with `least-extension = unknown`.
-    pub maybe: Vec<usize>,
+    pub maybe: Vec<fdi_relation::rowid::RowId>,
     /// Rows with `least-extension = false`.
-    pub no: Vec<usize>,
+    pub no: Vec<fdi_relation::rowid::RowId>,
 }
 
 /// Evaluates `query` on every row with the (exact) signature evaluator
 /// and splits the rows into sure / maybe / no answer sets.
 pub fn select(query: &Query, instance: &Instance) -> Result<Selection, RelationError> {
     let mut out = Selection::default();
-    for row in 0..instance.len() {
+    for row in instance.row_ids() {
         match eval_signature(query, row, instance)? {
             Truth::True => out.sure.push(row),
             Truth::Unknown => out.maybe.push(row),
@@ -338,24 +338,24 @@ mod tests {
         let single = Query::eq_text(&r, "status", "single").unwrap();
         // "Is John married?" → unknown.
         assert_eq!(
-            eval_least_extension(&married, 0, &r, 1 << 10).unwrap(),
+            eval_least_extension(&married, r.nth_row(0), &r, 1 << 10).unwrap(),
             Truth::Unknown
         );
         // "Is John married or single?" → yes (all substitutions agree).
         let either = married.clone().or(single);
         assert_eq!(
-            eval_least_extension(&either, 0, &r, 1 << 10).unwrap(),
+            eval_least_extension(&either, r.nth_row(0), &r, 1 << 10).unwrap(),
             Truth::True
         );
         // Kleene misses the tautological disjunction:
         assert_eq!(
-            eval_kleene(&either, r.tuple(0), &r),
+            eval_kleene(&either, r.tuple(r.nth_row(0)), &r),
             Truth::Unknown,
             "truth-functional evaluation cannot see domain coverage"
         );
         // Mary's row is definite either way.
         assert_eq!(
-            eval_least_extension(&married, 1, &r, 1 << 10).unwrap(),
+            eval_least_extension(&married, r.nth_row(1), &r, 1 << 10).unwrap(),
             Truth::True
         );
     }
@@ -374,7 +374,7 @@ mod tests {
             married.clone().not().and(single.not()),
         ];
         for q in &queries {
-            for row in 0..r.len() {
+            for row in r.row_ids() {
                 assert_eq!(
                     eval_signature(q, row, &r).unwrap(),
                     eval_least_extension(q, row, &r, 1 << 10).unwrap(),
@@ -392,11 +392,17 @@ mod tests {
         let schema = Schema::uniform("R", &["A", "B"], 64).unwrap();
         let r = Instance::parse(schema, "- -").unwrap();
         let q = Query::eq_text(&r, "A", "A_7").unwrap();
-        assert_eq!(eval_signature(&q, 0, &r).unwrap(), Truth::Unknown);
-        let tautology = q.clone().or(q.clone().not());
-        assert_eq!(eval_signature(&tautology, 0, &r).unwrap(), Truth::True);
         assert_eq!(
-            eval_least_extension(&tautology, 0, &r, 1 << 10).unwrap(),
+            eval_signature(&q, r.nth_row(0), &r).unwrap(),
+            Truth::Unknown
+        );
+        let tautology = q.clone().or(q.clone().not());
+        assert_eq!(
+            eval_signature(&tautology, r.nth_row(0), &r).unwrap(),
+            Truth::True
+        );
+        assert_eq!(
+            eval_least_extension(&tautology, r.nth_row(0), &r, 1 << 10).unwrap(),
             Truth::True
         );
     }
@@ -412,18 +418,21 @@ mod tests {
         let r = Instance::parse(schema.clone(), "?x ?x").unwrap();
         let q = Query::eq_attrs(&r, "A", "B").unwrap();
         assert_eq!(
-            eval_least_extension(&q, 0, &r, 1 << 10).unwrap(),
+            eval_least_extension(&q, r.nth_row(0), &r, 1 << 10).unwrap(),
             Truth::True
         );
-        assert_eq!(eval_signature(&q, 0, &r).unwrap(), Truth::True);
-        assert_eq!(eval_kleene(&q, r.tuple(0), &r), Truth::True);
+        assert_eq!(eval_signature(&q, r.nth_row(0), &r).unwrap(), Truth::True);
+        assert_eq!(eval_kleene(&q, r.tuple(r.nth_row(0)), &r), Truth::True);
         // independent nulls: unknown.
         let r2 = Instance::parse(schema, "- -").unwrap();
         assert_eq!(
-            eval_least_extension(&q, 0, &r2, 1 << 10).unwrap(),
+            eval_least_extension(&q, r2.nth_row(0), &r2, 1 << 10).unwrap(),
             Truth::Unknown
         );
-        assert_eq!(eval_signature(&q, 0, &r2).unwrap(), Truth::Unknown);
+        assert_eq!(
+            eval_signature(&q, r2.nth_row(0), &r2).unwrap(),
+            Truth::Unknown
+        );
     }
 
     #[test]
@@ -439,10 +448,10 @@ mod tests {
         let r = Instance::parse(schema, "- -").unwrap();
         let q = Query::eq_attrs(&r, "A", "B").unwrap();
         assert_eq!(
-            eval_least_extension(&q, 0, &r, 1 << 10).unwrap(),
+            eval_least_extension(&q, r.nth_row(0), &r, 1 << 10).unwrap(),
             Truth::True
         );
-        assert_eq!(eval_signature(&q, 0, &r).unwrap(), Truth::True);
+        assert_eq!(eval_signature(&q, r.nth_row(0), &r).unwrap(), Truth::True);
     }
 
     #[test]
@@ -456,10 +465,10 @@ mod tests {
         let q = Query::Atom(Atom::In(status, both));
         // covers the whole domain → true even on the null.
         assert_eq!(
-            eval_least_extension(&q, 0, &r, 1 << 10).unwrap(),
+            eval_least_extension(&q, r.nth_row(0), &r, 1 << 10).unwrap(),
             Truth::True
         );
-        assert_eq!(eval_signature(&q, 0, &r).unwrap(), Truth::True);
+        assert_eq!(eval_signature(&q, r.nth_row(0), &r).unwrap(), Truth::True);
     }
 
     #[test]
@@ -472,14 +481,14 @@ mod tests {
         let r = Instance::parse(schema, "John -\nMary married\nAnn single").unwrap();
         let married = Query::eq_text(&r, "status", "married").unwrap();
         let sel = select(&married, &r).unwrap();
-        assert_eq!(sel.maybe, vec![0], "John's status is unknown");
-        assert_eq!(sel.sure, vec![1]);
-        assert_eq!(sel.no, vec![2]);
+        assert_eq!(sel.maybe, vec![r.nth_row(0)], "John's status is unknown");
+        assert_eq!(sel.sure, vec![r.nth_row(1)]);
+        assert_eq!(sel.no, vec![r.nth_row(2)]);
         // the tautological coverage query surely selects everyone
         let single = Query::eq_text(&r, "status", "single").unwrap();
         let either = married.or(single);
         let sel = select(&either, &r).unwrap();
-        assert_eq!(sel.sure, vec![0, 1, 2]);
+        assert_eq!(sel.sure, r.row_ids().collect::<Vec<_>>());
         assert!(sel.maybe.is_empty() && sel.no.is_empty());
     }
 
@@ -494,6 +503,6 @@ mod tests {
         // comment in the text format
         r.add_row(&["#!"]).unwrap();
         let q = Query::eq_text(&r, "A", "v1").unwrap();
-        assert_eq!(eval_kleene(&q, r.tuple(0), &r), Truth::False);
+        assert_eq!(eval_kleene(&q, r.tuple(r.nth_row(0)), &r), Truth::False);
     }
 }

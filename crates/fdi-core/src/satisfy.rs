@@ -74,7 +74,7 @@ pub fn report(fds: &FdSet, instance: &Instance, budget: u128) -> Result<Report, 
     let mut table = Vec::with_capacity(fds.len());
     for fd in fds {
         let mut row = Vec::with_capacity(instance.len());
-        for t in 0..instance.len() {
+        for t in instance.row_ids() {
             let v = prop1::evaluate(*fd, t, instance, budget).map_err(|e| match e {
                 prop1::Prop1Error::Relation(e) => e,
                 prop1::Prop1Error::RestHasNulls { .. } => unreachable!("evaluate handles nulls"),
@@ -102,7 +102,7 @@ pub fn report(fds: &FdSet, instance: &Instance, budget: u128) -> Result<Report, 
 
 /// Strong holding of a single dependency (per-tuple evaluation).
 pub fn strongly_holds(fd: Fd, instance: &Instance, budget: u128) -> Result<bool, RelationError> {
-    for t in 0..instance.len() {
+    for t in instance.row_ids() {
         let v = prop1::evaluate(fd, t, instance, budget).map_err(unwrap_relation)?;
         if v != Truth::True {
             return Ok(false);
@@ -113,7 +113,7 @@ pub fn strongly_holds(fd: Fd, instance: &Instance, budget: u128) -> Result<bool,
 
 /// Weak holding of a single dependency (per-tuple evaluation).
 pub fn weakly_holds(fd: Fd, instance: &Instance, budget: u128) -> Result<bool, RelationError> {
-    for t in 0..instance.len() {
+    for t in instance.row_ids() {
         let v = prop1::evaluate(fd, t, instance, budget).map_err(unwrap_relation)?;
         if v == Truth::False {
             return Ok(false);

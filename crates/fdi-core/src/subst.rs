@@ -28,13 +28,14 @@ use fdi_relation::attrs::AttrId;
 use fdi_relation::completion::CompletionSpace;
 use fdi_relation::error::RelationError;
 use fdi_relation::instance::Instance;
+use fdi_relation::rowid::RowId;
 use fdi_relation::value::Value;
 
 /// A substitution licensed by condition (1) or (2).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XSubstitution {
     /// The row whose `X`-nulls are resolved.
-    pub row: usize,
+    pub row: RowId,
     /// Which condition licensed it (1 or 2).
     pub condition: u8,
     /// The values to write: one `(attr, value)` per null position.
@@ -48,7 +49,7 @@ pub struct ExhaustionSite {
     /// Index of the FD.
     pub fd_index: usize,
     /// The row whose evaluation is false.
-    pub row: usize,
+    pub row: RowId,
 }
 
 /// The completion census of `t[X]` against `r`: the total number of
@@ -57,11 +58,11 @@ pub struct ExhaustionSite {
 struct Census {
     total: u128,
     appearing: Vec<Vec<Value>>,
-    agreeing: Vec<usize>,
-    disagreeing: Vec<usize>,
+    agreeing: Vec<RowId>,
+    disagreeing: Vec<RowId>,
 }
 
-fn census(fd: Fd, row: usize, instance: &Instance) -> Result<Option<Census>, RelationError> {
+fn census(fd: Fd, row: RowId, instance: &Instance) -> Result<Option<Census>, RelationError> {
     let t = instance.tuple(row);
     if !t.has_null_on(fd.lhs) || t.has_null_on(fd.rhs) {
         return Ok(None);
@@ -74,7 +75,7 @@ fn census(fd: Fd, row: usize, instance: &Instance) -> Result<Option<Census>, Rel
     let mut appearing: Vec<Vec<Value>> = Vec::new();
     let mut agreeing = Vec::new();
     let mut disagreeing = Vec::new();
-    for (j, other) in instance.tuples().iter().enumerate() {
+    for (j, other) in instance.iter_live() {
         if j == row || !t.is_completed_by(other, fd.lhs, instance.necs()) {
             continue;
         }
@@ -104,7 +105,7 @@ pub fn find_x_substitutions(
 ) -> Result<Vec<XSubstitution>, RelationError> {
     let fd = fd.normalized();
     let mut out = Vec::new();
-    for row in 0..instance.len() {
+    for row in instance.row_ids().collect::<Vec<_>>() {
         let Some(census) = census(fd, row, instance)? else {
             continue;
         };
@@ -156,7 +157,7 @@ pub fn find_x_substitutions(
 /// in `appearing` (`None` if zero or several are absent).
 fn find_missing_completion(
     fd: Fd,
-    row: usize,
+    row: RowId,
     instance: &Instance,
     appearing: &[Vec<Value>],
 ) -> Result<Option<Vec<Value>>, RelationError> {
@@ -197,7 +198,7 @@ pub fn detect_domain_exhaustion(
     let mut out = Vec::new();
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
-        for row in 0..instance.len() {
+        for row in instance.row_ids() {
             let Some(census) = census(fd, row, instance)? else {
                 continue;
             };
@@ -233,10 +234,14 @@ mod tests {
         let subs = find_x_substitutions(f, &r).unwrap();
         assert_eq!(subs.len(), 1);
         assert_eq!(subs[0].condition, 1);
-        assert_eq!(subs[0].row, 0);
+        assert_eq!(subs[0].row, r.nth_row(0));
         let mut r2 = r.clone();
         apply_substitution(&mut r2, &subs[0]);
-        assert_eq!(r2.value(0, AttrId(0)), r2.value(1, AttrId(0)), "takes A_0");
+        assert_eq!(
+            r2.value(r2.nth_row(0), AttrId(0)),
+            r2.value(r2.nth_row(1), AttrId(0)),
+            "takes A_0"
+        );
     }
 
     #[test]
@@ -250,7 +255,7 @@ mod tests {
         assert_eq!(subs[0].condition, 2);
         let mut r2 = r.clone();
         apply_substitution(&mut r2, &subs[0]);
-        let written = r2.value(0, AttrId(0));
+        let written = r2.value(r2.nth_row(0), AttrId(0));
         let a2 = r2.symbols().lookup("A_2").unwrap();
         assert_eq!(written, Value::Const(a2));
     }
@@ -287,7 +292,7 @@ mod tests {
         let f = FdSet::from_vec(vec![fixtures::figure2_fd(&r4)]);
         let sites = detect_domain_exhaustion(&f, &r4).unwrap();
         assert_eq!(sites.len(), 1);
-        assert_eq!(sites[0].row, 0);
+        assert_eq!(sites[0].row, r4.nth_row(0));
     }
 
     #[test]

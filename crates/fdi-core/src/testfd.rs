@@ -49,6 +49,7 @@ use crate::fd::{Fd, FdSet};
 use crate::groupkey;
 use fdi_relation::instance::Instance;
 use fdi_relation::nec::NecSnapshot;
+use fdi_relation::rowid::RowId;
 use fdi_relation::value::Value;
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -74,8 +75,8 @@ pub enum Convention {
 pub struct Violation {
     /// Index of the violated FD in the set.
     pub fd_index: usize,
-    /// The two offending rows.
-    pub rows: (usize, usize),
+    /// The two offending rows (stable ids, lower first).
+    pub rows: (RowId, RowId),
 }
 
 impl fmt::Display for Violation {
@@ -119,8 +120,8 @@ fn values_unequal(a: Value, b: Value, conv: Convention, instance: &Instance) -> 
 /// Projection equality on a set of attributes.
 fn rows_equal_on(
     instance: &Instance,
-    i: usize,
-    j: usize,
+    i: RowId,
+    j: RowId,
     attrs: fdi_relation::attrs::AttrSet,
     conv: Convention,
 ) -> bool {
@@ -132,8 +133,8 @@ fn rows_equal_on(
 /// Projection inequality (`∃` attribute positively unequal).
 fn rows_unequal_on(
     instance: &Instance,
-    i: usize,
-    j: usize,
+    i: RowId,
+    j: RowId,
     attrs: fdi_relation::attrs::AttrSet,
     conv: Convention,
 ) -> bool {
@@ -146,7 +147,7 @@ fn rows_unequal_on(
 /// `O(|F|·n²)`, the footnoted variant that needs no sorting and is sound
 /// under both conventions.
 pub fn check_pairwise(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
-    let n = instance.len();
+    let rows: Vec<RowId> = instance.row_ids().collect();
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
@@ -156,8 +157,8 @@ pub fn check_pairwise(instance: &Instance, fds: &FdSet, conv: Convention) -> Res
             // excludes by assuming X ∩ Y = ∅.
             continue;
         }
-        for i in 0..n {
-            for j in (i + 1)..n {
+        for (p, &i) in rows.iter().enumerate() {
+            for &j in &rows[(p + 1)..] {
                 if rows_equal_on(instance, i, j, fd.lhs, conv)
                     && rows_unequal_on(instance, i, j, fd.rhs, conv)
                 {
@@ -178,11 +179,11 @@ pub fn check_pairwise(instance: &Instance, fds: &FdSet, conv: Convention) -> Res
 /// first; either end works, the group structure is what matters).
 /// `nothing` keys by row — the inconsistent element matches nothing, so
 /// no two rows may ever be grouped through it.
-fn weak_sort_key(v: Value, row: usize, instance: &Instance) -> (u8, u32) {
+fn weak_sort_key(v: Value, row: RowId, instance: &Instance) -> (u8, u32) {
     match v {
         Value::Const(s) => (0, s.0),
         Value::Null(n) => (1, instance.necs().find_readonly(n).0),
-        Value::Nothing => (2, row as u32),
+        Value::Nothing => (2, row.0),
     }
 }
 
@@ -200,17 +201,17 @@ fn weak_sort_key(v: Value, row: usize, instance: &Instance) -> (u8, u32) {
 fn group_violation(
     instance: &Instance,
     snapshot: &NecSnapshot,
-    rows: &[usize],
+    rows: &[RowId],
     rhs: fdi_relation::attrs::AttrSet,
     conv: Convention,
-) -> Option<(usize, usize)> {
+) -> Option<(RowId, RowId)> {
     if rows.len() < 2 {
         return None;
     }
-    let pair = |a: usize, b: usize| Some((a.min(b), a.max(b)));
+    let pair = |a: RowId, b: RowId| Some((a.min(b), a.max(b)));
     for b in rhs.iter() {
-        let mut first_const: Option<(usize, fdi_relation::symbol::Symbol)> = None;
-        let mut first_null: Option<(usize, fdi_relation::value::NullId)> = None;
+        let mut first_const: Option<(RowId, fdi_relation::symbol::Symbol)> = None;
+        let mut first_null: Option<(RowId, fdi_relation::value::NullId)> = None;
         for &r in rows {
             match instance.value(r, b) {
                 Value::Nothing => {
@@ -255,8 +256,8 @@ fn group_violation(
 /// Compares two rows on `X` by their weak-convention sort keys.
 fn weak_cmp(
     instance: &Instance,
-    i: usize,
-    j: usize,
+    i: RowId,
+    j: RowId,
     attrs: fdi_relation::attrs::AttrSet,
 ) -> Ordering {
     for a in attrs.iter() {
@@ -276,16 +277,17 @@ fn weak_cmp(
 /// automatically falls back to [`check_pairwise`] for any FD whose left
 /// side contains a null somewhere in the instance (the paper's footnote).
 pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
-    let n = instance.len();
+    let rows: Vec<RowId> = instance.row_ids().collect();
+    let n = rows.len();
     let snapshot = instance.necs().canonical_snapshot();
-    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut order: Vec<RowId> = Vec::with_capacity(n);
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
             continue; // true in every instance
         }
         if conv == Convention::Strong {
-            let lhs_has_null = (0..n).any(|i| instance.tuple(i).has_null_on(fd.lhs));
+            let lhs_has_null = instance.tuples().any(|t| t.has_null_on(fd.lhs));
             if lhs_has_null {
                 // Null "equality" is not transitive: grouping by sort is
                 // unsound. Use the pairwise variant for this FD.
@@ -299,7 +301,7 @@ pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
             }
         }
         order.clear();
-        order.extend(0..n);
+        order.extend(rows.iter().copied());
         order.sort_by(|&i, &j| weak_cmp(instance, i, j, fd.lhs));
         // Scan each group of X-equal rows with the linear per-attribute
         // representative check.
@@ -336,7 +338,7 @@ pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
             continue; // true in every instance
         }
         if conv == Convention::Strong {
-            let lhs_has_null = (0..n).any(|i| instance.tuple(i).has_null_on(fd.lhs));
+            let lhs_has_null = instance.tuples().any(|t| t.has_null_on(fd.lhs));
             if lhs_has_null {
                 check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| {
                     Violation {
@@ -347,8 +349,8 @@ pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
                 continue;
             }
         }
-        let mut groups: HashMap<Vec<(u8, u32)>, Vec<usize>> = HashMap::with_capacity(n);
-        for i in 0..n {
+        let mut groups: HashMap<Vec<(u8, u32)>, Vec<RowId>> = HashMap::with_capacity(n);
+        for i in instance.row_ids() {
             let key: Vec<(u8, u32)> = fd
                 .lhs
                 .iter()
@@ -376,7 +378,6 @@ pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
 /// variants it falls back to pairwise for strong-convention FDs whose
 /// determinant meets a null.
 pub fn check_grouped(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
-    let n = instance.len();
     let snapshot = instance.necs().canonical_snapshot();
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
@@ -384,7 +385,7 @@ pub fn check_grouped(instance: &Instance, fds: &FdSet, conv: Convention) -> Resu
             continue; // true in every instance
         }
         if conv == Convention::Strong {
-            let lhs_has_null = (0..n).any(|i| instance.tuple(i).has_null_on(fd.lhs));
+            let lhs_has_null = instance.tuples().any(|t| t.has_null_on(fd.lhs));
             if lhs_has_null {
                 check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| {
                     Violation {
@@ -448,7 +449,7 @@ pub fn check_single_presorted(
     instance: &Instance,
     fd: Fd,
     conv: Convention,
-    order: &[usize],
+    order: &[RowId],
 ) -> Result<(), Violation> {
     let fd = fd.normalized();
     if fd.is_trivial() {
@@ -470,9 +471,9 @@ pub fn check_single_presorted(
 
 /// Produces an order sorting rows by `X` under the weak keys (for
 /// [`check_single_presorted`] and the benchmarks).
-pub fn sort_order(instance: &Instance, fd: Fd) -> Vec<usize> {
+pub fn sort_order(instance: &Instance, fd: Fd) -> Vec<RowId> {
     let fd = fd.normalized();
-    let mut order: Vec<usize> = (0..instance.len()).collect();
+    let mut order: Vec<RowId> = instance.row_ids().collect();
     order.sort_by(|&i, &j| weak_cmp(instance, i, j, fd.lhs));
     order
 }
@@ -664,7 +665,7 @@ mod tests {
         // every 2-subset: weakly satisfiable
         for skip in 0..3 {
             let mut sub = Instance::new(r4.schema().clone());
-            for (i, t) in r4.tuples().iter().enumerate() {
+            for (i, t) in r4.tuples().enumerate() {
                 if i != skip {
                     sub.add_tuple(t.clone()).unwrap();
                 }

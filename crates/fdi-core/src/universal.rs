@@ -98,7 +98,7 @@ pub fn round_trip(
                 .index()
         })
         .collect();
-    let render_original = |row: usize| -> Vec<String> {
+    let render_original = |row: fdi_relation::rowid::RowId| -> Vec<String> {
         schema
             .all_attrs()
             .iter()
@@ -113,7 +113,7 @@ pub fn round_trip(
             })
             .collect()
     };
-    let render_joined = |row: usize| -> Vec<String> {
+    let render_joined = |row: fdi_relation::rowid::RowId| -> Vec<String> {
         mapping
             .iter()
             .map(|&col| {
@@ -127,8 +127,8 @@ pub fn round_trip(
             })
             .collect()
     };
-    let originals: Vec<Vec<String>> = (0..universal.len()).map(render_original).collect();
-    let mut joined_rows: Vec<Vec<String>> = (0..joined.len()).map(render_joined).collect();
+    let originals: Vec<Vec<String>> = universal.row_ids().map(render_original).collect();
+    let mut joined_rows: Vec<Vec<String>> = joined.row_ids().map(render_joined).collect();
     joined_rows.sort();
     joined_rows.dedup();
     let recovered = originals

@@ -34,21 +34,29 @@
 //! ([`LhsIndex::insert_row`], [`LhsIndex::remove_row`],
 //! [`LhsIndex::rekey_row`]) that re-bucket only the touched rows —
 //! never rebuilt from scratch — and no mutation clones the instance
-//! (rejected updates are rolled back cell-by-cell instead). Internal
-//! acquisition runs the **indexed worklist chase**
-//! ([`chase::chase_plain`]) and then delta-rekeys exactly the rows the
-//! chase substituted into; full revalidations go through the
-//! size-dispatched TEST-FDs ([`crate::testfd::check`]). `bench_update`
-//! records the maintenance gap against per-update `LhsIndex::build`
-//! rebuilds in `BENCH_update.json`, and the property suite
-//! (`tests/update_equiv.rs`) proves the delta-maintained index
+//! (rejected updates are rolled back cell-by-cell instead). Rows are
+//! addressed by stable [`RowId`] slot handles throughout, so a delete
+//! is a tombstone plus one unfiling — **no survivor is renumbered**,
+//! in the instance or in the index ([`Database::delete`] is
+//! `O(|F| · bucket)` total). Internal acquisition runs the **indexed
+//! worklist chase** ([`chase::chase_plain`]) and then delta-rekeys
+//! exactly the rows the chase substituted into; full revalidations go
+//! through the size-dispatched TEST-FDs ([`crate::testfd::check`]).
+//! `bench_update` records the maintenance gap against per-update
+//! `LhsIndex::build` rebuilds in `BENCH_update.json`, and the property
+//! suite (`tests/update_equiv.rs`) proves the delta-maintained index
 //! bucket-identical to a fresh build after arbitrary update sequences.
 //!
-//! A *rejected* update leaves no tuple behind and changes no cell, but
-//! may still intern symbols, register null marks, or advance the
-//! null-id allocator while parsing its tokens — all invisible to the
-//! relational semantics (ids are never reused, unreferenced symbols are
-//! inert).
+//! A *rejected* update leaves no tuple behind and changes no cell —
+//! a rejected insert's slot is released outright (the arena truncates
+//! its trailing slot), so the next insert re-occupies the same
+//! [`RowId`] and the instance is byte-identical to one that never saw
+//! the rejected update. Token parsing may still intern symbols,
+//! register null marks, or advance the null-id allocator — all
+//! invisible to the relational semantics (ids are never reused,
+//! unreferenced symbols are inert). Long churn leaves interior
+//! tombstones in the slot arena; [`Database::compact`] densifies them
+//! and remaps the index in `O(moved)` instead of rebuilding it.
 //!
 //! # Example — §7's programme end to end
 //!
@@ -84,6 +92,7 @@ use crate::testfd::{self, Convention, Violation};
 use fdi_relation::attrs::{AttrId, AttrSet};
 use fdi_relation::error::RelationError;
 use fdi_relation::instance::Instance;
+use fdi_relation::rowid::RowId;
 use fdi_relation::tuple::Tuple;
 use fdi_relation::value::Value;
 use std::collections::HashMap;
@@ -133,12 +142,12 @@ pub enum UpdateError {
     /// `resolve_null` was pointed at a non-null cell.
     NotANull {
         /// Row of the cell.
-        row: usize,
+        row: RowId,
         /// Attribute of the cell.
         attr: AttrId,
     },
-    /// Row index out of range.
-    NoSuchRow(usize),
+    /// The row id names no live row (deleted, or never allocated).
+    NoSuchRow(RowId),
     /// Forwarded relational error (domain membership, arity, …).
     Relation(RelationError),
 }
@@ -171,10 +180,10 @@ impl From<RelationError> for UpdateError {
 }
 
 /// Outcome of an accepted modification.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct UpdateOutcome {
-    /// The row affected (for inserts: the new row's index).
-    pub row: usize,
+    /// The row affected (for inserts: the new row's id).
+    pub row: RowId,
     /// NS-rule events fired by internal acquisition.
     pub propagated: Vec<chase::NsEvent>,
 }
@@ -185,27 +194,31 @@ pub struct UpdateOutcome {
 ///
 /// Keys are the packed constant atoms of [`crate::groupkey`]
 /// ([`groupkey::const_key_into`]) — the same currency as the indexed
-/// chase — and per-row filing records ([`LhsIndex`] keeps the key each
-/// row is bucketed under) make the index **incrementally maintainable**:
-/// [`insert_row`](LhsIndex::insert_row) appends one row,
-/// [`remove_row`](LhsIndex::remove_row) unfiles one row and shifts later
-/// row ids, and [`rekey_row`](LhsIndex::rekey_row) re-buckets one row
-/// after its cells changed. An update therefore costs `O(|F|)` index
-/// work (deletes add an `O(n·|F|)` id-shift of plain integer
-/// decrements) instead of the `O(n·|F|)` hash-and-allocate of a
-/// [`build`](LhsIndex::build) from scratch.
+/// chase — and rows are held as stable [`RowId`]s with per-row filing
+/// records (the key each row is bucketed under), which make the index
+/// **incrementally maintainable**:
+/// [`insert_row`](LhsIndex::insert_row) files one row,
+/// [`remove_row`](LhsIndex::remove_row) unfiles one row *and stops* —
+/// row ids are slot handles, so nothing shifts and no other entry is
+/// touched — and [`rekey_row`](LhsIndex::rekey_row) re-buckets one row
+/// after its cells changed. Every delta therefore costs
+/// `O(|F| · bucket)` instead of the `O(n·|F|)` hash-and-allocate of a
+/// [`build`](LhsIndex::build) from scratch, deletes included. After an
+/// [`Instance::compact`], [`remap`](LhsIndex::remap) rewrites the
+/// stored ids in `O(moved)`.
 #[derive(Debug, Clone, Default)]
 pub struct LhsIndex {
     /// Normalized determinant of each FD, fixed at build time.
     lhs: Vec<AttrSet>,
     /// Per FD: packed constant-determinant key → member rows.
-    groups: Vec<HashMap<GroupKey, Vec<u32>>>,
+    groups: Vec<HashMap<GroupKey, Vec<RowId>>>,
     /// Per FD: rows with a non-constant value on the determinant.
-    wild: Vec<Vec<u32>>,
-    /// Per FD, per row: the group key the row is filed under (`None` =
-    /// wild list) — the record that makes unfiling O(1) lookups instead
-    /// of key recomputation against possibly already-changed cells.
-    row_keys: Vec<Vec<Option<GroupKey>>>,
+    wild: Vec<Vec<RowId>>,
+    /// Per FD, per filed row: the group key the row is bucketed under
+    /// (`None` = wild list) — the record that makes unfiling a direct
+    /// lookup instead of key recomputation against possibly
+    /// already-changed cells.
+    filed: Vec<HashMap<RowId, Option<GroupKey>>>,
     rows: usize,
 }
 
@@ -216,10 +229,10 @@ impl LhsIndex {
             lhs: fds.iter().map(|fd| fd.normalized().lhs).collect(),
             groups: vec![HashMap::new(); fds.len()],
             wild: vec![Vec::new(); fds.len()],
-            row_keys: vec![Vec::new(); fds.len()],
+            filed: vec![HashMap::new(); fds.len()],
             rows: 0,
         };
-        for row in 0..instance.len() {
+        for row in instance.row_ids() {
             index.insert_row(instance, row);
         }
         index
@@ -230,63 +243,48 @@ impl LhsIndex {
         self.rows
     }
 
-    /// Delta insert: files the (appended) row `row` of `instance`.
+    /// Delta insert: files the live row `row` of `instance`.
     ///
     /// # Panics
-    /// Panics unless `row` equals the current indexed row count — the
-    /// index mirrors the instance's append-only row numbering.
-    pub fn insert_row(&mut self, instance: &Instance, row: usize) {
-        assert_eq!(row, self.rows, "insert_row files the appended row");
+    /// Panics when `row` is already filed.
+    pub fn insert_row(&mut self, instance: &Instance, row: RowId) {
         let tuple = instance.tuple(row);
         let mut key = GroupKey::new();
         for i in 0..self.lhs.len() {
-            if groupkey::const_key_into(&mut key, tuple, self.lhs[i]) {
+            let record = if groupkey::const_key_into(&mut key, tuple, self.lhs[i]) {
                 Self::file(&mut self.groups[i], &key, row);
-                self.row_keys[i].push(Some(key.clone()));
+                Some(key.clone())
             } else {
-                self.wild[i].push(row as u32);
-                self.row_keys[i].push(None);
-            }
+                self.wild[i].push(row);
+                None
+            };
+            let prior = self.filed[i].insert(row, record);
+            assert!(prior.is_none(), "insert_row: row {row} already filed");
         }
         self.rows += 1;
     }
 
     /// Appends `row` to the bucket at `key`, with a borrowed probe
     /// first so only novel keys pay for an owned allocation.
-    fn file(groups: &mut HashMap<GroupKey, Vec<u32>>, key: &[u64], row: usize) {
+    fn file(groups: &mut HashMap<GroupKey, Vec<RowId>>, key: &[u64], row: RowId) {
         match groups.get_mut(key) {
-            Some(bucket) => bucket.push(row as u32),
+            Some(bucket) => bucket.push(row),
             None => {
-                groups.insert(key.to_vec(), vec![row as u32]);
+                groups.insert(key.to_vec(), vec![row]);
             }
         }
     }
 
-    /// Delta delete: unfiles `row` and shifts the ids of later rows
-    /// down by one, mirroring [`Instance::remove_row`]. The unfiling is
-    /// `O(|F| · bucket)`; the shift is a plain decrement pass over the
-    /// stored ids — no key is recomputed, rehashed, or reallocated.
+    /// Delta delete: unfiles `row` and stops — `O(|F| · bucket)`.
+    /// Row ids are stable slot handles, so no other entry changes: no
+    /// shift pass, no key recomputation, no rehash.
     ///
     /// # Panics
-    /// Panics when `row` is out of range or the index is inconsistent
-    /// with its filing records.
-    pub fn remove_row(&mut self, row: usize) {
-        assert!(row < self.rows, "remove_row: no row {row}");
+    /// Panics when `row` is not filed or the index is inconsistent with
+    /// its filing records.
+    pub fn remove_row(&mut self, row: RowId) {
         for i in 0..self.lhs.len() {
             self.unfile(i, row);
-            self.row_keys[i].remove(row);
-            for bucket in self.groups[i].values_mut() {
-                for r in bucket.iter_mut() {
-                    if *r > row as u32 {
-                        *r -= 1;
-                    }
-                }
-            }
-            for r in self.wild[i].iter_mut() {
-                if *r > row as u32 {
-                    *r -= 1;
-                }
-            }
         }
         self.rows -= 1;
     }
@@ -296,14 +294,16 @@ impl LhsIndex {
     /// whose determinant key is unchanged are left untouched.
     ///
     /// # Panics
-    /// Panics when `row` is out of range.
-    pub fn rekey_row(&mut self, instance: &Instance, row: usize) {
-        assert!(row < self.rows, "rekey_row: no row {row}");
+    /// Panics when `row` is not filed.
+    pub fn rekey_row(&mut self, instance: &Instance, row: RowId) {
         let tuple = instance.tuple(row);
         let mut key = GroupKey::new();
         for i in 0..self.lhs.len() {
             let new_key = groupkey::const_key_into(&mut key, tuple, self.lhs[i]);
-            let same = match (&self.row_keys[i][row], new_key) {
+            let record = self.filed[i]
+                .get(&row)
+                .unwrap_or_else(|| panic!("rekey_row: row {row} not filed"));
+            let same = match (record, new_key) {
                 (Some(old), true) => old.as_slice() == key.as_slice(),
                 (None, false) => true,
                 _ => false,
@@ -312,26 +312,27 @@ impl LhsIndex {
                 continue;
             }
             self.unfile(i, row);
-            if new_key {
+            let record = if new_key {
                 Self::file(&mut self.groups[i], &key, row);
-                self.row_keys[i][row] = Some(key.clone());
+                Some(key.clone())
             } else {
-                self.wild[i].push(row as u32);
-                self.row_keys[i][row] = None;
-            }
+                self.wild[i].push(row);
+                None
+            };
+            self.filed[i].insert(row, record);
         }
     }
 
     /// Removes `row` from the bucket (or wild list) it is filed under
-    /// for FD `i`, leaving its `row_keys` slot `None`.
-    fn unfile(&mut self, i: usize, row: usize) {
-        match self.row_keys[i][row].take() {
+    /// for FD `i`, dropping its filing record.
+    fn unfile(&mut self, i: usize, row: RowId) {
+        let record = self.filed[i]
+            .remove(&row)
+            .unwrap_or_else(|| panic!("unfile: row {row} not filed"));
+        match record {
             Some(old_key) => {
                 let bucket = self.groups[i].get_mut(&old_key).expect("filed bucket");
-                let pos = bucket
-                    .iter()
-                    .position(|&r| r == row as u32)
-                    .expect("filed row");
+                let pos = bucket.iter().position(|&r| r == row).expect("filed row");
                 bucket.swap_remove(pos);
                 if bucket.is_empty() {
                     self.groups[i].remove(&old_key);
@@ -340,9 +341,44 @@ impl LhsIndex {
             None => {
                 let pos = self.wild[i]
                     .iter()
-                    .position(|&r| r == row as u32)
+                    .position(|&r| r == row)
                     .expect("wild row");
                 self.wild[i].swap_remove(pos);
+            }
+        }
+    }
+
+    /// Applies the old → new id pairs returned by
+    /// [`Instance::compact`]: every stored occurrence of a moved id is
+    /// rewritten in place — `O(moved · |F|)` plus filing-record
+    /// re-hashes, no key recomputation, no rebuild.
+    pub fn remap(&mut self, moved: &[(RowId, RowId)]) {
+        // Pairs must be applied in the order compact() reports them
+        // (ascending old slot): chains like (2→1),(3→2) re-use a just-
+        // vacated id, so processing out of order would rewrite the
+        // wrong row.
+        for i in 0..self.lhs.len() {
+            for &(old, new) in moved {
+                let Some(record) = self.filed[i].remove(&old) else {
+                    continue; // id not filed (never inserted here)
+                };
+                match &record {
+                    Some(key) => {
+                        let bucket = self.groups[i]
+                            .get_mut(key.as_slice())
+                            .expect("filed bucket");
+                        let pos = bucket.iter().position(|&r| r == old).expect("filed row");
+                        bucket[pos] = new;
+                    }
+                    None => {
+                        let pos = self.wild[i]
+                            .iter()
+                            .position(|&r| r == old)
+                            .expect("wild row");
+                        self.wild[i][pos] = new;
+                    }
+                }
+                self.filed[i].insert(new, record);
             }
         }
     }
@@ -350,19 +386,21 @@ impl LhsIndex {
     /// The candidate rows a new tuple must be checked against for FD
     /// `fd_index` under the strong convention: the exact group (when the
     /// tuple's determinant is total) plus the wild list; a wild tuple
-    /// must check against everything. The group lookup is borrowed — no
-    /// key allocation on the probe path.
-    pub fn candidates(&self, fd_index: usize, tuple: &Tuple, total_rows: usize) -> Vec<usize> {
+    /// must check against every live row of `instance`. The group lookup
+    /// is borrowed — no key allocation on the probe path. (The probe
+    /// tuple's own row, if it is already live but not yet filed, is the
+    /// caller's to exclude.)
+    pub fn candidates(&self, fd_index: usize, tuple: &Tuple, instance: &Instance) -> Vec<RowId> {
         let mut key = GroupKey::new();
         if groupkey::const_key_into(&mut key, tuple, self.lhs[fd_index]) {
-            let mut out: Vec<usize> = self.groups[fd_index]
+            let mut out: Vec<RowId> = self.groups[fd_index]
                 .get(key.as_slice())
-                .map(|rows| rows.iter().map(|&r| r as usize).collect())
+                .cloned()
                 .unwrap_or_default();
-            out.extend(self.wild[fd_index].iter().map(|&r| r as usize));
+            out.extend(self.wild[fd_index].iter().copied());
             out
         } else {
-            (0..total_rows).collect()
+            instance.row_ids().collect()
         }
     }
 
@@ -377,13 +415,13 @@ impl LhsIndex {
     /// identical to a fresh [`build`](LhsIndex::build).
     pub fn same_buckets(&self, other: &LhsIndex) -> bool {
         /// Sorted bucket lists, one per FD.
-        type CanonGroups = Vec<Vec<(GroupKey, Vec<u32>)>>;
-        fn canon(ix: &LhsIndex) -> (CanonGroups, Vec<Vec<u32>>) {
+        type CanonGroups = Vec<Vec<(GroupKey, Vec<RowId>)>>;
+        fn canon(ix: &LhsIndex) -> (CanonGroups, Vec<Vec<RowId>>) {
             let groups = ix
                 .groups
                 .iter()
                 .map(|m| {
-                    let mut v: Vec<(GroupKey, Vec<u32>)> = m
+                    let mut v: Vec<(GroupKey, Vec<RowId>)> = m
                         .iter()
                         .map(|(k, rows)| {
                             let mut rows = rows.clone();
@@ -471,7 +509,9 @@ impl Database {
         } = chase::chase_plain(&self.instance, &self.fds);
         if !events.is_empty() {
             let all = self.instance.schema().all_attrs();
-            let changed: Vec<usize> = (0..self.instance.len())
+            let changed: Vec<RowId> = self
+                .instance
+                .row_ids()
                 .filter(|&row| {
                     let before = self.instance.tuple(row);
                     let after = chased.tuple(row);
@@ -488,17 +528,15 @@ impl Database {
 
     /// Incremental strong check of the tuple at `row` (the candidate
     /// insert, already parsed into the instance but not yet indexed)
-    /// against the `existing` preceding rows, via the index. Returns the
-    /// first violation.
-    fn incremental_strong_check(
-        &self,
-        tuple: &Tuple,
-        row: usize,
-        existing: usize,
-    ) -> Option<Violation> {
+    /// against the preexisting rows, via the index. Returns the first
+    /// violation.
+    fn incremental_strong_check(&self, tuple: &Tuple, row: RowId) -> Option<Violation> {
         for (i, fd) in self.fds.iter().enumerate() {
             let fd = fd.normalized();
-            for other_row in self.index.candidates(i, tuple, existing) {
+            for other_row in self.index.candidates(i, tuple, &self.instance) {
+                if other_row == row {
+                    continue; // the candidate itself (live, not yet filed)
+                }
                 let other = self.instance.tuple(other_row);
                 let x_match = fd
                     .lhs
@@ -531,7 +569,7 @@ impl Database {
         let rejection = match self.policy.enforcement {
             Enforcement::Strong => {
                 let tuple = self.instance.tuple(row).clone();
-                self.incremental_strong_check(&tuple, row, row)
+                self.incremental_strong_check(&tuple, row)
                     .map(|v| UpdateError::Rejected {
                         violation: Some(v),
                         enforcement: Enforcement::Strong,
@@ -559,10 +597,11 @@ impl Database {
 
     /// Deletes a row. Deletion can never break satisfiability (both
     /// notions are anti-monotone in the tuple set), so it always
-    /// succeeds; the index is maintained by a delta remove, not a
-    /// rebuild.
-    pub fn delete(&mut self, row: usize) -> Result<UpdateOutcome, UpdateError> {
-        if row >= self.instance.len() {
+    /// succeeds. The instance tombstones the slot and the index unfiles
+    /// one row — `O(|F| · bucket)` total, with **no survivor
+    /// renumbering anywhere** (every other [`RowId`] stays valid).
+    pub fn delete(&mut self, row: RowId) -> Result<UpdateOutcome, UpdateError> {
+        if !self.instance.is_live(row) {
             return Err(UpdateError::NoSuchRow(row));
         }
         self.instance.remove_row(row);
@@ -573,16 +612,27 @@ impl Database {
         })
     }
 
+    /// Densifies the slot arena after heavy churn: compacts the
+    /// instance ([`Instance::compact`]) and remaps the index
+    /// ([`LhsIndex::remap`]) in `O(moved)`. Returns the old → new id
+    /// pairs of every row that moved — previously held [`RowId`]s for
+    /// those rows are invalidated.
+    pub fn compact(&mut self) -> Vec<(RowId, RowId)> {
+        let moved = self.instance.compact();
+        self.index.remap(&moved);
+        moved
+    }
+
     /// Replaces the value of one cell (checked like an insert). On
     /// rejection the cell is restored; on acceptance the row is re-keyed
     /// in place — one delta, no rebuild.
     pub fn modify(
         &mut self,
-        row: usize,
+        row: RowId,
         attr: AttrId,
         token: &str,
     ) -> Result<UpdateOutcome, UpdateError> {
-        if row >= self.instance.len() {
+        if !self.instance.is_live(row) {
             return Err(UpdateError::NoSuchRow(row));
         }
         let value = parse_token(&mut self.instance, attr, token)?;
@@ -610,11 +660,11 @@ impl Database {
     /// held an occurrence are re-keyed.
     pub fn resolve_null(
         &mut self,
-        row: usize,
+        row: RowId,
         attr: AttrId,
         token: &str,
     ) -> Result<UpdateOutcome, UpdateError> {
-        if row >= self.instance.len() {
+        if !self.instance.is_live(row) {
             return Err(UpdateError::NoSuchRow(row));
         }
         let Value::Null(id) = self.instance.value(row, attr) else {
@@ -632,8 +682,9 @@ impl Database {
         // Substitute the whole class, remembering each change for the
         // rollback and the per-row re-key.
         let all = self.instance.schema().all_attrs();
-        let mut changed: Vec<(usize, AttrId, Value)> = Vec::new();
-        for r in 0..self.instance.len() {
+        let rows: Vec<RowId> = self.instance.row_ids().collect();
+        let mut changed: Vec<(RowId, AttrId, Value)> = Vec::new();
+        for r in rows {
             for a in all.iter() {
                 if let Value::Null(n) = self.instance.value(r, a) {
                     if self.instance.necs().same_class(n, id) {
@@ -649,7 +700,7 @@ impl Database {
             }
             return Err(e);
         }
-        let mut touched: Vec<usize> = changed.iter().map(|&(r, _, _)| r).collect();
+        let mut touched: Vec<RowId> = changed.iter().map(|&(r, _, _)| r).collect();
         touched.dedup(); // changes were recorded in ascending row order
         for r in touched {
             self.index.rekey_row(&self.instance, r);
@@ -733,7 +784,7 @@ pub fn insert_with_full_recheck(
     fds: &FdSet,
     tokens: &[&str],
     conv: Convention,
-) -> Result<usize, UpdateError> {
+) -> Result<RowId, UpdateError> {
     let mut scratch = instance.clone();
     let row = scratch.add_row(tokens)?;
     let result = match conv {
@@ -789,7 +840,8 @@ mod tests {
         let out = db
             .insert(&["e4", "20K", "d3", "part"])
             .expect("clean insert");
-        assert_eq!(out.row, n);
+        assert!(db.instance().is_live(out.row));
+        assert_eq!(db.instance().nth_row(n), out.row);
         assert_eq!(db.instance().len(), n + 1);
         assert_index_fresh(&db);
     }
@@ -875,21 +927,23 @@ mod tests {
         .unwrap();
         // e3's D# is null; resolving it to d1 forces CT=full vs e3's
         // part — contradiction, rejected.
-        let err = db.resolve_null(2, AttrId(2), "d1").unwrap_err();
+        let e3 = db.instance().nth_row(2);
+        let err = db.resolve_null(e3, AttrId(2), "d1").unwrap_err();
         assert!(matches!(err, UpdateError::Rejected { .. }));
         assert_index_fresh(&db);
         // resolving to d3 is fine (no other d3 row)
-        db.resolve_null(2, AttrId(2), "d3")
+        db.resolve_null(e3, AttrId(2), "d3")
             .expect("consistent value");
         assert_eq!(
             db.instance()
-                .value(2, AttrId(2))
+                .value(e3, AttrId(2))
                 .render(db.instance().symbols(), false),
             "d3"
         );
         assert_index_fresh(&db);
         // pointing at a non-null errs
-        let err = db.resolve_null(0, AttrId(0), "e1").unwrap_err();
+        let e1 = db.instance().nth_row(0);
+        let err = db.resolve_null(e1, AttrId(0), "e1").unwrap_err();
         assert!(matches!(err, UpdateError::NotANull { .. }));
     }
 
@@ -907,9 +961,11 @@ mod tests {
             },
         )
         .unwrap();
-        db.resolve_null(0, AttrId(1), "b1").expect("consistent");
+        let r0 = db.instance().nth_row(0);
+        let r1 = db.instance().nth_row(1);
+        db.resolve_null(r0, AttrId(1), "b1").expect("consistent");
         assert!(
-            db.instance().value(1, AttrId(1)).is_const(),
+            db.instance().value(r1, AttrId(1)).is_const(),
             "class-wide substitution"
         );
         assert_index_fresh(&db);
@@ -918,9 +974,11 @@ mod tests {
     #[test]
     fn deletes_always_succeed_and_reindex() {
         let mut db = strong_db();
-        db.delete(1).expect("delete");
+        let victim = db.instance().nth_row(1);
+        db.delete(victim).expect("delete");
         assert_eq!(db.instance().len(), 2);
-        assert!(db.delete(99).is_err());
+        assert!(db.delete(victim).is_err(), "the slot is dead now");
+        assert!(db.delete(fdi_relation::RowId(99)).is_err());
         assert_index_fresh(&db);
         // still insertable after the delta remove
         db.insert(&["e2", "25K", "d3", "part"]).expect("reinsert");
@@ -930,15 +988,17 @@ mod tests {
     #[test]
     fn modify_is_policy_checked() {
         let mut db = strong_db();
+        let e1 = db.instance().nth_row(0);
+        let e2 = db.instance().nth_row(1);
         // moving e2 into d2 would pair its `full` contract with e3's
         // `part` under D# → CT: rejected.
-        let err = db.modify(1, AttrId(2), "d2").unwrap_err();
+        let err = db.modify(e2, AttrId(2), "d2").unwrap_err();
         assert!(matches!(err, UpdateError::Rejected { .. }), "d2 is part");
         assert_index_fresh(&db);
         // d3 is unused: fine.
-        db.modify(1, AttrId(2), "d3").expect("no d3 rows yet");
+        db.modify(e2, AttrId(2), "d3").expect("no d3 rows yet");
         // and with e2 out of d1, e1's contract can change freely.
-        db.modify(0, AttrId(3), "part")
+        db.modify(e1, AttrId(3), "part")
             .expect("d1 now has one member");
         assert_index_fresh(&db);
     }
@@ -999,8 +1059,8 @@ mod tests {
         }
         let index = LhsIndex::build(&r, &fds);
         assert_eq!(index.group_count(0), 16);
-        let probe = r.tuple(0).clone();
-        let candidates = index.candidates(0, &probe, r.len());
+        let probe = r.tuple(r.nth_row(0)).clone();
+        let candidates = index.candidates(0, &probe, &r);
         assert_eq!(candidates.len(), 1, "exact group only, no wild tuples");
     }
 }

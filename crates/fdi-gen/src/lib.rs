@@ -17,6 +17,7 @@
 use fdi_core::fd::{Fd, FdSet};
 use fdi_relation::attrs::{AttrId, AttrSet};
 use fdi_relation::instance::Instance;
+use fdi_relation::rowid::RowId;
 use fdi_relation::schema::Schema;
 use fdi_relation::tuple::Tuple;
 use fdi_relation::value::{NullId, Value};
@@ -121,6 +122,7 @@ pub fn random_instance(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> In
     // column-local so class domains are never empty)
     let mut null_pools: Vec<Vec<NullId>> = vec![Vec::new(); spec.attrs];
     let names = attr_names(spec.attrs);
+    let mut inserted: Vec<RowId> = Vec::with_capacity(spec.rows);
     for row in 0..spec.rows {
         let mut values: Vec<Value> = (0..spec.attrs)
             .map(|col| {
@@ -137,7 +139,7 @@ pub fn random_instance(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> In
         // Plant a collision: copy an earlier row's X-values for a random
         // FD so the dependency constrains something.
         if row > 0 && !fds.is_empty() && rng.gen_bool(spec.collision_rate) {
-            let donor = rng.gen_range(0..row);
+            let donor = inserted[rng.gen_range(0..row)];
             let fd = fds.fds()[rng.gen_range(0..fds.len())];
             for a in fd.lhs.iter() {
                 values[a.index()] = instance.tuple(donor).get(a);
@@ -157,7 +159,7 @@ pub fn random_instance(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> In
                 *value = Value::Null(id);
             }
         }
-        instance.add_tuple(Tuple::new(values)).expect("arity");
+        inserted.push(instance.add_tuple(Tuple::new(values)).expect("arity"));
     }
     instance
 }
@@ -187,6 +189,7 @@ fn satisfiable_base(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> Insta
     let schema = schema_for(spec);
     let mut instance = Instance::new(schema.clone());
     let names = attr_names(spec.attrs);
+    let mut inserted: Vec<RowId> = Vec::with_capacity(spec.rows);
     for row in 0..spec.rows {
         let mut values: Vec<Value> = (0..spec.attrs)
             .map(|col| {
@@ -201,13 +204,13 @@ fn satisfiable_base(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) -> Insta
             })
             .collect();
         if row > 0 && !fds.is_empty() && rng.gen_bool(spec.collision_rate) {
-            let donor = rng.gen_range(0..row);
+            let donor = inserted[rng.gen_range(0..row)];
             let fd = fds.fds()[rng.gen_range(0..fds.len())];
             for a in fd.lhs.union(fd.rhs).iter() {
                 values[a.index()] = instance.tuple(donor).get(a);
             }
         }
-        instance.add_tuple(Tuple::new(values)).expect("arity");
+        inserted.push(instance.add_tuple(Tuple::new(values)).expect("arity"));
     }
     let mut engine = fdi_core::chase::CellEngine::new(&instance);
     engine.run(fds, fdi_core::chase::Scheduler::Fast);
@@ -223,7 +226,8 @@ pub fn satisfiable_instance(rng: &mut StdRng, spec: &WorkloadSpec, fds: &FdSet) 
     let mut instance = satisfiable_base(rng, spec, fds);
     // Poke nulls (fresh ids only: shared classes could break the
     // witness).
-    for row in 0..instance.len() {
+    let rows: Vec<RowId> = instance.row_ids().collect();
+    for row in rows {
         for col in 0..spec.attrs {
             if rng.gen_bool(spec.null_density) {
                 let id = instance.fresh_null();
@@ -287,7 +291,8 @@ pub fn large_workload(
     let mut instance = satisfiable_base(&mut rng, &spec, &fds);
     let mut class_reps: std::collections::HashMap<(usize, fdi_relation::Symbol), NullId> =
         std::collections::HashMap::new();
-    for row in 0..instance.len() {
+    let rows: Vec<RowId> = instance.row_ids().collect();
+    for row in rows {
         for col in 0..spec.attrs {
             let attr = AttrId(col as u16);
             if !rng.gen_bool(null_density) {
@@ -328,8 +333,9 @@ pub fn large_workload(
 pub enum UpdateOp {
     /// Insert a fresh row, given as parse tokens (`-` for nulls).
     Insert(Vec<String>),
-    /// Delete the row at the index (valid when ops are applied in
-    /// stream order).
+    /// Delete the `i`-th live row in display order at application time
+    /// (valid when ops are applied in stream order; [`apply_op`]
+    /// resolves the position to a stable [`RowId`] via [`LiveRows`]).
     Delete(usize),
     /// Overwrite one cell with the token.
     Modify {
@@ -385,10 +391,12 @@ impl Default for UpdateMix {
 /// Generates `count` single-row update operations valid against an
 /// instance that starts with `start_rows` rows over `spec`'s schema:
 /// the generator tracks the live row count as inserts and deletes are
-/// (assumed) applied in stream order, so every row index is in range at
-/// application time. Inserted and modified cells draw constants from
-/// the spec's domains, with `spec.null_density` fresh (column-local,
-/// class-free) nulls; resolve tokens are always constants.
+/// (assumed) applied in stream order, so every *positional* row
+/// reference (resolved to a stable [`RowId`] by [`apply_op`] via
+/// [`LiveRows`]) is in range at application time. Inserted and modified
+/// cells draw constants from the spec's domains, with
+/// `spec.null_density` fresh (column-local, class-free) nulls; resolve
+/// tokens are always constants.
 ///
 /// When the live count reaches zero, an [`UpdateOp::Insert`] is emitted
 /// regardless of the mix (the only applicable operation) — a
@@ -397,8 +405,8 @@ impl Default for UpdateMix {
 ///
 /// The in-range guarantee holds when every insert lands (e.g. under
 /// [`fdi_core::update::Enforcement::None`]); under a rejecting policy
-/// later indices may fall out of range, which
-/// [`fdi_core::update::Database`] reports as a clean `NoSuchRow` error.
+/// later positions may fall out of range, which [`apply_op`] reports as
+/// a clean `false` without touching the database.
 pub fn update_stream(
     seed: u64,
     spec: &WorkloadSpec,
@@ -448,19 +456,74 @@ pub fn update_stream(
     ops
 }
 
-/// Applies one stream operation to a maintained database; returns
-/// whether the database accepted it (rejections, `NotANull` misses, and
-/// out-of-range rows leave the database untouched, so a stream stays
-/// applicable).
-pub fn apply_op(db: &mut fdi_core::update::Database, op: &UpdateOp) -> bool {
+/// Stream-side tracker of live rows, in display order: the bridge from
+/// an [`UpdateOp`]'s *positional* row reference (the `i`-th live row at
+/// application time — what the blind generator can talk about) to the
+/// stable [`RowId`] the database operates on. Maintained by
+/// [`apply_op`]: accepted inserts append their new id, accepted deletes
+/// remove theirs; rejected operations leave it untouched, mirroring the
+/// database.
+#[derive(Debug, Clone, Default)]
+pub struct LiveRows {
+    ids: Vec<RowId>,
+}
+
+impl LiveRows {
+    /// Captures the current live rows of `instance` in display order.
+    pub fn of(instance: &Instance) -> LiveRows {
+        LiveRows {
+            ids: instance.row_ids().collect(),
+        }
+    }
+
+    /// Number of tracked live rows.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` iff no rows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The id of the `pos`-th live row, if in range.
+    pub fn get(&self, pos: usize) -> Option<RowId> {
+        self.ids.get(pos).copied()
+    }
+}
+
+/// Applies one stream operation to a maintained database, resolving the
+/// op's positional row reference through `live`; returns whether the
+/// database accepted it (rejections, `NotANull` misses, and
+/// out-of-range positions leave database and tracker untouched, so a
+/// stream stays applicable).
+pub fn apply_op(db: &mut fdi_core::update::Database, live: &mut LiveRows, op: &UpdateOp) -> bool {
     match op {
         UpdateOp::Insert(tokens) => {
             let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
-            db.insert(&refs).is_ok()
+            match db.insert(&refs) {
+                Ok(outcome) => {
+                    live.ids.push(outcome.row);
+                    true
+                }
+                Err(_) => false,
+            }
         }
-        UpdateOp::Delete(row) => db.delete(*row).is_ok(),
-        UpdateOp::Modify { row, attr, token } => db.modify(*row, *attr, token).is_ok(),
-        UpdateOp::ResolveNull { row, attr, token } => db.resolve_null(*row, *attr, token).is_ok(),
+        UpdateOp::Delete(pos) => match live.get(*pos) {
+            Some(row) if db.delete(row).is_ok() => {
+                live.ids.remove(*pos);
+                true
+            }
+            _ => false,
+        },
+        UpdateOp::Modify { row, attr, token } => match live.get(*row) {
+            Some(id) => db.modify(id, *attr, token).is_ok(),
+            None => false,
+        },
+        UpdateOp::ResolveNull { row, attr, token } => match live.get(*row) {
+            Some(id) => db.resolve_null(id, *attr, token).is_ok(),
+            None => false,
+        },
     }
 }
 
@@ -473,10 +536,11 @@ pub fn plant_violation(rng: &mut StdRng, instance: &mut Instance, fds: &FdSet) {
     if instance.len() < 2 {
         return;
     }
-    let a = rng.gen_range(0..instance.len());
-    let mut b = rng.gen_range(0..instance.len());
+    let rows: Vec<RowId> = instance.row_ids().collect();
+    let a = rows[rng.gen_range(0..rows.len())];
+    let mut b = rows[rng.gen_range(0..rows.len())];
     while b == a {
-        b = rng.gen_range(0..instance.len());
+        b = rows[rng.gen_range(0..rows.len())];
     }
     for attr in fd.lhs.iter() {
         let v = instance.tuple(a).get(attr);
@@ -569,7 +633,7 @@ mod tests {
             };
             let w = satisfiable_workload(seed, &spec, 3);
             assert!(
-                interp::all_hold_classical(&w.fds, w.instance.tuples()),
+                interp::all_hold_classical(&w.fds, &w.instance.tuples_vec()),
                 "seed {seed}"
             );
         }
@@ -729,10 +793,84 @@ mod tests {
             },
         )
         .expect("load mode");
+        let mut live = LiveRows::of(db.instance());
         let stream = update_stream(10, &spec, 16, 60, UpdateMix::default());
         for op in &stream {
-            assert!(apply_op(&mut db, op), "load mode accepts in-range ops");
+            assert!(
+                apply_op(&mut db, &mut live, op),
+                "load mode accepts in-range ops"
+            );
         }
+    }
+
+    /// A tombstoned-then-reinserted instance keeps the dense display
+    /// order: it prints exactly like a twin built densely from its live
+    /// tuples, and serializing the live rows back through the parse
+    /// format round-trips the content (NEC classes carried by shared
+    /// `?mark`s keyed on class roots).
+    #[test]
+    fn churned_instances_print_densely_and_round_trip_the_text_format() {
+        use fdi_core::update::{Database, Enforcement, Policy};
+        let spec = WorkloadSpec {
+            rows: 20,
+            null_density: 0.25,
+            nec_density: 0.4,
+            ..WorkloadSpec::default()
+        };
+        let w = workload(17, &spec, 3);
+        let mut db = Database::new(
+            w.instance.clone(),
+            w.fds.clone(),
+            Policy {
+                enforcement: Enforcement::None,
+                propagate: false,
+            },
+        )
+        .expect("load mode");
+        let mut live = LiveRows::of(db.instance());
+        let churn = UpdateMix {
+            insert: 1,
+            delete: 1,
+            modify: 0,
+            resolve: 0,
+        };
+        for op in &update_stream(18, &spec, 20, 48, churn) {
+            apply_op(&mut db, &mut live, op);
+        }
+        let churned = db.instance();
+        assert!(
+            churned.slot_bound() > churned.len(),
+            "the churn stream must actually leave interior tombstones"
+        );
+
+        // Display order == dense order: a twin built from the live
+        // tuples in iter_live order renders identically.
+        let mut dense = Instance::new(churned.schema().clone());
+        for (_, t) in churned.iter_live() {
+            dense.add_tuple(t.clone()).expect("arity");
+        }
+        dense.replace_necs(churned.necs().clone());
+        assert_eq!(churned.render(false), dense.render(false));
+        assert_eq!(churned.canonical_form(), dense.canonical_form());
+
+        // Text-format round trip: serialize live rows (constants by
+        // name, nulls as class-root marks, display order) and re-parse.
+        let all = churned.schema().all_attrs();
+        let mut text = String::new();
+        for (_, t) in churned.iter_live() {
+            let line: Vec<String> = all
+                .iter()
+                .map(|a| match t.get(a) {
+                    Value::Const(s) => churned.symbols().resolve(s).to_string(),
+                    Value::Null(n) => format!("?c{}", churned.necs().find_readonly(n).0),
+                    Value::Nothing => "#!".to_string(),
+                })
+                .collect();
+            text.push_str(&line.join(" "));
+            text.push('\n');
+        }
+        let reparsed = Instance::parse(churned.schema().clone(), &text).expect("round trip");
+        assert_eq!(reparsed.canonical_form(), churned.canonical_form());
     }
 
     #[test]

@@ -221,7 +221,10 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.schema().attr_name(AttrId(0)), "A");
         assert_eq!(p.schema().attr_name(AttrId(1)), "C");
-        assert_eq!(p.value(1, AttrId(1)).render(p.symbols(), false), "c2");
+        assert_eq!(
+            p.value(p.nth_row(1), AttrId(1)).render(p.symbols(), false),
+            "c2"
+        );
     }
 
     #[test]
@@ -252,7 +255,6 @@ mod tests {
         assert_eq!(joined.len(), 3, "lossless: exactly the original tuples");
         let mut rows: Vec<String> = joined
             .tuples()
-            .iter()
             .map(|t| {
                 t.values()
                     .iter()

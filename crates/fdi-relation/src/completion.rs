@@ -19,6 +19,7 @@
 use crate::attrs::AttrSet;
 use crate::error::RelationError;
 use crate::instance::Instance;
+use crate::rowid::RowId;
 use crate::symbol::Symbol;
 use crate::tuple::Tuple;
 use crate::value::{NullId, Value};
@@ -26,8 +27,8 @@ use crate::value::{NullId, Value};
 /// One NEC class with its occurrences and candidate substitutions.
 #[derive(Debug, Clone)]
 struct ClassSlot {
-    /// Occurrences as (row, attr) positions; rows index the instance.
-    positions: Vec<(usize, crate::attrs::AttrId)>,
+    /// Occurrences as (row, attr) positions; rows identify instance rows.
+    positions: Vec<(RowId, crate::attrs::AttrId)>,
     /// Candidate constants: the intersection of the domains of every
     /// attribute the class occurs under, sorted.
     candidates: Vec<Symbol>,
@@ -38,7 +39,7 @@ struct ClassSlot {
 #[derive(Debug, Clone)]
 pub struct CompletionSpace<'a> {
     instance: &'a Instance,
-    rows: Vec<usize>,
+    rows: Vec<RowId>,
     scope: AttrSet,
     classes: Vec<ClassSlot>,
 }
@@ -46,13 +47,13 @@ pub struct CompletionSpace<'a> {
 impl<'a> CompletionSpace<'a> {
     /// The completion space `AP(r, scope)` over all rows of `instance`.
     pub fn for_instance(instance: &'a Instance, scope: AttrSet) -> Result<Self, RelationError> {
-        Self::for_rows(instance, (0..instance.len()).collect(), scope)
+        Self::for_rows(instance, instance.row_ids().collect(), scope)
     }
 
     /// The completion space `AP(t, scope)` of a single row.
     pub fn for_tuple(
         instance: &'a Instance,
-        row: usize,
+        row: RowId,
         scope: AttrSet,
     ) -> Result<Self, RelationError> {
         Self::for_rows(instance, vec![row], scope)
@@ -61,7 +62,7 @@ impl<'a> CompletionSpace<'a> {
     /// Completion space over an arbitrary set of rows.
     pub fn for_rows(
         instance: &'a Instance,
-        rows: Vec<usize>,
+        rows: Vec<RowId>,
         scope: AttrSet,
     ) -> Result<Self, RelationError> {
         let mut classes: Vec<(NullId, ClassSlot)> = Vec::new();
@@ -232,22 +233,22 @@ mod tests {
     #[test]
     fn complete_tuples_have_one_completion() {
         let r = Instance::parse(schema_abc(), "a1 b1 c1").unwrap();
-        let space = CompletionSpace::for_tuple(&r, 0, all(&r)).unwrap();
+        let space = CompletionSpace::for_tuple(&r, r.nth_row(0), all(&r)).unwrap();
         assert_eq!(space.count(), 1);
         assert_eq!(space.tuples().len(), 1);
-        assert_eq!(space.tuples()[0], *r.tuple(0));
+        assert_eq!(space.tuples()[0], *r.tuple(r.nth_row(0)));
     }
 
     #[test]
     fn single_null_enumerates_its_domain() {
         let r = Instance::parse(schema_abc(), "a1 - c1").unwrap();
-        let space = CompletionSpace::for_tuple(&r, 0, all(&r)).unwrap();
+        let space = CompletionSpace::for_tuple(&r, r.nth_row(0), all(&r)).unwrap();
         assert_eq!(space.count(), 3, "dom(B) has 3 values");
         let tuples = space.tuples();
         assert_eq!(tuples.len(), 3);
         for t in &tuples {
             assert!(t.is_total_on(all(&r)));
-            assert!(r.tuple(0).approximates(t));
+            assert!(r.tuple(r.nth_row(0)).approximates(t));
         }
         // all distinct
         let set: std::collections::HashSet<_> = tuples.iter().collect();
@@ -257,7 +258,7 @@ mod tests {
     #[test]
     fn independent_nulls_multiply() {
         let r = Instance::parse(schema_abc(), "- - c1").unwrap();
-        let space = CompletionSpace::for_tuple(&r, 0, all(&r)).unwrap();
+        let space = CompletionSpace::for_tuple(&r, r.nth_row(0), all(&r)).unwrap();
         assert_eq!(space.count(), 2 * 3);
         assert_eq!(space.iter().count(), 6);
     }
@@ -266,7 +267,7 @@ mod tests {
     fn scope_restricts_enumeration() {
         let r = Instance::parse(schema_abc(), "- - c1").unwrap();
         let scope = AttrSet::singleton(AttrId(0));
-        let space = CompletionSpace::for_tuple(&r, 0, scope).unwrap();
+        let space = CompletionSpace::for_tuple(&r, r.nth_row(0), scope).unwrap();
         assert_eq!(space.count(), 2, "only the A-null is in scope");
         for t in space.tuples() {
             assert!(t.get(AttrId(1)).is_null(), "B-null untouched");
@@ -361,9 +362,9 @@ mod tests {
         for rows in space.iter() {
             seen += 1;
             assert_eq!(rows.len(), 2);
-            for (i, t) in rows.iter().enumerate() {
+            for (id, t) in r.row_ids().zip(rows.iter()) {
                 assert!(t.is_total_on(all(&r)));
-                assert!(r.tuple(i).approximates(t));
+                assert!(r.tuple(id).approximates(t));
             }
         }
         assert_eq!(seen, 6);

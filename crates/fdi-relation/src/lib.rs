@@ -13,7 +13,11 @@
 //!   assumption), plus unbounded domains for classical algorithms;
 //! * [`schema`] — relation schemes;
 //! * [`nec`] — null-equality constraints as a union–find (Definition 1);
-//! * [`mod@tuple`] / [`instance`] — tuples and relation instances, with a
+//! * [`rowid`] — stable row identity: the [`RowId`] slot handle that
+//!   survives deletes unchanged (no positional renumbering);
+//! * [`mod@tuple`] / [`instance`] — tuples and relation instances stored
+//!   in a slot arena (`O(1)` tombstoning deletes, explicit
+//!   [`Instance::compact`](instance::Instance::compact)), with a
 //!   figure-style text format and ASCII rendering;
 //! * [`completion`] — the completion sets `AP(t, R)` / `AP(r, R)` of §4,
 //!   with counting and budgeted enumeration;
@@ -48,6 +52,7 @@ pub mod error;
 pub mod instance;
 pub mod lattice;
 pub mod nec;
+pub mod rowid;
 pub mod schema;
 pub mod symbol;
 pub mod tuple;
@@ -59,6 +64,7 @@ pub use domain::Domain;
 pub use error::RelationError;
 pub use instance::{CanonValue, CanonicalInstance, Instance};
 pub use nec::{NecSnapshot, NecStore};
+pub use rowid::RowId;
 pub use schema::{AttrDef, DomainSpec, Schema, SchemaBuilder};
 pub use symbol::{Symbol, SymbolTable};
 pub use tuple::Tuple;

@@ -243,7 +243,7 @@ proptest! {
             .iter()
             .map(|def| joined_schema.attr_id(&def.name).unwrap().index())
             .collect();
-        for row in 0..r.len() {
+        for row in r.row_ids() {
             let want: Vec<String> = r
                 .schema()
                 .all_attrs()
@@ -253,7 +253,7 @@ proptest! {
                     v => v.render(r.symbols(), false),
                 })
                 .collect();
-            let found = (0..joined.len()).any(|j| {
+            let found = joined.row_ids().any(|j| {
                 mapping.iter().enumerate().all(|(orig, &col)| {
                     let v = joined.value(j, AttrId(col as u16));
                     let rendered = match v {
@@ -276,9 +276,9 @@ proptest! {
         prop_assume!(space.count() <= 128);
         let outside = r.schema().all_attrs().difference(scope);
         for tuples in space.iter() {
-            for (i, t) in tuples.iter().enumerate() {
+            for (id, t) in r.row_ids().zip(tuples.iter()) {
                 for a in outside.iter() {
-                    prop_assert_eq!(t.get(a), r.tuple(i).get(a));
+                    prop_assert_eq!(t.get(a), r.tuple(id).get(a));
                 }
             }
         }

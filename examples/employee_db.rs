@@ -32,8 +32,10 @@ fn main() {
         let fd = fixtures::figure2_fd(&instance);
         println!("\ninstance {}:", names[i]);
         println!("{}", instance.render(false));
-        let outcome = prop1::proposition1(fd, 0, &instance).expect("null-free rest");
-        let ground = eval_least_extension(fd, 0, &instance, DEFAULT_BUDGET).expect("in budget");
+        let outcome =
+            prop1::proposition1(fd, instance.nth_row(0), &instance).expect("null-free rest");
+        let ground = eval_least_extension(fd, instance.nth_row(0), &instance, DEFAULT_BUDGET)
+            .expect("in budget");
         println!(
             "f(t1, {}) = {}  because of {}   (ground truth by completion \
              enumeration: {}, paper expects: {})",
@@ -62,10 +64,11 @@ fn main() {
     let fd = Fd::parse(r.schema(), "A -> B").expect("fd");
     let subs = subst::find_x_substitutions(fd, &r).expect("in budget");
     for s in &subs {
+        let pos = r.row_ids().position(|id| id == s.row).expect("live row");
         println!(
             "condition ({}) licenses resolving row {}'s X-null: {:?}",
             s.condition,
-            s.row + 1,
+            pos + 1,
             s.writes
         );
         let mut repaired = r.clone();

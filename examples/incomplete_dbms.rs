@@ -60,9 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The user resolves cyd's grade; only values consistent with
     // grade→salary are accepted (cyd earns 100k, g1 earns 60k).
     let grade = db.instance().schema().attr_id("grade")?;
-    let err = db.resolve_null(2, grade, "g1").unwrap_err();
+    let cyd = db.instance().nth_row(2);
+    let err = db.resolve_null(cyd, grade, "g1").unwrap_err();
     println!("resolving cyd's grade to g1 is rejected: {err}");
-    db.resolve_null(2, grade, "g3")?;
+    db.resolve_null(cyd, grade, "g3")?;
     println!(
         "resolving it to g3 succeeds:\n{}",
         db.instance().render(false)

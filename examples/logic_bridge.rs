@@ -28,15 +28,15 @@ fn main() {
     let either = married.clone().or(single);
     println!(
         "Q : \"Is John married?\"            = {}",
-        query::eval_least_extension(&married, 0, &people, 1 << 10).expect("budget")
+        query::eval_least_extension(&married, people.nth_row(0), &people, 1 << 10).expect("budget")
     );
     println!(
         "Q': \"Is John married or single?\"  = {}  (lub{{yes, yes}})",
-        query::eval_least_extension(&either, 0, &people, 1 << 10).expect("budget")
+        query::eval_least_extension(&either, people.nth_row(0), &people, 1 << 10).expect("budget")
     );
     println!(
         "     … Kleene evaluation would say  {}  — rule 1 is what saves Q'\n",
-        query::eval_kleene(&either, people.tuple(0), &people)
+        query::eval_kleene(&either, people.tuple(people.nth_row(0)), &people)
     );
 
     // ----- the same phenomenon inside System-C -----

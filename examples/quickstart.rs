@@ -37,9 +37,9 @@ fn main() {
 
     // Per-tuple three-valued evaluation (Proposition 1).
     for (i, fd) in fds.iter().enumerate() {
-        for row in 0..staff.len() {
+        for (pos, row) in staff.row_ids().enumerate() {
             let truth = prop1::evaluate(*fd, row, &staff, DEFAULT_BUDGET).expect("in budget");
-            println!("f{}(t{}, r) = {truth}", i + 1, row + 1);
+            println!("f{}(t{}, r) = {truth}", i + 1, pos + 1);
         }
     }
     println!();

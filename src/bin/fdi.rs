@@ -182,7 +182,13 @@ fn run(command: &str, desc: &Description) -> Result<(), String> {
                 println!("no [F2] domain-exhaustion sites: the weak pipelines are exact here");
             } else {
                 for s in sites {
-                    println!("[F2] at row {} under fd #{}", s.row + 1, s.fd_index + 1);
+                    // displayed row numbers are 1-based positions in the
+                    // printed table, not raw slot ids
+                    let pos = instance
+                        .row_ids()
+                        .position(|id| id == s.row)
+                        .expect("site names a live row");
+                    println!("[F2] at row {} under fd #{}", pos + 1, s.fd_index + 1);
                 }
             }
         }

@@ -120,7 +120,7 @@ fn mixed_marks_and_constants_in_one_group() {
         assert_eq!(
             chased
                 .instance
-                .value(row, AttrId(1))
+                .value(chased.instance.nth_row(row), AttrId(1))
                 .render(chased.instance.symbols(), false),
             "b0"
         );

@@ -44,11 +44,11 @@ fn single_tuple_instances() {
     // one tuple can never violate an FD
     assert!(testfd::check_strong(&r, &fds).is_ok());
     assert_eq!(
-        interp::eval_least_extension(fd, 0, &r, DEFAULT_BUDGET).unwrap(),
+        interp::eval_least_extension(fd, r.nth_row(0), &r, DEFAULT_BUDGET).unwrap(),
         Truth::True
     );
     // Proposition 1's literal classifier says [T2] here (unique X)
-    let o = prop1::proposition1(fd, 0, &r).unwrap();
+    let o = prop1::proposition1(fd, r.nth_row(0), &r).unwrap();
     assert_eq!(o.verdict, Truth::True);
 }
 
@@ -61,10 +61,10 @@ fn all_null_tuple() {
     // violates → unknown; instance not strongly satisfied, weakly fine.
     assert!(testfd::check_strong(&r, &fds).is_err());
     assert!(chase::weakly_satisfiable_via_chase(&fds, &r));
-    let truth = interp::eval_least_extension(fd, 0, &r, DEFAULT_BUDGET).unwrap();
+    let truth = interp::eval_least_extension(fd, r.nth_row(0), &r, DEFAULT_BUDGET).unwrap();
     assert_eq!(truth, Truth::Unknown);
     // prop-1 literal verdict: nulls on both sides → unknown (approximates)
-    let o = prop1::proposition1(fd, 0, &r).unwrap();
+    let o = prop1::proposition1(fd, r.nth_row(0), &r).unwrap();
     assert!(o.verdict.approximates(truth));
 }
 
@@ -75,7 +75,7 @@ fn trivial_dependencies_hold_everywhere() {
     assert!(trivial.is_trivial());
     let fds = FdSet::from_vec(vec![trivial]);
     assert!(testfd::check_strong(&r, &fds).is_ok());
-    for row in 0..r.len() {
+    for row in r.row_ids() {
         assert_eq!(
             interp::eval_least_extension(trivial, row, &r, DEFAULT_BUDGET).unwrap(),
             Truth::True
@@ -173,7 +173,15 @@ fn report_on_instance_with_only_nulls_in_one_column() {
     assert!(report.weak);
     // the chase must introduce an NEC between those two nulls
     let chased = chase::chase_plain(&r, &fds);
-    let n0 = chased.instance.value(0, AttrId(1)).as_null().unwrap();
-    let n2 = chased.instance.value(2, AttrId(1)).as_null().unwrap();
+    let n0 = chased
+        .instance
+        .value(chased.instance.nth_row(0), AttrId(1))
+        .as_null()
+        .unwrap();
+    let n2 = chased
+        .instance
+        .value(chased.instance.nth_row(2), AttrId(1))
+        .as_null()
+        .unwrap();
     assert!(chased.instance.necs().same_class(n0, n2));
 }

@@ -133,18 +133,19 @@ fn resolve_null_accepts_exactly_the_consistent_values() {
         },
     )
     .unwrap();
+    let target = db.instance().nth_row(1);
     let mut ok_db = db.clone();
     ok_db
-        .resolve_null(1, AttrId(1), "B_1")
+        .resolve_null(target, AttrId(1), "B_1")
         .expect("the only consistent value");
     let mut bad_db = db.clone();
-    let err = bad_db.resolve_null(1, AttrId(1), "B_0").unwrap_err();
+    let err = bad_db.resolve_null(target, AttrId(1), "B_0").unwrap_err();
     assert!(matches!(err, UpdateError::Rejected { .. }));
     // internal acquisition would have found the same value
     let chased = chase::chase_plain(db.instance(), db.fds());
     assert_eq!(
-        chased.instance.value(1, AttrId(1)),
-        ok_db.instance().value(1, AttrId(1)),
+        chased.instance.value(chased.instance.nth_row(1), AttrId(1)),
+        ok_db.instance().value(target, AttrId(1)),
         "§4: the substituted value is the only value a user could insert"
     );
 }
@@ -205,13 +206,13 @@ fn deletion_then_reinsertion_round_trips() {
     )
     .unwrap();
     // removing a tuple and putting it back must always be accepted
-    let victim = base.tuple(4).clone();
+    let victim = base.tuple(base.nth_row(4)).clone();
     let rendered: Vec<String> = victim
         .values()
         .iter()
         .map(|v| v.render(base.symbols(), false))
         .collect();
-    db.delete(4).expect("delete");
+    db.delete(db.instance().nth_row(4)).expect("delete");
     let refs: Vec<&str> = rendered.iter().map(String::as_str).collect();
     db.insert(&refs)
         .expect("reinsertion of a deleted tuple is always consistent");

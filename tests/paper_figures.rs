@@ -12,7 +12,7 @@ fn e1_figure_1_2_both_dependencies_hold() {
     let r = fixtures::figure1_instance();
     let fds = fixtures::figure1_fds();
     assert!(r.is_complete());
-    assert!(interp::all_hold_classical(&fds, r.tuples()));
+    assert!(interp::all_hold_classical(&fds, &r.tuples_vec()));
     assert!(testfd::check_strong(&r, &fds).is_ok());
     assert!(testfd::check_weak(&r, &fds).is_ok());
     // "It is trivial to verify that E# → SL,D# and D# → CT hold" — and
@@ -47,12 +47,12 @@ fn e3_figure_2_classification_table() {
     ];
     for (i, (r, paper_truth)) in fixtures::figure2_all().into_iter().enumerate() {
         let fd = fixtures::figure2_fd(&r);
-        let outcome = prop1::proposition1(fd, 0, &r).unwrap();
+        let outcome = prop1::proposition1(fd, r.nth_row(0), &r).unwrap();
         assert_eq!(outcome.rule, expected[i].0, "r{} rule", i + 1);
         assert_eq!(outcome.verdict, expected[i].1, "r{} verdict", i + 1);
         assert_eq!(outcome.verdict, paper_truth);
         // the classification equals the least-extension ground truth
-        let ground = interp::eval_least_extension(fd, 0, &r, DEFAULT_BUDGET).unwrap();
+        let ground = interp::eval_least_extension(fd, r.nth_row(0), &r, DEFAULT_BUDGET).unwrap();
         assert_eq!(ground, paper_truth, "r{} ground truth", i + 1);
     }
 }
@@ -66,7 +66,7 @@ fn e4_two_tuple_observations() {
     // every 2-tuple subrelation: weakly satisfiable
     for skip in 0..r4.len() {
         let mut sub = Instance::new(r4.schema().clone());
-        for (i, t) in r4.tuples().iter().enumerate() {
+        for (i, t) in r4.tuples().enumerate() {
             if i != skip {
                 sub.add_tuple(t.clone()).unwrap();
             }
@@ -98,8 +98,9 @@ fn e4_two_tuple_observations() {
         };
         let whole = testfd::check_strong(&r, &fds).is_ok();
         let mut all_pairs = true;
-        for i in 0..r.len() {
-            for j in (i + 1)..r.len() {
+        let rows: Vec<_> = r.row_ids().collect();
+        for (p, &i) in rows.iter().enumerate() {
+            for &j in &rows[(p + 1)..] {
                 let mut sub = Instance::new(schema.clone());
                 sub.add_tuple(r.tuple(i).clone()).unwrap();
                 sub.add_tuple(r.tuple(j).clone()).unwrap();
@@ -142,7 +143,7 @@ fn e8_figure5_nonconfluence_and_theorem4() {
     let e2 = chase::extended_chase(&r, &fds.permuted(&[1, 0]), Scheduler::NaivePairs);
     assert_eq!(e1.instance.canonical_form(), e2.instance.canonical_form());
     let b = AttrId(1);
-    for row in 0..r.len() {
+    for row in r.row_ids() {
         assert!(e1.instance.value(row, b).is_nothing());
     }
     // Theorem 4(b): nothing present ⟺ not weakly satisfiable

@@ -166,7 +166,7 @@ fn plain_chase_reaches_fixpoints_that_extended_chase_refines() {
         // value (unless the cell was destroyed by an inconsistency)
         let extended = chase::extended_chase(&w.instance, &w.fds, Scheduler::Fast);
         let all = w.instance.schema().all_attrs();
-        for row in 0..w.instance.len() {
+        for row in w.instance.row_ids() {
             for attr in all.iter() {
                 let p = plain.instance.value(row, attr);
                 let e = extended.instance.value(row, attr);

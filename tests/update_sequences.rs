@@ -68,14 +68,14 @@ fn run_sequence(seed: u64, enforcement: Enforcement, propagate: bool) {
                 if db.instance().is_empty() {
                     continue;
                 }
-                let row = rng.gen_range(0..db.instance().len());
+                let row = db.instance().nth_row(rng.gen_range(0..db.instance().len()));
                 db.delete(row).map(|_| ())
             }
             2 => {
                 if db.instance().is_empty() {
                     continue;
                 }
-                let row = rng.gen_range(0..db.instance().len());
+                let row = db.instance().nth_row(rng.gen_range(0..db.instance().len()));
                 let attr = rng.gen_range(0..ATTRS);
                 let token = random_token(&mut rng, attr, 0.3);
                 db.modify(row, AttrId(attr as u16), &token).map(|_| ())
@@ -83,13 +83,10 @@ fn run_sequence(seed: u64, enforcement: Enforcement, propagate: bool) {
             _ => {
                 // resolve a random null if any exists
                 let all = db.instance().schema().all_attrs();
-                let target = (0..db.instance().len()).find_map(|r| {
-                    db.instance()
-                        .tuple(r)
-                        .nulls_on(all)
-                        .next()
-                        .map(|(a, _)| (r, a))
-                });
+                let target = db
+                    .instance()
+                    .iter_live()
+                    .find_map(|(r, t)| t.nulls_on(all).next().map(|(a, _)| (r, a)));
                 let Some((row, attr)) = target else { continue };
                 let token = format!(
                     "{}_{}",
