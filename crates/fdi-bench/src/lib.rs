@@ -215,4 +215,5 @@ mod tests {
     }
 }
 pub mod experiments;
+pub mod par_bench;
 pub mod update_bench;

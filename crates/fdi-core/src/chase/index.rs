@@ -64,8 +64,10 @@
 
 use crate::fd::{Fd, FdSet};
 use crate::groupkey::{self, GroupKey};
-use fdi_relation::attrs::AttrId;
+use fdi_exec::Executor;
+use fdi_relation::attrs::{AttrId, AttrSet};
 use fdi_relation::instance::Instance;
+use fdi_relation::nec::NecSnapshot;
 use fdi_relation::rowid::RowId;
 use fdi_relation::symbol::Symbol;
 use fdi_relation::value::{NullId, Value};
@@ -77,8 +79,38 @@ use super::ns::{NsChaseResult, NsEvent, NsEventKind};
 /// Runs the indexed worklist chase; same contract as
 /// [`super::ns::chase_plain`].
 pub fn chase_indexed(instance: &Instance, fds: &FdSet) -> NsChaseResult {
-    let mut engine = Engine::new(instance, fds);
-    let passes = engine.run(instance);
+    chase_indexed_par(instance, fds, &Executor::with_threads(1))
+}
+
+/// Runs the indexed worklist chase with its **read phases sharded**
+/// onto `exec` — the `fdi-exec`-backed twin of [`chase_indexed`], and
+/// **bit-identical to it at every thread count** (same chased
+/// instance, same events at the same sites, same pass count — with or
+/// without [`ChaseIndexCaveat`]s present; the caveats govern fidelity
+/// to the *naive* engine, not to this one).
+///
+/// Parallelism never touches rule application. Two phases shard:
+///
+/// * the **index build** (per-FD determinant buckets, the occurrence
+///   index): shard-local maps merged in shard order, so every bucket
+///   and occurrence list equals its sequential counterpart;
+/// * per pass and FD, the **agenda classification**: every agenda
+///   bucket is scanned read-only against the pass-start state and
+///   flagged *clean* (no NS-rule applicable) or *dirty*.
+///
+/// Application then replays the agenda **sequentially in agenda
+/// order**, sweeping dirty buckets and skipping clean ones — which is
+/// sound because a clean bucket can only become sweepable through a
+/// *membership* change (plain-rule events transform whole NEC classes,
+/// so they never turn an all-one-class or all-one-constant dependent
+/// column into a mixed one; only bucket migration adds members), and
+/// every migration target is tracked and re-checked. Skipped sweeps
+/// are therefore provably no-ops, and the surviving sweeps run in
+/// exactly the sequential engine's order against exactly the
+/// sequential engine's state.
+pub fn chase_indexed_par(instance: &Instance, fds: &FdSet, exec: &Executor) -> NsChaseResult {
+    let mut engine = Engine::new_par(instance, fds, exec);
+    let passes = engine.run(instance, exec);
     NsChaseResult {
         instance: engine.work,
         events: engine.events,
@@ -259,21 +291,101 @@ struct Engine {
     lhs_slots: Vec<Vec<usize>>,
     /// Per FD slot: bucket keys whose membership changed (the worklist).
     dirty: Vec<HashSet<GroupKey>>,
+    /// Per FD slot: bucket keys migrated *into* since the slot's agenda
+    /// was classified this pass — the keys whose clean verdicts are
+    /// stale (membership grew). Only maintained and consulted on the
+    /// parallel run path (`parallel`); cleared per (pass, slot).
+    touched: Vec<HashSet<GroupKey>>,
+    /// Was the engine built for a multi-thread executor? Gates the
+    /// classification phase and the `touched` bookkeeping so the
+    /// sequential path pays nothing for them.
+    parallel: bool,
     events: Vec<NsEvent>,
 }
 
+/// The non-trivial FDs of the set, with their original indexes —
+/// shared scaffolding of both engine constructors.
+fn fd_slots(fds: &FdSet) -> Vec<FdSlot> {
+    fds.iter()
+        .enumerate()
+        .map(|(original_index, fd)| FdSlot {
+            original_index,
+            fd: fd.normalized(),
+        })
+        .filter(|slot| !slot.fd.is_trivial())
+        .collect()
+}
+
+/// Is no plain NS-rule applicable within this bucket? Read-only twin of
+/// [`Engine::sweep_bucket`]'s trigger conditions, for the parallel
+/// classification phase: a bucket is *clean* iff every dependent column
+/// holds (besides inert `nothing`s) only one constant or only nulls of
+/// one NEC class.
+fn bucket_clean(work: &Instance, snapshot: &NecSnapshot, rows: &[RowId], rhs: AttrSet) -> bool {
+    for attr in rhs.iter() {
+        let mut seen_const = false;
+        let mut seen_class: Option<NullId> = None;
+        for &row in rows {
+            match work.value(row, attr) {
+                Value::Nothing => {}
+                Value::Const(_) => {
+                    if seen_class.is_some() {
+                        return false; // rule (a): null + constant
+                    }
+                    seen_const = true;
+                }
+                Value::Null(n) => {
+                    if seen_const {
+                        return false; // rule (a)
+                    }
+                    let root = snapshot.root(n);
+                    match seen_class {
+                        Some(prior) if prior != root => return false, // rule (b)
+                        _ => seen_class = Some(root),
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
 impl Engine {
+    /// Assembles an engine from its built indexes — the scaffolding
+    /// (`lhs_slots`, empty worklists) shared by both constructors.
+    fn assemble(
+        work: Instance,
+        slots: Vec<FdSlot>,
+        buckets: Vec<HashMap<GroupKey, Vec<RowId>>>,
+        row_keys: Vec<Vec<GroupKey>>,
+        occurrences: HashMap<u32, Vec<(RowId, u16)>>,
+        parallel: bool,
+    ) -> Engine {
+        let mut lhs_slots = vec![Vec::new(); work.arity()];
+        for (si, slot) in slots.iter().enumerate() {
+            for a in slot.fd.lhs.iter() {
+                lhs_slots[a.index()].push(si);
+            }
+        }
+        let dirty = vec![HashSet::new(); slots.len()];
+        let touched = vec![HashSet::new(); slots.len()];
+        Engine {
+            work,
+            fds: slots,
+            buckets,
+            row_keys,
+            occurrences,
+            lhs_slots,
+            dirty,
+            touched,
+            parallel,
+            events: Vec::new(),
+        }
+    }
+
     fn new(instance: &Instance, fds: &FdSet) -> Engine {
         let mut work = instance.clone();
-        let slots: Vec<FdSlot> = fds
-            .iter()
-            .enumerate()
-            .map(|(original_index, fd)| FdSlot {
-                original_index,
-                fd: fd.normalized(),
-            })
-            .filter(|slot| !slot.fd.is_trivial())
-            .collect();
+        let slots = fd_slots(fds);
         let n = work.len();
         let bound = work.slot_bound();
         let arity = work.arity();
@@ -289,13 +401,6 @@ impl Engine {
                         .or_default()
                         .push((row, col as u16));
                 }
-            }
-        }
-
-        let mut lhs_slots = vec![Vec::new(); arity];
-        for (si, slot) in slots.iter().enumerate() {
-            for a in slot.fd.lhs.iter() {
-                lhs_slots[a.index()].push(si);
             }
         }
 
@@ -315,22 +420,110 @@ impl Engine {
             row_keys.push(fd_keys);
         }
 
-        let dirty = vec![HashSet::new(); slots.len()];
-        Engine {
-            work,
-            fds: slots,
-            buckets,
-            row_keys,
-            occurrences,
-            lhs_slots,
-            dirty,
-            events: Vec::new(),
+        Engine::assemble(work, slots, buckets, row_keys, occurrences, false)
+    }
+
+    /// Builds the engine with the index construction sharded over
+    /// [`RowId`] ranges: per-FD buckets, the per-slot key table, and
+    /// the occurrence index are each assembled from shard-local pieces
+    /// merged in shard order, reproducing the sequential build's maps
+    /// and list orders exactly (bucket member lists and occurrence
+    /// lists stay ascending / row-major). A 1-thread executor takes
+    /// [`Engine::new`] outright.
+    fn new_par(instance: &Instance, fds: &FdSet, exec: &Executor) -> Engine {
+        if exec.threads() == 1 {
+            return Engine::new(instance, fds);
         }
+        let work = instance.clone();
+        let slots = fd_slots(fds);
+        let n = work.len();
+        let bound = work.slot_bound();
+        let arity = work.arity();
+        let snapshot = work.necs().canonical_snapshot();
+        let shards = work.row_id_shards(exec.threads() * 2);
+
+        // Occurrence index: shard-local row-major scans, merged in
+        // shard order — each class's list stays (row, col)-major, the
+        // order the sequential build produces. Classes are keyed by
+        // snapshot root, which equals the union–find root `find` would
+        // return (compression changes parents, never roots).
+        let occ_locals = exec.map(&shards, |_, &shard| {
+            let mut occ: HashMap<u32, Vec<(RowId, u16)>> = HashMap::new();
+            for (row, tuple) in work.iter_live_in(shard) {
+                for col in 0..arity {
+                    if let Value::Null(id) = tuple.get(AttrId(col as u16)) {
+                        occ.entry(snapshot.root(id).0)
+                            .or_default()
+                            .push((row, col as u16));
+                    }
+                }
+            }
+            occ
+        });
+        let mut occurrences: HashMap<u32, Vec<(RowId, u16)>> = HashMap::new();
+        for local in occ_locals {
+            for (root, mut occs) in local {
+                match occurrences.entry(root) {
+                    Entry::Occupied(mut entry) => entry.get_mut().append(&mut occs),
+                    Entry::Vacant(entry) => {
+                        entry.insert(occs);
+                    }
+                }
+            }
+        }
+
+        // Per-FD determinant buckets and the dense per-slot key table:
+        // every shard covers a disjoint slot range, so its key segment
+        // writes into disjoint positions of the table.
+        let mut buckets = Vec::with_capacity(slots.len());
+        let mut row_keys = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            let lhs = slot.fd.lhs;
+            let locals = exec.map(&shards, |_, &shard| {
+                let mut fd_buckets: HashMap<GroupKey, Vec<RowId>> = HashMap::new();
+                let mut keys: Vec<(RowId, GroupKey)> = Vec::new();
+                let mut key = GroupKey::new();
+                for (row, tuple) in work.iter_live_in(shard) {
+                    groupkey::key_into(&mut key, tuple, row, lhs, &snapshot);
+                    fd_buckets.entry(key.clone()).or_default().push(row);
+                    keys.push((row, key.clone()));
+                }
+                (fd_buckets, keys)
+            });
+            let mut merged: HashMap<GroupKey, Vec<RowId>> = HashMap::with_capacity(n);
+            let mut fd_keys: Vec<GroupKey> = vec![GroupKey::new(); bound];
+            for (local_buckets, keys) in locals {
+                for (key, mut rows) in local_buckets {
+                    match merged.entry(key) {
+                        Entry::Occupied(mut entry) => entry.get_mut().append(&mut rows),
+                        Entry::Vacant(entry) => {
+                            entry.insert(rows);
+                        }
+                    }
+                }
+                for (row, key) in keys {
+                    fd_keys[row.index()] = key;
+                }
+            }
+            buckets.push(merged);
+            row_keys.push(fd_keys);
+        }
+
+        Engine::assemble(work, slots, buckets, row_keys, occurrences, true)
     }
 
     /// Runs passes to the fixpoint; returns the pass count (the final
     /// pass applies nothing, mirroring the naive engine's counter).
-    fn run(&mut self, original: &Instance) -> usize {
+    ///
+    /// With a multi-thread executor, each (pass, FD) agenda is first
+    /// **classified in parallel** (read-only: is any rule applicable in
+    /// this bucket?) and the sequential application loop then skips the
+    /// clean buckets — unless a migration has since grown their
+    /// membership (`touched`), the one way a clean verdict can go
+    /// stale. Skipped sweeps are provably no-ops, so events, states,
+    /// and pass counts are identical at every thread count.
+    fn run(&mut self, original: &Instance, exec: &Executor) -> usize {
+        let parallel = self.parallel && exec.threads() > 1;
         let mut passes = 0;
         loop {
             passes += 1;
@@ -359,8 +552,28 @@ impl Engine {
                     self.dirty[si].clear();
                 }
                 agenda.sort_unstable();
-                for (_, key) in agenda {
-                    self.sweep_bucket(si, &key);
+                let clean: Vec<bool> = if parallel && agenda.len() > 1 {
+                    let snapshot = self.work.necs().canonical_snapshot();
+                    let work = &self.work;
+                    let buckets = &self.buckets[si];
+                    let rhs = self.fds[si].fd.rhs;
+                    exec.map(&agenda, |_, (_, key)| match buckets.get(key) {
+                        Some(rows) => bucket_clean(work, &snapshot, rows, rhs),
+                        None => true, // unreachable: nothing ran since the draw
+                    })
+                } else {
+                    vec![false; agenda.len()]
+                };
+                // Clean verdicts hold from here on unless a migration
+                // grows a bucket — start tracking those now.
+                if parallel {
+                    self.touched[si].clear();
+                }
+                for (idx, (_, key)) in agenda.iter().enumerate() {
+                    if clean[idx] && !self.touched[si].contains(key) {
+                        continue; // provably a no-op sweep
+                    }
+                    self.sweep_bucket(si, key);
                 }
             }
             if self.events.len() == before {
@@ -544,6 +757,13 @@ impl Engine {
             // a not-yet-swept bucket of the very FD being processed).
             // Re-enqueueing renames costs at most one no-op sweep next
             // pass in the common case; dropping one loses the fixpoint.
+            // The migration target also voids any same-pass clean
+            // verdict for that key (the parallel run path's `touched` —
+            // the sequential path sweeps everything, so it skips the
+            // bookkeeping).
+            if self.parallel {
+                self.touched[si].insert(new_key.clone());
+            }
             self.dirty[si].insert(new_key);
         }
     }
@@ -710,6 +930,54 @@ mod tests {
         // (The chased instances legitimately differ here: ?w gets B_0
         // from one engine and B_1 from the other — Figure 5's order
         // dependence, triggered by the inert `nothing` row.)
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_even_on_caveat_instances() {
+        // chase_indexed_par promises identity with chase_indexed at any
+        // thread count *unconditionally* — caveats only relax fidelity
+        // to the naive engine. Exercise fixture instances plus both
+        // caveat regimes (cross-column class, `nothing` bucket).
+        let schema = fdi_relation::Schema::uniform("R", &["A", "B"], 4).unwrap();
+        let cross = fdi_relation::Instance::parse(
+            schema.clone(),
+            "A_1 ?z
+             A_1 B_2
+             ?z  B_1
+             ?z  ?w",
+        )
+        .unwrap();
+        let nothing = fdi_relation::Instance::parse(
+            schema.clone(),
+            "A_0 #!
+             A_1 B_0
+             A_1 ?w
+             A_0 ?w
+             A_0 B_1",
+        )
+        .unwrap();
+        let ab_fds = FdSet::parse(&schema, "A -> B").unwrap();
+        let cases: Vec<(Instance, FdSet)> = vec![
+            (fixtures::figure5_instance(), fixtures::figure5_fds()),
+            (fixtures::section6_instance(), fixtures::section6_fds()),
+            (fixtures::figure1_null_instance(), fixtures::figure1_fds()),
+            (cross, ab_fds.clone()),
+            (nothing, ab_fds),
+        ];
+        for (r, fds) in &cases {
+            let sequential = chase_indexed(r, fds);
+            for threads in [2, 3, 8] {
+                let parallel = chase_indexed_par(r, fds, &Executor::with_threads(threads));
+                assert_eq!(
+                    sequential.instance.canonical_form(),
+                    parallel.instance.canonical_form(),
+                    "threads = {threads} on\n{}",
+                    r.render(true)
+                );
+                assert_eq!(sequential.events, parallel.events, "threads = {threads}");
+                assert_eq!(sequential.passes, parallel.passes, "threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -92,10 +92,10 @@ pub mod index;
 pub mod ns;
 
 pub use cells::{extended_chase, CellEngine, ChaseOutcome, Scheduler};
-pub use index::{order_replay_caveats, order_replay_exact, ChaseIndexCaveat};
+pub use index::{chase_indexed_par, order_replay_caveats, order_replay_exact, ChaseIndexCaveat};
 pub use ns::{
-    chase_naive, chase_plain, is_minimally_incomplete, is_minimally_incomplete_naive,
-    NsChaseResult, NsEvent, NsEventKind,
+    chase_naive, chase_plain, chase_plain_par, is_minimally_incomplete,
+    is_minimally_incomplete_naive, NsChaseResult, NsEvent, NsEventKind,
 };
 
 use crate::fd::FdSet;

@@ -186,6 +186,21 @@ pub fn chase_plain(instance: &Instance, fds: &FdSet) -> NsChaseResult {
     super::index::chase_indexed(instance, fds)
 }
 
+/// [`chase_plain`] with its read phases (index build, per-pass
+/// violation discovery) sharded onto a deterministic `fdi-exec`
+/// executor. Rule application stays sequential in agenda order, so the
+/// result — instance, events, pass count — is **bit-identical to
+/// [`chase_plain`] at every thread count**; see
+/// [`super::index::chase_indexed_par`] for the phase structure and the
+/// no-op-skip soundness argument.
+pub fn chase_plain_par(
+    instance: &Instance,
+    fds: &FdSet,
+    exec: &fdi_exec::Executor,
+) -> NsChaseResult {
+    super::index::chase_indexed_par(instance, fds, exec)
+}
+
 /// The historical all-pairs chase — `O(|F|·n²)` agreement checks per
 /// pass and an `O(n·p)` scan per substitution. Kept as the executable
 /// definition that the indexed engine is verified against.

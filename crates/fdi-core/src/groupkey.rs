@@ -118,6 +118,50 @@ pub fn group_rows(
     groups
 }
 
+/// [`group_rows`] sharded over [`RowId`] ranges: each shard builds a
+/// local partition of its live rows, and the shard maps are merged **in
+/// shard order**, so every group's row list is the concatenation of
+/// ascending sub-lists of ascending shards — i.e. exactly the ascending
+/// list the sequential loop builds. The returned map is equal to
+/// [`group_rows`]'s (groups, and row order within each group) at every
+/// thread count; a 1-thread executor takes the sequential path outright.
+pub fn group_rows_par(
+    instance: &fdi_relation::instance::Instance,
+    attrs: AttrSet,
+    snapshot: &NecSnapshot,
+    exec: &fdi_exec::Executor,
+) -> std::collections::HashMap<GroupKey, Vec<RowId>> {
+    use std::collections::hash_map::Entry;
+    if exec.threads() == 1 {
+        return group_rows(instance, attrs, snapshot);
+    }
+    // A few shards per worker so tombstone-skewed arenas still balance.
+    let shards = instance.row_id_shards(exec.threads() * 4);
+    let locals = exec.map(&shards, |_, &shard| {
+        let mut groups: std::collections::HashMap<GroupKey, Vec<RowId>> =
+            std::collections::HashMap::new();
+        let mut key = GroupKey::new();
+        for (row, tuple) in instance.iter_live_in(shard) {
+            key_into(&mut key, tuple, row, attrs, snapshot);
+            groups.entry(key.clone()).or_default().push(row);
+        }
+        groups
+    });
+    let mut out: std::collections::HashMap<GroupKey, Vec<RowId>> =
+        std::collections::HashMap::with_capacity(instance.len());
+    for local in locals {
+        for (key, mut rows) in local {
+            match out.entry(key) {
+                Entry::Occupied(mut entry) => entry.get_mut().append(&mut rows),
+                Entry::Vacant(entry) => {
+                    entry.insert(rows);
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

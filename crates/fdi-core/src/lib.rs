@@ -34,6 +34,21 @@
 //! * [`fixtures`] — every worked figure of the paper as a ready-made
 //!   instance.
 //!
+//! # Parallel execution
+//!
+//! The read-heavy hot paths have `_par` twins running on the
+//! `fdi-exec` deterministic fork/join executor, sharded over stable
+//! [`RowId`](fdi_relation::rowid::RowId) slot ranges
+//! (`Instance::row_id_shards`): [`testfd::check_par`],
+//! [`query::select_par`], [`chase::chase_plain_par`],
+//! [`groupkey::group_rows_par`], and [`update::LhsIndex::build_par`]
+//! (the [`update::Database`] cold build). Each one is **bit-identical
+//! to its sequential oracle at every thread count** — shard results
+//! merge in shard order, rule application stays sequential where order
+//! is semantics — so `FDI_THREADS` is purely a throughput knob, never
+//! a semantics knob. The property suite (`tests/par_equiv.rs`) enforces
+//! the contract across thread counts 1–8.
+//!
 //! # The two satisfaction notions, in one place
 //!
 //! Everything downstream hinges on §4's split (refined by the later

@@ -437,6 +437,146 @@ pub fn check(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), V
     }
 }
 
+/// Does the pair `(i, j)` violate `fd` under `conv`? — the pairwise
+/// predicate underlying every TEST-FDs variant, exposed so callers can
+/// verify a reported [`Violation`] against first principles.
+pub fn pair_violates(instance: &Instance, fd: Fd, i: RowId, j: RowId, conv: Convention) -> bool {
+    let fd = fd.normalized();
+    !fd.is_trivial()
+        && rows_equal_on(instance, i, j, fd.lhs, conv)
+        && rows_unequal_on(instance, i, j, fd.rhs, conv)
+}
+
+/// The smaller of two optional violating pairs (`None` = no violation;
+/// `Option`'s ordering would put `None` first, hence the explicit fold).
+fn min_pair(a: Option<(RowId, RowId)>, b: Option<(RowId, RowId)>) -> Option<(RowId, RowId)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Contiguous index ranges covering `0..n`, for chunked parallel scans.
+fn chunk_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.clamp(1, n.max(1));
+    let size = n.div_ceil(chunks).max(1);
+    (0..chunks)
+        .map(|i| (i * size).min(n)..((i + 1) * size).min(n))
+        .collect()
+}
+
+/// Canonical violating pair of one grouped FD: every group is scanned
+/// with [`group_violation`] (a deterministic function of the group's
+/// ascending row list) and the least reported `(row, row)` pair wins.
+/// Group iteration order does not matter (min is order-insensitive),
+/// which is what makes the result deterministic — note it is the least
+/// *reported* pair, not necessarily the least pair that violates (the
+/// representative scan surfaces one conflict per group).
+fn min_grouped_violation_par(
+    instance: &Instance,
+    snapshot: &NecSnapshot,
+    fd: Fd,
+    conv: Convention,
+    exec: &fdi_exec::Executor,
+) -> Option<(RowId, RowId)> {
+    let groups = groupkey::group_rows_par(instance, fd.lhs, snapshot, exec);
+    let lists: Vec<&Vec<RowId>> = groups.values().filter(|rows| rows.len() >= 2).collect();
+    let chunks = chunk_ranges(lists.len(), exec.threads() * 4);
+    let minima = exec.map(&chunks, |_, range| {
+        let mut best: Option<(RowId, RowId)> = None;
+        for rows in &lists[range.clone()] {
+            best = min_pair(
+                best,
+                group_violation(instance, snapshot, rows, fd.rhs, conv),
+            );
+        }
+        best
+    });
+    minima.into_iter().fold(None, min_pair)
+}
+
+/// Minimum violating pair of one FD under the pairwise predicate —
+/// the strong-convention fallback for null-bearing determinants,
+/// sharded over the first row of each pair. Each chunk owns a
+/// contiguous range of first-row positions and stops at its first
+/// violation (positions ascend, and for a fixed first row the first
+/// partner found is the least), so the chunk minimum is exact; the
+/// global minimum is the least chunk minimum.
+fn min_pairwise_violation_par(
+    instance: &Instance,
+    rows: &[RowId],
+    fd: Fd,
+    conv: Convention,
+    exec: &fdi_exec::Executor,
+) -> Option<(RowId, RowId)> {
+    let chunks = chunk_ranges(rows.len(), exec.threads() * 8);
+    let minima = exec.map(&chunks, |_, range| {
+        for p in range.clone() {
+            let i = rows[p];
+            for &j in &rows[(p + 1)..] {
+                if rows_equal_on(instance, i, j, fd.lhs, conv)
+                    && rows_unequal_on(instance, i, j, fd.rhs, conv)
+                {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    });
+    minima.into_iter().fold(None, min_pair)
+}
+
+/// Parallel TEST-FDs over [`RowId`] shards — the `fdi-exec`-backed
+/// twin of [`check`].
+///
+/// Per FD, rows are hash-partitioned by determinant key with
+/// [`groupkey::group_rows_par`] (shard-local maps merged in shard
+/// order) and every group is scanned with the same linear
+/// representative check as the sequential variants; strong-convention
+/// FDs whose determinant meets a null fall back to a sharded pairwise
+/// scan, exactly like [`check`]'s fallback. FDs are visited in set
+/// order and the first violating FD reports a **canonical** pair — the
+/// least pair its per-group representative scans surface (one conflict
+/// per group, so not necessarily the least pair that violates; the
+/// pairwise fallback path does report the true least) — so the result
+/// is a pure function of the instance and the FD set:
+///
+/// * **bit-identical at every thread count** (including 1 — the
+///   sequential oracle the property suite compares against), and
+/// * **verdict-identical to [`check`]**: `check_par(..).is_ok() ==
+///   check(..).is_ok()` always. The `Err` payload is always a genuine
+///   violating pair of the lowest-indexed violated FD, but may differ
+///   from `check`'s, whose choice is scan-order dependent where
+///   `check_par`'s is canonical.
+pub fn check_par(
+    instance: &Instance,
+    fds: &FdSet,
+    conv: Convention,
+    exec: &fdi_exec::Executor,
+) -> Result<(), Violation> {
+    let snapshot = instance.necs().canonical_snapshot();
+    let mut all_rows: Option<Vec<RowId>> = None;
+    for (fd_index, fd) in fds.iter().enumerate() {
+        let fd = fd.normalized();
+        if fd.is_trivial() {
+            continue; // true in every instance (cf. the other variants)
+        }
+        let fallback =
+            conv == Convention::Strong && instance.tuples().any(|t| t.has_null_on(fd.lhs));
+        let pair = if fallback {
+            let rows = all_rows.get_or_insert_with(|| instance.row_ids().collect());
+            min_pairwise_violation_par(instance, rows, fd, conv, exec)
+        } else {
+            min_grouped_violation_par(instance, &snapshot, fd, conv, exec)
+        };
+        if let Some(rows) = pair {
+            return Err(Violation { fd_index, rows });
+        }
+    }
+    Ok(())
+}
+
 /// Linear scan for a single FD over a relation already sorted on `X`
 /// (Figure 3: "if there is only one dependency (e.g. BCNF with one key)
 /// and the relation is already sorted, the test requires linear time").
@@ -726,6 +866,48 @@ mod tests {
                         check_grouped(&r, &f, conv).is_ok(),
                         "{text:?} {fd_text:?} {conv:?}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn check_par_verdicts_match_pairwise_and_are_thread_invariant() {
+        use fdi_exec::Executor;
+        let samples = [
+            "A_0 B_0 C_0\nA_0 B_0 C_1\nA_1 - C_0",
+            "A_0 - C_0\nA_0 - C_1\n- B_1 C_0",
+            "A_0 B_1 C_0\nA_1 B_1 C_1\nA_0 B_1 C_0",
+            "?u B_0 C_0\n?u B_1 C_0\nA_0 B_0 C_1",
+            "A_0 #! C_0\nA_0 B_0 C_0",
+            "#! B_0 C_0\n#! B_1 C_0",
+            "A_0 ?x C_0\nA_0 ?x C_0",
+        ];
+        for text in samples {
+            let r = abc(2, text);
+            for fd_text in ["A -> B", "A B -> C", "C -> A", "B -> C"] {
+                let f = fds(&r, fd_text);
+                for conv in [Convention::Strong, Convention::Weak] {
+                    let oracle = check_pairwise(&r, &f, conv);
+                    let one = check_par(&r, &f, conv, &Executor::with_threads(1));
+                    assert_eq!(
+                        oracle.is_ok(),
+                        one.is_ok(),
+                        "verdict {text:?} {fd_text:?} {conv:?}"
+                    );
+                    for threads in [2, 3, 8] {
+                        let par = check_par(&r, &f, conv, &Executor::with_threads(threads));
+                        assert_eq!(one, par, "threads {threads} {text:?} {fd_text:?} {conv:?}");
+                    }
+                    // a reported violation is genuine under the
+                    // pairwise predicate
+                    if let Err(v) = one {
+                        let fd = f.fds()[v.fd_index];
+                        assert!(
+                            pair_violates(&r, fd, v.rows.0, v.rows.1, conv),
+                            "bogus violation {v} on {text:?}"
+                        );
+                    }
                 }
             }
         }

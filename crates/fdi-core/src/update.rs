@@ -188,6 +188,14 @@ pub struct UpdateOutcome {
     pub propagated: Vec<chase::NsEvent>,
 }
 
+/// Below this row count [`LhsIndex::build_par`] builds sequentially
+/// regardless of the executor: a cold build of a few thousand rows is
+/// microseconds of hashing, and OS thread spawn/join would cost more
+/// than it saves. (Thread-count *determinism* is unaffected — the two
+/// paths produce identical indexes; the property suite drives
+/// `build_par` across thread counts directly.)
+pub const PAR_BUILD_SMALL_N: usize = 4096;
+
 /// Hash index on each FD's determinant: constant-only left-hand
 /// projections map to row lists; rows with a null (or `nothing`) on the
 /// determinant go to the per-FD wild list.
@@ -234,6 +242,62 @@ impl LhsIndex {
         };
         for row in instance.row_ids() {
             index.insert_row(instance, row);
+        }
+        index
+    }
+
+    /// [`build`](LhsIndex::build) with the grouping pass sharded over
+    /// [`RowId`] ranges on an `fdi-exec` executor — the cold-build path
+    /// of [`Database::new`]. Each shard files its live rows into a
+    /// shard-local index; the locals are folded **in shard order**, so
+    /// every bucket, wild list, and filing record comes out exactly as
+    /// the sequential ascending-row build produces it
+    /// ([`same_buckets`](LhsIndex::same_buckets)-identical and
+    /// list-order identical at every thread count). A 1-thread executor
+    /// — or an instance below [`PAR_BUILD_SMALL_N`] rows, where thread
+    /// spawn/join would dwarf the build itself — takes the sequential
+    /// path outright.
+    pub fn build_par(instance: &Instance, fds: &FdSet, exec: &fdi_exec::Executor) -> LhsIndex {
+        if exec.threads() == 1 || instance.len() < PAR_BUILD_SMALL_N {
+            return LhsIndex::build(instance, fds);
+        }
+        let lhs: Vec<AttrSet> = fds.iter().map(|fd| fd.normalized().lhs).collect();
+        let empty = |lhs: &[AttrSet]| LhsIndex {
+            lhs: lhs.to_vec(),
+            groups: vec![HashMap::new(); lhs.len()],
+            wild: vec![Vec::new(); lhs.len()],
+            filed: vec![HashMap::new(); lhs.len()],
+            rows: 0,
+        };
+        let shards = instance.row_id_shards(exec.threads() * 2);
+        let locals = exec.map(&shards, |_, &shard| {
+            let mut local = empty(&lhs);
+            for (row, _) in instance.iter_live_in(shard) {
+                local.insert_row(instance, row);
+            }
+            local
+        });
+        let mut index = empty(&lhs);
+        for local in locals {
+            for (i, groups) in local.groups.into_iter().enumerate() {
+                for (key, mut rows) in groups {
+                    match index.groups[i].entry(key) {
+                        std::collections::hash_map::Entry::Occupied(mut entry) => {
+                            entry.get_mut().append(&mut rows)
+                        }
+                        std::collections::hash_map::Entry::Vacant(entry) => {
+                            entry.insert(rows);
+                        }
+                    }
+                }
+            }
+            for (i, mut wild) in local.wild.into_iter().enumerate() {
+                index.wild[i].append(&mut wild);
+            }
+            for (i, filed) in local.filed.into_iter().enumerate() {
+                index.filed[i].extend(filed);
+            }
+            index.rows += local.rows;
         }
         index
     }
@@ -460,9 +524,15 @@ pub struct Database {
 impl Database {
     /// Wraps an existing instance. Fails (per policy) if the starting
     /// instance already violates the enforced notion.
+    ///
+    /// The cold index build is the one `O(n·|F|)` moment of a
+    /// database's life, so it runs sharded on the ambient executor
+    /// ([`fdi_exec::Executor::from_env`] — `FDI_THREADS` or the
+    /// available parallelism); every later mutation is an incremental
+    /// delta. The built index is identical at every thread count.
     pub fn new(instance: Instance, fds: FdSet, policy: Policy) -> Result<Database, UpdateError> {
         check_instance(&instance, &fds, policy.enforcement)?;
-        let index = LhsIndex::build(&instance, &fds);
+        let index = LhsIndex::build_par(&instance, &fds, &fdi_exec::Executor::from_env());
         let mut db = Database {
             instance,
             fds,

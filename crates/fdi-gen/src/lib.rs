@@ -326,6 +326,29 @@ pub fn large_workload(
     }
 }
 
+/// The standard selection query of the scaling/parallel benchmarks,
+/// over a [`scaling_spec`]-style instance (attributes `A`, `B`, …, and
+/// constants `A_0`, `A_1`, `B_0`, … — present in every uniform domain,
+/// whose size [`scaling_spec`] floors at 8):
+///
+/// ```text
+/// (A = A_0 ∨ A = A_1) ∧ ¬(B = B_0)
+/// ```
+///
+/// The shape is chosen to exercise every answer set: constant rows
+/// split into sure/no on the predicate, null-bearing rows go through
+/// the signature evaluator's mentioned-constants analysis (`A_0`,
+/// `A_1`, `B_0` are *mentioned*, the rest of the domain is summarized
+/// by fresh representatives), and NEC-shared nulls exercise the class
+/// grouping.
+pub fn scaling_query(instance: &Instance) -> fdi_core::query::Query {
+    use fdi_core::query::Query;
+    let a0 = Query::eq_text(instance, "A", "A_0").expect("A_0 in a uniform domain");
+    let a1 = Query::eq_text(instance, "A", "A_1").expect("A_1 in a uniform domain");
+    let b0 = Query::eq_text(instance, "B", "B_0").expect("B_0 in a uniform domain");
+    a0.or(a1).and(b0.not())
+}
+
 /// One single-row operation of a generated update stream — the unit
 /// the incremental [`fdi_core::update::Database`] maintenance is
 /// benchmarked and property-tested on.
