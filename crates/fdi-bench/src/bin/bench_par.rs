@@ -1,5 +1,6 @@
-//! Parallel-engine benchmark: TEST-FDs, query answering, and the chase
-//! on the `fdi-exec` executor across threads ∈ {1, 2, 4, 8}, at
+//! Parallel-engine benchmark: TEST-FDs, query answering, the plain
+//! chase, and the extended cell chase on the `fdi-exec` executor
+//! across threads ∈ {1, 2, 4, 8}, at
 //! n = 10⁴ and 10⁵. Writes `BENCH_par.json` (medians in nanoseconds
 //! plus 4-thread speedups) to the current directory and prints a table.
 //!
@@ -29,7 +30,7 @@ fn main() {
     println!("verifying parallel == sequential on the timed workload (n = 1000) …");
     verify_equivalence(1_000);
 
-    let mut table = Table::new(["n", "threads", "testfd", "query", "chase"]);
+    let mut table = Table::new(["n", "threads", "testfd", "query", "chase", "extended"]);
     let mut points = Vec::new();
     for &n in sizes {
         let repeats = if n >= 100_000 { 3 } else { 5 };
@@ -40,6 +41,7 @@ fn main() {
                 fmt_duration(Duration::from_nanos(p.testfd_ns as u64)),
                 fmt_duration(Duration::from_nanos(p.query_ns as u64)),
                 fmt_duration(Duration::from_nanos(p.chase_ns as u64)),
+                fmt_duration(Duration::from_nanos(p.extended_ns as u64)),
             ]);
             points.push(p);
         }
@@ -53,10 +55,11 @@ fn main() {
                     .unwrap_or_else(|| "-".into())
             };
             println!(
-                "n = {n}, {t} threads vs 1: testfd {}, query {}, chase {}",
+                "n = {n}, {t} threads vs 1: testfd {}, query {}, chase {}, extended {}",
                 fmt(|p| p.testfd_ns),
                 fmt(|p| p.query_ns),
-                fmt(|p| p.chase_ns)
+                fmt(|p| p.chase_ns),
+                fmt(|p| p.extended_ns)
             );
         }
     }

@@ -3,9 +3,10 @@
 //! the benchmark times — at n = 10², every thread count — before the
 //! artifact-upload step can bit-rot.
 //!
-//! Three read-heavy engines are timed on the `fdi-exec` executor across
-//! a thread grid, on the same `large_workload` the chase benchmark
-//! uses:
+//! Four engines are timed on the `fdi-exec` executor across a thread
+//! grid; the first three on the same `large_workload` the chase
+//! benchmark uses, the fourth on the cross-column/conflict-bearing
+//! [`fdi_gen::extended_workload`] built for it:
 //!
 //! * **testfd** — [`testfd::check_par`] under the weak convention
 //!   (per-FD determinant grouping sharded over [`RowId`] ranges);
@@ -14,7 +15,10 @@
 //!   embarrassingly parallel);
 //! * **chase** — [`chase::chase_plain_par`] (sharded index build +
 //!   parallel per-pass violation discovery, sequential rule
-//!   application).
+//!   application);
+//! * **extended** — [`chase::extended_chase_par`] (sharded initial
+//!   partition + parallel discovery / sequential union phases; no
+//!   order replay at all — Theorem 4(a)).
 //!
 //! Every `_par` engine is deterministic — bit-identical at any thread
 //! count — so the benchmark's correctness check is plain equality
@@ -23,11 +27,11 @@
 //!
 //! [`RowId`]: fdi_relation::rowid::RowId
 
-use fdi_core::chase;
+use fdi_core::chase::{self, Scheduler};
 use fdi_core::query::{self, Query, Selection};
 use fdi_core::testfd::{self, Convention};
 use fdi_exec::Executor;
-use fdi_gen::{large_workload, scaling_query, Workload};
+use fdi_gen::{extended_workload, large_workload, scaling_query, Workload};
 
 use crate::median_time;
 
@@ -47,6 +51,9 @@ pub struct ParPoint {
     pub query_ns: u128,
     /// Median wall time of `chase_plain_par`.
     pub chase_ns: u128,
+    /// Median wall time of `extended_chase_par` on the extended
+    /// workload (cross-column NEC classes + planted conflicts).
+    pub extended_ns: u128,
 }
 
 /// The benchmark workload at size `n` — same generator and parameters
@@ -57,6 +64,13 @@ pub fn par_workload(n: usize) -> (Workload, Query) {
     (w, q)
 }
 
+/// The extended-chase lane's workload at size `n`: cross-column NEC
+/// classes (~0.5% of rows) and a handful of planted conflicts, so the
+/// timed chase exercises class migration *and* `nothing` derivation.
+pub fn extended_par_workload(n: usize) -> Workload {
+    extended_workload(7, n, 4, (n / 200).max(4), 4)
+}
+
 /// Asserts that every parallel engine reproduces its sequential oracle
 /// on the workload at size `n`, at every grid thread count: TEST-FDs
 /// verdicts match [`testfd::check`] (and the parallel results are
@@ -65,9 +79,11 @@ pub fn par_workload(n: usize) -> (Workload, Query) {
 /// [`chase::chase_plain`] exactly (instance, events, passes).
 pub fn verify_equivalence(n: usize) {
     let (w, q) = par_workload(n);
+    let ext = extended_par_workload(n);
     let seq_testfd = testfd::check(&w.instance, &w.fds, Convention::Weak);
     let seq_select: Selection = query::select(&q, &w.instance).expect("finite domains");
     let seq_chase = chase::chase_plain(&w.instance, &w.fds);
+    let seq_extended = chase::extended_chase(&ext.instance, &ext.fds, Scheduler::Fast);
     let baseline = testfd::check_par(
         &w.instance,
         &w.fds,
@@ -75,9 +91,8 @@ pub fn verify_equivalence(n: usize) {
         &Executor::with_threads(1),
     );
     assert_eq!(
-        seq_testfd.is_ok(),
-        baseline.is_ok(),
-        "check_par verdict diverges from check at n = {n}"
+        seq_testfd, baseline,
+        "check_par witness diverges from check at n = {n}"
     );
     for threads in THREAD_GRID {
         let exec = Executor::with_threads(threads);
@@ -85,6 +100,20 @@ pub fn verify_equivalence(n: usize) {
             baseline,
             testfd::check_par(&w.instance, &w.fds, Convention::Weak, &exec),
             "check_par not thread-invariant at n = {n}, threads = {threads}"
+        );
+        let par_extended = chase::extended_chase_par(&ext.instance, &ext.fds, &exec);
+        assert_eq!(
+            seq_extended.instance.canonical_form(),
+            par_extended.instance.canonical_form(),
+            "extended_chase_par instance diverges at n = {n}, threads = {threads}"
+        );
+        assert_eq!(
+            seq_extended.nothing_classes, par_extended.nothing_classes,
+            "extended_chase_par nothing_classes diverge at n = {n}, threads = {threads}"
+        );
+        assert_eq!(
+            seq_extended.unions, par_extended.unions,
+            "extended_chase_par union count diverges at n = {n}, threads = {threads}"
         );
         assert_eq!(
             seq_select,
@@ -108,9 +137,10 @@ pub fn verify_equivalence(n: usize) {
     }
 }
 
-/// Times the three engines at size `n` for every grid thread count.
+/// Times the four engines at size `n` for every grid thread count.
 pub fn measure(n: usize, repeats: usize) -> Vec<ParPoint> {
     let (w, q) = par_workload(n);
+    let ext = extended_par_workload(n);
     THREAD_GRID
         .iter()
         .map(|&threads| {
@@ -129,12 +159,18 @@ pub fn measure(n: usize, repeats: usize) -> Vec<ParPoint> {
                 std::hint::black_box(chase::chase_plain_par(&w.instance, &w.fds, &exec));
             })
             .as_nanos();
+            let extended_ns = median_time(repeats, || {
+                let outcome = chase::extended_chase_par(&ext.instance, &ext.fds, &exec);
+                std::hint::black_box(outcome.nothing_classes);
+            })
+            .as_nanos();
             ParPoint {
                 n,
                 threads,
                 testfd_ns,
                 query_ns,
                 chase_ns,
+                extended_ns,
             }
         })
         .collect()
@@ -160,19 +196,22 @@ pub fn speedup(
 pub fn render_json(points: &[ParPoint], host_threads: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str(
-        "  \"workload\": \"large_workload(seed=7, null=0.25, nec=0.1, fds=4) + scaling_query\",\n",
+        "  \"workload\": \"testfd/query/chase: large_workload(seed=7, null=0.25, nec=0.1, \
+         fds=4) + scaling_query; extended: extended_workload(seed=7, fds=4, cross=n/200, \
+         conflicts=4)\",\n",
     );
     out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"n\": {}, \"threads\": {}, \"testfd_ns\": {}, \"query_ns\": {}, \
-             \"chase_ns\": {}}}{}\n",
+             \"chase_ns\": {}, \"extended_ns\": {}}}{}\n",
             p.n,
             p.threads,
             p.testfd_ns,
             p.query_ns,
             p.chase_ns,
+            p.extended_ns,
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
@@ -187,10 +226,12 @@ pub fn render_json(points: &[ParPoint], host_threads: usize) -> String {
                 .unwrap_or_else(|| "null".to_string())
         };
         out.push_str(&format!(
-            "    {{\"n\": {n}, \"threads\": 4, \"testfd\": {}, \"query\": {}, \"chase\": {}}}{}\n",
+            "    {{\"n\": {n}, \"threads\": 4, \"testfd\": {}, \"query\": {}, \"chase\": {}, \
+             \"extended\": {}}}{}\n",
             fmt(4, |p| p.testfd_ns),
             fmt(4, |p| p.query_ns),
             fmt(4, |p| p.chase_ns),
+            fmt(4, |p| p.extended_ns),
             if si + 1 == sizes.len() { "" } else { "," }
         ));
     }
@@ -216,12 +257,14 @@ mod tests {
         assert_eq!(points.len(), THREAD_GRID.len());
         for (p, &t) in points.iter().zip(THREAD_GRID.iter()) {
             assert_eq!(p.threads, t);
-            assert!(p.testfd_ns > 0 && p.query_ns > 0 && p.chase_ns > 0);
+            assert!(p.testfd_ns > 0 && p.query_ns > 0 && p.chase_ns > 0 && p.extended_ns > 0);
         }
         let json = render_json(&points, 8);
         assert!(json.contains("\"host_threads\": 8"));
         assert!(json.contains("\"speedup_vs_1_thread\""));
+        assert!(json.contains("\"extended_ns\""));
         assert!(speedup(&points, 64, 4, |p| p.testfd_ns).is_some());
+        assert!(speedup(&points, 64, 4, |p| p.extended_ns).is_some());
         assert!(speedup(&points, 999, 4, |p| p.testfd_ns).is_none());
     }
 }

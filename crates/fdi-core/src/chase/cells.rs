@@ -33,6 +33,40 @@
 //! worklist engine reaches the same least congruence as the round-based
 //! sweeps (and as [`Scheduler::NaivePairs`]); the property suite checks
 //! the partitions, `nothing` counts, and union counts coincide.
+//!
+//! ## Parallel execution — [`extended_chase_par`]
+//!
+//! Theorem 4(a)'s Church–Rosser property is what makes this the one
+//! engine that parallelizes without *any* order-replay machinery: the
+//! result is the least congruence containing the initial equalities,
+//! and a least fixpoint does not depend on the order union edges are
+//! discovered or applied in. (Contrast the plain NS-rules, where order
+//! *is* semantics and `chase_plain_par` must replay the sequential
+//! agenda exactly.) The parallel engine therefore only needs partition
+//! equality, which it gets from a strict phase alternation:
+//!
+//! * a **parallel read-only discovery phase**: the current agenda (all
+//!   multi-row buckets on the first phase, the dirty buckets after)
+//!   is sharded across the `fdi-exec` executor; each worker reads the
+//!   frozen engine through the compression-free `find_readonly` — no
+//!   engine mutation — and emits the candidate union edges of its
+//!   buckets;
+//! * a **sequential union/migration phase**: the edge batches are
+//!   concatenated in shard order (the executor's determinism
+//!   contract) and applied one by one through
+//!   `union_reporting`/`migrate`, exactly the mutation path of
+//!   [`Scheduler::Fast`].
+//!
+//! Because the agenda draw, the discovery output, and the apply order
+//! are all pure functions of the engine state, the whole run — union
+//! count, `nothing` classes, phase count, even the union–find
+//! internals — is **bit-identical at every thread count**; and because
+//! the closure is unique, the materialized instance (canonical form),
+//! `nothing_classes`, and `union_count` equal [`Scheduler::Fast`]'s.
+//! The one redefined field is [`ChaseOutcome::rounds`]: for the
+//! parallel path it counts **discovery phases**, which batch dirty
+//! work differently than the sequential worklist's per-FD drains, so
+//! it is comparable across thread counts but not across engines.
 
 use crate::fd::{Fd, FdSet};
 use crate::groupkey::GroupKey;
@@ -73,18 +107,74 @@ pub struct CellEngine {
     unions: usize,
 }
 
+/// The node-arena layout: cell `(row, attr)` lives at
+/// `row · arity + attr`, with symbol nodes above all cells. A free
+/// function so [`CellEngine::cell_node`] and the borrow-free shard
+/// closures of [`CellEngine::new_par`] share one formula.
+#[inline]
+fn cell_node_at(arity: usize, row: RowId, attr: AttrId) -> usize {
+    row.index() * arity + attr.index()
+}
+
+/// Node arena size of an instance, or `None` when the arithmetic
+/// overflows or the count exceeds the `u32` node-id space ([`CellEngine`]
+/// stores parent links and member-cell sites as `u32`, so an arena
+/// beyond `u32::MAX` nodes would silently truncate ids).
+fn checked_node_count(rows: usize, arity: usize, symbols: usize) -> Option<usize> {
+    let cells = rows.checked_mul(arity)?;
+    let nodes = cells.checked_add(symbols)?;
+    u32::try_from(nodes).ok().map(|_| nodes)
+}
+
+/// One initial-partition action of a cell — the single classification
+/// both constructors share: [`CellEngine::new`] classifies and applies
+/// cell by cell, [`CellEngine::new_par`] precomputes shard batches and
+/// applies them sequentially in shard-concatenation (= row-major live)
+/// order, so both walk the identical action stream.
+enum InitAction {
+    /// Unify the cell with its constant's symbol node.
+    Sym(u32, Symbol),
+    /// Unify the cell into its NEC class (keyed by canonical root).
+    Class(u32, NullId),
+    /// Mark the cell's class inconsistent (a preexisting `nothing`).
+    Nothing(u32),
+}
+
+impl InitAction {
+    /// Classifies one cell's value (NEC ids resolved through the
+    /// caller's snapshot).
+    #[inline]
+    fn classify(cell: u32, value: Value, snapshot: &fdi_relation::nec::NecSnapshot) -> InitAction {
+        match value {
+            Value::Const(s) => InitAction::Sym(cell, s),
+            Value::Null(n) => InitAction::Class(cell, snapshot.root(n)),
+            Value::Nothing => InitAction::Nothing(cell),
+        }
+    }
+}
+
 impl CellEngine {
-    /// Builds the initial partition from an instance: constants unify
-    /// with their symbol node, NEC-equivalent nulls unify together.
-    pub fn new(instance: &Instance) -> CellEngine {
+    /// The discrete partition over an instance's node arena: every cell
+    /// and symbol node its own class, symbol nodes labelled, no unions
+    /// applied yet.
+    ///
+    /// # Panics
+    /// Panics when the arena would exceed the `u32` node-id space (see
+    /// [`checked_node_count`]) — ids are stored as `u32` throughout, so
+    /// proceeding would silently truncate them.
+    fn blank(instance: &Instance) -> CellEngine {
         let rows = instance.slot_bound();
-        let live: Vec<RowId> = instance.row_ids().collect();
         let arity = instance.arity();
         let symbols = instance.symbols().len();
-        let nodes = rows * arity + symbols;
+        let nodes = checked_node_count(rows, arity, symbols).unwrap_or_else(|| {
+            panic!(
+                "cell arena overflow: {rows} slots x {arity} columns + {symbols} symbols \
+                 exceeds the u32 node-id space of the extended chase engine"
+            )
+        });
         let mut engine = CellEngine {
             rows,
-            live,
+            live: instance.row_ids().collect(),
             arity,
             parent: (0..nodes as u32).collect(),
             rank: vec![0; nodes],
@@ -96,6 +186,37 @@ impl CellEngine {
             let node = engine.symbol_node(Symbol(s as u32));
             engine.label[node] = Some(Symbol(s as u32));
         }
+        engine
+    }
+
+    /// Applies one classification action; `class_first` tracks the
+    /// first cell seen of each NEC class (its nulls unify with it).
+    #[inline]
+    fn apply_init(&mut self, action: InitAction, class_first: &mut HashMap<NullId, usize>) {
+        match action {
+            InitAction::Sym(cell, s) => {
+                let sym = self.symbol_node(s);
+                self.union(cell as usize, sym);
+            }
+            InitAction::Class(cell, root) => match class_first.get(&root) {
+                Some(&first) => {
+                    self.union(cell as usize, first);
+                }
+                None => {
+                    class_first.insert(root, cell as usize);
+                }
+            },
+            InitAction::Nothing(cell) => {
+                self.inconsistent[cell as usize] = true;
+            }
+        }
+    }
+
+    /// Builds the initial partition from an instance: constants unify
+    /// with their symbol node, NEC-equivalent nulls unify together.
+    pub fn new(instance: &Instance) -> CellEngine {
+        let mut engine = CellEngine::blank(instance);
+        let arity = engine.arity;
         // Group null occurrences by NEC class, resolving class
         // representatives through one fully-compressed snapshot instead
         // of a parent-chain walk per cell.
@@ -103,27 +224,10 @@ impl CellEngine {
         let mut class_first: HashMap<NullId, usize> = HashMap::new();
         for row in instance.row_ids() {
             for col in 0..arity {
-                let cell = engine.cell_node(row, AttrId(col as u16));
-                match instance.value(row, AttrId(col as u16)) {
-                    Value::Const(s) => {
-                        let sym = engine.symbol_node(s);
-                        engine.union(cell, sym);
-                    }
-                    Value::Null(n) => {
-                        let root = snapshot.root(n);
-                        match class_first.get(&root) {
-                            Some(&first) => {
-                                engine.union(cell, first);
-                            }
-                            None => {
-                                class_first.insert(root, cell);
-                            }
-                        }
-                    }
-                    Value::Nothing => {
-                        engine.inconsistent[cell] = true;
-                    }
-                }
+                let attr = AttrId(col as u16);
+                let cell = engine.cell_node(row, attr) as u32;
+                let action = InitAction::classify(cell, instance.value(row, attr), &snapshot);
+                engine.apply_init(action, &mut class_first);
             }
         }
         // Initial unions are structural, not chase work.
@@ -131,9 +235,46 @@ impl CellEngine {
         engine
     }
 
+    /// [`CellEngine::new`] with the per-cell classification ([`Value`]
+    /// reads and NEC snapshot resolution) sharded over [`RowId`] ranges.
+    ///
+    /// Each shard emits its cells' init actions; concatenating the
+    /// shard batches in shard order reproduces the row-major order of
+    /// the sequential constructor, and the unions are applied
+    /// sequentially in that order — so the built engine is
+    /// **bit-identical** to [`CellEngine::new`]'s (parent links, ranks,
+    /// labels, everything) at every thread count. A 1-thread executor
+    /// takes the sequential constructor outright.
+    pub fn new_par(instance: &Instance, exec: &fdi_exec::Executor) -> CellEngine {
+        if exec.threads() == 1 {
+            return CellEngine::new(instance);
+        }
+        let mut engine = CellEngine::blank(instance);
+        let arity = engine.arity;
+        let snapshot = instance.necs().canonical_snapshot();
+        let shards = instance.row_id_shards(exec.threads() * 4);
+        let actions = exec.flat_map(&shards, |_, &shard| {
+            let mut batch: Vec<InitAction> = Vec::new();
+            for (row, tuple) in instance.iter_live_in(shard) {
+                for col in 0..arity {
+                    let attr = AttrId(col as u16);
+                    let cell = cell_node_at(arity, row, attr) as u32;
+                    batch.push(InitAction::classify(cell, tuple.get(attr), &snapshot));
+                }
+            }
+            batch
+        });
+        let mut class_first: HashMap<NullId, usize> = HashMap::new();
+        for action in actions {
+            engine.apply_init(action, &mut class_first);
+        }
+        engine.unions = 0;
+        engine
+    }
+
     #[inline]
     fn cell_node(&self, row: RowId, attr: AttrId) -> usize {
-        row.index() * self.arity + attr.index()
+        cell_node_at(self.arity, row, attr)
     }
 
     #[inline]
@@ -236,6 +377,18 @@ impl CellEngine {
         }
     }
 
+    /// The parallel scheduler path: runs to the fixpoint by alternating
+    /// parallel read-only discovery with sequential union/migration
+    /// (see the module docs) and returns the **discovery-phase count**.
+    ///
+    /// Deterministic at every thread count — the 1-thread executor runs
+    /// the identical phase loop inline, so the phase count (unlike
+    /// [`Scheduler::Fast`]'s pass count, which drains dirty work per FD
+    /// mid-pass) never varies with `FDI_THREADS`.
+    pub fn run_par(&mut self, fds: &FdSet, exec: &fdi_exec::Executor) -> usize {
+        Worklist::new(self, fds).run_par(self, exec)
+    }
+
     /// Unifies two classes like [`CellEngine::union`] and additionally
     /// reports which root lost its identity, so the worklist can migrate
     /// the loser's member cells. Returns `None` when the classes were
@@ -316,7 +469,9 @@ impl CellEngine {
         let mut roots: Vec<usize> = self
             .live
             .iter()
-            .flat_map(|row| (0..self.arity).map(move |col| row.index() * self.arity + col))
+            .flat_map(|&row| {
+                (0..self.arity).map(move |col| cell_node_at(self.arity, row, AttrId(col as u16)))
+            })
             .map(|n| self.find_readonly(n))
             .filter(|r| self.inconsistent[*r])
             .collect();
@@ -375,7 +530,7 @@ impl Worklist {
         let mut members: HashMap<u32, Vec<u32>> = HashMap::new();
         for row in engine.live.clone() {
             for col in 0..arity {
-                let node = row.index() * arity + col;
+                let node = cell_node_at(arity, row, AttrId(col as u16));
                 let root = engine.find(node) as u32;
                 members.entry(root).or_default().push(node as u32);
             }
@@ -458,6 +613,104 @@ impl Worklist {
         passes
     }
 
+    /// Drains the worklist to the fixpoint by phase alternation —
+    /// parallel read-only discovery over the agenda buckets, then
+    /// sequential application of the edge batches in shard-concatenation
+    /// order — and returns the discovery-phase count. See the module
+    /// docs for why no order replay is needed (Theorem 4(a)).
+    fn run_par(mut self, engine: &mut CellEngine, exec: &fdi_exec::Executor) -> usize {
+        let mut phases = 0;
+        loop {
+            phases += 1;
+            // Draw the agenda: every multi-row bucket on the first
+            // phase, the (still multi-row) dirty buckets after. Sorted
+            // by (FD slot, least member, key) so the agenda — and with
+            // it the discovery output and the apply order — is a pure
+            // function of the engine state, not of HashMap iteration.
+            let min_row = |rows: &[RowId]| rows.iter().copied().min().expect("non-empty");
+            let mut agenda: Vec<(usize, RowId, GroupKey)> = Vec::new();
+            for si in 0..self.slots.len() {
+                if phases == 1 {
+                    agenda.extend(
+                        self.buckets[si]
+                            .iter()
+                            .filter(|(_, rows)| rows.len() > 1)
+                            .map(|(key, rows)| (si, min_row(rows), key.clone())),
+                    );
+                    self.dirty[si].clear();
+                } else {
+                    for key in std::mem::take(&mut self.dirty[si]) {
+                        if let Some(rows) = self.buckets[si].get(&key) {
+                            if rows.len() > 1 {
+                                agenda.push((si, min_row(rows), key));
+                            }
+                        }
+                    }
+                }
+            }
+            agenda.sort_unstable();
+            if agenda.is_empty() {
+                break;
+            }
+            // Parallel discovery: workers read the frozen engine
+            // (`find_readonly`, no mutation) and emit candidate edges;
+            // `flat_map` concatenates the batches in agenda order.
+            let frozen: &CellEngine = engine;
+            let worklist: &Worklist = &self;
+            let edges = exec.flat_map(&agenda, |_, (si, _, key)| {
+                worklist.candidate_edges(frozen, *si, key)
+            });
+            // Sequential union/migration, reusing the exact mutation
+            // path of the sequential scheduler.
+            for (a, b) in edges {
+                if let Some((winner, loser)) = engine.union_reporting(a as usize, b as usize) {
+                    self.migrate(engine, winner, loser);
+                }
+            }
+            if self.dirty.iter().all(HashSet::is_empty) {
+                break;
+            }
+            assert!(
+                phases <= engine.rows * engine.arity + engine.label.len() + 2,
+                "parallel worklist chase failed to terminate"
+            );
+        }
+        phases
+    }
+
+    /// Read-only discovery of one agenda bucket: the union edges a
+    /// sweep of the bucket would attempt, against the frozen engine.
+    /// Edges whose endpoints already share a class are filtered with
+    /// the compression-free `find_readonly`; redundant edges that
+    /// remain (because an earlier batch of the same phase merges them
+    /// first) are dropped by `union_reporting` at apply time.
+    fn candidate_edges(&self, engine: &CellEngine, si: usize, key: &GroupKey) -> Vec<(u32, u32)> {
+        // Discovery runs strictly between the agenda draw and the apply
+        // loop — nothing migrates buckets in that window, so every
+        // agenda key still resolves.
+        let rows = self.buckets[si]
+            .get(key)
+            .expect("discovery reads a frozen worklist");
+        if rows.len() < 2 {
+            return Vec::new();
+        }
+        let mut rows = rows.clone();
+        rows.sort_unstable();
+        let fd = self.slots[si];
+        let mut edges = Vec::new();
+        for b in fd.rhs.iter() {
+            let first = engine.cell_node(rows[0], b);
+            let root = engine.find_readonly(first);
+            for &row in &rows[1..] {
+                let other = engine.cell_node(row, b);
+                if engine.find_readonly(other) != root {
+                    edges.push((first as u32, other as u32));
+                }
+            }
+        }
+        edges
+    }
+
     /// Sweeps one bucket: unifies every member row's dependent cells
     /// with the least member's, migrating affected buckets after each
     /// union.
@@ -535,7 +788,12 @@ impl Worklist {
 pub struct ChaseOutcome {
     /// The unique chased instance (nulls carried by shared ids).
     pub instance: Instance,
-    /// Fixpoint rounds (the last round performs no union).
+    /// Fixpoint rounds. For the sequential schedulers this counts
+    /// passes, the last performing no union; for
+    /// [`extended_chase_par`] it counts **discovery phases** (the final
+    /// phase usually does apply unions — the loop exits when no dirty
+    /// work remains *after* applying), so compare it across thread
+    /// counts, not across engines.
     pub rounds: usize,
     /// Unions performed.
     pub unions: usize,
@@ -555,6 +813,42 @@ impl ChaseOutcome {
 pub fn extended_chase(instance: &Instance, fds: &FdSet, scheduler: Scheduler) -> ChaseOutcome {
     let mut engine = CellEngine::new(instance);
     let rounds = engine.run(fds, scheduler);
+    let nothing_classes = engine.nothing_classes();
+    let out = engine.materialize(instance);
+    ChaseOutcome {
+        instance: out,
+        rounds,
+        unions: engine.union_count(),
+        nothing_classes,
+    }
+}
+
+/// The `fdi-exec`-backed twin of [`extended_chase`]: RowId-sharded
+/// parallel construction of the initial partition
+/// ([`CellEngine::new_par`]), then the phase-alternating fixpoint loop
+/// of [`CellEngine::run_par`] (parallel read-only discovery, sequential
+/// union/migration — see the module docs).
+///
+/// **Contract** (property-tested at thread counts 1–8, including
+/// cross-column NEC classes, preexisting `nothing` cells, planted
+/// conflicts, and tombstone-heavy arenas):
+///
+/// * the materialized instance (canonical form), `nothing_classes`,
+///   and `unions` are **bit-identical to [`Scheduler::Fast`]'s** — the
+///   closure is unique (Theorem 4(a)) and the union count is
+///   order-invariant (initial classes − final classes);
+/// * the entire [`ChaseOutcome`] — `rounds` included — is bit-identical
+///   across thread counts, so `FDI_THREADS` is a throughput knob only;
+/// * `rounds` is **redefined** for this path: it counts discovery
+///   phases, not the sequential worklist's per-FD drains — compare it
+///   across thread counts, not across engines.
+pub fn extended_chase_par(
+    instance: &Instance,
+    fds: &FdSet,
+    exec: &fdi_exec::Executor,
+) -> ChaseOutcome {
+    let mut engine = CellEngine::new_par(instance, exec);
+    let rounds = engine.run_par(fds, exec);
     let nothing_classes = engine.nothing_classes();
     let out = engine.materialize(instance);
     ChaseOutcome {
@@ -642,6 +936,96 @@ mod tests {
         );
         assert_eq!(naive.nothing_classes, fast.nothing_classes);
         assert_eq!(naive.unions, fast.unions);
+    }
+
+    #[test]
+    fn node_count_guard_catches_boundary_arithmetic() {
+        // In range: the exact u32 ceiling.
+        assert_eq!(
+            checked_node_count(u32::MAX as usize, 1, 0),
+            Some(u32::MAX as usize)
+        );
+        assert_eq!(checked_node_count(0, 0, 0), Some(0));
+        assert_eq!(checked_node_count(10, 4, 7), Some(47));
+        // One past the ceiling: representable as usize, not as u32.
+        assert_eq!(checked_node_count(u32::MAX as usize, 1, 1), None);
+        assert_eq!(checked_node_count(1 << 31, 2, 0), None);
+        // Multiplication / addition overflow of usize itself.
+        assert_eq!(checked_node_count(usize::MAX, 2, 0), None);
+        assert_eq!(checked_node_count(usize::MAX, 1, 1), None);
+    }
+
+    #[test]
+    fn parallel_engine_matches_fast_on_the_fixture_cases() {
+        use fdi_exec::Executor;
+        let cases = [
+            (fixtures::figure5_instance(), fixtures::figure5_fds()),
+            (fixtures::section6_instance(), fixtures::section6_fds()),
+            (fixtures::figure1_null_instance(), fixtures::figure1_fds()),
+        ];
+        for (r, fds) in cases {
+            let fast = extended_chase(&r, &fds, Scheduler::Fast);
+            let baseline = extended_chase_par(&r, &fds, &Executor::with_threads(1));
+            for threads in 1..=8 {
+                let par = extended_chase_par(&r, &fds, &Executor::with_threads(threads));
+                assert_eq!(
+                    par.instance.canonical_form(),
+                    fast.instance.canonical_form(),
+                    "threads = {threads}"
+                );
+                assert_eq!(par.nothing_classes, fast.nothing_classes);
+                assert_eq!(par.unions, fast.unions);
+                // the parallel path is bit-identical across thread
+                // counts, rounds included
+                assert_eq!(par.rounds, baseline.rounds, "threads = {threads}");
+                assert_eq!(
+                    par.instance.canonical_form(),
+                    baseline.instance.canonical_form()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_handles_cross_column_classes_and_nothing() {
+        use fdi_exec::Executor;
+        let schema = fdi_relation::Schema::uniform("R", &["A", "B"], 4).unwrap();
+        let r = fdi_relation::Instance::parse(
+            schema.clone(),
+            "A_1 ?z
+             A_1 B_2
+             ?z  B_1
+             ?z  ?w
+             A_0 #!",
+        )
+        .unwrap();
+        let fds = crate::fd::FdSet::parse(&schema, "A -> B").unwrap();
+        let fast = extended_chase(&r, &fds, Scheduler::Fast);
+        for threads in 1..=8 {
+            let par = extended_chase_par(&r, &fds, &Executor::with_threads(threads));
+            assert_eq!(
+                par.instance.canonical_form(),
+                fast.instance.canonical_form(),
+                "threads = {threads}"
+            );
+            assert_eq!(par.nothing_classes, fast.nothing_classes);
+            assert_eq!(par.unions, fast.unions);
+        }
+    }
+
+    #[test]
+    fn parallel_initial_partition_is_bit_identical_to_sequential() {
+        use fdi_exec::Executor;
+        let r = fixtures::section6_instance();
+        let seq = CellEngine::new(&r);
+        for threads in [1, 2, 3, 8] {
+            let par = CellEngine::new_par(&r, &Executor::with_threads(threads));
+            assert_eq!(par.parent, seq.parent, "threads = {threads}");
+            assert_eq!(par.rank, seq.rank);
+            assert_eq!(par.label, seq.label);
+            assert_eq!(par.inconsistent, seq.inconsistent);
+            assert_eq!(par.unions, 0);
+        }
     }
 
     #[test]

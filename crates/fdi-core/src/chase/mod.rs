@@ -67,6 +67,18 @@
 //! [`cells::Scheduler`]); they produce identical results (experiment
 //! E12 measures the gap — here order never matters, by Theorem 4(a)).
 //!
+//! The extended system is also the one chase engine with a genuinely
+//! parallel fixpoint loop, [`extended_chase_par`]: because Theorem 4(a)
+//! makes the closure order-insensitive, its discovery work shards
+//! across the `fdi-exec` executor with **no event-order replay at all**
+//! (where [`chase_plain_par`] must replay the sequential agenda
+//! exactly, order being the plain system's semantics). The materialized
+//! instance (canonical form), `nothing_classes`, and union count are
+//! bit-identical to [`Scheduler::Fast`]'s at every
+//! thread count; `rounds` is redefined there as the discovery-phase
+//! count (see [`cells`]' module docs). `FDI_THREADS` sizes the default
+//! executor, exactly as for the other `_par` engines.
+//!
 //! # Example — Theorem 4(b) as a one-liner
 //!
 //! ```
@@ -91,7 +103,7 @@ pub mod cells;
 pub mod index;
 pub mod ns;
 
-pub use cells::{extended_chase, CellEngine, ChaseOutcome, Scheduler};
+pub use cells::{extended_chase, extended_chase_par, CellEngine, ChaseOutcome, Scheduler};
 pub use index::{chase_indexed_par, order_replay_caveats, order_replay_exact, ChaseIndexCaveat};
 pub use ns::{
     chase_naive, chase_plain, chase_plain_par, is_minimally_incomplete,

@@ -41,13 +41,23 @@
 //! [`RowId`](fdi_relation::rowid::RowId) slot ranges
 //! (`Instance::row_id_shards`): [`testfd::check_par`],
 //! [`query::select_par`], [`chase::chase_plain_par`],
-//! [`groupkey::group_rows_par`], and [`update::LhsIndex::build_par`]
-//! (the [`update::Database`] cold build). Each one is **bit-identical
-//! to its sequential oracle at every thread count** — shard results
-//! merge in shard order, rule application stays sequential where order
-//! is semantics — so `FDI_THREADS` is purely a throughput knob, never
-//! a semantics knob. The property suite (`tests/par_equiv.rs`) enforces
-//! the contract across thread counts 1–8.
+//! [`chase::extended_chase_par`], [`groupkey::group_rows_par`], and
+//! [`update::LhsIndex::build_par`] (the [`update::Database`] cold
+//! build). Each one is **bit-identical to its sequential oracle at
+//! every thread count** — shard results merge in shard order, rule
+//! application stays sequential where order is semantics — so
+//! `FDI_THREADS` is purely a throughput knob, never a semantics knob.
+//! The extended chase is the special case where even that caution is
+//! unnecessary: its closure is order-insensitive (Theorem 4(a)), so
+//! [`chase::extended_chase_par`] parallelizes discovery outright with
+//! no order replay, promising equality of the canonical materialized
+//! instance, `nothing` classes, and union count with the sequential
+//! `Fast` scheduler. TEST-FDs additionally promises a **canonical
+//! violation witness** — the least violating pair of the lowest
+//! violated FD — identical across every sequential variant and
+//! [`testfd::check_par`] (see [`testfd`]'s module docs). The property
+//! suite (`tests/par_equiv.rs`) enforces the contracts across thread
+//! counts 1–8.
 //!
 //! # The two satisfaction notions, in one place
 //!

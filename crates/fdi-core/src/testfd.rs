@@ -44,6 +44,19 @@
 //! preserved — under the pessimistic convention null "equality" is not
 //! transitive, so grouping is unsound there and the paper's footnoted
 //! `O(|F|·n²)` variant is the only correct choice.
+//!
+//! ## The deterministic witness contract
+//!
+//! Every variant — pairwise, sorted, hashed, grouped, [`check`], and
+//! the parallel [`check_par`] — reports one **canonical witness** on a
+//! violating instance: the least violating `(row, row)` pair (ordered,
+//! lower id first) of the lowest-indexed violated FD. The grouped
+//! variants get this by folding every group's minimum (the within-group
+//! representative scan returns the group's least pair) instead of
+//! returning the first hit in `HashMap` iteration order, so results
+//! are run-to-run deterministic and bit-identical across all variants
+//! and all thread counts — a `Violation` can be compared with `==`
+//! between any two of them.
 
 use crate::fd::{Fd, FdSet};
 use crate::groupkey;
@@ -179,11 +192,46 @@ pub fn check_pairwise(instance: &Instance, fds: &FdSet, conv: Convention) -> Res
 /// first; either end works, the group structure is what matters).
 /// `nothing` keys by row — the inconsistent element matches nothing, so
 /// no two rows may ever be grouped through it.
-fn weak_sort_key(v: Value, row: RowId, instance: &Instance) -> (u8, u32) {
+///
+/// Null classes resolve through the caller's fully-compressed
+/// [`NecSnapshot`] — one `O(1)` array read — rather than an
+/// uncompressed parent-chain walk per value per comparison.
+fn weak_sort_key(v: Value, row: RowId, snapshot: &NecSnapshot) -> (u8, u32) {
     match v {
         Value::Const(s) => (0, s.0),
-        Value::Null(n) => (1, instance.necs().find_readonly(n).0),
+        Value::Null(n) => (1, snapshot.root(n).0),
         Value::Nothing => (2, row.0),
+    }
+}
+
+/// The columns on which some live row holds a null — the one `O(n·p)`
+/// scan that replaces the per-FD `instance.tuples().any(has_null_on)`
+/// full scans of the sorted/hashed/grouped variants (and `check_par`):
+/// an FD's determinant meets a null iff it intersects this set.
+fn null_columns(instance: &Instance) -> fdi_relation::attrs::AttrSet {
+    let all = instance.schema().all_attrs();
+    let mut cols = fdi_relation::attrs::AttrSet::EMPTY;
+    for t in instance.tuples() {
+        for a in all.difference(cols).iter() {
+            if t.get(a).is_null() {
+                cols = cols.with(a);
+            }
+        }
+        if cols == all {
+            break;
+        }
+    }
+    cols
+}
+
+/// [`null_columns`] when the convention needs it (only the strong
+/// convention's pairwise fallback consults it), the empty set — never
+/// intersecting anything — otherwise, so weak-convention calls skip
+/// the scan entirely.
+fn null_columns_for(instance: &Instance, conv: Convention) -> fdi_relation::attrs::AttrSet {
+    match conv {
+        Convention::Strong => null_columns(instance),
+        Convention::Weak => fdi_relation::attrs::AttrSet::EMPTY,
     }
 }
 
@@ -191,8 +239,17 @@ fn weak_sort_key(v: Value, row: RowId, instance: &Instance) -> (u8, u32) {
 /// violation-free iff, for every `Y`-attribute, its values are all one
 /// constant (either convention) or all nulls of a single NEC class
 /// (strong convention; under the weak convention nulls never violate).
-/// `nothing` violates against any second row. Returns the first
-/// offending pair.
+/// `nothing` violates against any second row.
+///
+/// Returns the **least violating pair of the group** when `rows` is
+/// ascending (every caller's groups are): per attribute, the scan stops
+/// at the first row `j` in conflict with an earlier row, and every row
+/// before `j` is conflict-free on that attribute — so the rows before
+/// `j` that `j` conflicts with are mutually equivalent and the tracked
+/// representative is the least of them; the per-attribute result is
+/// therefore the attribute's least violating pair, and the fold takes
+/// the minimum across attributes. This is the canonical-witness
+/// contract of [`check`]/[`check_par`].
 ///
 /// This is what keeps the sorted/hashed variants at `O(n·p)` per group
 /// sweep instead of `O(group²)` — Figure 3's inner loop compares each
@@ -208,43 +265,57 @@ fn group_violation(
     if rows.len() < 2 {
         return None;
     }
-    let pair = |a: RowId, b: RowId| Some((a.min(b), a.max(b)));
+    let mut best: Option<(RowId, RowId)> = None;
     for b in rhs.iter() {
-        let mut first_const: Option<(RowId, fdi_relation::symbol::Symbol)> = None;
-        let mut first_null: Option<(RowId, fdi_relation::value::NullId)> = None;
-        for &r in rows {
-            match instance.value(r, b) {
-                Value::Nothing => {
-                    let other = rows.iter().copied().find(|x| *x != r).expect("len >= 2");
-                    return pair(r, other);
-                }
-                Value::Const(c) => {
-                    if let Some((r0, c0)) = first_const {
-                        if c0 != c {
-                            return pair(r0, r);
-                        }
-                    } else {
-                        first_const = Some((r, c));
+        best = min_pair(best, attr_violation(instance, snapshot, rows, b, conv));
+    }
+    best
+}
+
+/// One attribute of [`group_violation`]'s scan: the least conflicting
+/// pair on `b` among the (ascending, `X`-agreeing) `rows`, if any.
+fn attr_violation(
+    instance: &Instance,
+    snapshot: &NecSnapshot,
+    rows: &[RowId],
+    b: fdi_relation::attrs::AttrId,
+    conv: Convention,
+) -> Option<(RowId, RowId)> {
+    let pair = |a: RowId, b: RowId| Some((a.min(b), a.max(b)));
+    let mut first_const: Option<(RowId, fdi_relation::symbol::Symbol)> = None;
+    let mut first_null: Option<(RowId, fdi_relation::value::NullId)> = None;
+    for &r in rows {
+        match instance.value(r, b) {
+            Value::Nothing => {
+                let other = rows.iter().copied().find(|x| *x != r).expect("len >= 2");
+                return pair(r, other);
+            }
+            Value::Const(c) => {
+                if let Some((r0, c0)) = first_const {
+                    if c0 != c {
+                        return pair(r0, r);
                     }
-                    if conv == Convention::Strong {
-                        if let Some((rn, _)) = first_null {
-                            return pair(rn, r);
-                        }
+                } else {
+                    first_const = Some((r, c));
+                }
+                if conv == Convention::Strong {
+                    if let Some((rn, _)) = first_null {
+                        return pair(rn, r);
                     }
                 }
-                Value::Null(n) => {
-                    if conv == Convention::Strong {
-                        if let Some((r0, _)) = first_const {
-                            return pair(r0, r);
-                        }
-                        match first_null {
-                            Some((rn, m)) => {
-                                if !snapshot.same_class(m, n) {
-                                    return pair(rn, r);
-                                }
+            }
+            Value::Null(n) => {
+                if conv == Convention::Strong {
+                    if let Some((r0, _)) = first_const {
+                        return pair(r0, r);
+                    }
+                    match first_null {
+                        Some((rn, m)) => {
+                            if !snapshot.same_class(m, n) {
+                                return pair(rn, r);
                             }
-                            None => first_null = Some((r, n)),
                         }
+                        None => first_null = Some((r, n)),
                     }
                 }
             }
@@ -259,10 +330,11 @@ fn weak_cmp(
     i: RowId,
     j: RowId,
     attrs: fdi_relation::attrs::AttrSet,
+    snapshot: &NecSnapshot,
 ) -> Ordering {
     for a in attrs.iter() {
-        let ka = weak_sort_key(instance.value(i, a), i, instance);
-        let kb = weak_sort_key(instance.value(j, a), j, instance);
+        let ka = weak_sort_key(instance.value(i, a), i, snapshot);
+        let kb = weak_sort_key(instance.value(j, a), j, snapshot);
         match ka.cmp(&kb) {
             Ordering::Equal => continue,
             other => return other,
@@ -275,49 +347,54 @@ fn weak_cmp(
 ///
 /// Sound for the weak convention always; for the strong convention it
 /// automatically falls back to [`check_pairwise`] for any FD whose left
-/// side contains a null somewhere in the instance (the paper's footnote).
+/// side contains a null somewhere in the instance (the paper's
+/// footnote). Reports the canonical witness of [`check`]'s contract:
+/// the least violating pair of the lowest violated FD.
 pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
     let rows: Vec<RowId> = instance.row_ids().collect();
     let n = rows.len();
     let snapshot = instance.necs().canonical_snapshot();
+    let null_cols = null_columns_for(instance, conv);
     let mut order: Vec<RowId> = Vec::with_capacity(n);
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
             continue; // true in every instance
         }
-        if conv == Convention::Strong {
-            let lhs_has_null = instance.tuples().any(|t| t.has_null_on(fd.lhs));
-            if lhs_has_null {
-                // Null "equality" is not transitive: grouping by sort is
-                // unsound. Use the pairwise variant for this FD.
-                check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| {
-                    Violation {
-                        fd_index,
-                        rows: v.rows,
-                    }
-                })?;
-                continue;
-            }
+        if conv == Convention::Strong && !fd.lhs.intersect(null_cols).is_empty() {
+            // Null "equality" is not transitive: grouping by sort is
+            // unsound. Use the pairwise variant for this FD.
+            check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| Violation {
+                fd_index,
+                rows: v.rows,
+            })?;
+            continue;
         }
         order.clear();
         order.extend(rows.iter().copied());
-        order.sort_by(|&i, &j| weak_cmp(instance, i, j, fd.lhs));
+        order.sort_by(|&i, &j| weak_cmp(instance, i, j, fd.lhs, &snapshot));
         // Scan each group of X-equal rows with the linear per-attribute
-        // representative check.
+        // representative check, folding the per-group minima so the
+        // reported pair is the FD's least (groups are ascending — the
+        // sort is stable over the ascending `rows`).
+        let mut best: Option<(RowId, RowId)> = None;
         let mut start = 0;
         while start < n {
             let mut end = start + 1;
-            while end < n && weak_cmp(instance, order[start], order[end], fd.lhs) == Ordering::Equal
+            while end < n
+                && weak_cmp(instance, order[start], order[end], fd.lhs, &snapshot)
+                    == Ordering::Equal
             {
                 end += 1;
             }
-            if let Some(rows) =
-                group_violation(instance, &snapshot, &order[start..end], fd.rhs, conv)
-            {
-                return Err(Violation { fd_index, rows });
-            }
+            best = min_pair(
+                best,
+                group_violation(instance, &snapshot, &order[start..end], fd.rhs, conv),
+            );
             start = end;
+        }
+        if let Some(rows) = best {
+            return Err(Violation { fd_index, rows });
         }
     }
     Ok(())
@@ -328,40 +405,43 @@ pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
 ///
 /// Grouping hashes the weak-convention keys, so (like the sorted
 /// variant) it falls back to pairwise for strong-convention FDs whose
-/// left side meets a null.
+/// left side meets a null. Group maps are scanned with a full
+/// minimum-fold — never in `HashMap` iteration order — so the reported
+/// witness is [`check`]'s canonical one, run-to-run deterministic.
 pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
     let n = instance.len();
     let snapshot = instance.necs().canonical_snapshot();
+    let null_cols = null_columns_for(instance, conv);
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
             continue; // true in every instance
         }
-        if conv == Convention::Strong {
-            let lhs_has_null = instance.tuples().any(|t| t.has_null_on(fd.lhs));
-            if lhs_has_null {
-                check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| {
-                    Violation {
-                        fd_index,
-                        rows: v.rows,
-                    }
-                })?;
-                continue;
-            }
+        if conv == Convention::Strong && !fd.lhs.intersect(null_cols).is_empty() {
+            check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| Violation {
+                fd_index,
+                rows: v.rows,
+            })?;
+            continue;
         }
         let mut groups: HashMap<Vec<(u8, u32)>, Vec<RowId>> = HashMap::with_capacity(n);
         for i in instance.row_ids() {
             let key: Vec<(u8, u32)> = fd
                 .lhs
                 .iter()
-                .map(|a| weak_sort_key(instance.value(i, a), i, instance))
+                .map(|a| weak_sort_key(instance.value(i, a), i, &snapshot))
                 .collect();
             groups.entry(key).or_default().push(i);
         }
+        let mut best: Option<(RowId, RowId)> = None;
         for rows in groups.values() {
-            if let Some(rows) = group_violation(instance, &snapshot, rows, fd.rhs, conv) {
-                return Err(Violation { fd_index, rows });
-            }
+            best = min_pair(
+                best,
+                group_violation(instance, &snapshot, rows, fd.rhs, conv),
+            );
+        }
+        if let Some(rows) = best {
+            return Err(Violation { fd_index, rows });
         }
     }
     Ok(())
@@ -377,30 +457,37 @@ pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
 /// representative. Expected `O(|F|·n·p)`. Like the sorted and hashed
 /// variants it falls back to pairwise for strong-convention FDs whose
 /// determinant meets a null.
+///
+/// The group map is folded to its **minimum** violating pair — never
+/// scanned in `HashMap` iteration order — so the result is a pure
+/// function of the instance and FD set: the least violating pair of
+/// the lowest violated FD, bit-identical to [`check_pairwise`] and
+/// [`check_par`].
 pub fn check_grouped(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
     let snapshot = instance.necs().canonical_snapshot();
+    let null_cols = null_columns_for(instance, conv);
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
             continue; // true in every instance
         }
-        if conv == Convention::Strong {
-            let lhs_has_null = instance.tuples().any(|t| t.has_null_on(fd.lhs));
-            if lhs_has_null {
-                check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| {
-                    Violation {
-                        fd_index,
-                        rows: v.rows,
-                    }
-                })?;
-                continue;
-            }
+        if conv == Convention::Strong && !fd.lhs.intersect(null_cols).is_empty() {
+            check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| Violation {
+                fd_index,
+                rows: v.rows,
+            })?;
+            continue;
         }
         let groups = groupkey::group_rows(instance, fd.lhs, &snapshot);
+        let mut best: Option<(RowId, RowId)> = None;
         for rows in groups.values() {
-            if let Some(rows) = group_violation(instance, &snapshot, rows, fd.rhs, conv) {
-                return Err(Violation { fd_index, rows });
-            }
+            best = min_pair(
+                best,
+                group_violation(instance, &snapshot, rows, fd.rhs, conv),
+            );
+        }
+        if let Some(rows) = best {
+            return Err(Violation { fd_index, rows });
         }
     }
     Ok(())
@@ -409,7 +496,10 @@ pub fn check_grouped(instance: &Instance, fds: &FdSet, conv: Convention) -> Resu
 /// TEST-FDs with size-based dispatch: pairwise below [`SMALL_N`] rows
 /// (also the oracle the grouped path is verified against), the
 /// group-indexed variant beyond. Sound and complete under both
-/// conventions for any instance.
+/// conventions for any instance. On a violating instance the reported
+/// witness is canonical — the least violating pair of the lowest
+/// violated FD, identical across both dispatch arms and bit-identical
+/// to [`check_par`]'s (see the module docs).
 ///
 /// # Example — the two conventions on Figure 1.3
 ///
@@ -467,12 +557,12 @@ fn chunk_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
 }
 
 /// Canonical violating pair of one grouped FD: every group is scanned
-/// with [`group_violation`] (a deterministic function of the group's
-/// ascending row list) and the least reported `(row, row)` pair wins.
-/// Group iteration order does not matter (min is order-insensitive),
-/// which is what makes the result deterministic — note it is the least
-/// *reported* pair, not necessarily the least pair that violates (the
-/// representative scan surfaces one conflict per group).
+/// with [`group_violation`] (which returns the group's least violating
+/// pair) and the least group result wins. Group iteration order does
+/// not matter (min is order-insensitive), and since the groups are
+/// exactly the FD's agreement classes, the fold yields the FD's least
+/// violating pair outright — the same pair [`check_pairwise`]'s
+/// ascending scan finds first.
 fn min_grouped_violation_par(
     instance: &Instance,
     snapshot: &NecSnapshot,
@@ -536,19 +626,17 @@ fn min_pairwise_violation_par(
 /// representative check as the sequential variants; strong-convention
 /// FDs whose determinant meets a null fall back to a sharded pairwise
 /// scan, exactly like [`check`]'s fallback. FDs are visited in set
-/// order and the first violating FD reports a **canonical** pair — the
-/// least pair its per-group representative scans surface (one conflict
-/// per group, so not necessarily the least pair that violates; the
-/// pairwise fallback path does report the true least) — so the result
-/// is a pure function of the instance and the FD set:
+/// order and the first violating FD reports the **canonical witness**:
+/// the least violating pair of that FD (the grouped minimum-fold and
+/// the pairwise fallback both compute it exactly), so the result is a
+/// pure function of the instance and the FD set:
 ///
 /// * **bit-identical at every thread count** (including 1 — the
 ///   sequential oracle the property suite compares against), and
-/// * **verdict-identical to [`check`]**: `check_par(..).is_ok() ==
-///   check(..).is_ok()` always. The `Err` payload is always a genuine
-///   violating pair of the lowest-indexed violated FD, but may differ
-///   from `check`'s, whose choice is scan-order dependent where
-///   `check_par`'s is canonical.
+/// * **bit-identical to [`check`]** — verdict *and* `Err` payload:
+///   every sequential variant now reports the same canonical least
+///   pair, so `check == check_par` holds outright on violating
+///   instances too.
 pub fn check_par(
     instance: &Instance,
     fds: &FdSet,
@@ -556,14 +644,14 @@ pub fn check_par(
     exec: &fdi_exec::Executor,
 ) -> Result<(), Violation> {
     let snapshot = instance.necs().canonical_snapshot();
+    let null_cols = null_columns_for(instance, conv);
     let mut all_rows: Option<Vec<RowId>> = None;
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
             continue; // true in every instance (cf. the other variants)
         }
-        let fallback =
-            conv == Convention::Strong && instance.tuples().any(|t| t.has_null_on(fd.lhs));
+        let fallback = conv == Convention::Strong && !fd.lhs.intersect(null_cols).is_empty();
         let pair = if fallback {
             let rows = all_rows.get_or_insert_with(|| instance.row_ids().collect());
             min_pairwise_violation_par(instance, rows, fd, conv, exec)
@@ -613,8 +701,9 @@ pub fn check_single_presorted(
 /// [`check_single_presorted`] and the benchmarks).
 pub fn sort_order(instance: &Instance, fd: Fd) -> Vec<RowId> {
     let fd = fd.normalized();
+    let snapshot = instance.necs().canonical_snapshot();
     let mut order: Vec<RowId> = instance.row_ids().collect();
-    order.sort_by(|&i, &j| weak_cmp(instance, i, j, fd.lhs));
+    order.sort_by(|&i, &j| weak_cmp(instance, i, j, fd.lhs, &snapshot));
     order
 }
 

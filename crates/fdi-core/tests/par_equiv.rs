@@ -11,7 +11,10 @@
 //! determinants (the strong-convention pairwise-fallback path of
 //! TEST-FDs).
 
-use fdi_core::chase::{chase_plain, chase_plain_par, order_replay_caveats};
+use fdi_core::chase::{
+    chase_plain, chase_plain_par, extended_chase, extended_chase_par, order_replay_caveats,
+    Scheduler,
+};
 use fdi_core::groupkey;
 use fdi_core::query::{self, Query};
 use fdi_core::testfd::{self, Convention};
@@ -123,20 +126,22 @@ proptest! {
     }
 
     /// `check_par` is thread-invariant (bit-identical `Result`,
-    /// violation payload included), verdict-identical to the pairwise
-    /// oracle under both conventions, and any violation it reports is
-    /// genuine under the pairwise predicate. The adversarial instances
-    /// cover `nothing`-bearing buckets and the strong-null-determinant
-    /// fallback.
+    /// violation payload included), **bit-identical to the sequential
+    /// variants — witness included** under both conventions, and any
+    /// violation it reports is genuine under the pairwise predicate.
+    /// The adversarial instances cover `nothing`-bearing buckets,
+    /// planted violations (so witness equality is exercised on
+    /// violating instances, not just where witnesses happen to
+    /// coincide), and the strong-null-determinant fallback.
     #[test]
     fn parallel_testfd_is_thread_invariant_and_sound(w in arb_adversarial()) {
         for conv in [Convention::Strong, Convention::Weak] {
             let oracle = testfd::check_pairwise(&w.instance, &w.fds, conv);
             let baseline = testfd::check_par(&w.instance, &w.fds, conv, &Executor::with_threads(1));
             prop_assert_eq!(
-                oracle.is_ok(),
-                baseline.is_ok(),
-                "verdict vs pairwise under {:?} on\n{}",
+                oracle,
+                baseline,
+                "canonical witness vs pairwise under {:?} on\n{}",
                 conv,
                 w.instance.render(true)
             );
@@ -153,6 +158,119 @@ proptest! {
                     conv
                 );
             }
+        }
+    }
+
+    /// The deterministic-witness contract of the sequential variants:
+    /// `check`, `check_grouped`, `check_hashed`, `check_sorted`, and
+    /// `check_pairwise` all return one bit-identical `Result` — the
+    /// least violating pair of the lowest violated FD — on any
+    /// instance, violating ones included. (Before the fix the grouped
+    /// and hashed variants picked the first group in `HashMap`
+    /// iteration order: a run-to-run nondeterministic witness.)
+    #[test]
+    fn sequential_witnesses_are_canonical(w in arb_adversarial()) {
+        for conv in [Convention::Strong, Convention::Weak] {
+            let pairwise = testfd::check_pairwise(&w.instance, &w.fds, conv);
+            prop_assert_eq!(
+                pairwise, testfd::check(&w.instance, &w.fds, conv),
+                "check under {:?} on\n{}", conv, w.instance.render(true)
+            );
+            prop_assert_eq!(
+                pairwise, testfd::check_grouped(&w.instance, &w.fds, conv),
+                "check_grouped under {:?}", conv
+            );
+            prop_assert_eq!(
+                pairwise, testfd::check_hashed(&w.instance, &w.fds, conv),
+                "check_hashed under {:?}", conv
+            );
+            prop_assert_eq!(
+                pairwise, testfd::check_sorted(&w.instance, &w.fds, conv),
+                "check_sorted under {:?}", conv
+            );
+        }
+    }
+
+    /// `extended_chase_par` equals `Scheduler::Fast` — canonical
+    /// materialized instance, `nothing_classes`, `union_count` — at
+    /// every thread count, across the adversarial regimes (cross-column
+    /// NEC classes, preexisting `nothing` cells, planted conflicts);
+    /// and the parallel path itself is bit-identical across thread
+    /// counts, `rounds` included.
+    #[test]
+    fn parallel_extended_chase_matches_fast(w in arb_adversarial()) {
+        let fast = extended_chase(&w.instance, &w.fds, Scheduler::Fast);
+        let baseline = extended_chase_par(&w.instance, &w.fds, &Executor::with_threads(1));
+        for threads in THREADS {
+            let par = extended_chase_par(&w.instance, &w.fds, &Executor::with_threads(threads));
+            prop_assert_eq!(
+                fast.instance.canonical_form(),
+                par.instance.canonical_form(),
+                "threads = {} on\n{}",
+                threads,
+                w.instance.render(true)
+            );
+            prop_assert_eq!(fast.nothing_classes, par.nothing_classes, "threads = {}", threads);
+            prop_assert_eq!(fast.unions, par.unions, "threads = {}", threads);
+            prop_assert_eq!(
+                baseline.instance.canonical_form(),
+                par.instance.canonical_form(),
+                "parallel path not thread-invariant at {} threads",
+                threads
+            );
+            prop_assert_eq!(baseline.rounds, par.rounds, "phase count at {} threads", threads);
+        }
+    }
+
+    /// The extended chase (both schedulers and the parallel path) is
+    /// invariant under delete-then-`compact()`: tombstoning rows and
+    /// densifying the arena afterwards must not change the outcome on
+    /// the surviving rows — canonical instance, `nothing` classes, and
+    /// union count all agree between the tombstoned instance and its
+    /// compacted twin.
+    #[test]
+    fn extended_chase_is_invariant_under_delete_then_compact(
+        w in arb_adversarial(),
+        delete_mask in 0u64..u64::MAX,
+    ) {
+        let mut tombstoned = w.instance.clone();
+        let rows: Vec<RowId> = tombstoned.row_ids().collect();
+        for (i, &row) in rows.iter().enumerate() {
+            // keep at least two rows so FDs still have pairs to fire on
+            if delete_mask & (1 << (i % 64)) != 0 && tombstoned.len() > 2 {
+                tombstoned.remove_row(row);
+            }
+        }
+        let mut compacted = tombstoned.clone();
+        compacted.compact();
+        prop_assert_eq!(compacted.slot_bound(), compacted.len());
+        for scheduler in [Scheduler::Fast, Scheduler::NaivePairs] {
+            let a = extended_chase(&tombstoned, &w.fds, scheduler);
+            let b = extended_chase(&compacted, &w.fds, scheduler);
+            prop_assert_eq!(
+                a.instance.canonical_form(),
+                b.instance.canonical_form(),
+                "{:?} diverges under compact() on\n{}",
+                scheduler,
+                tombstoned.render(true)
+            );
+            prop_assert_eq!(a.nothing_classes, b.nothing_classes, "{:?}", scheduler);
+            prop_assert_eq!(a.unions, b.unions, "{:?}", scheduler);
+        }
+        let fast = extended_chase(&tombstoned, &w.fds, Scheduler::Fast);
+        for threads in THREADS {
+            let exec = Executor::with_threads(threads);
+            let pa = extended_chase_par(&tombstoned, &w.fds, &exec);
+            let pb = extended_chase_par(&compacted, &w.fds, &exec);
+            prop_assert_eq!(
+                pa.instance.canonical_form(),
+                pb.instance.canonical_form(),
+                "parallel path diverges under compact() at {} threads",
+                threads
+            );
+            prop_assert_eq!(pa.nothing_classes, pb.nothing_classes);
+            prop_assert_eq!(pa.unions, pb.unions);
+            prop_assert_eq!(pa.instance.canonical_form(), fast.instance.canonical_form());
         }
     }
 
@@ -261,6 +379,7 @@ fn parallel_paths_survive_tombstone_heavy_arenas() {
     let q = scaling_query(&w.instance);
     let seq_sel = query::select(&q, &w.instance).unwrap();
     let seq_chase = chase_plain(&w.instance, &w.fds);
+    let seq_extended = extended_chase(&w.instance, &w.fds, Scheduler::Fast);
     let snapshot = w.instance.necs().canonical_snapshot();
     for threads in THREADS {
         let exec = Executor::with_threads(threads);
@@ -271,6 +390,14 @@ fn parallel_paths_survive_tombstone_heavy_arenas() {
             seq_chase.instance.canonical_form(),
             par_chase.instance.canonical_form()
         );
+        let par_extended = extended_chase_par(&w.instance, &w.fds, &exec);
+        assert_eq!(
+            seq_extended.instance.canonical_form(),
+            par_extended.instance.canonical_form(),
+            "extended chase over tombstones, threads = {threads}"
+        );
+        assert_eq!(seq_extended.nothing_classes, par_extended.nothing_classes);
+        assert_eq!(seq_extended.unions, par_extended.unions);
         for conv in [Convention::Strong, Convention::Weak] {
             assert_eq!(
                 testfd::check_par(&w.instance, &w.fds, conv, &Executor::with_threads(1)),
@@ -284,6 +411,82 @@ fn parallel_paths_survive_tombstone_heavy_arenas() {
                 groupkey::group_rows(&w.instance, fd.lhs, &snapshot),
                 groupkey::group_rows_par(&w.instance, fd.lhs, &snapshot, &exec)
             );
+        }
+    }
+}
+
+/// Live rows above a large tombstone gap (`slot_bound() >> len()`): the
+/// extended chase's per-slot side tables are sized by the slot bound,
+/// and the leading shards are entirely dead — both schedulers and the
+/// parallel path at every thread count must still agree, with the
+/// planted conflict among the survivors detected.
+#[test]
+fn extended_chase_handles_live_rows_above_large_tombstone_gaps() {
+    let spec = WorkloadSpec {
+        rows: 120,
+        attrs: 4,
+        domain: 8,
+        null_density: 0.25,
+        nec_density: 0.4,
+        collision_rate: 0.6,
+    };
+    let mut w = workload(31, &spec, 3);
+    let mut rng = StdRng::seed_from_u64(31);
+    // tombstone everything except the last 6 slots, then plant the
+    // conflict among the survivors so it is guaranteed live
+    let rows: Vec<RowId> = w.instance.row_ids().collect();
+    for &row in &rows[..rows.len() - 6] {
+        w.instance.remove_row(row);
+    }
+    plant_violation(&mut rng, &mut w.instance, &w.fds);
+    assert!(
+        w.instance.slot_bound() >= w.instance.len() * 10,
+        "gap regime: slot_bound {} vs len {}",
+        w.instance.slot_bound(),
+        w.instance.len()
+    );
+    let fast = extended_chase(&w.instance, &w.fds, Scheduler::Fast);
+    let naive = extended_chase(&w.instance, &w.fds, Scheduler::NaivePairs);
+    assert_eq!(
+        fast.instance.canonical_form(),
+        naive.instance.canonical_form()
+    );
+    assert_eq!(fast.nothing_classes, naive.nothing_classes);
+    assert!(fast.nothing_classes > 0, "planted conflict must be found");
+    for threads in THREADS {
+        let par = extended_chase_par(&w.instance, &w.fds, &Executor::with_threads(threads));
+        assert_eq!(
+            fast.instance.canonical_form(),
+            par.instance.canonical_form(),
+            "threads = {threads}"
+        );
+        assert_eq!(fast.nothing_classes, par.nothing_classes);
+        assert_eq!(fast.unions, par.unions);
+    }
+}
+
+/// `extended_chase_par` on the scale generator built for it:
+/// cross-column NEC classes and planted conflicts at n = 300, swept
+/// across thread counts against the sequential Fast scheduler.
+#[test]
+fn parallel_extended_chase_matches_fast_on_extended_workloads() {
+    for (seed, conflicts) in [(3u64, 0usize), (4, 4)] {
+        let w = fdi_gen::extended_workload(seed, 300, 4, 8, conflicts);
+        let fast = extended_chase(&w.instance, &w.fds, Scheduler::Fast);
+        if conflicts > 0 {
+            assert!(fast.nothing_classes > 0, "seed {seed}: conflicts must bite");
+        }
+        let baseline = extended_chase_par(&w.instance, &w.fds, &Executor::with_threads(1));
+        for threads in THREADS {
+            let par = extended_chase_par(&w.instance, &w.fds, &Executor::with_threads(threads));
+            assert_eq!(
+                fast.instance.canonical_form(),
+                par.instance.canonical_form(),
+                "seed {seed}, threads = {threads}"
+            );
+            assert_eq!(fast.nothing_classes, par.nothing_classes);
+            assert_eq!(fast.unions, par.unions);
+            assert_eq!(baseline.rounds, par.rounds, "phase count thread-invariance");
         }
     }
 }

@@ -186,6 +186,30 @@ impl Executor {
         let indices: Vec<usize> = (0..n).collect();
         self.map(&indices, |_, &i| f(i))
     }
+
+    /// Applies `f` to every item and concatenates the per-item result
+    /// vectors **in item order** — the shard-ordered flat-map the
+    /// batch-emitting engines (parallel discovery phases producing edge
+    /// or candidate batches) fold on.
+    ///
+    /// Equivalent to `self.map(items, f)` followed by a left-to-right
+    /// flatten, so the determinism contract carries over verbatim: the
+    /// output is the sequential `items.iter().flat_map(..)` result at
+    /// every thread count.
+    pub fn flat_map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> Vec<T> + Sync,
+    {
+        let batches = self.map(items, f);
+        let total = batches.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for batch in batches {
+            out.extend(batch);
+        }
+        out
+    }
 }
 
 /// One thread per available CPU (the `FDI_THREADS`-unset default).
@@ -222,6 +246,20 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(exec.map(&empty, |_, &x| x).is_empty());
         assert_eq!(exec.map(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn flat_map_concatenates_in_item_order_at_every_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().flat_map(|&x| vec![x; x % 4]).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = Executor::with_threads(threads).flat_map(&items, |_, &x| vec![x; x % 4]);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        let empty: Vec<u32> = Vec::new();
+        assert!(Executor::with_threads(4)
+            .flat_map(&empty, |_, &x| vec![x])
+            .is_empty());
     }
 
     #[test]

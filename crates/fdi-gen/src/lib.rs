@@ -326,6 +326,57 @@ pub fn large_workload(
     }
 }
 
+/// A scale workload for the **extended** chase: a [`large_workload`]
+/// base (weakly satisfiable, column-local classes) deliberately pushed
+/// into the regimes only the extended engine handles —
+///
+/// * `cross_classes` NEC classes spliced **across columns** (one fresh
+///   null id written into two cells of different columns), the regime
+///   the plain indexed chase's order-replay guarantee excludes but the
+///   extended closure is indifferent to (Theorem 4(a));
+/// * `conflicts` planted FD violations (two rows agreeing on a random
+///   FD's determinant with distinct constants on its dependent), each
+///   of which the extended chase resolves into a `nothing` class
+///   (Theorem 4(b): the instance stops being weakly satisfiable).
+///
+/// Deterministic given `seed`; no `order_replay_exact` promise is made
+/// (that is the point). The parallel-chase benchmarks and the
+/// `extended_chase_par` property suite run on this shape.
+pub fn extended_workload(
+    seed: u64,
+    rows: usize,
+    fd_count: usize,
+    cross_classes: usize,
+    conflicts: usize,
+) -> Workload {
+    let mut w = large_workload(seed, rows, 0.2, 0.2, fd_count);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0e7e_4ded_c4a5_e5eb);
+    let ids: Vec<RowId> = w.instance.row_ids().collect();
+    let attrs = w.schema.all_attrs().len();
+    if ids.len() >= 2 && attrs >= 2 {
+        for _ in 0..cross_classes {
+            let id = w.instance.fresh_null();
+            let r0 = ids[rng.gen_range(0..ids.len())];
+            let r1 = ids[rng.gen_range(0..ids.len())];
+            let c0 = rng.gen_range(0..attrs);
+            let mut c1 = rng.gen_range(0..attrs);
+            while c1 == c0 {
+                c1 = rng.gen_range(0..attrs);
+            }
+            w.instance.set_value(r0, AttrId(c0 as u16), Value::Null(id));
+            w.instance.set_value(r1, AttrId(c1 as u16), Value::Null(id));
+        }
+    }
+    for _ in 0..conflicts {
+        if w.fds.is_empty() {
+            break;
+        }
+        let fd = w.fds.fds()[rng.gen_range(0..w.fds.len())];
+        plant_violation(&mut rng, &mut w.instance, &FdSet::from_vec(vec![fd]));
+    }
+    w
+}
+
 /// The standard selection query of the scaling/parallel benchmarks,
 /// over a [`scaling_spec`]-style instance (attributes `A`, `B`, …, and
 /// constants `A_0`, `A_1`, `B_0`, … — present in every uniform domain,
@@ -919,6 +970,39 @@ mod tests {
         assert_eq!(w.instance.canonical_form(), w2.instance.canonical_form());
         let w3 = large_workload(12, 1000, 0.2, 0.3, 4);
         assert_ne!(w.instance.canonical_form(), w3.instance.canonical_form());
+    }
+
+    #[test]
+    fn extended_workloads_cross_columns_and_plant_conflicts() {
+        let w = extended_workload(19, 400, 4, 6, 3);
+        assert_eq!(w.instance.len(), 400);
+        // determinism
+        let w2 = extended_workload(19, 400, 4, 6, 3);
+        assert_eq!(w.instance.canonical_form(), w2.instance.canonical_form());
+        // at least one null id spans two columns
+        let mut seen: std::collections::HashMap<NullId, AttrId> = std::collections::HashMap::new();
+        let mut crossing = false;
+        for t in w.instance.tuples() {
+            for (a, n) in t.nulls_on(w.instance.schema().all_attrs()) {
+                let root = w.instance.necs().find_readonly(n);
+                if let Some(p) = seen.insert(root, a) {
+                    crossing |= p != a;
+                }
+            }
+        }
+        assert!(crossing, "expected a cross-column NEC class");
+        // the planted conflicts are real: the extended chase derives
+        // `nothing`, i.e. the instance is no longer weakly satisfiable
+        let outcome = chase::extended_chase(&w.instance, &w.fds, chase::Scheduler::Fast);
+        assert!(outcome.nothing_classes > 0, "planted conflicts must bite");
+        // with nothing planted, the base's witness completion survives
+        // (cross-column splices *may* create conflicts of their own, so
+        // only the unspliced variant promises satisfiability)
+        let clean = extended_workload(19, 120, 4, 0, 0);
+        assert!(chase::weakly_satisfiable_via_chase(
+            &clean.fds,
+            &clean.instance
+        ));
     }
 
     #[test]

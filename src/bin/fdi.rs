@@ -146,7 +146,11 @@ fn run(command: &str, desc: &Description) -> Result<(), String> {
             );
         }
         "chase-extended" => {
-            let outcome = chase::extended_chase(instance, fds, Scheduler::Fast);
+            // The extended closure is order-insensitive (Theorem 4a),
+            // so the FDI_THREADS-sized parallel engine is safe here —
+            // same canonical result at every thread count.
+            let outcome =
+                chase::extended_chase_par(instance, fds, &fdi_exec::Executor::from_env());
             println!("{}", outcome.instance.render(true));
             if outcome.has_nothing() {
                 println!(

@@ -52,7 +52,7 @@ pub use fdi_relation as relation;
 
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
-    pub use fdi_core::chase::{chase_plain, extended_chase, Scheduler};
+    pub use fdi_core::chase::{chase_plain, extended_chase, extended_chase_par, Scheduler};
     pub use fdi_core::fd::{Fd, FdSet};
     pub use fdi_core::prop1;
     pub use fdi_core::satisfy;
