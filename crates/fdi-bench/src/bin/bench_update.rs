@@ -2,10 +2,12 @@
 //! (`Database::insert/delete/modify` re-bucketing only the touched
 //! rows, with deletes tombstoning stable `RowId` slots — no survivor
 //! id-shift anywhere) vs a full `LhsIndex::build` after every update —
-//! the maintenance strategy the delta operations replaced. Runs
-//! `fdi-gen` single-row update streams, writes `BENCH_update.json`
-//! (medians in nanoseconds plus speedups) to the current directory, and
-//! prints a table.
+//! the maintenance strategy the delta operations replaced — plus a
+//! **journaled** lane: the incremental pipeline behind a synced
+//! in-memory write-ahead journal, isolating the durability layer's
+//! per-op overhead. Runs `fdi-gen` single-row update streams, writes
+//! `BENCH_update.json` (medians in nanoseconds plus speedups and
+//! journal overheads) to the current directory, and prints a table.
 //!
 //! Both sides perform the identical instance mutations; they differ
 //! only in how the determinant index is maintained, so the gap is
@@ -24,8 +26,8 @@
 //! [`LhsIndex`]: fdi_core::update::LhsIndex
 
 use fdi_bench::update_bench::{
-    assert_pipelines_agree, median_of, mixes, render_json, run_incremental, run_rebuild, spec_for,
-    Point, POLICY,
+    assert_pipelines_agree, median_of, mixes, render_json, run_incremental, run_journaled,
+    run_rebuild, spec_for, Point, POLICY,
 };
 use fdi_bench::{fmt_duration, Table};
 use fdi_core::update::Database;
@@ -46,6 +48,8 @@ fn main() {
         "n",
         "mix",
         "incremental (256 ops)",
+        "journaled (mem WAL)",
+        "overhead",
         "rebuild-per-op",
         "speedup",
     ]);
@@ -57,6 +61,7 @@ fn main() {
         for (mix_name, mix) in mixes() {
             let ops = update_stream(STREAM_SEED, &spec_for(n), n, OPS, mix);
             let t_incremental = median_of(repeats, || run_incremental(&db, &ops).0);
+            let t_journaled = median_of(repeats, || run_journaled(&db, &ops).0);
             // Rebuild-per-op is O(ops · n · |F|): skip it at 100k where
             // one stream alone takes minutes.
             let t_rebuild = (n <= 10_000)
@@ -79,6 +84,11 @@ fn main() {
                 n.to_string(),
                 mix_name.to_string(),
                 fmt_duration(t_incremental),
+                fmt_duration(t_journaled),
+                format!(
+                    "×{:.2}",
+                    t_journaled.as_secs_f64() / t_incremental.as_secs_f64()
+                ),
                 t_rebuild
                     .map(fmt_duration)
                     .unwrap_or_else(|| "(skipped)".into()),
@@ -89,6 +99,7 @@ fn main() {
                 mix: mix_name,
                 ops: OPS,
                 incremental_ns: t_incremental.as_nanos(),
+                journaled_ns: t_journaled.as_nanos(),
                 rebuild_ns: t_rebuild.map(|d| d.as_nanos()),
             });
         }

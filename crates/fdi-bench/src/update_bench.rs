@@ -3,13 +3,17 @@
 //! pipelines the benchmark times — at n = 10², every mix — before the
 //! artifact-upload step can bit-rot.
 //!
-//! Two pipelines perform identical instance mutations and differ only
-//! in index maintenance:
+//! Three pipelines perform identical instance mutations:
 //!
 //! * **incremental** — a [`Database`] under a no-check/no-propagate
 //!   policy: every op is one `LhsIndex` delta on stable [`RowId`]s
 //!   (deletes tombstone + unfile, `O(|F| · bucket)`, no survivor
 //!   renumbering);
+//! * **journaled** — the same database wrapped in a
+//!   [`JournaledDatabase`] over in-memory storage with a sync barrier
+//!   after every op, so the gap over *incremental* is the pure
+//!   write-ahead-journaling overhead (op encoding + append + barrier),
+//!   free of disk noise;
 //! * **rebuild-per-op** — the same mutations on a plain [`Instance`],
 //!   with `LhsIndex::build` re-run from scratch after every op (the
 //!   pre-delta strategy the deltas replaced).
@@ -25,6 +29,7 @@ use fdi_gen::{apply_op, LiveRows, UpdateMix, UpdateOp, WorkloadSpec};
 use fdi_relation::instance::Instance;
 use fdi_relation::rowid::RowId;
 use fdi_relation::value::Value;
+use fdi_store::{JournaledDatabase, MemStorage, SyncPolicy};
 use std::time::{Duration, Instant};
 
 /// Maintenance-only policy: no satisfiability checking, no NS-rule
@@ -44,6 +49,9 @@ pub struct Point {
     pub ops: usize,
     /// Median wall time of the incremental pipeline, nanoseconds.
     pub incremental_ns: u128,
+    /// Median wall time of the journaled pipeline (incremental plus a
+    /// synced in-memory write-ahead journal), nanoseconds.
+    pub journaled_ns: u128,
     /// Median wall time of rebuild-per-op (`None` when skipped).
     pub rebuild_ns: Option<u128>,
 }
@@ -91,6 +99,58 @@ pub fn run_incremental(db: &Database, ops: &[UpdateOp]) -> (Duration, Database) 
     (start.elapsed(), db)
 }
 
+/// Mirrors [`apply_op`]'s positional resolution and skip-on-reject
+/// behaviour against a [`JournaledDatabase`], so the journaled lane
+/// targets exactly the rows the other lanes target.
+fn journaled_apply(
+    jdb: &mut JournaledDatabase<MemStorage>,
+    live: &mut Vec<RowId>,
+    op: &UpdateOp,
+) -> bool {
+    match op {
+        UpdateOp::Insert(tokens) => {
+            let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+            match jdb.insert(&refs) {
+                Ok(outcome) => {
+                    live.push(outcome.row);
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+        UpdateOp::Delete(pos) => match live.get(*pos).copied() {
+            Some(row) if jdb.delete(row).is_ok() => {
+                live.remove(*pos);
+                true
+            }
+            _ => false,
+        },
+        UpdateOp::Modify { row, attr, token } => match live.get(*row).copied() {
+            Some(id) => jdb.modify(id, *attr, token).is_ok(),
+            None => false,
+        },
+        UpdateOp::ResolveNull { row, attr, token } => match live.get(*row).copied() {
+            Some(id) => jdb.resolve_null(id, *attr, token).is_ok(),
+            None => false,
+        },
+    }
+}
+
+/// Applies the stream through a [`JournaledDatabase`] over in-memory
+/// storage under [`SyncPolicy::EveryOp`]. Journal creation (the genesis
+/// snapshot) is setup and excluded from the timed region; the measured
+/// delta over [`run_incremental`] is per-op journaling cost.
+pub fn run_journaled(db: &Database, ops: &[UpdateOp]) -> (Duration, JournaledDatabase<MemStorage>) {
+    let mut jdb = JournaledDatabase::create(db.clone(), MemStorage::new(), SyncPolicy::EveryOp)
+        .expect("fresh in-memory storage is empty");
+    let mut live: Vec<RowId> = jdb.db().instance().row_ids().collect();
+    let start = Instant::now();
+    for op in ops {
+        std::hint::black_box(journaled_apply(&mut jdb, &mut live, op));
+    }
+    (start.elapsed(), jdb)
+}
+
 /// Applies the identical mutations to a plain instance, rebuilding the
 /// index from scratch after every update — the pre-delta strategy.
 pub fn run_rebuild(
@@ -134,8 +194,10 @@ pub fn run_rebuild(
     (start.elapsed(), instance, index)
 }
 
-/// Asserts the two pipelines end on the same instance and
-/// bucket-identical indexes — the honesty check behind every point.
+/// Asserts all pipelines end on the same instance and bucket-identical
+/// indexes — the honesty check behind every point. The journaled lane
+/// is additionally replayed through crash recovery: the state rebuilt
+/// from its journal must be bit-identical to the state it timed.
 pub fn assert_pipelines_agree(
     db: &Database,
     ops: &[UpdateOp],
@@ -154,6 +216,24 @@ pub fn assert_pipelines_agree(
         final_db.index().same_buckets(&final_index),
         "delta-maintained index diverges from rebuilds: {label}"
     );
+    let (_, jdb) = run_journaled(db, ops);
+    assert_eq!(
+        jdb.db().instance().render(true),
+        final_db.instance().render(true),
+        "journaled pipeline diverges from incremental: {label}"
+    );
+    let (live, journal) = jdb.into_parts();
+    let recovered = fdi_store::Journal::recover(journal.into_storage().crash())
+        .expect("a fully synced journal recovers");
+    assert_eq!(
+        recovered.db.instance().render(true),
+        live.instance().render(true),
+        "recovery does not reproduce the journaled database: {label}"
+    );
+    assert!(
+        recovered.db.index().same_buckets(live.index()),
+        "recovered index diverges: {label}"
+    );
 }
 
 /// Renders the measured points as the `BENCH_update.json` document.
@@ -171,13 +251,17 @@ pub fn render_json(points: &[Point]) -> String {
             .rebuild_ns
             .map(|v| format!("{:.1}", v as f64 / p.incremental_ns as f64))
             .unwrap_or_else(|| "null".to_string());
+        let overhead = p.journaled_ns as f64 / p.incremental_ns as f64;
         out.push_str(&format!(
             "    {{\"n\": {}, \"mix\": \"{}\", \"ops\": {}, \"incremental_ns\": {}, \
+             \"journaled_ns\": {}, \"journal_overhead\": {:.2}, \
              \"rebuild_ns\": {}, \"speedup\": {}}}{}\n",
             p.n,
             p.mix,
             p.ops,
             p.incremental_ns,
+            p.journaled_ns,
+            overhead,
             rebuild,
             speedup,
             if i + 1 == points.len() { "" } else { "," }
@@ -193,8 +277,9 @@ mod tests {
     use fdi_gen::{large_workload, update_stream};
 
     /// The CI smoke lane: every benchmarked mix runs end to end at
-    /// n = 10² with both pipelines agreeing — the full bench recipe,
-    /// minus the clock.
+    /// n = 10² with all three pipelines agreeing and the journaled
+    /// lane surviving crash recovery — the full bench recipe, minus
+    /// the clock.
     #[test]
     fn bench_pipelines_agree_at_smoke_scale() {
         let n = 100;
@@ -251,6 +336,7 @@ mod tests {
                 mix: "mixed",
                 ops: 64,
                 incremental_ns: 1000,
+                journaled_ns: 1500,
                 rebuild_ns: Some(5000),
             },
             Point {
@@ -258,6 +344,7 @@ mod tests {
                 mix: "churn",
                 ops: 64,
                 incremental_ns: 2000,
+                journaled_ns: 2400,
                 rebuild_ns: None,
             },
         ];
@@ -265,6 +352,9 @@ mod tests {
         assert!(json.contains("\"mix\": \"mixed\""));
         assert!(json.contains("\"speedup\": 5.0"));
         assert!(json.contains("\"rebuild_ns\": null"));
+        assert!(json.contains("\"journaled_ns\": 1500"));
+        assert!(json.contains("\"journal_overhead\": 1.50"));
+        assert!(json.contains("\"journal_overhead\": 1.20"));
         assert_eq!(json.matches("{\"n\":").count(), 2);
     }
 }

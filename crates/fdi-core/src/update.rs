@@ -545,6 +545,26 @@ impl Database {
         Ok(db)
     }
 
+    /// Wraps an instance whose state is *already known valid* under the
+    /// policy — the log-replay/recovery constructor. Unlike
+    /// [`Database::new`] it neither re-runs the satisfiability check nor
+    /// fires internal acquisition: a durability layer's snapshot was
+    /// taken from a database that had both already applied, so
+    /// re-deciding either here would at best waste a chase and at worst
+    /// *mutate* the restored state before replay begins. Only the
+    /// determinant index is (re)built — it is derived data, and
+    /// [`LhsIndex::build_par`] produces the identical index at every
+    /// thread count.
+    pub fn resume(instance: Instance, fds: FdSet, policy: Policy) -> Database {
+        let index = LhsIndex::build_par(&instance, &fds, &fdi_exec::Executor::from_env());
+        Database {
+            instance,
+            fds,
+            policy,
+            index,
+        }
+    }
+
     /// The current instance.
     pub fn instance(&self) -> &Instance {
         &self.instance

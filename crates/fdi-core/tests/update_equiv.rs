@@ -22,6 +22,7 @@ use fdi_gen::{
 };
 use fdi_relation::attrs::AttrId;
 use fdi_relation::rowid::RowId;
+use fdi_relation::Value;
 use proptest::prelude::*;
 
 /// The default mix plus blind resolve ops: most miss (clean `NotANull`
@@ -134,6 +135,93 @@ proptest! {
         for op in &stream {
             apply_op(&mut db, &mut live, op);
             assert_index_fresh(&db);
+        }
+    }
+
+    /// Interleavings with rejected ops (Strong rollbacks), checked
+    /// against two twin rebuilds after every operation:
+    ///
+    /// * a **mirror** twin fed the identical op sequence must stay
+    ///   bit-identical — same marked render, same `LhsIndex` buckets,
+    ///   same `NecStore` representation (the determinism the op
+    ///   journal's crash recovery relies on);
+    /// * an **accepted-only** twin — what recovery actually replays —
+    ///   must match every piece of visible state, with NEC classes in
+    ///   positional correspondence (a rejected attempt may burn null
+    ///   *allocator* ids, but must never leak content, index residue,
+    ///   or class structure).
+    #[test]
+    fn rejected_interleavings_match_twin_rebuilds(
+        seed in 0u64..1 << 32,
+        rows in 2usize..20,
+        ops in 1usize..32,
+    ) {
+        let base_spec = spec(rows, 0.0);
+        let w = satisfiable_workload(seed, &base_spec, 3);
+        let policy = Policy { enforcement: Enforcement::Strong, propagate: false };
+        let fresh = || {
+            Database::new(w.instance.clone(), w.fds.clone(), policy)
+                .expect("a complete classically-satisfying base is strongly satisfied")
+        };
+        let mut db = fresh();
+        let mut mirror = fresh();
+        let mut twin = fresh();
+        let mut live = LiveRows::of(db.instance());
+        let mut mirror_live = LiveRows::of(mirror.instance());
+        let mut twin_live = LiveRows::of(twin.instance());
+        // streams with nulls against a Strong policy reject often
+        let stream_spec = spec(rows, 0.25);
+        let stream =
+            update_stream(seed ^ 0x5713, &stream_spec, w.instance.len(), ops, mix_with_resolves());
+        for op in &stream {
+            let accepted = apply_op(&mut db, &mut live, op);
+            let mirror_accepted = apply_op(&mut mirror, &mut mirror_live, op);
+            prop_assert_eq!(accepted, mirror_accepted, "twins must decide identically");
+            if accepted {
+                prop_assert!(
+                    apply_op(&mut twin, &mut twin_live, op),
+                    "an op the database accepted must replay on the accepted-only twin"
+                );
+            }
+            prop_assert_eq!(db.instance().render(true), mirror.instance().render(true));
+            prop_assert!(
+                db.instance().necs() == mirror.instance().necs(),
+                "mirror NEC representation must stay in lockstep"
+            );
+            prop_assert!(db.index().same_buckets(mirror.index()));
+            prop_assert_eq!(db.instance().render(false), twin.instance().render(false));
+            prop_assert_eq!(
+                db.instance().canonical_form(),
+                twin.instance().canonical_form()
+            );
+            prop_assert!(
+                db.index().same_buckets(twin.index()),
+                "rejected ops must leave no index residue vs the accepted-only twin"
+            );
+            assert_index_fresh(&db);
+        }
+        // NEC class structure corresponds over the live null
+        // occurrences (ids may differ by allocator residue; the
+        // partition they induce on cells may not)
+        let arity = db.instance().schema().arity();
+        let mut pairs = Vec::new();
+        for row in db.instance().row_ids() {
+            for a in 0..arity {
+                let attr = AttrId(a as u16);
+                match (db.instance().value(row, attr), twin.instance().value(row, attr)) {
+                    (Value::Null(x), Value::Null(y)) => pairs.push((x, y)),
+                    (v, t) => prop_assert_eq!(v, t, "non-null cells must agree exactly"),
+                }
+            }
+        }
+        for i in 0..pairs.len() {
+            for j in i + 1..pairs.len() {
+                prop_assert_eq!(
+                    db.instance().necs().same_class(pairs[i].0, pairs[j].0),
+                    twin.instance().necs().same_class(pairs[i].1, pairs[j].1),
+                    "NEC partition must correspond positionally"
+                );
+            }
         }
     }
 

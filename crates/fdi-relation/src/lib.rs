@@ -21,7 +21,10 @@
 //!   figure-style text format and ASCII rendering;
 //! * [`completion`] — the completion sets `AP(t, R)` / `AP(r, R)` of §4,
 //!   with counting and budgeted enumeration;
-//! * [`lattice`] — the §2 approximation ordering lifted to instances.
+//! * [`lattice`] — the §2 approximation ordering lifted to instances;
+//! * [`serial`] — byte-codec primitives for the **exact-state**
+//!   serialization ([`Instance::encode_state`](instance::Instance::encode_state))
+//!   that the `fdi-store` durability layer snapshots and replays against.
 //!
 //! ## Example
 //!
@@ -54,6 +57,7 @@ pub mod lattice;
 pub mod nec;
 pub mod rowid;
 pub mod schema;
+pub mod serial;
 pub mod symbol;
 pub mod tuple;
 pub mod value;
@@ -66,6 +70,7 @@ pub use instance::{CanonValue, CanonicalInstance, Instance};
 pub use nec::{NecSnapshot, NecStore};
 pub use rowid::{RowId, RowIdShard};
 pub use schema::{AttrDef, DomainSpec, Schema, SchemaBuilder};
+pub use serial::DecodeError;
 pub use symbol::{Symbol, SymbolTable};
 pub use tuple::Tuple;
 pub use value::{NullId, Value};

@@ -10,11 +10,17 @@
 //! Implementation: a standard union–find with union by rank and path
 //! compression, growing on demand as null ids are allocated.
 
+use crate::serial::{self, DecodeError, Reader};
 use crate::value::NullId;
 use std::collections::HashMap;
 
 /// Union–find over null equivalence classes.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is **representation** equality (same parent pointers, ranks,
+/// and merge count), which is what the durability layer's exact-state
+/// round-trip asserts — two stores can describe the same partition yet
+/// compare unequal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NecStore {
     parent: Vec<u32>,
     rank: Vec<u8>,
@@ -138,6 +144,46 @@ impl NecStore {
         self.parent.len()
     }
 
+    /// Serializes the exact union–find representation (parent pointers,
+    /// ranks, merge count) — not just the partition it denotes — so a
+    /// decoded store is indistinguishable from the original under any
+    /// later sequence of operations (same compression paths, same union
+    /// tie-breaks).
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        serial::put_u32(out, self.parent.len() as u32);
+        for &p in &self.parent {
+            serial::put_u32(out, p);
+        }
+        for &r in &self.rank {
+            serial::put_u8(out, r);
+        }
+        serial::put_u64(out, self.merges as u64);
+    }
+
+    /// Decodes a store serialized by [`NecStore::encode_state`],
+    /// validating that every parent pointer is in range.
+    pub fn decode_state(r: &mut Reader<'_>) -> Result<NecStore, DecodeError> {
+        let n = r.u32()? as usize;
+        let mut parent = Vec::with_capacity(n);
+        for _ in 0..n {
+            let p = r.u32()?;
+            if p as usize >= n {
+                return Err(r.err(format!("parent pointer {p} out of range (store size {n})")));
+            }
+            parent.push(p);
+        }
+        let mut rank = Vec::with_capacity(n);
+        for _ in 0..n {
+            rank.push(r.u8()?);
+        }
+        let merges = r.u64()? as usize;
+        Ok(NecStore {
+            parent,
+            rank,
+            merges,
+        })
+    }
+
     /// Groups the given null ids into their equivalence classes.
     pub fn classes_of<I: IntoIterator<Item = NullId>>(&self, ids: I) -> Vec<Vec<NullId>> {
         let mut groups: HashMap<NullId, Vec<NullId>> = HashMap::new();
@@ -162,8 +208,10 @@ impl NecStore {
 /// Read-only, fully-compressed view of a [`NecStore`] partition.
 ///
 /// Built by [`NecStore::canonical_snapshot`]; stale after any later
-/// `union`.
-#[derive(Debug, Clone)]
+/// `union`. Equality compares the fully-compressed root tables
+/// entry-for-entry — two snapshots are equal exactly when their stores
+/// tracked the same id range and partition it identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NecSnapshot {
     roots: Vec<u32>,
 }
@@ -254,6 +302,48 @@ mod tests {
         let classes = store.classes_of([n(0), n(0), n(2)]);
         assert_eq!(classes.len(), 1);
         assert_eq!(classes[0].len(), 2);
+    }
+
+    #[test]
+    fn exact_state_round_trips() {
+        let mut store = NecStore::new();
+        store.union(n(0), n(4));
+        store.union(n(4), n(2));
+        store.union(n(7), n(9));
+        // compress some paths so parent/rank carry non-trivial structure
+        store.find(n(2));
+        let mut buf = Vec::new();
+        store.encode_state(&mut buf);
+        let mut r = Reader::new(&buf);
+        let decoded = NecStore::decode_state(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(decoded, store, "representation-exact round trip");
+        assert_eq!(decoded.merge_count(), store.merge_count());
+        assert_eq!(decoded.canonical_snapshot(), store.canonical_snapshot());
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_parents() {
+        let mut buf = Vec::new();
+        serial::put_u32(&mut buf, 2); // two ids …
+        serial::put_u32(&mut buf, 0);
+        serial::put_u32(&mut buf, 5); // … but a parent pointing at id 5
+        serial::put_u8(&mut buf, 0);
+        serial::put_u8(&mut buf, 0);
+        serial::put_u64(&mut buf, 0);
+        let err = NecStore::decode_state(&mut Reader::new(&buf)).unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn snapshot_equality_tracks_partitions() {
+        let mut a = NecStore::new();
+        let mut b = NecStore::new();
+        a.union(n(0), n(1));
+        b.union(n(0), n(1));
+        assert_eq!(a.canonical_snapshot(), b.canonical_snapshot());
+        b.union(n(2), n(3));
+        assert_ne!(a.canonical_snapshot(), b.canonical_snapshot());
     }
 
     #[test]

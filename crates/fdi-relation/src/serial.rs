@@ -1,0 +1,207 @@
+//! Byte-level codec primitives for exact-state serialization.
+//!
+//! The durability layer (`fdi-store`) journals `Database` mutations and
+//! replays them on recovery; its genesis/checkpoint records need an
+//! **exact-state** snapshot of an [`crate::instance::Instance`] — not
+//! merely a semantically equivalent one — so that replaying a journaled
+//! op suffix on the decoded snapshot is bit-identical to having applied
+//! the ops live (same null ids, same slot layout, same free list, same
+//! union–find internals). This module provides the little-endian
+//! primitives those encoders share; the state encoders themselves live
+//! next to the private fields they serialize
+//! ([`crate::instance::Instance::encode_state`],
+//! [`crate::nec::NecStore::encode_state`]).
+//!
+//! Framing, checksumming, and corruption handling are deliberately *not*
+//! here: they belong to the journal's record layer, which wraps these
+//! payloads. A [`DecodeError`] therefore means a logically malformed
+//! payload (truncated, out-of-range id, schema mismatch), not storage
+//! corruption.
+
+use std::fmt;
+
+/// A decoding failure: the byte offset within the payload where it was
+/// detected, and what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset within the payload being decoded.
+    pub offset: usize,
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decode error at payload byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over a byte payload with typed, bounds-checked reads.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a payload.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless every byte has been consumed — a decoded value must
+    /// account for its whole payload.
+    pub fn expect_end(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!("{} trailing bytes after value", self.remaining())))
+        }
+    }
+
+    /// Builds a [`DecodeError`] at the current offset.
+    pub fn err<S: Into<String>>(&self, message: S) -> DecodeError {
+        DecodeError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(self.err(format!("need {n} bytes, {} remaining", self.remaining())));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(self.err(format!(
+                "string length {len} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("string is not valid UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_str(&mut buf, "café");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.str().unwrap(), "café");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_with_offset() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 9);
+        buf.truncate(2);
+        let mut r = Reader::new(&buf);
+        let err = r.u32().unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert!(err.message.contains("need 4"));
+    }
+
+    #[test]
+    fn oversized_string_lengths_are_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1000); // claims 1000 bytes, provides none
+        let mut r = Reader::new(&buf);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = Reader::new(&buf);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn expect_end_catches_trailing_bytes() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 1);
+        put_u8(&mut buf, 2);
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert!(r.expect_end().is_err());
+        r.u8().unwrap();
+        r.expect_end().unwrap();
+    }
+}

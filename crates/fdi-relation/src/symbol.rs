@@ -68,6 +68,14 @@ impl SymbolTable {
         self.names.len()
     }
 
+    /// Interned texts in id order: `names().nth(i)` is the text of
+    /// `Symbol(i)`. Re-interning the sequence into an empty table
+    /// reproduces this table exactly — the property the exact-state
+    /// serializer relies on.
+    pub fn names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.names.iter().map(String::as_str)
+    }
+
     /// Returns `true` iff nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()

@@ -1,0 +1,366 @@
+//! A [`Database`] paired with its op journal: every accepted mutation
+//! is journaled before the call returns.
+//!
+//! Ordering is **apply, then journal**: the op runs against the live
+//! database first (so rejections are decided by the real enforcement
+//! machinery and journal *nothing*), then the accepted op — together
+//! with the ids the database assigned — is appended. Under
+//! [`SyncPolicy::EveryOp`] the append is followed by a sync, so an
+//! `Ok` return means the op is durable. Under [`SyncPolicy::Manual`]
+//! the caller chooses the barrier points ([`JournaledDatabase::sync`])
+//! and accepts that a crash loses the ops since the last one — exactly
+//! the longest fully-synced prefix survives, which is the invariant the
+//! crash matrix verifies.
+//!
+//! If journaling an accepted op **fails**, the pair is poisoned: the
+//! live database has already applied (and possibly propagated) the op,
+//! and un-propagating is not supported, so the in-memory state is ahead
+//! of the durable state with no way to reconcile. Every later mutation
+//! returns [`JournaledError::Poisoned`]; recovery from the journal is
+//! the way back. Checkpoint failure does *not* poison — a failed
+//! [`Storage::replace`] leaves the old journal fully valid.
+
+use crate::journal::{Journal, JournalOp};
+use crate::storage::{Storage, StoreError};
+use fdi_core::update::{Database, UpdateError, UpdateOutcome};
+use fdi_relation::rowid::RowId;
+use fdi_relation::AttrId;
+use std::fmt;
+
+/// When the journal syncs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Sync after every accepted op: `Ok` means durable.
+    #[default]
+    EveryOp,
+    /// The caller places the barriers; a crash loses unsynced ops.
+    Manual,
+}
+
+/// Errors from a journaled mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournaledError {
+    /// The database rejected the op (nothing was journaled; the pair is
+    /// still consistent and usable).
+    Update(UpdateError),
+    /// The op was applied but journaling it failed — the pair is now
+    /// poisoned (see the module docs).
+    Journal(StoreError),
+    /// A previous journal failure poisoned the pair; no further
+    /// mutations are accepted.
+    Poisoned,
+}
+
+impl fmt::Display for JournaledError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournaledError::Update(e) => write!(f, "{e}"),
+            JournaledError::Journal(e) => {
+                write!(
+                    f,
+                    "op applied but journaling failed (database poisoned): {e}"
+                )
+            }
+            JournaledError::Poisoned => write!(
+                f,
+                "database poisoned by an earlier journal failure; recover from the journal"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournaledError {}
+
+impl From<UpdateError> for JournaledError {
+    fn from(e: UpdateError) -> Self {
+        JournaledError::Update(e)
+    }
+}
+
+/// A database whose accepted mutations are journaled write-through.
+#[derive(Debug)]
+pub struct JournaledDatabase<S: Storage> {
+    db: Database,
+    journal: Journal<S>,
+    sync_policy: SyncPolicy,
+    poisoned: bool,
+}
+
+impl<S: Storage> JournaledDatabase<S> {
+    /// Pairs `db` with a fresh journal created in empty `storage`
+    /// (genesis = a snapshot of `db` as given).
+    pub fn create(
+        db: Database,
+        storage: S,
+        sync_policy: SyncPolicy,
+    ) -> Result<JournaledDatabase<S>, crate::journal::CreateError> {
+        let journal = Journal::create(storage, &db)?;
+        Ok(JournaledDatabase {
+            db,
+            journal,
+            sync_policy,
+            poisoned: false,
+        })
+    }
+
+    /// Pairs an already-recovered database with its reopened journal
+    /// (the [`Journal::recover`] result).
+    pub fn resume(db: Database, journal: Journal<S>, sync_policy: SyncPolicy) -> Self {
+        JournaledDatabase {
+            db,
+            journal,
+            sync_policy,
+            poisoned: false,
+        }
+    }
+
+    /// The live database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The journal.
+    pub fn journal(&self) -> &Journal<S> {
+        &self.journal
+    }
+
+    /// `true` once a journal failure left durable state behind the
+    /// in-memory state.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Unwraps into the live database and journal.
+    pub fn into_parts(self) -> (Database, Journal<S>) {
+        (self.db, self.journal)
+    }
+
+    fn journal_accepted(&mut self, op: JournalOp) -> Result<(), JournaledError> {
+        if let Err(e) = self.journal.append(&op) {
+            self.poisoned = true;
+            return Err(JournaledError::Journal(e));
+        }
+        if self.sync_policy == SyncPolicy::EveryOp {
+            if let Err(e) = self.journal.sync() {
+                self.poisoned = true;
+                return Err(JournaledError::Journal(e));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_usable(&self) -> Result<(), JournaledError> {
+        if self.poisoned {
+            Err(JournaledError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Journaled [`Database::insert`].
+    pub fn insert(&mut self, tokens: &[&str]) -> Result<UpdateOutcome, JournaledError> {
+        self.check_usable()?;
+        let outcome = self.db.insert(tokens)?;
+        self.journal_accepted(JournalOp::Insert {
+            row: outcome.row,
+            tokens: tokens.iter().map(|t| t.to_string()).collect(),
+        })?;
+        Ok(outcome)
+    }
+
+    /// Journaled [`Database::delete`].
+    pub fn delete(&mut self, row: RowId) -> Result<UpdateOutcome, JournaledError> {
+        self.check_usable()?;
+        let outcome = self.db.delete(row)?;
+        self.journal_accepted(JournalOp::Delete { row })?;
+        Ok(outcome)
+    }
+
+    /// Journaled [`Database::modify`].
+    pub fn modify(
+        &mut self,
+        row: RowId,
+        attr: AttrId,
+        token: &str,
+    ) -> Result<UpdateOutcome, JournaledError> {
+        self.check_usable()?;
+        let outcome = self.db.modify(row, attr, token)?;
+        self.journal_accepted(JournalOp::Modify {
+            row,
+            attr,
+            token: token.to_string(),
+        })?;
+        Ok(outcome)
+    }
+
+    /// Journaled [`Database::resolve_null`].
+    pub fn resolve_null(
+        &mut self,
+        row: RowId,
+        attr: AttrId,
+        token: &str,
+    ) -> Result<UpdateOutcome, JournaledError> {
+        self.check_usable()?;
+        let outcome = self.db.resolve_null(row, attr, token)?;
+        self.journal_accepted(JournalOp::ResolveNull {
+            row,
+            attr,
+            token: token.to_string(),
+        })?;
+        Ok(outcome)
+    }
+
+    /// Journaled [`Database::compact`]: the performed `(old → new)`
+    /// remap is recorded so replay can verify it reproduces exactly.
+    pub fn compact(&mut self) -> Result<Vec<(RowId, RowId)>, JournaledError> {
+        self.check_usable()?;
+        let moved = self.db.compact();
+        self.journal_accepted(JournalOp::Compact {
+            moved: moved.clone(),
+        })?;
+        Ok(moved)
+    }
+
+    /// Durability barrier for [`SyncPolicy::Manual`] (harmless no-op
+    /// extra barrier under [`SyncPolicy::EveryOp`]).
+    pub fn sync(&mut self) -> Result<(), JournaledError> {
+        self.check_usable()?;
+        if let Err(e) = self.journal.sync() {
+            self.poisoned = true;
+            return Err(JournaledError::Journal(e));
+        }
+        Ok(())
+    }
+
+    /// Checkpoints the journal: atomically replaces it with a genesis
+    /// snapshot of the current database. Failure does **not** poison —
+    /// the old journal is still fully valid and covers every op.
+    pub fn checkpoint(&mut self) -> Result<(), JournaledError> {
+        self.check_usable()?;
+        self.journal
+            .checkpoint(&self.db)
+            .map_err(JournaledError::Journal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, FaultyStorage};
+    use crate::journal::Journal;
+    use crate::storage::MemStorage;
+    use fdi_core::update::Policy;
+    use fdi_core::FdSet;
+    use fdi_relation::{Instance, Schema};
+    use std::sync::Arc;
+
+    fn fresh_db(enforcement: fdi_core::update::Enforcement) -> Database {
+        let schema = Schema::builder("emp")
+            .attribute("dept", ["d1", "d2", "d3"])
+            .attribute("mgr", ["m1", "m2", "m3"])
+            .build()
+            .unwrap();
+        let fds = FdSet::parse(&schema, "dept -> mgr").unwrap();
+        let policy = Policy {
+            enforcement,
+            propagate: true,
+        };
+        Database::new(Instance::new(Arc::clone(&schema)), fds, policy).unwrap()
+    }
+
+    #[test]
+    fn accepted_ops_round_trip_through_recovery() {
+        let db = fresh_db(fdi_core::update::Enforcement::Weak);
+        let mut jdb =
+            JournaledDatabase::create(db, MemStorage::new(), SyncPolicy::EveryOp).unwrap();
+        let r1 = jdb.insert(&["d1", "m1"]).unwrap().row;
+        let r2 = jdb.insert(&["d2", "-"]).unwrap().row;
+        jdb.modify(r2, AttrId(1), "m2").unwrap();
+        jdb.delete(r1).unwrap();
+        jdb.compact().unwrap();
+        let (live, journal) = jdb.into_parts();
+        let recovered = Journal::recover(journal.into_storage()).unwrap();
+        assert_eq!(recovered.ops.len(), 5);
+        assert_eq!(
+            recovered.db.instance().render(true),
+            live.instance().render(true)
+        );
+        assert!(recovered.db.index().same_buckets(live.index()));
+    }
+
+    #[test]
+    fn rejected_ops_journal_nothing() {
+        let db = fresh_db(fdi_core::update::Enforcement::Strong);
+        let mut jdb =
+            JournaledDatabase::create(db, MemStorage::new(), SyncPolicy::EveryOp).unwrap();
+        jdb.insert(&["d1", "m1"]).unwrap();
+        let len_before = jdb.journal().storage().len();
+        // violates dept -> mgr under Strong: rejected by the database
+        let err = jdb.insert(&["d1", "m2"]).unwrap_err();
+        assert!(matches!(err, JournaledError::Update(_)));
+        assert_eq!(
+            jdb.journal().storage().len(),
+            len_before,
+            "a rejected op must leave no journal bytes"
+        );
+        // the pair is NOT poisoned: later ops work
+        jdb.insert(&["d2", "m2"]).unwrap();
+    }
+
+    #[test]
+    fn journal_failure_poisons_the_pair() {
+        let db = fresh_db(fdi_core::update::Enforcement::Weak);
+        // append 0 = create; append 1 = first op record
+        let storage = FaultyStorage::new(MemStorage::new(), vec![Fault::FailWrite { write: 1 }]);
+        let mut jdb = JournaledDatabase::create(db, storage, SyncPolicy::EveryOp).unwrap();
+        let err = jdb.insert(&["d1", "m1"]).unwrap_err();
+        assert!(matches!(err, JournaledError::Journal(_)));
+        assert!(jdb.is_poisoned());
+        assert_eq!(
+            jdb.insert(&["d2", "m2"]).unwrap_err(),
+            JournaledError::Poisoned
+        );
+        // recovery gets the genesis state (the op never became durable)
+        let (_, journal) = jdb.into_parts();
+        let recovered = Journal::recover(journal.into_storage().into_inner().crash()).unwrap();
+        assert_eq!(recovered.ops.len(), 0);
+        assert_eq!(recovered.db.instance().len(), 0);
+    }
+
+    #[test]
+    fn checkpoint_failure_does_not_poison() {
+        let db = fresh_db(fdi_core::update::Enforcement::Weak);
+        let storage =
+            FaultyStorage::new(MemStorage::new(), vec![Fault::FailReplace { replace: 0 }]);
+        let mut jdb = JournaledDatabase::create(db, storage, SyncPolicy::EveryOp).unwrap();
+        jdb.insert(&["d1", "m1"]).unwrap();
+        assert!(jdb.checkpoint().is_err());
+        assert!(!jdb.is_poisoned(), "old journal is still fully valid");
+        jdb.insert(&["d2", "m2"]).unwrap();
+        let (live, journal) = jdb.into_parts();
+        let recovered = Journal::recover(journal.into_storage().into_inner()).unwrap();
+        assert_eq!(
+            recovered.ops.len(),
+            2,
+            "both ops survived the failed checkpoint"
+        );
+        assert_eq!(
+            recovered.db.instance().render(true),
+            live.instance().render(true)
+        );
+    }
+
+    #[test]
+    fn manual_sync_policy_loses_only_unsynced_ops() {
+        let db = fresh_db(fdi_core::update::Enforcement::Weak);
+        let mut jdb = JournaledDatabase::create(db, MemStorage::new(), SyncPolicy::Manual).unwrap();
+        jdb.insert(&["d1", "m1"]).unwrap();
+        jdb.sync().unwrap();
+        jdb.insert(&["d2", "m2"]).unwrap(); // never synced
+        let (_, journal) = jdb.into_parts();
+        let crashed = journal.into_storage().crash();
+        let recovered = Journal::recover(crashed).unwrap();
+        assert_eq!(recovered.ops.len(), 1, "only the synced op survives");
+        assert_eq!(recovered.db.instance().len(), 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Deterministic fault injection for [`Storage`] backends.
+//!
+//! A [`FaultyStorage`] wraps any storage and fails it according to an
+//! **explicit schedule** — fail the k-th write, persist only the first
+//! n bytes of the k-th write, fail the k-th sync, flip one bit at a
+//! byte offset. There is no RNG anywhere on the schedule path: the same
+//! plan against the same operation sequence produces the same failure,
+//! every time, which is what makes every crash-matrix counterexample
+//! replayable from its inputs alone.
+//!
+//! Call counters are per-operation and 0-based: `FailWrite { write: 2 }`
+//! fails the third `append` ever issued, regardless of what happened in
+//! between.
+
+use crate::storage::{Storage, StoreError};
+
+/// One scheduled failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The `write`-th append fails outright; no bytes are persisted.
+    FailWrite {
+        /// 0-based append call index.
+        write: usize,
+    },
+    /// The `write`-th append persists only its first `keep` bytes (the
+    /// torn-write model: a crash mid-`write(2)` leaves a prefix), then
+    /// reports failure. `keep` is clamped to the append's length.
+    ShortWrite {
+        /// 0-based append call index.
+        write: usize,
+        /// Bytes of that append that survive.
+        keep: usize,
+    },
+    /// The `sync`-th durability barrier fails; bytes stay volatile.
+    FailSync {
+        /// 0-based sync call index.
+        sync: usize,
+    },
+    /// The `replace`-th atomic replace fails; old content is untouched
+    /// (the rename never happened).
+    FailReplace {
+        /// 0-based replace call index.
+        replace: usize,
+    },
+    /// Bit `bit` of the byte at `offset` reads back inverted — media
+    /// corruption, applied on every read. Writes are stored intact; the
+    /// flip is a property of reading the damaged medium.
+    FlipBit {
+        /// Byte offset into the storage.
+        offset: u64,
+        /// Bit index 0–7 within that byte.
+        bit: u8,
+    },
+}
+
+/// A storage wrapper that fails per an explicit [`Fault`] schedule.
+#[derive(Debug)]
+pub struct FaultyStorage<S: Storage> {
+    inner: S,
+    plan: Vec<Fault>,
+    writes: usize,
+    syncs: usize,
+    replaces: usize,
+    /// Byte length of every append issued so far (instrumentation: the
+    /// crash-matrix derives in-range schedule parameters from a dry
+    /// run's sizes).
+    append_sizes: Vec<usize>,
+}
+
+impl<S: Storage> FaultyStorage<S> {
+    /// Wraps `inner` under `plan`. An empty plan is a transparent
+    /// pass-through (used for instrumented dry runs).
+    pub fn new(inner: S, plan: Vec<Fault>) -> FaultyStorage<S> {
+        FaultyStorage {
+            inner,
+            plan,
+            writes: 0,
+            syncs: 0,
+            replaces: 0,
+            append_sizes: Vec::new(),
+        }
+    }
+
+    /// The wrapped storage.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Unwraps.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Number of appends issued so far.
+    pub fn writes(&self) -> usize {
+        self.writes
+    }
+
+    /// Number of syncs issued so far.
+    pub fn syncs(&self) -> usize {
+        self.syncs
+    }
+
+    /// Byte length of each append issued so far, in order.
+    pub fn append_sizes(&self) -> &[usize] {
+        &self.append_sizes
+    }
+}
+
+impl<S: Storage> Storage for FaultyStorage<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_all(&mut self, out: &mut Vec<u8>) -> Result<(), StoreError> {
+        self.inner.read_all(out)?;
+        for fault in &self.plan {
+            if let Fault::FlipBit { offset, bit } = *fault {
+                if let Some(byte) = out.get_mut(offset as usize) {
+                    *byte ^= 1 << (bit & 7);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let call = self.writes;
+        self.writes += 1;
+        for fault in &self.plan {
+            match *fault {
+                Fault::FailWrite { write } if write == call => {
+                    self.append_sizes.push(0);
+                    return Err(StoreError::Injected { op: "append", call });
+                }
+                Fault::ShortWrite { write, keep } if write == call => {
+                    let keep = keep.min(bytes.len());
+                    self.inner.append(&bytes[..keep])?;
+                    self.append_sizes.push(keep);
+                    return Err(StoreError::ShortWrite {
+                        call,
+                        written: keep,
+                        requested: bytes.len(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        self.append_sizes.push(bytes.len());
+        self.inner.append(bytes)
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        let call = self.syncs;
+        self.syncs += 1;
+        if self
+            .plan
+            .iter()
+            .any(|f| matches!(*f, Fault::FailSync { sync } if sync == call))
+        {
+            // the barrier fails: nothing new becomes durable
+            return Err(StoreError::Injected { op: "sync", call });
+        }
+        self.inner.sync()
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<(), StoreError> {
+        self.inner.truncate(len)
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let call = self.replaces;
+        self.replaces += 1;
+        if self
+            .plan
+            .iter()
+            .any(|f| matches!(*f, Fault::FailReplace { replace } if replace == call))
+        {
+            return Err(StoreError::Injected {
+                op: "replace",
+                call,
+            });
+        }
+        self.inner.replace(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    #[test]
+    fn fail_write_hits_exactly_the_scheduled_call() {
+        let mut s = FaultyStorage::new(MemStorage::new(), vec![Fault::FailWrite { write: 1 }]);
+        s.append(b"one").unwrap();
+        let err = s.append(b"two").unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::Injected {
+                op: "append",
+                call: 1
+            }
+        );
+        s.append(b"three").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.append_sizes(), &[3, 0, 5]);
+        let mut all = Vec::new();
+        s.read_all(&mut all).unwrap();
+        assert_eq!(all.as_slice(), b"onethree", "failed write left no bytes");
+    }
+
+    #[test]
+    fn short_write_persists_the_prefix() {
+        let mut s = FaultyStorage::new(
+            MemStorage::new(),
+            vec![Fault::ShortWrite { write: 0, keep: 2 }],
+        );
+        let err = s.append(b"abcdef").unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::ShortWrite {
+                call: 0,
+                written: 2,
+                requested: 6
+            }
+        );
+        s.sync().unwrap();
+        assert_eq!(
+            s.into_inner().crash().durable_len(),
+            2,
+            "the torn prefix is genuinely on disk"
+        );
+    }
+
+    #[test]
+    fn fail_sync_keeps_bytes_volatile() {
+        let mut s = FaultyStorage::new(MemStorage::new(), vec![Fault::FailSync { sync: 1 }]);
+        s.append(b"aa").unwrap();
+        s.sync().unwrap();
+        s.append(b"bb").unwrap();
+        assert!(s.sync().is_err());
+        assert_eq!(s.into_inner().crash().durable_len(), 2);
+    }
+
+    #[test]
+    fn flip_bit_corrupts_reads_not_writes() {
+        let mut s = FaultyStorage::new(
+            MemStorage::new(),
+            vec![Fault::FlipBit { offset: 1, bit: 0 }],
+        );
+        s.append(b"ab").unwrap();
+        s.sync().unwrap();
+        let mut all = Vec::new();
+        s.read_all(&mut all).unwrap();
+        assert_eq!(all.as_slice(), b"ac", "bit 0 of 'b' flipped on read");
+        // the underlying medium still holds the original bytes
+        let mut raw = Vec::new();
+        s.into_inner().read_all(&mut raw).unwrap();
+        assert_eq!(raw.as_slice(), b"ab");
+    }
+
+    #[test]
+    fn fail_replace_leaves_old_content() {
+        let mut s = FaultyStorage::new(MemStorage::new(), vec![Fault::FailReplace { replace: 0 }]);
+        s.append(b"old").unwrap();
+        s.sync().unwrap();
+        assert!(s.replace(b"new").is_err());
+        let mut all = Vec::new();
+        s.read_all(&mut all).unwrap();
+        assert_eq!(all.as_slice(), b"old");
+        s.replace(b"new").unwrap();
+        s.read_all(&mut all).unwrap();
+        assert_eq!(all.as_slice(), b"new");
+    }
+
+    #[test]
+    fn schedules_are_replayable() {
+        // same plan + same op sequence ⇒ same outcomes, twice over
+        let run = || {
+            let mut s = FaultyStorage::new(
+                MemStorage::new(),
+                vec![
+                    Fault::ShortWrite { write: 2, keep: 1 },
+                    Fault::FailSync { sync: 3 },
+                ],
+            );
+            let mut outcomes = Vec::new();
+            for i in 0..5 {
+                outcomes.push(s.append(format!("chunk{i}").as_bytes()).is_ok());
+                outcomes.push(s.sync().is_ok());
+            }
+            let mut all = Vec::new();
+            s.read_all(&mut all).unwrap();
+            (outcomes, all)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,823 @@
+//! The op journal: one record per accepted mutation, genesis-anchored.
+//!
+//! A journal's first record is the **genesis**: the schema, the FD set,
+//! the maintenance policy, and an exact [`Instance`] state snapshot
+//! (symbol table, null allocator, NEC forest, slots, free list — see
+//! [`Instance::encode_state`]). Every later record is one accepted
+//! mutation. Because update execution is deterministic at every thread
+//! count, replaying the op records onto the genesis database rebuilds
+//! the pre-crash database **bit-identically** — same `RowId`s, same
+//! null ids, same NEC representation — which is what lets recovery be
+//! verified against live oracles instead of merely "looking right".
+//!
+//! [`Journal::checkpoint`] re-anchors: it atomically replaces the whole
+//! journal with a fresh genesis snapshot of the current database,
+//! bounding replay time by the number of ops since the last checkpoint.
+//!
+//! Recovery ([`Journal::recover`]) classifies damage exactly (see
+//! [`crate::record`] for the soundness argument):
+//!
+//! * a torn final record → truncated in place, recovery succeeds and
+//!   reports the [`TornTail`];
+//! * mid-log corruption → [`RecoverError::Corrupt`] naming the byte
+//!   offset — never a panic, never a silently wrong database.
+
+use crate::record::{frame, Scanned, Scanner, FILE_HEADER};
+use crate::storage::{Storage, StoreError};
+use fdi_core::update::{Database, Enforcement, Policy};
+use fdi_core::{Fd, FdSet};
+use fdi_relation::rowid::RowId;
+use fdi_relation::serial::{self, Reader};
+use fdi_relation::{AttrId, AttrSet, Instance, Schema};
+use std::fmt;
+
+/// One journaled mutation. Ops carry the ids the live database assigned
+/// (`Insert::row`, `Compact::moved`) so replay can *verify* determinism
+/// instead of assuming it: a replay that allocates differently is a
+/// detected error, not silent divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalOp {
+    /// An accepted insert and the row id it was assigned.
+    Insert {
+        /// Row id the live database allocated.
+        row: RowId,
+        /// The tokens as given (`-`, `?mark`, constants).
+        tokens: Vec<String>,
+    },
+    /// An accepted delete.
+    Delete {
+        /// The deleted row.
+        row: RowId,
+    },
+    /// An accepted single-cell modify.
+    Modify {
+        /// The modified row.
+        row: RowId,
+        /// The modified attribute.
+        attr: AttrId,
+        /// The new cell token.
+        token: String,
+    },
+    /// An accepted null resolution (external acquisition).
+    ResolveNull {
+        /// Row of the resolved occurrence.
+        row: RowId,
+        /// Attribute of the resolved occurrence.
+        attr: AttrId,
+        /// The asserted constant.
+        token: String,
+    },
+    /// A compaction and the exact `(old → new)` remap it performed.
+    Compact {
+        /// Every row that moved, as `(old, new)` pairs.
+        moved: Vec<(RowId, RowId)>,
+    },
+}
+
+const TAG_GENESIS: u8 = 0;
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_MODIFY: u8 = 3;
+const TAG_RESOLVE: u8 = 4;
+const TAG_COMPACT: u8 = 5;
+
+impl JournalOp {
+    /// Serializes the op into a record payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            JournalOp::Insert { row, tokens } => {
+                serial::put_u8(&mut out, TAG_INSERT);
+                serial::put_u32(&mut out, row.0);
+                serial::put_u32(&mut out, tokens.len() as u32);
+                for t in tokens {
+                    serial::put_str(&mut out, t);
+                }
+            }
+            JournalOp::Delete { row } => {
+                serial::put_u8(&mut out, TAG_DELETE);
+                serial::put_u32(&mut out, row.0);
+            }
+            JournalOp::Modify { row, attr, token } => {
+                serial::put_u8(&mut out, TAG_MODIFY);
+                serial::put_u32(&mut out, row.0);
+                serial::put_u32(&mut out, attr.0 as u32);
+                serial::put_str(&mut out, token);
+            }
+            JournalOp::ResolveNull { row, attr, token } => {
+                serial::put_u8(&mut out, TAG_RESOLVE);
+                serial::put_u32(&mut out, row.0);
+                serial::put_u32(&mut out, attr.0 as u32);
+                serial::put_str(&mut out, token);
+            }
+            JournalOp::Compact { moved } => {
+                serial::put_u8(&mut out, TAG_COMPACT);
+                serial::put_u32(&mut out, moved.len() as u32);
+                for &(old, new) in moved {
+                    serial::put_u32(&mut out, old.0);
+                    serial::put_u32(&mut out, new.0);
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<JournalOp, serial::DecodeError> {
+        let tag = r.u8()?;
+        let op = match tag {
+            TAG_INSERT => {
+                let row = RowId(r.u32()?);
+                let n = r.u32()? as usize;
+                let mut tokens = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    tokens.push(r.str()?.to_string());
+                }
+                JournalOp::Insert { row, tokens }
+            }
+            TAG_DELETE => JournalOp::Delete {
+                row: RowId(r.u32()?),
+            },
+            TAG_MODIFY => JournalOp::Modify {
+                row: RowId(r.u32()?),
+                attr: decode_attr(r)?,
+                token: r.str()?.to_string(),
+            },
+            TAG_RESOLVE => JournalOp::ResolveNull {
+                row: RowId(r.u32()?),
+                attr: decode_attr(r)?,
+                token: r.str()?.to_string(),
+            },
+            TAG_COMPACT => {
+                let n = r.u32()? as usize;
+                let mut moved = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    moved.push((RowId(r.u32()?), RowId(r.u32()?)));
+                }
+                JournalOp::Compact { moved }
+            }
+            other => return Err(r.err(format!("unknown op tag {other}"))),
+        };
+        r.expect_end()?;
+        Ok(op)
+    }
+}
+
+fn decode_attr(r: &mut Reader<'_>) -> Result<AttrId, serial::DecodeError> {
+    let raw = r.u32()?;
+    if raw > u16::MAX as u32 {
+        return Err(r.err(format!("attribute id {raw} out of range")));
+    }
+    Ok(AttrId(raw as u16))
+}
+
+/// Serializes the genesis payload: schema + FDs + policy + exact
+/// instance state.
+fn genesis_payload(db: &Database) -> Vec<u8> {
+    let mut out = Vec::new();
+    serial::put_u8(&mut out, TAG_GENESIS);
+    let schema = db.instance().schema();
+    serial::put_str(&mut out, schema.name());
+    serial::put_u32(&mut out, schema.arity() as u32);
+    for attr in schema.attrs() {
+        serial::put_str(&mut out, &attr.name);
+        match &attr.domain {
+            fdi_relation::DomainSpec::Finite(values) => {
+                serial::put_u8(&mut out, 0);
+                serial::put_u32(&mut out, values.len() as u32);
+                for v in values {
+                    serial::put_str(&mut out, v);
+                }
+            }
+            fdi_relation::DomainSpec::Unbounded => serial::put_u8(&mut out, 1),
+        }
+    }
+    serial::put_u32(&mut out, db.fds().len() as u32);
+    for fd in db.fds().iter() {
+        serial::put_u64(&mut out, fd.lhs.0);
+        serial::put_u64(&mut out, fd.rhs.0);
+    }
+    serial::put_u8(
+        &mut out,
+        match db.policy().enforcement {
+            Enforcement::Strong => 0,
+            Enforcement::Weak => 1,
+            Enforcement::None => 2,
+        },
+    );
+    serial::put_u8(&mut out, db.policy().propagate as u8);
+    db.instance().encode_state(&mut out);
+    out
+}
+
+/// Rebuilds the genesis database. The payload's leading tag byte has
+/// already been consumed by the caller.
+fn decode_genesis_body(r: &mut Reader<'_>) -> Result<Database, serial::DecodeError> {
+    let name = r.str()?.to_string();
+    let arity = r.u32()? as usize;
+    if arity > fdi_relation::attrs::ATTR_LIMIT {
+        return Err(r.err(format!("arity {arity} exceeds the attribute limit")));
+    }
+    let mut builder = Schema::builder(name);
+    for _ in 0..arity {
+        let attr_name = r.str()?.to_string();
+        match r.u8()? {
+            0 => {
+                let n = r.u32()? as usize;
+                let mut values = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    values.push(r.str()?.to_string());
+                }
+                builder = builder.attribute(attr_name, values);
+            }
+            1 => builder = builder.attribute_unbounded(attr_name),
+            other => return Err(r.err(format!("unknown domain tag {other}"))),
+        }
+    }
+    let schema = builder
+        .build()
+        .map_err(|e| r.err(format!("schema rebuild failed: {e}")))?;
+    let fd_count = r.u32()? as usize;
+    let legal = if arity == 64 {
+        u64::MAX
+    } else {
+        (1u64 << arity) - 1
+    };
+    let mut fds = Vec::with_capacity(fd_count.min(4096));
+    for _ in 0..fd_count {
+        let lhs = r.u64()?;
+        let rhs = r.u64()?;
+        if lhs & !legal != 0 || rhs & !legal != 0 {
+            return Err(r.err(format!(
+                "FD mask ({lhs:#x} -> {rhs:#x}) names attributes outside arity {arity}"
+            )));
+        }
+        fds.push(Fd::new(AttrSet(lhs), AttrSet(rhs)));
+    }
+    let enforcement = match r.u8()? {
+        0 => Enforcement::Strong,
+        1 => Enforcement::Weak,
+        2 => Enforcement::None,
+        other => return Err(r.err(format!("unknown enforcement tag {other}"))),
+    };
+    let propagate = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(r.err(format!("bad propagate flag {other}"))),
+    };
+    let instance = Instance::decode_state(schema, r)?;
+    r.expect_end()?;
+    Ok(Database::resume(
+        instance,
+        FdSet::from_vec(fds),
+        Policy {
+            enforcement,
+            propagate,
+        },
+    ))
+}
+
+/// A torn final write that recovery cut off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset the journal was truncated back to.
+    pub offset: u64,
+    /// Bytes dropped by the truncation.
+    pub dropped: u64,
+}
+
+/// Why recovery refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The storage holds no bytes at all — no journal was ever created
+    /// (or its creating write never became durable).
+    Empty,
+    /// The storage does not begin with a complete, valid journal file
+    /// header.
+    BadHeader,
+    /// The journal has a header but no complete genesis record — the
+    /// creating write tore before any op could exist. Nothing to
+    /// recover.
+    NoGenesis,
+    /// The record at byte `offset` is damaged in place (checksum
+    /// mismatch). Refusing is deliberate: later records may be intact,
+    /// and truncating here would silently lose acknowledged ops.
+    Corrupt {
+        /// Byte offset of the damaged record.
+        offset: u64,
+    },
+    /// The record at byte `offset` has valid checksums but its payload
+    /// does not deserialize — a format bug or adversarial bytes, not a
+    /// crash artifact.
+    Decode {
+        /// Byte offset of the undecodable record.
+        offset: u64,
+        /// What failed inside the payload.
+        message: String,
+    },
+    /// Replaying the op at byte `offset` onto the genesis database did
+    /// not reproduce the journaled outcome (a rejected op, a missing
+    /// row, or a compaction remap mismatch). The journal and the
+    /// database semantics disagree — refuse rather than guess.
+    Replay {
+        /// Byte offset of the failing op record.
+        offset: u64,
+        /// 0-based index of the op among the journal's op records.
+        op_index: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The storage backend itself failed.
+    Storage(StoreError),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Empty => write!(f, "no journal: storage is empty"),
+            RecoverError::BadHeader => write!(f, "not a journal: bad file header"),
+            RecoverError::NoGenesis => {
+                write!(
+                    f,
+                    "journal has no complete genesis record; nothing to recover"
+                )
+            }
+            RecoverError::Corrupt { offset } => {
+                write!(f, "journal corrupt at byte {offset}: checksum mismatch")
+            }
+            RecoverError::Decode { offset, message } => {
+                write!(f, "journal record at byte {offset} undecodable: {message}")
+            }
+            RecoverError::Replay {
+                offset,
+                op_index,
+                message,
+            } => write!(
+                f,
+                "journal op #{op_index} at byte {offset} failed to replay: {message}"
+            ),
+            RecoverError::Storage(e) => write!(f, "journal storage failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<StoreError> for RecoverError {
+    fn from(e: StoreError) -> Self {
+        RecoverError::Storage(e)
+    }
+}
+
+/// Errors from creating a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CreateError {
+    /// The storage already holds bytes — refusing to overwrite what may
+    /// be a live journal.
+    NotEmpty {
+        /// Existing byte length.
+        len: u64,
+    },
+    /// The storage backend failed.
+    Storage(StoreError),
+}
+
+impl fmt::Display for CreateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CreateError::NotEmpty { len } => write!(
+                f,
+                "refusing to create a journal over {len} existing bytes (recover it instead)"
+            ),
+            CreateError::Storage(e) => write!(f, "journal storage failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CreateError {}
+
+impl From<StoreError> for CreateError {
+    fn from(e: StoreError) -> Self {
+        CreateError::Storage(e)
+    }
+}
+
+/// The result of a successful recovery.
+#[derive(Debug)]
+pub struct Recovered<S: Storage> {
+    /// The journal, reopened for further appends.
+    pub journal: Journal<S>,
+    /// The recovered database (genesis + every durable op replayed).
+    pub db: Database,
+    /// The replayed ops, in order.
+    pub ops: Vec<JournalOp>,
+    /// The torn tail that was truncated, if any.
+    pub torn: Option<TornTail>,
+}
+
+/// A write-ahead op journal over a [`Storage`].
+#[derive(Debug)]
+pub struct Journal<S: Storage> {
+    storage: S,
+}
+
+impl<S: Storage> Journal<S> {
+    /// Creates a journal in empty `storage`, anchored at a genesis
+    /// snapshot of `db`. Header and genesis go down as **one append**
+    /// followed by one sync, so a crash anywhere inside creation leaves
+    /// either a complete journal or recognizably nothing.
+    pub fn create(mut storage: S, db: &Database) -> Result<Journal<S>, CreateError> {
+        if !storage.is_empty() {
+            return Err(CreateError::NotEmpty { len: storage.len() });
+        }
+        let mut bytes = FILE_HEADER.to_vec();
+        bytes.extend_from_slice(&frame(&genesis_payload(db)));
+        storage.append(&bytes)?;
+        storage.sync()?;
+        Ok(Journal { storage })
+    }
+
+    /// Appends one op record (visible, not yet durable — call
+    /// [`Journal::sync`] to commit).
+    pub fn append(&mut self, op: &JournalOp) -> Result<(), StoreError> {
+        self.storage.append(&frame(&op.encode()))
+    }
+
+    /// Durability barrier: after this returns `Ok`, every appended op
+    /// survives a crash.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.storage.sync()
+    }
+
+    /// Atomically replaces the whole journal with a fresh genesis
+    /// snapshot of `db`, discarding the replay log. On failure the old
+    /// journal is untouched (the replace never renamed), so a failed
+    /// checkpoint loses nothing.
+    pub fn checkpoint(&mut self, db: &Database) -> Result<(), StoreError> {
+        let mut bytes = FILE_HEADER.to_vec();
+        bytes.extend_from_slice(&frame(&genesis_payload(db)));
+        self.storage.replace(&bytes)
+    }
+
+    /// The underlying storage.
+    pub fn storage(&self) -> &S {
+        &self.storage
+    }
+
+    /// Unwraps the storage.
+    pub fn into_storage(self) -> S {
+        self.storage
+    }
+
+    /// Recovers the database from `storage`: validates the header,
+    /// decodes the genesis snapshot, replays every complete op record,
+    /// and truncates a torn final write in place. Recovery is
+    /// idempotent — recovering the same storage twice yields the same
+    /// database (the first pass's truncation makes the second pass
+    /// clean).
+    pub fn recover(mut storage: S) -> Result<Recovered<S>, RecoverError> {
+        if storage.is_empty() {
+            return Err(RecoverError::Empty);
+        }
+        let mut bytes = Vec::new();
+        storage.read_all(&mut bytes)?;
+        if bytes.len() < FILE_HEADER.len() || bytes[..FILE_HEADER.len()] != FILE_HEADER {
+            return Err(RecoverError::BadHeader);
+        }
+        let base = FILE_HEADER.len() as u64;
+        let mut scanner = Scanner::new(&bytes[FILE_HEADER.len()..], base);
+        let mut db: Option<Database> = None;
+        let mut ops: Vec<JournalOp> = Vec::new();
+        let mut torn: Option<TornTail> = None;
+        while let Some(item) = scanner.next() {
+            match item {
+                Scanned::Corrupt { offset } => return Err(RecoverError::Corrupt { offset }),
+                Scanned::Torn { offset } => {
+                    torn = Some(TornTail {
+                        offset,
+                        dropped: bytes.len() as u64 - offset,
+                    });
+                }
+                Scanned::Record { offset, payload } => {
+                    let mut r = Reader::new(payload);
+                    match db.as_mut() {
+                        None => {
+                            let tag = r.u8().map_err(|e| RecoverError::Decode {
+                                offset,
+                                message: e.to_string(),
+                            })?;
+                            if tag != TAG_GENESIS {
+                                return Err(RecoverError::Decode {
+                                    offset,
+                                    message: format!(
+                                        "first record must be genesis, found op tag {tag}"
+                                    ),
+                                });
+                            }
+                            db = Some(decode_genesis_body(&mut r).map_err(|e| {
+                                RecoverError::Decode {
+                                    offset,
+                                    message: e.to_string(),
+                                }
+                            })?);
+                        }
+                        Some(db) => {
+                            let op_index = ops.len();
+                            let op =
+                                JournalOp::decode(&mut r).map_err(|e| RecoverError::Decode {
+                                    offset,
+                                    message: e.to_string(),
+                                })?;
+                            replay_op(db, &op).map_err(|message| RecoverError::Replay {
+                                offset,
+                                op_index,
+                                message,
+                            })?;
+                            ops.push(op);
+                        }
+                    }
+                }
+            }
+        }
+        let Some(db) = db else {
+            return Err(RecoverError::NoGenesis);
+        };
+        if let Some(t) = torn {
+            storage.truncate(t.offset)?;
+        }
+        Ok(Recovered {
+            journal: Journal { storage },
+            db,
+            ops,
+            torn,
+        })
+    }
+}
+
+/// Applies one journaled op to the database, verifying the journaled
+/// outcome (row ids, compaction remap) matches what the database does.
+fn replay_op(db: &mut Database, op: &JournalOp) -> Result<(), String> {
+    match op {
+        JournalOp::Insert { row, tokens } => {
+            let toks: Vec<&str> = tokens.iter().map(|s| s.as_str()).collect();
+            let outcome = db.insert(&toks).map_err(|e| e.to_string())?;
+            if outcome.row != *row {
+                return Err(format!(
+                    "insert replayed to row {} but the journal recorded row {}",
+                    outcome.row, row
+                ));
+            }
+            Ok(())
+        }
+        JournalOp::Delete { row } => db.delete(*row).map(|_| ()).map_err(|e| e.to_string()),
+        JournalOp::Modify { row, attr, token } => db
+            .modify(*row, *attr, token)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        JournalOp::ResolveNull { row, attr, token } => db
+            .resolve_null(*row, *attr, token)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        JournalOp::Compact { moved } => {
+            let got = db.compact();
+            if got != *moved {
+                return Err(format!(
+                    "compaction replayed {} moves but the journal recorded {}",
+                    got.len(),
+                    moved.len()
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use std::sync::Arc;
+
+    fn small_db() -> Database {
+        let schema = Schema::builder("emp")
+            .attribute("dept", ["d1", "d2", "d3"])
+            .attribute("mgr", ["m1", "m2", "m3"])
+            .build()
+            .unwrap();
+        let fds = FdSet::parse(&schema, "dept -> mgr").unwrap();
+        let instance = Instance::new(Arc::clone(&schema));
+        Database::new(instance, fds, Policy::default()).unwrap()
+    }
+
+    fn db_states_match(a: &Database, b: &Database) {
+        assert_eq!(a.instance().render(true), b.instance().render(true));
+        assert_eq!(a.instance().canonical_form(), b.instance().canonical_form());
+        assert!(a.index().same_buckets(b.index()));
+        assert_eq!(
+            a.instance().necs().canonical_snapshot(),
+            b.instance().necs().canonical_snapshot()
+        );
+    }
+
+    #[test]
+    fn ops_round_trip_through_bytes() {
+        let ops = vec![
+            JournalOp::Insert {
+                row: RowId(7),
+                tokens: vec!["d1".into(), "-".into()],
+            },
+            JournalOp::Delete { row: RowId(3) },
+            JournalOp::Modify {
+                row: RowId(0),
+                attr: AttrId(1),
+                token: "m2".into(),
+            },
+            JournalOp::ResolveNull {
+                row: RowId(2),
+                attr: AttrId(0),
+                token: "d3".into(),
+            },
+            JournalOp::Compact {
+                moved: vec![(RowId(9), RowId(1)), (RowId(8), RowId(2))],
+            },
+            JournalOp::Compact { moved: vec![] },
+        ];
+        for op in &ops {
+            let bytes = op.encode();
+            let decoded = JournalOp::decode(&mut Reader::new(&bytes)).unwrap();
+            assert_eq!(&decoded, op);
+        }
+        // every truncation of an op payload is a typed decode error
+        let bytes = ops[0].encode();
+        for cut in 0..bytes.len() {
+            assert!(JournalOp::decode(&mut Reader::new(&bytes[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn create_then_recover_reproduces_the_database() {
+        let mut db = small_db();
+        db.insert(&["d1", "m1"]).unwrap();
+        db.insert(&["d2", "-"]).unwrap();
+        let mut journal = Journal::create(MemStorage::new(), &db).unwrap();
+        // journal two more ops against the live db
+        let out = db.insert(&["d3", "-"]).unwrap();
+        journal
+            .append(&JournalOp::Insert {
+                row: out.row,
+                tokens: vec!["d3".into(), "-".into()],
+            })
+            .unwrap();
+        db.modify(out.row, AttrId(1), "m3").unwrap();
+        journal
+            .append(&JournalOp::Modify {
+                row: out.row,
+                attr: AttrId(1),
+                token: "m3".into(),
+            })
+            .unwrap();
+        journal.sync().unwrap();
+        let recovered = Journal::recover(journal.into_storage()).unwrap();
+        assert_eq!(recovered.ops.len(), 2);
+        assert!(recovered.torn.is_none());
+        db_states_match(&recovered.db, &db);
+    }
+
+    #[test]
+    fn create_refuses_nonempty_storage() {
+        let db = small_db();
+        let mut s = MemStorage::new();
+        s.append(b"junk").unwrap();
+        match Journal::create(s, &db) {
+            Err(CreateError::NotEmpty { len: 4 }) => {}
+            other => panic!("expected NotEmpty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recover_classifies_empty_and_bad_headers() {
+        assert_eq!(
+            Journal::recover(MemStorage::new()).unwrap_err(),
+            RecoverError::Empty
+        );
+        assert_eq!(
+            Journal::recover(MemStorage::from_bytes(b"NOTJRNL1rest".to_vec())).unwrap_err(),
+            RecoverError::BadHeader
+        );
+        // a truncated header is also BadHeader (can't even check magic)
+        assert_eq!(
+            Journal::recover(MemStorage::from_bytes(b"FDIJ".to_vec())).unwrap_err(),
+            RecoverError::BadHeader
+        );
+        // header but zero complete records: nothing to recover
+        assert_eq!(
+            Journal::recover(MemStorage::from_bytes(FILE_HEADER.to_vec())).unwrap_err(),
+            RecoverError::NoGenesis
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_recovery_is_idempotent() {
+        let mut db = small_db();
+        db.insert(&["d1", "m1"]).unwrap();
+        let mut journal = Journal::create(MemStorage::new(), &db).unwrap();
+        let out = db.insert(&["d2", "-"]).unwrap();
+        journal
+            .append(&JournalOp::Insert {
+                row: out.row,
+                tokens: vec!["d2".into(), "-".into()],
+            })
+            .unwrap();
+        journal.sync().unwrap();
+        let clean_len = journal.storage().len();
+        // tear: half an op record dangles at the end
+        let mut storage = journal.into_storage();
+        storage
+            .append(&frame(&JournalOp::Delete { row: out.row }.encode())[..5])
+            .unwrap();
+        storage.sync().unwrap();
+        let first = Journal::recover(storage).unwrap();
+        assert_eq!(
+            first.torn,
+            Some(TornTail {
+                offset: clean_len,
+                dropped: 5
+            })
+        );
+        assert_eq!(first.ops.len(), 1);
+        db_states_match(&first.db, &db);
+        // the truncation was durable: a second recovery is clean
+        let second = Journal::recover(first.journal.into_storage()).unwrap();
+        assert!(second.torn.is_none());
+        db_states_match(&second.db, &db);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_typed_error_with_the_offset() {
+        let mut db = small_db();
+        db.insert(&["d1", "m1"]).unwrap();
+        let mut journal = Journal::create(MemStorage::new(), &db).unwrap();
+        let genesis_end = journal.storage().len();
+        let out = db.insert(&["d2", "m2"]).unwrap();
+        journal
+            .append(&JournalOp::Insert {
+                row: out.row,
+                tokens: vec!["d2".into(), "m2".into()],
+            })
+            .unwrap();
+        journal.append(&JournalOp::Delete { row: out.row }).unwrap();
+        journal.sync().unwrap();
+        let mut bytes = Vec::new();
+        let mut storage = journal.into_storage();
+        storage.read_all(&mut bytes).unwrap();
+        // flip one payload bit inside the first op record (not the last)
+        bytes[genesis_end as usize + 12] ^= 0x10;
+        let err = Journal::recover(MemStorage::from_bytes(bytes)).unwrap_err();
+        assert_eq!(
+            err,
+            RecoverError::Corrupt {
+                offset: genesis_end
+            }
+        );
+    }
+
+    #[test]
+    fn checkpoint_discards_the_replay_log() {
+        let mut db = small_db();
+        db.insert(&["d1", "m1"]).unwrap();
+        let mut journal = Journal::create(MemStorage::new(), &db).unwrap();
+        for i in 0..3 {
+            let token = format!("d{}", i % 3 + 1);
+            let out = db.insert(&[&token, "-"]).unwrap();
+            journal
+                .append(&JournalOp::Insert {
+                    row: out.row,
+                    tokens: vec![token, "-".into()],
+                })
+                .unwrap();
+        }
+        journal.sync().unwrap();
+        journal.checkpoint(&db).unwrap();
+        let recovered = Journal::recover(journal.into_storage()).unwrap();
+        assert_eq!(recovered.ops.len(), 0, "checkpoint absorbed the ops");
+        db_states_match(&recovered.db, &db);
+    }
+
+    #[test]
+    fn replay_verifies_journaled_row_ids() {
+        let mut db = small_db();
+        let mut journal = Journal::create(MemStorage::new(), &db).unwrap();
+        let out = db.insert(&["d1", "m1"]).unwrap();
+        // journal a LYING row id
+        journal
+            .append(&JournalOp::Insert {
+                row: RowId(out.row.0 + 41),
+                tokens: vec!["d1".into(), "m1".into()],
+            })
+            .unwrap();
+        journal.sync().unwrap();
+        match Journal::recover(journal.into_storage()) {
+            Err(RecoverError::Replay { op_index: 0, .. }) => {}
+            other => panic!("expected Replay error, got {other:?}"),
+        }
+    }
+}

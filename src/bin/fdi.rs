@@ -20,15 +20,56 @@
 //! bob -     mia
 //! ```
 //!
-//! Usage: `fdi <command> <file>` where command is one of
-//! `report`, `strong`, `weak`, `chase`, `chase-extended`, `keys`,
-//! `normalize`, `exhaustion`.
+//! Analysis commands take a description file:
+//! `fdi <report|strong|weak|chase|chase-extended|keys|normalize|exhaustion> <file>`.
+//!
+//! Durability commands work a write-ahead op journal (see `fdi-store`):
+//!
+//! * `fdi journal-apply <journal> <ops-file> [desc-file]` — create the
+//!   journal from the description (first run) or recover it, then apply
+//!   the ops file: one op per line, `insert <tok>…`, `delete <row>`,
+//!   `modify <row> <attr> <token>`, `resolve <row> <attr> <token>`,
+//!   `compact`, with 1-based display-order row numbers. Rejected ops
+//!   are reported and skipped; accepted ops are durable on exit.
+//! * `fdi recover <journal>` — replay the journal and print the
+//!   recovered table (truncating a torn tail; corruption is a hard
+//!   error naming the byte offset).
+//! * `fdi checkpoint <journal>` — recover, then atomically collapse the
+//!   journal into a fresh snapshot, bounding future replay time.
+//!
+//! Exit codes: `0` success, `1` runtime failure (I/O, corrupt journal,
+//! unsatisfiable description), `2` usage or input-parse error.
 
 use fd_incomplete::core::interp::DEFAULT_BUDGET;
+use fd_incomplete::core::update::{Database, Policy};
 use fd_incomplete::core::{armstrong, chase, normalize, satisfy, subst, testfd};
 use fd_incomplete::prelude::*;
+use fd_incomplete::relation::rowid::RowId;
+use fd_incomplete::store::{
+    FileStorage, Journal, JournaledDatabase, JournaledError, Storage, SyncPolicy,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// A CLI failure, split by exit code: parse/usage problems exit `2`,
+/// runtime failures exit `1`.
+#[derive(Debug)]
+enum CliError {
+    /// Malformed user input (description, ops file, unknown command).
+    Parse(String),
+    /// A well-formed request that failed (I/O, corrupt journal, …).
+    Runtime(String),
+}
+
+impl CliError {
+    fn parse(msg: impl Into<String>) -> CliError {
+        CliError::Parse(msg.into())
+    }
+
+    fn runtime(msg: impl Into<String>) -> CliError {
+        CliError::Runtime(msg.into())
+    }
+}
 
 /// A parsed database description file.
 struct Description {
@@ -110,7 +151,7 @@ fn parse_description(text: &str) -> Result<Description, String> {
     })
 }
 
-fn run(command: &str, desc: &Description) -> Result<(), String> {
+fn run(command: &str, desc: &Description) -> Result<(), CliError> {
     let Description {
         schema,
         fds,
@@ -119,7 +160,8 @@ fn run(command: &str, desc: &Description) -> Result<(), String> {
     match command {
         "report" => {
             println!("{}", instance.render(true));
-            let report = satisfy::report(fds, instance, DEFAULT_BUDGET).map_err(|e| e.to_string())?;
+            let report = satisfy::report(fds, instance, DEFAULT_BUDGET)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
             println!("{}", satisfy::render_report(&report, fds, instance));
         }
         "strong" => match testfd::check_strong(instance, fds) {
@@ -149,8 +191,7 @@ fn run(command: &str, desc: &Description) -> Result<(), String> {
             // The extended closure is order-insensitive (Theorem 4a),
             // so the FDI_THREADS-sized parallel engine is safe here —
             // same canonical result at every thread count.
-            let outcome =
-                chase::extended_chase_par(instance, fds, &fdi_exec::Executor::from_env());
+            let outcome = chase::extended_chase_par(instance, fds, &fdi_exec::Executor::from_env());
             println!("{}", outcome.instance.render(true));
             if outcome.has_nothing() {
                 println!(
@@ -181,7 +222,8 @@ fn run(command: &str, desc: &Description) -> Result<(), String> {
             );
         }
         "exhaustion" => {
-            let sites = subst::detect_domain_exhaustion(fds, instance).map_err(|e| e.to_string())?;
+            let sites = subst::detect_domain_exhaustion(fds, instance)
+                .map_err(|e| CliError::runtime(e.to_string()))?;
             if sites.is_empty() {
                 println!("no [F2] domain-exhaustion sites: the weak pipelines are exact here");
             } else {
@@ -191,43 +233,308 @@ fn run(command: &str, desc: &Description) -> Result<(), String> {
                     let pos = instance
                         .row_ids()
                         .position(|id| id == s.row)
-                        .expect("site names a live row");
+                        .ok_or_else(|| {
+                            CliError::runtime(format!(
+                                "internal inconsistency: [F2] site names {} (fd #{}), \
+                                 which is not a live row of this instance",
+                                s.row,
+                                s.fd_index + 1
+                            ))
+                        })?;
                     println!("[F2] at row {} under fd #{}", pos + 1, s.fd_index + 1);
                 }
             }
         }
-        other => return Err(format!("unknown command {other:?} (try: report, strong, weak, chase, chase-extended, keys, normalize, exhaustion)")),
+        other => {
+            return Err(CliError::parse(format!(
+                "unknown command {other:?} (try: report, strong, weak, chase, chase-extended, \
+                 keys, normalize, exhaustion, journal-apply, recover, checkpoint)"
+            )))
+        }
     }
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() != 3 {
-        eprintln!(
-            "usage: fdi <report|strong|weak|chase|chase-extended|keys|normalize|exhaustion> <file>"
-        );
-        return ExitCode::FAILURE;
+/// One line of a `journal-apply` ops file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum OpLine {
+    Insert(Vec<String>),
+    Delete(usize),
+    Modify {
+        pos: usize,
+        attr: String,
+        token: String,
+    },
+    Resolve {
+        pos: usize,
+        attr: String,
+        token: String,
+    },
+    Compact,
+}
+
+/// Parses an ops file: one op per non-empty, non-`#` line. Row numbers
+/// are 1-based positions in display order at application time.
+fn parse_ops(text: &str) -> Result<Vec<OpLine>, String> {
+    let mut ops = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let verb = words.next().unwrap_or_default();
+        let parse_pos = |w: Option<&str>| -> Result<usize, String> {
+            let text = w.ok_or_else(|| format!("line {}: missing row number", lineno + 1))?;
+            let pos: usize = text
+                .parse()
+                .map_err(|_| format!("line {}: bad row number {text:?}", lineno + 1))?;
+            if pos == 0 {
+                return Err(format!("line {}: row numbers are 1-based", lineno + 1));
+            }
+            Ok(pos)
+        };
+        let op = match verb {
+            "insert" => {
+                let tokens: Vec<String> = words.map(str::to_string).collect();
+                if tokens.is_empty() {
+                    return Err(format!("line {}: insert needs tokens", lineno + 1));
+                }
+                OpLine::Insert(tokens)
+            }
+            "delete" => {
+                let pos = parse_pos(words.next())?;
+                if words.next().is_some() {
+                    return Err(format!("line {}: trailing tokens", lineno + 1));
+                }
+                OpLine::Delete(pos)
+            }
+            "modify" | "resolve" => {
+                let pos = parse_pos(words.next())?;
+                let attr = words
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing attribute name", lineno + 1))?
+                    .to_string();
+                let token = words
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing value token", lineno + 1))?
+                    .to_string();
+                if verb == "modify" {
+                    OpLine::Modify { pos, attr, token }
+                } else {
+                    OpLine::Resolve { pos, attr, token }
+                }
+            }
+            "compact" => {
+                if words.next().is_some() {
+                    return Err(format!("line {}: trailing tokens", lineno + 1));
+                }
+                OpLine::Compact
+            }
+            other => {
+                return Err(format!(
+                    "line {}: unknown op {other:?} (insert, delete, modify, resolve, compact)",
+                    lineno + 1
+                ))
+            }
+        };
+        ops.push(op);
     }
-    let text = match std::fs::read_to_string(&args[2]) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", args[2]);
-            return ExitCode::FAILURE;
+    Ok(ops)
+}
+
+/// Opens the journal at `path`: recovers it if it holds bytes,
+/// otherwise creates it from the description file (required on first
+/// use). Reports what recovery did.
+fn open_journal(
+    path: &str,
+    desc_path: Option<&str>,
+) -> Result<(Database, Journal<FileStorage>), CliError> {
+    let storage = FileStorage::open(path)
+        .map_err(|e| CliError::runtime(format!("cannot open journal {path}: {e}")))?;
+    if storage.is_empty() {
+        let desc_path = desc_path.ok_or_else(|| {
+            CliError::parse(format!(
+                "journal {path} is empty: a description file is required to create it"
+            ))
+        })?;
+        let text = std::fs::read_to_string(desc_path)
+            .map_err(|e| CliError::runtime(format!("cannot read {desc_path}: {e}")))?;
+        let desc = parse_description(&text).map_err(CliError::Parse)?;
+        let db = Database::new(desc.instance, desc.fds, Policy::default()).map_err(|e| {
+            CliError::runtime(format!("description is not a valid starting database: {e}"))
+        })?;
+        let journal = Journal::create(storage, &db)
+            .map_err(|e| CliError::runtime(format!("cannot create journal {path}: {e}")))?;
+        println!("created journal {path} from {desc_path}");
+        Ok((db, journal))
+    } else {
+        let recovered = Journal::recover(storage)
+            .map_err(|e| CliError::runtime(format!("cannot recover journal {path}: {e}")))?;
+        if let Some(torn) = recovered.torn {
+            println!(
+                "truncated a torn tail at byte {} ({} bytes dropped)",
+                torn.offset, torn.dropped
+            );
         }
+        println!("recovered {path}: {} op(s) replayed", recovered.ops.len());
+        Ok((recovered.db, recovered.journal))
+    }
+}
+
+/// The 1-based display-order row → RowId mapping of the live instance.
+fn row_at(db: &Database, pos: usize) -> Option<RowId> {
+    db.instance().row_ids().nth(pos - 1)
+}
+
+/// Applies parsed ops to a journaled database. Database rejections are
+/// reported and skipped (the journal records accepted history only);
+/// journal failures abort.
+fn apply_ops(
+    jdb: &mut JournaledDatabase<FileStorage>,
+    ops: &[OpLine],
+) -> Result<(usize, usize), CliError> {
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut reject = |line: usize, msg: String| {
+        println!("op {line}: rejected: {msg}");
+        rejected += 1;
     };
-    let desc = match parse_description(&text) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("parse error: {e}");
-            return ExitCode::FAILURE;
+    for (i, op) in ops.iter().enumerate() {
+        let line = i + 1;
+        let attr_of = |jdb: &JournaledDatabase<FileStorage>, name: &str| {
+            jdb.db().instance().schema().attr_id(name)
+        };
+        let outcome = match op {
+            OpLine::Insert(tokens) => {
+                let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+                jdb.insert(&refs).map(|_| ())
+            }
+            OpLine::Delete(pos) => match row_at(jdb.db(), *pos) {
+                Some(row) => jdb.delete(row).map(|_| ()),
+                None => {
+                    reject(line, format!("no row {pos}"));
+                    continue;
+                }
+            },
+            OpLine::Modify { pos, attr, token } | OpLine::Resolve { pos, attr, token } => {
+                let row = match row_at(jdb.db(), *pos) {
+                    Some(row) => row,
+                    None => {
+                        reject(line, format!("no row {pos}"));
+                        continue;
+                    }
+                };
+                let attr = match attr_of(jdb, attr) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        reject(line, e.to_string());
+                        continue;
+                    }
+                };
+                if matches!(op, OpLine::Modify { .. }) {
+                    jdb.modify(row, attr, token).map(|_| ())
+                } else {
+                    jdb.resolve_null(row, attr, token).map(|_| ())
+                }
+            }
+            OpLine::Compact => jdb.compact().map(|_| ()),
+        };
+        match outcome {
+            Ok(()) => accepted += 1,
+            Err(JournaledError::Update(e)) => reject(line, e.to_string()),
+            Err(e) => {
+                return Err(CliError::runtime(format!(
+                    "op {line}: journal failure, aborting: {e}"
+                )))
+            }
         }
-    };
-    match run(&args[1], &desc) {
+    }
+    Ok((accepted, rejected))
+}
+
+fn run_journal_apply(
+    journal_path: &str,
+    ops_path: &str,
+    desc_path: Option<&str>,
+) -> Result<(), CliError> {
+    let ops_text = std::fs::read_to_string(ops_path)
+        .map_err(|e| CliError::runtime(format!("cannot read {ops_path}: {e}")))?;
+    let ops = parse_ops(&ops_text).map_err(CliError::Parse)?;
+    let (db, journal) = open_journal(journal_path, desc_path)?;
+    let mut jdb = JournaledDatabase::resume(db, journal, SyncPolicy::EveryOp);
+    let (accepted, rejected) = apply_ops(&mut jdb, &ops)?;
+    println!("{}", jdb.db().instance().render(true));
+    println!("{accepted} op(s) applied and durable, {rejected} rejected");
+    Ok(())
+}
+
+fn run_recover(journal_path: &str) -> Result<(), CliError> {
+    let storage = FileStorage::open(journal_path)
+        .map_err(|e| CliError::runtime(format!("cannot open journal {journal_path}: {e}")))?;
+    let recovered = Journal::recover(storage)
+        .map_err(|e| CliError::runtime(format!("cannot recover journal {journal_path}: {e}")))?;
+    println!("{}", recovered.db.instance().render(true));
+    match recovered.torn {
+        Some(torn) => println!(
+            "recovered {} op(s); truncated a torn tail at byte {} ({} bytes dropped)",
+            recovered.ops.len(),
+            torn.offset,
+            torn.dropped
+        ),
+        None => println!("recovered {} op(s); journal is clean", recovered.ops.len()),
+    }
+    Ok(())
+}
+
+fn run_checkpoint(journal_path: &str) -> Result<(), CliError> {
+    let (db, mut journal) = open_journal(journal_path, None)?;
+    journal
+        .checkpoint(&db)
+        .map_err(|e| CliError::runtime(format!("checkpoint failed (journal unchanged): {e}")))?;
+    println!(
+        "checkpointed {journal_path}: {} live row(s) snapshotted, replay log cleared",
+        db.instance().len()
+    );
+    Ok(())
+}
+
+const USAGE: &str = "usage:\n  \
+    fdi <report|strong|weak|chase|chase-extended|keys|normalize|exhaustion> <file>\n  \
+    fdi journal-apply <journal> <ops-file> [desc-file]\n  \
+    fdi recover <journal>\n  \
+    fdi checkpoint <journal>";
+
+fn dispatch(args: &[String]) -> Result<(), CliError> {
+    let command = args.first().map(String::as_str).unwrap_or_default();
+    match (command, args.len()) {
+        ("journal-apply", 3) => run_journal_apply(&args[1], &args[2], None),
+        ("journal-apply", 4) => run_journal_apply(&args[1], &args[2], Some(&args[3])),
+        ("recover", 2) => run_recover(&args[1]),
+        ("checkpoint", 2) => run_checkpoint(&args[1]),
+        ("journal-apply" | "recover" | "checkpoint", _) => Err(CliError::parse(USAGE)),
+        (_, 2) => {
+            let text = std::fs::read_to_string(&args[1])
+                .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", args[1])))?;
+            let desc = parse_description(&text)
+                .map_err(|e| CliError::Parse(format!("parse error: {e}")))?;
+            run(command, &desc)
+        }
+        _ => Err(CliError::parse(USAGE)),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Parse(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
         }
     }
 }
@@ -275,9 +582,9 @@ cyd eng   -
             "normalize",
             "exhaustion",
         ] {
-            run(cmd, &d).unwrap_or_else(|e| panic!("command {cmd}: {e}"));
+            run(cmd, &d).unwrap_or_else(|e| panic!("command {cmd}: {e:?}"));
         }
-        assert!(run("bogus", &d).is_err());
+        assert!(matches!(run("bogus", &d), Err(CliError::Parse(_))));
     }
 
     #[test]
@@ -301,5 +608,97 @@ cyd eng   -
         let text = "%schema\nattr name\nattr status m s\n%fds\n%instance\nJohn m\n";
         let d = parse_description(text).expect("parse");
         assert_eq!(d.instance.len(), 1);
+    }
+
+    #[test]
+    fn ops_files_parse_and_reject_garbage() {
+        let ops = parse_ops(
+            "# comment\ninsert ada sales mia\ndelete 2\nmodify 1 dept eng\n\
+             resolve 3 mgr noa\ncompact\n",
+        )
+        .expect("parse");
+        assert_eq!(ops.len(), 5);
+        assert_eq!(
+            ops[0],
+            OpLine::Insert(vec!["ada".into(), "sales".into(), "mia".into()])
+        );
+        assert_eq!(ops[1], OpLine::Delete(2));
+        assert_eq!(ops[4], OpLine::Compact);
+        for bad in [
+            "insert",
+            "delete",
+            "delete zero",
+            "delete 0",
+            "delete 1 extra",
+            "modify 1 dept",
+            "resolve 1",
+            "teleport 3",
+            "compact now",
+        ] {
+            assert!(parse_ops(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn usage_and_unknown_commands_are_parse_errors() {
+        assert!(matches!(dispatch(&[]), Err(CliError::Parse(_))));
+        assert!(matches!(
+            dispatch(&["report".to_string()]),
+            Err(CliError::Parse(_))
+        ));
+        assert!(matches!(
+            dispatch(&["journal-apply".to_string(), "x".to_string()]),
+            Err(CliError::Parse(_))
+        ));
+        // a missing description file is a runtime error, not a panic
+        assert!(matches!(
+            dispatch(&["report".to_string(), "/no/such/file".to_string()]),
+            Err(CliError::Runtime(_))
+        ));
+    }
+
+    /// End-to-end journal verbs over a real temp file: create + apply,
+    /// reopen + apply more, checkpoint, recover.
+    #[test]
+    fn journal_verbs_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("fdi-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let desc = dir.join("db.fdi");
+        let ops1 = dir.join("ops1.txt");
+        let ops2 = dir.join("ops2.txt");
+        let journal = dir.join("staff.journal");
+        std::fs::write(&desc, SAMPLE).unwrap();
+        // "delete 4" targets the just-inserted 4th display row; all
+        // three ops keep the instance weakly satisfiable → accepted
+        std::fs::write(&ops1, "insert cyd eng noa\ndelete 4\nmodify 1 mgr noa\n").unwrap();
+        // resolve bob's dept to eng (sales would clash ada/noa vs mia);
+        // "delete 99" is an out-of-range rejection exercised on purpose
+        std::fs::write(&ops2, "resolve 2 dept eng\ncompact\ndelete 99\n").unwrap();
+        let jpath = journal.to_str().unwrap().to_string();
+
+        run_journal_apply(&jpath, ops1.to_str().unwrap(), Some(desc.to_str().unwrap()))
+            .expect("create + first batch");
+        run_journal_apply(&jpath, ops2.to_str().unwrap(), None).expect("reopen + second batch");
+
+        let storage = FileStorage::open(&journal).unwrap();
+        let recovered = Journal::recover(storage).expect("journal recovers");
+        assert!(recovered.torn.is_none());
+        assert!(
+            recovered.ops.len() >= 4,
+            "accepted ops from both batches are durable: {:?}",
+            recovered.ops
+        );
+        assert_eq!(recovered.db.instance().len(), 3);
+
+        run_checkpoint(&jpath).expect("checkpoint");
+        let after = Journal::recover(FileStorage::open(&journal).unwrap()).unwrap();
+        assert_eq!(after.ops.len(), 0, "checkpoint cleared the replay log");
+        assert_eq!(
+            after.db.instance().render(true),
+            recovered.db.instance().render(true)
+        );
+
+        run_recover(&jpath).expect("recover verb");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

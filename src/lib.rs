@@ -19,7 +19,9 @@
 //!   its Church–Rosser extension (Theorem 4), Armstrong's system
 //!   (Theorem 1), normalization, and least-extension queries;
 //! * [`gen`] (`fdi-gen`) — seeded workload generators for the
-//!   experiment harness.
+//!   experiment harness;
+//! * [`store`] (`fdi-store`) — the durability layer: a write-ahead op
+//!   journal, crash recovery, and deterministic fault injection.
 //!
 //! ## Quick start
 //!
@@ -41,6 +43,25 @@
 //! assert!(fd_incomplete::core::testfd::check_strong(&r, &fds).is_err());
 //! assert!(fd_incomplete::core::chase::weakly_satisfiable_via_chase(&fds, &r));
 //! ```
+//!
+//! ## Durability
+//!
+//! A maintained [`core::update::Database`] lives in memory; the
+//! [`store`] layer makes its history durable. Wrap it in a
+//! [`store::JournaledDatabase`] and every **accepted** mutation is
+//! appended to a write-ahead op journal (rejected ops journal nothing)
+//! before the call returns. After a crash, [`store::Journal::recover`]
+//! replays the journal onto its genesis snapshot and — because update
+//! execution is deterministic at every thread count — rebuilds the
+//! database bit-identically: same `RowId`s, same null ids, same NEC
+//! classes, same index buckets. A torn final write is detected and
+//! truncated; damage *inside* the synced log is a typed
+//! [`store::RecoverError::Corrupt`] naming the byte offset, never a
+//! panic and never a silently wrong database. Periodic
+//! [`store::JournaledDatabase::checkpoint`] calls atomically collapse
+//! the log into a fresh snapshot, bounding replay time. The exact
+//! guarantees — what `sync` promises and what it does not — are
+//! documented in the [`store`] crate root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +70,7 @@ pub use fdi_core as core;
 pub use fdi_gen as gen;
 pub use fdi_logic as logic;
 pub use fdi_relation as relation;
+pub use fdi_store as store;
 
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
@@ -62,4 +84,5 @@ pub mod prelude {
     pub use fdi_relation::instance::Instance;
     pub use fdi_relation::schema::Schema;
     pub use fdi_relation::{AttrId, AttrSet, NullId, Value};
+    pub use fdi_store::{Journal, JournaledDatabase, SyncPolicy};
 }
