@@ -1,0 +1,60 @@
+//! Serving benchmark: epoch-split writer ingest (stage → group commit
+//! → publication) with live concurrent snapshot readers, at readers ∈
+//! {0, 1, 2, 4} and n = 10³ and 10⁴. Writes `BENCH_serve.json`
+//! (per-op ingest nanoseconds plus p50/p99 snapshot-read latencies) to
+//! the current directory and prints a table.
+//!
+//! Usage: `cargo run --release -p fdi-bench --bin bench_serve
+//! [--quick]` — `--quick` measures n = 10² only.
+//!
+//! `verify_serving` re-asserts the serving determinism contract (same
+//! stream ⇒ same publication log at every executor thread count) on
+//! the exact timed workload before anything is measured. The JSON
+//! records the host's available parallelism — with fewer cores than
+//! `readers + 1`, latencies include scheduling waits, not serving
+//! overhead.
+
+use fdi_bench::serve_bench::{measure, render_json, verify_serving};
+use fdi_bench::{fmt_duration, Table};
+use std::io::Write;
+use std::time::Duration;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] = if quick { &[100] } else { &[1_000, 10_000] };
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {host_threads} thread(s)");
+    println!("verifying serving determinism on the timed workload (n = 200) …");
+    verify_serving(200);
+
+    let mut table = Table::new([
+        "n",
+        "readers",
+        "epochs",
+        "ingest/op",
+        "read p50",
+        "read p99",
+    ]);
+    let mut points = Vec::new();
+    for &n in sizes {
+        for p in measure(n) {
+            table.row([
+                p.n.to_string(),
+                p.readers.to_string(),
+                p.epochs.to_string(),
+                fmt_duration(Duration::from_nanos(p.ingest_ns_per_op as u64)),
+                fmt_duration(Duration::from_nanos(p.read_p50_ns as u64)),
+                fmt_duration(Duration::from_nanos(p.read_p99_ns as u64)),
+            ]);
+            points.push(p);
+        }
+    }
+    table.print();
+    let json = render_json(&points, host_threads);
+    std::fs::File::create("BENCH_serve.json")
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

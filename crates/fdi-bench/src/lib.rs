@@ -216,4 +216,5 @@ mod tests {
 }
 pub mod experiments;
 pub mod par_bench;
+pub mod serve_bench;
 pub mod update_bench;

@@ -328,6 +328,52 @@ impl LhsIndex {
         self.rows += 1;
     }
 
+    /// Delta insert of a whole batch: files every row of `rows`, in
+    /// order, with the per-FD group-key computation sharded over the
+    /// executor — [`build_par`](LhsIndex::build_par)'s machinery
+    /// applied to a delta instead of a cold build. Key computation is
+    /// read-only and embarrassingly parallel; the filing itself stays
+    /// sequential in the given order, so the resulting index is
+    /// *identical* (bucket order included) to looping
+    /// [`insert_row`](LhsIndex::insert_row) — at every thread count. A
+    /// 1-thread executor or a batch below [`PAR_BUILD_SMALL_N`] rows
+    /// takes the sequential loop outright.
+    ///
+    /// # Panics
+    /// Panics when any row is already filed.
+    pub fn insert_rows_par(
+        &mut self,
+        instance: &Instance,
+        rows: &[RowId],
+        exec: &fdi_exec::Executor,
+    ) {
+        if exec.threads() == 1 || rows.len() < PAR_BUILD_SMALL_N {
+            for &row in rows {
+                self.insert_row(instance, row);
+            }
+            return;
+        }
+        let lhs = self.lhs.clone();
+        let keys = exec.map(rows, |_, &row| {
+            let tuple = instance.tuple(row);
+            let mut key = GroupKey::new();
+            lhs.iter()
+                .map(|&l| groupkey::const_key_into(&mut key, tuple, l).then(|| key.clone()))
+                .collect::<Vec<Option<GroupKey>>>()
+        });
+        for (&row, records) in rows.iter().zip(keys) {
+            for (i, record) in records.into_iter().enumerate() {
+                match &record {
+                    Some(key) => Self::file(&mut self.groups[i], key, row),
+                    None => self.wild[i].push(row),
+                }
+                let prior = self.filed[i].insert(row, record);
+                assert!(prior.is_none(), "insert_rows_par: row {row} already filed");
+            }
+            self.rows += 1;
+        }
+    }
+
     /// Appends `row` to the bucket at `key`, with a borrowed probe
     /// first so only novel keys pay for an owned allocation.
     fn file(groups: &mut HashMap<GroupKey, Vec<RowId>>, key: &[u64], row: RowId) {
@@ -683,6 +729,50 @@ impl Database {
             Vec::new()
         };
         Ok(UpdateOutcome { row, propagated })
+    }
+
+    /// Inserts a batch of rows given as text tokens, returning one
+    /// result per row, in order. Semantically identical to calling
+    /// [`Database::insert`] once per row — same acceptances and
+    /// rejections, same [`RowId`]s, same index state, at every thread
+    /// count. Under [`Enforcement::None`] with propagation off (the
+    /// bulk-load / ingest regime, where a per-row insert neither checks
+    /// nor chases) the accepted rows are filed through the sharded
+    /// [`LhsIndex::insert_rows_par`] path; any checking or propagating
+    /// policy falls back to the per-row loop, because each acceptance
+    /// decision there depends on the rows accepted before it.
+    pub fn insert_batch(
+        &mut self,
+        rows: &[Vec<String>],
+        exec: &fdi_exec::Executor,
+    ) -> Vec<Result<UpdateOutcome, UpdateError>> {
+        let bulk = self.policy.enforcement == Enforcement::None && !self.policy.propagate;
+        if !bulk {
+            return rows
+                .iter()
+                .map(|tokens| {
+                    let toks: Vec<&str> = tokens.iter().map(|t| t.as_str()).collect();
+                    self.insert(&toks)
+                })
+                .collect();
+        }
+        let mut results = Vec::with_capacity(rows.len());
+        let mut accepted = Vec::with_capacity(rows.len());
+        for tokens in rows {
+            let toks: Vec<&str> = tokens.iter().map(|t| t.as_str()).collect();
+            match self.instance.add_row(&toks) {
+                Ok(row) => {
+                    accepted.push(row);
+                    results.push(Ok(UpdateOutcome {
+                        row,
+                        propagated: Vec::new(),
+                    }));
+                }
+                Err(e) => results.push(Err(e.into())),
+            }
+        }
+        self.index.insert_rows_par(&self.instance, &accepted, exec);
+        results
     }
 
     /// Deletes a row. Deletion can never break satisfiability (both

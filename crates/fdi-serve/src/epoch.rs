@@ -1,0 +1,167 @@
+//! Published epochs and the reader side of the split.
+//!
+//! An [`Epoch`] is a self-contained, immutable snapshot; an
+//! [`EpochCell`] is the single publication point the writer swaps and
+//! readers load; a [`Reader`] is a cheap-to-clone handle that hands
+//! any thread the current epoch as an `Arc`.
+
+use fdi_core::query::{self, Query, Selection};
+use fdi_core::testfd::{self, Convention, Violation};
+use fdi_core::update::Database;
+use fdi_exec::Executor;
+use fdi_relation::{NecSnapshot, RelationError};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// One immutable published state: the chased instance (with its index,
+/// inside the [`Database`]) plus the canonical NEC snapshot, stamped
+/// with its position in the epoch sequence. All query entry points take
+/// `&self` — an epoch never changes after construction, so any number
+/// of threads may share one through an `Arc`.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    seq: u64,
+    ops_applied: u64,
+    db: Database,
+    nec: NecSnapshot,
+    fingerprint: u64,
+}
+
+impl Epoch {
+    /// Builds an epoch from a snapshot of the writer's database.
+    pub(crate) fn new(seq: u64, ops_applied: u64, db: Database) -> Epoch {
+        let nec = db.instance().necs().canonical_snapshot();
+        let mut state = Vec::new();
+        db.instance().encode_state(&mut state);
+        let fingerprint = fdi_store::crc::crc32(&state) as u64;
+        Epoch {
+            seq,
+            ops_applied,
+            db,
+            nec,
+            fingerprint,
+        }
+    }
+
+    /// Position in the epoch sequence (0 = the state at open, before
+    /// any publication).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Number of accepted ops this epoch reflects, counted from the
+    /// journal's genesis — i.e. which accepted-op prefix a sequential
+    /// replay needs to reproduce this state.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// The snapshotted database (instance + FDs + policy + index).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The canonical null-equivalence snapshot taken at publication.
+    pub fn nec(&self) -> &NecSnapshot {
+        &self.nec
+    }
+
+    /// CRC-32 of the instance's exact encoded state ([`Instance::
+    /// encode_state`](fdi_relation::Instance::encode_state): symbols,
+    /// null allocator, NEC forest, slots, free list). Two epochs with
+    /// equal fingerprints at equal `ops_applied` are replays of the
+    /// same accepted-op prefix — the currency the bit-identical
+    /// determinism tests compare across thread counts and runs.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Sure/maybe/no answer sets for `query` against this epoch, via
+    /// the sharded [`query::select_par`] (bit-identical to the
+    /// sequential [`query::select`] at every thread count).
+    pub fn select(&self, query: &Query, exec: &Executor) -> Result<Selection, RelationError> {
+        query::select_par(query, self.db.instance(), exec)
+    }
+
+    /// TEST-FDs over this epoch via the sharded [`testfd::check_par`]
+    /// (bit-identical to the sequential check, violation payload
+    /// included).
+    pub fn check(&self, conv: Convention, exec: &Executor) -> Result<(), Violation> {
+        testfd::check_par(self.db.instance(), self.db.fds(), conv, exec)
+    }
+}
+
+/// The publication point: readers load the current epoch, the writer
+/// swaps in the next one. The critical section on either side is O(1)
+/// — an `Arc` clone or a pointer-sized store — so readers never wait on
+/// epoch construction and the writer never waits on queries in flight
+/// (they keep their own `Arc` to the old epoch, which stays alive until
+/// its last holder drops it).
+///
+/// Implementation note: the cell is an `RwLock<Arc<Epoch>>` rather than
+/// a raw atomic pointer because the workspace forbids `unsafe`; the
+/// lock is held only for the `Arc` clone/store, never across a query,
+/// which preserves the "readers never block writers" contract in
+/// everything but the pointer-swap instant.
+#[derive(Debug)]
+pub struct EpochCell {
+    cell: RwLock<Arc<Epoch>>,
+}
+
+impl EpochCell {
+    pub(crate) fn new(epoch: Arc<Epoch>) -> EpochCell {
+        EpochCell {
+            cell: RwLock::new(epoch),
+        }
+    }
+
+    /// The current epoch. (Lock poisoning cannot corrupt an `Arc`
+    /// swap, so a poisoned lock is simply read through.)
+    pub fn load(&self) -> Arc<Epoch> {
+        Arc::clone(&self.cell.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    pub(crate) fn store(&self, epoch: Arc<Epoch>) {
+        *self.cell.write().unwrap_or_else(PoisonError::into_inner) = epoch;
+    }
+}
+
+/// A reader handle: clone one per thread, call [`Reader::snapshot`] as
+/// often as desired. Each snapshot is the most recently published epoch
+/// at that instant; holding it pins that epoch (not the writer).
+#[derive(Debug, Clone)]
+pub struct Reader {
+    cell: Arc<EpochCell>,
+}
+
+impl Reader {
+    pub(crate) fn new(cell: Arc<EpochCell>) -> Reader {
+        Reader { cell }
+    }
+
+    /// The currently published epoch.
+    pub fn snapshot(&self) -> Arc<Epoch> {
+        self.cell.load()
+    }
+
+    /// Sequence number of the currently published epoch (without
+    /// retaining it).
+    pub fn seq(&self) -> u64 {
+        self.cell.load().seq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The whole point of the split is sharing epochs across threads:
+    // hold the Send + Sync requirement as a compile-time fact.
+    #[test]
+    fn epochs_and_readers_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Epoch>();
+        assert_send_sync::<EpochCell>();
+        assert_send_sync::<Reader>();
+        assert_send_sync::<Arc<Epoch>>();
+    }
+}

@@ -1,0 +1,79 @@
+//! # fdi-serve — epoch-split concurrent serving
+//!
+//! The serving layer over the fd-incomplete engine: any number of
+//! reader threads query **immutable published epochs** while a single
+//! [`Writer`] applies deltas against a private successor state and
+//! atomically publishes the next epoch. Readers never block the writer;
+//! the writer never blocks readers.
+//!
+//! ## The epoch/snapshot consistency contract
+//!
+//! An [`Epoch`] is an immutable, `Arc`-shared snapshot of the serving
+//! state: the chased [`Instance`](fdi_relation::Instance), its
+//! [`LhsIndex`](fdi_core::update::LhsIndex) (inside the contained
+//! [`Database`](fdi_core::update::Database)), and the canonical
+//! [`NecSnapshot`](fdi_relation::NecSnapshot) of the null equivalence
+//! forest, stamped with a sequence number and the count of accepted ops
+//! it reflects. What a reader **may** observe:
+//!
+//! * Any published epoch, each equal to a **sequential replay of some
+//!   accepted-op prefix** ending at a batch boundary: same `RowId`s,
+//!   same index buckets, same canonical NEC classes, at every thread
+//!   count. (Exactness is content-level: a rejected op is
+//!   content-traceless but may advance the writer's null allocator, so
+//!   only null *mark ids* can differ from an accepted-only replay — the
+//!   same caveat the store layer documents for live-vs-recovered
+//!   comparison. A replay of the full *attempted* stream, rejections
+//!   included, is bit-identical, fingerprint and all.)
+//! * A monotonically non-decreasing epoch sequence: successive
+//!   [`Reader::snapshot`] calls on one handle never go backwards.
+//! * FD-consistent state only: every published epoch satisfies
+//!   whatever the writer's enforcement policy maintains (e.g. weak
+//!   satisfiability under `Enforcement::Weak`), because enforcement ran
+//!   *before* publication.
+//!
+//! What a reader can **never** observe:
+//!
+//! * A torn state — a half-applied op, a half-applied batch, or an
+//!   index inconsistent with its instance. Publication is one atomic
+//!   pointer swap of a fully-built snapshot.
+//! * Uncommitted work — ops staged by the writer but not yet published
+//!   (and, under group commit, not yet durable).
+//!
+//! ## Publication ↔ durability mapping
+//!
+//! The writer journals through
+//! [`JournaledDatabase`](fdi_store::JournaledDatabase) under
+//! [`SyncPolicy::GroupCommit`](fdi_store::SyncPolicy): accepted ops
+//! buffer in a pending batch, and [`Writer::publish`] first
+//! group-commits the batch (one CRC-framed journal record + one sync)
+//! and only then swaps the epoch pointer — **durable before visible**.
+//! A published epoch therefore always lies on a fully-synced batch
+//! boundary, and crash recovery
+//! ([`Journal::recover`](fdi_store::Journal::recover), unchanged)
+//! restores exactly the last such boundary — never a partial batch,
+//! because a torn batch record is truncated whole. (Staged ops that
+//! overflow [`ServeConfig::max_batch`] auto-commit in whole groups
+//! *before* publication, so the last synced boundary can lie ahead of
+//! the last published epoch — but never mid-group.) With
+//! [`ServeConfig::checkpoint_every`] set, every k-th publication also
+//! checkpoints the journal, re-anchoring the genesis snapshot at a
+//! published epoch and bounding replay time.
+//!
+//! ## Determinism
+//!
+//! The engine-wide contract extends to serving: the same accepted-op
+//! stream with the same batch boundaries produces the same epoch
+//! sequence — same sequence numbers, same op counts, same
+//! [`Epoch::fingerprint`]s — at every `FDI_THREADS` setting and any
+//! number of concurrent readers. The concurrency suite in
+//! `tests/serve_consistency.rs` (repo root) holds this pinned.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod writer;
+
+pub use epoch::{Epoch, EpochCell, Reader};
+pub use writer::{BatchOutcome, EpochStamp, ServeConfig, ServeError, ServeOp, Staged, Writer};

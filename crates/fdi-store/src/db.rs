@@ -19,10 +19,26 @@
 //! returns [`JournaledError::Poisoned`]; recovery from the journal is
 //! the way back. Checkpoint failure does *not* poison — a failed
 //! [`Storage::replace`] leaves the old journal fully valid.
+//!
+//! [`SyncPolicy::GroupCommit`] amortizes the sync barrier: accepted ops
+//! accumulate in an in-memory pending batch and are flushed as **one**
+//! batch record followed by **one** sync — when the batch fills, on an
+//! explicit [`JournaledDatabase::commit`], or at a [`sync`] /
+//! [`checkpoint`] barrier. Because the batch is a single CRC-framed
+//! record, it is durable all or nothing: a crash can lose at most the
+//! not-yet-committed batch, and recovery always lands exactly on a
+//! batch boundary — never inside one. A failed batch append or sync
+//! poisons the pair just like [`SyncPolicy::EveryOp`]: only the
+//! unacknowledged batch is lost, every earlier committed batch
+//! recovers.
+//!
+//! [`sync`]: JournaledDatabase::sync
+//! [`checkpoint`]: JournaledDatabase::checkpoint
 
 use crate::journal::{Journal, JournalOp};
 use crate::storage::{Storage, StoreError};
 use fdi_core::update::{Database, UpdateError, UpdateOutcome};
+use fdi_exec::Executor;
 use fdi_relation::rowid::RowId;
 use fdi_relation::AttrId;
 use std::fmt;
@@ -35,6 +51,16 @@ pub enum SyncPolicy {
     EveryOp,
     /// The caller places the barriers; a crash loses unsynced ops.
     Manual,
+    /// Group commit: accepted ops buffer in memory and are flushed as
+    /// one batch record + one sync when `max_batch` ops have
+    /// accumulated (a `max_batch` of 0 behaves like 1) or at an
+    /// explicit [`JournaledDatabase::commit`] /
+    /// [`JournaledDatabase::sync`] barrier. A crash loses at most the
+    /// pending batch; recovery lands exactly on a batch boundary.
+    GroupCommit {
+        /// Ops per batch before an automatic commit fires.
+        max_batch: usize,
+    },
 }
 
 /// Errors from a journaled mutation.
@@ -84,6 +110,10 @@ pub struct JournaledDatabase<S: Storage> {
     journal: Journal<S>,
     sync_policy: SyncPolicy,
     poisoned: bool,
+    /// Accepted-but-not-yet-committed ops under
+    /// [`SyncPolicy::GroupCommit`]; always empty under the other
+    /// policies.
+    pending: Vec<JournalOp>,
 }
 
 impl<S: Storage> JournaledDatabase<S> {
@@ -100,6 +130,7 @@ impl<S: Storage> JournaledDatabase<S> {
             journal,
             sync_policy,
             poisoned: false,
+            pending: Vec::new(),
         })
     }
 
@@ -111,6 +142,7 @@ impl<S: Storage> JournaledDatabase<S> {
             journal,
             sync_policy,
             poisoned: false,
+            pending: Vec::new(),
         }
     }
 
@@ -130,12 +162,28 @@ impl<S: Storage> JournaledDatabase<S> {
         self.poisoned
     }
 
-    /// Unwraps into the live database and journal.
+    /// Unwraps into the live database and journal. Under
+    /// [`SyncPolicy::GroupCommit`] any pending (uncommitted) ops are
+    /// dropped from the durable log — call
+    /// [`JournaledDatabase::commit`] first if they must survive.
     pub fn into_parts(self) -> (Database, Journal<S>) {
         (self.db, self.journal)
     }
 
+    /// Ops accepted but not yet committed to the journal (always 0
+    /// outside [`SyncPolicy::GroupCommit`]).
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
     fn journal_accepted(&mut self, op: JournalOp) -> Result<(), JournaledError> {
+        if let SyncPolicy::GroupCommit { max_batch } = self.sync_policy {
+            self.pending.push(op);
+            if self.pending.len() >= max_batch.max(1) {
+                self.commit()?;
+            }
+            return Ok(());
+        }
         if let Err(e) = self.journal.append(&op) {
             self.poisoned = true;
             return Err(JournaledError::Journal(e));
@@ -147,6 +195,30 @@ impl<S: Storage> JournaledDatabase<S> {
             }
         }
         Ok(())
+    }
+
+    /// Group-commit barrier: flushes the pending batch as one journal
+    /// record under one sync, returning how many ops became durable (0
+    /// when nothing was pending — also the no-op case outside
+    /// [`SyncPolicy::GroupCommit`]). A failed append or sync poisons
+    /// the pair: the whole pending batch is the unacknowledged loss,
+    /// every previously committed batch is already durable.
+    pub fn commit(&mut self) -> Result<usize, JournaledError> {
+        self.check_usable()?;
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        if let Err(e) = self.journal.append_batch(&self.pending) {
+            self.poisoned = true;
+            return Err(JournaledError::Journal(e));
+        }
+        if let Err(e) = self.journal.sync() {
+            self.poisoned = true;
+            return Err(JournaledError::Journal(e));
+        }
+        let committed = self.pending.len();
+        self.pending.clear();
+        Ok(committed)
     }
 
     fn check_usable(&self) -> Result<(), JournaledError> {
@@ -221,10 +293,16 @@ impl<S: Storage> JournaledDatabase<S> {
         Ok(moved)
     }
 
-    /// Durability barrier for [`SyncPolicy::Manual`] (harmless no-op
-    /// extra barrier under [`SyncPolicy::EveryOp`]).
+    /// Durability barrier. Under [`SyncPolicy::Manual`] this syncs the
+    /// appended-but-unsynced ops; under [`SyncPolicy::GroupCommit`] it
+    /// commits the pending batch (which is itself a sync barrier — no
+    /// unsynced appends can exist outside a commit); under
+    /// [`SyncPolicy::EveryOp`] it is a harmless extra barrier.
     pub fn sync(&mut self) -> Result<(), JournaledError> {
         self.check_usable()?;
+        if matches!(self.sync_policy, SyncPolicy::GroupCommit { .. }) {
+            return self.commit().map(|_| ());
+        }
         if let Err(e) = self.journal.sync() {
             self.poisoned = true;
             return Err(JournaledError::Journal(e));
@@ -234,12 +312,41 @@ impl<S: Storage> JournaledDatabase<S> {
 
     /// Checkpoints the journal: atomically replaces it with a genesis
     /// snapshot of the current database. Failure does **not** poison —
-    /// the old journal is still fully valid and covers every op.
+    /// the old journal is still fully valid and covers every op, and a
+    /// pending group-commit batch stays pending. On success any pending
+    /// ops are absorbed into the snapshot (the current database already
+    /// reflects them), so the batch needs no record of its own.
     pub fn checkpoint(&mut self) -> Result<(), JournaledError> {
         self.check_usable()?;
         self.journal
             .checkpoint(&self.db)
-            .map_err(JournaledError::Journal)
+            .map_err(JournaledError::Journal)?;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Journaled [`Database::insert_batch`]: the sharded bulk-ingest
+    /// path. Accepted rows are journaled in order (one `Insert` op
+    /// each, so replay and recovery are indistinguishable from looped
+    /// [`JournaledDatabase::insert`] calls); rejected rows journal
+    /// nothing and are reported in place. The outer error is a journal
+    /// failure (poisoning, as usual).
+    pub fn insert_batch(
+        &mut self,
+        rows: &[Vec<String>],
+        exec: &Executor,
+    ) -> Result<Vec<Result<UpdateOutcome, UpdateError>>, JournaledError> {
+        self.check_usable()?;
+        let results = self.db.insert_batch(rows, exec);
+        for (tokens, result) in rows.iter().zip(&results) {
+            if let Ok(outcome) = result {
+                self.journal_accepted(JournalOp::Insert {
+                    row: outcome.row,
+                    tokens: tokens.clone(),
+                })?;
+            }
+        }
+        Ok(results)
     }
 }
 
@@ -348,6 +455,197 @@ mod tests {
             recovered.db.instance().render(true),
             live.instance().render(true)
         );
+    }
+
+    #[test]
+    fn group_commit_batches_ops_under_one_sync() {
+        let db = fresh_db(fdi_core::update::Enforcement::Weak);
+        let storage = FaultyStorage::new(MemStorage::new(), vec![]);
+        let mut jdb =
+            JournaledDatabase::create(db, storage, SyncPolicy::GroupCommit { max_batch: 3 })
+                .unwrap();
+        let after_create = jdb.journal().storage().syncs();
+        jdb.insert(&["d1", "m1"]).unwrap();
+        jdb.insert(&["d2", "m2"]).unwrap();
+        assert_eq!(jdb.pending_ops(), 2, "ops buffer until the batch fills");
+        assert_eq!(
+            jdb.journal().storage().syncs(),
+            after_create,
+            "no sync before the batch boundary"
+        );
+        jdb.insert(&["d3", "m3"]).unwrap(); // fills the batch
+        assert_eq!(jdb.pending_ops(), 0);
+        assert_eq!(
+            jdb.journal().storage().syncs(),
+            after_create + 1,
+            "3 ops, exactly one sync"
+        );
+        // partial batch + explicit commit
+        let r = jdb.insert(&["d1", "-"]).unwrap().row;
+        jdb.delete(r).unwrap();
+        assert_eq!(jdb.commit().unwrap(), 2);
+        assert_eq!(jdb.commit().unwrap(), 0, "commit with nothing pending");
+        let (live, journal) = jdb.into_parts();
+        let recovered = Journal::recover(journal.into_storage().into_inner()).unwrap();
+        assert_eq!(recovered.ops.len(), 5, "batches expand to their ops");
+        assert_eq!(
+            recovered.db.instance().render(true),
+            live.instance().render(true)
+        );
+        assert!(recovered.db.index().same_buckets(live.index()));
+    }
+
+    #[test]
+    fn group_commit_crash_loses_only_the_pending_batch() {
+        let db = fresh_db(fdi_core::update::Enforcement::Weak);
+        let mut jdb = JournaledDatabase::create(
+            db,
+            MemStorage::new(),
+            SyncPolicy::GroupCommit { max_batch: 2 },
+        )
+        .unwrap();
+        jdb.insert(&["d1", "m1"]).unwrap();
+        jdb.insert(&["d2", "m2"]).unwrap(); // batch 1 committed
+        jdb.insert(&["d3", "m3"]).unwrap(); // pending, never committed
+        assert_eq!(jdb.pending_ops(), 1);
+        let (_, journal) = jdb.into_parts();
+        let recovered = Journal::recover(journal.into_storage().crash()).unwrap();
+        assert_eq!(
+            recovered.ops.len(),
+            2,
+            "recovery lands on the last committed batch boundary"
+        );
+        assert_eq!(recovered.db.instance().len(), 2);
+    }
+
+    #[test]
+    fn failed_group_sync_poisons_and_loses_only_the_unacked_batch() {
+        let db = fresh_db(fdi_core::update::Enforcement::Weak);
+        // sync 0 = journal create; sync 1 = batch 1; sync 2 = batch 2 fails
+        let storage = FaultyStorage::new(MemStorage::new(), vec![Fault::FailSync { sync: 2 }]);
+        let mut jdb =
+            JournaledDatabase::create(db, storage, SyncPolicy::GroupCommit { max_batch: 2 })
+                .unwrap();
+        jdb.insert(&["d1", "m1"]).unwrap();
+        jdb.insert(&["d2", "m2"]).unwrap(); // batch 1: durable
+        jdb.insert(&["d3", "m3"]).unwrap();
+        let err = jdb.insert(&["d1", "-"]).unwrap_err(); // batch 2: sync fails
+        assert!(matches!(err, JournaledError::Journal(_)));
+        assert!(jdb.is_poisoned());
+        assert_eq!(
+            jdb.insert(&["d2", "-"]).unwrap_err(),
+            JournaledError::Poisoned
+        );
+        assert_eq!(jdb.commit().unwrap_err(), JournaledError::Poisoned);
+        let (_, journal) = jdb.into_parts();
+        let recovered = Journal::recover(journal.into_storage().into_inner().crash()).unwrap();
+        assert_eq!(recovered.ops.len(), 2, "batch 1 survives, batch 2 is lost");
+        assert_eq!(recovered.db.instance().len(), 2);
+    }
+
+    #[test]
+    fn group_commit_checkpoint_absorbs_the_pending_batch() {
+        let db = fresh_db(fdi_core::update::Enforcement::Weak);
+        let mut jdb = JournaledDatabase::create(
+            db,
+            MemStorage::new(),
+            SyncPolicy::GroupCommit { max_batch: 100 },
+        )
+        .unwrap();
+        jdb.insert(&["d1", "m1"]).unwrap();
+        jdb.insert(&["d2", "m2"]).unwrap();
+        assert_eq!(jdb.pending_ops(), 2);
+        jdb.checkpoint().unwrap();
+        assert_eq!(jdb.pending_ops(), 0, "snapshot absorbed the batch");
+        let (live, journal) = jdb.into_parts();
+        let recovered = Journal::recover(journal.into_storage()).unwrap();
+        assert_eq!(recovered.ops.len(), 0);
+        assert_eq!(
+            recovered.db.instance().render(true),
+            live.instance().render(true)
+        );
+    }
+
+    #[test]
+    fn group_commit_failed_checkpoint_keeps_the_batch_pending() {
+        let db = fresh_db(fdi_core::update::Enforcement::Weak);
+        let storage =
+            FaultyStorage::new(MemStorage::new(), vec![Fault::FailReplace { replace: 0 }]);
+        let mut jdb =
+            JournaledDatabase::create(db, storage, SyncPolicy::GroupCommit { max_batch: 100 })
+                .unwrap();
+        jdb.insert(&["d1", "m1"]).unwrap();
+        assert!(jdb.checkpoint().is_err());
+        assert!(!jdb.is_poisoned());
+        assert_eq!(jdb.pending_ops(), 1, "the batch is still owed to the log");
+        jdb.commit().unwrap();
+        let (live, journal) = jdb.into_parts();
+        let recovered = Journal::recover(journal.into_storage().into_inner()).unwrap();
+        assert_eq!(recovered.ops.len(), 1);
+        assert_eq!(
+            recovered.db.instance().render(true),
+            live.instance().render(true)
+        );
+    }
+
+    #[test]
+    fn group_commit_of_one_matches_every_op_durability() {
+        // max_batch 1 (and the 0 alias) must give EveryOp's guarantee:
+        // Ok return ⇒ durable, nothing ever pending.
+        for max_batch in [0, 1] {
+            let db = fresh_db(fdi_core::update::Enforcement::Weak);
+            let mut jdb = JournaledDatabase::create(
+                db,
+                MemStorage::new(),
+                SyncPolicy::GroupCommit { max_batch },
+            )
+            .unwrap();
+            jdb.insert(&["d1", "m1"]).unwrap();
+            assert_eq!(jdb.pending_ops(), 0);
+            let (_, journal) = jdb.into_parts();
+            let recovered = Journal::recover(journal.into_storage().crash()).unwrap();
+            assert_eq!(recovered.ops.len(), 1, "max_batch {max_batch}");
+        }
+    }
+
+    #[test]
+    fn insert_batch_journals_accepted_rows_only() {
+        use fdi_exec::Executor;
+        let schema = Schema::builder("emp")
+            .attribute("dept", ["d1", "d2", "d3"])
+            .attribute("mgr", ["m1", "m2", "m3"])
+            .build()
+            .unwrap();
+        let fds = FdSet::parse(&schema, "dept -> mgr").unwrap();
+        let policy = Policy {
+            enforcement: fdi_core::update::Enforcement::None,
+            propagate: false,
+        };
+        let db = Database::new(Instance::new(Arc::clone(&schema)), fds, policy).unwrap();
+        let mut jdb = JournaledDatabase::create(
+            db,
+            MemStorage::new(),
+            SyncPolicy::GroupCommit { max_batch: 8 },
+        )
+        .unwrap();
+        let rows: Vec<Vec<String>> = vec![
+            vec!["d1".into(), "m1".into()],
+            vec!["bogus-value".into(), "m2".into()], // domain violation
+            vec!["d2".into(), "-".into()],
+        ];
+        let results = jdb.insert_batch(&rows, &Executor::with_threads(1)).unwrap();
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        jdb.commit().unwrap();
+        let (live, journal) = jdb.into_parts();
+        let recovered = Journal::recover(journal.into_storage()).unwrap();
+        assert_eq!(recovered.ops.len(), 2, "the rejected row journaled nothing");
+        assert_eq!(
+            recovered.db.instance().render(true),
+            live.instance().render(true)
+        );
+        assert!(recovered.db.index().same_buckets(live.index()));
     }
 
     #[test]

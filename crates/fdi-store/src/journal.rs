@@ -80,6 +80,11 @@ const TAG_DELETE: u8 = 2;
 const TAG_MODIFY: u8 = 3;
 const TAG_RESOLVE: u8 = 4;
 const TAG_COMPACT: u8 = 5;
+/// A group-committed batch: one record holding several ops. Because a
+/// record is CRC-framed as a unit, a batch is durable **all or
+/// nothing** — a crash mid-write tears the whole record and recovery
+/// truncates it entirely, so no prefix of a batch can ever replay.
+const TAG_BATCH: u8 = 6;
 
 impl JournalOp {
     /// Serializes the op into a record payload.
@@ -123,6 +128,14 @@ impl JournalOp {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<JournalOp, serial::DecodeError> {
+        let op = JournalOp::decode_body(r)?;
+        r.expect_end()?;
+        Ok(op)
+    }
+
+    /// Decodes exactly one op without requiring the reader to be
+    /// exhausted — batch records concatenate several op bodies.
+    fn decode_body(r: &mut Reader<'_>) -> Result<JournalOp, serial::DecodeError> {
         let tag = r.u8()?;
         let op = match tag {
             TAG_INSERT => {
@@ -157,9 +170,21 @@ impl JournalOp {
             }
             other => return Err(r.err(format!("unknown op tag {other}"))),
         };
-        r.expect_end()?;
         Ok(op)
     }
+}
+
+/// Serializes a group-commit batch record: the batch tag, the op count,
+/// then each op's encoding back to back (op encodings are
+/// self-delimiting, so no per-op length prefix is needed).
+fn batch_payload(ops: &[JournalOp]) -> Vec<u8> {
+    let mut out = Vec::new();
+    serial::put_u8(&mut out, TAG_BATCH);
+    serial::put_u32(&mut out, ops.len() as u32);
+    for op in ops {
+        out.extend_from_slice(&op.encode());
+    }
+    out
 }
 
 fn decode_attr(r: &mut Reader<'_>) -> Result<AttrId, serial::DecodeError> {
@@ -442,6 +467,19 @@ impl<S: Storage> Journal<S> {
         self.storage.append(&frame(&op.encode()))
     }
 
+    /// Appends a group-commit batch as **one** record (visible, not yet
+    /// durable — call [`Journal::sync`] to commit). Because the record
+    /// is CRC-framed as a unit, the batch is durable all or nothing: a
+    /// crash mid-write tears the whole record and recovery truncates it
+    /// entirely, so no partial batch can ever replay. An empty batch
+    /// appends nothing.
+    pub fn append_batch(&mut self, ops: &[JournalOp]) -> Result<(), StoreError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.storage.append(&frame(&batch_payload(ops)))
+    }
+
     /// Durability barrier: after this returns `Ok`, every appended op
     /// survives a crash.
     pub fn sync(&mut self) -> Result<(), StoreError> {
@@ -521,18 +559,41 @@ impl<S: Storage> Journal<S> {
                             })?);
                         }
                         Some(db) => {
-                            let op_index = ops.len();
-                            let op =
-                                JournalOp::decode(&mut r).map_err(|e| RecoverError::Decode {
+                            if payload.first() == Some(&TAG_BATCH) {
+                                // a group-commit batch: expand its ops
+                                // in order, as if appended individually
+                                let decode_err = |e: serial::DecodeError| RecoverError::Decode {
                                     offset,
                                     message: e.to_string(),
+                                };
+                                let _tag = r.u8().map_err(decode_err)?;
+                                let count = r.u32().map_err(decode_err)? as usize;
+                                for _ in 0..count {
+                                    let op_index = ops.len();
+                                    let op = JournalOp::decode_body(&mut r).map_err(decode_err)?;
+                                    replay_op(db, &op).map_err(|message| RecoverError::Replay {
+                                        offset,
+                                        op_index,
+                                        message,
+                                    })?;
+                                    ops.push(op);
+                                }
+                                r.expect_end().map_err(decode_err)?;
+                            } else {
+                                let op_index = ops.len();
+                                let op = JournalOp::decode(&mut r).map_err(|e| {
+                                    RecoverError::Decode {
+                                        offset,
+                                        message: e.to_string(),
+                                    }
                                 })?;
-                            replay_op(db, &op).map_err(|message| RecoverError::Replay {
-                                offset,
-                                op_index,
-                                message,
-                            })?;
-                            ops.push(op);
+                                replay_op(db, &op).map_err(|message| RecoverError::Replay {
+                                    offset,
+                                    op_index,
+                                    message,
+                                })?;
+                                ops.push(op);
+                            }
                         }
                     }
                 }
@@ -800,6 +861,133 @@ mod tests {
         let recovered = Journal::recover(journal.into_storage()).unwrap();
         assert_eq!(recovered.ops.len(), 0, "checkpoint absorbed the ops");
         db_states_match(&recovered.db, &db);
+    }
+
+    #[test]
+    fn batch_records_round_trip_through_recovery() {
+        let mut db = small_db();
+        db.insert(&["d1", "m1"]).unwrap();
+        let mut journal = Journal::create(MemStorage::new(), &db).unwrap();
+        // batch 1: two inserts and a modify, as one record
+        let a = db.insert(&["d2", "-"]).unwrap().row;
+        let b = db.insert(&["d3", "-"]).unwrap().row;
+        db.modify(a, AttrId(1), "m2").unwrap();
+        journal
+            .append_batch(&[
+                JournalOp::Insert {
+                    row: a,
+                    tokens: vec!["d2".into(), "-".into()],
+                },
+                JournalOp::Insert {
+                    row: b,
+                    tokens: vec!["d3".into(), "-".into()],
+                },
+                JournalOp::Modify {
+                    row: a,
+                    attr: AttrId(1),
+                    token: "m2".into(),
+                },
+            ])
+            .unwrap();
+        // batch 2: a delete, mixed with a plain single-op record after
+        db.delete(b).unwrap();
+        journal
+            .append_batch(&[JournalOp::Delete { row: b }])
+            .unwrap();
+        let moved = db.compact();
+        journal
+            .append(&JournalOp::Compact {
+                moved: moved.clone(),
+            })
+            .unwrap();
+        journal.sync().unwrap();
+        let recovered = Journal::recover(journal.into_storage()).unwrap();
+        assert_eq!(recovered.ops.len(), 5, "batches expand to their ops");
+        assert!(recovered.torn.is_none());
+        db_states_match(&recovered.db, &db);
+    }
+
+    #[test]
+    fn empty_batch_appends_nothing() {
+        let db = small_db();
+        let mut journal = Journal::create(MemStorage::new(), &db).unwrap();
+        let len = journal.storage().len();
+        journal.append_batch(&[]).unwrap();
+        assert_eq!(journal.storage().len(), len);
+    }
+
+    #[test]
+    fn torn_batch_record_is_dropped_whole() {
+        let mut db = small_db();
+        db.insert(&["d1", "m1"]).unwrap();
+        let journal = Journal::create(MemStorage::new(), &db).unwrap();
+        let clean_len = journal.storage().len();
+        let mut oracle = db.clone();
+        let a = db.insert(&["d2", "-"]).unwrap().row;
+        let b = db.insert(&["d3", "-"]).unwrap().row;
+        let batch = frame(&batch_payload(&[
+            JournalOp::Insert {
+                row: a,
+                tokens: vec!["d2".into(), "-".into()],
+            },
+            JournalOp::Insert {
+                row: b,
+                tokens: vec!["d3".into(), "-".into()],
+            },
+        ]));
+        let mut storage = journal.into_storage();
+        // every proper prefix of the batch record tears the WHOLE
+        // batch: recovery never replays just its first op
+        for cut in 0..batch.len() {
+            let mut torn_storage = storage.clone();
+            torn_storage.append(&batch[..cut]).unwrap();
+            torn_storage.sync().unwrap();
+            let recovered = Journal::recover(torn_storage).unwrap();
+            assert_eq!(
+                recovered.ops.len(),
+                0,
+                "cut at {cut}: a torn batch must contribute no ops"
+            );
+            if cut > 0 {
+                assert_eq!(
+                    recovered.torn,
+                    Some(TornTail {
+                        offset: clean_len,
+                        dropped: cut as u64
+                    })
+                );
+            }
+            db_states_match(&recovered.db, &oracle);
+        }
+        // and the complete record replays both ops
+        storage.append(&batch).unwrap();
+        storage.sync().unwrap();
+        let recovered = Journal::recover(storage).unwrap();
+        assert_eq!(recovered.ops.len(), 2);
+        oracle.insert(&["d2", "-"]).unwrap();
+        oracle.insert(&["d3", "-"]).unwrap();
+        db_states_match(&recovered.db, &oracle);
+    }
+
+    #[test]
+    fn batch_with_lying_count_is_a_typed_decode_error() {
+        let mut db = small_db();
+        let journal = Journal::create(MemStorage::new(), &db).unwrap();
+        let offset = journal.storage().len();
+        let a = db.insert(&["d1", "m1"]).unwrap().row;
+        let mut payload = batch_payload(&[JournalOp::Insert {
+            row: a,
+            tokens: vec!["d1".into(), "m1".into()],
+        }]);
+        // claim two ops while carrying one
+        payload[1..5].copy_from_slice(&2u32.to_le_bytes());
+        let mut storage = journal.into_storage();
+        storage.append(&frame(&payload)).unwrap();
+        storage.sync().unwrap();
+        match Journal::recover(storage) {
+            Err(RecoverError::Decode { offset: at, .. }) => assert_eq!(at, offset),
+            other => panic!("expected Decode error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -450,6 +450,163 @@ fn recovery_is_thread_invariant() {
     assert_eq!(a.ops, b.ops);
 }
 
+/// Runs the stream under [`SyncPolicy::GroupCommit`], committing every
+/// `batch` accepted ops (the serving layer's publish cadence) and once
+/// more at stream end, against a fault plan. Returns the storage, the
+/// non-empty successful commits as `(append index, cumulative accepted
+/// ops)`, and the total accepted count. A failed commit poisons the
+/// pair and ends the run — exactly the crashed-server shape.
+fn run_group_commit(
+    w: &Workload,
+    policy: Policy,
+    stream: &[UpdateOp],
+    batch: usize,
+    plan: Vec<Fault>,
+) -> (FaultyStorage<MemStorage>, Vec<(usize, usize)>, usize) {
+    let faulty = FaultyStorage::new(MemStorage::new(), plan);
+    let mut jdb = JournaledDatabase::create(
+        base_db(w, policy),
+        faulty,
+        // auto-commit off: the cadence below is the only commit source
+        SyncPolicy::GroupCommit {
+            max_batch: usize::MAX,
+        },
+    )
+    .expect("create is append 0 / sync 0; plans never target it here");
+    let mut live: Vec<_> = jdb.db().instance().row_ids().collect();
+    let mut commits = Vec::new();
+    let mut accepted = 0usize;
+    let mut since_commit = 0usize;
+    let mut appends = 1usize; // append 0 is header + genesis
+    let mut failed = false;
+    for op in stream {
+        if journaled_apply(&mut jdb, &mut live, op).expect("ops touch no storage before commit") {
+            accepted += 1;
+            since_commit += 1;
+        }
+        if since_commit >= batch {
+            since_commit = 0;
+            match jdb.commit() {
+                Ok(n) => {
+                    if n > 0 {
+                        commits.push((appends, accepted));
+                        appends += 1;
+                    }
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+    }
+    if !failed {
+        if let Ok(n) = jdb.commit() {
+            if n > 0 {
+                commits.push((appends, accepted));
+            }
+        }
+    }
+    let (_, journal) = jdb.into_parts();
+    (journal.into_storage(), commits, accepted)
+}
+
+/// Crashes a group-commit run's storage and checks recovery lands on
+/// exactly `expected` ops — the last fully-synced batch boundary —
+/// equal to the accepted-op replay oracle, bit-identically.
+fn group_verify(
+    w: &Workload,
+    policy: Policy,
+    dry_ops: &[JournalOp],
+    storage: FaultyStorage<MemStorage>,
+    expected: usize,
+    make_tail_durable: bool,
+) {
+    let mut inner = storage.into_inner();
+    if make_tail_durable {
+        inner.sync().unwrap();
+    }
+    let recovered = Journal::recover(inner.crash()).expect("group-commit crashes recover cleanly");
+    assert_eq!(
+        recovered.ops.len(),
+        expected,
+        "recovery must land on the last fully-synced batch boundary — never a partial batch"
+    );
+    assert_eq!(&recovered.ops[..], &dry_ops[..expected]);
+    let mut oracle = base_db(w, policy);
+    for op in &dry_ops[..expected] {
+        oracle_apply(&mut oracle, op);
+    }
+    assert_same_db(&recovered.db, &oracle);
+}
+
+/// The serving crash matrix: for every batch record of a group-commit
+/// run, fail its write, fail its sync, and tear it mid-write with the
+/// torn prefix flushed to disk. Recovery must always restore exactly
+/// the previous batch boundary — a torn batch record is dropped whole,
+/// so a partial batch is unobservable even when most of it hit disk.
+#[test]
+fn group_commit_crash_matrix_lands_on_batch_boundaries() {
+    let w = satisfiable_workload(0x6B0B, &spec(8), 2);
+    let policy = weak_policy();
+    let stream = update_stream(0x6B0C, &spec(8), w.instance.len(), 18, mix());
+    for batch in [1usize, 3, 5] {
+        let (dry_storage, dry_commits, dry_accepted) =
+            run_group_commit(&w, policy, &stream, batch, vec![]);
+        assert!(
+            dry_commits.len() > 1,
+            "batch {batch}: stream too rejective to exercise the matrix"
+        );
+        let dry_sizes = dry_storage.append_sizes().to_vec();
+        let dry = Journal::recover(dry_storage.into_inner().crash()).unwrap();
+        assert!(dry.torn.is_none());
+        assert_eq!(
+            dry.ops.len(),
+            dry_accepted,
+            "a clean run makes every accepted op durable"
+        );
+        assert_eq!(dry_commits.last().unwrap().1, dry_accepted);
+
+        for (i, &(append_idx, _)) in dry_commits.iter().enumerate() {
+            let expected = if i == 0 { 0 } else { dry_commits[i - 1].1 };
+            // the whole batch record never lands
+            let (storage, commits, _) = run_group_commit(
+                &w,
+                policy,
+                &stream,
+                batch,
+                vec![Fault::FailWrite { write: append_idx }],
+            );
+            assert_eq!(commits.last().map_or(0, |c| c.1), expected);
+            group_verify(&w, policy, &dry.ops, storage, expected, false);
+            // the batch record lands in the page cache but never syncs
+            let (storage, _, _) = run_group_commit(
+                &w,
+                policy,
+                &stream,
+                batch,
+                vec![Fault::FailSync { sync: append_idx }],
+            );
+            group_verify(&w, policy, &dry.ops, storage, expected, false);
+            // the batch record tears mid-write, torn prefix flushed
+            let size = dry_sizes[append_idx];
+            for keep in [1, size / 2, size - 1] {
+                let (storage, _, _) = run_group_commit(
+                    &w,
+                    policy,
+                    &stream,
+                    batch,
+                    vec![Fault::ShortWrite {
+                        write: append_idx,
+                        keep,
+                    }],
+                );
+                group_verify(&w, policy, &dry.ops, storage, expected, true);
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -516,6 +673,49 @@ proptest! {
             let offsets = record_offsets(&dry.clean_bytes);
             let expected = *offsets.iter().rev().find(|&&o| o <= byte as u64).unwrap();
             prop_assert_eq!(err, RecoverError::Corrupt { offset: expected });
+        }
+    }
+
+    /// Randomized group-commit crashes: any fault on any batch record
+    /// under any commit cadence recovers to exactly the previous batch
+    /// boundary — the randomized half of the serving crash matrix.
+    #[test]
+    fn group_commit_random_crashes_land_on_boundaries(
+        seed in 0u64..1 << 32,
+        rows in 0usize..12,
+        ops in 1usize..24,
+        batch in 1usize..6,
+        mode in 0u8..3,
+        raw_k in 0usize..32,
+        raw_keep in 0usize..4096,
+    ) {
+        let policy = weak_policy();
+        let w = satisfiable_workload(seed, &spec(rows), 2);
+        let stream = update_stream(seed ^ 0x66CC, &spec(rows), w.instance.len(), ops, mix());
+        let (dry_storage, dry_commits, _) = run_group_commit(&w, policy, &stream, batch, vec![]);
+        prop_assume!(!dry_commits.is_empty());
+        let dry_sizes = dry_storage.append_sizes().to_vec();
+        let dry = Journal::recover(dry_storage.into_inner().crash()).unwrap();
+        let i = raw_k % dry_commits.len();
+        let (append_idx, _) = dry_commits[i];
+        let expected = if i == 0 { 0 } else { dry_commits[i - 1].1 };
+        match mode {
+            0 => {
+                let (storage, _, _) = run_group_commit(&w, policy, &stream, batch,
+                    vec![Fault::FailWrite { write: append_idx }]);
+                group_verify(&w, policy, &dry.ops, storage, expected, false);
+            }
+            1 => {
+                let (storage, _, _) = run_group_commit(&w, policy, &stream, batch,
+                    vec![Fault::FailSync { sync: append_idx }]);
+                group_verify(&w, policy, &dry.ops, storage, expected, false);
+            }
+            _ => {
+                let keep = raw_keep % dry_sizes[append_idx];
+                let (storage, _, _) = run_group_commit(&w, policy, &stream, batch,
+                    vec![Fault::ShortWrite { write: append_idx, keep }]);
+                group_verify(&w, policy, &dry.ops, storage, expected, true);
+            }
         }
     }
 }

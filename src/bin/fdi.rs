@@ -36,18 +36,31 @@
 //!   error naming the byte offset).
 //! * `fdi checkpoint <journal>` — recover, then atomically collapse the
 //!   journal into a fresh snapshot, bounding future replay time.
+//! * `fdi serve <journal> [desc-file] [--batch N] [--tcp ADDR]` — an
+//!   interactive epoch-split serving session (see `fdi-serve`): the
+//!   mutation verbs above **stage** against the writer's private
+//!   successor state, `commit` group-commits and publishes the next
+//!   epoch, and `table` / `select <attr> <value>` / `epoch` read the
+//!   *published* snapshot — staged ops are invisible until committed.
+//!   `quit` (or EOF) publishes pending work and ends the session;
+//!   with `--tcp`, clients connect in turn and `shutdown` stops the
+//!   server. `--batch N` sets the group-commit width (default 64).
 //!
 //! Exit codes: `0` success, `1` runtime failure (I/O, corrupt journal,
 //! unsatisfiable description), `2` usage or input-parse error.
 
 use fd_incomplete::core::interp::DEFAULT_BUDGET;
+use fd_incomplete::core::query::Query;
 use fd_incomplete::core::update::{Database, Policy};
 use fd_incomplete::core::{armstrong, chase, normalize, satisfy, subst, testfd};
 use fd_incomplete::prelude::*;
 use fd_incomplete::relation::rowid::RowId;
+use fd_incomplete::serve::{self, ServeOp, Staged};
 use fd_incomplete::store::{
     FileStorage, Journal, JournaledDatabase, JournaledError, Storage, SyncPolicy,
 };
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -499,11 +512,310 @@ fn run_checkpoint(journal_path: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Opens an epoch-split serving pair over the journal at `path`:
+/// recovers it if it holds bytes, otherwise creates it from the
+/// description file (required on first use).
+fn open_writer(
+    path: &str,
+    desc_path: Option<&str>,
+    max_batch: usize,
+) -> Result<(serve::Writer<FileStorage>, serve::Reader), CliError> {
+    let storage = FileStorage::open(path)
+        .map_err(|e| CliError::runtime(format!("cannot open journal {path}: {e}")))?;
+    let cfg = ServeConfig {
+        max_batch,
+        checkpoint_every: None,
+    };
+    let exec = fdi_exec::Executor::from_env();
+    if storage.is_empty() {
+        let desc_path = desc_path.ok_or_else(|| {
+            CliError::parse(format!(
+                "journal {path} is empty: a description file is required to create it"
+            ))
+        })?;
+        let text = std::fs::read_to_string(desc_path)
+            .map_err(|e| CliError::runtime(format!("cannot read {desc_path}: {e}")))?;
+        let desc = parse_description(&text).map_err(CliError::Parse)?;
+        let db = Database::new(desc.instance, desc.fds, Policy::default()).map_err(|e| {
+            CliError::runtime(format!("description is not a valid starting database: {e}"))
+        })?;
+        let pair = serve::Writer::create(db, storage, cfg, exec)
+            .map_err(|e| CliError::runtime(format!("cannot create journal {path}: {e}")))?;
+        println!("created journal {path} from {desc_path}");
+        Ok(pair)
+    } else {
+        let pair = serve::Writer::recover(storage, cfg, exec)
+            .map_err(|e| CliError::runtime(format!("cannot recover journal {path}: {e}")))?;
+        println!("recovered {path}: {} op(s) replayed", pair.0.ops_applied());
+        Ok(pair)
+    }
+}
+
+/// Stages one parsed mutation line against the writer's successor
+/// state, resolving 1-based display positions and attribute names
+/// against that state (staged inserts are addressable immediately).
+fn stage_op_line<S: Storage, W: IoWrite>(
+    writer: &mut serve::Writer<S>,
+    op: &OpLine,
+    out: &mut W,
+) -> Result<(), CliError> {
+    let resolve_row = |writer: &serve::Writer<S>, pos: usize| row_at(writer.db(), pos);
+    let resolve_attr =
+        |writer: &serve::Writer<S>, name: &str| writer.db().instance().schema().attr_id(name);
+    let serve_op = match op {
+        OpLine::Insert(tokens) => ServeOp::Insert(tokens.clone()),
+        OpLine::Delete(pos) => match resolve_row(writer, *pos) {
+            Some(row) => ServeOp::Delete(row),
+            None => {
+                writeln!(out, "rejected: no row {pos}").map_err(io_err)?;
+                return Ok(());
+            }
+        },
+        OpLine::Modify { pos, attr, token } | OpLine::Resolve { pos, attr, token } => {
+            let Some(row) = resolve_row(writer, *pos) else {
+                writeln!(out, "rejected: no row {pos}").map_err(io_err)?;
+                return Ok(());
+            };
+            let attr = match resolve_attr(writer, attr) {
+                Ok(a) => a,
+                Err(e) => {
+                    writeln!(out, "rejected: {e}").map_err(io_err)?;
+                    return Ok(());
+                }
+            };
+            if matches!(op, OpLine::Modify { .. }) {
+                ServeOp::Modify {
+                    row,
+                    attr,
+                    token: token.clone(),
+                }
+            } else {
+                ServeOp::ResolveNull {
+                    row,
+                    attr,
+                    token: token.clone(),
+                }
+            }
+        }
+        OpLine::Compact => ServeOp::Compact,
+    };
+    match writer
+        .stage(&serve_op)
+        .map_err(|e| CliError::runtime(format!("journal failure, aborting: {e}")))?
+    {
+        Staged::Applied(_) | Staged::Compacted(_) => {
+            writeln!(
+                out,
+                "staged ({} op(s) await commit)",
+                writer.ops_applied() - writer.published_log().last().map_or(0, |s| s.ops_applied)
+            )
+            .map_err(io_err)?;
+        }
+        Staged::Rejected(e) => writeln!(out, "rejected: {e}").map_err(io_err)?,
+    }
+    Ok(())
+}
+
+fn io_err(e: std::io::Error) -> CliError {
+    CliError::runtime(format!("i/o error: {e}"))
+}
+
+/// One interactive serving session over any line stream: mutations
+/// stage, `commit` publishes, reads (`table`, `select`, `epoch`) see
+/// only the published snapshot. Returns `true` if the client asked the
+/// whole server to shut down (`shutdown`); `quit` or EOF ends just this
+/// session, publishing any pending staged work first (durable before
+/// the prompt closes).
+fn serve_session<S: Storage, R: BufRead, W: IoWrite>(
+    writer: &mut serve::Writer<S>,
+    reader: &serve::Reader,
+    input: R,
+    out: &mut W,
+) -> Result<bool, CliError> {
+    let hello = reader.snapshot();
+    writeln!(
+        out,
+        "serving epoch {} ({} row(s)); verbs: insert delete modify resolve compact \
+         commit table select epoch quit shutdown",
+        hello.seq(),
+        hello.db().instance().len()
+    )
+    .map_err(io_err)?;
+    let mut shutdown = false;
+    for line in input.lines() {
+        let line = line.map_err(io_err)?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next().unwrap_or_default() {
+            "quit" => break,
+            "shutdown" => {
+                shutdown = true;
+                break;
+            }
+            "commit" => {
+                let epoch = writer
+                    .publish()
+                    .map_err(|e| CliError::runtime(format!("publish failed: {e}")))?;
+                writeln!(
+                    out,
+                    "published epoch {} ({} op(s) applied, durable)",
+                    epoch.seq(),
+                    epoch.ops_applied()
+                )
+                .map_err(io_err)?;
+            }
+            "epoch" => {
+                let epoch = reader.snapshot();
+                writeln!(
+                    out,
+                    "epoch {} ({} op(s) applied, fingerprint {:016x})",
+                    epoch.seq(),
+                    epoch.ops_applied(),
+                    epoch.fingerprint()
+                )
+                .map_err(io_err)?;
+            }
+            "table" => {
+                let epoch = reader.snapshot();
+                writeln!(out, "{}", epoch.db().instance().render(true)).map_err(io_err)?;
+            }
+            "select" => {
+                let (Some(attr), Some(value), None) = (words.next(), words.next(), words.next())
+                else {
+                    writeln!(out, "error: usage is `select <attr> <value>`").map_err(io_err)?;
+                    continue;
+                };
+                let epoch = reader.snapshot();
+                match Query::eq_text(epoch.db().instance(), attr, value) {
+                    Err(e) => writeln!(out, "error: {e}").map_err(io_err)?,
+                    Ok(query) => {
+                        let selection = epoch
+                            .select(&query, &fdi_exec::Executor::from_env())
+                            .map_err(|e| CliError::runtime(e.to_string()))?;
+                        let position = |row: RowId| {
+                            epoch
+                                .db()
+                                .instance()
+                                .row_ids()
+                                .position(|id| id == row)
+                                .map_or_else(|| "?".to_string(), |p| (p + 1).to_string())
+                        };
+                        let render = |rows: &[RowId]| {
+                            rows.iter()
+                                .map(|&r| position(r))
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        };
+                        writeln!(
+                            out,
+                            "sure: [{}]  maybe: [{}]  (epoch {})",
+                            render(&selection.sure),
+                            render(&selection.maybe),
+                            epoch.seq()
+                        )
+                        .map_err(io_err)?;
+                    }
+                }
+            }
+            _ => match parse_ops(line) {
+                Err(e) => writeln!(out, "error: {e}").map_err(io_err)?,
+                Ok(ops) => {
+                    for op in &ops {
+                        stage_op_line(writer, op, out)?;
+                    }
+                }
+            },
+        }
+    }
+    // durable before the prompt closes: publish whatever is staged
+    let epoch = writer
+        .publish()
+        .map_err(|e| CliError::runtime(format!("final publish failed: {e}")))?;
+    writeln!(
+        out,
+        "session closed at epoch {} ({} op(s) durable)",
+        epoch.seq(),
+        epoch.ops_applied()
+    )
+    .map_err(io_err)?;
+    Ok(shutdown)
+}
+
+/// Serves TCP clients one at a time over the shared writer (readers of
+/// the published epoch are cheap; the single writer is the serializing
+/// resource). A client's `shutdown` stops the listener.
+fn serve_tcp<S: Storage>(
+    listener: TcpListener,
+    writer: &mut serve::Writer<S>,
+    reader: &serve::Reader,
+) -> Result<(), CliError> {
+    for conn in listener.incoming() {
+        let stream = conn.map_err(io_err)?;
+        let input = BufReader::new(stream.try_clone().map_err(io_err)?);
+        let mut out = stream;
+        if serve_session(writer, reader, input, &mut out)? {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn run_serve(args: &[String]) -> Result<(), CliError> {
+    let mut positional: Vec<&str> = Vec::new();
+    let mut max_batch = 64usize;
+    let mut tcp: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--batch" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::parse("--batch needs a count"))?;
+                max_batch = value
+                    .parse()
+                    .map_err(|_| CliError::parse(format!("bad --batch count {value:?}")))?;
+            }
+            "--tcp" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::parse("--tcp needs an address"))?;
+                tcp = Some(value.clone());
+            }
+            other => positional.push(other),
+        }
+    }
+    let (journal_path, desc_path) = match positional.as_slice() {
+        [journal] => (*journal, None),
+        [journal, desc] => (*journal, Some(*desc)),
+        _ => return Err(CliError::parse(USAGE)),
+    };
+    let (mut writer, reader) = open_writer(journal_path, desc_path, max_batch)?;
+    match tcp {
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            serve_session(&mut writer, &reader, stdin.lock(), &mut stdout)?;
+            Ok(())
+        }
+        Some(addr) => {
+            let listener = TcpListener::bind(&addr)
+                .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?;
+            let local = listener.local_addr().map_err(io_err)?;
+            println!("listening on {local}");
+            serve_tcp(listener, &mut writer, &reader)
+        }
+    }
+}
+
 const USAGE: &str = "usage:\n  \
     fdi <report|strong|weak|chase|chase-extended|keys|normalize|exhaustion> <file>\n  \
     fdi journal-apply <journal> <ops-file> [desc-file]\n  \
     fdi recover <journal>\n  \
-    fdi checkpoint <journal>";
+    fdi checkpoint <journal>\n  \
+    fdi serve <journal> [desc-file] [--batch N] [--tcp ADDR]";
 
 fn dispatch(args: &[String]) -> Result<(), CliError> {
     let command = args.first().map(String::as_str).unwrap_or_default();
@@ -512,7 +824,8 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         ("journal-apply", 4) => run_journal_apply(&args[1], &args[2], Some(&args[3])),
         ("recover", 2) => run_recover(&args[1]),
         ("checkpoint", 2) => run_checkpoint(&args[1]),
-        ("journal-apply" | "recover" | "checkpoint", _) => Err(CliError::parse(USAGE)),
+        ("serve", n) if n >= 2 => run_serve(&args[1..]),
+        ("journal-apply" | "recover" | "checkpoint" | "serve", _) => Err(CliError::parse(USAGE)),
         (_, 2) => {
             let text = std::fs::read_to_string(&args[1])
                 .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", args[1])))?;
@@ -700,5 +1013,127 @@ cyd eng   -
 
         run_recover(&jpath).expect("recover verb");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sample_serving_pair() -> (
+        serve::Writer<fd_incomplete::store::MemStorage>,
+        serve::Reader,
+    ) {
+        let d = parse_description(SAMPLE).expect("parse");
+        let db = Database::new(d.instance, d.fds, Policy::default()).expect("valid base");
+        serve::Writer::create(
+            db,
+            fd_incomplete::store::MemStorage::new(),
+            ServeConfig {
+                max_batch: 4,
+                checkpoint_every: None,
+            },
+            fdi_exec::Executor::with_threads(1),
+        )
+        .expect("create serving pair")
+    }
+
+    /// A scripted in-memory serving session: staged ops are invisible
+    /// to `table` until `commit`, rejections are reported inline, and
+    /// the final publish makes pending work durable.
+    #[test]
+    fn serve_session_stages_commits_and_reads_snapshots() {
+        let (mut writer, reader) = sample_serving_pair();
+        let script = "insert cyd eng noa\n\
+                      table\n\
+                      commit\n\
+                      table\n\
+                      select dept eng\n\
+                      epoch\n\
+                      delete 99\n\
+                      insert ada eng mia\n\
+                      bogus-verb\n\
+                      quit\n";
+        let mut out = Vec::new();
+        let shutdown = serve_session(&mut writer, &reader, std::io::Cursor::new(script), &mut out)
+            .expect("session runs");
+        assert!(!shutdown, "quit must not request server shutdown");
+        let text = String::from_utf8(out).unwrap();
+
+        assert!(text.contains("staged (1 op(s) await commit)"), "{text}");
+        assert!(
+            text.contains("published epoch 1 (1 op(s) applied, durable)"),
+            "{text}"
+        );
+        // the first `table` (pre-commit) must not show the staged row,
+        // the second (post-commit) must
+        let first_table = text.find("emp").expect("rendered table header");
+        let pre = &text[first_table..text.find("published").unwrap()];
+        assert_eq!(
+            pre.matches("cyd").count(),
+            1,
+            "staged insert leaked to a reader: {text}"
+        );
+        let post = &text[text.find("published").unwrap()..];
+        assert_eq!(
+            post.matches("cyd").count(),
+            2,
+            "committed insert must be visible: {text}"
+        );
+        assert!(
+            text.contains("sure: [3 4]"),
+            "both eng rows answer `dept = eng`: {text}"
+        );
+        assert!(
+            text.contains("epoch 1 (1 op(s) applied, fingerprint"),
+            "{text}"
+        );
+        assert!(text.contains("rejected: no row 99"), "{text}");
+        // `ada eng mia` violates emp -> dept against the committed base
+        assert!(text.contains("rejected:"), "{text}");
+        assert!(
+            text.contains("error:"),
+            "bogus verb must be reported: {text}"
+        );
+        assert!(text.contains("session closed at epoch 2"), "{text}");
+
+        // the rejected insert staged nothing; the violating insert was
+        // reported — final durable state has exactly the 4 rows
+        assert_eq!(writer.db().instance().len(), 4);
+        assert_eq!(reader.snapshot().seq(), 2);
+    }
+
+    /// The TCP front end over a real socket: two clients in turn, the
+    /// second sees the first's committed work; `shutdown` stops the
+    /// listener and the final state is durable in the journal.
+    #[test]
+    fn serve_tcp_round_trips_over_a_socket() {
+        use std::io::{Read as _, Write as _};
+
+        let (mut writer, reader) = sample_serving_pair();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            serve_tcp(listener, &mut writer, &reader).expect("server runs");
+            writer
+        });
+
+        let talk = |script: &str| -> String {
+            let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+            conn.write_all(script.as_bytes()).unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reply = String::new();
+            conn.read_to_string(&mut reply).unwrap();
+            reply
+        };
+
+        let first = talk("insert cyd eng noa\ncommit\nquit\n");
+        assert!(first.contains("published epoch 1"), "{first}");
+        let second = talk("table\nshutdown\n");
+        assert_eq!(
+            second.matches("cyd").count(),
+            2,
+            "second client must see committed work: {second}"
+        );
+
+        let writer = server.join().expect("server thread");
+        assert_eq!(writer.db().instance().len(), 4);
+        // every session published on close: 1 commit + 2 session closes
+        assert_eq!(writer.seq(), 3);
     }
 }

@@ -21,7 +21,9 @@
 //! * [`gen`] (`fdi-gen`) — seeded workload generators for the
 //!   experiment harness;
 //! * [`store`] (`fdi-store`) — the durability layer: a write-ahead op
-//!   journal, crash recovery, and deterministic fault injection.
+//!   journal, crash recovery, and deterministic fault injection;
+//! * [`serve`] (`fdi-serve`) — the epoch-split serving layer: immutable
+//!   published snapshots under a single group-committing writer.
 //!
 //! ## Quick start
 //!
@@ -62,6 +64,24 @@
 //! the log into a fresh snapshot, bounding replay time. The exact
 //! guarantees — what `sync` promises and what it does not — are
 //! documented in the [`store`] crate root.
+//!
+//! ## Serving
+//!
+//! The [`serve`] layer splits the database into immutable **epochs**
+//! for readers and a private successor state for a single
+//! [`serve::Writer`]. Any number of threads hold [`serve::Reader`]
+//! handles and query the current [`serve::Epoch`] through the sharded
+//! `select_par`/`check_par` paths; the writer stages deltas invisibly,
+//! **group-commits** them to the op journal (one batch record, one
+//! sync — [`store::SyncPolicy::GroupCommit`]), and only then publishes
+//! the next epoch with an atomic swap. Readers never block the writer
+//! and can never observe a torn or FD-violating state: every snapshot
+//! equals a sequential replay of some accepted-op prefix ending at a
+//! batch boundary, deterministically at every thread count — and crash
+//! recovery restores exactly the last fully-synced boundary. The full
+//! consistency contract (what a reader may and may not observe, the
+//! publication ↔ checkpoint mapping) is documented in the [`serve`]
+//! crate root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +90,7 @@ pub use fdi_core as core;
 pub use fdi_gen as gen;
 pub use fdi_logic as logic;
 pub use fdi_relation as relation;
+pub use fdi_serve as serve;
 pub use fdi_store as store;
 
 /// The most common imports, for examples and downstream users.
@@ -84,5 +105,6 @@ pub mod prelude {
     pub use fdi_relation::instance::Instance;
     pub use fdi_relation::schema::Schema;
     pub use fdi_relation::{AttrId, AttrSet, NullId, Value};
+    pub use fdi_serve::{Epoch, Reader, ServeConfig, ServeOp, Writer};
     pub use fdi_store::{Journal, JournaledDatabase, SyncPolicy};
 }
