@@ -216,5 +216,6 @@ mod tests {
 }
 pub mod experiments;
 pub mod par_bench;
+pub mod query_bench;
 pub mod serve_bench;
 pub mod update_bench;

@@ -22,6 +22,26 @@
 //!   extension (property-tested);
 //! * [`eval_kleene`] — truth-functional three-valued logic: cheap but
 //!   *incomplete* (it answers `unknown` on "married or single").
+//!
+//! Two submodules build a performance layer on top of the evaluators,
+//! without changing any verdict:
+//!
+//! * [`plan`] — [`CompiledQuery`]: a query compiled
+//!   once into a flat op program with resolved domain handles,
+//!   per-attribute mentioned-constant sets, a canonical fingerprint, and
+//!   per-NEC-signature memoization. Bit-identical to [`eval_signature`]
+//!   and [`select`], errors included.
+//! * [`incremental`] —
+//!   [`IncrementalSelection`]: a
+//!   materialized [`Selection`] maintained under update deltas, so a
+//!   stream of updates re-evaluates only the touched rows instead of
+//!   re-scanning the instance.
+
+pub mod incremental;
+pub mod plan;
+
+pub use incremental::IncrementalSelection;
+pub use plan::{CompiledQuery, EvalScratch, SignatureMemo};
 
 use fdi_logic::truth::Truth;
 use fdi_relation::attrs::{AttrId, AttrSet};
@@ -108,30 +128,38 @@ impl Query {
         }
     }
 
-    /// The constants the query mentions on attribute `attr`.
-    fn mentioned(&self, attr: AttrId, out: &mut Vec<Symbol>) {
+    /// Pushes every constant the query mentions on attribute `attr`,
+    /// duplicates included — callers sort + dedup once at the end
+    /// instead of paying an O(m²) `contains` scan per push.
+    fn mentioned_raw(&self, attr: AttrId, out: &mut Vec<Symbol>) {
         match self {
             Query::Atom(Atom::Eq(a, s)) => {
-                if *a == attr && !out.contains(s) {
+                if *a == attr {
                     out.push(*s);
                 }
             }
             Query::Atom(Atom::In(a, ss)) => {
                 if *a == attr {
-                    for s in ss {
-                        if !out.contains(s) {
-                            out.push(*s);
-                        }
-                    }
+                    out.extend_from_slice(ss);
                 }
             }
             Query::Atom(Atom::EqAttr(..)) => {}
-            Query::Not(q) => q.mentioned(attr, out),
+            Query::Not(q) => q.mentioned_raw(attr, out),
             Query::And(p, q) | Query::Or(p, q) => {
-                p.mentioned(attr, out);
-                q.mentioned(attr, out);
+                p.mentioned_raw(attr, out);
+                q.mentioned_raw(attr, out);
             }
         }
+    }
+
+    /// The constants the query mentions on attribute `attr`, sorted and
+    /// deduplicated (so membership is a binary search).
+    pub(crate) fn mentioned_constants(&self, attr: AttrId) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.mentioned_raw(attr, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -234,19 +262,20 @@ pub fn eval_signature(
         }
         let mut mentioned = Vec::new();
         for attr in attrs {
-            query.mentioned(*attr, &mut mentioned);
+            query.mentioned_raw(*attr, &mut mentioned);
         }
+        mentioned.sort_unstable();
+        mentioned.dedup();
         let mut cand: Vec<Symbol> = domain
             .iter()
             .copied()
-            .filter(|s| mentioned.contains(s))
+            .filter(|s| mentioned.binary_search(s).is_ok())
             .collect();
-        let fresh: Vec<Symbol> = domain
+        let fresh = domain
             .iter()
             .copied()
-            .filter(|s| !mentioned.contains(s))
-            .take(k)
-            .collect();
+            .filter(|s| mentioned.binary_search(s).is_err())
+            .take(k);
         cand.extend(fresh);
         candidates.push(cand);
     }
@@ -255,15 +284,16 @@ pub fn eval_signature(
     if candidates.iter().any(Vec::is_empty) {
         return Ok(Truth::Unknown); // inconsistent class: no completion
     }
+    // One scratch tuple, written in place: after incrementing digit i
+    // only digits 0..=i changed, so only those classes are rewritten.
+    let mut completed = tuple.clone();
+    for ((_, attrs), cands) in classes.iter().zip(candidates.iter()) {
+        for attr in attrs {
+            completed.set(*attr, Value::Const(cands[0]));
+        }
+    }
     let mut acc: Option<Truth> = None;
     loop {
-        let mut completed = tuple.clone();
-        for ((_, attrs), (&pick, cands)) in classes.iter().zip(choice.iter().zip(candidates.iter()))
-        {
-            for attr in attrs {
-                completed.set(*attr, Value::Const(cands[pick]));
-            }
-        }
         let verdict = Truth::from(eval_classical(query, &completed));
         acc = Some(match acc {
             None => verdict,
@@ -279,10 +309,19 @@ pub fn eval_signature(
                 return Ok(acc.unwrap_or(Truth::Unknown));
             }
             choice[i] += 1;
-            if choice[i] < candidates[i].len() {
+            let pick = if choice[i] < candidates[i].len() {
+                Some(choice[i])
+            } else {
+                choice[i] = 0;
+                None
+            };
+            let value = Value::Const(candidates[i][pick.unwrap_or(0)]);
+            for attr in &classes[i].1 {
+                completed.set(*attr, value);
+            }
+            if pick.is_some() {
                 break;
             }
-            choice[i] = 0;
             i += 1;
         }
     }

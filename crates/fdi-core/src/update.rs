@@ -186,6 +186,20 @@ pub struct UpdateOutcome {
     pub row: RowId,
     /// NS-rule events fired by internal acquisition.
     pub propagated: Vec<chase::NsEvent>,
+    /// Every row whose cells changed, ascending and deduplicated: the
+    /// inserted / modified row, every row rewritten by a class-wide
+    /// null resolution, and every row the chase substituted into. For
+    /// a delete, the (no longer live) deleted row. This is an **exact
+    /// cell-change record** — materialized views re-evaluate these rows
+    /// and no others (plus, when [`UpdateOutcome::nec_merges`] is
+    /// non-zero, the rows whose verdicts can shift without a cell
+    /// changing).
+    pub changed_rows: Vec<RowId>,
+    /// Number of NEC class-merge operations performed while applying
+    /// (the chase can equate nulls). Merges change
+    /// class roots, so signature caches keyed on roots must be
+    /// invalidated when this is non-zero.
+    pub nec_merges: usize,
 }
 
 /// Below this row count [`LhsIndex::build_par`] builds sequentially
@@ -637,15 +651,16 @@ impl Database {
     /// row: NEC merges leave cell values untouched, and the index files
     /// every null-bearing determinant wild regardless of class — so a
     /// cell-level diff is a complete change record.
-    fn propagate_all(&mut self) -> Vec<chase::NsEvent> {
+    fn propagate_all(&mut self) -> (Vec<chase::NsEvent>, Vec<RowId>) {
         let chase::NsChaseResult {
             instance: chased,
             events,
             ..
         } = chase::chase_plain(&self.instance, &self.fds);
+        let mut changed: Vec<RowId> = Vec::new();
         if !events.is_empty() {
             let all = self.instance.schema().all_attrs();
-            let changed: Vec<RowId> = self
+            changed = self
                 .instance
                 .row_ids()
                 .filter(|&row| {
@@ -655,11 +670,20 @@ impl Database {
                 })
                 .collect();
             self.instance = chased;
-            for row in changed {
+            for &row in &changed {
                 self.index.rekey_row(&self.instance, row);
             }
         }
-        events
+        (events, changed)
+    }
+
+    /// Merges delta row lists into the ascending, deduplicated
+    /// [`UpdateOutcome::changed_rows`] record.
+    fn merge_changed(mut base: Vec<RowId>, more: Vec<RowId>) -> Vec<RowId> {
+        base.extend(more);
+        base.sort_unstable();
+        base.dedup();
+        base
     }
 
     /// Incremental strong check of the tuple at `row` (the candidate
@@ -723,12 +747,18 @@ impl Database {
             return Err(err);
         }
         self.index.insert_row(&self.instance, row);
-        let propagated = if self.policy.propagate {
+        let merges_before = self.instance.necs().merge_count();
+        let (propagated, chase_changed) = if self.policy.propagate {
             self.propagate_all()
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
-        Ok(UpdateOutcome { row, propagated })
+        Ok(UpdateOutcome {
+            row,
+            propagated,
+            changed_rows: Self::merge_changed(vec![row], chase_changed),
+            nec_merges: self.instance.necs().merge_count() - merges_before,
+        })
     }
 
     /// Inserts a batch of rows given as text tokens, returning one
@@ -766,6 +796,8 @@ impl Database {
                     results.push(Ok(UpdateOutcome {
                         row,
                         propagated: Vec::new(),
+                        changed_rows: vec![row],
+                        nec_merges: 0,
                     }));
                 }
                 Err(e) => results.push(Err(e.into())),
@@ -789,6 +821,8 @@ impl Database {
         Ok(UpdateOutcome {
             row,
             propagated: Vec::new(),
+            changed_rows: vec![row],
+            nec_merges: 0,
         })
     }
 
@@ -823,12 +857,18 @@ impl Database {
             return Err(e);
         }
         self.index.rekey_row(&self.instance, row);
-        let propagated = if self.policy.propagate {
+        let merges_before = self.instance.necs().merge_count();
+        let (propagated, chase_changed) = if self.policy.propagate {
             self.propagate_all()
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
-        Ok(UpdateOutcome { row, propagated })
+        Ok(UpdateOutcome {
+            row,
+            propagated,
+            changed_rows: Self::merge_changed(vec![row], chase_changed),
+            nec_merges: self.instance.necs().merge_count() - merges_before,
+        })
     }
 
     /// External acquisition: the user asserts the actual value of a
@@ -882,15 +922,21 @@ impl Database {
         }
         let mut touched: Vec<RowId> = changed.iter().map(|&(r, _, _)| r).collect();
         touched.dedup(); // changes were recorded in ascending row order
-        for r in touched {
+        for &r in &touched {
             self.index.rekey_row(&self.instance, r);
         }
-        let propagated = if self.policy.propagate {
+        let merges_before = self.instance.necs().merge_count();
+        let (propagated, chase_changed) = if self.policy.propagate {
             self.propagate_all()
         } else {
-            Vec::new()
+            (Vec::new(), Vec::new())
         };
-        Ok(UpdateOutcome { row, propagated })
+        Ok(UpdateOutcome {
+            row,
+            propagated,
+            changed_rows: Self::merge_changed(touched, chase_changed),
+            nec_merges: self.instance.necs().merge_count() - merges_before,
+        })
     }
 }
 

@@ -1,0 +1,408 @@
+//! FD attribute-set closure as a planning substrate.
+//!
+//! The implication machinery of [`crate::implication`] answers "does
+//! `F ⊨ X → Y`?" through System-C proof search; query planners and
+//! lattice searches need the same answers *millions of times per
+//! second* over one fixed dependency set. This module is that fast
+//! path: attribute sets are u64 bitsets ([`ColumnSet`]) and a
+//! [`ClosureEngine`] precomputes, per FD set, the full closure of every
+//! determinant, so an [`expand`](ClosureEngine::expand) call is a short
+//! branch-light fixpoint over a handful of word operations — no
+//! allocation, no hashing, no proof objects.
+//!
+//! The operations mirror what relational planners consume (the MLIR
+//! RelAlg `FunctionalDependencies` interface has the same three):
+//!
+//! * [`expand`](ClosureEngine::expand) — the attribute-set closure
+//!   `X⁺` under `F` (Armstrong's `closure`, as a bitset fixpoint);
+//! * [`reduce`](ClosureEngine::reduce) — drop every member of a key
+//!   whose removal leaves the closure intact, yielding a minimal key;
+//! * [`is_superkey`](ClosureEngine::is_superkey) /
+//!   [`implies`](ClosureEngine::implies) — key-coveredness and single
+//!   FD implication tests, each one `expand` plus a subset check.
+//!
+//! The engine is deliberately dependency-free (this crate has no
+//! dependencies at all) and structurally independent of
+//! `fdi-relation`'s `AttrSet`: callers map their attribute ids onto
+//! column indices `0..64`. `fdi-core`'s query planner does exactly
+//! that to detect key-covered selections, and the standalone
+//! throughput micro-benchmark lives in `fdi-bench` (`bench_query`,
+//! recorded in `BENCH_query.json`).
+
+use std::fmt;
+
+/// Maximum number of columns a [`ColumnSet`] can hold.
+pub const COLUMN_LIMIT: usize = 64;
+
+/// A set of columns (attribute positions `0..64`) as a u64 bitset.
+///
+/// The planning twin of [`crate::var::VarSet`]: same representation,
+/// different domain — columns of a relation scheme rather than
+/// propositional variables. All operations are branch-free word ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ColumnSet(pub u64);
+
+impl ColumnSet {
+    /// The empty set.
+    pub const EMPTY: ColumnSet = ColumnSet(0);
+
+    /// The set `{col}`.
+    #[inline]
+    pub fn singleton(col: usize) -> ColumnSet {
+        debug_assert!(col < COLUMN_LIMIT, "column index out of range");
+        ColumnSet(1u64 << col)
+    }
+
+    /// The set of columns `0..n`.
+    #[inline]
+    pub fn first_n(n: usize) -> ColumnSet {
+        assert!(n <= COLUMN_LIMIT, "at most {COLUMN_LIMIT} columns");
+        if n == COLUMN_LIMIT {
+            ColumnSet(u64::MAX)
+        } else {
+            ColumnSet((1u64 << n) - 1)
+        }
+    }
+
+    /// `self ∪ {col}`.
+    #[inline]
+    pub fn with(self, col: usize) -> ColumnSet {
+        debug_assert!(col < COLUMN_LIMIT);
+        ColumnSet(self.0 | (1u64 << col))
+    }
+
+    /// `self \ {col}`.
+    #[inline]
+    pub fn without(self, col: usize) -> ColumnSet {
+        debug_assert!(col < COLUMN_LIMIT);
+        ColumnSet(self.0 & !(1u64 << col))
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, col: usize) -> bool {
+        debug_assert!(col < COLUMN_LIMIT);
+        self.0 & (1u64 << col) != 0
+    }
+
+    /// `self ∪ other`.
+    #[inline]
+    pub fn union(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 | other.0)
+    }
+
+    /// `self ∩ other`.
+    #[inline]
+    pub fn intersect(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 & other.0)
+    }
+
+    /// `self \ other`.
+    #[inline]
+    pub fn difference(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 & !other.0)
+    }
+
+    /// `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: ColumnSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Returns `true` iff the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of columns in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The member columns, ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let col = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(col)
+            }
+        })
+    }
+}
+
+impl fmt::Display for ColumnSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, col) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{col}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A precomputed closure engine over one fixed FD set.
+///
+/// Construction saturates the set: for every FD `X → Y` it stores the
+/// *full closure* `X⁺` (not just `Y`), so that at query time a firing
+/// FD contributes everything it will ever contribute in a single word
+/// OR — [`expand`](ClosureEngine::expand) converges in at most
+/// `|F|` passes of `|F|` subset tests, and in one pass on the common
+/// acyclic sets. This is the "per-FD-set closure cache" of the query
+/// planner: build once per (FD set), call `expand` in per-query and
+/// per-candidate inner loops.
+#[derive(Debug, Clone, Default)]
+pub struct ClosureEngine {
+    /// `(lhs, lhs⁺)` per FD, with `lhs⁺` fully saturated at build.
+    fds: Vec<(ColumnSet, ColumnSet)>,
+    /// Union of all columns mentioned by any FD.
+    mentioned: ColumnSet,
+}
+
+impl ClosureEngine {
+    /// Builds the engine from `(lhs, rhs)` pairs. Order is preserved
+    /// but irrelevant to every result (closure is order-insensitive).
+    pub fn new<I: IntoIterator<Item = (ColumnSet, ColumnSet)>>(fds: I) -> ClosureEngine {
+        let raw: Vec<(ColumnSet, ColumnSet)> = fds.into_iter().collect();
+        let mentioned = raw
+            .iter()
+            .fold(ColumnSet::EMPTY, |acc, &(l, r)| acc.union(l).union(r));
+        // Saturate: replace each rhs by the full closure of its lhs,
+        // computed by the naive fixpoint over the raw rules. Iterating
+        // until *these* stop changing is unnecessary — the naive
+        // fixpoint below already reaches the true closure.
+        let naive_expand = |set: ColumnSet| -> ColumnSet {
+            let mut acc = set;
+            loop {
+                let before = acc;
+                for &(lhs, rhs) in &raw {
+                    if lhs.is_subset_of(acc) {
+                        acc = acc.union(rhs);
+                    }
+                }
+                if acc == before {
+                    return acc;
+                }
+            }
+        };
+        let fds = raw
+            .iter()
+            .map(|&(lhs, _)| (lhs, naive_expand(lhs)))
+            .collect();
+        ClosureEngine { fds, mentioned }
+    }
+
+    /// Number of FDs in the set.
+    pub fn fd_count(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Every column mentioned by some FD (either side).
+    pub fn mentioned(&self) -> ColumnSet {
+        self.mentioned
+    }
+
+    /// The closure `set⁺` under the FD set — every column functionally
+    /// determined by `set`. Allocation-free; each pass is `|F|` subset
+    /// tests and word ORs, and because the cached right-hand sides are
+    /// full closures, a pass that fires an FD jumps straight to
+    /// everything that FD's determinant will ever yield.
+    #[inline]
+    pub fn expand(&self, set: ColumnSet) -> ColumnSet {
+        let mut acc = set;
+        loop {
+            let before = acc;
+            for &(lhs, closure) in &self.fds {
+                // `closure ⊄ acc` guards the common already-absorbed
+                // case without a second subset pass.
+                if !closure.is_subset_of(acc) && lhs.is_subset_of(acc) {
+                    acc = acc.union(closure);
+                }
+            }
+            if acc == before {
+                return acc;
+            }
+        }
+    }
+
+    /// `F ⊨ lhs → rhs`, i.e. `rhs ⊆ lhs⁺`.
+    #[inline]
+    pub fn implies(&self, lhs: ColumnSet, rhs: ColumnSet) -> bool {
+        rhs.is_subset_of(self.expand(lhs))
+    }
+
+    /// Whether `candidate` is a superkey for `all` (`all ⊆ candidate⁺`).
+    #[inline]
+    pub fn is_superkey(&self, candidate: ColumnSet, all: ColumnSet) -> bool {
+        all.is_subset_of(self.expand(candidate))
+    }
+
+    /// Minimizes `keys`: drops every member whose removal leaves the
+    /// closure of the remainder covering `keys⁺`. The result is a
+    /// minimal set with the same closure — a minimal key when `keys`
+    /// was a superkey. Members are tried in ascending column order, so
+    /// the result is deterministic (higher columns survive when two
+    /// members are interchangeable).
+    pub fn reduce(&self, keys: ColumnSet) -> ColumnSet {
+        let target = self.expand(keys);
+        let mut current = keys;
+        for col in keys.iter() {
+            let trial = current.without(col);
+            if target.is_subset_of(self.expand(trial)) {
+                current = trial;
+            }
+        }
+        current
+    }
+
+    /// A minimal key for `all` contained in `candidate`, or `None`
+    /// when `candidate` is not a superkey for `all` in the first
+    /// place (passing `candidate = all` always succeeds, since
+    /// `all ⊆ all⁺`).
+    pub fn minimal_key(&self, candidate: ColumnSet, all: ColumnSet) -> Option<ColumnSet> {
+        if !self.is_superkey(candidate, all) {
+            return None;
+        }
+        Some(self.reduce(candidate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(cols: &[usize]) -> ColumnSet {
+        cols.iter().fold(ColumnSet::EMPTY, |s, &c| s.with(c))
+    }
+
+    /// The oracle: closure by the textbook fixpoint over raw rules.
+    fn oracle_expand(fds: &[(ColumnSet, ColumnSet)], set: ColumnSet) -> ColumnSet {
+        let mut acc = set;
+        loop {
+            let before = acc;
+            for &(lhs, rhs) in fds {
+                if lhs.is_subset_of(acc) {
+                    acc = acc.union(rhs);
+                }
+            }
+            if acc == before {
+                return acc;
+            }
+        }
+    }
+
+    #[test]
+    fn column_set_algebra() {
+        let s = cs(&[0, 2, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(2) && !s.contains(1));
+        assert_eq!(s.with(1).without(0), cs(&[1, 2, 5]));
+        assert_eq!(s.union(cs(&[1])), cs(&[0, 1, 2, 5]));
+        assert_eq!(s.intersect(cs(&[2, 5, 7])), cs(&[2, 5]));
+        assert_eq!(s.difference(cs(&[0])), cs(&[2, 5]));
+        assert!(cs(&[2]).is_subset_of(s));
+        assert!(!cs(&[3]).is_subset_of(s));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert_eq!(ColumnSet::first_n(3), cs(&[0, 1, 2]));
+        assert_eq!(ColumnSet::first_n(64).len(), 64);
+        assert_eq!(format!("{s}"), "{0,2,5}");
+        assert!(ColumnSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn expand_reaches_the_transitive_closure() {
+        // A → B, B → C, CD → E
+        let fds = vec![
+            (cs(&[0]), cs(&[1])),
+            (cs(&[1]), cs(&[2])),
+            (cs(&[2, 3]), cs(&[4])),
+        ];
+        let engine = ClosureEngine::new(fds.clone());
+        assert_eq!(engine.expand(cs(&[0])), cs(&[0, 1, 2]));
+        assert_eq!(engine.expand(cs(&[0, 3])), cs(&[0, 1, 2, 3, 4]));
+        assert_eq!(engine.expand(cs(&[4])), cs(&[4]));
+        assert!(engine.implies(cs(&[0]), cs(&[2])));
+        assert!(!engine.implies(cs(&[0]), cs(&[4])));
+        assert!(engine.is_superkey(cs(&[0, 3]), ColumnSet::first_n(5)));
+        assert!(!engine.is_superkey(cs(&[0]), ColumnSet::first_n(5)));
+        // spot-check against the oracle on all subsets of 5 columns
+        for bits in 0u64..32 {
+            let set = ColumnSet(bits);
+            assert_eq!(engine.expand(set), oracle_expand(&fds, set), "set {set}");
+        }
+    }
+
+    #[test]
+    fn expand_handles_cycles() {
+        // A → B, B → A: mutually determining.
+        let fds = vec![(cs(&[0]), cs(&[1])), (cs(&[1]), cs(&[0]))];
+        let engine = ClosureEngine::new(fds);
+        assert_eq!(engine.expand(cs(&[0])), cs(&[0, 1]));
+        assert_eq!(engine.expand(cs(&[1])), cs(&[0, 1]));
+        assert_eq!(engine.expand(ColumnSet::EMPTY), ColumnSet::EMPTY);
+    }
+
+    #[test]
+    fn reduce_yields_minimal_keys() {
+        // A → B, B → C: {A,B,C} reduces to {A}; {B,C} reduces to {B}.
+        let engine = ClosureEngine::new(vec![(cs(&[0]), cs(&[1])), (cs(&[1]), cs(&[2]))]);
+        assert_eq!(engine.reduce(cs(&[0, 1, 2])), cs(&[0]));
+        assert_eq!(engine.reduce(cs(&[1, 2])), cs(&[1]));
+        assert_eq!(engine.reduce(cs(&[2])), cs(&[2]));
+        assert_eq!(
+            engine.minimal_key(cs(&[0, 1, 2]), ColumnSet::first_n(3)),
+            Some(cs(&[0]))
+        );
+        assert_eq!(engine.minimal_key(cs(&[2]), ColumnSet::first_n(3)), None);
+        // reduction preserves the closure
+        let keys = cs(&[0, 1, 2]);
+        assert_eq!(engine.expand(engine.reduce(keys)), engine.expand(keys));
+    }
+
+    #[test]
+    fn randomized_agreement_with_the_oracle() {
+        // Deterministic pseudo-random FD sets over 10 columns; every
+        // subset's cached-engine closure equals the naive fixpoint.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let fds: Vec<(ColumnSet, ColumnSet)> = (0..6)
+                .map(|_| {
+                    let lhs = ColumnSet(next() & 0x3FF).union(cs(&[(next() % 10) as usize]));
+                    let rhs = ColumnSet(next() & 0x3FF).union(cs(&[(next() % 10) as usize]));
+                    (lhs, rhs)
+                })
+                .collect();
+            let engine = ClosureEngine::new(fds.clone());
+            for _ in 0..64 {
+                let set = ColumnSet(next() & 0x3FF);
+                assert_eq!(engine.expand(set), oracle_expand(&fds, set));
+                let reduced = engine.reduce(set);
+                assert!(reduced.is_subset_of(set));
+                assert_eq!(engine.expand(reduced), engine.expand(set));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_engine_is_identity() {
+        let engine = ClosureEngine::new(Vec::new());
+        assert_eq!(engine.fd_count(), 0);
+        assert_eq!(engine.expand(cs(&[3, 7])), cs(&[3, 7]));
+        assert_eq!(engine.reduce(cs(&[3, 7])), cs(&[3, 7]));
+        assert!(engine.mentioned().is_empty());
+    }
+}

@@ -26,7 +26,12 @@
 //! * [`axioms`] — a Hilbert-style axiomatization of C (classical core +
 //!   modal K/T/4/5 and necessitation, per the paper's description of
 //!   [Bertram 73]) with machine-checked proof objects, sound for
-//!   C-validity.
+//!   C-validity;
+//! * [`closure`] — the planning-speed twin of [`implication`]: u64
+//!   bitset [`closure::ColumnSet`]s and a precomputed per-FD-set
+//!   [`closure::ClosureEngine`] answering `expand`/`reduce`/superkey
+//!   queries at millions of calls per second, for query planners and
+//!   lattice searches that cannot afford proof search in inner loops.
 //!
 //! The crate is dependency-free and usable on its own; `fdi-core` builds
 //! the FD ↔ System-C bridge (Lemmas 3 and 4, Theorem 1) on top of it.
@@ -51,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod axioms;
+pub mod closure;
 pub mod derive;
 pub mod eval;
 pub mod formula;
@@ -59,6 +65,7 @@ pub mod parser;
 pub mod truth;
 pub mod var;
 
+pub use closure::{ClosureEngine, ColumnSet};
 pub use eval::{eval_c, is_c_tautology, is_tautology_2v, Compiled};
 pub use formula::Formula;
 pub use implication::{infers, weakly_infers, InferenceMode, Statement};

@@ -5,30 +5,71 @@
 //! readers load; a [`Reader`] is a cheap-to-clone handle that hands
 //! any thread the current epoch as an `Arc`.
 
-use fdi_core::query::{self, Query, Selection};
+use fdi_core::query::plan::CompiledQuery;
+use fdi_core::query::{Query, Selection};
 use fdi_core::testfd::{self, Convention, Violation};
 use fdi_core::update::Database;
 use fdi_exec::Executor;
 use fdi_relation::{NecSnapshot, RelationError};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// One immutable published state: the chased instance (with its index,
 /// inside the [`Database`]) plus the canonical NEC snapshot, stamped
 /// with its position in the epoch sequence. All query entry points take
-/// `&self` — an epoch never changes after construction, so any number
-/// of threads may share one through an `Arc`.
-#[derive(Debug, Clone)]
+/// `&self` — an epoch never changes after construction (the plan cache
+/// is interior-mutable but semantically transparent), so any number of
+/// threads may share one through an `Arc`.
+#[derive(Debug)]
 pub struct Epoch {
     seq: u64,
     ops_applied: u64,
     db: Database,
     nec: NecSnapshot,
     fingerprint: u64,
+    /// Compiled-plan cache, keyed by the query's canonical encoding
+    /// (the fingerprint's preimage, so the cache is collision-proof).
+    /// Populated lazily by [`Epoch::select`] / [`Epoch::compiled`];
+    /// the lock is held only for a map probe or insert, never across
+    /// an evaluation.
+    plans: Mutex<HashMap<Vec<u8>, Arc<CompiledQuery>>>,
+    /// Answer sets materialized by the writer's watched queries at
+    /// publication, keyed the same way.
+    materialized: Vec<(Vec<u8>, Selection)>,
+}
+
+impl Clone for Epoch {
+    fn clone(&self) -> Epoch {
+        Epoch {
+            seq: self.seq,
+            ops_applied: self.ops_applied,
+            db: self.db.clone(),
+            nec: self.nec.clone(),
+            fingerprint: self.fingerprint,
+            plans: Mutex::new(
+                self.plans
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+            materialized: self.materialized.clone(),
+        }
+    }
 }
 
 impl Epoch {
     /// Builds an epoch from a snapshot of the writer's database.
     pub(crate) fn new(seq: u64, ops_applied: u64, db: Database) -> Epoch {
+        Epoch::with_materialized(seq, ops_applied, db, Vec::new())
+    }
+
+    /// [`Epoch::new`] carrying the writer's materialized answer sets.
+    pub(crate) fn with_materialized(
+        seq: u64,
+        ops_applied: u64,
+        db: Database,
+        materialized: Vec<(Vec<u8>, Selection)>,
+    ) -> Epoch {
         let nec = db.instance().necs().canonical_snapshot();
         let mut state = Vec::new();
         db.instance().encode_state(&mut state);
@@ -39,6 +80,8 @@ impl Epoch {
             db,
             nec,
             fingerprint,
+            plans: Mutex::new(HashMap::new()),
+            materialized,
         }
     }
 
@@ -75,11 +118,57 @@ impl Epoch {
         self.fingerprint
     }
 
-    /// Sure/maybe/no answer sets for `query` against this epoch, via
-    /// the sharded [`query::select_par`] (bit-identical to the
-    /// sequential [`query::select`] at every thread count).
+    /// Sure/maybe/no answer sets for `query` against this epoch,
+    /// through the compiled path: if the writer materialized this
+    /// query's answer set at publication it is returned directly
+    /// (O(answer)); otherwise the query is compiled **once per epoch**
+    /// (fingerprint-keyed plan cache) and evaluated with the sharded
+    /// [`CompiledQuery::select_par`]. Bit-identical to the sequential
+    /// [`fdi_core::query::select`] at every thread count, errors
+    /// included — the proptest suite holds all three paths
+    /// (materialized / compiled / uncompiled) to the same answer.
     pub fn select(&self, query: &Query, exec: &Executor) -> Result<Selection, RelationError> {
-        query::select_par(query, self.db.instance(), exec)
+        let key = CompiledQuery::encode(query);
+        if let Some((_, sel)) = self.materialized.iter().find(|(k, _)| *k == key) {
+            return Ok(sel.clone());
+        }
+        let plan = self.plan_for(key, query);
+        plan.select_par(self.db.instance(), exec)
+    }
+
+    /// The compiled plan for `query` against this epoch, from the
+    /// per-epoch cache (compiling on first use, with the epoch's FD
+    /// set wired into the planner).
+    pub fn compiled(&self, query: &Query) -> Arc<CompiledQuery> {
+        self.plan_for(CompiledQuery::encode(query), query)
+    }
+
+    fn plan_for(&self, key: Vec<u8>, query: &Query) -> Arc<CompiledQuery> {
+        let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(plan) = plans.get(&key) {
+            return Arc::clone(plan);
+        }
+        let plan = Arc::new(CompiledQuery::compile_with_fds(
+            query,
+            self.db.instance(),
+            self.db.fds(),
+        ));
+        plans.insert(key, Arc::clone(&plan));
+        plan
+    }
+
+    /// Number of plans cached on this epoch so far.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// The answer sets the writer materialized at publication, as
+    /// `(canonical query encoding, selection)` pairs.
+    pub fn materialized(&self) -> &[(Vec<u8>, Selection)] {
+        &self.materialized
     }
 
     /// TEST-FDs over this epoch via the sharded [`testfd::check_par`]

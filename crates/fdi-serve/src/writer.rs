@@ -8,10 +8,12 @@
 //! (durable before visible) and then swaps the epoch pointer.
 
 use crate::epoch::{Epoch, EpochCell, Reader};
+use fdi_core::query::plan::CompiledQuery;
+use fdi_core::query::{IncrementalSelection, Query, Selection};
 use fdi_core::update::{Database, UpdateError, UpdateOutcome};
 use fdi_exec::Executor;
 use fdi_relation::rowid::RowId;
-use fdi_relation::AttrId;
+use fdi_relation::{AttrId, RelationError};
 use fdi_store::{
     CreateError, Journal, JournaledDatabase, JournaledError, RecoverError, Storage, SyncPolicy,
 };
@@ -152,6 +154,21 @@ impl From<RecoverError> for ServeError {
     }
 }
 
+/// One watched query: a compiled plan plus its incrementally-maintained
+/// answer set against the writer's successor state. Healthy watches are
+/// materialized into every published epoch; a watch whose maintenance
+/// errored (e.g. a null appeared on an unbounded-domain scope attribute)
+/// goes stale — it stops being materialized (readers fall back to the
+/// compiled path and see the same error) and self-heals by a full
+/// refresh at the next publish if the instance permits.
+#[derive(Debug)]
+struct Watched {
+    query: Query,
+    encoding: Vec<u8>,
+    inc: IncrementalSelection,
+    stale: bool,
+}
+
 /// The single writer: owns the successor state, the journal, and the
 /// publication cell. There is deliberately no way to clone one.
 #[derive(Debug)]
@@ -164,6 +181,7 @@ pub struct Writer<S: Storage> {
     ops_applied: u64,
     published: Vec<EpochStamp>,
     publishes_since_checkpoint: u64,
+    watched: Vec<Watched>,
 }
 
 impl<S: Storage> Writer<S> {
@@ -229,6 +247,7 @@ impl<S: Storage> Writer<S> {
             ops_applied,
             published: vec![stamp],
             publishes_since_checkpoint: 0,
+            watched: Vec::new(),
         };
         let reader = Reader::new(cell);
         (writer, reader)
@@ -269,10 +288,82 @@ impl<S: Storage> Writer<S> {
         &self.published
     }
 
+    /// Registers a query to watch: compiles it once against the
+    /// successor state and materializes its answer set, which from then
+    /// on is maintained **incrementally** under every staged op
+    /// (re-evaluating only the rows each op touched) and published into
+    /// every epoch — [`Epoch::select`] for a watched query is an O(1)
+    /// lookup plus a clone of the answer. Returns the watch index.
+    ///
+    /// Errors if the initial scan cannot be evaluated (e.g. a null on
+    /// an unbounded-domain attribute in the query's scope); nothing is
+    /// registered in that case.
+    pub fn watch(&mut self, query: &Query) -> Result<usize, RelationError> {
+        let db = self.jdb.db();
+        let plan = Arc::new(CompiledQuery::compile_with_fds(
+            query,
+            db.instance(),
+            db.fds(),
+        ));
+        let encoding = plan.encoding().to_vec();
+        let inc = IncrementalSelection::new(plan, db.instance())?;
+        self.watched.push(Watched {
+            query: query.clone(),
+            encoding,
+            inc,
+            stale: false,
+        });
+        Ok(self.watched.len() - 1)
+    }
+
+    /// Number of registered watches.
+    pub fn watched_len(&self) -> usize {
+        self.watched.len()
+    }
+
+    /// The query watch `i` answers.
+    pub fn watched_query(&self, i: usize) -> &Query {
+        &self.watched[i].query
+    }
+
+    /// The current (successor-state) answer set of watch `i`, or `None`
+    /// if the watch is stale.
+    pub fn watched_selection(&self, i: usize) -> Option<Selection> {
+        let w = &self.watched[i];
+        (!w.stale).then(|| w.inc.selection())
+    }
+
+    /// Row evaluations watch `i` has spent since registration — the
+    /// number a full re-scan per op would dwarf.
+    pub fn watched_evals(&self, i: usize) -> u64 {
+        self.watched[i].inc.evals()
+    }
+
+    /// Feeds one accepted outcome to every healthy watch.
+    fn maintain_watches(&mut self, outcome: &UpdateOutcome) {
+        let instance = self.jdb.db().instance();
+        for w in &mut self.watched {
+            if !w.stale {
+                w.stale = w.inc.apply_outcome(instance, outcome).is_err();
+            }
+        }
+    }
+
+    /// Remaps every healthy watch after a compaction.
+    fn remap_watches(&mut self, moved: &[(RowId, RowId)]) {
+        let instance = self.jdb.db().instance();
+        for w in &mut self.watched {
+            if !w.stale {
+                w.inc.note_compacted(instance, moved);
+            }
+        }
+    }
+
     /// Stages one op against the successor state: applied and journaled
     /// (group-commit pending) but **not visible** to readers until
     /// [`Writer::publish`]. Rejections are reported as
-    /// [`Staged::Rejected`] and change nothing.
+    /// [`Staged::Rejected`] and change nothing. Watched queries are
+    /// maintained in the same step.
     pub fn stage(&mut self, op: &ServeOp) -> Result<Staged, ServeError> {
         let result = match op {
             ServeOp::Insert(tokens) => {
@@ -292,6 +383,11 @@ impl<S: Storage> Writer<S> {
         match result {
             Ok(staged) => {
                 self.ops_applied += 1;
+                match &staged {
+                    Staged::Applied(outcome) => self.maintain_watches(outcome),
+                    Staged::Compacted(moved) => self.remap_watches(moved),
+                    Staged::Rejected(_) => {}
+                }
                 Ok(staged)
             }
             Err(JournaledError::Update(e)) => Ok(Staged::Rejected(e)),
@@ -309,10 +405,25 @@ impl<S: Storage> Writer<S> {
     pub fn publish(&mut self) -> Result<Arc<Epoch>, ServeError> {
         self.jdb.sync()?; // = commit() under GroupCommit
         self.seq += 1;
-        let epoch = Arc::new(Epoch::new(
+        // Heal stale watches if the instance permits, then materialize
+        // every healthy watch's answer set into the epoch.
+        let instance = self.jdb.db().instance();
+        for w in &mut self.watched {
+            if w.stale {
+                w.stale = w.inc.refresh(instance).is_err();
+            }
+        }
+        let materialized: Vec<(Vec<u8>, Selection)> = self
+            .watched
+            .iter()
+            .filter(|w| !w.stale)
+            .map(|w| (w.encoding.clone(), w.inc.selection()))
+            .collect();
+        let epoch = Arc::new(Epoch::with_materialized(
             self.seq,
             self.ops_applied,
             self.jdb.db().clone(),
+            materialized,
         ));
         self.published.push(EpochStamp {
             seq: self.seq,
@@ -361,9 +472,10 @@ impl<S: Storage> Writer<S> {
         let mut rejected = Vec::new();
         for (i, result) in results.into_iter().enumerate() {
             match result {
-                Ok(_) => {
+                Ok(outcome) => {
                     accepted += 1;
                     self.ops_applied += 1;
+                    self.maintain_watches(&outcome);
                 }
                 Err(e) => rejected.push((i, e)),
             }
@@ -497,6 +609,56 @@ mod tests {
         assert!(epoch
             .check(fdi_core::testfd::Convention::Weak, &exec)
             .is_ok());
+    }
+
+    #[test]
+    fn watched_queries_stay_in_sync_and_materialize() {
+        let (mut writer, reader) = Writer::create(
+            fresh_db(Enforcement::Weak),
+            MemStorage::new(),
+            ServeConfig::default(),
+            Executor::with_threads(2),
+        )
+        .unwrap();
+        let q = {
+            // build the query against a throwaway instance with the
+            // same schema so the symbols resolve
+            let mut db = fresh_db(Enforcement::Weak);
+            db.insert(&["d1", "m1"]).unwrap();
+            fdi_core::query::Query::eq_text(db.instance(), "mgr", "m1").unwrap()
+        };
+        let w = writer.watch(&q).unwrap();
+        assert_eq!(writer.watched_len(), 1);
+        assert_eq!(writer.watched_query(w), &q);
+        let batches: Vec<Vec<ServeOp>> = vec![
+            vec![ins(&["d1", "m1"]), ins(&["d2", "-"])],
+            vec![ins(&["d1", "-"]), ServeOp::Compact],
+            vec![ins(&["d3", "-"]), ins(&["d3", "m3"])],
+            vec![ServeOp::Delete(RowId(1)), ServeOp::Compact],
+        ];
+        let exec = Executor::with_threads(2);
+        for batch in &batches {
+            writer.apply(batch).unwrap();
+            let epoch = reader.snapshot();
+            let oracle = fdi_core::query::select(&q, epoch.db().instance()).unwrap();
+            // the epoch serves the watched query from the materialized set
+            assert_eq!(epoch.materialized().len(), 1);
+            assert_eq!(epoch.select(&q, &exec).unwrap(), oracle);
+            assert_eq!(writer.watched_selection(w), Some(oracle));
+        }
+        // unwatched queries go through the per-epoch plan cache
+        let epoch = reader.snapshot();
+        let other = fdi_core::query::Query::eq_text(epoch.db().instance(), "dept", "d1").unwrap();
+        assert_eq!(epoch.plan_cache_len(), 0);
+        let a = epoch.select(&other, &exec).unwrap();
+        assert_eq!(epoch.plan_cache_len(), 1, "first select compiles");
+        let b = epoch.select(&other, &exec).unwrap();
+        assert_eq!(epoch.plan_cache_len(), 1, "second select reuses the plan");
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            fdi_core::query::select(&other, epoch.db().instance()).unwrap()
+        );
     }
 
     #[test]

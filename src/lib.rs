@@ -82,6 +82,38 @@
 //! consistency contract (what a reader may and may not observe, the
 //! publication ↔ checkpoint mapping) is documented in the [`serve`]
 //! crate root.
+//!
+//! ## Query compilation
+//!
+//! The reference query path walks the [`core::query::Query`] tree per
+//! row and re-derives everything it needs — mentioned constants,
+//! domain candidate sets, NEC class groupings — from scratch on every
+//! evaluation. [`core::query::CompiledQuery`] moves all of that to
+//! compile time: the tree is constant-folded and flattened into a
+//! branch-light postfix op program, the per-attribute
+//! mentioned-constant and fresh-representative candidate sets are
+//! precomputed against the instance's domains, and an FD-closure
+//! analysis (the `u64`-bitset [`logic::closure::ClosureEngine`])
+//! annotates the plan with which scope attributes are functionally
+//! determined. At evaluation time, rows whose in-scope **signature**
+//! (constants, NEC class roots, `nothing`s) repeats a previously seen
+//! one replay the cached verdict from a [`core::query::SignatureMemo`]
+//! — exact, because a verdict is a pure function of that signature.
+//! Null-free rows skip everything and evaluate classically. The result
+//! is bit-identical to [`core::query::eval_signature`] /
+//! [`core::query::select`] — verdicts, answer ordering, and
+//! first-error semantics, at every thread count — which the
+//! `query_equiv` suite holds across randomized workloads.
+//!
+//! On top of the compiled plan, [`core::query::IncrementalSelection`]
+//! keeps a materialized sure/maybe/no answer set current under
+//! [`core::update::Database`] mutations by re-evaluating only the rows
+//! each accepted op actually changed (plus, after an NEC merge, the
+//! rows holding in-scope nulls). The serving layer wires both in:
+//! [`serve::Epoch::select`] answers through a per-epoch plan cache
+//! keyed by the query's canonical encoding, and
+//! [`serve::Writer::watch`] maintains registered queries incrementally
+//! across updates, publishing their answer sets with each epoch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
