@@ -101,7 +101,10 @@ fn main() {
 }
 
 fn render_json(points: &[Point]) -> String {
-    let mut out = String::from("{\n  \"workload\": \"large_workload(seed=7, null=0.25, nec=0.1, fds=4)\",\n  \"points\": [\n");
+    let mut out =
+        String::from("{\n  \"workload\": \"large_workload(seed=7, null=0.25, nec=0.1, fds=4)\",\n");
+    out.push_str(&format!("  \"host\": {},\n", fdi_bench::host_json()));
+    out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let speedup = p
             .naive_ns

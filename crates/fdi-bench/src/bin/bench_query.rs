@@ -20,7 +20,8 @@
 //! [--quick]` — `--quick` drops the n = 100 000 points.
 
 use fdi_bench::query_bench::{
-    render_json, run_closure_point, run_incremental_point, run_select_point, verify_equivalence,
+    measure_obs_overhead, render_json, run_closure_point, run_incremental_point, run_select_point,
+    verify_equivalence,
 };
 use fdi_bench::{fmt_duration, Table};
 use std::io::Write;
@@ -91,7 +92,17 @@ fn main() {
         closure.calls_per_sec() / 1e6
     );
 
-    let json = render_json(&selects, &incrementals, &closure);
+    // Honesty lane: the same compiled select through `Epoch::select`
+    // (noop recorder) vs `Epoch::select_recorded` with a live recorder,
+    // asserted bounded before the artifact is written.
+    let obs = measure_obs_overhead(10_000, 5);
+    obs.assert_bounded(3.0);
+    println!(
+        "obs honesty lane: enabled-recorder overhead ×{:.2}",
+        obs.ratio()
+    );
+
+    let json = render_json(&selects, &incrementals, &closure, &obs);
     let mut f = std::fs::File::create("BENCH_query.json").expect("create BENCH_query.json");
     f.write_all(json.as_bytes())
         .expect("write BENCH_query.json");

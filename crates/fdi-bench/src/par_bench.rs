@@ -201,6 +201,7 @@ pub fn render_json(points: &[ParPoint], host_threads: usize) -> String {
          conflicts=4)\",\n",
     );
     out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    out.push_str(&format!("  \"host\": {},\n", crate::host_json()));
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(

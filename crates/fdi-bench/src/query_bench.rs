@@ -292,16 +292,62 @@ pub fn run_closure_point(cols: usize, fd_count: usize, calls: u64) -> ClosurePoi
     }
 }
 
+/// The instrumented-vs-noop honesty lane for the query path: the same
+/// compiled select answered through [`fdi_serve::Epoch::select`] (noop
+/// recorder) and [`fdi_serve::Epoch::select_recorded`] with a live
+/// recorder tallying plan-cache, NEC-signature-memo, and
+/// classical-fast-path traffic. Both paths return bit-identical
+/// answers; the bench bins assert the wall-clock ratio stays bounded
+/// before writing artifacts.
+pub fn measure_obs_overhead(n: usize, repeats: usize) -> crate::ObsOverhead {
+    let (w, q) = workload_for(n);
+    let db = Database::new(w.instance, w.fds, POLICY).expect("policy checks nothing");
+    let (_writer, reader) = fdi_serve::Writer::create(
+        db,
+        fdi_store::MemStorage::new(),
+        fdi_serve::ServeConfig::default(),
+        Executor::with_threads(1),
+    )
+    .expect("fresh in-memory storage is empty");
+    let epoch = reader.snapshot();
+    let exec = Executor::with_threads(1);
+    let rec = fdi_obs::Recorder::enabled();
+    // warm the per-epoch plan cache so neither lane pays the compile
+    let _ = epoch.select(&q, &exec).expect("finite domains");
+    let noop = median_of(repeats, || {
+        let start = Instant::now();
+        std::hint::black_box(epoch.select(&q, &exec).expect("finite domains"));
+        start.elapsed()
+    });
+    let enabled = median_of(repeats, || {
+        let start = Instant::now();
+        std::hint::black_box(
+            epoch
+                .select_recorded(&q, &exec, &rec)
+                .expect("finite domains"),
+        );
+        start.elapsed()
+    });
+    crate::ObsOverhead {
+        noop_ns: noop.as_nanos(),
+        enabled_ns: enabled.as_nanos(),
+    }
+}
+
 /// Renders the machine-readable artifact (`BENCH_query.json`).
 pub fn render_json(
     selects: &[SelectPoint],
     incrementals: &[IncrementalPoint],
     closure: &ClosurePoint,
+    obs: &crate::ObsOverhead,
 ) -> String {
     let mut out = String::from(
         "{\n  \"workload\": \"large_workload(seed=7, null=0.25, nec=0.1, fds=4) + \
-         scaling_query; update_stream(seed=11)\",\n  \"select\": [\n",
+         scaling_query; update_stream(seed=11)\",\n",
     );
+    out.push_str(&format!("  \"host\": {},\n", crate::host_json()));
+    out.push_str(&format!("  \"obs_overhead\": {},\n", obs.json()));
+    out.push_str("  \"select\": [\n");
     for (i, p) in selects.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"n\": {}, \"threads\": {}, \"interpreted_ns\": {}, \"compiled_ns\": {}, \
@@ -363,9 +409,14 @@ mod tests {
         );
         let c = run_closure_point(16, 8, 10_000);
         assert!(c.calls_per_sec() > 0.0);
-        let json = render_json(&[s], &[inc], &c);
+        let obs = measure_obs_overhead(100, 3);
+        assert!(obs.noop_ns > 0 && obs.enabled_ns > 0);
+        assert!(obs.ratio().is_finite());
+        let json = render_json(&[s], &[inc], &c, &obs);
         assert!(json.contains("\"select\""));
         assert!(json.contains("\"incremental\""));
         assert!(json.contains("\"calls_per_sec\""));
+        assert!(json.contains("\"host\": {\"host_threads\": "));
+        assert!(json.contains("\"obs_overhead\": {\"noop_ns\": "));
     }
 }

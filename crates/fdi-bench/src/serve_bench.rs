@@ -272,6 +272,7 @@ pub fn render_json(points: &[ServePoint], host_threads: usize) -> String {
          Enforcement::None, MemStorage journal; reads: scaling_query per snapshot\",\n",
     ));
     out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    out.push_str(&format!("  \"host\": {},\n", crate::host_json()));
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(

@@ -236,12 +236,32 @@ pub fn assert_pipelines_agree(
     );
 }
 
+/// The instrumented-vs-noop honesty lane: the incremental pipeline
+/// timed with the default noop recorder vs with a live
+/// [`fdi_obs::Recorder`] tallying every op's acceptance and
+/// index-delta counters. The counters are a handful of relaxed atomic
+/// adds per op, so the ratio should sit near 1; the bench bins assert
+/// it stays bounded before writing artifacts.
+pub fn measure_obs_overhead(db: &Database, ops: &[UpdateOp], repeats: usize) -> crate::ObsOverhead {
+    let noop = median_of(repeats, || run_incremental(db, ops).0);
+    let mut recorded = db.clone();
+    recorded.set_recorder(fdi_obs::Recorder::enabled());
+    let enabled = median_of(repeats, || run_incremental(&recorded, ops).0);
+    crate::ObsOverhead {
+        noop_ns: noop.as_nanos(),
+        enabled_ns: enabled.as_nanos(),
+    }
+}
+
 /// Renders the measured points as the `BENCH_update.json` document.
-pub fn render_json(points: &[Point]) -> String {
+pub fn render_json(points: &[Point], obs: &crate::ObsOverhead) -> String {
     let mut out = String::from(
         "{\n  \"workload\": \"large_workload(seed=7, null=0.15, nec=0.1, fds=4) + \
-         update_stream(seed=11)\",\n  \"points\": [\n",
+         update_stream(seed=11)\",\n",
     );
+    out.push_str(&format!("  \"host\": {},\n", crate::host_json()));
+    out.push_str(&format!("  \"obs_overhead\": {},\n", obs.json()));
+    out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         let rebuild = p
             .rebuild_ns
@@ -327,6 +347,20 @@ mod tests {
         assert!(inserts > 10 && deletes > 10, "churn must mix both");
     }
 
+    /// The instrumented-vs-noop lane runs end to end at smoke scale
+    /// (no timing bound here — CI runners are too noisy for that; the
+    /// bench bins assert the ×3 bound on real runs).
+    #[test]
+    fn obs_overhead_lane_runs_at_smoke_scale() {
+        let n = 100;
+        let w = large_workload(7, n, 0.15, 0.1, 4);
+        let db = Database::new(w.instance.clone(), w.fds.clone(), POLICY).expect("load mode");
+        let ops = update_stream(11, &spec_for(n), n, 64, UpdateMix::default());
+        let obs = measure_obs_overhead(&db, &ops, 3);
+        assert!(obs.noop_ns > 0 && obs.enabled_ns > 0);
+        assert!(obs.ratio().is_finite());
+    }
+
     /// The JSON document stays parseable-by-eye and complete.
     #[test]
     fn json_rendering_includes_every_point() {
@@ -348,7 +382,16 @@ mod tests {
                 rebuild_ns: None,
             },
         ];
-        let json = render_json(&points);
+        let obs = crate::ObsOverhead {
+            noop_ns: 1000,
+            enabled_ns: 1100,
+        };
+        let json = render_json(&points, &obs);
+        assert!(json.contains("\"host\": {\"host_threads\": "), "{json}");
+        assert!(
+            json.contains("\"obs_overhead\": {\"noop_ns\": 1000"),
+            "{json}"
+        );
         assert!(json.contains("\"mix\": \"mixed\""));
         assert!(json.contains("\"speedup\": 5.0"));
         assert!(json.contains("\"rebuild_ns\": null"));

@@ -859,6 +859,22 @@ pub fn extended_chase_par(
     }
 }
 
+/// [`extended_chase_par`] plus metrics: records `cell_chase_rounds`
+/// and `cell_chase_unions` from the (thread-count-invariant)
+/// [`ChaseOutcome`] into `rec` — both deterministic per the contract
+/// above, so they belong to [`fdi_obs`]'s deterministic slice.
+pub fn extended_chase_par_with(
+    instance: &Instance,
+    fds: &FdSet,
+    exec: &fdi_exec::Executor,
+    rec: &fdi_obs::Recorder,
+) -> ChaseOutcome {
+    let outcome = extended_chase_par(instance, fds, exec);
+    rec.add(fdi_obs::Counter::CellRounds, outcome.rounds as u64);
+    rec.add(fdi_obs::Counter::CellUnions, outcome.unions as u64);
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -65,6 +65,7 @@
 use crate::fd::{Fd, FdSet};
 use crate::groupkey::{self, GroupKey};
 use fdi_exec::Executor;
+use fdi_obs::{Counter, Gauge, Recorder};
 use fdi_relation::attrs::{AttrId, AttrSet};
 use fdi_relation::instance::Instance;
 use fdi_relation::nec::NecSnapshot;
@@ -109,7 +110,31 @@ pub fn chase_indexed(instance: &Instance, fds: &FdSet) -> NsChaseResult {
 /// exactly the sequential engine's order against exactly the
 /// sequential engine's state.
 pub fn chase_indexed_par(instance: &Instance, fds: &FdSet, exec: &Executor) -> NsChaseResult {
+    chase_indexed_par_with(instance, fds, exec, &Recorder::noop())
+}
+
+/// [`chase_indexed`] plus metrics: records `chase_passes`,
+/// `chase_bucket_sweeps` (agenda entries scheduled — identical at
+/// every thread count; the parallel path may *skip* provably-no-op
+/// sweeps but schedules the same agenda), `chase_substitutions`,
+/// `chase_unions`, and the `chase_worklist_peak` high-watermark into
+/// `rec`. All recording happens in the sequential application path, so
+/// every recorded value is deterministic (see [`fdi_obs`]).
+pub fn chase_indexed_with(instance: &Instance, fds: &FdSet, rec: &Recorder) -> NsChaseResult {
+    chase_indexed_par_with(instance, fds, &Executor::with_threads(1), rec)
+}
+
+/// [`chase_indexed_par`] plus metrics — the executor-backed twin of
+/// [`chase_indexed_with`], recording the same (thread-count-invariant)
+/// counters.
+pub fn chase_indexed_par_with(
+    instance: &Instance,
+    fds: &FdSet,
+    exec: &Executor,
+    rec: &Recorder,
+) -> NsChaseResult {
     let mut engine = Engine::new_par(instance, fds, exec);
+    engine.rec = rec.clone();
     let passes = engine.run(instance, exec);
     NsChaseResult {
         instance: engine.work,
@@ -301,6 +326,10 @@ struct Engine {
     /// sequential path pays nothing for them.
     parallel: bool,
     events: Vec<NsEvent>,
+    /// Metrics sink; defaults to noop and is swapped in by the `_with`
+    /// entry points. Only ever touched from the sequential application
+    /// path, so recorded values are thread-count-invariant.
+    rec: Recorder,
 }
 
 /// The non-trivial FDs of the set, with their original indexes —
@@ -380,6 +409,7 @@ impl Engine {
             touched,
             parallel,
             events: Vec::new(),
+            rec: Recorder::noop(),
         }
     }
 
@@ -527,6 +557,7 @@ impl Engine {
         let mut passes = 0;
         loop {
             passes += 1;
+            self.rec.incr(Counter::ChasePasses);
             let before = self.events.len();
             for si in 0..self.fds.len() {
                 // Keys collected up front and re-checked on use: sweeps
@@ -552,6 +583,10 @@ impl Engine {
                     self.dirty[si].clear();
                 }
                 agenda.sort_unstable();
+                self.rec
+                    .add(Counter::ChaseBucketSweeps, agenda.len() as u64);
+                self.rec
+                    .gauge_max(Gauge::ChaseWorklistPeak, agenda.len() as u64);
                 let clean: Vec<bool> = if parallel && agenda.len() > 1 {
                     let snapshot = self.work.necs().canonical_snapshot();
                     let work = &self.work;
@@ -678,6 +713,7 @@ impl Engine {
     /// Rule (a): substitutes every occurrence of `id`'s class with
     /// `value`, then migrates the buckets whose keys mentioned the class.
     fn substitute(&mut self, id: NullId, value: Symbol) {
+        self.rec.incr(Counter::ChaseSubstitutions);
         let root = self.work.necs_mut().find(id);
         let occs = self.occurrences.remove(&root.0).unwrap_or_default();
         for &(row, col) in &occs {
@@ -691,6 +727,7 @@ impl Engine {
     /// class's occurrence list onto the winner's, and migrates buckets
     /// keyed by the loser class.
     fn merge(&mut self, a: NullId, b: NullId) {
+        self.rec.incr(Counter::ChaseUnions);
         let root_a = self.work.necs_mut().find(a);
         let root_b = self.work.necs_mut().find(b);
         debug_assert_ne!(root_a, root_b);

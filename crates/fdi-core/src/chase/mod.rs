@@ -103,8 +103,14 @@ pub mod cells;
 pub mod index;
 pub mod ns;
 
-pub use cells::{extended_chase, extended_chase_par, CellEngine, ChaseOutcome, Scheduler};
-pub use index::{chase_indexed_par, order_replay_caveats, order_replay_exact, ChaseIndexCaveat};
+pub use cells::{
+    extended_chase, extended_chase_par, extended_chase_par_with, CellEngine, ChaseOutcome,
+    Scheduler,
+};
+pub use index::{
+    chase_indexed_par, chase_indexed_par_with, chase_indexed_with, order_replay_caveats,
+    order_replay_exact, ChaseIndexCaveat,
+};
 pub use ns::{
     chase_naive, chase_plain, chase_plain_par, is_minimally_incomplete,
     is_minimally_incomplete_naive, NsChaseResult, NsEvent, NsEventKind,

@@ -665,6 +665,70 @@ pub fn check_par(
     Ok(())
 }
 
+/// Records one TEST-FDs invocation's work profile into `rec`:
+/// `testfd_checks`, per-FD `testfd_fallback_hits` (strong-convention
+/// determinants meeting a null), and `testfd_rows_scanned` as the
+/// scan-volume proxy `n` per non-trivial FD actually visited (FDs are
+/// checked in set order, stopping at the first violation).
+fn record_testfd(
+    instance: &Instance,
+    fds: &FdSet,
+    conv: Convention,
+    rec: &fdi_obs::Recorder,
+    result: &Result<(), Violation>,
+) {
+    use fdi_obs::Counter;
+    rec.incr(Counter::TestfdChecks);
+    let visited = match result {
+        Ok(()) => fds.len(),
+        Err(v) => v.fd_index + 1,
+    };
+    let null_cols = null_columns_for(instance, conv);
+    let n = instance.len() as u64;
+    for fd in fds.iter().take(visited) {
+        let fd = fd.normalized();
+        if fd.is_trivial() {
+            continue;
+        }
+        rec.add(Counter::TestfdRowsScanned, n);
+        if conv == Convention::Strong && !fd.lhs.intersect(null_cols).is_empty() {
+            rec.incr(Counter::TestfdFallbackHits);
+        }
+    }
+}
+
+/// [`check`] plus metrics: records the invocation, fallback hits, and
+/// a rows-scanned proxy into `rec` (see [`fdi_obs`]'s registry). This
+/// is the **only** sequential TEST-FDs entry point that records —
+/// engine-internal and reader-driven calls stay un-instrumented so the
+/// deterministic metric slice is reader-count-invariant.
+pub fn check_with(
+    instance: &Instance,
+    fds: &FdSet,
+    conv: Convention,
+    rec: &fdi_obs::Recorder,
+) -> Result<(), Violation> {
+    let result = check(instance, fds, conv);
+    record_testfd(instance, fds, conv, rec, &result);
+    result
+}
+
+/// [`check_par`] plus metrics — the parallel twin of [`check_with`].
+/// The recorded counters are derived from the (thread-count-invariant)
+/// verdict, not from per-shard work, so they match [`check_with`]'s
+/// bit-for-bit.
+pub fn check_par_with(
+    instance: &Instance,
+    fds: &FdSet,
+    conv: Convention,
+    exec: &fdi_exec::Executor,
+    rec: &fdi_obs::Recorder,
+) -> Result<(), Violation> {
+    let result = check_par(instance, fds, conv, exec);
+    record_testfd(instance, fds, conv, rec, &result);
+    result
+}
+
 /// Linear scan for a single FD over a relation already sorted on `X`
 /// (Figure 3: "if there is only one dependency (e.g. BCNF with one key)
 /// and the relation is already sorted, the test requires linear time").

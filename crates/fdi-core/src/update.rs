@@ -579,6 +579,10 @@ pub struct Database {
     fds: FdSet,
     policy: Policy,
     index: LhsIndex,
+    /// Metrics sink (defaults to noop; see [`Database::set_recorder`]).
+    /// Clones share the same sink, matching the epoch-snapshot model:
+    /// a published clone keeps reporting into the node's recorder.
+    rec: fdi_obs::Recorder,
 }
 
 impl Database {
@@ -598,6 +602,7 @@ impl Database {
             fds,
             policy,
             index,
+            rec: fdi_obs::Recorder::noop(),
         };
         if policy.propagate {
             db.propagate_all();
@@ -622,6 +627,7 @@ impl Database {
             fds,
             policy,
             index,
+            rec: fdi_obs::Recorder::noop(),
         }
     }
 
@@ -643,6 +649,28 @@ impl Database {
     /// The determinant index (for inspection/benchmarks).
     pub fn index(&self) -> &LhsIndex {
         &self.index
+    }
+
+    /// Routes this database's mutation metrics (`ops_applied`,
+    /// `ops_rejected`, the `index_rows_*` delta counters) into `rec`.
+    /// All of them are deterministic: mutations are writer-serial and
+    /// their accept/reject decisions are thread-count-invariant.
+    pub fn set_recorder(&mut self, rec: fdi_obs::Recorder) {
+        self.rec = rec;
+    }
+
+    /// The metrics sink mutations record into (noop unless
+    /// [`Database::set_recorder`] was called).
+    pub fn recorder(&self) -> &fdi_obs::Recorder {
+        &self.rec
+    }
+
+    /// Tallies one mutation's outcome into the recorder.
+    fn record_op<T, E>(&self, result: &Result<T, E>) {
+        self.rec.incr(match result {
+            Ok(_) => fdi_obs::Counter::OpsApplied,
+            Err(_) => fdi_obs::Counter::OpsRejected,
+        });
     }
 
     /// Internal acquisition: runs the indexed worklist chase, swaps the
@@ -673,6 +701,8 @@ impl Database {
             for &row in &changed {
                 self.index.rekey_row(&self.instance, row);
             }
+            self.rec
+                .add(fdi_obs::Counter::IndexRowsRekeyed, changed.len() as u64);
         }
         (events, changed)
     }
@@ -725,6 +755,12 @@ impl Database {
     /// rejected row is removed again (leaving no tuple trace — see the
     /// module docs for what token parsing may intern).
     pub fn insert(&mut self, tokens: &[&str]) -> Result<UpdateOutcome, UpdateError> {
+        let result = self.insert_inner(tokens);
+        self.record_op(&result);
+        result
+    }
+
+    fn insert_inner(&mut self, tokens: &[&str]) -> Result<UpdateOutcome, UpdateError> {
         let row = self.instance.add_row(tokens)?;
         let rejection = match self.policy.enforcement {
             Enforcement::Strong => {
@@ -747,6 +783,7 @@ impl Database {
             return Err(err);
         }
         self.index.insert_row(&self.instance, row);
+        self.rec.incr(fdi_obs::Counter::IndexRowsInserted);
         let merges_before = self.instance.necs().merge_count();
         let (propagated, chase_changed) = if self.policy.propagate {
             self.propagate_all()
@@ -804,6 +841,11 @@ impl Database {
             }
         }
         self.index.insert_rows_par(&self.instance, &accepted, exec);
+        for result in &results {
+            self.record_op(result);
+        }
+        self.rec
+            .add(fdi_obs::Counter::IndexRowsInserted, accepted.len() as u64);
         results
     }
 
@@ -813,11 +855,18 @@ impl Database {
     /// one row — `O(|F| · bucket)` total, with **no survivor
     /// renumbering anywhere** (every other [`RowId`] stays valid).
     pub fn delete(&mut self, row: RowId) -> Result<UpdateOutcome, UpdateError> {
+        let result = self.delete_inner(row);
+        self.record_op(&result);
+        result
+    }
+
+    fn delete_inner(&mut self, row: RowId) -> Result<UpdateOutcome, UpdateError> {
         if !self.instance.is_live(row) {
             return Err(UpdateError::NoSuchRow(row));
         }
         self.instance.remove_row(row);
         self.index.remove_row(row);
+        self.rec.incr(fdi_obs::Counter::IndexRowsRemoved);
         Ok(UpdateOutcome {
             row,
             propagated: Vec::new(),
@@ -834,6 +883,9 @@ impl Database {
     pub fn compact(&mut self) -> Vec<(RowId, RowId)> {
         let moved = self.instance.compact();
         self.index.remap(&moved);
+        self.rec.incr(fdi_obs::Counter::OpsApplied);
+        self.rec
+            .add(fdi_obs::Counter::IndexRowsRemapped, moved.len() as u64);
         moved
     }
 
@@ -841,6 +893,17 @@ impl Database {
     /// rejection the cell is restored; on acceptance the row is re-keyed
     /// in place — one delta, no rebuild.
     pub fn modify(
+        &mut self,
+        row: RowId,
+        attr: AttrId,
+        token: &str,
+    ) -> Result<UpdateOutcome, UpdateError> {
+        let result = self.modify_inner(row, attr, token);
+        self.record_op(&result);
+        result
+    }
+
+    fn modify_inner(
         &mut self,
         row: RowId,
         attr: AttrId,
@@ -857,6 +920,7 @@ impl Database {
             return Err(e);
         }
         self.index.rekey_row(&self.instance, row);
+        self.rec.incr(fdi_obs::Counter::IndexRowsRekeyed);
         let merges_before = self.instance.necs().merge_count();
         let (propagated, chase_changed) = if self.policy.propagate {
             self.propagate_all()
@@ -879,6 +943,17 @@ impl Database {
     /// substituted cell is restored; on acceptance only the rows that
     /// held an occurrence are re-keyed.
     pub fn resolve_null(
+        &mut self,
+        row: RowId,
+        attr: AttrId,
+        token: &str,
+    ) -> Result<UpdateOutcome, UpdateError> {
+        let result = self.resolve_null_inner(row, attr, token);
+        self.record_op(&result);
+        result
+    }
+
+    fn resolve_null_inner(
         &mut self,
         row: RowId,
         attr: AttrId,
@@ -925,6 +1000,8 @@ impl Database {
         for &r in &touched {
             self.index.rekey_row(&self.instance, r);
         }
+        self.rec
+            .add(fdi_obs::Counter::IndexRowsRekeyed, touched.len() as u64);
         let merges_before = self.instance.necs().merge_count();
         let (propagated, chase_changed) = if self.policy.propagate {
             self.propagate_all()

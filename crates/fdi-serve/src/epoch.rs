@@ -10,6 +10,7 @@ use fdi_core::query::{Query, Selection};
 use fdi_core::testfd::{self, Convention, Violation};
 use fdi_core::update::Database;
 use fdi_exec::Executor;
+use fdi_obs::{Counter, Hist, MetricsSnapshot, Recorder};
 use fdi_relation::{NecSnapshot, RelationError};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
@@ -36,6 +37,11 @@ pub struct Epoch {
     /// Answer sets materialized by the writer's watched queries at
     /// publication, keyed the same way.
     materialized: Vec<(Vec<u8>, Selection)>,
+    /// The writer's metrics snapshot taken at publication — frozen
+    /// observability state shipped alongside the answer sets, so a
+    /// reader can report "what had the system done as of this epoch"
+    /// without touching the (live, still-moving) recorder.
+    metrics: MetricsSnapshot,
 }
 
 impl Clone for Epoch {
@@ -53,6 +59,7 @@ impl Clone for Epoch {
                     .clone(),
             ),
             materialized: self.materialized.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -60,15 +67,17 @@ impl Clone for Epoch {
 impl Epoch {
     /// Builds an epoch from a snapshot of the writer's database.
     pub(crate) fn new(seq: u64, ops_applied: u64, db: Database) -> Epoch {
-        Epoch::with_materialized(seq, ops_applied, db, Vec::new())
+        Epoch::with_materialized(seq, ops_applied, db, Vec::new(), MetricsSnapshot::default())
     }
 
-    /// [`Epoch::new`] carrying the writer's materialized answer sets.
+    /// [`Epoch::new`] carrying the writer's materialized answer sets
+    /// and the metrics snapshot frozen at publication.
     pub(crate) fn with_materialized(
         seq: u64,
         ops_applied: u64,
         db: Database,
         materialized: Vec<(Vec<u8>, Selection)>,
+        metrics: MetricsSnapshot,
     ) -> Epoch {
         let nec = db.instance().necs().canonical_snapshot();
         let mut state = Vec::new();
@@ -82,6 +91,7 @@ impl Epoch {
             fingerprint,
             plans: Mutex::new(HashMap::new()),
             materialized,
+            metrics,
         }
     }
 
@@ -128,12 +138,41 @@ impl Epoch {
     /// included — the proptest suite holds all three paths
     /// (materialized / compiled / uncompiled) to the same answer.
     pub fn select(&self, query: &Query, exec: &Executor) -> Result<Selection, RelationError> {
+        self.select_recorded(query, exec, &Recorder::noop())
+    }
+
+    /// [`Epoch::select`] with query-path observability: tallies
+    /// materialized-answer hits, plan-cache hits/misses, compiles,
+    /// NEC-signature memo hits/misses, and classical (null-free
+    /// fast-path) rows into `rec`. All of those are **nondeterministic**
+    /// metrics by the [`fdi_obs`] contract — they depend on which
+    /// reader asked what, in which order — so recording here never
+    /// perturbs the deterministic set. Answers are bit-identical to
+    /// [`Epoch::select`] (the recorder changes bookkeeping, never
+    /// evaluation).
+    pub fn select_recorded(
+        &self,
+        query: &Query,
+        exec: &Executor,
+        rec: &Recorder,
+    ) -> Result<Selection, RelationError> {
         let key = CompiledQuery::encode(query);
         if let Some((_, sel)) = self.materialized.iter().find(|(k, _)| *k == key) {
+            rec.incr(Counter::MaterializedHits);
             return Ok(sel.clone());
         }
-        let plan = self.plan_for(key, query);
-        plan.select_par(self.db.instance(), exec)
+        let plan = self.plan_for_recorded(key, query, rec);
+        let live_rows = self.db.instance().len() as u64;
+        let (selection, memo) = plan.select_par_stats(self.db.instance(), exec)?;
+        rec.add(Counter::MemoHits, memo.hits);
+        rec.add(Counter::MemoMisses, memo.misses);
+        // Rows that never consulted the memo took the classical
+        // (null-free, Codd-semantics) fast path.
+        rec.add(
+            Counter::ClassicalRows,
+            live_rows.saturating_sub(memo.hits + memo.misses),
+        );
+        Ok(selection)
     }
 
     /// The compiled plan for `query` against this epoch, from the
@@ -144,10 +183,17 @@ impl Epoch {
     }
 
     fn plan_for(&self, key: Vec<u8>, query: &Query) -> Arc<CompiledQuery> {
+        self.plan_for_recorded(key, query, &Recorder::noop())
+    }
+
+    fn plan_for_recorded(&self, key: Vec<u8>, query: &Query, rec: &Recorder) -> Arc<CompiledQuery> {
         let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(plan) = plans.get(&key) {
+            rec.incr(Counter::PlanCacheHits);
             return Arc::clone(plan);
         }
+        rec.incr(Counter::PlanCacheMisses);
+        rec.incr(Counter::QueryCompiles);
         let plan = Arc::new(CompiledQuery::compile_with_fds(
             query,
             self.db.instance(),
@@ -169,6 +215,15 @@ impl Epoch {
     /// `(canonical query encoding, selection)` pairs.
     pub fn materialized(&self) -> &[(Vec<u8>, Selection)] {
         &self.materialized
+    }
+
+    /// The writer's [`MetricsSnapshot`] frozen at this epoch's
+    /// publication (all-zero for epoch 0 or a writer with a noop
+    /// recorder). This is the per-epoch observability payload: readers
+    /// render it without coordinating with the writer, and it never
+    /// changes after publication.
+    pub fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
     }
 
     /// TEST-FDs over this epoch via the sharded [`testfd::check_par`]
@@ -220,15 +275,29 @@ impl EpochCell {
 #[derive(Debug, Clone)]
 pub struct Reader {
     cell: Arc<EpochCell>,
+    rec: Recorder,
 }
 
 impl Reader {
     pub(crate) fn new(cell: Arc<EpochCell>) -> Reader {
-        Reader { cell }
+        Reader {
+            cell,
+            rec: Recorder::noop(),
+        }
+    }
+
+    /// Routes this reader's observability (snapshot-read count and
+    /// acquisition latency — both **nondeterministic** metrics) into
+    /// `rec`. Clones made after this call inherit the sink; the default
+    /// is the noop recorder.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
     }
 
     /// The currently published epoch.
     pub fn snapshot(&self) -> Arc<Epoch> {
+        self.rec.incr(Counter::SnapshotReads);
+        let _span = self.rec.span(Hist::SnapshotAcquireNanos);
         self.cell.load()
     }
 

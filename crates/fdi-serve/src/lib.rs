@@ -68,6 +68,34 @@
 //! [`Epoch::fingerprint`]s — at every `FDI_THREADS` setting and any
 //! number of concurrent readers. The concurrency suite in
 //! `tests/serve_consistency.rs` (repo root) holds this pinned.
+//!
+//! ## Observability
+//!
+//! Serving is instrumented through [`fdi_obs`]: install a live
+//! [`Recorder`](fdi_obs::Recorder) with [`Writer::set_recorder`]
+//! (routing the publish path, op acceptance, index deltas, and journal
+//! commit/sync metrics) and [`Reader::set_recorder`] (snapshot-read
+//! count and acquisition latency). Every published [`Epoch`] carries
+//! the writer's [`MetricsSnapshot`](fdi_obs::MetricsSnapshot) frozen at
+//! publication ([`Epoch::metrics`]) — the per-epoch observability
+//! payload readers render without coordinating with the writer.
+//!
+//! The determinism contract above extends to the metrics themselves,
+//! along the [`fdi_obs`] deterministic/nondeterministic split:
+//!
+//! * Writer-side **deterministic** metrics (op tallies, index deltas,
+//!   journal record/op counts, epochs published, epoch gauges) are
+//!   bit-identical across `FDI_THREADS` settings and reader counts for
+//!   the same op stream and batch boundaries.
+//! * Reader-driven metrics (snapshot reads, plan-cache and memo
+//!   traffic, classical-row counts) and wall-clock histograms are
+//!   **nondeterministic** — they depend on scheduling and on which
+//!   reader asked what. Reader paths only ever touch nondeterministic
+//!   metrics, which is what makes the first bullet a theorem rather
+//!   than a hope; `tests/obs_determinism.rs` (repo root) holds it
+//!   pinned, along with noop-purity (a
+//!   [`Recorder::noop`](fdi_obs::Recorder::noop) changes no published
+//!   state).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

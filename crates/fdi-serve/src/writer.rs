@@ -12,6 +12,7 @@ use fdi_core::query::plan::CompiledQuery;
 use fdi_core::query::{IncrementalSelection, Query, Selection};
 use fdi_core::update::{Database, UpdateError, UpdateOutcome};
 use fdi_exec::Executor;
+use fdi_obs::{Counter, Gauge, Hist, Recorder};
 use fdi_relation::rowid::RowId;
 use fdi_relation::{AttrId, RelationError};
 use fdi_store::{
@@ -19,6 +20,7 @@ use fdi_store::{
 };
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Serving configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +184,7 @@ pub struct Writer<S: Storage> {
     published: Vec<EpochStamp>,
     publishes_since_checkpoint: u64,
     watched: Vec<Watched>,
+    rec: Recorder,
 }
 
 impl<S: Storage> Writer<S> {
@@ -248,6 +251,7 @@ impl<S: Storage> Writer<S> {
             published: vec![stamp],
             publishes_since_checkpoint: 0,
             watched: Vec::new(),
+            rec: Recorder::noop(),
         };
         let reader = Reader::new(cell);
         (writer, reader)
@@ -256,6 +260,25 @@ impl<S: Storage> Writer<S> {
     /// A fresh reader handle onto this writer's publication cell.
     pub fn reader(&self) -> Reader {
         Reader::new(Arc::clone(&self.cell))
+    }
+
+    /// Routes this writer's observability into `rec`: the publication
+    /// path (epoch latency/batch-size histograms, epoch gauges, the
+    /// `epoch_published` event) plus — forwarded to the journaled pair
+    /// via [`JournaledDatabase::set_recorder`] — op acceptance, index
+    /// deltas, and journal commit/sync metrics. Every published epoch
+    /// thereafter carries `rec`'s frozen [`fdi_obs::MetricsSnapshot`]
+    /// (see [`Epoch::metrics`]). The default is the noop recorder:
+    /// serving is observability-free unless a sink is installed.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.jdb.set_recorder(rec.clone());
+        self.rec = rec;
+    }
+
+    /// The writer's current recorder handle (noop unless
+    /// [`Writer::set_recorder`] installed a live sink).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// The private successor state (staged ops included — this is what
@@ -403,6 +426,9 @@ impl<S: Storage> Writer<S> {
     /// Publishing with nothing staged is permitted and yields an epoch
     /// with the same fingerprint and a bumped sequence number.
     pub fn publish(&mut self) -> Result<Arc<Epoch>, ServeError> {
+        // Clock reads are gated on a live recorder so the noop path
+        // stays exactly the pre-observability publish.
+        let started = self.rec.is_enabled().then(Instant::now);
         self.jdb.sync()?; // = commit() under GroupCommit
         self.seq += 1;
         // Heal stale watches if the instance permits, then materialize
@@ -419,11 +445,26 @@ impl<S: Storage> Writer<S> {
             .filter(|w| !w.stale)
             .map(|w| (w.encoding.clone(), w.inc.selection()))
             .collect();
+        // Observe *before* snapshotting the metrics into the epoch, so
+        // the published snapshot includes this very publication.
+        if let Some(started) = started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.rec.observe(Hist::PublishNanos, nanos);
+        }
+        let batch_ops = self
+            .ops_applied
+            .saturating_sub(self.published.last().map_or(0, |s| s.ops_applied));
+        self.rec.observe(Hist::PublishBatchOps, batch_ops);
+        self.rec.incr(Counter::EpochsPublished);
+        self.rec.gauge_set(Gauge::EpochSeq, self.seq);
+        self.rec.gauge_set(Gauge::EpochOpsApplied, self.ops_applied);
+        self.rec.event("epoch_published", self.seq);
         let epoch = Arc::new(Epoch::with_materialized(
             self.seq,
             self.ops_applied,
             self.jdb.db().clone(),
             materialized,
+            self.rec.snapshot(),
         ));
         self.published.push(EpochStamp {
             seq: self.seq,

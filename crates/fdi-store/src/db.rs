@@ -114,6 +114,9 @@ pub struct JournaledDatabase<S: Storage> {
     /// [`SyncPolicy::GroupCommit`]; always empty under the other
     /// policies.
     pending: Vec<JournalOp>,
+    /// Metrics sink for the pairing-level `journal_pending_ops` gauge
+    /// (noop unless [`JournaledDatabase::set_recorder`] routed one in).
+    rec: fdi_obs::Recorder,
 }
 
 impl<S: Storage> JournaledDatabase<S> {
@@ -131,6 +134,7 @@ impl<S: Storage> JournaledDatabase<S> {
             sync_policy,
             poisoned: false,
             pending: Vec::new(),
+            rec: fdi_obs::Recorder::noop(),
         })
     }
 
@@ -143,7 +147,18 @@ impl<S: Storage> JournaledDatabase<S> {
             sync_policy,
             poisoned: false,
             pending: Vec::new(),
+            rec: fdi_obs::Recorder::noop(),
         }
+    }
+
+    /// Routes the whole pairing's metrics into `rec`: the database's
+    /// mutation counters ([`Database::set_recorder`]), the journal's
+    /// record/sync metrics ([`Journal::set_recorder`]), and this
+    /// level's `journal_pending_ops` gauge.
+    pub fn set_recorder(&mut self, rec: fdi_obs::Recorder) {
+        self.db.set_recorder(rec.clone());
+        self.journal.set_recorder(rec.clone());
+        self.rec = rec;
     }
 
     /// The live database.
@@ -179,6 +194,8 @@ impl<S: Storage> JournaledDatabase<S> {
     fn journal_accepted(&mut self, op: JournalOp) -> Result<(), JournaledError> {
         if let SyncPolicy::GroupCommit { max_batch } = self.sync_policy {
             self.pending.push(op);
+            self.rec
+                .gauge_set(fdi_obs::Gauge::JournalPendingOps, self.pending.len() as u64);
             if self.pending.len() >= max_batch.max(1) {
                 self.commit()?;
             }
@@ -218,6 +235,7 @@ impl<S: Storage> JournaledDatabase<S> {
         }
         let committed = self.pending.len();
         self.pending.clear();
+        self.rec.gauge_set(fdi_obs::Gauge::JournalPendingOps, 0);
         Ok(committed)
     }
 
@@ -322,6 +340,7 @@ impl<S: Storage> JournaledDatabase<S> {
             .checkpoint(&self.db)
             .map_err(JournaledError::Journal)?;
         self.pending.clear();
+        self.rec.gauge_set(fdi_obs::Gauge::JournalPendingOps, 0);
         Ok(())
     }
 

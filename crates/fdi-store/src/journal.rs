@@ -443,6 +443,9 @@ pub struct Recovered<S: Storage> {
 #[derive(Debug)]
 pub struct Journal<S: Storage> {
     storage: S,
+    /// Metrics sink (noop unless [`Journal::set_recorder`] routed one
+    /// in, or recovery via [`Journal::recover_with`] carried one over).
+    rec: fdi_obs::Recorder,
 }
 
 impl<S: Storage> Journal<S> {
@@ -458,12 +461,26 @@ impl<S: Storage> Journal<S> {
         bytes.extend_from_slice(&frame(&genesis_payload(db)));
         storage.append(&bytes)?;
         storage.sync()?;
-        Ok(Journal { storage })
+        Ok(Journal {
+            storage,
+            rec: fdi_obs::Recorder::noop(),
+        })
+    }
+
+    /// Routes this journal's metrics (`journal_appends`,
+    /// `journal_batch_records`, `journal_ops_committed`,
+    /// `journal_syncs`, and the `journal_sync_nanos` /
+    /// `journal_batch_ops` histograms) into `rec`. The counts are
+    /// deterministic (the journal is writer-serial); the histograms,
+    /// like all histograms, are not.
+    pub fn set_recorder(&mut self, rec: fdi_obs::Recorder) {
+        self.rec = rec;
     }
 
     /// Appends one op record (visible, not yet durable — call
     /// [`Journal::sync`] to commit).
     pub fn append(&mut self, op: &JournalOp) -> Result<(), StoreError> {
+        self.rec.incr(fdi_obs::Counter::JournalAppends);
         self.storage.append(&frame(&op.encode()))
     }
 
@@ -477,12 +494,19 @@ impl<S: Storage> Journal<S> {
         if ops.is_empty() {
             return Ok(());
         }
+        self.rec.incr(fdi_obs::Counter::JournalBatchRecords);
+        self.rec
+            .add(fdi_obs::Counter::JournalOpsCommitted, ops.len() as u64);
+        self.rec
+            .observe(fdi_obs::Hist::JournalBatchOps, ops.len() as u64);
         self.storage.append(&frame(&batch_payload(ops)))
     }
 
     /// Durability barrier: after this returns `Ok`, every appended op
     /// survives a crash.
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.rec.incr(fdi_obs::Counter::JournalSyncs);
+        let _span = self.rec.span(fdi_obs::Hist::JournalSyncNanos);
         self.storage.sync()
     }
 
@@ -512,7 +536,20 @@ impl<S: Storage> Journal<S> {
     /// idempotent — recovering the same storage twice yields the same
     /// database (the first pass's truncation makes the second pass
     /// clean).
-    pub fn recover(mut storage: S) -> Result<Recovered<S>, RecoverError> {
+    pub fn recover(storage: S) -> Result<Recovered<S>, RecoverError> {
+        Self::recover_with(storage, &fdi_obs::Recorder::noop())
+    }
+
+    /// [`Journal::recover`] plus metrics: records
+    /// `recovery_replayed_ops` and `journal_torn_truncations` into
+    /// `rec` (both deterministic — pure functions of the bytes on
+    /// disk), and the reopened journal keeps recording into `rec`.
+    /// The recovered database does **not** tally its replay mutations:
+    /// replay reconstructs state, it is not new traffic.
+    pub fn recover_with(
+        mut storage: S,
+        rec: &fdi_obs::Recorder,
+    ) -> Result<Recovered<S>, RecoverError> {
         if storage.is_empty() {
             return Err(RecoverError::Empty);
         }
@@ -604,9 +641,14 @@ impl<S: Storage> Journal<S> {
         };
         if let Some(t) = torn {
             storage.truncate(t.offset)?;
+            rec.incr(fdi_obs::Counter::JournalTornTruncations);
         }
+        rec.add(fdi_obs::Counter::RecoveryReplayedOps, ops.len() as u64);
         Ok(Recovered {
-            journal: Journal { storage },
+            journal: Journal {
+                storage,
+                rec: rec.clone(),
+            },
             db,
             ops,
             torn,

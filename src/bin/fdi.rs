@@ -43,8 +43,18 @@
 //!   epoch, and `table` / `select <attr> <value>` / `epoch` read the
 //!   *published* snapshot — staged ops are invisible until committed.
 //!   `quit` (or EOF) publishes pending work and ends the session;
-//!   with `--tcp`, clients connect in turn and `shutdown` stops the
-//!   server. `--batch N` sets the group-commit width (default 64).
+//!   with `--tcp`, clients connect in turn (a dropped client or failed
+//!   accept does not stop the server) and `shutdown` stops it.
+//!   `--batch N` sets the group-commit width (default 64). The
+//!   `metrics` command (`metrics json` for JSON) renders the session's
+//!   live `fdi-obs` snapshot — epoch gauges, publish counters, journal
+//!   sync counters, plan-cache/memo traffic — in the stable exposition
+//!   format.
+//! * `fdi stats <journal> [--json]` — recover the journal with a live
+//!   recorder and print the observability snapshot of recovery plus a
+//!   recorded TEST-FDs sweep (both conventions) over the recovered
+//!   state: replayed-op and torn-tail counters, chase work if
+//!   enforcement chased, TEST-FD row-scan tallies.
 //!
 //! Exit codes: `0` success, `1` runtime failure (I/O, corrupt journal,
 //! unsatisfiable description), `2` usage or input-parse error.
@@ -53,6 +63,7 @@ use fd_incomplete::core::interp::DEFAULT_BUDGET;
 use fd_incomplete::core::query::Query;
 use fd_incomplete::core::update::{Database, Policy};
 use fd_incomplete::core::{armstrong, chase, normalize, satisfy, subst, testfd};
+use fd_incomplete::obs::Recorder;
 use fd_incomplete::prelude::*;
 use fd_incomplete::relation::rowid::RowId;
 use fd_incomplete::serve::{self, ServeOp, Staged};
@@ -261,7 +272,7 @@ fn run(command: &str, desc: &Description) -> Result<(), CliError> {
         other => {
             return Err(CliError::parse(format!(
                 "unknown command {other:?} (try: report, strong, weak, chase, chase-extended, \
-                 keys, normalize, exhaustion, journal-apply, recover, checkpoint)"
+                 keys, normalize, exhaustion, journal-apply, recover, checkpoint, stats, serve)"
             )))
         }
     }
@@ -512,6 +523,41 @@ fn run_checkpoint(journal_path: &str) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The `stats` verb's payload: recovers the journal under a live
+/// recorder, then runs a recorded TEST-FDs sweep (both conventions)
+/// over the recovered state, and renders the resulting snapshot.
+fn stats_report(journal_path: &str, json: bool) -> Result<String, CliError> {
+    let storage = FileStorage::open(journal_path)
+        .map_err(|e| CliError::runtime(format!("cannot open journal {journal_path}: {e}")))?;
+    if storage.is_empty() {
+        return Err(CliError::runtime(format!(
+            "journal {journal_path} is empty: nothing to report"
+        )));
+    }
+    let rec = Recorder::enabled();
+    let recovered = Journal::recover_with(storage, &rec)
+        .map_err(|e| CliError::runtime(format!("cannot recover journal {journal_path}: {e}")))?;
+    let db = recovered.db;
+    // A recorded satisfiability sweep over the recovered state: the
+    // verdicts are in the journal's history already, so only the
+    // tallies (checks, rows scanned, fallback hits) are of interest.
+    let _ = testfd::check_with(db.instance(), db.fds(), Convention::Strong, &rec);
+    let _ = testfd::check_with(db.instance(), db.fds(), Convention::Weak, &rec);
+    let snap = rec.snapshot();
+    Ok(if json {
+        let mut text = snap.render_json();
+        text.push('\n');
+        text
+    } else {
+        snap.render_text()
+    })
+}
+
+fn run_stats(journal_path: &str, json: bool) -> Result<(), CliError> {
+    print!("{}", stats_report(journal_path, json)?);
+    Ok(())
+}
+
 /// Opens an epoch-split serving pair over the journal at `path`:
 /// recovers it if it holds bytes, otherwise creates it from the
 /// description file (required on first use).
@@ -621,14 +667,16 @@ fn io_err(e: std::io::Error) -> CliError {
 }
 
 /// One interactive serving session over any line stream: mutations
-/// stage, `commit` publishes, reads (`table`, `select`, `epoch`) see
-/// only the published snapshot. Returns `true` if the client asked the
+/// stage, `commit` publishes, reads (`table`, `select`, `epoch`,
+/// `metrics`) see only the published snapshot (except `metrics`, which
+/// renders the live recorder). Returns `true` if the client asked the
 /// whole server to shut down (`shutdown`); `quit` or EOF ends just this
 /// session, publishing any pending staged work first (durable before
 /// the prompt closes).
 fn serve_session<S: Storage, R: BufRead, W: IoWrite>(
     writer: &mut serve::Writer<S>,
     reader: &serve::Reader,
+    rec: &Recorder,
     input: R,
     out: &mut W,
 ) -> Result<bool, CliError> {
@@ -636,7 +684,7 @@ fn serve_session<S: Storage, R: BufRead, W: IoWrite>(
     writeln!(
         out,
         "serving epoch {} ({} row(s)); verbs: insert delete modify resolve compact \
-         commit table select epoch quit shutdown",
+         commit table select epoch metrics quit shutdown",
         hello.seq(),
         hello.db().instance().len()
     )
@@ -682,6 +730,16 @@ fn serve_session<S: Storage, R: BufRead, W: IoWrite>(
                 let epoch = reader.snapshot();
                 writeln!(out, "{}", epoch.db().instance().render(true)).map_err(io_err)?;
             }
+            "metrics" => {
+                let snap = rec.snapshot();
+                match (words.next(), words.next()) {
+                    (None, _) => write!(out, "{}", snap.render_text()).map_err(io_err)?,
+                    (Some("json"), None) => {
+                        writeln!(out, "{}", snap.render_json()).map_err(io_err)?
+                    }
+                    _ => writeln!(out, "error: usage is `metrics [json]`").map_err(io_err)?,
+                }
+            }
             "select" => {
                 let (Some(attr), Some(value), None) = (words.next(), words.next(), words.next())
                 else {
@@ -693,7 +751,7 @@ fn serve_session<S: Storage, R: BufRead, W: IoWrite>(
                     Err(e) => writeln!(out, "error: {e}").map_err(io_err)?,
                     Ok(query) => {
                         let selection = epoch
-                            .select(&query, &fdi_exec::Executor::from_env())
+                            .select_recorded(&query, &fdi_exec::Executor::from_env(), rec)
                             .map_err(|e| CliError::runtime(e.to_string()))?;
                         let position = |row: RowId| {
                             epoch
@@ -746,18 +804,41 @@ fn serve_session<S: Storage, R: BufRead, W: IoWrite>(
 
 /// Serves TCP clients one at a time over the shared writer (readers of
 /// the published epoch are cheap; the single writer is the serializing
-/// resource). A client's `shutdown` stops the listener.
+/// resource). A client's `shutdown` stops the listener. Per-client
+/// failures — a refused accept, a connection dropped mid-session — are
+/// reported and survived: the server stays up for the next connection,
+/// and any work the dropped client staged-but-did-not-commit simply
+/// rides along until the next publish. Only non-I/O runtime failures
+/// (journal corruption, publish errors) stop the server.
 fn serve_tcp<S: Storage>(
     listener: TcpListener,
     writer: &mut serve::Writer<S>,
     reader: &serve::Reader,
+    rec: &Recorder,
 ) -> Result<(), CliError> {
     for conn in listener.incoming() {
-        let stream = conn.map_err(io_err)?;
-        let input = BufReader::new(stream.try_clone().map_err(io_err)?);
+        let stream = match conn {
+            Ok(stream) => stream,
+            Err(e) => {
+                println!("accept failed ({e}); still listening");
+                continue;
+            }
+        };
+        let input = match stream.try_clone() {
+            Ok(half) => BufReader::new(half),
+            Err(e) => {
+                println!("client dropped at connect ({e}); still listening");
+                continue;
+            }
+        };
         let mut out = stream;
-        if serve_session(writer, reader, input, &mut out)? {
-            break;
+        match serve_session(writer, reader, rec, input, &mut out) {
+            Ok(true) => break,
+            Ok(false) => {}
+            Err(CliError::Runtime(msg)) if msg.starts_with("i/o error:") => {
+                println!("client dropped mid-session ({msg}); still listening");
+            }
+            Err(e) => return Err(e),
         }
     }
     Ok(())
@@ -792,12 +873,19 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
         [journal, desc] => (*journal, Some(*desc)),
         _ => return Err(CliError::parse(USAGE)),
     };
-    let (mut writer, reader) = open_writer(journal_path, desc_path, max_batch)?;
+    let (mut writer, mut reader) = open_writer(journal_path, desc_path, max_batch)?;
+    // One live recorder for the whole serving process: the writer's
+    // publish/journal metrics, the reader's snapshot metrics, and the
+    // query-path metrics of every `select` all land in the same sink,
+    // which the `metrics` command renders.
+    let rec = Recorder::enabled();
+    writer.set_recorder(rec.clone());
+    reader.set_recorder(rec.clone());
     match tcp {
         None => {
             let stdin = std::io::stdin();
             let mut stdout = std::io::stdout();
-            serve_session(&mut writer, &reader, stdin.lock(), &mut stdout)?;
+            serve_session(&mut writer, &reader, &rec, stdin.lock(), &mut stdout)?;
             Ok(())
         }
         Some(addr) => {
@@ -805,7 +893,7 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
                 .map_err(|e| CliError::runtime(format!("cannot bind {addr}: {e}")))?;
             let local = listener.local_addr().map_err(io_err)?;
             println!("listening on {local}");
-            serve_tcp(listener, &mut writer, &reader)
+            serve_tcp(listener, &mut writer, &reader, &rec)
         }
     }
 }
@@ -815,6 +903,7 @@ const USAGE: &str = "usage:\n  \
     fdi journal-apply <journal> <ops-file> [desc-file]\n  \
     fdi recover <journal>\n  \
     fdi checkpoint <journal>\n  \
+    fdi stats <journal> [--json]\n  \
     fdi serve <journal> [desc-file] [--batch N] [--tcp ADDR]";
 
 fn dispatch(args: &[String]) -> Result<(), CliError> {
@@ -824,8 +913,12 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         ("journal-apply", 4) => run_journal_apply(&args[1], &args[2], Some(&args[3])),
         ("recover", 2) => run_recover(&args[1]),
         ("checkpoint", 2) => run_checkpoint(&args[1]),
+        ("stats", 2) => run_stats(&args[1], false),
+        ("stats", 3) if args[2] == "--json" => run_stats(&args[1], true),
         ("serve", n) if n >= 2 => run_serve(&args[1..]),
-        ("journal-apply" | "recover" | "checkpoint" | "serve", _) => Err(CliError::parse(USAGE)),
+        ("journal-apply" | "recover" | "checkpoint" | "stats" | "serve", _) => {
+            Err(CliError::parse(USAGE))
+        }
         (_, 2) => {
             let text = std::fs::read_to_string(&args[1])
                 .map_err(|e| CliError::runtime(format!("cannot read {}: {e}", args[1])))?;
@@ -1050,8 +1143,14 @@ cyd eng   -
                       bogus-verb\n\
                       quit\n";
         let mut out = Vec::new();
-        let shutdown = serve_session(&mut writer, &reader, std::io::Cursor::new(script), &mut out)
-            .expect("session runs");
+        let shutdown = serve_session(
+            &mut writer,
+            &reader,
+            &Recorder::noop(),
+            std::io::Cursor::new(script),
+            &mut out,
+        )
+        .expect("session runs");
         assert!(!shutdown, "quit must not request server shutdown");
         let text = String::from_utf8(out).unwrap();
 
@@ -1109,7 +1208,7 @@ cyd eng   -
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
         let addr = listener.local_addr().unwrap();
         let server = std::thread::spawn(move || {
-            serve_tcp(listener, &mut writer, &reader).expect("server runs");
+            serve_tcp(listener, &mut writer, &reader, &Recorder::noop()).expect("server runs");
             writer
         });
 
@@ -1135,5 +1234,168 @@ cyd eng   -
         assert_eq!(writer.db().instance().len(), 4);
         // every session published on close: 1 commit + 2 session closes
         assert_eq!(writer.seq(), 3);
+    }
+
+    /// Pulls `<name> <value>` out of an exposition rendering, where
+    /// `name` includes the label set (e.g. `fdi_ops_applied{det="true"}`).
+    fn metric_value(text: &str, name: &str) -> u64 {
+        text.lines()
+            .find_map(|line| {
+                line.strip_prefix(name)
+                    .and_then(|rest| rest.trim().parse().ok())
+            })
+            .unwrap_or_else(|| panic!("metric {name} not found in:\n{text}"))
+    }
+
+    /// The acceptance path for the observability layer: a serving
+    /// session with a live recorder answers `metrics` with exposition
+    /// output covering the epoch gauges, publish counters, journal sync
+    /// counters, and plan-cache/memo query traffic — and `metrics json`
+    /// with the JSON form.
+    #[test]
+    fn serve_session_metrics_exposes_live_counters() {
+        let (mut writer, mut reader) = sample_serving_pair();
+        let rec = Recorder::enabled();
+        writer.set_recorder(rec.clone());
+        reader.set_recorder(rec.clone());
+        let script = "insert cyd eng noa\n\
+                      commit\n\
+                      select dept eng\n\
+                      select dept eng\n\
+                      metrics\n\
+                      metrics json\n\
+                      quit\n";
+        let mut out = Vec::new();
+        serve_session(
+            &mut writer,
+            &reader,
+            &rec,
+            std::io::Cursor::new(script),
+            &mut out,
+        )
+        .expect("session runs");
+        let text = String::from_utf8(out).unwrap();
+
+        // epoch gauges + publish counter reflect the one explicit commit
+        assert_eq!(metric_value(&text, "fdi_epoch_seq{det=\"true\"}"), 1);
+        assert_eq!(metric_value(&text, "fdi_epochs_published{det=\"true\"}"), 1);
+        assert_eq!(metric_value(&text, "fdi_ops_applied{det=\"true\"}"), 1);
+        // the publish group-committed and synced the journal
+        assert!(metric_value(&text, "fdi_journal_syncs{det=\"true\"}") >= 1);
+        assert!(metric_value(&text, "fdi_journal_ops_committed{det=\"true\"}") >= 1);
+        // two identical selects: one compile (miss), one plan-cache hit
+        assert_eq!(metric_value(&text, "fdi_query_compiles{det=\"false\"}"), 1);
+        assert_eq!(
+            metric_value(&text, "fdi_plan_cache_misses{det=\"false\"}"),
+            1
+        );
+        assert_eq!(metric_value(&text, "fdi_plan_cache_hits{det=\"false\"}"), 1);
+        // bob's null dept consulted the NEC-signature memo; the
+        // null-free rows took the classical fast path
+        assert!(metric_value(&text, "fdi_memo_misses{det=\"false\"}") >= 1);
+        assert!(metric_value(&text, "fdi_classical_rows{det=\"false\"}") >= 1);
+        assert!(text.contains("fdi_memo_hits{det=\"false\"}"), "{text}");
+        // the session reader records its snapshot traffic
+        assert!(metric_value(&text, "fdi_snapshot_reads{det=\"false\"}") >= 1);
+        // publish latency histogram has one observation
+        assert_eq!(
+            metric_value(&text, "fdi_publish_nanos_count{det=\"false\"}"),
+            1
+        );
+        // JSON form rides the same snapshot
+        assert!(text.contains("\"counters\":{"), "{text}");
+        assert!(text.contains("\"epochs_published\":1"), "{text}");
+        assert!(text.contains("\"epoch_published\""), "event ring: {text}");
+        // the published epoch carries the frozen snapshot
+        let epoch = reader.snapshot();
+        assert_eq!(
+            epoch
+                .metrics()
+                .counter(fd_incomplete::obs::Counter::EpochsPublished),
+            2,
+            "session-close publish froze its own publication into the epoch"
+        );
+    }
+
+    /// Sequential reconnects with an abrupt client: the first client
+    /// disconnects without `quit` (bare EOF) and its staged work is
+    /// still published durably; two more clients reconnect in turn and
+    /// see it; per-client failures never stop the listener.
+    #[test]
+    fn serve_tcp_survives_eof_clients_across_reconnects() {
+        use std::io::{Read as _, Write as _};
+
+        let (mut writer, reader) = sample_serving_pair();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            serve_tcp(listener, &mut writer, &reader, &Recorder::noop()).expect("server runs");
+            writer
+        });
+
+        let talk = |script: &str| -> String {
+            let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+            conn.write_all(script.as_bytes()).unwrap();
+            conn.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reply = String::new();
+            conn.read_to_string(&mut reply).unwrap();
+            reply
+        };
+
+        // client 1 stages an insert and vanishes without `quit`: the
+        // session's close path still publishes it durably
+        let first = talk("insert cyd eng noa\n");
+        assert!(first.contains("staged (1 op(s) await commit)"), "{first}");
+        assert!(first.contains("session closed at epoch 1"), "{first}");
+        // client 2 reconnects and sees the abandoned client's work
+        let second = talk("table\nquit\n");
+        assert_eq!(
+            second.matches("cyd").count(),
+            2,
+            "reconnected client must see the EOF client's published work: {second}"
+        );
+        // client 3 reconnects once more and stops the server
+        let third = talk("epoch\nshutdown\n");
+        assert!(third.contains("epoch 2 ("), "{third}");
+
+        let writer = server.join().expect("server thread");
+        assert_eq!(writer.db().instance().len(), 4);
+        assert_eq!(writer.seq(), 3, "three session-close publishes");
+    }
+
+    /// The `stats` verb end to end: build a journal on disk, then
+    /// recover it under a live recorder — replayed-op counts and the
+    /// recorded TEST-FDs sweep show up in both renderings.
+    #[test]
+    fn stats_verb_reports_recovery_and_testfd_tallies() {
+        let dir = std::env::temp_dir().join(format!("fdi-cli-stats-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let desc = dir.join("db.fdi");
+        let ops = dir.join("ops.txt");
+        let journal = dir.join("staff.journal");
+        std::fs::write(&desc, SAMPLE).unwrap();
+        std::fs::write(&ops, "insert cyd eng noa\ndelete 4\nmodify 1 mgr noa\n").unwrap();
+        let jpath = journal.to_str().unwrap().to_string();
+        run_journal_apply(&jpath, ops.to_str().unwrap(), Some(desc.to_str().unwrap()))
+            .expect("create + apply");
+
+        let text = stats_report(&jpath, false).expect("stats");
+        assert_eq!(
+            metric_value(&text, "fdi_recovery_replayed_ops{det=\"true\"}"),
+            3
+        );
+        assert_eq!(
+            metric_value(&text, "fdi_journal_torn_truncations{det=\"true\"}"),
+            0
+        );
+        // one strong + one weak recorded sweep
+        assert_eq!(metric_value(&text, "fdi_testfd_checks{det=\"true\"}"), 2);
+        assert!(metric_value(&text, "fdi_testfd_rows_scanned{det=\"false\"}") >= 1);
+
+        let json = stats_report(&jpath, true).expect("stats --json");
+        assert!(json.starts_with("{\"counters\":{"), "{json}");
+        assert!(json.contains("\"recovery_replayed_ops\":3"), "{json}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -23,7 +23,11 @@
 //! * [`store`] (`fdi-store`) — the durability layer: a write-ahead op
 //!   journal, crash recovery, and deterministic fault injection;
 //! * [`serve`] (`fdi-serve`) — the epoch-split serving layer: immutable
-//!   published snapshots under a single group-committing writer.
+//!   published snapshots under a single group-committing writer;
+//! * [`obs`] (`fdi-obs`) — the zero-dependency observability layer:
+//!   atomic counters and gauges, log₂ latency histograms, scoped span
+//!   timers, and a bounded structured event ring, all behind a cheap
+//!   [`obs::Recorder`] handle.
 //!
 //! ## Quick start
 //!
@@ -114,6 +118,45 @@
 //! keyed by the query's canonical encoding, and
 //! [`serve::Writer::watch`] maintains registered queries incrementally
 //! across updates, publishing their answer sets with each epoch.
+//!
+//! ## Observability
+//!
+//! Every layer is instrumented through [`obs`] (`fdi-obs`), a std-only
+//! metrics and tracing facility in the engine's own idiom: no
+//! background threads, no global state, no dependencies. An
+//! [`obs::Recorder`] is a cloneable handle that is either **live**
+//! (shared atomic counters, gauges, fixed-bucket log₂ latency
+//! histograms, a bounded structured event ring) or the **noop**
+//! ([`obs::Recorder::noop`], the default everywhere) whose record
+//! methods are branch-predictable no-ops — engines pay nothing unless a
+//! sink is installed, and the determinism suite holds that a noop
+//! recorder changes no engine output.
+//!
+//! Wiring points: [`core::update::Database::set_recorder`] (op
+//! acceptance + index deltas), [`store::JournaledDatabase::set_recorder`]
+//! (journal appends, group-commit batches, sync latency),
+//! [`store::Journal::recover_with`] (torn-tail truncations, replayed
+//! ops), [`serve::Writer::set_recorder`] / [`serve::Reader::set_recorder`]
+//! (publish latency, epoch gauges, snapshot reads), the recorded chase
+//! entry points ([`core::chase::chase_indexed_par_with`],
+//! [`core::chase::extended_chase_par_with`]), the recorded TEST-FDs
+//! entry points ([`core::testfd::check_with`],
+//! [`core::testfd::check_par_with`]), and
+//! [`serve::Epoch::select_recorded`] (plan-cache, NEC-signature memo,
+//! and classical-fast-path traffic). Each published [`serve::Epoch`]
+//! carries the writer's frozen [`obs::MetricsSnapshot`]
+//! ([`serve::Epoch::metrics`]).
+//!
+//! Metrics are split into a **deterministic** registry (bit-identical
+//! across `FDI_THREADS` settings and reader counts for the same op
+//! stream — op tallies, index deltas, journal record counts, chase
+//! pass/union counts, epoch gauges) and a **nondeterministic** one
+//! (wall-clock histograms and reader-driven traffic); the split is part
+//! of the exposition format ([`obs::MetricsSnapshot::render_text`], a
+//! stable Prometheus-style text form, and
+//! [`obs::MetricsSnapshot::render_json`]) and is pinned by
+//! `tests/obs_determinism.rs`. The `fdi stats <journal>` verb and the
+//! `metrics` command of `fdi serve` expose both live.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -121,6 +164,7 @@
 pub use fdi_core as core;
 pub use fdi_gen as gen;
 pub use fdi_logic as logic;
+pub use fdi_obs as obs;
 pub use fdi_relation as relation;
 pub use fdi_serve as serve;
 pub use fdi_store as store;
@@ -134,6 +178,7 @@ pub mod prelude {
     pub use fdi_core::testfd::{self, Convention};
     pub use fdi_core::update::{Database, Enforcement, Policy};
     pub use fdi_logic::truth::Truth;
+    pub use fdi_obs::{MetricsSnapshot, Recorder};
     pub use fdi_relation::instance::Instance;
     pub use fdi_relation::schema::Schema;
     pub use fdi_relation::{AttrId, AttrSet, NullId, Value};
