@@ -18,6 +18,7 @@ struct Point {
     indexed_ns: u128,
     testfd_pairwise_ns: Option<u128>,
     testfd_grouped_ns: u128,
+    testfd_grouped_zst_ns: u128,
 }
 
 fn main() {
@@ -34,6 +35,7 @@ fn main() {
         "speedup",
         "testfd pairwise",
         "testfd grouped",
+        "grouped (zst)",
     ]);
     let mut points = Vec::new();
     for &n in sizes {
@@ -53,6 +55,19 @@ fn main() {
             let verdict = testfd::check_grouped(&w.instance, &w.fds, Convention::Weak);
             std::hint::black_box(verdict.is_ok());
         });
+        // The genericized engine through a zero-sized semantics: the
+        // monomorphized twin of the enum-dispatched run above. The
+        // guard below asserts the `Semantics` refactor stayed free.
+        let t_grouped_zst = median_time(repeats, || {
+            let verdict = testfd::check_grouped(&w.instance, &w.fds, fdi_core::semantics::Weak);
+            std::hint::black_box(verdict.is_ok());
+        });
+        let ratio = t_grouped_zst.as_secs_f64() / t_grouped.as_secs_f64();
+        assert!(
+            ratio < 3.0 && ratio > 1.0 / 3.0,
+            "generic TEST-FDs drifted from the Convention baseline at n = {n}: \
+             zst/enum ratio {ratio:.2} outside the 3x noise bound"
+        );
         let t_pairwise = (n <= 10_000).then(|| {
             median_time(1, || {
                 let verdict = testfd::check_pairwise(&w.instance, &w.fds, Convention::Weak);
@@ -83,6 +98,7 @@ fn main() {
                 .map(fmt_duration)
                 .unwrap_or_else(|| "(skipped)".into()),
             fmt_duration(t_grouped),
+            fmt_duration(t_grouped_zst),
         ]);
         points.push(Point {
             n,
@@ -90,6 +106,7 @@ fn main() {
             indexed_ns: t_indexed.as_nanos(),
             testfd_pairwise_ns: t_pairwise.map(|d| d.as_nanos()),
             testfd_grouped_ns: t_grouped.as_nanos(),
+            testfd_grouped_zst_ns: t_grouped_zst.as_nanos(),
         });
     }
     table.print();
@@ -120,13 +137,15 @@ fn render_json(points: &[Point]) -> String {
             .unwrap_or_else(|| "null".to_string());
         out.push_str(&format!(
             "    {{\"n\": {}, \"chase_naive_ns\": {}, \"chase_indexed_ns\": {}, \
-             \"chase_speedup\": {}, \"testfd_pairwise_ns\": {}, \"testfd_grouped_ns\": {}}}{}\n",
+             \"chase_speedup\": {}, \"testfd_pairwise_ns\": {}, \"testfd_grouped_ns\": {}, \
+             \"testfd_grouped_zst_ns\": {}}}{}\n",
             p.n,
             naive,
             p.indexed_ns,
             speedup,
             pairwise,
             p.testfd_grouped_ns,
+            p.testfd_grouped_zst_ns,
             if i + 1 == points.len() { "" } else { "," }
         ));
     }

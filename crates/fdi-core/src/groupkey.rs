@@ -29,6 +29,7 @@ pub type GroupKey = Vec<u64>;
 const TAG_CONST: u64 = 0 << 32;
 const TAG_CLASS: u64 = 1 << 32;
 const TAG_NOTHING: u64 = 2 << 32;
+const TAG_SOLO: u64 = 3 << 32;
 
 /// Packs one value into its canonical atom. `row` disambiguates
 /// `nothing` occurrences (the slot index is unique per live row);
@@ -46,6 +47,24 @@ pub fn atom_with(value: Value, row: RowId, root_of: impl FnOnce(NullId) -> NullI
 #[inline]
 pub fn atom(value: Value, row: RowId, snapshot: &NecSnapshot) -> u64 {
     atom_with(value, row, |n| snapshot.root(n))
+}
+
+/// [`atom`] under a semantics' null-keying policy: when
+/// `solitary_nulls` is set (conventions where class nulls do not agree
+/// — [`crate::semantics::Semantics::solitary_nulls`]), a null keys by a
+/// **row-unique** atom like `nothing` does, so no two rows ever group
+/// through a null. With the flag clear this is exactly [`atom`].
+#[inline]
+pub fn atom_solitary(
+    value: Value,
+    row: RowId,
+    snapshot: &NecSnapshot,
+    solitary_nulls: bool,
+) -> u64 {
+    match value {
+        Value::Null(_) if solitary_nulls => TAG_SOLO | row.0 as u64,
+        _ => atom(value, row, snapshot),
+    }
 }
 
 /// Writes the canonical key of `tuple[attrs]` into `key` (cleared
@@ -108,11 +127,27 @@ pub fn group_rows(
     attrs: AttrSet,
     snapshot: &NecSnapshot,
 ) -> std::collections::HashMap<GroupKey, Vec<RowId>> {
+    group_rows_solitary(instance, attrs, snapshot, false)
+}
+
+/// [`group_rows`] under a semantics' null-keying policy (see
+/// [`atom_solitary`]): with `solitary_nulls` set, null-bearing rows are
+/// singleton groups on the null components — the agreement classes of
+/// conventions where nulls never trigger a dependency.
+pub fn group_rows_solitary(
+    instance: &fdi_relation::instance::Instance,
+    attrs: AttrSet,
+    snapshot: &NecSnapshot,
+    solitary_nulls: bool,
+) -> std::collections::HashMap<GroupKey, Vec<RowId>> {
     let mut groups: std::collections::HashMap<GroupKey, Vec<RowId>> =
         std::collections::HashMap::with_capacity(instance.len());
     let mut key = GroupKey::new();
     for (row, tuple) in instance.iter_live() {
-        key_into(&mut key, tuple, row, attrs, snapshot);
+        key.clear();
+        for a in attrs.iter() {
+            key.push(atom_solitary(tuple.get(a), row, snapshot, solitary_nulls));
+        }
         groups.entry(key.clone()).or_default().push(row);
     }
     groups
@@ -131,9 +166,22 @@ pub fn group_rows_par(
     snapshot: &NecSnapshot,
     exec: &fdi_exec::Executor,
 ) -> std::collections::HashMap<GroupKey, Vec<RowId>> {
+    group_rows_par_solitary(instance, attrs, snapshot, false, exec)
+}
+
+/// [`group_rows_par`] under a semantics' null-keying policy — the
+/// sharded twin of [`group_rows_solitary`], with the same
+/// merge-in-shard-order equality promise.
+pub fn group_rows_par_solitary(
+    instance: &fdi_relation::instance::Instance,
+    attrs: AttrSet,
+    snapshot: &NecSnapshot,
+    solitary_nulls: bool,
+    exec: &fdi_exec::Executor,
+) -> std::collections::HashMap<GroupKey, Vec<RowId>> {
     use std::collections::hash_map::Entry;
     if exec.threads() == 1 {
-        return group_rows(instance, attrs, snapshot);
+        return group_rows_solitary(instance, attrs, snapshot, solitary_nulls);
     }
     // A few shards per worker so tombstone-skewed arenas still balance.
     let shards = instance.row_id_shards(exec.threads() * 4);
@@ -142,7 +190,10 @@ pub fn group_rows_par(
             std::collections::HashMap::new();
         let mut key = GroupKey::new();
         for (row, tuple) in instance.iter_live_in(shard) {
-            key_into(&mut key, tuple, row, attrs, snapshot);
+            key.clear();
+            for a in attrs.iter() {
+                key.push(atom_solitary(tuple.get(a), row, snapshot, solitary_nulls));
+            }
             groups.entry(key.clone()).or_default().push(row);
         }
         groups

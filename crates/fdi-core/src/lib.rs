@@ -20,6 +20,11 @@
 //!   congruence-closure fast path of Theorem 4;
 //! * [`testfd`] — the TEST-FDs algorithm of Figure 3 with the strong and
 //!   weak null-comparison conventions of Theorems 2 and 3;
+//! * [`semantics`] — the pluggable null-comparison semantics behind
+//!   TEST-FDs: the [`semantics::Semantics`] trait, the strong/weak
+//!   conventions as zero-sized impls, the Badia–Lemire null-marker and
+//!   Atzeni–Morfuni NFD alternatives, and the differential comparison
+//!   harness ([`semantics::compare`]);
 //! * [`subst`] — the domain-dependent substitution rules for nulls in
 //!   `t[X]` (§4 conditions (1)–(2)) and the `[F2]` exhaustion detector;
 //! * [`normalize`] — BCNF/3NF decomposition and the tableau lossless-join
@@ -124,6 +129,7 @@ pub mod normalize;
 pub mod prop1;
 pub mod query;
 pub mod satisfy;
+pub mod semantics;
 pub mod subst;
 pub mod testfd;
 pub mod universal;

@@ -16,7 +16,8 @@
 
 use crate::fd::{Fd, FdSet};
 use crate::prop1;
-use crate::testfd;
+use crate::semantics::SemanticsKind;
+use crate::testfd::{self, Violation};
 use fdi_logic::truth::Truth;
 use fdi_relation::error::RelationError;
 use fdi_relation::instance::Instance;
@@ -50,6 +51,13 @@ pub struct Report {
     pub strong: bool,
     /// Joint weak satisfiability of the whole set.
     pub weak: bool,
+    /// Raw TEST-FDs verdict per registered null-comparison semantics
+    /// (in [`SemanticsKind::ALL`] lattice order), each with its
+    /// canonical least-pair witness on `Err`. These are the *direct*
+    /// convention checks on the instance as given — no chase — so the
+    /// weak row differs from [`weak`](Report::weak) on instances that
+    /// are not minimally incomplete (Theorem 3's proviso).
+    pub semantics: Vec<(SemanticsKind, Result<(), Violation>)>,
 }
 
 /// Builds the per-tuple truth table with the Proposition-1 evaluator and
@@ -94,6 +102,10 @@ pub fn report(fds: &FdSet, instance: &Instance, budget: u128) -> Result<Report, 
     Ok(Report {
         strong: testfd::check_strong(instance, fds).is_ok(),
         weak: crate::chase::weakly_satisfiable_via_chase(fds, instance),
+        semantics: SemanticsKind::ALL
+            .iter()
+            .map(|&kind| (kind, testfd::check(instance, fds, kind)))
+            .collect(),
         table,
         strong_per_fd,
         weak_per_fd,
@@ -147,6 +159,12 @@ pub fn render_report(report: &Report, fds: &FdSet, instance: &Instance) -> Strin
         "set: strongly satisfied = {}   weakly satisfiable = {}\n",
         report.strong, report.weak
     ));
+    for (kind, verdict) in &report.semantics {
+        match verdict {
+            Ok(()) => out.push_str(&format!("semantics {}: ok\n", kind)),
+            Err(v) => out.push_str(&format!("semantics {}: violated ({})\n", kind, v)),
+        }
+    }
     out
 }
 
@@ -178,6 +196,13 @@ mod tests {
         // f2 (D# → CT): e3's D#-null makes some evaluations unknown.
         assert!(!rep.strong_per_fd[1]);
         assert!(rep.weak_per_fd[1]);
+        // The per-semantics rows follow the lattice: the strong
+        // convention flags the D#-null, every optimistic convention
+        // accepts, and the rows come in ALL (lattice) order.
+        let kinds: Vec<_> = rep.semantics.iter().map(|(k, _)| *k).collect();
+        assert_eq!(kinds, SemanticsKind::ALL.to_vec());
+        assert!(rep.semantics[0].1.is_err(), "strong rejects");
+        assert!(rep.semantics[1..].iter().all(|(_, v)| v.is_ok()));
     }
 
     #[test]
@@ -216,5 +241,7 @@ mod tests {
         let text = render_report(&rep, &fds, &r);
         assert!(text.contains("A -> B"));
         assert!(text.contains("weakly satisfiable = false"));
+        assert!(text.contains("semantics strong:"));
+        assert!(text.contains("semantics nfd:"));
     }
 }

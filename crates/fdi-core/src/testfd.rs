@@ -4,7 +4,11 @@
 //! The algorithm: for every FD `X → Y`, sort the relation on `X`, scan
 //! groups of `X`-equal tuples, and report a violation when a group
 //! contains `Y`-unequal tuples. Null comparisons are governed by a
-//! **convention**:
+//! **convention** — every variant here is generic over
+//! [`crate::semantics::Semantics`], with [`Convention`]'s two variants
+//! (and the zero-sized impls in [`crate::semantics`]) as the paper's
+//! instances and the null-marker/NFD conventions as alternatives. The
+//! paper's two:
 //!
 //! * **strong** (Theorem 2, decides strong satisfiability on *any*
 //!   instance): equality involving a null is positive; inequality
@@ -60,6 +64,7 @@
 
 use crate::fd::{Fd, FdSet};
 use crate::groupkey;
+use crate::semantics::Semantics;
 use fdi_relation::instance::Instance;
 use fdi_relation::nec::NecSnapshot;
 use fdi_relation::rowid::RowId;
@@ -102,64 +107,44 @@ impl fmt::Display for Violation {
     }
 }
 
-/// `t[A] = t'[A]` under a convention.
-fn values_equal(a: Value, b: Value, conv: Convention, instance: &Instance) -> bool {
-    match (a, b) {
-        (Value::Const(x), Value::Const(y)) => x == y,
-        (Value::Null(m), Value::Null(n)) => match conv {
-            Convention::Strong => true,
-            Convention::Weak => instance.necs().same_class(m, n),
-        },
-        (Value::Null(_), _) | (_, Value::Null(_)) => matches!(conv, Convention::Strong),
-        // `nothing` is the inconsistent element; it matches nothing.
-        (Value::Nothing, _) | (_, Value::Nothing) => false,
-    }
-}
-
-/// `t[A] ≠ t'[A]` under a convention (NOT the negation of equality —
-/// that asymmetry is the whole point of the conventions).
-fn values_unequal(a: Value, b: Value, conv: Convention, instance: &Instance) -> bool {
-    match (a, b) {
-        (Value::Const(x), Value::Const(y)) => x != y,
-        (Value::Null(m), Value::Null(n)) => match conv {
-            Convention::Strong => !instance.necs().same_class(m, n),
-            Convention::Weak => false,
-        },
-        (Value::Null(_), _) | (_, Value::Null(_)) => matches!(conv, Convention::Strong),
-        (Value::Nothing, _) | (_, Value::Nothing) => true,
-    }
-}
-
-/// Projection equality on a set of attributes.
-fn rows_equal_on(
+/// Projection equality on a set of attributes — the semantics'
+/// agreement predicate ([`Semantics::values_equal`]) folded over the
+/// projection.
+fn rows_equal_on<S: Semantics>(
     instance: &Instance,
     i: RowId,
     j: RowId,
     attrs: fdi_relation::attrs::AttrSet,
-    conv: Convention,
+    sem: S,
 ) -> bool {
     attrs
         .iter()
-        .all(|a| values_equal(instance.value(i, a), instance.value(j, a), conv, instance))
+        .all(|a| sem.values_equal(instance.value(i, a), instance.value(j, a), instance))
 }
 
-/// Projection inequality (`∃` attribute positively unequal).
-fn rows_unequal_on(
+/// Projection inequality (`∃` attribute positively unequal) — the
+/// semantics' disagreement predicate ([`Semantics::values_unequal`]),
+/// which is NOT the negation of agreement.
+fn rows_unequal_on<S: Semantics>(
     instance: &Instance,
     i: RowId,
     j: RowId,
     attrs: fdi_relation::attrs::AttrSet,
-    conv: Convention,
+    sem: S,
 ) -> bool {
     attrs
         .iter()
-        .any(|a| values_unequal(instance.value(i, a), instance.value(j, a), conv, instance))
+        .any(|a| sem.values_unequal(instance.value(i, a), instance.value(j, a), instance))
 }
 
 /// Pairwise TEST-FDs: every pair of tuples checked for every FD —
 /// `O(|F|·n²)`, the footnoted variant that needs no sorting and is sound
-/// under both conventions.
-pub fn check_pairwise(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
+/// under every semantics.
+pub fn check_pairwise<S: Semantics>(
+    instance: &Instance,
+    fds: &FdSet,
+    sem: S,
+) -> Result<(), Violation> {
     let rows: Vec<RowId> = instance.row_ids().collect();
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
@@ -172,8 +157,8 @@ pub fn check_pairwise(instance: &Instance, fds: &FdSet, conv: Convention) -> Res
         }
         for (p, &i) in rows.iter().enumerate() {
             for &j in &rows[(p + 1)..] {
-                if rows_equal_on(instance, i, j, fd.lhs, conv)
-                    && rows_unequal_on(instance, i, j, fd.rhs, conv)
+                if rows_equal_on(instance, i, j, fd.lhs, sem)
+                    && rows_unequal_on(instance, i, j, fd.rhs, sem)
                 {
                     return Err(Violation {
                         fd_index,
@@ -186,20 +171,23 @@ pub fn check_pairwise(instance: &Instance, fds: &FdSet, conv: Convention) -> Res
     Ok(())
 }
 
-/// Sort key for one value under the weak convention: constants order by
-/// symbol, null classes by representative; nulls sort after constants
-/// ("null values have the lowest precedence" — the paper sorts them
-/// first; either end works, the group structure is what matters).
-/// `nothing` keys by row — the inconsistent element matches nothing, so
-/// no two rows may ever be grouped through it.
+/// Sort key for one value under a semantics' agreement classes:
+/// constants order by symbol, null classes by representative; nulls
+/// sort after constants ("null values have the lowest precedence" —
+/// the paper sorts them first; either end works, the group structure is
+/// what matters). `nothing` keys by row — the inconsistent element
+/// matches nothing, so no two rows may ever be grouped through it —
+/// and under semantics whose nulls never agree
+/// ([`Semantics::solitary_nulls`]) a null keys by row too.
 ///
 /// Null classes resolve through the caller's fully-compressed
 /// [`NecSnapshot`] — one `O(1)` array read — rather than an
 /// uncompressed parent-chain walk per value per comparison.
-fn weak_sort_key(v: Value, row: RowId, snapshot: &NecSnapshot) -> (u8, u32) {
+fn sort_key<S: Semantics>(v: Value, row: RowId, snapshot: &NecSnapshot, sem: S) -> (u8, u32) {
     match v {
         Value::Const(s) => (0, s.0),
-        Value::Null(n) => (1, snapshot.root(n).0),
+        Value::Null(n) if sem.class_nulls_agree() => (1, snapshot.root(n).0),
+        Value::Null(_) => (3, row.0),
         Value::Nothing => (2, row.0),
     }
 }
@@ -224,22 +212,25 @@ fn null_columns(instance: &Instance) -> fdi_relation::attrs::AttrSet {
     cols
 }
 
-/// [`null_columns`] when the convention needs it (only the strong
-/// convention's pairwise fallback consults it), the empty set — never
-/// intersecting anything — otherwise, so weak-convention calls skip
-/// the scan entirely.
-fn null_columns_for(instance: &Instance, conv: Convention) -> fdi_relation::attrs::AttrSet {
-    match conv {
-        Convention::Strong => null_columns(instance),
-        Convention::Weak => fdi_relation::attrs::AttrSet::EMPTY,
+/// [`null_columns`] when the semantics needs it — the scan feeds the
+/// pairwise-fallback trigger, so it is gated on
+/// [`Semantics::needs_pairwise_fallback`]: conventions without the
+/// fallback (everything but strong) get the empty set — never
+/// intersecting anything — and pay nothing for the scan.
+fn null_columns_for<S: Semantics>(instance: &Instance, sem: S) -> fdi_relation::attrs::AttrSet {
+    if sem.needs_pairwise_fallback() {
+        null_columns(instance)
+    } else {
+        fdi_relation::attrs::AttrSet::EMPTY
     }
 }
 
 /// Linear within-group violation scan: a group of `X`-equal rows is
 /// violation-free iff, for every `Y`-attribute, its values are all one
-/// constant (either convention) or all nulls of a single NEC class
-/// (strong convention; under the weak convention nulls never violate).
-/// `nothing` violates against any second row.
+/// constant (every convention) or all nulls of a single NEC class
+/// (conventions where nulls conflict — strong and null-marker; under
+/// the weak and nfd conventions nulls never violate). `nothing`
+/// violates against any second row.
 ///
 /// Returns the **least violating pair of the group** when `rows` is
 /// ascending (every caller's groups are): per attribute, the scan stops
@@ -255,31 +246,35 @@ fn null_columns_for(instance: &Instance, conv: Convention) -> fdi_relation::attr
 /// sweep instead of `O(group²)` — Figure 3's inner loop compares each
 /// tuple against the group's representative, which this generalizes to
 /// the null conventions.
-fn group_violation(
+fn group_violation<S: Semantics>(
     instance: &Instance,
     snapshot: &NecSnapshot,
     rows: &[RowId],
     rhs: fdi_relation::attrs::AttrSet,
-    conv: Convention,
+    sem: S,
 ) -> Option<(RowId, RowId)> {
     if rows.len() < 2 {
         return None;
     }
     let mut best: Option<(RowId, RowId)> = None;
     for b in rhs.iter() {
-        best = min_pair(best, attr_violation(instance, snapshot, rows, b, conv));
+        best = min_pair(best, attr_violation(instance, snapshot, rows, b, sem));
     }
     best
 }
 
 /// One attribute of [`group_violation`]'s scan: the least conflicting
 /// pair on `b` among the (ascending, `X`-agreeing) `rows`, if any.
-fn attr_violation(
+/// The conflict structure follows the semantics' axes: constants
+/// conflict with differing constants always, with nulls when
+/// [`Semantics::null_const_conflicts`], and nulls conflict across NEC
+/// classes when [`Semantics::cross_class_nulls_conflict`].
+fn attr_violation<S: Semantics>(
     instance: &Instance,
     snapshot: &NecSnapshot,
     rows: &[RowId],
     b: fdi_relation::attrs::AttrId,
-    conv: Convention,
+    sem: S,
 ) -> Option<(RowId, RowId)> {
     let pair = |a: RowId, b: RowId| Some((a.min(b), a.max(b)));
     let mut first_const: Option<(RowId, fdi_relation::symbol::Symbol)> = None;
@@ -298,17 +293,19 @@ fn attr_violation(
                 } else {
                     first_const = Some((r, c));
                 }
-                if conv == Convention::Strong {
+                if sem.null_const_conflicts() {
                     if let Some((rn, _)) = first_null {
                         return pair(rn, r);
                     }
                 }
             }
             Value::Null(n) => {
-                if conv == Convention::Strong {
+                if sem.null_const_conflicts() {
                     if let Some((r0, _)) = first_const {
                         return pair(r0, r);
                     }
+                }
+                if sem.cross_class_nulls_conflict() {
                     match first_null {
                         Some((rn, m)) => {
                             if !snapshot.same_class(m, n) {
@@ -324,17 +321,18 @@ fn attr_violation(
     None
 }
 
-/// Compares two rows on `X` by their weak-convention sort keys.
-fn weak_cmp(
+/// Compares two rows on `X` by their agreement-class sort keys.
+fn cmp_on<S: Semantics>(
     instance: &Instance,
     i: RowId,
     j: RowId,
     attrs: fdi_relation::attrs::AttrSet,
     snapshot: &NecSnapshot,
+    sem: S,
 ) -> Ordering {
     for a in attrs.iter() {
-        let ka = weak_sort_key(instance.value(i, a), i, snapshot);
-        let kb = weak_sort_key(instance.value(j, a), j, snapshot);
+        let ka = sort_key(instance.value(i, a), i, snapshot, sem);
+        let kb = sort_key(instance.value(j, a), j, snapshot, sem);
         match ka.cmp(&kb) {
             Ordering::Equal => continue,
             other => return other,
@@ -345,26 +343,31 @@ fn weak_cmp(
 
 /// Sorted TEST-FDs — the literal Figure 3 algorithm, `O(|F|·n·log n)`.
 ///
-/// Sound for the weak convention always; for the strong convention it
+/// Sound outright for every semantics whose determinant agreement is
+/// transitive (weak, null-marker, nfd); for the strong convention it
 /// automatically falls back to [`check_pairwise`] for any FD whose left
 /// side contains a null somewhere in the instance (the paper's
 /// footnote). Reports the canonical witness of [`check`]'s contract:
 /// the least violating pair of the lowest violated FD.
-pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
+pub fn check_sorted<S: Semantics>(
+    instance: &Instance,
+    fds: &FdSet,
+    sem: S,
+) -> Result<(), Violation> {
     let rows: Vec<RowId> = instance.row_ids().collect();
     let n = rows.len();
     let snapshot = instance.necs().canonical_snapshot();
-    let null_cols = null_columns_for(instance, conv);
+    let null_cols = null_columns_for(instance, sem);
     let mut order: Vec<RowId> = Vec::with_capacity(n);
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
             continue; // true in every instance
         }
-        if conv == Convention::Strong && !fd.lhs.intersect(null_cols).is_empty() {
+        if sem.needs_pairwise_fallback() && !fd.lhs.intersect(null_cols).is_empty() {
             // Null "equality" is not transitive: grouping by sort is
             // unsound. Use the pairwise variant for this FD.
-            check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| Violation {
+            check_pairwise(instance, &FdSet::from_vec(vec![fd]), sem).map_err(|v| Violation {
                 fd_index,
                 rows: v.rows,
             })?;
@@ -372,7 +375,7 @@ pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
         }
         order.clear();
         order.extend(rows.iter().copied());
-        order.sort_by(|&i, &j| weak_cmp(instance, i, j, fd.lhs, &snapshot));
+        order.sort_by(|&i, &j| cmp_on(instance, i, j, fd.lhs, &snapshot, sem));
         // Scan each group of X-equal rows with the linear per-attribute
         // representative check, folding the per-group minima so the
         // reported pair is the FD's least (groups are ascending — the
@@ -382,14 +385,14 @@ pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
         while start < n {
             let mut end = start + 1;
             while end < n
-                && weak_cmp(instance, order[start], order[end], fd.lhs, &snapshot)
+                && cmp_on(instance, order[start], order[end], fd.lhs, &snapshot, sem)
                     == Ordering::Equal
             {
                 end += 1;
             }
             best = min_pair(
                 best,
-                group_violation(instance, &snapshot, &order[start..end], fd.rhs, conv),
+                group_violation(instance, &snapshot, &order[start..end], fd.rhs, sem),
             );
             start = end;
         }
@@ -403,22 +406,26 @@ pub fn check_sorted(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
 /// Hash-grouped TEST-FDs — the "bucket sort" variant of Figure 3's
 /// *Additional Assumptions* paragraph: expected `O(|F|·n·p)`.
 ///
-/// Grouping hashes the weak-convention keys, so (like the sorted
-/// variant) it falls back to pairwise for strong-convention FDs whose
-/// left side meets a null. Group maps are scanned with a full
+/// Grouping hashes the semantics' agreement-class keys, so (like the
+/// sorted variant) it falls back to pairwise for strong-convention FDs
+/// whose left side meets a null. Group maps are scanned with a full
 /// minimum-fold — never in `HashMap` iteration order — so the reported
 /// witness is [`check`]'s canonical one, run-to-run deterministic.
-pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
+pub fn check_hashed<S: Semantics>(
+    instance: &Instance,
+    fds: &FdSet,
+    sem: S,
+) -> Result<(), Violation> {
     let n = instance.len();
     let snapshot = instance.necs().canonical_snapshot();
-    let null_cols = null_columns_for(instance, conv);
+    let null_cols = null_columns_for(instance, sem);
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
             continue; // true in every instance
         }
-        if conv == Convention::Strong && !fd.lhs.intersect(null_cols).is_empty() {
-            check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| Violation {
+        if sem.needs_pairwise_fallback() && !fd.lhs.intersect(null_cols).is_empty() {
+            check_pairwise(instance, &FdSet::from_vec(vec![fd]), sem).map_err(|v| Violation {
                 fd_index,
                 rows: v.rows,
             })?;
@@ -429,7 +436,7 @@ pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
             let key: Vec<(u8, u32)> = fd
                 .lhs
                 .iter()
-                .map(|a| weak_sort_key(instance.value(i, a), i, &snapshot))
+                .map(|a| sort_key(instance.value(i, a), i, &snapshot, sem))
                 .collect();
             groups.entry(key).or_default().push(i);
         }
@@ -437,7 +444,7 @@ pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
         for rows in groups.values() {
             best = min_pair(
                 best,
-                group_violation(instance, &snapshot, rows, fd.rhs, conv),
+                group_violation(instance, &snapshot, rows, fd.rhs, sem),
             );
         }
         if let Some(rows) = best {
@@ -463,27 +470,32 @@ pub fn check_hashed(instance: &Instance, fds: &FdSet, conv: Convention) -> Resul
 /// function of the instance and FD set: the least violating pair of
 /// the lowest violated FD, bit-identical to [`check_pairwise`] and
 /// [`check_par`].
-pub fn check_grouped(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
+pub fn check_grouped<S: Semantics>(
+    instance: &Instance,
+    fds: &FdSet,
+    sem: S,
+) -> Result<(), Violation> {
     let snapshot = instance.necs().canonical_snapshot();
-    let null_cols = null_columns_for(instance, conv);
+    let null_cols = null_columns_for(instance, sem);
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
             continue; // true in every instance
         }
-        if conv == Convention::Strong && !fd.lhs.intersect(null_cols).is_empty() {
-            check_pairwise(instance, &FdSet::from_vec(vec![fd]), conv).map_err(|v| Violation {
+        if sem.needs_pairwise_fallback() && !fd.lhs.intersect(null_cols).is_empty() {
+            check_pairwise(instance, &FdSet::from_vec(vec![fd]), sem).map_err(|v| Violation {
                 fd_index,
                 rows: v.rows,
             })?;
             continue;
         }
-        let groups = groupkey::group_rows(instance, fd.lhs, &snapshot);
+        let groups =
+            groupkey::group_rows_solitary(instance, fd.lhs, &snapshot, sem.solitary_nulls());
         let mut best: Option<(RowId, RowId)> = None;
         for rows in groups.values() {
             best = min_pair(
                 best,
-                group_violation(instance, &snapshot, rows, fd.rhs, conv),
+                group_violation(instance, &snapshot, rows, fd.rhs, sem),
             );
         }
         if let Some(rows) = best {
@@ -519,22 +531,28 @@ pub fn check_grouped(instance: &Instance, fds: &FdSet, conv: Convention) -> Resu
 /// // satisfiability directly (Theorem 3).
 /// assert!(check(&r, &fds, Convention::Weak).is_ok());
 /// ```
-pub fn check(instance: &Instance, fds: &FdSet, conv: Convention) -> Result<(), Violation> {
+pub fn check<S: Semantics>(instance: &Instance, fds: &FdSet, sem: S) -> Result<(), Violation> {
     if instance.len() < SMALL_N {
-        check_pairwise(instance, fds, conv)
+        check_pairwise(instance, fds, sem)
     } else {
-        check_grouped(instance, fds, conv)
+        check_grouped(instance, fds, sem)
     }
 }
 
-/// Does the pair `(i, j)` violate `fd` under `conv`? — the pairwise
+/// Does the pair `(i, j)` violate `fd` under `sem`? — the pairwise
 /// predicate underlying every TEST-FDs variant, exposed so callers can
 /// verify a reported [`Violation`] against first principles.
-pub fn pair_violates(instance: &Instance, fd: Fd, i: RowId, j: RowId, conv: Convention) -> bool {
+pub fn pair_violates<S: Semantics>(
+    instance: &Instance,
+    fd: Fd,
+    i: RowId,
+    j: RowId,
+    sem: S,
+) -> bool {
     let fd = fd.normalized();
     !fd.is_trivial()
-        && rows_equal_on(instance, i, j, fd.lhs, conv)
-        && rows_unequal_on(instance, i, j, fd.rhs, conv)
+        && rows_equal_on(instance, i, j, fd.lhs, sem)
+        && rows_unequal_on(instance, i, j, fd.rhs, sem)
 }
 
 /// The smaller of two optional violating pairs (`None` = no violation;
@@ -563,23 +581,21 @@ fn chunk_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
 /// exactly the FD's agreement classes, the fold yields the FD's least
 /// violating pair outright — the same pair [`check_pairwise`]'s
 /// ascending scan finds first.
-fn min_grouped_violation_par(
+fn min_grouped_violation_par<S: Semantics>(
     instance: &Instance,
     snapshot: &NecSnapshot,
     fd: Fd,
-    conv: Convention,
+    sem: S,
     exec: &fdi_exec::Executor,
 ) -> Option<(RowId, RowId)> {
-    let groups = groupkey::group_rows_par(instance, fd.lhs, snapshot, exec);
+    let groups =
+        groupkey::group_rows_par_solitary(instance, fd.lhs, snapshot, sem.solitary_nulls(), exec);
     let lists: Vec<&Vec<RowId>> = groups.values().filter(|rows| rows.len() >= 2).collect();
     let chunks = chunk_ranges(lists.len(), exec.threads() * 4);
     let minima = exec.map(&chunks, |_, range| {
         let mut best: Option<(RowId, RowId)> = None;
         for rows in &lists[range.clone()] {
-            best = min_pair(
-                best,
-                group_violation(instance, snapshot, rows, fd.rhs, conv),
-            );
+            best = min_pair(best, group_violation(instance, snapshot, rows, fd.rhs, sem));
         }
         best
     });
@@ -593,11 +609,11 @@ fn min_grouped_violation_par(
 /// violation (positions ascend, and for a fixed first row the first
 /// partner found is the least), so the chunk minimum is exact; the
 /// global minimum is the least chunk minimum.
-fn min_pairwise_violation_par(
+fn min_pairwise_violation_par<S: Semantics>(
     instance: &Instance,
     rows: &[RowId],
     fd: Fd,
-    conv: Convention,
+    sem: S,
     exec: &fdi_exec::Executor,
 ) -> Option<(RowId, RowId)> {
     let chunks = chunk_ranges(rows.len(), exec.threads() * 8);
@@ -605,8 +621,8 @@ fn min_pairwise_violation_par(
         for p in range.clone() {
             let i = rows[p];
             for &j in &rows[(p + 1)..] {
-                if rows_equal_on(instance, i, j, fd.lhs, conv)
-                    && rows_unequal_on(instance, i, j, fd.rhs, conv)
+                if rows_equal_on(instance, i, j, fd.lhs, sem)
+                    && rows_unequal_on(instance, i, j, fd.rhs, sem)
                 {
                     return Some((i, j));
                 }
@@ -637,26 +653,26 @@ fn min_pairwise_violation_par(
 ///   every sequential variant now reports the same canonical least
 ///   pair, so `check == check_par` holds outright on violating
 ///   instances too.
-pub fn check_par(
+pub fn check_par<S: Semantics>(
     instance: &Instance,
     fds: &FdSet,
-    conv: Convention,
+    sem: S,
     exec: &fdi_exec::Executor,
 ) -> Result<(), Violation> {
     let snapshot = instance.necs().canonical_snapshot();
-    let null_cols = null_columns_for(instance, conv);
+    let null_cols = null_columns_for(instance, sem);
     let mut all_rows: Option<Vec<RowId>> = None;
     for (fd_index, fd) in fds.iter().enumerate() {
         let fd = fd.normalized();
         if fd.is_trivial() {
             continue; // true in every instance (cf. the other variants)
         }
-        let fallback = conv == Convention::Strong && !fd.lhs.intersect(null_cols).is_empty();
+        let fallback = sem.needs_pairwise_fallback() && !fd.lhs.intersect(null_cols).is_empty();
         let pair = if fallback {
             let rows = all_rows.get_or_insert_with(|| instance.row_ids().collect());
-            min_pairwise_violation_par(instance, rows, fd, conv, exec)
+            min_pairwise_violation_par(instance, rows, fd, sem, exec)
         } else {
-            min_grouped_violation_par(instance, &snapshot, fd, conv, exec)
+            min_grouped_violation_par(instance, &snapshot, fd, sem, exec)
         };
         if let Some(rows) = pair {
             return Err(Violation { fd_index, rows });
@@ -665,25 +681,43 @@ pub fn check_par(
     Ok(())
 }
 
+/// The per-semantics `testfd_checks` counter of one registry kind —
+/// what makes differential runs distinguishable in a
+/// [`fdi_obs::MetricsSnapshot`].
+fn semantics_counter(kind: crate::semantics::SemanticsKind) -> fdi_obs::Counter {
+    use crate::semantics::SemanticsKind;
+    use fdi_obs::Counter;
+    match kind {
+        SemanticsKind::Strong => Counter::TestfdChecksStrong,
+        SemanticsKind::NullMarker => Counter::TestfdChecksNullMarker,
+        SemanticsKind::Weak => Counter::TestfdChecksWeak,
+        SemanticsKind::Nfd => Counter::TestfdChecksNfd,
+    }
+}
+
 /// Records one TEST-FDs invocation's work profile into `rec`:
-/// `testfd_checks`, per-FD `testfd_fallback_hits` (strong-convention
-/// determinants meeting a null), and `testfd_rows_scanned` as the
-/// scan-volume proxy `n` per non-trivial FD actually visited (FDs are
-/// checked in set order, stopping at the first violation).
-fn record_testfd(
+/// `testfd_checks` (total plus the per-semantics labelled counter),
+/// per-FD `testfd_fallback_hits` (strong-convention determinants
+/// meeting a null), and `testfd_rows_scanned` as the scan-volume proxy
+/// `n` per non-trivial FD actually visited (FDs are checked in set
+/// order, stopping at the first violation). The fallback tally — like
+/// the null-column scan feeding it — only runs for semantics with the
+/// pairwise fallback; everything else skips both.
+fn record_testfd<S: Semantics>(
     instance: &Instance,
     fds: &FdSet,
-    conv: Convention,
+    sem: S,
     rec: &fdi_obs::Recorder,
     result: &Result<(), Violation>,
 ) {
     use fdi_obs::Counter;
     rec.incr(Counter::TestfdChecks);
+    rec.incr(semantics_counter(sem.kind()));
     let visited = match result {
         Ok(()) => fds.len(),
         Err(v) => v.fd_index + 1,
     };
-    let null_cols = null_columns_for(instance, conv);
+    let null_cols = null_columns_for(instance, sem);
     let n = instance.len() as u64;
     for fd in fds.iter().take(visited) {
         let fd = fd.normalized();
@@ -691,7 +725,7 @@ fn record_testfd(
             continue;
         }
         rec.add(Counter::TestfdRowsScanned, n);
-        if conv == Convention::Strong && !fd.lhs.intersect(null_cols).is_empty() {
+        if sem.needs_pairwise_fallback() && !fd.lhs.intersect(null_cols).is_empty() {
             rec.incr(Counter::TestfdFallbackHits);
         }
     }
@@ -702,14 +736,14 @@ fn record_testfd(
 /// is the **only** sequential TEST-FDs entry point that records —
 /// engine-internal and reader-driven calls stay un-instrumented so the
 /// deterministic metric slice is reader-count-invariant.
-pub fn check_with(
+pub fn check_with<S: Semantics>(
     instance: &Instance,
     fds: &FdSet,
-    conv: Convention,
+    sem: S,
     rec: &fdi_obs::Recorder,
 ) -> Result<(), Violation> {
-    let result = check(instance, fds, conv);
-    record_testfd(instance, fds, conv, rec, &result);
+    let result = check(instance, fds, sem);
+    record_testfd(instance, fds, sem, rec, &result);
     result
 }
 
@@ -717,15 +751,15 @@ pub fn check_with(
 /// The recorded counters are derived from the (thread-count-invariant)
 /// verdict, not from per-shard work, so they match [`check_with`]'s
 /// bit-for-bit.
-pub fn check_par_with(
+pub fn check_par_with<S: Semantics>(
     instance: &Instance,
     fds: &FdSet,
-    conv: Convention,
+    sem: S,
     exec: &fdi_exec::Executor,
     rec: &fdi_obs::Recorder,
 ) -> Result<(), Violation> {
-    let result = check_par(instance, fds, conv, exec);
-    record_testfd(instance, fds, conv, rec, &result);
+    let result = check_par(instance, fds, sem, exec);
+    record_testfd(instance, fds, sem, rec, &result);
     result
 }
 
@@ -737,10 +771,10 @@ pub fn check_par_with(
 /// only are compared, which is exact when every `X`-group's `Y`-values
 /// are constants (the BCNF-with-one-key regime) and conservative
 /// otherwise.
-pub fn check_single_presorted(
+pub fn check_single_presorted<S: Semantics>(
     instance: &Instance,
     fd: Fd,
-    conv: Convention,
+    sem: S,
     order: &[RowId],
 ) -> Result<(), Violation> {
     let fd = fd.normalized();
@@ -749,8 +783,8 @@ pub fn check_single_presorted(
     }
     for w in order.windows(2) {
         let (i, j) = (w[0], w[1]);
-        if rows_equal_on(instance, i, j, fd.lhs, conv)
-            && rows_unequal_on(instance, i, j, fd.rhs, conv)
+        if rows_equal_on(instance, i, j, fd.lhs, sem)
+            && rows_unequal_on(instance, i, j, fd.rhs, sem)
         {
             return Err(Violation {
                 fd_index: 0,
@@ -761,13 +795,13 @@ pub fn check_single_presorted(
     Ok(())
 }
 
-/// Produces an order sorting rows by `X` under the weak keys (for
-/// [`check_single_presorted`] and the benchmarks).
+/// Produces an order sorting rows by `X` under the weak-convention
+/// keys (for [`check_single_presorted`] and the benchmarks).
 pub fn sort_order(instance: &Instance, fd: Fd) -> Vec<RowId> {
     let fd = fd.normalized();
     let snapshot = instance.necs().canonical_snapshot();
     let mut order: Vec<RowId> = instance.row_ids().collect();
-    order.sort_by(|&i, &j| weak_cmp(instance, i, j, fd.lhs, &snapshot));
+    order.sort_by(|&i, &j| cmp_on(instance, i, j, fd.lhs, &snapshot, Convention::Weak));
     order
 }
 

@@ -88,7 +88,8 @@
 use crate::chase;
 use crate::fd::FdSet;
 use crate::groupkey::{self, GroupKey};
-use crate::testfd::{self, Convention, Violation};
+use crate::semantics::{self, Semantics, SemanticsKind};
+use crate::testfd::{self, Violation};
 use fdi_relation::attrs::{AttrId, AttrSet};
 use fdi_relation::error::RelationError;
 use fdi_relation::instance::Instance;
@@ -1017,26 +1018,23 @@ impl Database {
     }
 }
 
-/// Strong-convention equality for the incremental check.
+/// Strong-convention equality for the incremental check. One guard on
+/// top of [`semantics::Strong`]'s trait predicate: the incremental
+/// check pins `nothing` as matching *nothing* even against a null
+/// (TEST-FDs' pessimistic equality lets a null potentially match the
+/// inconsistent element), so index triggers never fire through an
+/// already-inconsistent cell.
 fn strong_eq(a: Value, b: Value, instance: &Instance) -> bool {
     match (a, b) {
-        (Value::Const(x), Value::Const(y)) => x == y,
         (Value::Nothing, _) | (_, Value::Nothing) => false,
-        _ => {
-            let _ = instance;
-            true // a null potentially equals anything
-        }
+        _ => semantics::Strong.values_equal(a, b, instance),
     }
 }
 
-/// Strong-convention inequality for the incremental check.
+/// Strong-convention inequality for the incremental check — exactly
+/// [`semantics::Strong`]'s trait predicate.
 fn strong_neq(a: Value, b: Value, instance: &Instance) -> bool {
-    match (a, b) {
-        (Value::Const(x), Value::Const(y)) => x != y,
-        (Value::Null(m), Value::Null(n)) => !instance.necs().same_class(m, n),
-        (Value::Nothing, _) | (_, Value::Nothing) => true,
-        _ => true, // null vs constant potentially differs
-    }
+    semantics::Strong.values_unequal(a, b, instance)
 }
 
 fn check_instance(
@@ -1082,28 +1080,34 @@ fn parse_token(instance: &mut Instance, attr: AttrId, token: &str) -> Result<Val
 
 /// Full revalidation insert (no index): the baseline experiment E19
 /// compares [`Database::insert`] against.
-pub fn insert_with_full_recheck(
+///
+/// Generic over the null-comparison [`Semantics`]: acceptance is
+/// [`semantics::decide`] on the scratch instance (chase-then-test for
+/// the weak convention, direct TEST-FDs otherwise), so the two
+/// [`testfd::Convention`] values behave exactly as before and the alternative
+/// semantics slot in without touching the journal. The [`Enforcement`]
+/// tag on a rejection maps the strong convention to
+/// [`Enforcement::Strong`] and every optimistic-family semantics to
+/// [`Enforcement::Weak`] — the journal's enforcement vocabulary is
+/// frozen at two values.
+pub fn insert_with_full_recheck<S: Semantics>(
     instance: &mut Instance,
     fds: &FdSet,
     tokens: &[&str],
-    conv: Convention,
+    sem: S,
 ) -> Result<RowId, UpdateError> {
     let mut scratch = instance.clone();
     let row = scratch.add_row(tokens)?;
-    let result = match conv {
-        Convention::Strong => testfd::check_strong(&scratch, fds),
-        Convention::Weak => testfd::check_weak(&scratch, fds),
-    };
-    match result {
+    match semantics::decide(&scratch, fds, sem) {
         Ok(()) => {
             *instance = scratch;
             Ok(row)
         }
         Err(v) => Err(UpdateError::Rejected {
             violation: Some(v),
-            enforcement: match conv {
-                Convention::Strong => Enforcement::Strong,
-                Convention::Weak => Enforcement::Weak,
+            enforcement: match sem.kind() {
+                SemanticsKind::Strong => Enforcement::Strong,
+                _ => Enforcement::Weak,
             },
         }),
     }
@@ -1341,7 +1345,8 @@ mod tests {
                 let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
                 let incremental = db.insert(&refs).is_ok();
                 let full =
-                    insert_with_full_recheck(&mut plain, &fds, &refs, Convention::Strong).is_ok();
+                    insert_with_full_recheck(&mut plain, &fds, &refs, testfd::Convention::Strong)
+                        .is_ok();
                 assert_eq!(incremental, full, "seed {seed}, tokens {tokens:?}");
             }
             assert_index_fresh(&db);

@@ -637,6 +637,130 @@ pub fn plant_violation(rng: &mut StdRng, instance: &mut Instance, fds: &FdSet) {
     }
 }
 
+/// A workload planted to make the null-comparison semantics
+/// **disagree** — the differential-testing generator behind
+/// `fdi_core::semantics::compare` and the cross-convention proptests.
+///
+/// The schema is `R(A, B, C)` with the single FD `A → B`; rows 0 and 1
+/// carry one of four planted patterns (selected by `seed % 4`), the
+/// rest are constant filler rows with column-unique values that trigger
+/// nothing. Which conventions reject each pattern walks the semantics
+/// lattice one step at a time:
+///
+/// | `seed % 4` | rows 0–1 on `(A, B)`        | rejected by               |
+/// |------------|-----------------------------|---------------------------|
+/// | 0          | `(⊥, B_0)`, `(A_1, B_1)`    | strong                    |
+/// | 1          | `(A_0, ⊥)`, `(A_0, B_1)`    | strong, null-marker       |
+/// | 2          | `(?m, B_0)`, `(?m, B_1)`    | strong, null-marker, weak |
+/// | 3          | `(A_0, B_0)`, `(A_0, B_1)`  | all four                  |
+///
+/// Pattern 0 needs the pessimistic null-matches-everything determinant;
+/// pattern 1 needs null-vs-constant to conflict on the dependent;
+/// pattern 2 needs NEC-class nulls to agree on the determinant (`?m` is
+/// one shared null id); pattern 3 is a classical violation every
+/// convention flags with the **identical** canonical witness `(0, 1)`.
+/// Cycling `seed` over any four consecutive values therefore exhibits a
+/// disagreeing instance for every unordered pair of conventions, and an
+/// all-agree-on-`Err` instance for the witness-identity checks.
+pub fn disagreement_workload(seed: u64) -> Workload {
+    let spec = WorkloadSpec {
+        rows: 8,
+        attrs: 3,
+        domain: 16,
+        null_density: 0.0,
+        nec_density: 0.0,
+        collision_rate: 0.0,
+    };
+    let schema = schema_for(&spec);
+    let mut instance = Instance::new(schema.clone());
+    let mut fds = FdSet::new();
+    fds.push(Fd::new(
+        AttrSet::singleton(AttrId(0)),
+        AttrSet::singleton(AttrId(1)),
+    ));
+    let names = attr_names(spec.attrs);
+    fn konst(instance: &mut Instance, names: &[String], col: usize, k: usize) -> Value {
+        let name = format!("{}_{k}", names[col]);
+        Value::Const(
+            instance
+                .intern_constant(AttrId(col as u16), &name)
+                .expect("domain constant"),
+        )
+    }
+    let (row0, row1) = match seed % 4 {
+        0 => {
+            let null = instance.fresh_null();
+            (
+                vec![
+                    Value::Null(null),
+                    konst(&mut instance, &names, 1, 0),
+                    konst(&mut instance, &names, 2, 0),
+                ],
+                vec![
+                    konst(&mut instance, &names, 0, 1),
+                    konst(&mut instance, &names, 1, 1),
+                    konst(&mut instance, &names, 2, 1),
+                ],
+            )
+        }
+        1 => {
+            let null = instance.fresh_null();
+            (
+                vec![
+                    konst(&mut instance, &names, 0, 0),
+                    Value::Null(null),
+                    konst(&mut instance, &names, 2, 0),
+                ],
+                vec![
+                    konst(&mut instance, &names, 0, 0),
+                    konst(&mut instance, &names, 1, 1),
+                    konst(&mut instance, &names, 2, 1),
+                ],
+            )
+        }
+        2 => {
+            let shared = instance.fresh_null();
+            (
+                vec![
+                    Value::Null(shared),
+                    konst(&mut instance, &names, 1, 0),
+                    konst(&mut instance, &names, 2, 0),
+                ],
+                vec![
+                    Value::Null(shared),
+                    konst(&mut instance, &names, 1, 1),
+                    konst(&mut instance, &names, 2, 1),
+                ],
+            )
+        }
+        _ => (
+            vec![
+                konst(&mut instance, &names, 0, 0),
+                konst(&mut instance, &names, 1, 0),
+                konst(&mut instance, &names, 2, 0),
+            ],
+            vec![
+                konst(&mut instance, &names, 0, 0),
+                konst(&mut instance, &names, 1, 1),
+                konst(&mut instance, &names, 2, 1),
+            ],
+        ),
+    };
+    instance.add_tuple(Tuple::new(row0)).expect("arity");
+    instance.add_tuple(Tuple::new(row1)).expect("arity");
+    for i in 2..spec.rows {
+        let filler: Vec<Value> = (0..spec.attrs)
+            .map(|col| konst(&mut instance, &names, col, i))
+            .collect();
+        instance.add_tuple(Tuple::new(filler)).expect("arity");
+    }
+    Workload {
+        schema,
+        fds,
+        instance,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1003,6 +1127,34 @@ mod tests {
             &clean.fds,
             &clean.instance
         ));
+    }
+
+    #[test]
+    fn disagreement_workloads_walk_the_semantics_lattice() {
+        use fdi_core::semantics::SemanticsKind;
+        // Per pattern, exactly the first `k` conventions of the lattice
+        // order reject — so four consecutive seeds disagree on every
+        // unordered pair of conventions.
+        for (seed, rejecting) in [(0u64, 1usize), (1, 2), (2, 3), (3, 4)] {
+            let w = disagreement_workload(seed);
+            for (i, kind) in SemanticsKind::ALL.iter().enumerate() {
+                let verdict = testfd::check(&w.instance, &w.fds, *kind);
+                assert_eq!(
+                    verdict.is_err(),
+                    i < rejecting,
+                    "seed {seed}: unexpected verdict under {kind}"
+                );
+            }
+        }
+        // Determinism, and the planted pair is the canonical witness of
+        // the all-reject pattern under every convention.
+        let w = disagreement_workload(3);
+        let w2 = disagreement_workload(3);
+        assert_eq!(w.instance.canonical_form(), w2.instance.canonical_form());
+        for kind in SemanticsKind::ALL {
+            let v = testfd::check(&w.instance, &w.fds, kind).unwrap_err();
+            assert_eq!(v.rows, (RowId(0), RowId(1)), "under {kind}");
+        }
     }
 
     #[test]

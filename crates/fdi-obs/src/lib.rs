@@ -142,11 +142,25 @@ pub enum Counter {
     MaterializedHits,
     /// Reader snapshot acquisitions (nondeterministic: reader-driven).
     SnapshotReads,
+    /// TEST-FDs invocations under the strong convention — the
+    /// per-semantics slice of `TestfdChecks`, exposed with a
+    /// `semantics="strong"` label so differential runs are
+    /// distinguishable (deterministic, like the total).
+    TestfdChecksStrong,
+    /// TEST-FDs invocations under the null-marker convention
+    /// (`semantics="null-marker"`; deterministic).
+    TestfdChecksNullMarker,
+    /// TEST-FDs invocations under the weak convention
+    /// (`semantics="weak"`; deterministic).
+    TestfdChecksWeak,
+    /// TEST-FDs invocations under the NFD convention
+    /// (`semantics="nfd"`; deterministic).
+    TestfdChecksNfd,
 }
 
 impl Counter {
     /// Every counter, in stable registry (exposition) order.
-    pub const ALL: [Counter; 30] = [
+    pub const ALL: [Counter; 34] = [
         Counter::ChasePasses,
         Counter::ChaseBucketSweeps,
         Counter::ChaseSubstitutions,
@@ -177,6 +191,10 @@ impl Counter {
         Counter::ClassicalRows,
         Counter::MaterializedHits,
         Counter::SnapshotReads,
+        Counter::TestfdChecksStrong,
+        Counter::TestfdChecksNullMarker,
+        Counter::TestfdChecksWeak,
+        Counter::TestfdChecksNfd,
     ];
 
     /// Exposition name (without the `fdi_` prefix).
@@ -212,6 +230,28 @@ impl Counter {
             Counter::ClassicalRows => "classical_rows",
             Counter::MaterializedHits => "materialized_hits",
             Counter::SnapshotReads => "snapshot_reads",
+            Counter::TestfdChecksStrong => "testfd_checks_strong",
+            Counter::TestfdChecksNullMarker => "testfd_checks_null_marker",
+            Counter::TestfdChecksWeak => "testfd_checks_weak",
+            Counter::TestfdChecksNfd => "testfd_checks_nfd",
+        }
+    }
+
+    /// For the per-semantics TEST-FDs counters: the `(base, label)`
+    /// pair rendered as `fdi_<base>{det="…",semantics="<label>"}` in
+    /// the text exposition, so the per-convention tallies share one
+    /// metric family with the unlabelled total. `None` for every other
+    /// counter. The JSON exposition and [`deterministic_pairs`] keep
+    /// the flat [`name`](Self::name) as the key.
+    ///
+    /// [`deterministic_pairs`]: MetricsSnapshot::deterministic_pairs
+    pub fn semantics_label(self) -> Option<(&'static str, &'static str)> {
+        match self {
+            Counter::TestfdChecksStrong => Some(("testfd_checks", "strong")),
+            Counter::TestfdChecksNullMarker => Some(("testfd_checks", "null-marker")),
+            Counter::TestfdChecksWeak => Some(("testfd_checks", "weak")),
+            Counter::TestfdChecksNfd => Some(("testfd_checks", "nfd")),
+            _ => None,
         }
     }
 
@@ -679,13 +719,23 @@ impl MetricsSnapshot {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         for &c in &Counter::ALL {
-            let _ = writeln!(
-                out,
-                "fdi_{}{{det=\"{}\"}} {}",
-                c.name(),
-                c.deterministic(),
-                self.counter(c)
-            );
+            let _ = match c.semantics_label() {
+                Some((base, sem)) => writeln!(
+                    out,
+                    "fdi_{}{{det=\"{}\",semantics=\"{}\"}} {}",
+                    base,
+                    c.deterministic(),
+                    sem,
+                    self.counter(c)
+                ),
+                None => writeln!(
+                    out,
+                    "fdi_{}{{det=\"{}\"}} {}",
+                    c.name(),
+                    c.deterministic(),
+                    self.counter(c)
+                ),
+            };
         }
         for &g in &Gauge::ALL {
             let _ = writeln!(
@@ -896,13 +946,14 @@ mod tests {
         assert!(text.contains("fdi_publish_nanos_count{det=\"false\"} 1\n"));
         assert!(text.contains("fdi_publish_nanos_sum{det=\"false\"} 1000\n"));
         assert!(text.contains("fdi_publish_nanos{det=\"false\",q=\"p50\"} 1023\n"));
-        // every registered metric appears
+        // every registered metric appears; per-semantics counters render
+        // under the shared family name with a `semantics` label
         for c in Counter::ALL {
-            assert!(
-                text.contains(&format!("fdi_{}{{", c.name())),
-                "{}",
-                c.name()
-            );
+            let prefix = match c.semantics_label() {
+                Some((base, sem)) => format!("fdi_{base}{{det=\"true\",semantics=\"{sem}\"}}"),
+                None => format!("fdi_{}{{", c.name()),
+            };
+            assert!(text.contains(&prefix), "{}", c.name());
         }
         for h in Hist::ALL {
             assert!(text.contains(&format!("fdi_{}_count{{", h.name())));

@@ -7,7 +7,7 @@
 
 use fdi_core::query::plan::CompiledQuery;
 use fdi_core::query::{Query, Selection};
-use fdi_core::testfd::{self, Convention, Violation};
+use fdi_core::testfd::{self, Violation};
 use fdi_core::update::Database;
 use fdi_exec::Executor;
 use fdi_obs::{Counter, Hist, MetricsSnapshot, Recorder};
@@ -228,9 +228,15 @@ impl Epoch {
 
     /// TEST-FDs over this epoch via the sharded [`testfd::check_par`]
     /// (bit-identical to the sequential check, violation payload
-    /// included).
-    pub fn check(&self, conv: Convention, exec: &Executor) -> Result<(), Violation> {
-        testfd::check_par(self.db.instance(), self.db.fds(), conv, exec)
+    /// included). Generic over the null-comparison semantics — the two
+    /// [`testfd::Convention`] values and any
+    /// [`fdi_core::semantics::Semantics`] impl alike.
+    pub fn check<S: fdi_core::semantics::Semantics>(
+        &self,
+        sem: S,
+        exec: &Executor,
+    ) -> Result<(), Violation> {
+        testfd::check_par(self.db.instance(), self.db.fds(), sem, exec)
     }
 }
 

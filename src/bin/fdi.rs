@@ -23,6 +23,14 @@
 //! Analysis commands take a description file:
 //! `fdi <report|strong|weak|chase|chase-extended|keys|normalize|exhaustion> <file>`.
 //!
+//! `fdi semantics <file-or-journal>` runs the differential TEST-FDs
+//! comparison (`fdi_core::semantics::compare`) across every registered
+//! null-comparison convention — strong, null-marker, weak, NFD — and
+//! prints per-convention verdicts, per-FD canonical least-pair
+//! witnesses, and the pairwise agree/disagree matrix. The path is
+//! parsed as a description file first and recovered as an op journal
+//! otherwise.
+//!
 //! Durability commands work a write-ahead op journal (see `fdi-store`):
 //!
 //! * `fdi journal-apply <journal> <ops-file> [desc-file]` — create the
@@ -61,6 +69,7 @@
 
 use fd_incomplete::core::interp::DEFAULT_BUDGET;
 use fd_incomplete::core::query::Query;
+use fd_incomplete::core::semantics::{self, SemanticsKind};
 use fd_incomplete::core::update::{Database, Policy};
 use fd_incomplete::core::{armstrong, chase, normalize, satisfy, subst, testfd};
 use fd_incomplete::obs::Recorder;
@@ -524,8 +533,11 @@ fn run_checkpoint(journal_path: &str) -> Result<(), CliError> {
 }
 
 /// The `stats` verb's payload: recovers the journal under a live
-/// recorder, then runs a recorded TEST-FDs sweep (both conventions)
-/// over the recovered state, and renders the resulting snapshot.
+/// recorder, then runs a recorded TEST-FDs sweep over the recovered
+/// state — one check per registered null-comparison semantics, in
+/// lattice order — and renders the resulting snapshot (the
+/// per-semantics tallies land on the labelled `testfd_checks`
+/// counters).
 fn stats_report(journal_path: &str, json: bool) -> Result<String, CliError> {
     let storage = FileStorage::open(journal_path)
         .map_err(|e| CliError::runtime(format!("cannot open journal {journal_path}: {e}")))?;
@@ -541,8 +553,9 @@ fn stats_report(journal_path: &str, json: bool) -> Result<String, CliError> {
     // A recorded satisfiability sweep over the recovered state: the
     // verdicts are in the journal's history already, so only the
     // tallies (checks, rows scanned, fallback hits) are of interest.
-    let _ = testfd::check_with(db.instance(), db.fds(), Convention::Strong, &rec);
-    let _ = testfd::check_with(db.instance(), db.fds(), Convention::Weak, &rec);
+    for kind in SemanticsKind::ALL {
+        let _ = testfd::check_with(db.instance(), db.fds(), kind, &rec);
+    }
     let snap = rec.snapshot();
     Ok(if json {
         let mut text = snap.render_json();
@@ -684,7 +697,7 @@ fn serve_session<S: Storage, R: BufRead, W: IoWrite>(
     writeln!(
         out,
         "serving epoch {} ({} row(s)); verbs: insert delete modify resolve compact \
-         commit table select epoch metrics quit shutdown",
+         commit table select semantics epoch metrics quit shutdown",
         hello.seq(),
         hello.db().instance().len()
     )
@@ -729,6 +742,17 @@ fn serve_session<S: Storage, R: BufRead, W: IoWrite>(
             "table" => {
                 let epoch = reader.snapshot();
                 writeln!(out, "{}", epoch.db().instance().render(true)).map_err(io_err)?;
+            }
+            "semantics" => {
+                let epoch = reader.snapshot();
+                let db = epoch.db();
+                let cmp = semantics::compare(db.instance(), db.fds());
+                write!(
+                    out,
+                    "{}",
+                    semantics::render_comparison(&cmp, db.fds(), db.instance())
+                )
+                .map_err(io_err)?;
             }
             "metrics" => {
                 let snap = rec.snapshot();
@@ -898,8 +922,29 @@ fn run_serve(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// The `semantics` verb: differential TEST-FDs across every registered
+/// null-comparison convention. The path is tried as a description file
+/// first; if it does not parse as one, it is recovered as an op
+/// journal, so the verb works on both input kinds.
+fn run_semantics(path: &str) -> Result<(), CliError> {
+    let (instance, fds) = match std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| parse_description(&text).ok())
+    {
+        Some(desc) => (desc.instance, desc.fds),
+        None => {
+            let (db, _journal) = open_journal(path, None)?;
+            (db.instance().clone(), db.fds().clone())
+        }
+    };
+    let cmp = semantics::compare(&instance, &fds);
+    print!("{}", semantics::render_comparison(&cmp, &fds, &instance));
+    Ok(())
+}
+
 const USAGE: &str = "usage:\n  \
     fdi <report|strong|weak|chase|chase-extended|keys|normalize|exhaustion> <file>\n  \
+    fdi semantics <file-or-journal>\n  \
     fdi journal-apply <journal> <ops-file> [desc-file]\n  \
     fdi recover <journal>\n  \
     fdi checkpoint <journal>\n  \
@@ -915,8 +960,9 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         ("checkpoint", 2) => run_checkpoint(&args[1]),
         ("stats", 2) => run_stats(&args[1], false),
         ("stats", 3) if args[2] == "--json" => run_stats(&args[1], true),
+        ("semantics", 2) => run_semantics(&args[1]),
         ("serve", n) if n >= 2 => run_serve(&args[1..]),
-        ("journal-apply" | "recover" | "checkpoint" | "stats" | "serve", _) => {
+        ("journal-apply" | "recover" | "checkpoint" | "stats" | "semantics" | "serve", _) => {
             Err(CliError::parse(USAGE))
         }
         (_, 2) => {
@@ -1363,6 +1409,65 @@ cyd eng   -
         assert_eq!(writer.seq(), 3, "three session-close publishes");
     }
 
+    /// The serve-session `semantics` command renders the differential
+    /// comparison of the published epoch: per-convention verdicts,
+    /// per-FD witnesses, and the pairwise agree/disagree matrix. On the
+    /// sample, bob's null dept trips `dept -> mgr` under the strong
+    /// convention only, so strong disagrees with every optimistic
+    /// convention.
+    #[test]
+    fn serve_session_semantics_compares_conventions() {
+        let (mut writer, reader) = sample_serving_pair();
+        let rec = Recorder::noop();
+        let mut out = Vec::new();
+        serve_session(
+            &mut writer,
+            &reader,
+            &rec,
+            std::io::Cursor::new("semantics\nquit\n"),
+            &mut out,
+        )
+        .expect("session runs");
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("semantics comparison: 3 rows, 2 fds"),
+            "{text}"
+        );
+        assert!(text.contains("strong       violated at"), "{text}");
+        assert!(text.contains("nfd          satisfied"), "{text}");
+        assert!(text.contains("per-fd witnesses"), "{text}");
+        assert!(
+            text.contains("strong vs weak: DISAGREE (strong violated at"),
+            "{text}"
+        );
+        assert!(text.contains("weak vs nfd: agree"), "{text}");
+    }
+
+    /// The `semantics` verb accepts both input kinds: a description
+    /// file, and an op journal recovered from disk.
+    #[test]
+    fn semantics_verb_runs_on_descriptions_and_journals() {
+        let dir = std::env::temp_dir().join(format!("fdi-cli-semantics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let desc = dir.join("db.fdi");
+        std::fs::write(&desc, SAMPLE).unwrap();
+        run_semantics(desc.to_str().unwrap()).expect("description input");
+
+        let ops = dir.join("ops.txt");
+        let journal = dir.join("staff.journal");
+        std::fs::write(&ops, "insert cyd eng noa\n").unwrap();
+        let jpath = journal.to_str().unwrap().to_string();
+        run_journal_apply(&jpath, ops.to_str().unwrap(), Some(desc.to_str().unwrap()))
+            .expect("create + apply");
+        run_semantics(&jpath).expect("journal input");
+
+        assert!(matches!(
+            dispatch(&["semantics".to_string()]),
+            Err(CliError::Parse(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     /// The `stats` verb end to end: build a journal on disk, then
     /// recover it under a live recorder — replayed-op counts and the
     /// recorded TEST-FDs sweep show up in both renderings.
@@ -1388,8 +1493,18 @@ cyd eng   -
             metric_value(&text, "fdi_journal_torn_truncations{det=\"true\"}"),
             0
         );
-        // one strong + one weak recorded sweep
-        assert_eq!(metric_value(&text, "fdi_testfd_checks{det=\"true\"}"), 2);
+        // one recorded sweep per registered semantics, each tallied on
+        // its labelled per-convention counter as well as the total
+        assert_eq!(metric_value(&text, "fdi_testfd_checks{det=\"true\"}"), 4);
+        for sem in ["strong", "null-marker", "weak", "nfd"] {
+            assert_eq!(
+                metric_value(
+                    &text,
+                    &format!("fdi_testfd_checks{{det=\"true\",semantics=\"{sem}\"}}")
+                ),
+                1
+            );
+        }
         assert!(metric_value(&text, "fdi_testfd_rows_scanned{det=\"false\"}") >= 1);
 
         let json = stats_report(&jpath, true).expect("stats --json");

@@ -119,6 +119,47 @@
 //! [`serve::Writer::watch`] maintains registered queries incrementally
 //! across updates, publishing their answer sets with each epoch.
 //!
+//! ## Semantics
+//!
+//! The null-comparison behavior of TEST-FDs is **pluggable**: the
+//! [`core::semantics::Semantics`] trait captures, as four boolean
+//! axes, everything the engine needs to know about a convention — when
+//! two values *agree* (trigger side), when they *positively disagree*
+//! (violation side), whether a null on a determinant forces the
+//! pairwise fallback, and whether nulls group solitarily. Every check
+//! variant ([`core::testfd::check`], the sorted/hashed/grouped paths,
+//! [`core::testfd::check_par`], [`core::testfd::pair_violates`]) is
+//! generic over it and monomorphizes for the zero-sized impls, so the
+//! paper's two conventions pay nothing for the generality (the
+//! `bench_chase` guard holds enum vs. ZST dispatch within noise).
+//!
+//! Four conventions are registered
+//! ([`core::semantics::SemanticsKind::ALL`]), forming a lattice of
+//! strictness:
+//!
+//! * **strong** — Vassiliou's pessimistic convention (Theorem 2): a
+//!   null potentially matches anything;
+//! * **null-marker** — the FDs-with-null-markers semantics in the
+//!   style of *Badia & Lemire, "Functional dependencies with null
+//!   markers"* (Comput. J. 2015; arXiv:1404.4963): marked nulls agree
+//!   only within an NEC class, but a null still positively differs
+//!   from every constant;
+//! * **weak** — Vassiliou's optimistic convention (Theorem 3): nulls
+//!   agree within a class and never positively disagree;
+//! * **nfd** — an Atzeni–Morfuni-style literal reading (*Atzeni &
+//!   Morfuni, "Functional dependencies and constraints on null values
+//!   in database relations"*, Inf. & Control 1986): only total,
+//!   constant-for-constant rows constrain anything.
+//!
+//! Strong satisfaction implies null-marker satisfaction implies weak
+//! implies nfd — `tests/conventions.rs` holds the inclusions on random
+//! workloads, and [`gen::disagreement_workload`] plants instances
+//! separating every adjacent pair. [`core::semantics::compare`] runs
+//! all four side by side with per-FD canonical witnesses (the
+//! `fdi semantics` CLI verb and the serve-session `semantics` command
+//! render it), and [`core::satisfy::report`] carries the per-semantics
+//! verdicts alongside the paper's strong/weak pair.
+//!
 //! ## Observability
 //!
 //! Every layer is instrumented through [`obs`] (`fdi-obs`), a std-only
@@ -175,6 +216,7 @@ pub mod prelude {
     pub use fdi_core::fd::{Fd, FdSet};
     pub use fdi_core::prop1;
     pub use fdi_core::satisfy;
+    pub use fdi_core::semantics::{self, Semantics, SemanticsKind};
     pub use fdi_core::testfd::{self, Convention};
     pub use fdi_core::update::{Database, Enforcement, Policy};
     pub use fdi_logic::truth::Truth;

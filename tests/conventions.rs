@@ -7,7 +7,9 @@
 use fd_incomplete::core::interp::{
     strongly_satisfied_bruteforce, weakly_satisfiable_bruteforce, DEFAULT_BUDGET,
 };
+use fd_incomplete::core::semantics::{self, SemanticsKind};
 use fd_incomplete::core::testfd;
+use fd_incomplete::gen::{disagreement_workload, workload, WorkloadSpec};
 use fd_incomplete::prelude::*;
 use std::sync::Arc;
 
@@ -124,5 +126,170 @@ fn mixed_marks_and_constants_in_one_group() {
                 .render(chased.instance.symbols(), false),
             "b0"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential suites across the full semantics lattice (strong ⊨ ⇒
+// null-marker ⊨ ⇒ weak ⊨ ⇒ nfd ⊨ — see `fdi_core::semantics`).
+// ---------------------------------------------------------------------
+
+fn diff_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        rows: 28,
+        null_density: 0.25,
+        nec_density: 0.3,
+        ..WorkloadSpec::default()
+    }
+}
+
+/// Every convention's violation set contains the next one's, so an `Ok`
+/// verdict propagates down the lattice on arbitrary instances.
+#[test]
+fn verdicts_respect_the_semantics_lattice_on_random_workloads() {
+    for seed in 0..32u64 {
+        let w = workload(seed, &diff_spec(), 3);
+        let mut prev: Option<(SemanticsKind, bool)> = None;
+        for kind in SemanticsKind::ALL {
+            let ok = testfd::check(&w.instance, &w.fds, kind).is_ok();
+            if let Some((prev_kind, prev_ok)) = prev {
+                assert!(
+                    !prev_ok || ok,
+                    "seed {seed}: {prev_kind} satisfied but {kind} violated — lattice broken"
+                );
+            }
+            prev = Some((kind, ok));
+        }
+    }
+}
+
+/// Every reported witness is a genuine violating pair under its own
+/// semantics, checkable from first principles via
+/// [`testfd::pair_violates`].
+#[test]
+fn err_witnesses_are_real_violations_under_their_own_semantics() {
+    for seed in 0..32u64 {
+        let w = workload(seed, &diff_spec(), 3);
+        for kind in SemanticsKind::ALL {
+            if let Err(v) = testfd::check(&w.instance, &w.fds, kind) {
+                let fd = w.fds.fds()[v.fd_index];
+                assert!(
+                    testfd::pair_violates(&w.instance, fd, v.rows.0, v.rows.1, kind),
+                    "seed {seed}: {kind} witness {v} does not violate"
+                );
+            }
+        }
+    }
+}
+
+/// Four consecutive seeds of the planted generator exhibit, for every
+/// unordered pair of conventions, at least one instance where they
+/// agree and at least one where they disagree.
+#[test]
+fn disagreement_generator_covers_every_convention_pair() {
+    let mut agree = std::collections::HashSet::new();
+    let mut disagree = std::collections::HashSet::new();
+    for seed in 0..4u64 {
+        let w = disagreement_workload(seed);
+        let verdicts: Vec<bool> = SemanticsKind::ALL
+            .iter()
+            .map(|&k| testfd::check(&w.instance, &w.fds, k).is_ok())
+            .collect();
+        for i in 0..verdicts.len() {
+            for j in i + 1..verdicts.len() {
+                if verdicts[i] == verdicts[j] {
+                    agree.insert((i, j));
+                } else {
+                    disagree.insert((i, j));
+                }
+            }
+        }
+    }
+    for i in 0..SemanticsKind::ALL.len() {
+        for j in i + 1..SemanticsKind::ALL.len() {
+            let pair = (SemanticsKind::ALL[i], SemanticsKind::ALL[j]);
+            assert!(agree.contains(&(i, j)), "no agreeing seed for {pair:?}");
+            assert!(
+                disagree.contains(&(i, j)),
+                "no disagreeing seed for {pair:?}"
+            );
+        }
+    }
+}
+
+/// On complete instances every convention degenerates to the classical
+/// FD test: identical verdicts and identical canonical witnesses.
+#[test]
+fn complete_instances_collapse_every_convention_to_one_verdict() {
+    for seed in 0..16u64 {
+        let spec = WorkloadSpec {
+            rows: 24,
+            null_density: 0.0,
+            collision_rate: 0.5,
+            ..WorkloadSpec::default()
+        };
+        let w = workload(seed, &spec, 3);
+        let base = testfd::check(&w.instance, &w.fds, SemanticsKind::Strong);
+        for kind in SemanticsKind::ALL {
+            assert_eq!(
+                testfd::check(&w.instance, &w.fds, kind),
+                base,
+                "seed {seed}: {kind} diverges on a complete instance"
+            );
+        }
+    }
+}
+
+/// The migration gate of the `Semantics` refactor: the zero-sized
+/// `semantics::Strong`/`semantics::Weak` impls are bit-identical to the
+/// pre-existing `Convention` enum values — verdicts and canonical
+/// least-pair witnesses — through every check variant and across
+/// executor thread counts.
+#[test]
+fn zst_and_convention_dispatch_are_bit_identical() {
+    for seed in 0..16u64 {
+        let w = workload(seed, &diff_spec(), 3);
+        let strong_enum = testfd::check(&w.instance, &w.fds, Convention::Strong);
+        let weak_enum = testfd::check(&w.instance, &w.fds, Convention::Weak);
+        assert_eq!(
+            strong_enum,
+            testfd::check(&w.instance, &w.fds, semantics::Strong),
+            "seed {seed}"
+        );
+        assert_eq!(
+            weak_enum,
+            testfd::check(&w.instance, &w.fds, semantics::Weak),
+            "seed {seed}"
+        );
+        assert_eq!(
+            strong_enum,
+            testfd::check_pairwise(&w.instance, &w.fds, semantics::Strong),
+            "seed {seed}"
+        );
+        assert_eq!(
+            weak_enum,
+            testfd::check_grouped(&w.instance, &w.fds, semantics::Weak),
+            "seed {seed}"
+        );
+        for threads in [1usize, 4] {
+            let exec = fdi_exec::Executor::with_threads(threads);
+            assert_eq!(
+                strong_enum,
+                testfd::check_par(&w.instance, &w.fds, semantics::Strong, &exec),
+                "seed {seed}, {threads} thread(s)"
+            );
+            assert_eq!(
+                weak_enum,
+                testfd::check_par(&w.instance, &w.fds, semantics::Weak, &exec),
+                "seed {seed}, {threads} thread(s)"
+            );
+            for kind in SemanticsKind::ALL {
+                assert_eq!(
+                    testfd::check_par(&w.instance, &w.fds, kind, &exec),
+                    testfd::check(&w.instance, &w.fds, kind),
+                    "seed {seed}, {threads} thread(s), {kind}"
+                );
+            }
+        }
     }
 }

@@ -240,9 +240,12 @@ fn deterministic_metrics_are_bit_identical_across_threads_and_readers() {
 }
 
 /// The chase and TEST-FD deterministic tallies are executor-invariant
-/// when driven through the explicit recorded entry points.
+/// when driven through the explicit recorded entry points — including
+/// the per-semantics `testfd_checks` slices, which are deterministic
+/// counters like the total.
 #[test]
 fn chase_and_testfd_tallies_are_thread_invariant() {
+    use fd_incomplete::core::semantics::SemanticsKind;
     let w = fd_incomplete::gen::large_workload(7, 400, 0.25, 0.1, 4);
     let mut snapshots = Vec::new();
     for threads in [1usize, 4] {
@@ -251,16 +254,36 @@ fn chase_and_testfd_tallies_are_thread_invariant() {
         let chase_result = chase::chase_indexed_par_with(&w.instance, &w.fds, &exec, &rec);
         let strong = testfd::check_par_with(&w.instance, &w.fds, Convention::Strong, &exec, &rec);
         let weak = testfd::check_par_with(&w.instance, &w.fds, Convention::Weak, &exec, &rec);
+        for kind in SemanticsKind::ALL {
+            let _ = testfd::check_par_with(&w.instance, &w.fds, kind, &exec, &rec);
+        }
         snapshots.push((threads, rec.snapshot(), chase_result, strong, weak));
     }
     let (_, reference, ref_chase, ref_strong, ref_weak) = &snapshots[0];
+    // 2 Convention-driven checks + one sweep over all four kinds
     assert!(
         reference
             .deterministic_pairs()
             .iter()
-            .any(|(name, v)| *name == "testfd_checks" && *v == 2),
-        "both convention checks must be tallied"
+            .any(|(name, v)| *name == "testfd_checks" && *v == 6),
+        "every recorded check must land on the total"
     );
+    // ... and each check also tallied its per-semantics slice: the
+    // Convention values dispatch to the same counters as the kinds.
+    for (name, expected) in [
+        ("testfd_checks_strong", 2u64),
+        ("testfd_checks_null_marker", 1),
+        ("testfd_checks_weak", 2),
+        ("testfd_checks_nfd", 1),
+    ] {
+        assert!(
+            reference
+                .deterministic_pairs()
+                .iter()
+                .any(|(n, v)| *n == name && *v == expected),
+            "per-semantics slice {name} must tally {expected}"
+        );
+    }
     for (threads, snap, chase_result, strong, weak) in &snapshots[1..] {
         assert_eq!(
             snap.deterministic_pairs(),
